@@ -1,0 +1,67 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//!
+//! * zero pruning on vs off for non-power-of-two widths (381-bit ModMul codegen and the
+//!   resulting interpreted execution);
+//! * Barrett vs Montgomery reduction in the runtime library;
+//! * code-generation (lowering) time as the input bit-width grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use moma::mp::{BarrettContext, ModRing, MontgomeryContext, U256};
+use moma::{Compiler, KernelOp, KernelSpec, LoweringConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn ablation_pruning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/zero-pruning");
+    group.sample_size(10);
+    for (label, prune) in [("pruned", true), ("zero-padded", false)] {
+        let compiler = Compiler::new(LoweringConfig {
+            prune_zeros: prune,
+            simplify: prune,
+            ..LoweringConfig::default()
+        });
+        let generated = compiler.compile(&KernelSpec::new(KernelOp::ModMul, 381));
+        // Benchmark interpreting the generated kernel: fewer surviving word operations
+        // translate directly into less work per element.
+        let inputs: Vec<u64> = (0..generated.kernel.params.len() as u64)
+            .map(|i| if i % 8 < 6 { 0x1234_5678 ^ i } else { 0 })
+            .collect();
+        group.bench_function(BenchmarkId::new(label, "381-bit modmul"), |b| {
+            b.iter(|| generated.run(&inputs).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn ablation_reduction(c: &mut Criterion) {
+    // Barrett (paper default, k-4-bit modulus) vs Montgomery (full-width modulus).
+    let q = U256::from_hex("fffffffffffffffffffffffffffffffffffffffffffffffffffffe200000001");
+    let barrett = BarrettContext::new(q);
+    let montgomery = MontgomeryContext::new(q);
+    let ring = ModRing::new(q);
+    let mut rng = StdRng::seed_from_u64(1);
+    let a = ring.random_element(&mut rng);
+    let b = ring.random_element(&mut rng);
+    let am = montgomery.to_mont(a);
+    let bm = montgomery.to_mont(b);
+
+    let mut group = c.benchmark_group("ablation/reduction");
+    group.bench_function("barrett-252-bit", |bch| bch.iter(|| barrett.mul_mod(a, b)));
+    group.bench_function("montgomery-252-bit", |bch| bch.iter(|| montgomery.mul_mont(am, bm)));
+    group.finish();
+}
+
+fn ablation_codegen_time(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/codegen-time");
+    group.sample_size(10);
+    for bits in [128u32, 256, 512, 1024] {
+        group.bench_function(BenchmarkId::new("lower-modmul", format!("{bits}-bit")), |b| {
+            let compiler = Compiler::default();
+            b.iter(|| compiler.compile(&KernelSpec::new(KernelOp::ModMul, bits)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!{name = benches; config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_millis(1500)).warm_up_time(std::time::Duration::from_millis(300)); targets = ablation_pruning, ablation_reduction, ablation_codegen_time}
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Figure 2: BLAS operations (vector multiplication, addition, subtraction, axpy) at
+//! 128/256/512/1024 bits — MoMA runtime kernels vs the GMP stand-in (`moma-bignum`)
+//! vs the GRNS stand-in (`moma-rns`), reported as time per element.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use moma::bignum::BigUint;
+use moma::blas::batch::{run_batch, Batch};
+use moma::blas::BlasOp;
+use moma::mp::{ModRing, MpUint};
+use moma::ntt::params::paper_modulus;
+use moma::rns::{vector as rns_vec, RnsContext};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const ELEMENTS: usize = 1 << 12;
+
+fn bench_width<const L: usize>(c: &mut Criterion, bits: u32) {
+    let q_big = paper_modulus(bits);
+    let q = MpUint::<L>::from_limbs_le(&q_big.to_limbs_le(L));
+    let ring = ModRing::new(q);
+    let mut rng = StdRng::seed_from_u64(bits as u64);
+    let x = Batch::<L>::random(&ring, &mut rng, 1, ELEMENTS);
+    let y = Batch::<L>::random(&ring, &mut rng, 1, ELEMENTS);
+    let a = ring.random_element(&mut rng);
+
+    let x_big: Vec<BigUint> = x
+        .data
+        .iter()
+        .map(|v| BigUint::from_limbs_le(v.limbs().to_vec()))
+        .collect();
+    let y_big: Vec<BigUint> = y
+        .data
+        .iter()
+        .map(|v| BigUint::from_limbs_le(v.limbs().to_vec()))
+        .collect();
+
+    let rns = RnsContext::with_capacity_bits(2 * bits + 8);
+    let x_rns = rns_vec::RnsVector::from_biguints(&rns, &x_big);
+    let y_rns = rns_vec::RnsVector::from_biguints(&rns, &y_big);
+
+    let mut group = c.benchmark_group(format!("fig2/{bits}-bit"));
+    group.throughput(Throughput::Elements(ELEMENTS as u64));
+    group.sample_size(10);
+
+    for op in BlasOp::all() {
+        group.bench_function(BenchmarkId::new("moma", op.name()), |b| {
+            b.iter(|| run_batch(&ring, op, a, &x, &y))
+        });
+    }
+    // GMP stand-in: full-precision op followed by reduction, as an mpz user would write.
+    group.bench_function(BenchmarkId::new("gmp-standin", "vector multiplication"), |b| {
+        b.iter(|| {
+            x_big
+                .iter()
+                .zip(&y_big)
+                .map(|(p, r)| p.mod_mul(r, &q_big))
+                .collect::<Vec<_>>()
+        })
+    });
+    group.bench_function(BenchmarkId::new("gmp-standin", "vector addition"), |b| {
+        b.iter(|| {
+            x_big
+                .iter()
+                .zip(&y_big)
+                .map(|(p, r)| p.mod_add(r, &q_big))
+                .collect::<Vec<_>>()
+        })
+    });
+    // GRNS stand-in: residue-wise arithmetic (reduction modulo q excluded, as GRNS
+    // reports ring arithmetic over its own base).
+    group.bench_function(BenchmarkId::new("grns-standin", "vector multiplication"), |b| {
+        b.iter(|| rns_vec::vec_mul(&rns, &x_rns, &y_rns))
+    });
+    group.bench_function(BenchmarkId::new("grns-standin", "vector addition"), |b| {
+        b.iter(|| rns_vec::vec_add(&rns, &x_rns, &y_rns))
+    });
+    group.finish();
+}
+
+fn fig2(c: &mut Criterion) {
+    bench_width::<2>(c, 128);
+    bench_width::<4>(c, 256);
+    bench_width::<8>(c, 512);
+    bench_width::<16>(c, 1024);
+}
+
+criterion_group!{name = benches; config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_millis(1500)).warm_up_time(std::time::Duration::from_millis(300)); targets = fig2}
+criterion_main!(benches);

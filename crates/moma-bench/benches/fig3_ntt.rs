@@ -1,0 +1,41 @@
+//! Figures 1 and 3: NTT runtime per butterfly at 128/256/384/768 bits across transform
+//! sizes, using the MoMA runtime-library butterfly (what the generated code computes).
+//! The per-device modelled numbers for the same configurations are produced by the
+//! `reproduce` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use moma::mp::MulAlgorithm;
+use moma::ntt::params::NttParams;
+use moma::ntt::transform::{butterfly_count, forward};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_ntt<const L: usize>(c: &mut Criterion, bits: u32, log_sizes: &[u32]) {
+    let mut group = c.benchmark_group(format!("fig3/{bits}-bit"));
+    group.sample_size(10);
+    for &log_n in log_sizes {
+        let n = 1usize << log_n;
+        let params = NttParams::<L>::for_paper_modulus(n, bits, MulAlgorithm::Schoolbook);
+        let mut rng = StdRng::seed_from_u64(log_n as u64);
+        let data: Vec<_> = (0..n).map(|_| params.ring.random_element(&mut rng)).collect();
+        group.throughput(Throughput::Elements(butterfly_count(n)));
+        group.bench_function(BenchmarkId::new("moma-forward", format!("2^{log_n}")), |b| {
+            b.iter(|| {
+                let mut work = data.clone();
+                forward(&params, &mut work);
+                work
+            })
+        });
+    }
+    group.finish();
+}
+
+fn fig3(c: &mut Criterion) {
+    bench_ntt::<2>(c, 128, &[8, 10, 12]);
+    bench_ntt::<4>(c, 256, &[8, 10, 12]);
+    bench_ntt::<6>(c, 384, &[8, 10]);
+    bench_ntt::<12>(c, 768, &[8, 10]);
+}
+
+criterion_group!{name = benches; config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_millis(1500)).warm_up_time(std::time::Duration::from_millis(300)); targets = fig3}
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Figure 4: one transform size (a cross-cut of Figure 3), every input bit-width from
+//! 128 to 1,024 bits, MoMA runtime butterflies vs the GMP stand-in NTT (the same
+//! transform implemented directly over `moma-bignum` values).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use moma::bignum::BigUint;
+use moma::mp::MulAlgorithm;
+use moma::ntt::params::{paper_modulus, NttParams};
+use moma::ntt::transform::{butterfly_count, forward};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The cross-cut uses a reduced size so the bench suite stays fast; the `reproduce`
+/// binary prints the full 2^16 cross-cut with the cost model.
+const LOG_N: u32 = 10;
+
+fn bignum_ntt(q: &BigUint, omega: &BigUint, data: &mut [BigUint]) {
+    // Iterative Cooley–Tukey directly over BigUint, mirroring how a GMP user would
+    // write the transform (mpz arithmetic + explicit mod).
+    let n = data.len();
+    // Bit reverse.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = ((i as u64).reverse_bits() >> (64 - bits)) as usize;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+    let mut len = 2;
+    while len <= n {
+        let w_len = omega.mod_pow(&BigUint::from((n / len) as u64), q);
+        let mut start = 0;
+        while start < n {
+            let mut w = BigUint::one();
+            for j in 0..len / 2 {
+                let x = data[start + j].clone();
+                let wy = w.mod_mul(&data[start + j + len / 2], q);
+                data[start + j] = x.mod_add(&wy, q);
+                data[start + j + len / 2] = x.mod_sub(&wy, q);
+                w = w.mod_mul(&w_len, q);
+            }
+            start += len;
+        }
+        len <<= 1;
+    }
+}
+
+fn bench_width<const L: usize>(c: &mut Criterion, bits: u32) {
+    let n = 1usize << LOG_N;
+    let params = NttParams::<L>::for_paper_modulus(n, bits, MulAlgorithm::Schoolbook);
+    let mut rng = StdRng::seed_from_u64(bits as u64);
+    let data: Vec<_> = (0..n).map(|_| params.ring.random_element(&mut rng)).collect();
+
+    let q_big = paper_modulus(bits);
+    let omega_big = BigUint::from_limbs_le(params.omega.limbs().to_vec());
+    let data_big: Vec<BigUint> = data
+        .iter()
+        .map(|x| BigUint::from_limbs_le(x.limbs().to_vec()))
+        .collect();
+
+    let mut group = c.benchmark_group("fig4/2^10-point");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(butterfly_count(n)));
+    group.bench_function(BenchmarkId::new("moma", format!("{bits}-bit")), |b| {
+        b.iter(|| {
+            let mut work = data.clone();
+            forward(&params, &mut work);
+            work
+        })
+    });
+    group.bench_function(BenchmarkId::new("gmp-standin", format!("{bits}-bit")), |b| {
+        b.iter(|| {
+            let mut work = data_big.clone();
+            bignum_ntt(&q_big, &omega_big, &mut work);
+            work
+        })
+    });
+    group.finish();
+}
+
+fn fig4(c: &mut Criterion) {
+    bench_width::<2>(c, 128);
+    bench_width::<4>(c, 256);
+    bench_width::<6>(c, 384);
+    bench_width::<8>(c, 512);
+    bench_width::<12>(c, 768);
+    bench_width::<16>(c, 1024);
+}
+
+criterion_group!{name = benches; config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_millis(1500)).warm_up_time(std::time::Duration::from_millis(300)); targets = fig4}
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Figure 5: sensitivity analyses at a fixed 4,096-point NTT.
+//!
+//! * Figure 5a — runtime vs input bit-width (64 … 1,024 bits);
+//! * Figure 5b — Karatsuba vs schoolbook multiplication at 128 … 768 bits.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use moma::mp::MulAlgorithm;
+use moma::ntt::params::NttParams;
+use moma::ntt::transform::{forward, Ntt64};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const N: usize = 4096;
+
+fn bench_one<const L: usize>(c: &mut Criterion, group_name: &str, bits: u32, alg: MulAlgorithm) {
+    let params = NttParams::<L>::for_paper_modulus(N, bits, alg);
+    let mut rng = StdRng::seed_from_u64(bits as u64 + alg as u64);
+    let data: Vec<_> = (0..N).map(|_| params.ring.random_element(&mut rng)).collect();
+    let label = match alg {
+        MulAlgorithm::Schoolbook => "schoolbook",
+        MulAlgorithm::Karatsuba => "karatsuba",
+    };
+    let mut group = c.benchmark_group(group_name);
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new(label, format!("{bits}-bit")), |b| {
+        b.iter(|| {
+            let mut work = data.clone();
+            forward(&params, &mut work);
+            work
+        })
+    });
+    group.finish();
+}
+
+fn fig5a(c: &mut Criterion) {
+    // 64-bit leftmost point: the single-word NTT.
+    let ntt = Ntt64::new(N);
+    let mut rng = StdRng::seed_from_u64(64);
+    let data: Vec<u64> = (0..N).map(|_| rng.gen::<u64>() % ntt.ctx.q).collect();
+    let mut group = c.benchmark_group("fig5a/bit-width");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("schoolbook", "64-bit"), |b| {
+        b.iter(|| {
+            let mut work = data.clone();
+            ntt.forward(&mut work);
+            work
+        })
+    });
+    group.finish();
+
+    bench_one::<2>(c, "fig5a/bit-width", 128, MulAlgorithm::Schoolbook);
+    bench_one::<4>(c, "fig5a/bit-width", 256, MulAlgorithm::Schoolbook);
+    bench_one::<6>(c, "fig5a/bit-width", 384, MulAlgorithm::Schoolbook);
+    bench_one::<8>(c, "fig5a/bit-width", 512, MulAlgorithm::Schoolbook);
+    bench_one::<12>(c, "fig5a/bit-width", 768, MulAlgorithm::Schoolbook);
+    bench_one::<16>(c, "fig5a/bit-width", 1024, MulAlgorithm::Schoolbook);
+}
+
+fn fig5b(c: &mut Criterion) {
+    for alg in [MulAlgorithm::Schoolbook, MulAlgorithm::Karatsuba] {
+        bench_one::<2>(c, "fig5b/mul-algorithm", 128, alg);
+        bench_one::<4>(c, "fig5b/mul-algorithm", 256, alg);
+        bench_one::<6>(c, "fig5b/mul-algorithm", 384, alg);
+        bench_one::<12>(c, "fig5b/mul-algorithm", 768, alg);
+    }
+}
+
+criterion_group!{name = benches; config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_millis(1500)).warm_up_time(std::time::Duration::from_millis(300)); targets = fig5a, fig5b}
+criterion_main!(benches);

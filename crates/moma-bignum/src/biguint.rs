@@ -1,0 +1,210 @@
+//! The [`BigUint`] type: representation, construction, and basic queries.
+
+/// An arbitrary-precision unsigned integer.
+///
+/// The value is stored as little-endian 64-bit limbs with the invariant that the most
+/// significant limb is non-zero (so zero is represented by an empty limb vector). All
+/// public constructors and operations maintain this normalization.
+///
+/// The paper's multi-digit notation `[x_0, x_1, ..., x_{k-1}]_z` (Equation 5) lists
+/// digits most-significant first; we store limbs least-significant first, the usual
+/// machine convention, and convert at the formatting boundary.
+///
+/// # Example
+///
+/// ```
+/// use moma_bignum::BigUint;
+///
+/// let x = BigUint::from(10u64).pow(30);
+/// assert_eq!(x.to_string(), "1000000000000000000000000000000");
+/// assert_eq!(x.bits(), 100);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BigUint {
+    pub(crate) limbs: Vec<u64>,
+}
+
+impl BigUint {
+    /// The value zero.
+    ///
+    /// ```
+    /// # use moma_bignum::BigUint;
+    /// assert!(BigUint::zero().is_zero());
+    /// ```
+    pub fn zero() -> Self {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// The value one.
+    pub fn one() -> Self {
+        BigUint { limbs: vec![1] }
+    }
+
+    /// Creates a value from little-endian limbs, normalizing trailing zero limbs.
+    ///
+    /// ```
+    /// # use moma_bignum::BigUint;
+    /// let x = BigUint::from_limbs_le(vec![5, 0, 0]);
+    /// assert_eq!(x, BigUint::from(5u64));
+    /// ```
+    pub fn from_limbs_le(mut limbs: Vec<u64>) -> Self {
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        BigUint { limbs }
+    }
+
+    /// Creates a value from big-endian limbs (the paper's digit order in Equation 14).
+    pub fn from_limbs_be(limbs: &[u64]) -> Self {
+        let mut le: Vec<u64> = limbs.to_vec();
+        le.reverse();
+        Self::from_limbs_le(le)
+    }
+
+    /// Returns the little-endian limbs (no trailing zeros; empty for zero).
+    pub fn limbs(&self) -> &[u64] {
+        &self.limbs
+    }
+
+    /// Returns the limbs zero-extended to exactly `n` limbs, little-endian.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value does not fit in `n` limbs.
+    pub fn to_limbs_le(&self, n: usize) -> Vec<u64> {
+        assert!(
+            self.limbs.len() <= n,
+            "value with {} limbs does not fit in {} limbs",
+            self.limbs.len(),
+            n
+        );
+        let mut v = self.limbs.clone();
+        v.resize(n, 0);
+        v
+    }
+
+    /// Returns `true` if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Returns `true` if the value is one.
+    pub fn is_one(&self) -> bool {
+        self.limbs.len() == 1 && self.limbs[0] == 1
+    }
+
+    /// Returns `true` if the value is even. Zero counts as even.
+    pub fn is_even(&self) -> bool {
+        self.limbs.first().map_or(true, |l| l & 1 == 0)
+    }
+
+    /// Returns `true` if the value is odd.
+    pub fn is_odd(&self) -> bool {
+        !self.is_even()
+    }
+
+    /// Number of significant bits (`0` for zero).
+    ///
+    /// ```
+    /// # use moma_bignum::BigUint;
+    /// assert_eq!(BigUint::from(0u64).bits(), 0);
+    /// assert_eq!(BigUint::from(255u64).bits(), 8);
+    /// assert_eq!(BigUint::from(256u64).bits(), 9);
+    /// ```
+    pub fn bits(&self) -> u32 {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => (self.limbs.len() as u32 - 1) * 64 + (64 - top.leading_zeros()),
+        }
+    }
+
+    /// Returns bit `i` (counting from the least significant bit).
+    pub fn bit(&self, i: u32) -> bool {
+        let limb = (i / 64) as usize;
+        match self.limbs.get(limb) {
+            None => false,
+            Some(&l) => (l >> (i % 64)) & 1 == 1,
+        }
+    }
+
+    /// Raises the value to a small power by repeated squaring.
+    ///
+    /// ```
+    /// # use moma_bignum::BigUint;
+    /// assert_eq!(BigUint::from(2u64).pow(10), BigUint::from(1024u64));
+    /// ```
+    pub fn pow(&self, mut exp: u32) -> BigUint {
+        let mut base = self.clone();
+        let mut acc = BigUint::one();
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = &acc * &base;
+            }
+            base = &base * &base;
+            exp >>= 1;
+        }
+        acc
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_empty_and_even() {
+        let z = BigUint::zero();
+        assert!(z.is_zero());
+        assert!(z.is_even());
+        assert_eq!(z.bits(), 0);
+        assert_eq!(z.limbs(), &[] as &[u64]);
+    }
+
+    #[test]
+    fn from_limbs_normalizes() {
+        let x = BigUint::from_limbs_le(vec![1, 2, 0, 0]);
+        assert_eq!(x.limbs(), &[1, 2]);
+        let y = BigUint::from_limbs_be(&[0, 0, 2, 1]);
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn bits_and_bit_access() {
+        let x = BigUint::from(0x8000_0000_0000_0000u64);
+        assert_eq!(x.bits(), 64);
+        assert!(x.bit(63));
+        assert!(!x.bit(62));
+        assert!(!x.bit(64));
+        let y = BigUint::from_limbs_le(vec![0, 1]);
+        assert_eq!(y.bits(), 65);
+        assert!(y.bit(64));
+    }
+
+    #[test]
+    fn to_limbs_le_pads() {
+        let x = BigUint::from(7u64);
+        assert_eq!(x.to_limbs_le(4), vec![7, 0, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn to_limbs_le_panics_when_too_small() {
+        BigUint::from_limbs_le(vec![1, 2, 3]).to_limbs_le(2);
+    }
+
+    #[test]
+    fn pow_small_cases() {
+        assert_eq!(BigUint::from(3u64).pow(0), BigUint::one());
+        assert_eq!(BigUint::from(3u64).pow(1), BigUint::from(3u64));
+        assert_eq!(BigUint::from(3u64).pow(4), BigUint::from(81u64));
+        assert_eq!(BigUint::from(2u64).pow(100).bits(), 101);
+    }
+
+    #[test]
+    fn parity() {
+        assert!(BigUint::from(4u64).is_even());
+        assert!(BigUint::from(5u64).is_odd());
+        assert!(BigUint::one().is_one());
+    }
+}

@@ -1,0 +1,192 @@
+//! Conversions between [`BigUint`] and primitive integers / strings.
+
+use crate::BigUint;
+use std::error::Error;
+use std::fmt;
+use std::str::FromStr;
+
+/// Error returned when parsing a [`BigUint`] from a string fails.
+///
+/// ```
+/// use moma_bignum::BigUint;
+/// assert!("12a4".parse::<BigUint>().is_err());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBigUintError {
+    kind: ParseErrorKind,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ParseErrorKind {
+    Empty,
+    InvalidDigit(char),
+}
+
+impl fmt::Display for ParseBigUintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            ParseErrorKind::Empty => write!(f, "cannot parse integer from empty string"),
+            ParseErrorKind::InvalidDigit(c) => write!(f, "invalid digit found in string: {c:?}"),
+        }
+    }
+}
+
+impl Error for ParseBigUintError {}
+
+impl From<u64> for BigUint {
+    fn from(v: u64) -> Self {
+        if v == 0 {
+            BigUint::zero()
+        } else {
+            BigUint { limbs: vec![v] }
+        }
+    }
+}
+
+impl From<u32> for BigUint {
+    fn from(v: u32) -> Self {
+        BigUint::from(v as u64)
+    }
+}
+
+impl From<u128> for BigUint {
+    fn from(v: u128) -> Self {
+        BigUint::from_limbs_le(vec![v as u64, (v >> 64) as u64])
+    }
+}
+
+impl BigUint {
+    /// Converts to `u64` if the value fits.
+    ///
+    /// ```
+    /// # use moma_bignum::BigUint;
+    /// assert_eq!(BigUint::from(42u64).to_u64(), Some(42));
+    /// assert_eq!(BigUint::from(1u128 << 90).to_u64(), None);
+    /// ```
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0]),
+            _ => None,
+        }
+    }
+
+    /// Converts to `u128` if the value fits.
+    pub fn to_u128(&self) -> Option<u128> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0] as u128),
+            2 => Some(self.limbs[0] as u128 | (self.limbs[1] as u128) << 64),
+            _ => None,
+        }
+    }
+
+    /// Parses a hexadecimal string (no `0x` prefix, case-insensitive).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseBigUintError`] if the string is empty or contains a character
+    /// that is not a hexadecimal digit.
+    pub fn from_hex(s: &str) -> Result<Self, ParseBigUintError> {
+        if s.is_empty() {
+            return Err(ParseBigUintError {
+                kind: ParseErrorKind::Empty,
+            });
+        }
+        let mut limbs: Vec<u64> = Vec::with_capacity(s.len() / 16 + 1);
+        let bytes = s.as_bytes();
+        // Walk from the least significant end in chunks of 16 hex digits.
+        let mut end = bytes.len();
+        while end > 0 {
+            let start = end.saturating_sub(16);
+            let chunk = &s[start..end];
+            let mut limb: u64 = 0;
+            for c in chunk.chars() {
+                let d = c.to_digit(16).ok_or(ParseBigUintError {
+                    kind: ParseErrorKind::InvalidDigit(c),
+                })?;
+                limb = limb << 4 | d as u64;
+            }
+            limbs.push(limb);
+            end = start;
+        }
+        Ok(BigUint::from_limbs_le(limbs))
+    }
+
+    /// Parses a decimal string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseBigUintError`] if the string is empty or contains a character
+    /// that is not a decimal digit.
+    pub fn from_decimal(s: &str) -> Result<Self, ParseBigUintError> {
+        if s.is_empty() {
+            return Err(ParseBigUintError {
+                kind: ParseErrorKind::Empty,
+            });
+        }
+        let mut acc = BigUint::zero();
+        let ten = BigUint::from(10u64);
+        for c in s.chars() {
+            let d = c.to_digit(10).ok_or(ParseBigUintError {
+                kind: ParseErrorKind::InvalidDigit(c),
+            })?;
+            acc = &(&acc * &ten) + &BigUint::from(d as u64);
+        }
+        Ok(acc)
+    }
+}
+
+impl FromStr for BigUint {
+    type Err = ParseBigUintError;
+
+    /// Parses a decimal string, or a hexadecimal string with a `0x` prefix.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+            BigUint::from_hex(hex)
+        } else {
+            BigUint::from_decimal(s)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_primitives_round_trip() {
+        assert_eq!(BigUint::from(0u64).to_u64(), Some(0));
+        assert_eq!(BigUint::from(u64::MAX).to_u64(), Some(u64::MAX));
+        assert_eq!(BigUint::from(u128::MAX).to_u128(), Some(u128::MAX));
+        assert_eq!(BigUint::from(u128::MAX).to_u64(), None);
+    }
+
+    #[test]
+    fn hex_parsing() {
+        let x = BigUint::from_hex("ff").unwrap();
+        assert_eq!(x.to_u64(), Some(255));
+        let y = BigUint::from_hex("1_".replace('_', "").as_str()).unwrap();
+        assert_eq!(y.to_u64(), Some(1));
+        let z = BigUint::from_hex("123456789abcdef0123456789abcdef0ff").unwrap();
+        assert_eq!(z.bits(), 133);
+        assert_eq!(format!("{z:x}"), "123456789abcdef0123456789abcdef0ff");
+    }
+
+    #[test]
+    fn hex_errors() {
+        assert!(BigUint::from_hex("").is_err());
+        assert!(BigUint::from_hex("xyz").is_err());
+        let err = BigUint::from_hex("12g").unwrap_err();
+        assert!(err.to_string().contains("invalid digit"));
+    }
+
+    #[test]
+    fn decimal_parsing() {
+        let x = BigUint::from_decimal("340282366920938463463374607431768211456").unwrap();
+        assert_eq!(x, BigUint::from(1u64) << 128);
+        assert!("".parse::<BigUint>().is_err());
+        assert_eq!("0x10".parse::<BigUint>().unwrap().to_u64(), Some(16));
+        assert_eq!("10".parse::<BigUint>().unwrap().to_u64(), Some(10));
+    }
+}

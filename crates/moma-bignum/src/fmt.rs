@@ -1,0 +1,108 @@
+//! `Display`, `Debug`, and radix formatting for [`BigUint`].
+
+use crate::BigUint;
+use std::fmt;
+
+impl fmt::Display for BigUint {
+    /// Formats as a decimal number.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.pad_integral(true, "", "0");
+        }
+        // Peel off 19 decimal digits at a time (10^19 is the largest power of ten in u64).
+        const CHUNK: u64 = 10_000_000_000_000_000_000;
+        let mut chunks: Vec<u64> = Vec::new();
+        let mut cur = self.clone();
+        while !cur.is_zero() {
+            let (q, r) = cur.div_rem_u64(CHUNK);
+            chunks.push(r);
+            cur = q;
+        }
+        let mut s = chunks.last().unwrap().to_string();
+        for c in chunks.iter().rev().skip(1) {
+            s.push_str(&format!("{c:019}"));
+        }
+        f.pad_integral(true, "", &s)
+    }
+}
+
+impl fmt::Debug for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigUint(0x{self:x})")
+    }
+}
+
+impl fmt::LowerHex for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.pad_integral(true, "0x", "0");
+        }
+        let mut s = format!("{:x}", self.limbs.last().unwrap());
+        for l in self.limbs.iter().rev().skip(1) {
+            s.push_str(&format!("{l:016x}"));
+        }
+        f.pad_integral(true, "0x", &s)
+    }
+}
+
+impl fmt::UpperHex for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let lower = format!("{self:x}");
+        f.pad_integral(true, "0x", &lower.to_uppercase())
+    }
+}
+
+impl fmt::Binary for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.pad_integral(true, "0b", "0");
+        }
+        let mut s = format!("{:b}", self.limbs.last().unwrap());
+        for l in self.limbs.iter().rev().skip(1) {
+            s.push_str(&format!("{l:064b}"));
+        }
+        f.pad_integral(true, "0b", &s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_known_values() {
+        assert_eq!(BigUint::zero().to_string(), "0");
+        assert_eq!(BigUint::from(u64::MAX).to_string(), "18446744073709551615");
+        let x = BigUint::from(1u64) << 128;
+        assert_eq!(x.to_string(), "340282366920938463463374607431768211456");
+    }
+
+    #[test]
+    fn hex_and_binary_formatting() {
+        let x = BigUint::from(0xdeadbeefu64);
+        assert_eq!(format!("{x:x}"), "deadbeef");
+        assert_eq!(format!("{x:X}"), "DEADBEEF");
+        assert_eq!(format!("{x:#x}"), "0xdeadbeef");
+        assert_eq!(format!("{:b}", BigUint::from(10u64)), "1010");
+        assert_eq!(format!("{:x}", BigUint::zero()), "0");
+    }
+
+    #[test]
+    fn hex_round_trip_multi_limb() {
+        let s = "1000000000000000200000000000000030000000000000004";
+        let x = BigUint::from_hex(s).unwrap();
+        assert_eq!(format!("{x:x}"), s);
+    }
+
+    #[test]
+    fn debug_is_never_empty() {
+        assert_eq!(format!("{:?}", BigUint::zero()), "BigUint(0x0)");
+    }
+
+    #[test]
+    fn display_round_trips_with_parser() {
+        let x = BigUint::from_hex("abcdef0123456789abcdef0123456789abcdef").unwrap();
+        let s = x.to_string();
+        assert_eq!(BigUint::from_decimal(&s).unwrap(), x);
+    }
+}

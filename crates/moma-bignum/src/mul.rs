@@ -1,0 +1,199 @@
+//! Multiplication: schoolbook (Equation 8) and Karatsuba (Equation 9).
+
+use crate::BigUint;
+use std::ops::Mul;
+
+/// Number of limbs below which schoolbook multiplication is used even when Karatsuba is
+/// requested. Chosen empirically; for the paper's bit-widths (2–16 limbs) this means the
+/// top-level split is Karatsuba while the leaves are schoolbook, matching the way the
+/// rewrite system composes rule (28) with the Karatsuba rule.
+pub const KARATSUBA_THRESHOLD: usize = 8;
+
+impl BigUint {
+    /// Schoolbook `O(n^2)` multiplication (paper Equation 8 generalized to `n` digits).
+    ///
+    /// ```
+    /// # use moma_bignum::BigUint;
+    /// let a = BigUint::from(u64::MAX);
+    /// assert_eq!(a.mul_schoolbook(&a), (&a * &a));
+    /// ```
+    pub fn mul_schoolbook(&self, other: &BigUint) -> BigUint {
+        if self.is_zero() || other.is_zero() {
+            return BigUint::zero();
+        }
+        let mut out = vec![0u64; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry = 0u64;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let t = a as u128 * b as u128 + out[i + j] as u128 + carry as u128;
+                out[i + j] = t as u64;
+                carry = (t >> 64) as u64;
+            }
+            out[i + other.limbs.len()] = carry;
+        }
+        BigUint::from_limbs_le(out)
+    }
+
+    /// Karatsuba divide-and-conquer multiplication (paper Equation 9), falling back to
+    /// schoolbook below [`KARATSUBA_THRESHOLD`] limbs.
+    ///
+    /// ```
+    /// # use moma_bignum::BigUint;
+    /// let a = BigUint::from(1u64) << 700;
+    /// let b = (BigUint::from(1u64) << 650) - BigUint::one();
+    /// assert_eq!(a.mul_karatsuba(&b), a.mul_schoolbook(&b));
+    /// ```
+    pub fn mul_karatsuba(&self, other: &BigUint) -> BigUint {
+        let n = self.limbs.len().max(other.limbs.len());
+        if self.limbs.len().min(other.limbs.len()) < KARATSUBA_THRESHOLD {
+            return self.mul_schoolbook(other);
+        }
+        // Split both operands at `half` limbs: x = x1 * 2^(64*half) + x0.
+        let half = n / 2;
+        let (a0, a1) = self.split_at_limb(half);
+        let (b0, b1) = other.split_at_limb(half);
+        let z0 = a0.mul_karatsuba(&b0);
+        let z2 = a1.mul_karatsuba(&b1);
+        let sa = &a0 + &a1;
+        let sb = &b0 + &b1;
+        let z1 = sa.mul_karatsuba(&sb) - &z0 - &z2;
+        z2.shl_limbs(2 * half) + z1.shl_limbs(half) + z0
+    }
+
+    /// Splits into `(low, high)` at limb index `at` (so `self = high << (64*at) | low`).
+    fn split_at_limb(&self, at: usize) -> (BigUint, BigUint) {
+        if at >= self.limbs.len() {
+            return (self.clone(), BigUint::zero());
+        }
+        let low = BigUint::from_limbs_le(self.limbs[..at].to_vec());
+        let high = BigUint::from_limbs_le(self.limbs[at..].to_vec());
+        (low, high)
+    }
+
+    /// Shifts left by whole limbs (multiplication by `2^(64*limbs)`).
+    pub(crate) fn shl_limbs(&self, limbs: usize) -> BigUint {
+        if self.is_zero() {
+            return BigUint::zero();
+        }
+        let mut out = vec![0u64; limbs];
+        out.extend_from_slice(&self.limbs);
+        BigUint::from_limbs_le(out)
+    }
+
+    /// Multiplies by a single 64-bit word.
+    pub fn mul_u64(&self, word: u64) -> BigUint {
+        if word == 0 || self.is_zero() {
+            return BigUint::zero();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() + 1);
+        let mut carry = 0u64;
+        for &l in &self.limbs {
+            let t = l as u128 * word as u128 + carry as u128;
+            out.push(t as u64);
+            carry = (t >> 64) as u64;
+        }
+        out.push(carry);
+        BigUint::from_limbs_le(out)
+    }
+
+    fn mul_impl(&self, other: &BigUint) -> BigUint {
+        // Dispatch on size: Karatsuba pays off only for larger operands.
+        if self.limbs.len().min(other.limbs.len()) >= KARATSUBA_THRESHOLD {
+            self.mul_karatsuba(other)
+        } else {
+            self.mul_schoolbook(other)
+        }
+    }
+}
+
+impl Mul<&BigUint> for &BigUint {
+    type Output = BigUint;
+    fn mul(self, rhs: &BigUint) -> BigUint {
+        self.mul_impl(rhs)
+    }
+}
+
+impl Mul<BigUint> for BigUint {
+    type Output = BigUint;
+    fn mul(self, rhs: BigUint) -> BigUint {
+        (&self).mul_impl(&rhs)
+    }
+}
+
+impl Mul<&BigUint> for BigUint {
+    type Output = BigUint;
+    fn mul(self, rhs: &BigUint) -> BigUint {
+        (&self).mul_impl(rhs)
+    }
+}
+
+impl Mul<BigUint> for &BigUint {
+    type Output = BigUint;
+    fn mul(self, rhs: BigUint) -> BigUint {
+        self.mul_impl(&rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn big(s: &str) -> BigUint {
+        BigUint::from_hex(s).unwrap()
+    }
+
+    #[test]
+    fn small_products_match_u128() {
+        for (a, b) in [(0u64, 5u64), (3, 7), (u64::MAX, u64::MAX), (u64::MAX, 2)] {
+            let p = BigUint::from(a).mul_schoolbook(&BigUint::from(b));
+            assert_eq!(p.to_u128(), Some(a as u128 * b as u128));
+        }
+    }
+
+    #[test]
+    fn karatsuba_matches_schoolbook_mixed_sizes() {
+        // Deterministic pseudo-random operands via a simple LCG.
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state
+        };
+        for limbs_a in [1usize, 2, 7, 8, 9, 16, 17, 31] {
+            for limbs_b in [1usize, 8, 16, 24] {
+                let a = BigUint::from_limbs_le((0..limbs_a).map(|_| next()).collect());
+                let b = BigUint::from_limbs_le((0..limbs_b).map(|_| next()).collect());
+                assert_eq!(
+                    a.mul_karatsuba(&b),
+                    a.mul_schoolbook(&b),
+                    "limbs {limbs_a}x{limbs_b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn multiplication_identities() {
+        let a = big("deadbeefdeadbeefdeadbeefdeadbeefdeadbeef");
+        assert_eq!(&a * &BigUint::zero(), BigUint::zero());
+        assert_eq!(&a * &BigUint::one(), a);
+        assert_eq!(&a * &BigUint::from(2u64), &a + &a);
+        assert_eq!(a.mul_u64(0), BigUint::zero());
+        assert_eq!(a.mul_u64(3), &a + &(&a + &a));
+    }
+
+    #[test]
+    fn known_product() {
+        // (2^128 - 1)^2 = 2^256 - 2^129 + 1
+        let a = big("ffffffffffffffffffffffffffffffff");
+        let expected = (BigUint::from(1u64) << 256) - (BigUint::from(1u64) << 129) + BigUint::one();
+        assert_eq!(&a * &a, expected);
+    }
+
+    #[test]
+    fn distributivity_smoke() {
+        let a = big("123456789abcdef0123456789abcdef0");
+        let b = big("fedcba9876543210fedcba9876543210");
+        let c = big("0f0f0f0f0f0f0f0f");
+        assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+    }
+}

@@ -1,0 +1,318 @@
+//! Comparison, addition, subtraction, shifts and bitwise operations.
+//!
+//! These are the schoolbook multi-digit algorithms of the paper's §2.2 (Equations 6
+//! and 7), generalized from two digits to `n` digits, with each 64-bit limb playing the
+//! role of a digit.
+
+use crate::BigUint;
+use std::cmp::Ordering;
+use std::ops::{Add, BitAnd, BitOr, BitXor, Shl, Shr, Sub};
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        if self.limbs.len() != other.limbs.len() {
+            return self.limbs.len().cmp(&other.limbs.len());
+        }
+        for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+            match a.cmp(b) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl BigUint {
+    /// Adds `other` to `self`, returning the (possibly one limb larger) sum.
+    pub(crate) fn add_impl(&self, other: &BigUint) -> BigUint {
+        let (long, short) = if self.limbs.len() >= other.limbs.len() {
+            (&self.limbs, &other.limbs)
+        } else {
+            (&other.limbs, &self.limbs)
+        };
+        let mut out = Vec::with_capacity(long.len() + 1);
+        let mut carry = 0u64;
+        for i in 0..long.len() {
+            let b = short.get(i).copied().unwrap_or(0);
+            let (s1, c1) = long[i].overflowing_add(b);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out.push(s2);
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        if carry != 0 {
+            out.push(carry);
+        }
+        BigUint::from_limbs_le(out)
+    }
+
+    /// Subtracts `other` from `self`.
+    ///
+    /// Returns `None` if `other > self` (the subtraction would underflow).
+    ///
+    /// ```
+    /// # use moma_bignum::BigUint;
+    /// let a = BigUint::from(10u64);
+    /// let b = BigUint::from(4u64);
+    /// assert_eq!(a.checked_sub(&b), Some(BigUint::from(6u64)));
+    /// assert_eq!(b.checked_sub(&a), None);
+    /// ```
+    pub fn checked_sub(&self, other: &BigUint) -> Option<BigUint> {
+        if self < other {
+            return None;
+        }
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0u64;
+        for i in 0..self.limbs.len() {
+            let b = other.limbs.get(i).copied().unwrap_or(0);
+            let (d1, b1) = self.limbs[i].overflowing_sub(b);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            out.push(d2);
+            borrow = (b1 as u64) + (b2 as u64);
+        }
+        debug_assert_eq!(borrow, 0);
+        Some(BigUint::from_limbs_le(out))
+    }
+
+    /// Shifts left by `bits` bits.
+    pub fn shl_bits(&self, bits: u32) -> BigUint {
+        if self.is_zero() || bits == 0 {
+            if bits == 0 {
+                return self.clone();
+            }
+            return BigUint::zero();
+        }
+        let limb_shift = (bits / 64) as usize;
+        let bit_shift = bits % 64;
+        let mut out = vec![0u64; limb_shift];
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u64;
+            for &l in &self.limbs {
+                out.push(l << bit_shift | carry);
+                carry = l >> (64 - bit_shift);
+            }
+            if carry != 0 {
+                out.push(carry);
+            }
+        }
+        BigUint::from_limbs_le(out)
+    }
+
+    /// Shifts right by `bits` bits (towards zero).
+    pub fn shr_bits(&self, bits: u32) -> BigUint {
+        let limb_shift = (bits / 64) as usize;
+        if limb_shift >= self.limbs.len() {
+            return BigUint::zero();
+        }
+        let bit_shift = bits % 64;
+        let src = &self.limbs[limb_shift..];
+        let mut out = Vec::with_capacity(src.len());
+        if bit_shift == 0 {
+            out.extend_from_slice(src);
+        } else {
+            for i in 0..src.len() {
+                let hi = src.get(i + 1).copied().unwrap_or(0);
+                out.push(src[i] >> bit_shift | (hi << (64 - bit_shift)));
+            }
+        }
+        BigUint::from_limbs_le(out)
+    }
+
+    /// Returns the `count` low bits of the value (i.e. `self mod 2^count`).
+    ///
+    /// ```
+    /// # use moma_bignum::BigUint;
+    /// let x = BigUint::from(0b1011_0110u64);
+    /// assert_eq!(x.low_bits(4), BigUint::from(0b0110u64));
+    /// ```
+    pub fn low_bits(&self, count: u32) -> BigUint {
+        let full = (count / 64) as usize;
+        let rem = count % 64;
+        let mut limbs: Vec<u64> = self.limbs.iter().copied().take(full + 1).collect();
+        if limbs.len() > full {
+            if rem == 0 {
+                limbs.truncate(full);
+            } else {
+                limbs[full] &= (1u64 << rem) - 1;
+            }
+        }
+        BigUint::from_limbs_le(limbs)
+    }
+}
+
+macro_rules! forward_binop {
+    ($trait_:ident, $method:ident, $impl_:ident) => {
+        impl $trait_<&BigUint> for &BigUint {
+            type Output = BigUint;
+            fn $method(self, rhs: &BigUint) -> BigUint {
+                self.$impl_(rhs)
+            }
+        }
+        impl $trait_<BigUint> for BigUint {
+            type Output = BigUint;
+            fn $method(self, rhs: BigUint) -> BigUint {
+                (&self).$impl_(&rhs)
+            }
+        }
+        impl $trait_<&BigUint> for BigUint {
+            type Output = BigUint;
+            fn $method(self, rhs: &BigUint) -> BigUint {
+                (&self).$impl_(rhs)
+            }
+        }
+        impl $trait_<BigUint> for &BigUint {
+            type Output = BigUint;
+            fn $method(self, rhs: BigUint) -> BigUint {
+                self.$impl_(&rhs)
+            }
+        }
+    };
+}
+
+forward_binop!(Add, add, add_impl);
+
+impl BigUint {
+    fn sub_impl(&self, rhs: &BigUint) -> BigUint {
+        self.checked_sub(rhs)
+            .expect("attempt to subtract with overflow (BigUint is unsigned)")
+    }
+
+    fn bitand_impl(&self, rhs: &BigUint) -> BigUint {
+        let n = self.limbs.len().min(rhs.limbs.len());
+        BigUint::from_limbs_le((0..n).map(|i| self.limbs[i] & rhs.limbs[i]).collect())
+    }
+
+    fn bitor_impl(&self, rhs: &BigUint) -> BigUint {
+        let n = self.limbs.len().max(rhs.limbs.len());
+        BigUint::from_limbs_le(
+            (0..n)
+                .map(|i| {
+                    self.limbs.get(i).copied().unwrap_or(0) | rhs.limbs.get(i).copied().unwrap_or(0)
+                })
+                .collect(),
+        )
+    }
+
+    fn bitxor_impl(&self, rhs: &BigUint) -> BigUint {
+        let n = self.limbs.len().max(rhs.limbs.len());
+        BigUint::from_limbs_le(
+            (0..n)
+                .map(|i| {
+                    self.limbs.get(i).copied().unwrap_or(0) ^ rhs.limbs.get(i).copied().unwrap_or(0)
+                })
+                .collect(),
+        )
+    }
+}
+
+forward_binop!(Sub, sub, sub_impl);
+forward_binop!(BitAnd, bitand, bitand_impl);
+forward_binop!(BitOr, bitor, bitor_impl);
+forward_binop!(BitXor, bitxor, bitxor_impl);
+
+impl Shl<u32> for BigUint {
+    type Output = BigUint;
+    fn shl(self, rhs: u32) -> BigUint {
+        self.shl_bits(rhs)
+    }
+}
+
+impl Shl<u32> for &BigUint {
+    type Output = BigUint;
+    fn shl(self, rhs: u32) -> BigUint {
+        self.shl_bits(rhs)
+    }
+}
+
+impl Shr<u32> for BigUint {
+    type Output = BigUint;
+    fn shr(self, rhs: u32) -> BigUint {
+        self.shr_bits(rhs)
+    }
+}
+
+impl Shr<u32> for &BigUint {
+    type Output = BigUint;
+    fn shr(self, rhs: u32) -> BigUint {
+        self.shr_bits(rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn big(s: &str) -> BigUint {
+        BigUint::from_hex(s).unwrap()
+    }
+
+    #[test]
+    fn ordering_by_length_and_lexicographic() {
+        assert!(BigUint::zero() < BigUint::one());
+        assert!(big("ffffffffffffffff") < big("10000000000000000"));
+        assert!(big("20000000000000001") > big("20000000000000000"));
+        assert_eq!(big("ab").cmp(&big("ab")), Ordering::Equal);
+    }
+
+    #[test]
+    fn addition_with_carry_chain() {
+        let a = big("ffffffffffffffffffffffffffffffff");
+        let one = BigUint::one();
+        assert_eq!(&a + &one, big("100000000000000000000000000000000"));
+        assert_eq!(&BigUint::zero() + &a, a);
+    }
+
+    #[test]
+    fn subtraction_with_borrow_chain() {
+        let a = big("100000000000000000000000000000000");
+        let one = BigUint::one();
+        assert_eq!(&a - &one, big("ffffffffffffffffffffffffffffffff"));
+        assert_eq!(a.checked_sub(&(&a + &one)), None);
+        assert_eq!(&a - &a, BigUint::zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "subtract with overflow")]
+    fn subtraction_underflow_panics() {
+        let _ = BigUint::one() - BigUint::from(2u64);
+    }
+
+    #[test]
+    fn shifts_round_trip() {
+        let a = big("123456789abcdef0fedcba9876543210");
+        for bits in [0u32, 1, 7, 63, 64, 65, 127, 128, 200] {
+            let shifted = a.shl_bits(bits);
+            assert_eq!(shifted.shr_bits(bits), a, "round trip at {bits}");
+            assert_eq!(shifted.bits(), a.bits() + bits);
+        }
+        assert_eq!(a.shr_bits(4096), BigUint::zero());
+    }
+
+    #[test]
+    fn low_bits_masks() {
+        let a = big("ffffffffffffffffffffffffffffffff");
+        assert_eq!(a.low_bits(0), BigUint::zero());
+        assert_eq!(a.low_bits(4), BigUint::from(0xfu64));
+        assert_eq!(a.low_bits(64), BigUint::from(u64::MAX));
+        assert_eq!(a.low_bits(128), a);
+        assert_eq!(a.low_bits(300), a);
+    }
+
+    #[test]
+    fn bitwise_ops() {
+        let a = big("f0f0f0f0f0f0f0f0f0");
+        let b = big("ff00ff00ff");
+        assert_eq!(&a & &b, big("f000f000f0"));
+        assert_eq!(&a | &b, big("f0f0f0f0fff0fff0ff"));
+        assert_eq!(&a ^ &a, BigUint::zero());
+        assert_eq!(&a ^ &BigUint::zero(), a);
+    }
+}

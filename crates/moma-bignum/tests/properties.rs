@@ -1,0 +1,113 @@
+//! Property-based tests: ring axioms and consistency against `u128` arithmetic.
+
+use moma_bignum::BigUint;
+use proptest::prelude::*;
+
+/// Strategy: a `BigUint` with up to `max_limbs` random limbs.
+fn biguint(max_limbs: usize) -> impl Strategy<Value = BigUint> {
+    prop::collection::vec(any::<u64>(), 0..=max_limbs).prop_map(BigUint::from_limbs_le)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn add_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        let sum = BigUint::from(a) + BigUint::from(b);
+        prop_assert_eq!(sum.to_u128(), Some(a as u128 + b as u128));
+    }
+
+    #[test]
+    fn mul_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        let prod = BigUint::from(a) * BigUint::from(b);
+        prop_assert_eq!(prod.to_u128(), Some(a as u128 * b as u128));
+    }
+
+    #[test]
+    fn div_rem_matches_u128(a in any::<u128>(), b in 1u128..) {
+        let (q, r) = BigUint::from(a).div_rem(&BigUint::from(b));
+        prop_assert_eq!(q.to_u128(), Some(a / b));
+        prop_assert_eq!(r.to_u128(), Some(a % b));
+    }
+
+    #[test]
+    fn addition_is_commutative_and_associative(a in biguint(20), b in biguint(20), c in biguint(20)) {
+        prop_assert_eq!(&a + &b, &b + &a);
+        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+    }
+
+    #[test]
+    fn multiplication_is_commutative_and_associative(a in biguint(8), b in biguint(8), c in biguint(8)) {
+        prop_assert_eq!(&a * &b, &b * &a);
+        prop_assert_eq!(&(&a * &b) * &c, &a * &(&b * &c));
+    }
+
+    #[test]
+    fn distributivity(a in biguint(10), b in biguint(10), c in biguint(10)) {
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+    }
+
+    #[test]
+    fn karatsuba_equals_schoolbook(a in biguint(24), b in biguint(24)) {
+        prop_assert_eq!(a.mul_karatsuba(&b), a.mul_schoolbook(&b));
+    }
+
+    #[test]
+    fn add_then_sub_round_trips(a in biguint(20), b in biguint(20)) {
+        prop_assert_eq!(&(&a + &b) - &b, a.clone());
+        prop_assert_eq!((&a + &b).checked_sub(&a), Some(b));
+    }
+
+    #[test]
+    fn division_reconstructs(a in biguint(20), b in biguint(10)) {
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.div_rem(&b);
+        prop_assert!(r < b);
+        prop_assert_eq!(&(&q * &b) + &r, a);
+    }
+
+    #[test]
+    fn shift_is_multiplication_by_power_of_two(a in biguint(10), bits in 0u32..260) {
+        prop_assert_eq!(a.shl_bits(bits), &a * &(BigUint::from(1u64) << bits));
+        prop_assert_eq!(a.shl_bits(bits).shr_bits(bits), a);
+    }
+
+    #[test]
+    fn hex_and_decimal_round_trip(a in biguint(12)) {
+        prop_assert_eq!(BigUint::from_hex(&format!("{a:x}")).unwrap(), a.clone());
+        prop_assert_eq!(BigUint::from_decimal(&a.to_string()).unwrap(), a);
+    }
+
+    #[test]
+    fn modular_ops_stay_reduced(a in biguint(6), b in biguint(6), q in biguint(6)) {
+        prop_assume!(q > BigUint::one());
+        let ar = &a % &q;
+        let br = &b % &q;
+        let sum = ar.mod_add(&br, &q);
+        let diff = ar.mod_sub(&br, &q);
+        let prod = ar.mod_mul(&br, &q);
+        prop_assert!(sum < q);
+        prop_assert!(diff < q);
+        prop_assert!(prod < q);
+        prop_assert_eq!(sum, (&ar + &br) % &q);
+        prop_assert_eq!(prod, (&ar * &br) % &q);
+        // diff + b ≡ a (mod q)
+        prop_assert_eq!(diff.mod_add(&br, &q), ar);
+    }
+
+    #[test]
+    fn mod_pow_matches_iterated_multiplication(a in biguint(3), e in 0u32..64, q in biguint(3)) {
+        prop_assume!(q > BigUint::one());
+        let ar = &a % &q;
+        let mut expected = BigUint::one() % &q;
+        for _ in 0..e {
+            expected = expected.mod_mul(&ar, &q);
+        }
+        prop_assert_eq!(ar.mod_pow(&BigUint::from(e as u64), &q), expected);
+    }
+
+    #[test]
+    fn low_bits_is_mod_power_of_two(a in biguint(8), bits in 0u32..300) {
+        prop_assert_eq!(a.low_bits(bits), &a % &(BigUint::from(1u64) << bits));
+    }
+}

@@ -1,0 +1,62 @@
+//! Data-parallel BLAS execution on the simulated GPU launcher.
+
+use crate::batch::{apply_element, Batch};
+use crate::BlasOp;
+use moma_gpu::launch::{launch_indexed, LaunchStats};
+use moma_mp::{ModRing, MpUint};
+use parking_lot::Mutex;
+
+/// Runs one BLAS operation over a batch with one virtual GPU thread per element,
+/// returning the result and the launch statistics (wall-clock time on the host thread
+/// pool).
+///
+/// # Panics
+///
+/// Panics if the batches have different shapes.
+pub fn run_batch_parallel<const L: usize>(
+    ring: &ModRing<L>,
+    op: BlasOp,
+    a_scalar: MpUint<L>,
+    x: &Batch<L>,
+    y: &Batch<L>,
+) -> (Batch<L>, LaunchStats) {
+    assert_eq!(x.data.len(), y.data.len(), "batch shape mismatch");
+    assert_eq!(x.vector_len, y.vector_len, "batch shape mismatch");
+    let n = x.data.len();
+    let out = Mutex::new(vec![MpUint::<L>::ZERO; n]);
+    let stats = launch_indexed(n, |i| {
+        let value = apply_element(ring, op, a_scalar, x.data[i], y.data[i]);
+        out.lock()[i] = value;
+    });
+    (
+        Batch {
+            data: out.into_inner(),
+            vector_len: x.vector_len,
+        },
+        stats,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::run_batch;
+    use moma_mp::U128;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn parallel_matches_sequential_for_all_ops() {
+        let ring = ModRing::new(U128::from_hex("fffffffffffffffffffffe100000001"));
+        let mut rng = StdRng::seed_from_u64(7);
+        let x = Batch::random(&ring, &mut rng, 4, 64);
+        let y = Batch::random(&ring, &mut rng, 4, 64);
+        let a = ring.random_element(&mut rng);
+        for op in BlasOp::all() {
+            let sequential = run_batch(&ring, op, a, &x, &y);
+            let (parallel, stats) = run_batch_parallel(&ring, op, a, &x, &y);
+            assert_eq!(parallel, sequential, "{op:?}");
+            assert_eq!(stats.threads, 256);
+        }
+    }
+}

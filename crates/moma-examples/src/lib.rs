@@ -1,0 +1,5 @@
+//! Host package for the runnable examples in the repository-level `examples/`
+//! directory. See the `[[example]]` targets in this package's `Cargo.toml`; run them
+//! with, for instance, `cargo run -p moma-examples --example quickstart`.
+
+#![forbid(unsafe_code)]

@@ -1,0 +1,139 @@
+//! GPU device models (paper Table 2 plus public architectural parameters).
+
+use std::fmt;
+
+/// Specification of one GPU model.
+///
+/// The first five fields are exactly the paper's Table 2; the remaining fields are the
+/// public architectural figures the analytical cost model needs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceSpec {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Number of CUDA cores (Table 2 "#Cores").
+    pub cores: u32,
+    /// Maximum clock frequency in MHz (Table 2 "Max Freq.").
+    pub max_freq_mhz: u32,
+    /// Device memory size in GB (Table 2 "RAM Size").
+    pub ram_gb: u32,
+    /// Memory bus type (Table 2 "Bus Type").
+    pub bus: &'static str,
+    /// CUDA toolkit version used in the paper (Table 2 "Toolkit").
+    pub toolkit: &'static str,
+    /// Number of streaming multiprocessors.
+    pub sms: u32,
+    /// Shared memory per SM in KiB.
+    pub shared_mem_kb: u32,
+    /// Peak memory bandwidth in GB/s.
+    pub mem_bandwidth_gbs: u32,
+    /// Integer-pipeline issue efficiency relative to the H100 generation (captures the
+    /// lower per-clock integer throughput of older architectures).
+    pub int_ipc_scale: f64,
+}
+
+impl DeviceSpec {
+    /// NVIDIA H100 Tensor Core (server class, 2023).
+    pub const H100: DeviceSpec = DeviceSpec {
+        name: "H100",
+        cores: 16896,
+        max_freq_mhz: 1980,
+        ram_gb: 80,
+        bus: "HBM3",
+        toolkit: "12.2",
+        sms: 132,
+        shared_mem_kb: 228,
+        mem_bandwidth_gbs: 3350,
+        int_ipc_scale: 1.0,
+    };
+
+    /// NVIDIA GeForce RTX 4090 (consumer class, 2022).
+    pub const RTX4090: DeviceSpec = DeviceSpec {
+        name: "RTX 4090",
+        cores: 16384,
+        max_freq_mhz: 2595,
+        ram_gb: 24,
+        bus: "GDDR6X",
+        toolkit: "12.0",
+        sms: 128,
+        shared_mem_kb: 100,
+        mem_bandwidth_gbs: 1008,
+        int_ipc_scale: 0.95,
+    };
+
+    /// NVIDIA Tesla V100 Tensor Core (server class, 2017).
+    pub const V100: DeviceSpec = DeviceSpec {
+        name: "V100",
+        cores: 5120,
+        max_freq_mhz: 1530,
+        ram_gb: 32,
+        bus: "HBM2",
+        toolkit: "11.7",
+        sms: 80,
+        shared_mem_kb: 96,
+        mem_bandwidth_gbs: 900,
+        int_ipc_scale: 0.75,
+    };
+
+    /// All benchmarked devices, in the paper's Table 2 order.
+    pub fn all() -> [DeviceSpec; 3] {
+        [Self::H100, Self::RTX4090, Self::V100]
+    }
+
+    /// Peak integer operation throughput in word operations per second.
+    ///
+    /// One CUDA core retires roughly one 32-bit integer operation per clock; a 64-bit
+    /// word operation (the machine word of the generated kernels) costs about two of
+    /// those, which is folded into the cost model's per-operation weights instead.
+    pub fn peak_ops_per_second(&self) -> f64 {
+        self.cores as f64 * self.max_freq_mhz as f64 * 1e6 * self.int_ipc_scale
+    }
+
+    /// Total shared memory in bytes per SM.
+    pub fn shared_mem_bytes(&self) -> u64 {
+        self.shared_mem_kb as u64 * 1024
+    }
+}
+
+impl fmt::Display for DeviceSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} cores @ {} MHz, {} GB {}, CUDA {})",
+            self.name, self.cores, self.max_freq_mhz, self.ram_gb, self.bus, self.toolkit
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_2_values() {
+        let h100 = DeviceSpec::H100;
+        assert_eq!((h100.cores, h100.max_freq_mhz, h100.ram_gb), (16896, 1980, 80));
+        let rtx = DeviceSpec::RTX4090;
+        assert_eq!((rtx.cores, rtx.max_freq_mhz, rtx.ram_gb), (16384, 2595, 24));
+        let v100 = DeviceSpec::V100;
+        assert_eq!((v100.cores, v100.max_freq_mhz, v100.ram_gb), (5120, 1530, 32));
+        assert_eq!(DeviceSpec::all().len(), 3);
+    }
+
+    #[test]
+    fn device_ordering_by_throughput() {
+        // H100 and RTX 4090 are within the same ballpark; V100 is far behind.
+        let h = DeviceSpec::H100.peak_ops_per_second();
+        let r = DeviceSpec::RTX4090.peak_ops_per_second();
+        let v = DeviceSpec::V100.peak_ops_per_second();
+        assert!(h > v * 3.0);
+        assert!(r > v * 3.0);
+        assert!((h / r - 1.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn display_contains_name_and_bus() {
+        let text = DeviceSpec::V100.to_string();
+        assert!(text.contains("V100"));
+        assert!(text.contains("HBM2"));
+    }
+}

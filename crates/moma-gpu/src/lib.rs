@@ -1,0 +1,31 @@
+//! A GPU execution simulator.
+//!
+//! The paper benchmarks nvcc-compiled CUDA kernels on three NVIDIA GPUs (Table 2).
+//! Neither the GPUs nor the CUDA toolchain are available in this reproduction, so this
+//! crate provides the closest synthetic equivalent that exercises the same code paths:
+//!
+//! * [`device`] — device models for the H100, RTX 4090, and V100 with the Table 2
+//!   specifications plus the public architectural figures the cost model needs;
+//! * [`launch`] — a data-parallel batch launcher that executes one virtual CUDA thread
+//!   per element on a host thread pool (used both for functional execution of generated
+//!   kernels through the `moma-ir` interpreter and for wall-clock measurements of the
+//!   runtime-library kernels);
+//! * [`cost`] — an analytical cost model that converts per-thread word-operation counts
+//!   (produced by the rewrite system / interpreter) into estimated kernel runtimes on a
+//!   given device, including the shared-memory capacity cliff the paper observes for
+//!   NTT sizes above 2^10.
+//!
+//! Absolute times are not expected to match the authors' hardware; the model is
+//! calibrated so that the *shape* of the paper's figures (scaling with bit-width and
+//! transform size, device ordering, memory cliffs) is preserved.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod device;
+pub mod launch;
+
+pub use cost::{CostModel, KernelCostEstimate};
+pub use device::DeviceSpec;
+pub use launch::{launch_indexed, launch_kernel, LaunchStats};

@@ -1,0 +1,547 @@
+//! Kernels: straight-line sequences of typed assignments.
+
+use crate::Ty;
+use std::fmt;
+
+/// Identifier of a variable inside one [`Kernel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub usize);
+
+/// A named, typed variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Var {
+    /// Human-readable name (used by the emitters).
+    pub name: String,
+    /// Data type.
+    pub ty: Ty,
+}
+
+/// An operand of an operation: either a variable or a small literal constant.
+///
+/// Large constants never appear in kernels — moduli and Barrett constants are kernel
+/// *parameters* — so a `u64` literal (zero, one, shift amounts…) is sufficient. A
+/// constant may be used wherever a word or flag is expected as long as the value fits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// A variable reference.
+    Var(VarId),
+    /// A literal constant.
+    Const(u64),
+}
+
+impl Operand {
+    /// The constant zero.
+    pub const ZERO: Operand = Operand::Const(0);
+
+    /// Returns the variable id if the operand is a variable.
+    pub fn as_var(&self) -> Option<VarId> {
+        match self {
+            Operand::Var(v) => Some(*v),
+            Operand::Const(_) => None,
+        }
+    }
+
+    /// Returns `true` if the operand is the literal constant `c`.
+    pub fn is_const(&self, c: u64) -> bool {
+        matches!(self, Operand::Const(v) if *v == c)
+    }
+}
+
+impl From<VarId> for Operand {
+    fn from(v: VarId) -> Self {
+        Operand::Var(v)
+    }
+}
+
+/// An operation. Shapes mirror the left-hand sides of the paper's rewrite rules
+/// (Table 1): multi-destination assignments carry their extra outputs (carry bits,
+/// product high halves) explicitly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// `dst = src` — a move between equal-width values (or a flag into a word).
+    Copy {
+        /// Source operand.
+        src: Operand,
+    },
+    /// `[carry, sum] = a + b (+ carry_in)` — destinations are `[Flag, UInt(w)]`
+    /// (rules (22), (23), (29)).
+    AddWide {
+        /// First addend.
+        a: Operand,
+        /// Second addend.
+        b: Operand,
+        /// Optional incoming carry (a flag).
+        carry_in: Option<Operand>,
+    },
+    /// `dst = a − b (− borrow_in)`, wrapping at the operand width (rule (25)).
+    Sub {
+        /// Minuend.
+        a: Operand,
+        /// Subtrahend.
+        b: Operand,
+        /// Optional incoming borrow (a flag).
+        borrow_in: Option<Operand>,
+    },
+    /// `[hi, lo] = a · b` — the full double-width product (rule (28)).
+    MulWide {
+        /// First factor.
+        a: Operand,
+        /// Second factor.
+        b: Operand,
+    },
+    /// `dst = (a · b) mod 2^w` — only the low half of the product (the paper's
+    /// Listing 4 optimization where the discarded high half of `r·q` is never computed).
+    MulLow {
+        /// First factor.
+        a: Operand,
+        /// Second factor.
+        b: Operand,
+    },
+    /// `flag = a < b` (rule (26) left-hand side).
+    Lt {
+        /// Left comparand.
+        a: Operand,
+        /// Right comparand.
+        b: Operand,
+    },
+    /// `flag = (a =? b)` (rule (27) left-hand side).
+    Eq {
+        /// Left comparand.
+        a: Operand,
+        /// Right comparand.
+        b: Operand,
+    },
+    /// `flag = a ∧ b` on flags.
+    BoolAnd {
+        /// Left flag.
+        a: Operand,
+        /// Right flag.
+        b: Operand,
+    },
+    /// `flag = a ∨ b` on flags.
+    BoolOr {
+        /// Left flag.
+        a: Operand,
+        /// Right flag.
+        b: Operand,
+    },
+    /// `dst = cond ? if_true : if_false` — the conditional assignment ending rules
+    /// (24) and the modular subtraction.
+    Select {
+        /// Condition flag.
+        cond: Operand,
+        /// Value when the condition is 1.
+        if_true: Operand,
+        /// Value when the condition is 0.
+        if_false: Operand,
+    },
+    /// `dsts = (words ∥ … ∥ words) >> shift` — right shift of a multi-word quantity by a
+    /// compile-time constant, keeping as many words as there are destinations
+    /// (the paper's `_qshr`). `words` are given most-significant first, as are `dsts`.
+    ShrMulti {
+        /// Source words, most significant first.
+        words: Vec<Operand>,
+        /// Shift amount in bits (must be less than the total source width).
+        shift: u32,
+    },
+    /// `dst = (a + b) mod q` — high-level modular addition (Equation 30), the seed of
+    /// the worked rewrite example in §4.
+    AddMod {
+        /// First addend (reduced).
+        a: Operand,
+        /// Second addend (reduced).
+        b: Operand,
+        /// Modulus.
+        q: Operand,
+    },
+    /// `dst = (a − b) mod q` — high-level modular subtraction.
+    SubMod {
+        /// Minuend (reduced).
+        a: Operand,
+        /// Subtrahend (reduced).
+        b: Operand,
+        /// Modulus.
+        q: Operand,
+    },
+    /// `dst = (a · b) mod q` — high-level Barrett modular multiplication with the
+    /// precomputed constant `μ` and the modulus bit-width `mbits` known at generation
+    /// time (Equation 18).
+    MulModBarrett {
+        /// First factor (reduced).
+        a: Operand,
+        /// Second factor (reduced).
+        b: Operand,
+        /// Modulus (of `mbits` bits).
+        q: Operand,
+        /// Barrett constant `⌊2^(2·mbits+3)/q⌋`.
+        mu: Operand,
+        /// Bit-width of the modulus.
+        mbits: u32,
+    },
+}
+
+impl Op {
+    /// All operands read by this operation.
+    pub fn operands(&self) -> Vec<Operand> {
+        match self {
+            Op::Copy { src } => vec![*src],
+            Op::AddWide { a, b, carry_in } => {
+                let mut v = vec![*a, *b];
+                if let Some(c) = carry_in {
+                    v.push(*c);
+                }
+                v
+            }
+            Op::Sub { a, b, borrow_in } => {
+                let mut v = vec![*a, *b];
+                if let Some(c) = borrow_in {
+                    v.push(*c);
+                }
+                v
+            }
+            Op::MulWide { a, b }
+            | Op::MulLow { a, b }
+            | Op::Lt { a, b }
+            | Op::Eq { a, b }
+            | Op::BoolAnd { a, b }
+            | Op::BoolOr { a, b } => vec![*a, *b],
+            Op::Select {
+                cond,
+                if_true,
+                if_false,
+            } => vec![*cond, *if_true, *if_false],
+            Op::ShrMulti { words, .. } => words.clone(),
+            Op::AddMod { a, b, q } | Op::SubMod { a, b, q } => vec![*a, *b, *q],
+            Op::MulModBarrett { a, b, q, mu, .. } => vec![*a, *b, *q, *mu],
+        }
+    }
+
+    /// A short mnemonic used by the pretty-printer and the operation counter.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            Op::Copy { .. } => "copy",
+            Op::AddWide { .. } => "add",
+            Op::Sub { .. } => "sub",
+            Op::MulWide { .. } => "mulwide",
+            Op::MulLow { .. } => "mullow",
+            Op::Lt { .. } => "lt",
+            Op::Eq { .. } => "eq",
+            Op::BoolAnd { .. } => "and",
+            Op::BoolOr { .. } => "or",
+            Op::Select { .. } => "select",
+            Op::ShrMulti { .. } => "shr",
+            Op::AddMod { .. } => "addmod",
+            Op::SubMod { .. } => "submod",
+            Op::MulModBarrett { .. } => "mulmod",
+        }
+    }
+
+    /// Returns `true` if this is one of the high-level modular operations that the
+    /// rewrite system must expand before emission.
+    pub fn is_high_level(&self) -> bool {
+        matches!(
+            self,
+            Op::AddMod { .. } | Op::SubMod { .. } | Op::MulModBarrett { .. }
+        )
+    }
+}
+
+/// One assignment: `dsts = op(…)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stmt {
+    /// Destination variables (most significant first for multi-destination ops).
+    pub dsts: Vec<VarId>,
+    /// The operation.
+    pub op: Op,
+    /// Optional provenance note carried into the emitted source as a comment.
+    pub comment: Option<String>,
+}
+
+/// A straight-line kernel: parameters in, outputs out, no control flow (conditional
+/// assignment is expressed with [`Op::Select`], exactly as in the paper's listings).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Kernel {
+    /// Kernel name (used as the function name by the emitters).
+    pub name: String,
+    /// All variables; indices are [`VarId`]s.
+    pub vars: Vec<Var>,
+    /// Parameter variables, in signature order.
+    pub params: Vec<VarId>,
+    /// Output variables, in signature order.
+    pub outputs: Vec<VarId>,
+    /// The body, executed top to bottom.
+    pub body: Vec<Stmt>,
+}
+
+impl Kernel {
+    /// Looks up a variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn var(&self, id: VarId) -> &Var {
+        &self.vars[id.0]
+    }
+
+    /// The type of a variable.
+    pub fn ty(&self, id: VarId) -> Ty {
+        self.vars[id.0].ty
+    }
+
+    /// The type of an operand (constants are typed by their use sites, so this returns
+    /// `None` for constants).
+    pub fn operand_ty(&self, op: Operand) -> Option<Ty> {
+        op.as_var().map(|v| self.ty(v))
+    }
+
+    /// The widest integer type appearing in the kernel.
+    pub fn max_width(&self) -> u32 {
+        self.vars.iter().map(|v| v.ty.bits()).max().unwrap_or(0)
+    }
+
+    /// Returns `true` if every variable fits in `word_bits` bits (i.e. the kernel is
+    /// fully lowered to machine words).
+    pub fn is_machine_level(&self, word_bits: u32) -> bool {
+        self.vars.iter().all(|v| !v.ty.needs_lowering(word_bits))
+            && self.body.iter().all(|s| !s.op.is_high_level())
+    }
+
+    /// Number of statements.
+    pub fn len(&self) -> usize {
+        self.body.len()
+    }
+
+    /// Returns `true` if the kernel body is empty.
+    pub fn is_empty(&self) -> bool {
+        self.body.is_empty()
+    }
+}
+
+impl fmt::Display for Kernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "kernel {}(", self.name)?;
+        for (i, p) in self.params.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}: {}", self.var(*p).name, self.ty(*p))?;
+        }
+        write!(f, ") -> (")?;
+        for (i, o) in self.outputs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}: {}", self.var(*o).name, self.ty(*o))?;
+        }
+        writeln!(f, ") {{")?;
+        for stmt in &self.body {
+            write!(f, "  [")?;
+            for (i, d) in stmt.dsts.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}", self.var(*d).name)?;
+            }
+            write!(f, "] = {}(", stmt.op.mnemonic())?;
+            for (i, o) in stmt.op.operands().iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                match o {
+                    Operand::Var(v) => write!(f, "{}", self.var(*v).name)?,
+                    Operand::Const(c) => write!(f, "{c}")?,
+                }
+            }
+            if let Op::ShrMulti { shift, .. } = &stmt.op {
+                write!(f, ") >> {shift}")?;
+            } else {
+                write!(f, ")")?;
+            }
+            if let Some(c) = &stmt.comment {
+                write!(f, "  ; {c}")?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Incremental builder for [`Kernel`]s.
+///
+/// # Example
+///
+/// ```
+/// use moma_ir::{KernelBuilder, Op, Operand, Ty};
+///
+/// let mut kb = KernelBuilder::new("add64");
+/// let a = kb.param("a", Ty::UInt(64));
+/// let b = kb.param("b", Ty::UInt(64));
+/// let carry = kb.local("carry", Ty::Flag);
+/// let sum = kb.output("sum", Ty::UInt(64));
+/// kb.push(vec![carry, sum], Op::AddWide { a: a.into(), b: b.into(), carry_in: None });
+/// let kernel = kb.build();
+/// assert_eq!(kernel.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct KernelBuilder {
+    name: String,
+    vars: Vec<Var>,
+    params: Vec<VarId>,
+    outputs: Vec<VarId>,
+    body: Vec<Stmt>,
+    fresh_counter: usize,
+}
+
+impl KernelBuilder {
+    /// Starts a new kernel with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        KernelBuilder {
+            name: name.into(),
+            vars: Vec::new(),
+            params: Vec::new(),
+            outputs: Vec::new(),
+            body: Vec::new(),
+            fresh_counter: 0,
+        }
+    }
+
+    fn add_var(&mut self, name: impl Into<String>, ty: Ty) -> VarId {
+        let id = VarId(self.vars.len());
+        self.vars.push(Var {
+            name: name.into(),
+            ty,
+        });
+        id
+    }
+
+    /// Declares a parameter.
+    pub fn param(&mut self, name: impl Into<String>, ty: Ty) -> VarId {
+        let id = self.add_var(name, ty);
+        self.params.push(id);
+        id
+    }
+
+    /// Declares an output.
+    pub fn output(&mut self, name: impl Into<String>, ty: Ty) -> VarId {
+        let id = self.add_var(name, ty);
+        self.outputs.push(id);
+        id
+    }
+
+    /// Declares a local (temporary) variable.
+    pub fn local(&mut self, name: impl Into<String>, ty: Ty) -> VarId {
+        self.add_var(name, ty)
+    }
+
+    /// Declares a local with a unique generated name based on `prefix`.
+    pub fn fresh(&mut self, prefix: &str, ty: Ty) -> VarId {
+        self.fresh_counter += 1;
+        let name = format!("{prefix}_{}", self.fresh_counter);
+        self.add_var(name, ty)
+    }
+
+    /// Appends a statement.
+    pub fn push(&mut self, dsts: Vec<VarId>, op: Op) {
+        self.body.push(Stmt {
+            dsts,
+            op,
+            comment: None,
+        });
+    }
+
+    /// Appends a statement with a provenance comment.
+    pub fn push_commented(&mut self, dsts: Vec<VarId>, op: Op, comment: impl Into<String>) {
+        self.body.push(Stmt {
+            dsts,
+            op,
+            comment: Some(comment.into()),
+        });
+    }
+
+    /// Finishes the kernel.
+    pub fn build(self) -> Kernel {
+        Kernel {
+            name: self.name,
+            vars: self.vars,
+            params: self.params,
+            outputs: self.outputs,
+            body: self.body,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_kernel() -> Kernel {
+        let mut kb = KernelBuilder::new("demo");
+        let a = kb.param("a", Ty::UInt(64));
+        let b = kb.param("b", Ty::UInt(64));
+        let c = kb.local("c", Ty::Flag);
+        let s = kb.output("s", Ty::UInt(64));
+        kb.push(
+            vec![c, s],
+            Op::AddWide {
+                a: a.into(),
+                b: b.into(),
+                carry_in: None,
+            },
+        );
+        kb.build()
+    }
+
+    #[test]
+    fn builder_assigns_sequential_ids() {
+        let k = small_kernel();
+        assert_eq!(k.params, vec![VarId(0), VarId(1)]);
+        assert_eq!(k.outputs, vec![VarId(3)]);
+        assert_eq!(k.ty(VarId(2)), Ty::Flag);
+        assert_eq!(k.max_width(), 64);
+        assert!(k.is_machine_level(64));
+        assert!(!k.is_machine_level(32));
+    }
+
+    #[test]
+    fn operands_enumeration() {
+        let op = Op::Select {
+            cond: Operand::Const(1),
+            if_true: VarId(0).into(),
+            if_false: VarId(1).into(),
+        };
+        assert_eq!(op.operands().len(), 3);
+        assert_eq!(op.mnemonic(), "select");
+        assert!(!op.is_high_level());
+        assert!(Op::AddMod {
+            a: Operand::ZERO,
+            b: Operand::ZERO,
+            q: Operand::ZERO
+        }
+        .is_high_level());
+    }
+
+    #[test]
+    fn display_contains_signature_and_ops() {
+        let k = small_kernel();
+        let text = k.to_string();
+        assert!(text.contains("kernel demo(a: u64, b: u64) -> (s: u64)"));
+        assert!(text.contains("add"));
+    }
+
+    #[test]
+    fn fresh_names_are_unique() {
+        let mut kb = KernelBuilder::new("f");
+        let x = kb.fresh("t", Ty::UInt(64));
+        let y = kb.fresh("t", Ty::UInt(64));
+        let k = kb.build();
+        assert_ne!(k.var(x).name, k.var(y).name);
+    }
+
+    #[test]
+    fn operand_helpers() {
+        assert!(Operand::Const(0).is_const(0));
+        assert!(!Operand::Var(VarId(1)).is_const(0));
+        assert_eq!(Operand::Var(VarId(3)).as_var(), Some(VarId(3)));
+        assert_eq!(Operand::Const(7).as_var(), None);
+    }
+}

@@ -1,0 +1,49 @@
+//! Abstract-code intermediate representation for MoMA code generation.
+//!
+//! The paper (§4) implements multi-word modular arithmetic as a *rewrite system over
+//! data types* inside the SPIRAL code generator: computations on wide integer types are
+//! recursively rewritten into equivalent sequences over narrower types until every value
+//! is a machine word. This crate provides the program representation that the rewrite
+//! pass (in `moma-rewrite`) operates on:
+//!
+//! * [`Ty`] — integer data types of arbitrary bit-width plus a 1-bit flag type for
+//!   carries, borrows, and comparison results;
+//! * [`Op`] / [`Stmt`] / [`Kernel`] — straight-line assignments whose shapes mirror the
+//!   left-hand sides of the paper's rewrite rules (Table 1): wide additions producing
+//!   carries, widening multiplications, comparisons, conditional selects, multi-word
+//!   shifts, and the high-level modular operations that seed the rewriting;
+//! * [`validate`] — a type checker enforcing the width discipline of the rules;
+//! * [`interp`] — an interpreter for machine-level kernels (used as the execution
+//!   backend of the simulated GPU and for correctness oracles) that also counts
+//!   word-level operations for the cost model;
+//! * [`emit`] — source emitters producing CUDA-like C (mirroring the paper's
+//!   Listings 1–4) and Rust.
+//!
+//! # Example
+//!
+//! ```
+//! use moma_ir::{KernelBuilder, Op, Operand, Ty};
+//!
+//! // c = (a + b) mod q, all 128-bit — the paper's Equation 30.
+//! let mut kb = KernelBuilder::new("daddmod_128");
+//! let a = kb.param("a", Ty::UInt(128));
+//! let b = kb.param("b", Ty::UInt(128));
+//! let q = kb.param("q", Ty::UInt(128));
+//! let c = kb.output("c", Ty::UInt(128));
+//! kb.push(vec![c], Op::AddMod { a: Operand::Var(a), b: Operand::Var(b), q: Operand::Var(q) });
+//! let kernel = kb.build();
+//! assert!(moma_ir::validate::validate(&kernel).is_ok());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod emit;
+pub mod interp;
+mod kernel;
+mod ty;
+pub mod validate;
+
+pub use kernel::{Kernel, KernelBuilder, Op, Operand, Stmt, Var, VarId};
+pub use ty::Ty;

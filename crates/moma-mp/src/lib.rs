@@ -1,0 +1,71 @@
+//! Fixed-width multi-word integers and multi-word modular arithmetic.
+//!
+//! This crate is the *runtime library* of the reproduction: it implements, as native
+//! Rust, exactly the word-level algorithms that the MoMA rewrite system generates —
+//! the single-word kernels of the paper's Listing 1 ([`single`]), the multi-word
+//! carry/borrow chains and schoolbook/Karatsuba products of Listings 2–3 ([`MpUint`],
+//! [`karatsuba`]), and the multi-word Barrett modular multiplication of Listing 4
+//! ([`BarrettContext`]), plus the Montgomery path the paper mentions for full-width
+//! moduli ([`MontgomeryContext`]).
+//!
+//! Where the paper's tool chain emits CUDA that `nvcc` compiles for a GPU, this crate
+//! is what that emitted code *computes*; the `moma-rewrite` crate generates the IR and
+//! the cross-crate tests check that interpreting the generated code agrees limb-for-limb
+//! with this library and with the `moma-bignum` oracle.
+//!
+//! # Example
+//!
+//! ```
+//! use moma_mp::{BarrettContext, U256};
+//!
+//! // A 252-bit modulus (the paper's "k - 4 bits" convention for 256-bit kernels).
+//! let q = U256::from_hex("fffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff43");
+//! let ctx = BarrettContext::new(q);
+//! let a = ctx.reduce_full(U256::from_hex("123456789abcdef0123456789abcdef0"));
+//! let b = ctx.reduce_full(U256::from_hex("fedcba9876543210fedcba9876543210"));
+//! let c = ctx.mul_mod(a, b);
+//! assert!(c < q);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod arith;
+mod barrett;
+pub mod karatsuba;
+mod modring;
+mod montgomery;
+pub mod single;
+mod uint;
+
+pub use barrett::BarrettContext;
+pub use modring::{ModRing, Reduction};
+pub use montgomery::MontgomeryContext;
+pub use uint::{
+    MpUint, U1024, U128, U192, U256, U320, U384, U448, U512, U576, U64, U640, U768,
+};
+
+/// Choice of multi-word multiplication algorithm (the paper's §5.4 ablation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MulAlgorithm {
+    /// Schoolbook multiplication: 4 single-word multiplications and 6 additions per
+    /// double-word product (paper Equation 8).
+    #[default]
+    Schoolbook,
+    /// Karatsuba multiplication: 3 single-word multiplications and 12
+    /// additions/subtractions per double-word product (paper Equation 9).
+    Karatsuba,
+}
+
+/// Supported input bit-widths for the paper's evaluation (Figures 2–5).
+pub const EVALUATED_BIT_WIDTHS: [u32; 8] = [128, 192, 256, 320, 384, 512, 768, 1024];
+
+/// Returns the number of 64-bit limbs needed for a value of `bits` bits.
+///
+/// ```
+/// assert_eq!(moma_mp::limbs_for_bits(128), 2);
+/// assert_eq!(moma_mp::limbs_for_bits(381), 6);
+/// ```
+pub const fn limbs_for_bits(bits: u32) -> usize {
+    bits.div_ceil(64) as usize
+}

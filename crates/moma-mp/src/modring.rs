@@ -1,0 +1,270 @@
+//! A unified modular-ring context over [`MpUint`] elements.
+//!
+//! [`ModRing`] bundles a modulus with a reduction strategy (Barrett by default,
+//! Montgomery for full-width moduli) and exposes the exact operation set a
+//! cryptographic kernel needs: `add`, `sub`, `mul`, `pow`, `inv`, plus element
+//! sampling. The NTT and BLAS crates are generic over the limb count `L` and use this
+//! context for every butterfly / element operation.
+
+use crate::{BarrettContext, MontgomeryContext, MpUint, MulAlgorithm};
+use rand::Rng;
+
+/// Reduction strategy used by a [`ModRing`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Reduction {
+    /// Barrett reduction (paper default; modulus of at most `64·L − 4` bits).
+    Barrett,
+    /// Montgomery multiplication (odd modulus of up to the full width). Values are kept
+    /// in standard form; conversion happens inside each multiplication.
+    Montgomery,
+}
+
+/// A modular ring `Z_q` over `L`-limb elements.
+///
+/// # Example
+///
+/// ```
+/// use moma_mp::{ModRing, U128};
+///
+/// let q = U128::from_hex("ffffffffffffffffffffffffffffff61");
+/// let ring = ModRing::new_montgomery(q);
+/// let a = U128::from_u64(10);
+/// let b = U128::from_u64(32);
+/// assert_eq!(ring.mul(a, b), U128::from_u64(320));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModRing<const L: usize> {
+    reduction: ReductionImpl<L>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ReductionImpl<const L: usize> {
+    Barrett(BarrettContext<L>),
+    Montgomery(MontgomeryContext<L>),
+}
+
+impl<const L: usize> ModRing<L> {
+    /// Creates a ring with Barrett reduction and schoolbook multiplication.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the modulus has more than `64·L − 4` bits (see [`BarrettContext::new`]).
+    pub fn new(q: MpUint<L>) -> Self {
+        ModRing {
+            reduction: ReductionImpl::Barrett(BarrettContext::new(q)),
+        }
+    }
+
+    /// Creates a ring with Barrett reduction and an explicit multiplication algorithm.
+    pub fn with_mul_algorithm(q: MpUint<L>, alg: MulAlgorithm) -> Self {
+        ModRing {
+            reduction: ReductionImpl::Barrett(BarrettContext::with_algorithm(q, alg)),
+        }
+    }
+
+    /// Creates a ring with Montgomery reduction (odd modulus, full width allowed).
+    pub fn new_montgomery(q: MpUint<L>) -> Self {
+        ModRing {
+            reduction: ReductionImpl::Montgomery(MontgomeryContext::new(q)),
+        }
+    }
+
+    /// The modulus `q`.
+    pub fn modulus(&self) -> MpUint<L> {
+        match &self.reduction {
+            ReductionImpl::Barrett(b) => b.q,
+            ReductionImpl::Montgomery(m) => m.q,
+        }
+    }
+
+    /// The reduction strategy in use.
+    pub fn reduction(&self) -> Reduction {
+        match &self.reduction {
+            ReductionImpl::Barrett(_) => Reduction::Barrett,
+            ReductionImpl::Montgomery(_) => Reduction::Montgomery,
+        }
+    }
+
+    /// Modular addition of reduced elements.
+    #[inline]
+    pub fn add(&self, a: MpUint<L>, b: MpUint<L>) -> MpUint<L> {
+        let q = self.modulus();
+        debug_assert!(a < q && b < q);
+        let (sum, carry) = a.overflowing_add(&b);
+        if carry || sum >= q {
+            sum.wrapping_sub(&q)
+        } else {
+            sum
+        }
+    }
+
+    /// Modular subtraction of reduced elements.
+    #[inline]
+    pub fn sub(&self, a: MpUint<L>, b: MpUint<L>) -> MpUint<L> {
+        let q = self.modulus();
+        debug_assert!(a < q && b < q);
+        let (diff, borrow) = a.overflowing_sub(&b);
+        if borrow {
+            diff.wrapping_add(&q)
+        } else {
+            diff
+        }
+    }
+
+    /// Modular multiplication of reduced elements.
+    #[inline]
+    pub fn mul(&self, a: MpUint<L>, b: MpUint<L>) -> MpUint<L> {
+        match &self.reduction {
+            ReductionImpl::Barrett(ctx) => ctx.mul_mod(a, b),
+            ReductionImpl::Montgomery(ctx) => ctx.mul_mod(a, b),
+        }
+    }
+
+    /// Modular exponentiation.
+    pub fn pow(&self, base: MpUint<L>, exp: &MpUint<L>) -> MpUint<L> {
+        let mut result = MpUint::<L>::ONE;
+        for i in (0..exp.bits()).rev() {
+            result = self.mul(result, result);
+            if exp.bit(i) {
+                result = self.mul(result, base);
+            }
+        }
+        result
+    }
+
+    /// Modular inverse assuming a prime modulus (Fermat).
+    pub fn inv(&self, a: MpUint<L>) -> MpUint<L> {
+        let exp = self.modulus().wrapping_sub(&MpUint::from_u64(2));
+        self.pow(a, &exp)
+    }
+
+    /// Reduces an arbitrary value into `[0, q)` (setup-time helper).
+    pub fn reduce(&self, x: MpUint<L>) -> MpUint<L> {
+        let q = self.modulus();
+        // Binary reduction identical to BarrettContext::reduce_full, valid for any q.
+        let mut x = x;
+        if x < q {
+            return x;
+        }
+        let mbits = q.bits();
+        let mut shift = x.bits() - mbits;
+        loop {
+            let shifted = q.shl_bits(shift);
+            if shifted.bits() == mbits + shift && shifted <= x {
+                x = x.wrapping_sub(&shifted);
+            }
+            if shift == 0 {
+                break;
+            }
+            shift -= 1;
+        }
+        x
+    }
+
+    /// Samples a uniformly random reduced element.
+    pub fn random_element<R: Rng + ?Sized>(&self, rng: &mut R) -> MpUint<L> {
+        let q = self.modulus();
+        let bits = q.bits();
+        let top_mask = if bits % 64 == 0 {
+            u64::MAX
+        } else {
+            (1u64 << (bits % 64)) - 1
+        };
+        let top_limb = ((bits + 63) / 64 - 1) as usize;
+        loop {
+            let mut limbs = [0u64; L];
+            for (i, slot) in limbs.iter_mut().enumerate().take(top_limb + 1) {
+                *slot = rng.gen();
+                if i == top_limb {
+                    *slot &= top_mask;
+                }
+            }
+            let candidate = MpUint::from_limbs(limbs);
+            if candidate < q {
+                return candidate;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{U128, U256};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn barrett_ring() -> ModRing<2> {
+        ModRing::new(U128::from_hex("fffffffffffffffffffffffffffff61")) // 124-bit
+    }
+
+    #[test]
+    fn add_sub_mul_consistency() {
+        let ring = barrett_ring();
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..50 {
+            let a = ring.random_element(&mut rng);
+            let b = ring.random_element(&mut rng);
+            let c = ring.random_element(&mut rng);
+            // (a + b) - b = a
+            assert_eq!(ring.sub(ring.add(a, b), b), a);
+            // a*(b + c) = a*b + a*c
+            assert_eq!(
+                ring.mul(a, ring.add(b, c)),
+                ring.add(ring.mul(a, b), ring.mul(a, c))
+            );
+        }
+    }
+
+    #[test]
+    fn barrett_and_montgomery_agree() {
+        // Odd 124-bit modulus works for both reductions at L = 2.
+        let q = U128::from_hex("fffffffffffffffffffffffffffff61");
+        let barrett = ModRing::new(q);
+        let mont = ModRing::new_montgomery(q);
+        assert_eq!(barrett.reduction(), Reduction::Barrett);
+        assert_eq!(mont.reduction(), Reduction::Montgomery);
+        let mut rng = StdRng::seed_from_u64(12);
+        for _ in 0..50 {
+            let a = barrett.random_element(&mut rng);
+            let b = barrett.random_element(&mut rng);
+            assert_eq!(barrett.mul(a, b), mont.mul(a, b));
+            assert_eq!(barrett.add(a, b), mont.add(a, b));
+        }
+    }
+
+    #[test]
+    fn pow_and_inv() {
+        // 2^255 - 19 with Montgomery (full-width modulus).
+        let q = U256::from_hex(
+            "7fffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffed",
+        );
+        let ring = ModRing::new_montgomery(q);
+        let mut rng = StdRng::seed_from_u64(13);
+        let a = ring.random_element(&mut rng);
+        let inv = ring.inv(a);
+        assert_eq!(ring.mul(a, inv), U256::ONE);
+        assert_eq!(ring.pow(a, &U256::ZERO), U256::ONE);
+        assert_eq!(ring.pow(a, &U256::ONE), a);
+        assert_eq!(ring.pow(a, &U256::from_u64(2)), ring.mul(a, a));
+    }
+
+    #[test]
+    fn reduce_arbitrary_values() {
+        let ring = barrett_ring();
+        assert_eq!(ring.reduce(U128::ZERO), U128::ZERO);
+        assert_eq!(ring.reduce(ring.modulus()), U128::ZERO);
+        let r = ring.reduce(U128::MAX);
+        assert!(r < ring.modulus());
+    }
+
+    #[test]
+    fn random_elements_are_reduced_and_varied() {
+        let ring = barrett_ring();
+        let mut rng = StdRng::seed_from_u64(14);
+        let a = ring.random_element(&mut rng);
+        let b = ring.random_element(&mut rng);
+        assert!(a < ring.modulus());
+        assert_ne!(a, b);
+    }
+}

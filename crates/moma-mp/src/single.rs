@@ -1,0 +1,218 @@
+//! Single-word modular arithmetic — the runtime equivalent of the paper's Listing 1.
+//!
+//! All inputs fit in one 64-bit machine word, intermediate results use the
+//! compiler-supported double word (`u128`), and modular multiplication uses Barrett
+//! reduction with the precomputed constant `μ = ⌊2^(2m+3) / q⌋` where `m` is the
+//! modulus bit-width (at most 60 = 64 − 4, as in the paper's `MBITS`).
+
+/// Precomputed single-word Barrett parameters for a modulus `q`.
+///
+/// # Example
+///
+/// ```
+/// use moma_mp::single::SingleBarrett;
+///
+/// let q = 0x0fff_ffff_ffff_ff9Bu64; // a 60-bit modulus
+/// let ctx = SingleBarrett::new(q);
+/// assert_eq!(ctx.mul_mod(3, 5), 15);
+/// assert_eq!(ctx.mul_mod(q - 1, q - 1), 1); // (-1)^2 = 1
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SingleBarrett {
+    /// The modulus.
+    pub q: u64,
+    /// The Barrett constant `⌊2^(2·mbits+3) / q⌋`.
+    pub mu: u64,
+    /// Significant bits of the modulus.
+    pub mbits: u32,
+}
+
+impl SingleBarrett {
+    /// Creates the context for modulus `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q < 2` or `q` has more than 60 bits (the paper's `MBITS` bound,
+    /// needed so that μ itself fits in a machine word).
+    pub fn new(q: u64) -> Self {
+        assert!(q >= 2, "modulus must be at least 2");
+        let mbits = 64 - q.leading_zeros();
+        assert!(
+            mbits <= 60,
+            "single-word Barrett requires a modulus of at most 60 bits (got {mbits})"
+        );
+        // mu = floor(2^(2*mbits+3) / q) fits in 64 bits because q >= 2^(mbits-1).
+        let mu = ((1u128 << (2 * mbits + 3)) / q as u128) as u64;
+        SingleBarrett { q, mu, mbits }
+    }
+
+    /// `(a + b) mod q` (paper `_saddmod`). Inputs must already be reduced.
+    #[inline]
+    pub fn add_mod(&self, a: u64, b: u64) -> u64 {
+        debug_assert!(a < self.q && b < self.q);
+        let t = a as u128 + b as u128;
+        if t >= self.q as u128 {
+            (t - self.q as u128) as u64
+        } else {
+            t as u64
+        }
+    }
+
+    /// `(a - b) mod q` (paper `_ssubmod`). Inputs must already be reduced.
+    #[inline]
+    pub fn sub_mod(&self, a: u64, b: u64) -> u64 {
+        debug_assert!(a < self.q && b < self.q);
+        let t = a.wrapping_sub(b);
+        if a < b {
+            t.wrapping_add(self.q)
+        } else {
+            t
+        }
+    }
+
+    /// `(a · b) mod q` via Barrett reduction (paper `_smulmod`).
+    #[inline]
+    pub fn mul_mod(&self, a: u64, b: u64) -> u64 {
+        debug_assert!(a < self.q && b < self.q);
+        let t = a as u128 * b as u128;
+        // r = ((t >> (m-2)) * mu) >> (m+5)  ≈  floor(t / q), off by at most one.
+        let r = (t >> (self.mbits - 2)) * self.mu as u128;
+        let r = r >> (self.mbits + 5);
+        let mut c = t - r * self.q as u128;
+        if c >= self.q as u128 {
+            c -= self.q as u128;
+        }
+        debug_assert!(c < self.q as u128);
+        c as u64
+    }
+
+    /// Modular exponentiation by square-and-multiply.
+    pub fn pow_mod(&self, base: u64, mut exp: u64) -> u64 {
+        let mut result = 1 % self.q;
+        let mut base = base % self.q;
+        while exp > 0 {
+            if exp & 1 == 1 {
+                result = self.mul_mod(result, base);
+            }
+            base = self.mul_mod(base, base);
+            exp >>= 1;
+        }
+        result
+    }
+
+    /// Modular inverse for prime `q` via Fermat's little theorem.
+    pub fn inv_mod(&self, a: u64) -> u64 {
+        self.pow_mod(a, self.q - 2)
+    }
+}
+
+/// Widening single-word addition (paper `_sadd`): returns the full 128-bit sum.
+#[inline]
+pub fn sadd(a: u64, b: u64) -> u128 {
+    a as u128 + b as u128
+}
+
+/// Wrapping single-word subtraction (paper `_ssub`).
+#[inline]
+pub fn ssub(a: u64, b: u64) -> u64 {
+    a.wrapping_sub(b)
+}
+
+/// Widening single-word multiplication (paper `_smul`): returns the full 128-bit product.
+#[inline]
+pub fn smul(a: u64, b: u64) -> u128 {
+    a as u128 * b as u128
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 60-bit NTT-friendly prime: q = 0x0FFF_FFA0_0000_0001 (q ≡ 1 mod 2^32).
+    const Q60: u64 = 0x0FFF_FFA0_0000_0001;
+
+    #[test]
+    fn context_construction() {
+        let ctx = SingleBarrett::new(Q60);
+        assert_eq!(ctx.mbits, 60);
+        assert_eq!(ctx.mu, ((1u128 << 123) / Q60 as u128) as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 60 bits")]
+    fn oversized_modulus_rejected() {
+        SingleBarrett::new(u64::MAX);
+    }
+
+    #[test]
+    fn add_sub_mod_inverse_each_other() {
+        let ctx = SingleBarrett::new(Q60);
+        let a = Q60 - 3;
+        let b = Q60 - 7;
+        let s = ctx.add_mod(a, b);
+        assert!(s < Q60);
+        assert_eq!(ctx.sub_mod(s, b), a);
+        assert_eq!(ctx.sub_mod(0, 1), Q60 - 1);
+    }
+
+    #[test]
+    fn mul_mod_matches_u128_reference() {
+        let ctx = SingleBarrett::new(Q60);
+        let cases = [
+            (0u64, 0u64),
+            (1, Q60 - 1),
+            (Q60 - 1, Q60 - 1),
+            (123456789, 987654321),
+            (Q60 / 2, Q60 / 3),
+        ];
+        for (a, b) in cases {
+            let expected = ((a as u128 * b as u128) % Q60 as u128) as u64;
+            assert_eq!(ctx.mul_mod(a, b), expected, "a={a} b={b}");
+        }
+    }
+
+    #[test]
+    fn mul_mod_randomized_against_reference() {
+        let ctx = SingleBarrett::new(Q60);
+        let mut state = 0x853c49e6748fea9bu64;
+        for _ in 0..10_000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let a = state % Q60;
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let b = state % Q60;
+            let expected = ((a as u128 * b as u128) % Q60 as u128) as u64;
+            assert_eq!(ctx.mul_mod(a, b), expected);
+        }
+    }
+
+    #[test]
+    fn pow_and_inverse() {
+        let ctx = SingleBarrett::new(Q60);
+        assert_eq!(ctx.pow_mod(2, 10), 1024);
+        assert_eq!(ctx.pow_mod(5, 0), 1);
+        // Fermat: a^(q-1) = 1 for prime q.
+        assert_eq!(ctx.pow_mod(123456789, Q60 - 1), 1);
+        let inv = ctx.inv_mod(123456789);
+        assert_eq!(ctx.mul_mod(inv, 123456789), 1);
+    }
+
+    #[test]
+    fn widening_helpers() {
+        assert_eq!(sadd(u64::MAX, u64::MAX), 2 * (u64::MAX as u128));
+        assert_eq!(ssub(3, 5), 3u64.wrapping_sub(5));
+        assert_eq!(smul(u64::MAX, 2), (u64::MAX as u128) * 2);
+    }
+
+    #[test]
+    fn small_moduli() {
+        for q in [2u64, 3, 17, 257, 65537] {
+            let ctx = SingleBarrett::new(q);
+            for a in 0..q.min(50) {
+                for b in 0..q.min(50) {
+                    assert_eq!(ctx.mul_mod(a, b), (a * b) % q);
+                    assert_eq!(ctx.add_mod(a, b), (a + b) % q);
+                }
+            }
+        }
+    }
+}

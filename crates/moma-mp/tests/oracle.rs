@@ -1,0 +1,131 @@
+//! Property-based cross-checks of `moma-mp` fixed-width arithmetic against the
+//! `moma-bignum` arbitrary-precision oracle, at every bit-width the paper evaluates.
+
+use moma_bignum::BigUint;
+use moma_mp::{BarrettContext, ModRing, MontgomeryContext, MpUint, MulAlgorithm};
+use proptest::prelude::*;
+
+/// Converts a fixed-width value to the oracle type.
+fn to_big<const L: usize>(x: &MpUint<L>) -> BigUint {
+    BigUint::from_limbs_le(x.limbs().to_vec())
+}
+
+/// Converts an oracle value (must fit) to the fixed-width type.
+fn from_big<const L: usize>(x: &BigUint) -> MpUint<L> {
+    MpUint::from_limbs_le(&x.to_limbs_le(L))
+}
+
+/// Strategy producing a random L-limb value.
+fn mp<const L: usize>() -> impl Strategy<Value = MpUint<L>> {
+    prop::collection::vec(any::<u64>(), L).prop_map(|v| MpUint::from_limbs_le(&v))
+}
+
+/// Runs the full arithmetic cross-check for one limb count.
+fn check_ring_ops<const L: usize>(a: MpUint<L>, b: MpUint<L>, q: MpUint<L>) {
+    // Force the modulus into the "k-4 bits, top bit set" shape the paper uses.
+    let q = {
+        let mut limbs = *q.limbs();
+        limbs[L - 1] |= 1 << 58; // ensure high-ish bit so q has ~64L-5..64L-4 bits
+        limbs[L - 1] &= (1 << 60) - 1; // keep at most 64L-4 bits
+        limbs[0] |= 1; // odd, so the Montgomery path is valid too
+        MpUint::from_limbs(limbs)
+    };
+    let barrett = BarrettContext::new(q);
+    let karatsuba = BarrettContext::with_algorithm(q, MulAlgorithm::Karatsuba);
+    let montgomery = MontgomeryContext::new(q);
+    let ring = ModRing::new(q);
+    let q_big = to_big(&q);
+
+    let a = barrett.reduce_full(a);
+    let b = barrett.reduce_full(b);
+    let (a_big, b_big) = (to_big(&a), to_big(&b));
+    assert!(a_big < q_big && b_big < q_big);
+
+    // Addition / subtraction.
+    assert_eq!(to_big(&barrett.add_mod(a, b)), a_big.mod_add(&b_big, &q_big));
+    assert_eq!(to_big(&barrett.sub_mod(a, b)), a_big.mod_sub(&b_big, &q_big));
+    assert_eq!(to_big(&ring.add(a, b)), a_big.mod_add(&b_big, &q_big));
+
+    // Multiplication, all three strategies.
+    let expected_mul = a_big.mod_mul(&b_big, &q_big);
+    assert_eq!(to_big(&barrett.mul_mod(a, b)), expected_mul);
+    assert_eq!(to_big(&karatsuba.mul_mod(a, b)), expected_mul);
+    assert_eq!(to_big(&montgomery.mul_mod(a, b)), expected_mul);
+
+    // Widening multiplication against the oracle's full product.
+    let (lo, hi) = a.widening_mul_schoolbook(&b);
+    let full = &a_big * &b_big;
+    assert_eq!(to_big(&lo), full.low_bits(64 * L as u32));
+    assert_eq!(to_big(&hi), &full >> (64 * L as u32));
+    let (lo_k, hi_k) = a.widening_mul_karatsuba(&b);
+    assert_eq!((lo_k, hi_k), (lo, hi));
+
+    // Exponentiation on a small exponent.
+    let exp = MpUint::<L>::from_u64(13);
+    assert_eq!(
+        to_big(&barrett.pow_mod(a, &exp)),
+        a_big.mod_pow(&BigUint::from(13u64), &q_big)
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn ops_match_oracle_128(a in mp::<2>(), b in mp::<2>(), q in mp::<2>()) {
+        check_ring_ops(a, b, q);
+    }
+
+    #[test]
+    fn ops_match_oracle_256(a in mp::<4>(), b in mp::<4>(), q in mp::<4>()) {
+        check_ring_ops(a, b, q);
+    }
+
+    #[test]
+    fn ops_match_oracle_384(a in mp::<6>(), b in mp::<6>(), q in mp::<6>()) {
+        check_ring_ops(a, b, q);
+    }
+
+    #[test]
+    fn ops_match_oracle_512(a in mp::<8>(), b in mp::<8>(), q in mp::<8>()) {
+        check_ring_ops(a, b, q);
+    }
+
+    #[test]
+    fn ops_match_oracle_768(a in mp::<12>(), b in mp::<12>(), q in mp::<12>()) {
+        check_ring_ops(a, b, q);
+    }
+
+    #[test]
+    fn ops_match_oracle_1024(a in mp::<16>(), b in mp::<16>(), q in mp::<16>()) {
+        check_ring_ops(a, b, q);
+    }
+
+    #[test]
+    fn add_sub_round_trip_256(a in mp::<4>(), b in mp::<4>()) {
+        let (sum, carry) = a.overflowing_add(&b);
+        let expected = &to_big(&a) + &to_big(&b);
+        let mut reconstructed = to_big(&sum);
+        if carry {
+            reconstructed = reconstructed + (BigUint::from(1u64) << 256);
+        }
+        prop_assert_eq!(reconstructed, expected);
+        let (back, borrow) = sum.overflowing_sub(&b);
+        prop_assert_eq!(back, a);
+        prop_assert_eq!(borrow, carry);
+    }
+
+    #[test]
+    fn shifts_match_oracle_512(a in mp::<8>(), bits in 0u32..512) {
+        let expected_shr = &to_big(&a) >> bits;
+        prop_assert_eq!(to_big(&a.shr_bits(bits)), expected_shr);
+        let expected_shl = (&to_big(&a) << bits).low_bits(512);
+        prop_assert_eq!(to_big(&a.shl_bits(bits)), expected_shl);
+    }
+
+    #[test]
+    fn conversion_round_trip(a in mp::<6>()) {
+        prop_assert_eq!(from_big::<6>(&to_big(&a)), a);
+        prop_assert_eq!(MpUint::<6>::from_hex(&a.to_hex()), a);
+    }
+}

@@ -1,0 +1,26 @@
+//! Number theoretic transforms over multi-word prime fields.
+//!
+//! The NTT is the flagship kernel of the paper's evaluation (Figures 1, 3, 4, 5): an
+//! `n`-point transform over `Z_q` built from `(n/2)·log2 n` butterflies, each of which
+//! performs one modular multiplication, one modular addition, and one modular
+//! subtraction. This crate provides:
+//!
+//! * [`params`] — NTT-friendly prime moduli of every evaluated bit-width (all of the
+//!   form `c·2^32 + 1`, so every power-of-two transform size up to `2^32` is supported)
+//!   and root-of-unity generation;
+//! * [`transform`] — the iterative radix-2 Cooley–Tukey forward and inverse transforms
+//!   over [`moma_mp::MpUint`] elements, plus a 64-bit single-word variant;
+//! * [`reference`] — the `O(n^2)` direct DFT used as a correctness oracle;
+//! * [`polymul`] — NTT-based polynomial multiplication (the application motivating the
+//!   kernel in FHE/ZKP workloads).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod params;
+pub mod polymul;
+pub mod reference;
+pub mod transform;
+
+pub use params::NttParams;
+pub use transform::{forward, inverse, Ntt64};

@@ -1,0 +1,88 @@
+//! NTT-based polynomial multiplication — the `O(n log n)` path that motivates the NTT
+//! kernel in FHE and ZKP workloads (§2.3).
+
+use crate::params::NttParams;
+use crate::transform::{forward, inverse};
+use moma_mp::{MpUint, MulAlgorithm};
+
+/// Multiplies two polynomials with coefficients in `Z_q` using the NTT.
+///
+/// The product degree determines the transform size (the next power of two at least
+/// `a.len() + b.len() - 1`); new parameters are derived for that size over the same
+/// evaluation modulus.
+///
+/// # Panics
+///
+/// Panics if either polynomial is empty.
+pub fn ntt_polymul<const L: usize>(
+    bits: u32,
+    alg: MulAlgorithm,
+    a: &[MpUint<L>],
+    b: &[MpUint<L>],
+) -> Vec<MpUint<L>> {
+    assert!(!a.is_empty() && !b.is_empty(), "polynomials must be non-empty");
+    let result_len = a.len() + b.len() - 1;
+    let n = result_len.next_power_of_two().max(2);
+    let params = NttParams::<L>::for_paper_modulus(n, bits, alg);
+    let ring = &params.ring;
+
+    let mut fa = vec![MpUint::<L>::ZERO; n];
+    let mut fb = vec![MpUint::<L>::ZERO; n];
+    fa[..a.len()].copy_from_slice(a);
+    fb[..b.len()].copy_from_slice(b);
+
+    forward(&params, &mut fa);
+    forward(&params, &mut fb);
+    for i in 0..n {
+        fa[i] = ring.mul(fa[i], fb[i]);
+    }
+    inverse(&params, &mut fa);
+    fa.truncate(result_len);
+    fa
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::schoolbook_polymul;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matches_schoolbook_at_128_bits() {
+        let params = NttParams::<2>::for_paper_modulus(2, 128, MulAlgorithm::Schoolbook);
+        let mut rng = StdRng::seed_from_u64(3);
+        let a: Vec<_> = (0..33).map(|_| params.ring.random_element(&mut rng)).collect();
+        let b: Vec<_> = (0..17).map(|_| params.ring.random_element(&mut rng)).collect();
+        let fast = ntt_polymul(128, MulAlgorithm::Schoolbook, &a, &b);
+        let slow = schoolbook_polymul(&params, &a, &b);
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn matches_schoolbook_at_256_bits_karatsuba() {
+        let params = NttParams::<4>::for_paper_modulus(2, 256, MulAlgorithm::Schoolbook);
+        let mut rng = StdRng::seed_from_u64(4);
+        let a: Vec<_> = (0..20).map(|_| params.ring.random_element(&mut rng)).collect();
+        let b: Vec<_> = (0..20).map(|_| params.ring.random_element(&mut rng)).collect();
+        let fast = ntt_polymul(256, MulAlgorithm::Karatsuba, &a, &b);
+        let slow = schoolbook_polymul(&params, &a, &b);
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn multiplication_by_one_is_identity() {
+        let params = NttParams::<2>::for_paper_modulus(2, 128, MulAlgorithm::Schoolbook);
+        let mut rng = StdRng::seed_from_u64(5);
+        let a: Vec<_> = (0..8).map(|_| params.ring.random_element(&mut rng)).collect();
+        let one = vec![MpUint::ONE];
+        assert_eq!(ntt_polymul(128, MulAlgorithm::Schoolbook, &a, &one), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_polynomial_rejected() {
+        let one = vec![MpUint::<2>::ONE];
+        ntt_polymul(128, MulAlgorithm::Schoolbook, &[], &one);
+    }
+}

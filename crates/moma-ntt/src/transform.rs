@@ -1,0 +1,275 @@
+//! Iterative radix-2 Cooley–Tukey NTT (decimation in time).
+
+use crate::params::NttParams;
+use moma_mp::single::SingleBarrett;
+use moma_mp::MpUint;
+
+/// Permutes `data` into bit-reversed order in place.
+pub fn bit_reverse_permute<T>(data: &mut [T]) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "length must be a power of two");
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u64).reverse_bits() >> (64 - bits);
+        let j = j as usize;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+}
+
+/// In-place forward NTT of `data` (length `params.n`).
+///
+/// Each stage executes `n/2` independent butterflies — the unit of parallelism the
+/// paper assigns to CUDA threads (§5.1). The butterfly is exactly the kernel produced
+/// by `moma_rewrite::builders::KernelOp::Butterfly`: one modular multiplication by the
+/// twiddle factor, one modular addition, one modular subtraction.
+///
+/// # Panics
+///
+/// Panics if `data.len() != params.n`.
+pub fn forward<const L: usize>(params: &NttParams<L>, data: &mut [MpUint<L>]) {
+    assert_eq!(data.len(), params.n, "data length must equal the transform size");
+    let ring = &params.ring;
+    let n = params.n;
+    bit_reverse_permute(data);
+    let mut len = 2;
+    while len <= n {
+        // w_len = omega^(n/len): a primitive len-th root of unity.
+        let exponent = (n / len) as u64;
+        let w_len = ring.pow(params.omega, &MpUint::from_u64(exponent));
+        let mut start = 0;
+        while start < n {
+            let mut w = MpUint::<L>::ONE;
+            for j in 0..len / 2 {
+                let x = data[start + j];
+                let wy = ring.mul(w, data[start + j + len / 2]);
+                data[start + j] = ring.add(x, wy);
+                data[start + j + len / 2] = ring.sub(x, wy);
+                w = ring.mul(w, w_len);
+            }
+            start += len;
+        }
+        len <<= 1;
+    }
+}
+
+/// In-place inverse NTT of `data`, including the `1/n` scaling.
+///
+/// # Panics
+///
+/// Panics if `data.len() != params.n`.
+pub fn inverse<const L: usize>(params: &NttParams<L>, data: &mut [MpUint<L>]) {
+    assert_eq!(data.len(), params.n, "data length must equal the transform size");
+    let ring = &params.ring;
+    let n = params.n;
+    bit_reverse_permute(data);
+    let mut len = 2;
+    while len <= n {
+        let exponent = (n / len) as u64;
+        let w_len = ring.pow(params.omega_inv, &MpUint::from_u64(exponent));
+        let mut start = 0;
+        while start < n {
+            let mut w = MpUint::<L>::ONE;
+            for j in 0..len / 2 {
+                let x = data[start + j];
+                let wy = ring.mul(w, data[start + j + len / 2]);
+                data[start + j] = ring.add(x, wy);
+                data[start + j + len / 2] = ring.sub(x, wy);
+                w = ring.mul(w, w_len);
+            }
+            start += len;
+        }
+        len <<= 1;
+    }
+    for x in data.iter_mut() {
+        *x = ring.mul(*x, params.n_inv);
+    }
+}
+
+/// Total number of butterflies in an `n`-point NTT: `(n/2)·log2 n`.
+pub fn butterfly_count(n: usize) -> u64 {
+    (n as u64 / 2) * n.trailing_zeros() as u64
+}
+
+/// A single-machine-word (64-bit) NTT using the paper's single-word Barrett kernels —
+/// the leftmost data point of Figure 5a.
+#[derive(Debug, Clone)]
+pub struct Ntt64 {
+    /// Transform size.
+    pub n: usize,
+    /// Single-word Barrett context for the 60-bit modulus.
+    pub ctx: SingleBarrett,
+    omega: u64,
+    omega_inv: u64,
+    n_inv: u64,
+}
+
+impl Ntt64 {
+    /// Builds a 64-bit NTT over the 60-bit evaluation modulus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power of two between 2 and 2^32.
+    pub fn new(n: usize) -> Self {
+        assert!(n.is_power_of_two() && n >= 2 && n <= 1 << 32);
+        let q = crate::params::paper_modulus(64).to_u64().expect("60-bit modulus");
+        let ctx = SingleBarrett::new(q);
+        // Deterministic generator search as in the multi-word case.
+        let cofactor = (q - 1) / n as u64;
+        let mut omega = 0;
+        for g in 3u64..1000 {
+            let candidate = ctx.pow_mod(g, cofactor);
+            if n == 1 || ctx.pow_mod(candidate, n as u64 / 2) != 1 {
+                omega = candidate;
+                break;
+            }
+        }
+        assert!(omega != 0, "no primitive root found");
+        let omega_inv = ctx.inv_mod(omega);
+        let n_inv = ctx.inv_mod(n as u64 % q);
+        Ntt64 {
+            n,
+            ctx,
+            omega,
+            omega_inv,
+            n_inv,
+        }
+    }
+
+    /// In-place forward transform.
+    pub fn forward(&self, data: &mut [u64]) {
+        self.transform(data, self.omega, false);
+    }
+
+    /// In-place inverse transform (with `1/n` scaling).
+    pub fn inverse(&self, data: &mut [u64]) {
+        self.transform(data, self.omega_inv, true);
+        for x in data.iter_mut() {
+            *x = self.ctx.mul_mod(*x, self.n_inv);
+        }
+    }
+
+    fn transform(&self, data: &mut [u64], root: u64, _inverse: bool) {
+        assert_eq!(data.len(), self.n);
+        bit_reverse_permute(data);
+        let mut len = 2;
+        while len <= self.n {
+            let w_len = self.ctx.pow_mod(root, (self.n / len) as u64);
+            let mut start = 0;
+            while start < self.n {
+                let mut w = 1u64;
+                for j in 0..len / 2 {
+                    let x = data[start + j];
+                    let wy = self.ctx.mul_mod(w, data[start + j + len / 2]);
+                    data[start + j] = self.ctx.add_mod(x, wy);
+                    data[start + j + len / 2] = self.ctx.sub_mod(x, wy);
+                    w = self.ctx.mul_mod(w, w_len);
+                }
+                start += len;
+            }
+            len <<= 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::naive_dft;
+    use moma_mp::MulAlgorithm;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn bit_reversal_is_involutive() {
+        let mut v: Vec<u32> = (0..16).collect();
+        let original = v.clone();
+        bit_reverse_permute(&mut v);
+        assert_ne!(v, original);
+        bit_reverse_permute(&mut v);
+        assert_eq!(v, original);
+    }
+
+    #[test]
+    fn butterfly_count_formula() {
+        assert_eq!(butterfly_count(2), 1);
+        assert_eq!(butterfly_count(1024), 512 * 10);
+        assert_eq!(butterfly_count(1 << 16), (1 << 15) * 16);
+    }
+
+    #[test]
+    fn forward_matches_naive_dft_128() {
+        let params = NttParams::<2>::for_paper_modulus(32, 128, MulAlgorithm::Schoolbook);
+        let mut rng = StdRng::seed_from_u64(21);
+        let data: Vec<_> = (0..32).map(|_| params.ring.random_element(&mut rng)).collect();
+        let expected = naive_dft(&params, &data);
+        let mut actual = data.clone();
+        forward(&params, &mut actual);
+        assert_eq!(actual, expected);
+    }
+
+    #[test]
+    fn roundtrip_at_multiple_widths_and_sizes() {
+        fn roundtrip<const L: usize>(bits: u32, n: usize) {
+            let params = NttParams::<L>::for_paper_modulus(n, bits, MulAlgorithm::Schoolbook);
+            let mut rng = StdRng::seed_from_u64(bits as u64);
+            let data: Vec<_> = (0..n).map(|_| params.ring.random_element(&mut rng)).collect();
+            let mut work = data.clone();
+            forward(&params, &mut work);
+            assert_ne!(work, data, "transform must change the data");
+            inverse(&params, &mut work);
+            assert_eq!(work, data, "NTT ∘ INTT must be the identity ({bits} bits, n={n})");
+        }
+        roundtrip::<2>(128, 64);
+        roundtrip::<4>(256, 128);
+        roundtrip::<6>(384, 32);
+        roundtrip::<12>(768, 16);
+    }
+
+    #[test]
+    fn karatsuba_and_schoolbook_transforms_agree() {
+        let sb = NttParams::<4>::for_paper_modulus(64, 256, MulAlgorithm::Schoolbook);
+        let ka = NttParams::<4>::for_paper_modulus(64, 256, MulAlgorithm::Karatsuba);
+        let mut rng = StdRng::seed_from_u64(33);
+        let data: Vec<_> = (0..64).map(|_| sb.ring.random_element(&mut rng)).collect();
+        let mut a = data.clone();
+        let mut b = data;
+        forward(&sb, &mut a);
+        forward(&ka, &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ntt64_roundtrip_and_linearity() {
+        let ntt = Ntt64::new(256);
+        let mut rng = StdRng::seed_from_u64(44);
+        let data: Vec<u64> = (0..256).map(|_| rng.gen::<u64>() % ntt.ctx.q).collect();
+        let mut work = data.clone();
+        ntt.forward(&mut work);
+        ntt.inverse(&mut work);
+        assert_eq!(work, data);
+
+        // Linearity: NTT(a + b) = NTT(a) + NTT(b) point-wise.
+        let a: Vec<u64> = (0..256).map(|_| rng.gen::<u64>() % ntt.ctx.q).collect();
+        let b: Vec<u64> = (0..256).map(|_| rng.gen::<u64>() % ntt.ctx.q).collect();
+        let sum: Vec<u64> = a.iter().zip(&b).map(|(x, y)| ntt.ctx.add_mod(*x, *y)).collect();
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        let mut fsum = sum;
+        ntt.forward(&mut fa);
+        ntt.forward(&mut fb);
+        ntt.forward(&mut fsum);
+        for i in 0..256 {
+            assert_eq!(fsum[i], ntt.ctx.add_mod(fa[i], fb[i]));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "data length")]
+    fn wrong_length_panics() {
+        let params = NttParams::<2>::for_paper_modulus(16, 128, MulAlgorithm::Schoolbook);
+        let mut data = vec![MpUint::ZERO; 8];
+        forward(&params, &mut data);
+    }
+}

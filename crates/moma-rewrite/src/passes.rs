@@ -1,0 +1,463 @@
+//! Optimization passes over lowered kernels.
+//!
+//! Three passes run after lowering (all optional, see [`crate::LoweringConfig`]):
+//!
+//! * **zero pruning** ([`prune_known_zeros`]) — the §4 optimization for
+//!   non-power-of-two input widths: parameters whose words are known to be zero at run
+//!   time are replaced by the constant 0, so the later passes can delete the operations
+//!   that only shuffle zeros around;
+//! * **simplification** ([`simplify`]) — constant folding of the operation forms that
+//!   zero pruning exposes (`x + 0`, `x · 0`, selects with equal arms, …) plus copy
+//!   propagation;
+//! * **dead-code elimination** ([`eliminate_dead_code`]) — removes statements whose
+//!   results are never used.
+//!
+//! [`optimize`] runs simplification and DCE to a fixed point.
+
+use moma_ir::{Kernel, Op, Operand, Stmt, VarId};
+use std::collections::{HashMap, HashSet};
+
+/// Replaces every use of a fully-known-zero variable with the constant zero.
+///
+/// `zero_top_bits` maps variables to the number of known-zero high bits; a variable is
+/// pruned when that number equals its full width (which is how padded parameters end up
+/// after the recursive splitting of a 384-bit value stored in a 512-bit container).
+pub fn prune_known_zeros(kernel: &Kernel, zero_top_bits: &HashMap<VarId, u32>) -> Kernel {
+    let zero_vars: HashSet<VarId> = zero_top_bits
+        .iter()
+        .filter(|(v, zt)| kernel.ty(**v).bits() <= **zt)
+        .map(|(v, _)| *v)
+        .collect();
+    if zero_vars.is_empty() {
+        return kernel.clone();
+    }
+    let mut out = kernel.clone();
+    for stmt in &mut out.body {
+        stmt.op = map_operands(&stmt.op, &|o| match o {
+            Operand::Var(v) if zero_vars.contains(&v) => Operand::Const(0),
+            other => other,
+        });
+    }
+    out
+}
+
+/// Applies one round of constant folding and copy propagation.
+///
+/// Returns the new kernel and whether anything changed.
+pub fn simplify(kernel: &Kernel) -> (Kernel, bool) {
+    let mut out = kernel.clone();
+    let mut changed = false;
+
+    // Copy propagation environment: var -> replacement operand.
+    let mut env: HashMap<VarId, Operand> = HashMap::new();
+    let outputs: HashSet<VarId> = kernel.outputs.iter().copied().collect();
+
+    let mut new_body = Vec::with_capacity(out.body.len());
+    for stmt in &out.body {
+        // Rewrite operands through the environment first.
+        let op = map_operands(&stmt.op, &|o| match o {
+            Operand::Var(v) => env.get(&v).copied().unwrap_or(o),
+            c => c,
+        });
+        // Invalidate any environment entries that referenced a variable we are about to
+        // overwrite (kernels are not strictly SSA after repeated passes).
+        for d in &stmt.dsts {
+            env.remove(d);
+            env.retain(|_, repl| repl.as_var() != Some(*d));
+        }
+        let folded = fold(&op, stmt, kernel);
+        match folded {
+            Some(new_stmts) => {
+                changed = true;
+                for s in new_stmts {
+                    register_copy(&s, &outputs, &mut env);
+                    new_body.push(s);
+                }
+            }
+            None => {
+                let s = Stmt {
+                    dsts: stmt.dsts.clone(),
+                    op,
+                    comment: stmt.comment.clone(),
+                };
+                if s.op != stmt.op {
+                    changed = true;
+                }
+                register_copy(&s, &outputs, &mut env);
+                new_body.push(s);
+            }
+        }
+    }
+    out.body = new_body;
+    (out, changed)
+}
+
+/// Records `dst -> src` for copies of locals so later uses can be propagated.
+fn register_copy(stmt: &Stmt, outputs: &HashSet<VarId>, env: &mut HashMap<VarId, Operand>) {
+    if let Op::Copy { src } = stmt.op {
+        let dst = stmt.dsts[0];
+        if !outputs.contains(&dst) {
+            env.insert(dst, src);
+        }
+    }
+}
+
+/// Attempts to fold a single operation into simpler statements.
+fn fold(op: &Op, stmt: &Stmt, kernel: &Kernel) -> Option<Vec<Stmt>> {
+    let copy = |dst: VarId, src: Operand| Stmt {
+        dsts: vec![dst],
+        op: Op::Copy { src },
+        comment: None,
+    };
+    match op {
+        Op::AddWide { a, b, carry_in } => {
+            let no_carry = carry_in.is_none() || carry_in.map(|c| c.is_const(0)).unwrap_or(false);
+            if !no_carry {
+                return None;
+            }
+            if a.is_const(0) || b.is_const(0) {
+                let other = if a.is_const(0) { *b } else { *a };
+                return Some(vec![
+                    copy(stmt.dsts[0], Operand::Const(0)),
+                    copy(stmt.dsts[1], other),
+                ]);
+            }
+            None
+        }
+        Op::Sub { a, b, borrow_in } => {
+            let no_borrow =
+                borrow_in.is_none() || borrow_in.map(|c| c.is_const(0)).unwrap_or(false);
+            if no_borrow && b.is_const(0) {
+                return Some(vec![copy(stmt.dsts[0], *a)]);
+            }
+            None
+        }
+        Op::MulWide { a, b } => {
+            if a.is_const(0) || b.is_const(0) {
+                return Some(vec![
+                    copy(stmt.dsts[0], Operand::Const(0)),
+                    copy(stmt.dsts[1], Operand::Const(0)),
+                ]);
+            }
+            if a.is_const(1) || b.is_const(1) {
+                let other = if a.is_const(1) { *b } else { *a };
+                return Some(vec![
+                    copy(stmt.dsts[0], Operand::Const(0)),
+                    copy(stmt.dsts[1], other),
+                ]);
+            }
+            None
+        }
+        Op::MulLow { a, b } => {
+            if a.is_const(0) || b.is_const(0) {
+                return Some(vec![copy(stmt.dsts[0], Operand::Const(0))]);
+            }
+            if b.is_const(1) {
+                return Some(vec![copy(stmt.dsts[0], *a)]);
+            }
+            if a.is_const(1) {
+                return Some(vec![copy(stmt.dsts[0], *b)]);
+            }
+            None
+        }
+        Op::Lt { a, b } => {
+            if b.is_const(0) {
+                // Nothing is less than zero.
+                return Some(vec![copy(stmt.dsts[0], Operand::Const(0))]);
+            }
+            if let (Operand::Const(x), Operand::Const(y)) = (a, b) {
+                return Some(vec![copy(stmt.dsts[0], Operand::Const((x < y) as u64))]);
+            }
+            None
+        }
+        Op::Eq { a, b } => {
+            if let (Operand::Const(x), Operand::Const(y)) = (a, b) {
+                return Some(vec![copy(stmt.dsts[0], Operand::Const((x == y) as u64))]);
+            }
+            None
+        }
+        Op::BoolAnd { a, b } => {
+            if a.is_const(0) || b.is_const(0) {
+                return Some(vec![copy(stmt.dsts[0], Operand::Const(0))]);
+            }
+            if a.is_const(1) {
+                return Some(vec![copy(stmt.dsts[0], *b)]);
+            }
+            if b.is_const(1) {
+                return Some(vec![copy(stmt.dsts[0], *a)]);
+            }
+            None
+        }
+        Op::BoolOr { a, b } => {
+            if a.is_const(1) || b.is_const(1) {
+                return Some(vec![copy(stmt.dsts[0], Operand::Const(1))]);
+            }
+            if a.is_const(0) {
+                return Some(vec![copy(stmt.dsts[0], *b)]);
+            }
+            if b.is_const(0) {
+                return Some(vec![copy(stmt.dsts[0], *a)]);
+            }
+            None
+        }
+        Op::Select {
+            cond,
+            if_true,
+            if_false,
+        } => {
+            if cond.is_const(1) {
+                return Some(vec![copy(stmt.dsts[0], *if_true)]);
+            }
+            if cond.is_const(0) {
+                return Some(vec![copy(stmt.dsts[0], *if_false)]);
+            }
+            if if_true == if_false {
+                return Some(vec![copy(stmt.dsts[0], *if_true)]);
+            }
+            None
+        }
+        Op::ShrMulti { words, shift } => {
+            // Drop known-zero leading (most significant) words as long as the shift
+            // still addresses the remaining width.
+            let word_bits = words
+                .iter()
+                .find_map(|o| o.as_var().map(|v| kernel.ty(v).bits()))
+                .unwrap_or(64);
+            let mut trimmed = words.clone();
+            while trimmed.len() > stmt.dsts.len()
+                && trimmed.first().map(|w| w.is_const(0)).unwrap_or(false)
+                && *shift < word_bits * (trimmed.len() as u32 - 1)
+            {
+                trimmed.remove(0);
+            }
+            if trimmed.len() != words.len() {
+                return Some(vec![Stmt {
+                    dsts: stmt.dsts.clone(),
+                    op: Op::ShrMulti {
+                        words: trimmed,
+                        shift: *shift,
+                    },
+                    comment: stmt.comment.clone(),
+                }]);
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+/// Rewrites every operand of an operation through `f`.
+fn map_operands(op: &Op, f: &dyn Fn(Operand) -> Operand) -> Op {
+    match op {
+        Op::Copy { src } => Op::Copy { src: f(*src) },
+        Op::AddWide { a, b, carry_in } => Op::AddWide {
+            a: f(*a),
+            b: f(*b),
+            carry_in: carry_in.map(&f),
+        },
+        Op::Sub { a, b, borrow_in } => Op::Sub {
+            a: f(*a),
+            b: f(*b),
+            borrow_in: borrow_in.map(&f),
+        },
+        Op::MulWide { a, b } => Op::MulWide { a: f(*a), b: f(*b) },
+        Op::MulLow { a, b } => Op::MulLow { a: f(*a), b: f(*b) },
+        Op::Lt { a, b } => Op::Lt { a: f(*a), b: f(*b) },
+        Op::Eq { a, b } => Op::Eq { a: f(*a), b: f(*b) },
+        Op::BoolAnd { a, b } => Op::BoolAnd { a: f(*a), b: f(*b) },
+        Op::BoolOr { a, b } => Op::BoolOr { a: f(*a), b: f(*b) },
+        Op::Select {
+            cond,
+            if_true,
+            if_false,
+        } => Op::Select {
+            cond: f(*cond),
+            if_true: f(*if_true),
+            if_false: f(*if_false),
+        },
+        Op::ShrMulti { words, shift } => Op::ShrMulti {
+            words: words.iter().map(|w| f(*w)).collect(),
+            shift: *shift,
+        },
+        Op::AddMod { a, b, q } => Op::AddMod {
+            a: f(*a),
+            b: f(*b),
+            q: f(*q),
+        },
+        Op::SubMod { a, b, q } => Op::SubMod {
+            a: f(*a),
+            b: f(*b),
+            q: f(*q),
+        },
+        Op::MulModBarrett { a, b, q, mu, mbits } => Op::MulModBarrett {
+            a: f(*a),
+            b: f(*b),
+            q: f(*q),
+            mu: f(*mu),
+            mbits: *mbits,
+        },
+    }
+}
+
+/// Removes statements none of whose destinations are ever used (transitively).
+pub fn eliminate_dead_code(kernel: &Kernel) -> (Kernel, bool) {
+    let outputs: HashSet<VarId> = kernel.outputs.iter().copied().collect();
+    let mut live: HashSet<VarId> = outputs.clone();
+    let mut keep = vec![false; kernel.body.len()];
+    // Walk backwards: a statement is live if any destination is live; its operands then
+    // become live.
+    for (i, stmt) in kernel.body.iter().enumerate().rev() {
+        if stmt.dsts.iter().any(|d| live.contains(d)) {
+            keep[i] = true;
+            for o in stmt.op.operands() {
+                if let Operand::Var(v) = o {
+                    live.insert(v);
+                }
+            }
+            // A destination written here no longer needs earlier definitions unless it
+            // is also read by this same statement; for simplicity (and correctness) we
+            // keep it live, which only ever retains more code than strictly necessary.
+        }
+    }
+    let mut out = kernel.clone();
+    let changed = keep.iter().any(|k| !k);
+    out.body = kernel
+        .body
+        .iter()
+        .zip(&keep)
+        .filter(|(_, k)| **k)
+        .map(|(s, _)| s.clone())
+        .collect();
+    (out, changed)
+}
+
+/// Runs simplification and dead-code elimination to a fixed point (bounded).
+pub fn optimize(kernel: &Kernel) -> Kernel {
+    let mut current = kernel.clone();
+    for _ in 0..16 {
+        let (simplified, c1) = simplify(&current);
+        let (cleaned, c2) = eliminate_dead_code(&simplified);
+        current = cleaned;
+        if !c1 && !c2 {
+            break;
+        }
+    }
+    current
+}
+
+/// Removes unused parameters (those never read by any statement). Used after pruning so
+/// that fully-zero padded words disappear from the generated signature, exactly as the
+/// paper's generated code for 381/753-bit inputs omits the zero words.
+pub fn drop_unused_params(kernel: &Kernel) -> Kernel {
+    let mut used: HashSet<VarId> = HashSet::new();
+    for stmt in &kernel.body {
+        for o in stmt.op.operands() {
+            if let Operand::Var(v) = o {
+                used.insert(v);
+            }
+        }
+    }
+    let mut out = kernel.clone();
+    out.params.retain(|p| used.contains(p));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moma_ir::Ty;
+    use moma_ir::{interp, KernelBuilder};
+
+    /// Builds a kernel computing (a*b) where b's "high half" is a known-zero parameter,
+    /// mimicking a padded input.
+    fn padded_mul_kernel() -> (Kernel, HashMap<VarId, u32>) {
+        let mut kb = KernelBuilder::new("padded");
+        let a = kb.param("a", Ty::UInt(64));
+        let b_hi = kb.param("b_hi", Ty::UInt(64));
+        let b_lo = kb.param("b_lo", Ty::UInt(64));
+        let hi1 = kb.local("hi1", Ty::UInt(64));
+        let lo1 = kb.local("lo1", Ty::UInt(64));
+        let hi2 = kb.local("hi2", Ty::UInt(64));
+        let lo2 = kb.local("lo2", Ty::UInt(64));
+        let f = kb.local("f", Ty::Flag);
+        let out = kb.output("out", Ty::UInt(64));
+        kb.push(vec![hi1, lo1], Op::MulWide { a: a.into(), b: b_lo.into() });
+        kb.push(vec![hi2, lo2], Op::MulWide { a: a.into(), b: b_hi.into() });
+        kb.push(vec![f, out], Op::AddWide { a: lo1.into(), b: lo2.into(), carry_in: None });
+        let kernel = kb.build();
+        let mut zt = HashMap::new();
+        zt.insert(b_hi, 64u32); // the entire high word is known zero
+        (kernel, zt)
+    }
+
+    #[test]
+    fn pruning_plus_optimization_removes_zero_work() {
+        let (kernel, zt) = padded_mul_kernel();
+        let before = moma_ir::cost::static_counts(&kernel);
+        let pruned = prune_known_zeros(&kernel, &zt);
+        let optimized = optimize(&pruned);
+        let after = moma_ir::cost::static_counts(&optimized);
+        assert_eq!(before.get("mulwide"), 2);
+        assert_eq!(after.get("mulwide"), 1, "multiplication by the zero word must vanish");
+        assert!(after.total() < before.total());
+        // Semantics preserved: out = low(a*b_lo) + 0.
+        let r_before = interp::run(&kernel, &[7, 0, 1 << 40]).unwrap();
+        let r_after = interp::run(&optimized, &[7, 0, 1 << 40]).unwrap();
+        assert_eq!(r_before.outputs, r_after.outputs);
+    }
+
+    #[test]
+    fn select_with_equal_arms_folds() {
+        let mut kb = KernelBuilder::new("sel");
+        let a = kb.param("a", Ty::UInt(64));
+        let c = kb.param("c", Ty::Flag);
+        let o = kb.output("o", Ty::UInt(64));
+        kb.push(vec![o], Op::Select { cond: c.into(), if_true: a.into(), if_false: a.into() });
+        let (s, changed) = simplify(&kb.build());
+        assert!(changed);
+        assert!(matches!(s.body[0].op, Op::Copy { .. }));
+    }
+
+    #[test]
+    fn dce_removes_unreachable_statements() {
+        let mut kb = KernelBuilder::new("dce");
+        let a = kb.param("a", Ty::UInt(64));
+        let unused = kb.local("unused", Ty::UInt(64));
+        let also_unused = kb.local("also_unused", Ty::UInt(64));
+        let o = kb.output("o", Ty::UInt(64));
+        kb.push(vec![unused], Op::MulLow { a: a.into(), b: a.into() });
+        kb.push(vec![also_unused], Op::MulLow { a: unused.into(), b: a.into() });
+        kb.push(vec![o], Op::Copy { src: a.into() });
+        let (out, changed) = eliminate_dead_code(&kb.build());
+        assert!(changed);
+        assert_eq!(out.body.len(), 1);
+    }
+
+    #[test]
+    fn boolean_folds() {
+        let mut kb = KernelBuilder::new("bools");
+        let f = kb.param("f", Ty::Flag);
+        let o1 = kb.output("o1", Ty::Flag);
+        let o2 = kb.output("o2", Ty::Flag);
+        let o3 = kb.output("o3", Ty::Flag);
+        kb.push(vec![o1], Op::BoolAnd { a: f.into(), b: Operand::Const(0) });
+        kb.push(vec![o2], Op::BoolOr { a: f.into(), b: Operand::Const(1) });
+        kb.push(vec![o3], Op::BoolOr { a: f.into(), b: Operand::Const(0) });
+        let (s, _) = simplify(&kb.build());
+        assert!(matches!(s.body[0].op, Op::Copy { src: Operand::Const(0) }));
+        assert!(matches!(s.body[1].op, Op::Copy { src: Operand::Const(1) }));
+        assert!(matches!(s.body[2].op, Op::Copy { src: Operand::Var(_) }));
+    }
+
+    #[test]
+    fn unused_params_are_dropped() {
+        let (kernel, zt) = padded_mul_kernel();
+        let optimized = optimize(&prune_known_zeros(&kernel, &zt));
+        let trimmed = drop_unused_params(&optimized);
+        assert_eq!(trimmed.params.len(), 2); // b_hi disappeared
+        assert!(trimmed
+            .params
+            .iter()
+            .all(|p| trimmed.var(*p).name != "b_hi"));
+    }
+}

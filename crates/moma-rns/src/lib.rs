@@ -1,0 +1,277 @@
+//! Residue number system (RNS) arithmetic — the GRNS baseline stand-in.
+//!
+//! The paper compares MoMA against GRNS, a GPU library that represents very large
+//! integers by their residues modulo a set of machine-word-sized primes and performs
+//! arithmetic independently per residue. This crate implements the same scheme:
+//!
+//! * [`RnsContext`] — a basis of distinct word-sized primes whose product covers the
+//!   required dynamic range, with conversion to residues and CRT reconstruction;
+//! * [`RnsInt`] — one large integer in residue form, with `O(#moduli)` addition,
+//!   subtraction, and multiplication;
+//! * [`vector`] — element-wise vector operations used as the baseline in the Figure 2
+//!   BLAS comparison.
+//!
+//! The trade-off the paper measures is visible directly in the API: ring operations are
+//! embarrassingly cheap per residue, but anything that needs the positional value —
+//! comparison, reduction modulo a user modulus `q` that is not the RNS product, or
+//! conversion — requires CRT reconstruction through arbitrary-precision arithmetic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod vector;
+
+use moma_bignum::{prime, BigUint};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Number of bits per RNS modulus. 31-bit moduli keep every product inside a `u64`
+/// accumulator without overflow handling, mirroring GRNS's use of the GPU's
+/// floating-point units (whose exactly-representable integer range is similar).
+pub const MODULUS_BITS: u32 = 31;
+
+/// A basis of pairwise-distinct word-sized primes.
+///
+/// # Example
+///
+/// ```
+/// use moma_bignum::BigUint;
+/// use moma_rns::RnsContext;
+///
+/// let ctx = RnsContext::with_capacity_bits(256);
+/// let x = BigUint::from_hex("123456789abcdef0123456789abcdef0").unwrap();
+/// let residues = ctx.to_residues(&x);
+/// assert_eq!(ctx.from_residues(&residues), x);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RnsContext {
+    moduli: Vec<u64>,
+    product: BigUint,
+    /// Precomputed CRT data: (M_i = product / m_i, y_i = M_i^{-1} mod m_i).
+    crt: Vec<(BigUint, u64)>,
+}
+
+impl RnsContext {
+    /// Creates a context whose dynamic range covers at least `bits` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is zero.
+    pub fn with_capacity_bits(bits: u32) -> Self {
+        assert!(bits > 0, "capacity must be positive");
+        let count = bits.div_ceil(MODULUS_BITS - 1) as usize + 1;
+        Self::with_moduli_count(count)
+    }
+
+    /// Creates a context with exactly `count` deterministic prime moduli.
+    pub fn with_moduli_count(count: usize) -> Self {
+        assert!(count > 0, "need at least one modulus");
+        let mut rng = StdRng::seed_from_u64(0x6e73_5f72_6e73);
+        let mut moduli = Vec::with_capacity(count);
+        while moduli.len() < count {
+            let p = prime::random_prime(&mut rng, MODULUS_BITS)
+                .to_u64()
+                .expect("31-bit prime fits u64");
+            if !moduli.contains(&p) {
+                moduli.push(p);
+            }
+        }
+        let mut product = BigUint::one();
+        for &m in &moduli {
+            product = &product * &BigUint::from(m);
+        }
+        let crt = moduli
+            .iter()
+            .map(|&m| {
+                let m_big = BigUint::from(m);
+                let mi = &product / &m_big;
+                let mi_mod = (&mi % &m_big).to_u64().unwrap();
+                let yi = mod_inverse_u64(mi_mod, m);
+                (mi, yi)
+            })
+            .collect();
+        RnsContext {
+            moduli,
+            product,
+            crt,
+        }
+    }
+
+    /// The prime moduli of the basis.
+    pub fn moduli(&self) -> &[u64] {
+        &self.moduli
+    }
+
+    /// The product of all moduli (the dynamic range).
+    pub fn product(&self) -> &BigUint {
+        &self.product
+    }
+
+    /// Number of bits of dynamic range.
+    pub fn capacity_bits(&self) -> u32 {
+        self.product.bits() - 1
+    }
+
+    /// Converts a positional integer (must be below the product) into residues.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not below the dynamic range.
+    pub fn to_residues(&self, x: &BigUint) -> RnsInt {
+        assert!(x < &self.product, "value exceeds the RNS dynamic range");
+        RnsInt {
+            residues: self
+                .moduli
+                .iter()
+                .map(|&m| (x % &BigUint::from(m)).to_u64().unwrap())
+                .collect(),
+        }
+    }
+
+    /// Reconstructs the positional value via the Chinese remainder theorem.
+    pub fn from_residues(&self, x: &RnsInt) -> BigUint {
+        assert_eq!(x.residues.len(), self.moduli.len());
+        let mut acc = BigUint::zero();
+        for ((&r, &m), (mi, yi)) in x
+            .residues
+            .iter()
+            .zip(&self.moduli)
+            .zip(&self.crt)
+        {
+            // term = r * yi mod m, times Mi
+            let t = (r as u128 * *yi as u128 % m as u128) as u64;
+            acc = &acc + &(mi * &BigUint::from(t));
+        }
+        &acc % &self.product
+    }
+
+    /// Element-wise addition of residue vectors.
+    pub fn add(&self, a: &RnsInt, b: &RnsInt) -> RnsInt {
+        self.zip(a, b, |x, y, m| ((x as u128 + y as u128) % m as u128) as u64)
+    }
+
+    /// Element-wise subtraction.
+    pub fn sub(&self, a: &RnsInt, b: &RnsInt) -> RnsInt {
+        self.zip(a, b, |x, y, m| {
+            ((x as u128 + m as u128 - y as u128) % m as u128) as u64
+        })
+    }
+
+    /// Element-wise multiplication.
+    pub fn mul(&self, a: &RnsInt, b: &RnsInt) -> RnsInt {
+        self.zip(a, b, |x, y, m| ((x as u128 * y as u128) % m as u128) as u64)
+    }
+
+    /// Reduces an RNS value modulo a user modulus `q` by CRT reconstruction followed by
+    /// forward conversion — the expensive step that positional (MoMA-style)
+    /// representations avoid.
+    pub fn reduce_mod(&self, a: &RnsInt, q: &BigUint) -> RnsInt {
+        let positional = self.from_residues(a);
+        self.to_residues(&(&positional % q))
+    }
+
+    fn zip(&self, a: &RnsInt, b: &RnsInt, f: impl Fn(u64, u64, u64) -> u64) -> RnsInt {
+        assert_eq!(a.residues.len(), self.moduli.len());
+        assert_eq!(b.residues.len(), self.moduli.len());
+        RnsInt {
+            residues: a
+                .residues
+                .iter()
+                .zip(&b.residues)
+                .zip(&self.moduli)
+                .map(|((&x, &y), &m)| f(x, y, m))
+                .collect(),
+        }
+    }
+}
+
+/// One large integer in residue form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RnsInt {
+    /// One residue per basis modulus, in basis order.
+    pub residues: Vec<u64>,
+}
+
+/// Modular inverse of `a` modulo prime `m` (both word-sized) by Fermat exponentiation.
+fn mod_inverse_u64(a: u64, m: u64) -> u64 {
+    let mut result: u128 = 1;
+    let mut base = a as u128 % m as u128;
+    let mut exp = m - 2;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            result = result * base % m as u128;
+        }
+        base = base * base % m as u128;
+        exp >>= 1;
+    }
+    result as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moma_bignum::random::random_bits;
+
+    #[test]
+    fn capacity_and_basis_shape() {
+        let ctx = RnsContext::with_capacity_bits(256);
+        assert!(ctx.capacity_bits() >= 256);
+        assert!(ctx.moduli().len() >= 9);
+        // All moduli distinct and of the right size.
+        for (i, &m) in ctx.moduli().iter().enumerate() {
+            assert_eq!(64 - m.leading_zeros(), MODULUS_BITS);
+            assert!(!ctx.moduli()[..i].contains(&m));
+        }
+    }
+
+    #[test]
+    fn round_trip_random_values() {
+        let ctx = RnsContext::with_capacity_bits(512);
+        let mut rng = StdRng::seed_from_u64(9);
+        for bits in [1u32, 64, 128, 300, 512] {
+            let x = random_bits(&mut rng, bits);
+            assert_eq!(ctx.from_residues(&ctx.to_residues(&x)), x, "bits {bits}");
+        }
+        assert_eq!(
+            ctx.from_residues(&ctx.to_residues(&BigUint::zero())),
+            BigUint::zero()
+        );
+    }
+
+    #[test]
+    fn ring_operations_match_bignum() {
+        let ctx = RnsContext::with_capacity_bits(600);
+        let mut rng = StdRng::seed_from_u64(10);
+        for _ in 0..20 {
+            let a = random_bits(&mut rng, 256);
+            let b = random_bits(&mut rng, 256);
+            let ra = ctx.to_residues(&a);
+            let rb = ctx.to_residues(&b);
+            assert_eq!(ctx.from_residues(&ctx.add(&ra, &rb)), &a + &b);
+            assert_eq!(ctx.from_residues(&ctx.mul(&ra, &rb)), &a * &b);
+            let (hi, lo) = if a >= b { (&a, &b) } else { (&b, &a) };
+            let diff = ctx.sub(&ctx.to_residues(hi), &ctx.to_residues(lo));
+            assert_eq!(ctx.from_residues(&diff), hi - lo);
+        }
+    }
+
+    #[test]
+    fn reduce_mod_matches_oracle() {
+        let ctx = RnsContext::with_capacity_bits(600);
+        let mut rng = StdRng::seed_from_u64(11);
+        let q = random_bits(&mut rng, 252);
+        let a = random_bits(&mut rng, 250);
+        let b = random_bits(&mut rng, 250);
+        let prod = ctx.mul(&ctx.to_residues(&a), &ctx.to_residues(&b));
+        let reduced = ctx.reduce_mod(&prod, &q);
+        assert_eq!(ctx.from_residues(&reduced), (&a * &b) % &q);
+    }
+
+    #[test]
+    #[should_panic(expected = "dynamic range")]
+    fn overflow_rejected() {
+        let ctx = RnsContext::with_moduli_count(2);
+        let too_big = BigUint::from(1u64) << 80;
+        ctx.to_residues(&too_big);
+    }
+}

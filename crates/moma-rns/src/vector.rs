@@ -1,0 +1,161 @@
+//! Element-wise vector operations over RNS integers (the GRNS BLAS baseline).
+
+use crate::{RnsContext, RnsInt};
+use moma_bignum::BigUint;
+
+/// A vector of RNS integers sharing one context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RnsVector {
+    /// The elements, all over the same basis.
+    pub elements: Vec<RnsInt>,
+}
+
+impl RnsVector {
+    /// Converts a slice of positional integers.
+    pub fn from_biguints(ctx: &RnsContext, values: &[BigUint]) -> Self {
+        RnsVector {
+            elements: values.iter().map(|v| ctx.to_residues(v)).collect(),
+        }
+    }
+
+    /// Converts back to positional integers.
+    pub fn to_biguints(&self, ctx: &RnsContext) -> Vec<BigUint> {
+        self.elements.iter().map(|e| ctx.from_residues(e)).collect()
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// Returns `true` if the vector has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.elements.is_empty()
+    }
+}
+
+/// Element-wise `a + b`.
+pub fn vec_add(ctx: &RnsContext, a: &RnsVector, b: &RnsVector) -> RnsVector {
+    zip(a, b, |x, y| ctx.add(x, y))
+}
+
+/// Element-wise `a - b` (requires `a[i] >= b[i]` positionally for a positional match;
+/// in RNS the result is always well-defined modulo the product).
+pub fn vec_sub(ctx: &RnsContext, a: &RnsVector, b: &RnsVector) -> RnsVector {
+    zip(a, b, |x, y| ctx.sub(x, y))
+}
+
+/// Element-wise `a * b`.
+pub fn vec_mul(ctx: &RnsContext, a: &RnsVector, b: &RnsVector) -> RnsVector {
+    zip(a, b, |x, y| ctx.mul(x, y))
+}
+
+/// `y = a*x + y` with a scalar `a`.
+pub fn axpy(ctx: &RnsContext, a: &RnsInt, x: &RnsVector, y: &RnsVector) -> RnsVector {
+    assert_eq!(x.len(), y.len());
+    RnsVector {
+        elements: x
+            .elements
+            .iter()
+            .zip(&y.elements)
+            .map(|(xi, yi)| ctx.add(&ctx.mul(a, xi), yi))
+            .collect(),
+    }
+}
+
+/// Element-wise reduction modulo a user modulus `q` (the expensive CRT round trip that
+/// positional multi-word arithmetic avoids).
+pub fn vec_reduce_mod(ctx: &RnsContext, a: &RnsVector, q: &BigUint) -> RnsVector {
+    RnsVector {
+        elements: a.elements.iter().map(|e| ctx.reduce_mod(e, q)).collect(),
+    }
+}
+
+fn zip(a: &RnsVector, b: &RnsVector, f: impl Fn(&RnsInt, &RnsInt) -> RnsInt) -> RnsVector {
+    assert_eq!(a.len(), b.len(), "vector length mismatch");
+    RnsVector {
+        elements: a
+            .elements
+            .iter()
+            .zip(&b.elements)
+            .map(|(x, y)| f(x, y))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moma_bignum::random::random_bits;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(n: usize, bits: u32) -> (RnsContext, Vec<BigUint>, Vec<BigUint>) {
+        let ctx = RnsContext::with_capacity_bits(2 * bits + 8);
+        let mut rng = StdRng::seed_from_u64(77);
+        let a: Vec<BigUint> = (0..n).map(|_| random_bits(&mut rng, bits)).collect();
+        let b: Vec<BigUint> = (0..n).map(|_| random_bits(&mut rng, bits)).collect();
+        (ctx, a, b)
+    }
+
+    #[test]
+    fn vector_ops_match_positional() {
+        let (ctx, a, b) = setup(16, 128);
+        let va = RnsVector::from_biguints(&ctx, &a);
+        let vb = RnsVector::from_biguints(&ctx, &b);
+        let sum = vec_add(&ctx, &va, &vb).to_biguints(&ctx);
+        let prod = vec_mul(&ctx, &va, &vb).to_biguints(&ctx);
+        for i in 0..a.len() {
+            assert_eq!(sum[i], &a[i] + &b[i]);
+            assert_eq!(prod[i], &a[i] * &b[i]);
+        }
+    }
+
+    #[test]
+    fn axpy_matches_positional() {
+        let (ctx, x, y) = setup(8, 100);
+        let scalar = BigUint::from(123456789u64);
+        let out = axpy(
+            &ctx,
+            &ctx.to_residues(&scalar),
+            &RnsVector::from_biguints(&ctx, &x),
+            &RnsVector::from_biguints(&ctx, &y),
+        )
+        .to_biguints(&ctx);
+        for i in 0..x.len() {
+            assert_eq!(out[i], &(&scalar * &x[i]) + &y[i]);
+        }
+    }
+
+    #[test]
+    fn reduce_mod_vector() {
+        let (ctx, a, b) = setup(4, 120);
+        let q = BigUint::from_hex("ffffffffffffffffffffffffffffff61").unwrap();
+        let prod = vec_mul(
+            &ctx,
+            &RnsVector::from_biguints(&ctx, &a),
+            &RnsVector::from_biguints(&ctx, &b),
+        );
+        let reduced = vec_reduce_mod(&ctx, &prod, &q).to_biguints(&ctx);
+        for i in 0..a.len() {
+            assert_eq!(reduced[i], (&a[i] * &b[i]) % &q);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let (ctx, a, _) = setup(4, 64);
+        let va = RnsVector::from_biguints(&ctx, &a);
+        let vb = RnsVector::from_biguints(&ctx, &a[..2]);
+        vec_add(&ctx, &va, &vb);
+    }
+
+    #[test]
+    fn empty_vectors() {
+        let ctx = RnsContext::with_moduli_count(3);
+        let empty = RnsVector { elements: vec![] };
+        assert!(empty.is_empty());
+        assert_eq!(vec_add(&ctx, &empty, &empty).len(), 0);
+    }
+}

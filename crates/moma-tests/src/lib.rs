@@ -1,0 +1,5 @@
+//! Host package for the cross-crate integration tests in the repository-level `tests/`
+//! directory. See the `[[test]]` targets in this package's `Cargo.toml`; run them with
+//! `cargo test -p moma-tests`.
+
+#![forbid(unsafe_code)]

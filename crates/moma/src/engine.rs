@@ -1,0 +1,141 @@
+//! Execution and estimation engine: the machinery behind every evaluation figure.
+//!
+//! Two kinds of numbers are produced:
+//!
+//! * **measured** — wall-clock times of the runtime-library kernels (`moma-mp`,
+//!   `moma-bignum`, `moma-rns`) executed on the host, either sequentially or through
+//!   the simulated GPU launcher; these drive the relative comparisons (MoMA vs GMP vs
+//!   GRNS, schoolbook vs Karatsuba, bit-width scaling);
+//! * **modelled** — analytical per-device estimates obtained by feeding the word-level
+//!   operation counts of the *generated* kernels into the GPU cost model; these stand
+//!   in for the paper's H100 / RTX 4090 / V100 measurements.
+
+use crate::compiler::Compiler;
+use moma_gpu::{CostModel, DeviceSpec};
+use moma_ir::cost::OpCounts;
+use moma_rewrite::{KernelOp, KernelSpec, LoweringConfig, MulAlgorithm};
+
+/// Word-level operation counts of one generated butterfly at a given bit-width.
+pub fn butterfly_op_counts(bits: u32, alg: MulAlgorithm) -> OpCounts {
+    let compiler = Compiler::new(LoweringConfig {
+        mul_algorithm: alg,
+        ..LoweringConfig::default()
+    });
+    compiler
+        .compile(&KernelSpec::new(KernelOp::Butterfly, bits))
+        .op_counts
+}
+
+/// Word-level operation counts of one generated BLAS element kernel.
+pub fn blas_op_counts(op: KernelOp, bits: u32, alg: MulAlgorithm) -> OpCounts {
+    let compiler = Compiler::new(LoweringConfig {
+        mul_algorithm: alg,
+        ..LoweringConfig::default()
+    });
+    compiler.compile(&KernelSpec::new(op, bits)).op_counts
+}
+
+/// Modelled NTT runtime per butterfly (nanoseconds) on a device — the y-axis of
+/// Figures 1, 3, and 4.
+pub fn modelled_ntt_ns_per_butterfly(
+    device: DeviceSpec,
+    bits: u32,
+    log2_n: u32,
+    alg: MulAlgorithm,
+) -> f64 {
+    let counts = butterfly_op_counts(bits, alg);
+    CostModel::new(device).ntt_time_per_butterfly_ns(&counts, 1u64 << log2_n, bits)
+}
+
+/// Modelled BLAS runtime per element (nanoseconds) on a device — the y-axis of
+/// Figure 2.
+pub fn modelled_blas_ns_per_element(
+    device: DeviceSpec,
+    op: KernelOp,
+    bits: u32,
+    elements: u64,
+) -> f64 {
+    let counts = blas_op_counts(op, bits, MulAlgorithm::Schoolbook);
+    // Each element reads two operands and writes one result.
+    let bytes = 3 * (bits as u64 / 8);
+    let est = CostModel::new(device).estimate_launch(&counts, elements, bytes);
+    est.nanos() / elements as f64
+}
+
+/// One row of a figure: system label, platform, and the series of (x, ns) points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// System under test (e.g. "MoMA (modelled)", "ICICLE").
+    pub system: String,
+    /// Hardware platform.
+    pub platform: String,
+    /// Data points: x (log2 size or bit-width) and nanoseconds.
+    pub points: Vec<(u32, f64)>,
+}
+
+/// Builds the modelled MoMA series for one NTT figure panel (one bit-width, a range of
+/// transform sizes) across the three paper devices.
+pub fn moma_ntt_series(bits: u32, log_sizes: &[u32], alg: MulAlgorithm) -> Vec<Series> {
+    DeviceSpec::all()
+        .iter()
+        .map(|device| Series {
+            system: "MoMA (modelled)".to_string(),
+            platform: device.name.to_string(),
+            points: log_sizes
+                .iter()
+                .map(|&log_n| {
+                    (
+                        log_n,
+                        modelled_ntt_ns_per_butterfly(*device, bits, log_n, alg),
+                    )
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn butterfly_counts_grow_quadratically_with_width() {
+        let c128 = butterfly_op_counts(128, MulAlgorithm::Schoolbook);
+        let c256 = butterfly_op_counts(256, MulAlgorithm::Schoolbook);
+        let c512 = butterfly_op_counts(512, MulAlgorithm::Schoolbook);
+        // Schoolbook multiplication is O(k^2) in the number of words.
+        assert!(c256.multiplications() >= 3 * c128.multiplications());
+        assert!(c512.multiplications() >= 3 * c256.multiplications());
+    }
+
+    #[test]
+    fn karatsuba_reduces_butterfly_multiplications() {
+        let sb = butterfly_op_counts(256, MulAlgorithm::Schoolbook);
+        let ka = butterfly_op_counts(256, MulAlgorithm::Karatsuba);
+        assert!(ka.multiplications() < sb.multiplications());
+    }
+
+    #[test]
+    fn modelled_times_scale_with_width_and_device() {
+        let h100_128 = modelled_ntt_ns_per_butterfly(DeviceSpec::H100, 128, 12, MulAlgorithm::Schoolbook);
+        let h100_768 = modelled_ntt_ns_per_butterfly(DeviceSpec::H100, 768, 12, MulAlgorithm::Schoolbook);
+        let v100_128 = modelled_ntt_ns_per_butterfly(DeviceSpec::V100, 128, 12, MulAlgorithm::Schoolbook);
+        assert!(h100_768 > 10.0 * h100_128);
+        assert!(v100_128 > h100_128);
+    }
+
+    #[test]
+    fn blas_estimates_are_positive_and_mul_heavier_than_add() {
+        let mul = modelled_blas_ns_per_element(DeviceSpec::RTX4090, KernelOp::ModMul, 256, 1 << 16);
+        let add = modelled_blas_ns_per_element(DeviceSpec::RTX4090, KernelOp::ModAdd, 256, 1 << 16);
+        assert!(mul > add);
+        assert!(add > 0.0);
+    }
+
+    #[test]
+    fn series_have_one_point_per_size() {
+        let series = moma_ntt_series(128, &[10, 12, 14], MulAlgorithm::Schoolbook);
+        assert_eq!(series.len(), 3);
+        assert!(series.iter().all(|s| s.points.len() == 3));
+    }
+}

@@ -1,0 +1,63 @@
+//! MoMA: multi-word modular arithmetic code generation for cryptographic kernels.
+//!
+//! This is the facade crate of the reproduction of *"Code Generation for Cryptographic
+//! Kernels using Multi-word Modular Arithmetic on GPU"* (CGO 2025). It ties the
+//! subsystem crates together behind one public API:
+//!
+//! * [`Compiler`] — generate a cryptographic kernel (modular add/sub/mul, NTT
+//!   butterfly, BLAS axpy) at any input bit-width, lower it with the MoMA rewrite
+//!   system, and obtain the word-level IR, emitted CUDA-like and Rust source, and
+//!   operation counts;
+//! * [`engine`] — run the generated kernels and their runtime-library equivalents on
+//!   the simulated GPU, and estimate per-device runtimes with the analytical cost
+//!   model (the machinery behind every figure of the evaluation);
+//! * [`paper_data`] — the published baseline series (ICICLE, GZKP, RPU, FPMM, PipeZK,
+//!   GMP, GRNS, …) digitised from the paper's figures, so each figure can be
+//!   regenerated with all of its lines;
+//! * re-exports of the subsystem crates ([`bignum`], [`mp`], [`ir`], [`rewrite`],
+//!   [`rns`], [`gpu`], [`ntt`], [`blas`]).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use moma::{Compiler, KernelOp, KernelSpec};
+//!
+//! // Generate a 256-bit Barrett modular multiplication for a 64-bit machine word.
+//! let compiler = Compiler::default();
+//! let kernel = compiler.compile(&KernelSpec::new(KernelOp::ModMul, 256));
+//! assert!(kernel.cuda_source.contains("__device__"));
+//! assert!(kernel.op_counts.multiplications() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compiler;
+pub mod engine;
+pub mod paper_data;
+
+pub use compiler::{Compiler, GeneratedKernel};
+pub use moma_rewrite::{KernelOp, KernelSpec, LoweringConfig, MulAlgorithm};
+
+/// Re-export of the arbitrary-precision integer crate (GMP stand-in / oracle).
+pub use moma_bignum as bignum;
+/// Re-export of the finite-field BLAS kernels.
+pub use moma_blas as blas;
+/// Re-export of the GPU simulator.
+pub use moma_gpu as gpu;
+/// Re-export of the abstract-code IR.
+pub use moma_ir as ir;
+/// Re-export of the fixed-width multi-word runtime library.
+pub use moma_mp as mp;
+/// Re-export of the NTT crate.
+pub use moma_ntt as ntt;
+/// Re-export of the MoMA rewrite system.
+pub use moma_rewrite as rewrite;
+/// Re-export of the RNS (GRNS stand-in) crate.
+pub use moma_rns as rns;
+
+/// The input bit-widths evaluated in the paper's BLAS figures (Figure 2).
+pub const BLAS_BIT_WIDTHS: [u32; 4] = [128, 256, 512, 1024];
+
+/// The input bit-widths evaluated in the paper's NTT figures (Figure 3).
+pub const NTT_BIT_WIDTHS: [u32; 4] = [128, 256, 384, 768];

@@ -1,0 +1,100 @@
+//! Integration test: the NTT and BLAS pipelines over the runtime library, checked
+//! against the arbitrary-precision oracle and against each other.
+
+use moma::bignum::BigUint;
+use moma::blas;
+use moma::mp::{ModRing, MpUint, MulAlgorithm};
+use moma::ntt::params::{paper_modulus, NttParams};
+use moma::ntt::polymul::ntt_polymul;
+use moma::ntt::reference::{naive_dft, schoolbook_polymul};
+use moma::ntt::transform::{forward, inverse};
+use moma::rns::{vector as rns_vector, RnsContext};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn ntt_roundtrip_and_dft_agreement_256() {
+    let params = NttParams::<4>::for_paper_modulus(64, 256, MulAlgorithm::Schoolbook);
+    let mut rng = StdRng::seed_from_u64(1);
+    let data: Vec<_> = (0..64).map(|_| params.ring.random_element(&mut rng)).collect();
+
+    let mut fast = data.clone();
+    forward(&params, &mut fast);
+    assert_eq!(fast, naive_dft(&params, &data));
+    inverse(&params, &mut fast);
+    assert_eq!(fast, data);
+}
+
+#[test]
+fn polynomial_product_matches_oracle_convolution() {
+    // Compare the NTT-based polynomial product against a BigUint convolution.
+    let bits = 128u32;
+    let q_big = paper_modulus(bits);
+    let params = NttParams::<2>::for_paper_modulus(2, bits, MulAlgorithm::Schoolbook);
+    let mut rng = StdRng::seed_from_u64(2);
+    let a: Vec<_> = (0..40).map(|_| params.ring.random_element(&mut rng)).collect();
+    let b: Vec<_> = (0..25).map(|_| params.ring.random_element(&mut rng)).collect();
+
+    let fast = ntt_polymul(bits, MulAlgorithm::Schoolbook, &a, &b);
+    let slow = schoolbook_polymul(&params, &a, &b);
+    assert_eq!(fast, slow);
+
+    // Spot-check one coefficient against BigUint arithmetic.
+    let to_big = |x: &MpUint<2>| BigUint::from_limbs_le(x.limbs().to_vec());
+    let k = 17;
+    let mut expected = BigUint::zero();
+    for i in 0..=k {
+        if i < a.len() && k - i < b.len() {
+            expected = (&expected + &(&to_big(&a[i]) * &to_big(&b[k - i]))) % &q_big;
+        }
+    }
+    assert_eq!(to_big(&fast[k]), expected);
+}
+
+#[test]
+fn blas_matches_oracle_and_rns_baseline() {
+    let bits = 256u32;
+    let q_big = paper_modulus(bits);
+    let q = MpUint::<4>::from_limbs_le(&q_big.to_limbs_le(4));
+    let ring = ModRing::new(q);
+    let mut rng = StdRng::seed_from_u64(3);
+    let n = 64;
+    let a: Vec<_> = (0..n).map(|_| ring.random_element(&mut rng)).collect();
+    let b: Vec<_> = (0..n).map(|_| ring.random_element(&mut rng)).collect();
+    let to_big = |x: &MpUint<4>| BigUint::from_limbs_le(x.limbs().to_vec());
+
+    // MoMA runtime library result.
+    let moma_prod = blas::vec_mul_mod(&ring, &a, &b);
+    let moma_sum = blas::vec_add_mod(&ring, &a, &b);
+
+    // Oracle (GMP stand-in).
+    for i in 0..n {
+        assert_eq!(to_big(&moma_prod[i]), to_big(&a[i]).mod_mul(&to_big(&b[i]), &q_big));
+        assert_eq!(to_big(&moma_sum[i]), to_big(&a[i]).mod_add(&to_big(&b[i]), &q_big));
+    }
+
+    // GRNS stand-in (RNS): product before reduction, then reduced mod q.
+    let ctx = RnsContext::with_capacity_bits(2 * bits + 8);
+    let a_big: Vec<BigUint> = a.iter().map(to_big).collect();
+    let b_big: Vec<BigUint> = b.iter().map(to_big).collect();
+    let ra = rns_vector::RnsVector::from_biguints(&ctx, &a_big);
+    let rb = rns_vector::RnsVector::from_biguints(&ctx, &b_big);
+    let rns_prod = rns_vector::vec_reduce_mod(&ctx, &rns_vector::vec_mul(&ctx, &ra, &rb), &q_big)
+        .to_biguints(&ctx);
+    for i in 0..n {
+        assert_eq!(rns_prod[i], to_big(&moma_prod[i]));
+    }
+}
+
+#[test]
+fn karatsuba_and_schoolbook_ntts_agree_at_768_bits() {
+    let sb = NttParams::<12>::for_paper_modulus(16, 768, MulAlgorithm::Schoolbook);
+    let ka = NttParams::<12>::for_paper_modulus(16, 768, MulAlgorithm::Karatsuba);
+    let mut rng = StdRng::seed_from_u64(4);
+    let data: Vec<_> = (0..16).map(|_| sb.ring.random_element(&mut rng)).collect();
+    let mut x = data.clone();
+    let mut y = data;
+    forward(&sb, &mut x);
+    forward(&ka, &mut y);
+    assert_eq!(x, y);
+}
