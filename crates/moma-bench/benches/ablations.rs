@@ -47,7 +47,9 @@ fn ablation_reduction(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("ablation/reduction");
     group.bench_function("barrett-252-bit", |bch| bch.iter(|| barrett.mul_mod(a, b)));
-    group.bench_function("montgomery-252-bit", |bch| bch.iter(|| montgomery.mul_mont(am, bm)));
+    group.bench_function("montgomery-252-bit", |bch| {
+        bch.iter(|| montgomery.mul_mont(am, bm))
+    });
     group.finish();
 }
 
@@ -55,13 +57,16 @@ fn ablation_codegen_time(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation/codegen-time");
     group.sample_size(10);
     for bits in [128u32, 256, 512, 1024] {
-        group.bench_function(BenchmarkId::new("lower-modmul", format!("{bits}-bit")), |b| {
-            let compiler = Compiler::default();
-            b.iter(|| compiler.compile(&KernelSpec::new(KernelOp::ModMul, bits)))
-        });
+        group.bench_function(
+            BenchmarkId::new("lower-modmul", format!("{bits}-bit")),
+            |b| {
+                let compiler = Compiler::default();
+                b.iter(|| compiler.compile(&KernelSpec::new(KernelOp::ModMul, bits)))
+            },
+        );
     }
     group.finish();
 }
 
-criterion_group!{name = benches; config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_millis(1500)).warm_up_time(std::time::Duration::from_millis(300)); targets = ablation_pruning, ablation_reduction, ablation_codegen_time}
+criterion_group! {name = benches; config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_millis(1500)).warm_up_time(std::time::Duration::from_millis(300)); targets = ablation_pruning, ablation_reduction, ablation_codegen_time}
 criterion_main!(benches);

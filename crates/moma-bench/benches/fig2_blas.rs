@@ -48,15 +48,18 @@ fn bench_width<const L: usize>(c: &mut Criterion, bits: u32) {
         });
     }
     // GMP stand-in: full-precision op followed by reduction, as an mpz user would write.
-    group.bench_function(BenchmarkId::new("gmp-standin", "vector multiplication"), |b| {
-        b.iter(|| {
-            x_big
-                .iter()
-                .zip(&y_big)
-                .map(|(p, r)| p.mod_mul(r, &q_big))
-                .collect::<Vec<_>>()
-        })
-    });
+    group.bench_function(
+        BenchmarkId::new("gmp-standin", "vector multiplication"),
+        |b| {
+            b.iter(|| {
+                x_big
+                    .iter()
+                    .zip(&y_big)
+                    .map(|(p, r)| p.mod_mul(r, &q_big))
+                    .collect::<Vec<_>>()
+            })
+        },
+    );
     group.bench_function(BenchmarkId::new("gmp-standin", "vector addition"), |b| {
         b.iter(|| {
             x_big
@@ -68,9 +71,10 @@ fn bench_width<const L: usize>(c: &mut Criterion, bits: u32) {
     });
     // GRNS stand-in: residue-wise arithmetic (reduction modulo q excluded, as GRNS
     // reports ring arithmetic over its own base).
-    group.bench_function(BenchmarkId::new("grns-standin", "vector multiplication"), |b| {
-        b.iter(|| rns_vec::vec_mul(&rns, &x_rns, &y_rns))
-    });
+    group.bench_function(
+        BenchmarkId::new("grns-standin", "vector multiplication"),
+        |b| b.iter(|| rns_vec::vec_mul(&rns, &x_rns, &y_rns)),
+    );
     group.bench_function(BenchmarkId::new("grns-standin", "vector addition"), |b| {
         b.iter(|| rns_vec::vec_add(&rns, &x_rns, &y_rns))
     });
@@ -84,5 +88,5 @@ fn fig2(c: &mut Criterion) {
     bench_width::<16>(c, 1024);
 }
 
-criterion_group!{name = benches; config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_millis(1500)).warm_up_time(std::time::Duration::from_millis(300)); targets = fig2}
+criterion_group! {name = benches; config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_millis(1500)).warm_up_time(std::time::Duration::from_millis(300)); targets = fig2}
 criterion_main!(benches);

@@ -17,15 +17,20 @@ fn bench_ntt<const L: usize>(c: &mut Criterion, bits: u32, log_sizes: &[u32]) {
         let n = 1usize << log_n;
         let params = NttParams::<L>::for_paper_modulus(n, bits, MulAlgorithm::Schoolbook);
         let mut rng = StdRng::seed_from_u64(log_n as u64);
-        let data: Vec<_> = (0..n).map(|_| params.ring.random_element(&mut rng)).collect();
+        let data: Vec<_> = (0..n)
+            .map(|_| params.ring.random_element(&mut rng))
+            .collect();
         group.throughput(Throughput::Elements(butterfly_count(n)));
-        group.bench_function(BenchmarkId::new("moma-forward", format!("2^{log_n}")), |b| {
-            b.iter(|| {
-                let mut work = data.clone();
-                forward(&params, &mut work);
-                work
-            })
-        });
+        group.bench_function(
+            BenchmarkId::new("moma-forward", format!("2^{log_n}")),
+            |b| {
+                b.iter(|| {
+                    let mut work = data.clone();
+                    forward(&params, &mut work);
+                    work
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -37,5 +42,5 @@ fn fig3(c: &mut Criterion) {
     bench_ntt::<12>(c, 768, &[8, 10]);
 }
 
-criterion_group!{name = benches; config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_millis(1500)).warm_up_time(std::time::Duration::from_millis(300)); targets = fig3}
+criterion_group! {name = benches; config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_millis(1500)).warm_up_time(std::time::Duration::from_millis(300)); targets = fig3}
 criterion_main!(benches);

@@ -49,7 +49,9 @@ fn bench_width<const L: usize>(c: &mut Criterion, bits: u32) {
     let n = 1usize << LOG_N;
     let params = NttParams::<L>::for_paper_modulus(n, bits, MulAlgorithm::Schoolbook);
     let mut rng = StdRng::seed_from_u64(bits as u64);
-    let data: Vec<_> = (0..n).map(|_| params.ring.random_element(&mut rng)).collect();
+    let data: Vec<_> = (0..n)
+        .map(|_| params.ring.random_element(&mut rng))
+        .collect();
 
     let q_big = paper_modulus(bits);
     let omega_big = BigUint::from_limbs_le(params.omega.limbs().to_vec());
@@ -68,13 +70,16 @@ fn bench_width<const L: usize>(c: &mut Criterion, bits: u32) {
             work
         })
     });
-    group.bench_function(BenchmarkId::new("gmp-standin", format!("{bits}-bit")), |b| {
-        b.iter(|| {
-            let mut work = data_big.clone();
-            bignum_ntt(&q_big, &omega_big, &mut work);
-            work
-        })
-    });
+    group.bench_function(
+        BenchmarkId::new("gmp-standin", format!("{bits}-bit")),
+        |b| {
+            b.iter(|| {
+                let mut work = data_big.clone();
+                bignum_ntt(&q_big, &omega_big, &mut work);
+                work
+            })
+        },
+    );
     group.finish();
 }
 
@@ -87,5 +92,5 @@ fn fig4(c: &mut Criterion) {
     bench_width::<16>(c, 1024);
 }
 
-criterion_group!{name = benches; config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_millis(1500)).warm_up_time(std::time::Duration::from_millis(300)); targets = fig4}
+criterion_group! {name = benches; config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_millis(1500)).warm_up_time(std::time::Duration::from_millis(300)); targets = fig4}
 criterion_main!(benches);

@@ -15,7 +15,9 @@ const N: usize = 4096;
 fn bench_one<const L: usize>(c: &mut Criterion, group_name: &str, bits: u32, alg: MulAlgorithm) {
     let params = NttParams::<L>::for_paper_modulus(N, bits, alg);
     let mut rng = StdRng::seed_from_u64(bits as u64 + alg as u64);
-    let data: Vec<_> = (0..N).map(|_| params.ring.random_element(&mut rng)).collect();
+    let data: Vec<_> = (0..N)
+        .map(|_| params.ring.random_element(&mut rng))
+        .collect();
     let label = match alg {
         MulAlgorithm::Schoolbook => "schoolbook",
         MulAlgorithm::Karatsuba => "karatsuba",
@@ -65,5 +67,5 @@ fn fig5b(c: &mut Criterion) {
     }
 }
 
-criterion_group!{name = benches; config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_millis(1500)).warm_up_time(std::time::Duration::from_millis(300)); targets = fig5a, fig5b}
+criterion_group! {name = benches; config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_millis(1500)).warm_up_time(std::time::Duration::from_millis(300)); targets = fig5a, fig5b}
 criterion_main!(benches);

@@ -15,12 +15,12 @@ use moma::blas::BlasOp;
 use moma::engine;
 use moma::gpu::DeviceSpec;
 use moma::mp::{ModRing, MpUint, MulAlgorithm as RtMulAlgorithm};
-use moma::MulAlgorithm;
 use moma::ntt::params::{paper_modulus, NttParams};
 use moma::ntt::transform::{butterfly_count, forward};
 use moma::paper_data;
 use moma::rewrite::rules::CORE_RULES;
 use moma::rns::{vector as rns_vec, RnsContext};
+use moma::MulAlgorithm;
 use moma::{Compiler, KernelOp, KernelSpec};
 use std::time::Instant;
 
@@ -150,7 +150,8 @@ fn fig2() {
     // GMP stand-in and GRNS stand-in, multiplication and addition only (the paper's
     // qualitative comparison), at a reduced element count to keep this quick.
     let elements = 1 << 12;
-    let baseline_rows: Vec<(&str, Box<dyn Fn(u32) -> f64>)> = vec![
+    type BaselineRow<'a> = (&'a str, Box<dyn Fn(u32) -> f64>);
+    let baseline_rows: Vec<BaselineRow> = vec![
         (
             "GMP stand-in / vec mul",
             Box::new(move |bits| measure_bignum_blas(bits, true, elements)),
@@ -179,15 +180,26 @@ fn fig2() {
         );
     }
     println!("\nPublished baselines (paper, approximate):");
-    for r in paper_data::BLAS_GMP.iter().take(2).chain(paper_data::BLAS_GRNS.iter().take(2)) {
-        let p: Vec<String> = r.points.iter().map(|(b, ns)| format!("{b}: {ns} ns")).collect();
+    for r in paper_data::BLAS_GMP
+        .iter()
+        .take(2)
+        .chain(paper_data::BLAS_GRNS.iter().take(2))
+    {
+        let p: Vec<String> = r
+            .points
+            .iter()
+            .map(|(b, ns)| format!("{b}: {ns} ns"))
+            .collect();
         println!("  {:<6} {:<22} {}", r.system, r.op, p.join(", "));
     }
     println!("\nModelled MoMA-on-GPU vector multiplication, ns per element (2^20 elements):");
     for d in DeviceSpec::all() {
         print!("  {:<10}", d.name);
         for bits in [128u32, 256, 512, 1024] {
-            print!(" {:>8.3}", engine::modelled_blas_ns_per_element(d, KernelOp::ModMul, bits, 1 << 20));
+            print!(
+                " {:>8.3}",
+                engine::modelled_blas_ns_per_element(d, KernelOp::ModMul, bits, 1 << 20)
+            );
         }
         println!();
     }
@@ -206,7 +218,13 @@ fn measure_bignum_blas(bits: u32, mul: bool, elements: usize) -> f64 {
     let out: Vec<BigUint> = a
         .iter()
         .zip(&b)
-        .map(|(x, y)| if mul { x.mod_mul(y, &q) } else { x.mod_add(y, &q) })
+        .map(|(x, y)| {
+            if mul {
+                x.mod_mul(y, &q)
+            } else {
+                x.mod_add(y, &q)
+            }
+        })
         .collect();
     std::hint::black_box(out);
     start.elapsed().as_secs_f64() * 1e9 / elements as f64
@@ -239,7 +257,9 @@ fn measure_ntt<const L: usize>(bits: u32, log_n: u32) -> f64 {
     let n = 1usize << log_n;
     let params = NttParams::<L>::for_paper_modulus(n, bits, RtMulAlgorithm::Schoolbook);
     let mut rng = rand::thread_rng();
-    let data: Vec<_> = (0..n).map(|_| params.ring.random_element(&mut rng)).collect();
+    let data: Vec<_> = (0..n)
+        .map(|_| params.ring.random_element(&mut rng))
+        .collect();
     let start = Instant::now();
     let mut work = data;
     forward(&params, &mut work);
@@ -339,7 +359,10 @@ fn fig4() {
 
 fn fig5a() {
     heading("Figure 5a: 4096-point NTT runtime vs input bit-width (modelled per device, µs)");
-    println!("{:<12} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}", "device", "64", "128", "256", "512", "768", "1024");
+    println!(
+        "{:<12} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "device", "64", "128", "256", "512", "768", "1024"
+    );
     for d in [DeviceSpec::H100, DeviceSpec::RTX4090] {
         print!("{:<12}", d.name);
         for bits in [64u32, 128, 256, 512, 768, 1024] {
@@ -353,7 +376,10 @@ fn fig5a() {
 
 fn fig5b() {
     heading("Figure 5b: Karatsuba vs schoolbook, 4096-point NTT (measured host, ms)");
-    println!("{:<14} {:>12} {:>12} {:>12}", "bit-width", "schoolbook", "karatsuba", "ratio");
+    println!(
+        "{:<14} {:>12} {:>12} {:>12}",
+        "bit-width", "schoolbook", "karatsuba", "ratio"
+    );
     for bits in [128u32, 256, 384, 768] {
         let measure = |alg: RtMulAlgorithm| -> f64 {
             match bits {
@@ -365,7 +391,13 @@ fn fig5b() {
         };
         let sb = measure(RtMulAlgorithm::Schoolbook);
         let ka = measure(RtMulAlgorithm::Karatsuba);
-        println!("{:<14} {:>12.2} {:>12.2} {:>12.2}", format!("{bits}-bit"), sb, ka, sb / ka);
+        println!(
+            "{:<14} {:>12.2} {:>12.2} {:>12.2}",
+            format!("{bits}-bit"),
+            sb,
+            ka,
+            sb / ka
+        );
     }
     println!("(ratio > 1 means Karatsuba is faster; the paper reports 2.1x at 128 bits");
     println!(" falling below 1 by 768 bits on the RTX 4090)");
@@ -375,7 +407,9 @@ fn measure_ntt_alg<const L: usize>(bits: u32, alg: RtMulAlgorithm) -> f64 {
     let n = 4096;
     let params = NttParams::<L>::for_paper_modulus(n, bits, alg);
     let mut rng = rand::thread_rng();
-    let mut data: Vec<_> = (0..n).map(|_| params.ring.random_element(&mut rng)).collect();
+    let mut data: Vec<_> = (0..n)
+        .map(|_| params.ring.random_element(&mut rng))
+        .collect();
     let start = Instant::now();
     forward(&params, &mut data);
     std::hint::black_box(&data);
@@ -395,13 +429,23 @@ fn claims() {
         gmp_mul / moma_mul, rns_mul / moma_mul);
     println!("256-bit vector addition:       MoMA rt {moma_add:.1} ns/elt, GMP stand-in {gmp_add:.1} ns/elt ({:.1}x)",
         gmp_add / moma_add);
-    println!("(paper: >= {}x over both baselines for every BLAS op; >= {}x over GMP for add/sub)",
-        paper_data::claims::BLAS_MIN_SPEEDUP, paper_data::claims::BLAS_ADDSUB_VS_GMP);
+    println!(
+        "(paper: >= {}x over both baselines for every BLAS op; >= {}x over GMP for add/sub)",
+        paper_data::claims::BLAS_MIN_SPEEDUP,
+        paper_data::claims::BLAS_ADDSUB_VS_GMP
+    );
 
     // Claim: 256-bit NTT vs ICICLE (modelled device vs published baseline).
     let moma_h100: f64 = [12u32, 14, 16, 18, 20, 22]
         .iter()
-        .map(|&l| engine::modelled_ntt_ns_per_butterfly(DeviceSpec::H100, 256, l, MulAlgorithm::Schoolbook))
+        .map(|&l| {
+            engine::modelled_ntt_ns_per_butterfly(
+                DeviceSpec::H100,
+                256,
+                l,
+                MulAlgorithm::Schoolbook,
+            )
+        })
         .sum::<f64>()
         / 6.0;
     let icicle: f64 = paper_data::NTT_256_BASELINES[0]

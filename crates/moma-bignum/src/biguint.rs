@@ -145,7 +145,6 @@ impl BigUint {
         }
         acc
     }
-
 }
 
 #[cfg(test)]

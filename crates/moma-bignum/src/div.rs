@@ -76,9 +76,7 @@ impl BigUint {
             let mut q_hat = numerator / v_hi as u128;
             let mut r_hat = numerator % v_hi as u128;
             // Refine: q̂ can be at most 2 too large.
-            while q_hat >> 64 != 0
-                || q_hat * v_lo as u128 > (r_hat << 64 | un[j + n - 2] as u128)
-            {
+            while q_hat >> 64 != 0 || q_hat * v_lo as u128 > (r_hat << 64 | un[j + n - 2] as u128) {
                 q_hat -= 1;
                 r_hat += v_hi as u128;
                 if r_hat >> 64 != 0 {

@@ -22,7 +22,10 @@ impl BigUint {
     ///
     /// Panics (in debug builds) if either operand is not reduced.
     pub fn mod_add(&self, other: &BigUint, modulus: &BigUint) -> BigUint {
-        debug_assert!(self < modulus && other < modulus, "operands must be reduced");
+        debug_assert!(
+            self < modulus && other < modulus,
+            "operands must be reduced"
+        );
         let sum = self + other;
         if &sum >= modulus {
             sum - modulus
@@ -33,7 +36,10 @@ impl BigUint {
 
     /// Modular subtraction `(self - other) mod modulus` (paper Equation 3).
     pub fn mod_sub(&self, other: &BigUint, modulus: &BigUint) -> BigUint {
-        debug_assert!(self < modulus && other < modulus, "operands must be reduced");
+        debug_assert!(
+            self < modulus && other < modulus,
+            "operands must be reduced"
+        );
         if self < other {
             self + modulus - other
         } else {
@@ -185,7 +191,10 @@ mod tests {
     #[test]
     fn mod_pow_edge_cases() {
         let q = BigUint::from(13u64);
-        assert_eq!(BigUint::from(5u64).mod_pow(&BigUint::zero(), &q), BigUint::one());
+        assert_eq!(
+            BigUint::from(5u64).mod_pow(&BigUint::zero(), &q),
+            BigUint::one()
+        );
         assert_eq!(
             BigUint::from(5u64).mod_pow(&BigUint::one(), &q),
             BigUint::from(5u64)
@@ -224,7 +233,10 @@ mod tests {
         let q = BigUint::from(12u64);
         assert_eq!(BigUint::from(8u64).mod_inverse(&q), None);
         assert_eq!(BigUint::zero().mod_inverse(&q), None);
-        assert_eq!(BigUint::from(5u64).mod_inverse(&q), Some(BigUint::from(5u64)));
+        assert_eq!(
+            BigUint::from(5u64).mod_inverse(&q),
+            Some(BigUint::from(5u64))
+        );
     }
 
     #[test]
@@ -233,7 +245,13 @@ mod tests {
             BigUint::from(48u64).gcd(&BigUint::from(36u64)),
             BigUint::from(12u64)
         );
-        assert_eq!(BigUint::from(17u64).gcd(&BigUint::from(13u64)), BigUint::one());
-        assert_eq!(BigUint::zero().gcd(&BigUint::from(5u64)), BigUint::from(5u64));
+        assert_eq!(
+            BigUint::from(17u64).gcd(&BigUint::from(13u64)),
+            BigUint::one()
+        );
+        assert_eq!(
+            BigUint::zero().gcd(&BigUint::from(5u64)),
+            BigUint::from(5u64)
+        );
     }
 }

@@ -116,14 +116,14 @@ impl Mul<&BigUint> for &BigUint {
 impl Mul<BigUint> for BigUint {
     type Output = BigUint;
     fn mul(self, rhs: BigUint) -> BigUint {
-        (&self).mul_impl(&rhs)
+        self.mul_impl(&rhs)
     }
 }
 
 impl Mul<&BigUint> for BigUint {
     type Output = BigUint;
     fn mul(self, rhs: &BigUint) -> BigUint {
-        (&self).mul_impl(rhs)
+        self.mul_impl(rhs)
     }
 }
 
@@ -155,7 +155,9 @@ mod tests {
         // Deterministic pseudo-random operands via a simple LCG.
         let mut state = 0x1234_5678_9abc_def0u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             state
         };
         for limbs_a in [1usize, 2, 7, 8, 9, 16, 17, 31] {

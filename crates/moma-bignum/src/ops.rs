@@ -31,6 +31,7 @@ impl PartialOrd for BigUint {
 
 impl BigUint {
     /// Adds `other` to `self`, returning the (possibly one limb larger) sum.
+    #[allow(clippy::needless_range_loop)] // carry chain indexes two limb arrays in lockstep
     pub(crate) fn add_impl(&self, other: &BigUint) -> BigUint {
         let (long, short) = if self.limbs.len() >= other.limbs.len() {
             (&self.limbs, &other.limbs)

@@ -177,7 +177,10 @@ mod tests {
     fn carmichael_numbers_are_rejected() {
         let mut rng = StdRng::seed_from_u64(2);
         for c in [561u64, 1105, 1729, 2465, 2821, 6601, 8911] {
-            assert!(!is_prime(&mut rng, &BigUint::from(c)), "{c} is a Carmichael number");
+            assert!(
+                !is_prime(&mut rng, &BigUint::from(c)),
+                "{c} is a Carmichael number"
+            );
         }
     }
 

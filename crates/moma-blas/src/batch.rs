@@ -38,11 +38,7 @@ impl<const L: usize> Batch<L> {
 
     /// Number of vectors in the batch.
     pub fn batch_size(&self) -> usize {
-        if self.vector_len == 0 {
-            0
-        } else {
-            self.data.len() / self.vector_len
-        }
+        self.data.len().checked_div(self.vector_len).unwrap_or(0)
     }
 
     /// Total number of elements.

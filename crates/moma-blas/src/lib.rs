@@ -140,7 +140,11 @@ mod tests {
         let b = random_vec(&ring, 50, 4);
         let c = random_vec(&ring, 50, 5);
         let lhs = vec_mul_mod(&ring, &a, &vec_add_mod(&ring, &b, &c));
-        let rhs = vec_add_mod(&ring, &vec_mul_mod(&ring, &a, &b), &vec_mul_mod(&ring, &a, &c));
+        let rhs = vec_add_mod(
+            &ring,
+            &vec_mul_mod(&ring, &a, &b),
+            &vec_mul_mod(&ring, &a, &c),
+        );
         assert_eq!(lhs, rhs);
     }
 

@@ -121,8 +121,8 @@ impl CostModel {
         let cycles = self.cycles_per_thread(counts_per_thread);
         let effective_ops_per_second = self.effective_ops_per_second();
         let compute_s = cycles * threads as f64 / effective_ops_per_second;
-        let memory_s =
-            (bytes_per_thread as f64 * threads as f64) / (self.device.mem_bandwidth_gbs as f64 * 1e9);
+        let memory_s = (bytes_per_thread as f64 * threads as f64)
+            / (self.device.mem_bandwidth_gbs as f64 * 1e9);
         let total_s = compute_s.max(memory_s) + 2.0e-6; // fixed launch overhead
         KernelCostEstimate {
             total: Duration::from_secs_f64(total_s),
@@ -147,7 +147,10 @@ impl CostModel {
         n: u64,
         element_bits: u32,
     ) -> KernelCostEstimate {
-        assert!(n.is_power_of_two() && n >= 2, "NTT size must be a power of two");
+        assert!(
+            n.is_power_of_two() && n >= 2,
+            "NTT size must be a power of two"
+        );
         let log_n = n.trailing_zeros() as u64;
         let butterflies = n / 2 * log_n;
         let cycles_bf = self.cycles_per_thread(counts_per_butterfly);

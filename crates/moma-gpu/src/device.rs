@@ -111,11 +111,17 @@ mod tests {
     #[test]
     fn table_2_values() {
         let h100 = DeviceSpec::H100;
-        assert_eq!((h100.cores, h100.max_freq_mhz, h100.ram_gb), (16896, 1980, 80));
+        assert_eq!(
+            (h100.cores, h100.max_freq_mhz, h100.ram_gb),
+            (16896, 1980, 80)
+        );
         let rtx = DeviceSpec::RTX4090;
         assert_eq!((rtx.cores, rtx.max_freq_mhz, rtx.ram_gb), (16384, 2595, 24));
         let v100 = DeviceSpec::V100;
-        assert_eq!((v100.cores, v100.max_freq_mhz, v100.ram_gb), (5120, 1530, 32));
+        assert_eq!(
+            (v100.cores, v100.max_freq_mhz, v100.ram_gb),
+            (5120, 1530, 32)
+        );
         assert_eq!(DeviceSpec::all().len(), 3);
     }
 

@@ -3,8 +3,8 @@
 //!
 //! The paper's BLAS kernels assign one CUDA thread per vector element and its NTT
 //! kernels one thread per butterfly (§5.1). [`launch_indexed`] reproduces that model on
-//! the host: the index space `0..n` is partitioned over worker threads (crossbeam
-//! scoped threads), each element runs the same kernel closure, and the wall-clock time
+//! the host: the index space `0..n` is partitioned over worker threads (std scoped
+//! threads), each element runs the same kernel closure, and the wall-clock time
 //! of the whole launch is reported. [`launch_kernel`] does the same but executes a
 //! *generated* machine-level kernel through the `moma-ir` interpreter, which is how the
 //! functional correctness of generated code is exercised end to end.
@@ -55,7 +55,7 @@ where
     let start = Instant::now();
     if n > 0 {
         let chunk = n.div_ceil(workers);
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             for w in 0..workers {
                 let lo = w * chunk;
                 let hi = ((w + 1) * chunk).min(n);
@@ -63,14 +63,13 @@ where
                     continue;
                 }
                 let f = &kernel_fn;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     for i in lo..hi {
                         f(i);
                     }
                 });
             }
-        })
-        .expect("worker thread panicked");
+        });
     }
     LaunchStats {
         threads: n,
@@ -140,7 +139,14 @@ mod tests {
         let b = kb.param("b", Ty::UInt(64));
         let carry = kb.local("carry", Ty::Flag);
         let sum = kb.output("sum", Ty::UInt(64));
-        kb.push(vec![carry, sum], Op::AddWide { a: a.into(), b: b.into(), carry_in: None });
+        kb.push(
+            vec![carry, sum],
+            Op::AddWide {
+                a: a.into(),
+                b: b.into(),
+                carry_in: None,
+            },
+        );
         let kernel = kb.build();
 
         let (outputs, stats) = launch_kernel(&kernel, 512, |i| vec![i as u64, 2 * i as u64]);

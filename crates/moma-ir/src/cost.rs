@@ -122,8 +122,20 @@ mod tests {
         let lo = kb.local("lo", Ty::UInt(64));
         let f = kb.local("f", Ty::Flag);
         let o = kb.output("o", Ty::UInt(64));
-        kb.push(vec![hi, lo], Op::MulWide { a: a.into(), b: b.into() });
-        kb.push(vec![f], Op::Lt { a: hi.into(), b: lo.into() });
+        kb.push(
+            vec![hi, lo],
+            Op::MulWide {
+                a: a.into(),
+                b: b.into(),
+            },
+        );
+        kb.push(
+            vec![f],
+            Op::Lt {
+                a: hi.into(),
+                b: lo.into(),
+            },
+        );
         kb.push(
             vec![o],
             Op::Select {
@@ -159,7 +171,9 @@ mod tests {
     fn display_is_never_empty() {
         assert_eq!(OpCounts::new().to_string(), "(empty)");
         let mut a = OpCounts::new();
-        a.record(&Op::Copy { src: Operand::Const(0) });
+        a.record(&Op::Copy {
+            src: Operand::Const(0),
+        });
         assert!(a.to_string().contains("copy: 1"));
     }
 }

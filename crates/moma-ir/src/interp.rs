@@ -45,14 +45,22 @@ impl fmt::Display for InterpError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             InterpError::UnsupportedWidth { var, bits } => {
-                write!(f, "variable '{var}' has {bits} bits; lower the kernel to machine words first")
+                write!(
+                    f,
+                    "variable '{var}' has {bits} bits; lower the kernel to machine words first"
+                )
             }
-            InterpError::UseBeforeDef { var } => write!(f, "variable '{var}' read before assignment"),
+            InterpError::UseBeforeDef { var } => {
+                write!(f, "variable '{var}' read before assignment")
+            }
             InterpError::ArgumentCount { expected, got } => {
                 write!(f, "expected {expected} inputs, got {got}")
             }
             InterpError::InputTooWide { var } => {
-                write!(f, "input for parameter '{var}' does not fit its declared width")
+                write!(
+                    f,
+                    "input for parameter '{var}' does not fit its declared width"
+                )
             }
         }
     }
@@ -322,8 +330,20 @@ mod tests {
         let hi = kb.output("hi", Ty::UInt(64));
         let lo = kb.output("lo", Ty::UInt(64));
         let low_only = kb.output("low_only", Ty::UInt(64));
-        kb.push(vec![hi, lo], Op::MulWide { a: a.into(), b: b.into() });
-        kb.push(vec![low_only], Op::MulLow { a: a.into(), b: b.into() });
+        kb.push(
+            vec![hi, lo],
+            Op::MulWide {
+                a: a.into(),
+                b: b.into(),
+            },
+        );
+        kb.push(
+            vec![low_only],
+            Op::MulLow {
+                a: a.into(),
+                b: b.into(),
+            },
+        );
         let k = kb.build();
         let r = run(&k, &[u64::MAX, u64::MAX]).unwrap();
         let p = u64::MAX as u128 * u64::MAX as u128;
@@ -337,7 +357,13 @@ mod tests {
         let b = kb.param("b", Ty::UInt(64));
         let lt = kb.local("lt", Ty::Flag);
         let min = kb.output("min", Ty::UInt(64));
-        kb.push(vec![lt], Op::Lt { a: a.into(), b: b.into() });
+        kb.push(
+            vec![lt],
+            Op::Lt {
+                a: a.into(),
+                b: b.into(),
+            },
+        );
         kb.push(
             vec![min],
             Op::Select {
@@ -384,8 +410,22 @@ mod tests {
         let s = kb.output("s", Ty::UInt(64));
         let d = kb.output("d", Ty::UInt(64));
         let p = kb.output("p", Ty::UInt(64));
-        kb.push(vec![s], Op::AddMod { a: a.into(), b: b.into(), q: q.into() });
-        kb.push(vec![d], Op::SubMod { a: a.into(), b: b.into(), q: q.into() });
+        kb.push(
+            vec![s],
+            Op::AddMod {
+                a: a.into(),
+                b: b.into(),
+                q: q.into(),
+            },
+        );
+        kb.push(
+            vec![d],
+            Op::SubMod {
+                a: a.into(),
+                b: b.into(),
+                q: q.into(),
+            },
+        );
         kb.push(
             vec![p],
             Op::MulModBarrett {
@@ -406,7 +446,10 @@ mod tests {
         let k = add_kernel();
         assert!(matches!(
             run(&k, &[1]),
-            Err(InterpError::ArgumentCount { expected: 2, got: 1 })
+            Err(InterpError::ArgumentCount {
+                expected: 2,
+                got: 1
+            })
         ));
         let mut kb = KernelBuilder::new("wide");
         let a = kb.param("a", Ty::UInt(128));
@@ -426,6 +469,9 @@ mod tests {
         kb.push(vec![o], Op::Copy { src: a.into() });
         let k = kb.build();
         assert_eq!(run(&k, &[200]).unwrap().outputs, vec![200]);
-        assert!(matches!(run(&k, &[300]), Err(InterpError::InputTooWide { .. })));
+        assert!(matches!(
+            run(&k, &[300]),
+            Err(InterpError::InputTooWide { .. })
+        ));
     }
 }

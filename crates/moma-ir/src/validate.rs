@@ -52,7 +52,10 @@ pub fn validate(kernel: &Kernel) -> Result<(), ValidateError> {
         if !defined.contains(out) {
             return Err(ValidateError {
                 stmt: None,
-                message: format!("output variable '{}' is never assigned", kernel.var(*out).name),
+                message: format!(
+                    "output variable '{}' is never assigned",
+                    kernel.var(*out).name
+                ),
             });
         }
     }
@@ -145,7 +148,11 @@ fn check_stmt(
         match o {
             Operand::Var(v) if kernel.ty(v) != Ty::Flag => Err(err(
                 idx,
-                format!("expected a flag, got '{}': {}", kernel.var(v).name, kernel.ty(v)),
+                format!(
+                    "expected a flag, got '{}': {}",
+                    kernel.var(v).name,
+                    kernel.ty(v)
+                ),
             )),
             Operand::Const(c) if c > 1 => {
                 Err(err(idx, format!("flag constant must be 0 or 1, got {c}")))
@@ -184,7 +191,10 @@ fn check_stmt(
             let w = op_width(&[*a, *b])?;
             if let (Some(w), Ty::UInt(dw)) = (w, dst_ty(0)) {
                 if w != dw {
-                    return Err(err(idx, format!("difference width {dw} != operand width {w}")));
+                    return Err(err(
+                        idx,
+                        format!("difference width {dw} != operand width {w}"),
+                    ));
                 }
             }
             if let Some(bi) = borrow_in {
@@ -197,7 +207,10 @@ fn check_stmt(
             for n in 0..2 {
                 if let (Some(w), Ty::UInt(dw)) = (w, dst_ty(n)) {
                     if w != dw {
-                        return Err(err(idx, format!("product half width {dw} != operand width {w}")));
+                        return Err(err(
+                            idx,
+                            format!("product half width {dw} != operand width {w}"),
+                        ));
                     }
                 }
             }
@@ -240,11 +253,17 @@ fn check_stmt(
             if let Some(w) = w {
                 let total = w * words.len() as u32;
                 if *shift >= total {
-                    return Err(err(idx, format!("shift amount {shift} >= total width {total}")));
+                    return Err(err(
+                        idx,
+                        format!("shift amount {shift} >= total width {total}"),
+                    ));
                 }
                 for d in &stmt.dsts {
                     if kernel.ty(*d) != Ty::UInt(w) {
-                        return Err(err(idx, "shift destinations must have the source word width"));
+                        return Err(err(
+                            idx,
+                            "shift destinations must have the source word width",
+                        ));
                     }
                 }
             }
@@ -298,7 +317,13 @@ mod tests {
         let a = kb.param("a", Ty::UInt(64));
         let t = kb.local("t", Ty::UInt(64));
         let out = kb.output("o", Ty::UInt(64));
-        kb.push(vec![out], Op::MulLow { a: a.into(), b: t.into() });
+        kb.push(
+            vec![out],
+            Op::MulLow {
+                a: a.into(),
+                b: t.into(),
+            },
+        );
         let e = validate(&kb.build()).unwrap_err();
         assert!(e.to_string().contains("undefined variable"));
     }
@@ -316,7 +341,12 @@ mod tests {
     fn rejects_parameter_assignment() {
         let mut kb = KernelBuilder::new("bad");
         let a = kb.param("a", Ty::UInt(64));
-        kb.push(vec![a], Op::Copy { src: Operand::Const(0) });
+        kb.push(
+            vec![a],
+            Op::Copy {
+                src: Operand::Const(0),
+            },
+        );
         let e = validate(&kb.build()).unwrap_err();
         assert!(e.to_string().contains("cannot be assigned"));
     }
@@ -327,7 +357,13 @@ mod tests {
         let a = kb.param("a", Ty::UInt(64));
         let b = kb.param("b", Ty::UInt(128));
         let o = kb.output("o", Ty::UInt(64));
-        kb.push(vec![o], Op::MulLow { a: a.into(), b: b.into() });
+        kb.push(
+            vec![o],
+            Op::MulLow {
+                a: a.into(),
+                b: b.into(),
+            },
+        );
         let e = validate(&kb.build()).unwrap_err();
         assert!(e.to_string().contains("width mismatch"));
     }

@@ -7,6 +7,10 @@
 //! generated code and this library agree limb for limb, which the cross-crate
 //! integration tests assert.
 
+// Carry/borrow chains index several limb arrays in lockstep; indexed loops keep them
+// shaped like the multi-digit algorithms they implement.
+#![allow(clippy::needless_range_loop)]
+
 use crate::MpUint;
 use std::ops::{Add, BitAnd, BitOr, BitXor, Not, Shl, Shr, Sub};
 

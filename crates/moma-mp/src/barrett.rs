@@ -247,6 +247,7 @@ fn slice_geq(a: &[u64], b: &[u64]) -> bool {
     true
 }
 
+#[allow(clippy::needless_range_loop)] // borrow chain indexes two limb arrays in lockstep
 fn slice_sub(a: &mut [u64], b: &[u64]) {
     let mut borrow = 0u64;
     for i in 0..a.len() {
@@ -295,7 +296,10 @@ mod tests {
         assert!(s < ctx.q);
         assert_eq!(ctx.sub_mod(s, b), a);
         assert_eq!(ctx.sub_mod(b, b), U128::ZERO);
-        assert_eq!(ctx.sub_mod(U128::ZERO, U128::ONE), ctx.q.wrapping_sub(&U128::ONE));
+        assert_eq!(
+            ctx.sub_mod(U128::ZERO, U128::ONE),
+            ctx.q.wrapping_sub(&U128::ONE)
+        );
     }
 
     #[test]
@@ -320,9 +324,7 @@ mod tests {
 
     #[test]
     fn karatsuba_and_schoolbook_agree() {
-        let q = U256::from_hex(
-            "fffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff43",
-        );
+        let q = U256::from_hex("fffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff43");
         let sb = BarrettContext::with_algorithm(q, MulAlgorithm::Schoolbook);
         let ka = BarrettContext::with_algorithm(q, MulAlgorithm::Karatsuba);
         let mut state = 1u64;

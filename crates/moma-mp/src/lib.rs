@@ -41,9 +41,7 @@ mod uint;
 pub use barrett::BarrettContext;
 pub use modring::{ModRing, Reduction};
 pub use montgomery::MontgomeryContext;
-pub use uint::{
-    MpUint, U1024, U128, U192, U256, U320, U384, U448, U512, U576, U64, U640, U768,
-};
+pub use uint::{MpUint, U1024, U128, U192, U256, U320, U384, U448, U512, U576, U64, U640, U768};
 
 /// Choice of multi-word multiplication algorithm (the paper's §5.4 ablation).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]

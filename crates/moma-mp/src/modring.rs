@@ -170,7 +170,7 @@ impl<const L: usize> ModRing<L> {
         } else {
             (1u64 << (bits % 64)) - 1
         };
-        let top_limb = ((bits + 63) / 64 - 1) as usize;
+        let top_limb = (bits.div_ceil(64) - 1) as usize;
         loop {
             let mut limbs = [0u64; L];
             for (i, slot) in limbs.iter_mut().enumerate().take(top_limb + 1) {
@@ -236,9 +236,7 @@ mod tests {
     #[test]
     fn pow_and_inv() {
         // 2^255 - 19 with Montgomery (full-width modulus).
-        let q = U256::from_hex(
-            "7fffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffed",
-        );
+        let q = U256::from_hex("7fffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffed");
         let ring = ModRing::new_montgomery(q);
         let mut rng = StdRng::seed_from_u64(13);
         let a = ring.random_element(&mut rng);

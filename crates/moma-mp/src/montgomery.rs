@@ -43,7 +43,10 @@ impl<const L: usize> MontgomeryContext<L> {
     ///
     /// Panics if `q` is even or less than 3.
     pub fn new(q: MpUint<L>) -> Self {
-        assert!(q.is_odd(), "Montgomery multiplication requires an odd modulus");
+        assert!(
+            q.is_odd(),
+            "Montgomery multiplication requires an odd modulus"
+        );
         assert!(q > MpUint::from_u64(2), "modulus must be at least 3");
         let n0_inv = inv_mod_2_64(q.limbs()[0]).wrapping_neg();
         // r2 = (2^(64L))^2 mod q computed by repeated doubling: start from
@@ -66,6 +69,7 @@ impl<const L: usize> MontgomeryContext<L> {
     }
 
     /// Montgomery product `a·b·R^{-1} mod q` (CIOS).
+    #[allow(clippy::needless_range_loop)] // CIOS walks limb arrays by index, as in the literature
     pub fn mul_mont(&self, a: MpUint<L>, b: MpUint<L>) -> MpUint<L> {
         let q = self.q.limbs();
         let a = a.limbs();
@@ -191,9 +195,7 @@ mod tests {
 
     #[test]
     fn fermat_on_curve25519_prime() {
-        let q = U256::from_hex(
-            "7fffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffed",
-        );
+        let q = U256::from_hex("7fffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffed");
         let ctx = MontgomeryContext::new(q);
         // a^(q-1) = 1 via repeated Montgomery squaring.
         let a = ctx.to_mont(U256::from_hex("123456789abcdef0123456789abcdef0"));

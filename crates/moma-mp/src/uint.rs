@@ -60,7 +60,9 @@ impl<const L: usize> MpUint<L> {
         MpUint { limbs }
     };
     /// The largest representable value, `2^(64·L) − 1`.
-    pub const MAX: Self = MpUint { limbs: [u64::MAX; L] };
+    pub const MAX: Self = MpUint {
+        limbs: [u64::MAX; L],
+    };
     /// The width of the type in bits.
     pub const BITS: u32 = 64 * L as u32;
 
@@ -234,9 +236,8 @@ impl<const L: usize> MpUint<L> {
     /// Truncates (or zero-extends) into a different limb count, keeping the low limbs.
     pub fn resize<const M: usize>(&self) -> MpUint<M> {
         let mut limbs = [0u64; M];
-        for i in 0..M.min(L) {
-            limbs[i] = self.limbs[i];
-        }
+        let n = M.min(L);
+        limbs[..n].copy_from_slice(&self.limbs[..n]);
         MpUint { limbs }
     }
 }

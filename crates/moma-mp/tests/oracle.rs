@@ -42,8 +42,14 @@ fn check_ring_ops<const L: usize>(a: MpUint<L>, b: MpUint<L>, q: MpUint<L>) {
     assert!(a_big < q_big && b_big < q_big);
 
     // Addition / subtraction.
-    assert_eq!(to_big(&barrett.add_mod(a, b)), a_big.mod_add(&b_big, &q_big));
-    assert_eq!(to_big(&barrett.sub_mod(a, b)), a_big.mod_sub(&b_big, &q_big));
+    assert_eq!(
+        to_big(&barrett.add_mod(a, b)),
+        a_big.mod_add(&b_big, &q_big)
+    );
+    assert_eq!(
+        to_big(&barrett.sub_mod(a, b)),
+        a_big.mod_sub(&b_big, &q_big)
+    );
     assert_eq!(to_big(&ring.add(a, b)), a_big.mod_add(&b_big, &q_big));
 
     // Multiplication, all three strategies.

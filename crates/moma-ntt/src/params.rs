@@ -60,8 +60,14 @@ impl<const L: usize> NttParams<L> {
     /// Panics if `n` is not a power of two of at least 2, `n > 2^32`, or the modulus for
     /// `bits` does not fit `L` limbs.
     pub fn for_paper_modulus(n: usize, bits: u32, alg: MulAlgorithm) -> Self {
-        assert!(n.is_power_of_two() && n >= 2, "NTT size must be a power of two");
-        assert!(n <= 1 << 32, "the evaluation moduli support sizes up to 2^32");
+        assert!(
+            n.is_power_of_two() && n >= 2,
+            "NTT size must be a power of two"
+        );
+        assert!(
+            n <= 1 << 32,
+            "the evaluation moduli support sizes up to 2^32"
+        );
         let q_big = paper_modulus(bits);
         let q = MpUint::<L>::from_limbs_le(&q_big.to_limbs_le(L));
         let ring = ModRing::with_mul_algorithm(q, alg);
@@ -140,7 +146,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         for (bits, _) in PAPER_MODULI_HEX {
             let q = paper_modulus(bits);
-            assert_eq!(q.bits(), bits - 4, "modulus for {bits}-bit kernels has k-4 bits");
+            assert_eq!(
+                q.bits(),
+                bits - 4,
+                "modulus for {bits}-bit kernels has k-4 bits"
+            );
             assert!(
                 ((&q - &BigUint::one()) % &(BigUint::from(1u64) << 32)).is_zero(),
                 "q - 1 divisible by 2^32"

@@ -20,7 +20,10 @@ pub fn ntt_polymul<const L: usize>(
     a: &[MpUint<L>],
     b: &[MpUint<L>],
 ) -> Vec<MpUint<L>> {
-    assert!(!a.is_empty() && !b.is_empty(), "polynomials must be non-empty");
+    assert!(
+        !a.is_empty() && !b.is_empty(),
+        "polynomials must be non-empty"
+    );
     let result_len = a.len() + b.len() - 1;
     let n = result_len.next_power_of_two().max(2);
     let params = NttParams::<L>::for_paper_modulus(n, bits, alg);
@@ -52,8 +55,12 @@ mod tests {
     fn matches_schoolbook_at_128_bits() {
         let params = NttParams::<2>::for_paper_modulus(2, 128, MulAlgorithm::Schoolbook);
         let mut rng = StdRng::seed_from_u64(3);
-        let a: Vec<_> = (0..33).map(|_| params.ring.random_element(&mut rng)).collect();
-        let b: Vec<_> = (0..17).map(|_| params.ring.random_element(&mut rng)).collect();
+        let a: Vec<_> = (0..33)
+            .map(|_| params.ring.random_element(&mut rng))
+            .collect();
+        let b: Vec<_> = (0..17)
+            .map(|_| params.ring.random_element(&mut rng))
+            .collect();
         let fast = ntt_polymul(128, MulAlgorithm::Schoolbook, &a, &b);
         let slow = schoolbook_polymul(&params, &a, &b);
         assert_eq!(fast, slow);
@@ -63,8 +70,12 @@ mod tests {
     fn matches_schoolbook_at_256_bits_karatsuba() {
         let params = NttParams::<4>::for_paper_modulus(2, 256, MulAlgorithm::Schoolbook);
         let mut rng = StdRng::seed_from_u64(4);
-        let a: Vec<_> = (0..20).map(|_| params.ring.random_element(&mut rng)).collect();
-        let b: Vec<_> = (0..20).map(|_| params.ring.random_element(&mut rng)).collect();
+        let a: Vec<_> = (0..20)
+            .map(|_| params.ring.random_element(&mut rng))
+            .collect();
+        let b: Vec<_> = (0..20)
+            .map(|_| params.ring.random_element(&mut rng))
+            .collect();
         let fast = ntt_polymul(256, MulAlgorithm::Karatsuba, &a, &b);
         let slow = schoolbook_polymul(&params, &a, &b);
         assert_eq!(fast, slow);
@@ -74,7 +85,9 @@ mod tests {
     fn multiplication_by_one_is_identity() {
         let params = NttParams::<2>::for_paper_modulus(2, 128, MulAlgorithm::Schoolbook);
         let mut rng = StdRng::seed_from_u64(5);
-        let a: Vec<_> = (0..8).map(|_| params.ring.random_element(&mut rng)).collect();
+        let a: Vec<_> = (0..8)
+            .map(|_| params.ring.random_element(&mut rng))
+            .collect();
         let one = vec![MpUint::ONE];
         assert_eq!(ntt_polymul(128, MulAlgorithm::Schoolbook, &a, &one), a);
     }

@@ -79,7 +79,11 @@ mod tests {
         let prod = schoolbook_polymul(&params, &a, &b);
         assert_eq!(
             prod,
-            vec![MpUint::from_u64(3), MpUint::from_u64(7), MpUint::from_u64(2)]
+            vec![
+                MpUint::from_u64(3),
+                MpUint::from_u64(7),
+                MpUint::from_u64(2)
+            ]
         );
         assert!(schoolbook_polymul(&params, &[], &b).is_empty());
     }

@@ -29,7 +29,11 @@ pub fn bit_reverse_permute<T>(data: &mut [T]) {
 ///
 /// Panics if `data.len() != params.n`.
 pub fn forward<const L: usize>(params: &NttParams<L>, data: &mut [MpUint<L>]) {
-    assert_eq!(data.len(), params.n, "data length must equal the transform size");
+    assert_eq!(
+        data.len(),
+        params.n,
+        "data length must equal the transform size"
+    );
     let ring = &params.ring;
     let n = params.n;
     bit_reverse_permute(data);
@@ -60,7 +64,11 @@ pub fn forward<const L: usize>(params: &NttParams<L>, data: &mut [MpUint<L>]) {
 ///
 /// Panics if `data.len() != params.n`.
 pub fn inverse<const L: usize>(params: &NttParams<L>, data: &mut [MpUint<L>]) {
-    assert_eq!(data.len(), params.n, "data length must equal the transform size");
+    assert_eq!(
+        data.len(),
+        params.n,
+        "data length must equal the transform size"
+    );
     let ring = &params.ring;
     let n = params.n;
     bit_reverse_permute(data);
@@ -112,8 +120,10 @@ impl Ntt64 {
     ///
     /// Panics if `n` is not a power of two between 2 and 2^32.
     pub fn new(n: usize) -> Self {
-        assert!(n.is_power_of_two() && n >= 2 && n <= 1 << 32);
-        let q = crate::params::paper_modulus(64).to_u64().expect("60-bit modulus");
+        assert!(n.is_power_of_two() && (2..=1 << 32).contains(&n));
+        let q = crate::params::paper_modulus(64)
+            .to_u64()
+            .expect("60-bit modulus");
         let ctx = SingleBarrett::new(q);
         // Deterministic generator search as in the multi-word case.
         let cofactor = (q - 1) / n as u64;
@@ -202,7 +212,9 @@ mod tests {
     fn forward_matches_naive_dft_128() {
         let params = NttParams::<2>::for_paper_modulus(32, 128, MulAlgorithm::Schoolbook);
         let mut rng = StdRng::seed_from_u64(21);
-        let data: Vec<_> = (0..32).map(|_| params.ring.random_element(&mut rng)).collect();
+        let data: Vec<_> = (0..32)
+            .map(|_| params.ring.random_element(&mut rng))
+            .collect();
         let expected = naive_dft(&params, &data);
         let mut actual = data.clone();
         forward(&params, &mut actual);
@@ -214,12 +226,17 @@ mod tests {
         fn roundtrip<const L: usize>(bits: u32, n: usize) {
             let params = NttParams::<L>::for_paper_modulus(n, bits, MulAlgorithm::Schoolbook);
             let mut rng = StdRng::seed_from_u64(bits as u64);
-            let data: Vec<_> = (0..n).map(|_| params.ring.random_element(&mut rng)).collect();
+            let data: Vec<_> = (0..n)
+                .map(|_| params.ring.random_element(&mut rng))
+                .collect();
             let mut work = data.clone();
             forward(&params, &mut work);
             assert_ne!(work, data, "transform must change the data");
             inverse(&params, &mut work);
-            assert_eq!(work, data, "NTT ∘ INTT must be the identity ({bits} bits, n={n})");
+            assert_eq!(
+                work, data,
+                "NTT ∘ INTT must be the identity ({bits} bits, n={n})"
+            );
         }
         roundtrip::<2>(128, 64);
         roundtrip::<4>(256, 128);
@@ -253,7 +270,11 @@ mod tests {
         // Linearity: NTT(a + b) = NTT(a) + NTT(b) point-wise.
         let a: Vec<u64> = (0..256).map(|_| rng.gen::<u64>() % ntt.ctx.q).collect();
         let b: Vec<u64> = (0..256).map(|_| rng.gen::<u64>() % ntt.ctx.q).collect();
-        let sum: Vec<u64> = a.iter().zip(&b).map(|(x, y)| ntt.ctx.add_mod(*x, *y)).collect();
+        let sum: Vec<u64> = a
+            .iter()
+            .zip(&b)
+            .map(|(x, y)| ntt.ctx.add_mod(*x, *y))
+            .collect();
         let mut fa = a.clone();
         let mut fb = b.clone();
         let mut fsum = sum;

@@ -121,7 +121,18 @@ pub fn build(spec: &KernelSpec) -> HighLevelKernel {
                     q: q.into(),
                 }
             };
-            kb.push_commented(vec![c], op, format!("c = (a {} b) mod q", if spec.op == KernelOp::ModAdd { "+" } else { "-" }));
+            kb.push_commented(
+                vec![c],
+                op,
+                format!(
+                    "c = (a {} b) mod q",
+                    if spec.op == KernelOp::ModAdd {
+                        "+"
+                    } else {
+                        "-"
+                    }
+                ),
+            );
             kb.build()
         }
         KernelOp::ModMul => {

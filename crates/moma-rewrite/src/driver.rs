@@ -55,7 +55,10 @@ pub fn lower(hl: &HighLevelKernel, config: &LoweringConfig) -> Lowered {
 /// Like [`lower`], but also returns a human-readable trace of the kernel after each
 /// rewriting stage — the §4 worked example (Equations 30–34) as the tool actually
 /// performs it.
-pub fn lower_with_trace(hl: &HighLevelKernel, config: &LoweringConfig) -> (Lowered, Vec<(String, String)>) {
+pub fn lower_with_trace(
+    hl: &HighLevelKernel,
+    config: &LoweringConfig,
+) -> (Lowered, Vec<(String, String)>) {
     lower_impl(hl, config, true)
 }
 
@@ -216,7 +219,10 @@ mod tests {
             unpruned.op_counts().total()
         );
         // The pruned 384-bit kernel must also be cheaper than a full 512-bit kernel.
-        let full512 = lower(&build(&KernelSpec::new(KernelOp::ModMul, 512)), &LoweringConfig::default());
+        let full512 = lower(
+            &build(&KernelSpec::new(KernelOp::ModMul, 512)),
+            &LoweringConfig::default(),
+        );
         assert!(pruned.op_counts().multiplications() < full512.op_counts().multiplications());
     }
 

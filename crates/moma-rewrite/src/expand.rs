@@ -43,7 +43,15 @@ pub fn expand_modular_ops(kernel: &Kernel) -> Kernel {
             }
             Op::MulModBarrett { a, b, q, mu, mbits } => {
                 expand_mulmod(
-                    &mut out, &mut new_body, stmt.dsts[0], *a, *b, *q, *mu, *mbits, &stmt,
+                    &mut out,
+                    &mut new_body,
+                    stmt.dsts[0],
+                    *a,
+                    *b,
+                    *q,
+                    *mu,
+                    *mbits,
+                    &stmt,
                 );
             }
             _ => new_body.push(stmt),
@@ -85,32 +93,52 @@ fn expand_addmod(
 
     body.push(Stmt {
         dsts: vec![carry, sum],
-        op: Op::AddWide { a, b, carry_in: None },
+        op: Op::AddWide {
+            a,
+            b,
+            carry_in: None,
+        },
         comment: comment(src, "rule (22): wide addition with carry"),
     });
     body.push(Stmt {
         dsts: vec![lt],
-        op: Op::Lt { a: q, b: sum.into() },
+        op: Op::Lt {
+            a: q,
+            b: sum.into(),
+        },
         comment: comment(src, "rule (24): q < sum"),
     });
     body.push(Stmt {
         dsts: vec![eq],
-        op: Op::Eq { a: q, b: sum.into() },
+        op: Op::Eq {
+            a: q,
+            b: sum.into(),
+        },
         comment: comment(src, "rule (24): q =? sum (>= correction)"),
     });
     body.push(Stmt {
         dsts: vec![ge],
-        op: Op::BoolOr { a: lt.into(), b: eq.into() },
+        op: Op::BoolOr {
+            a: lt.into(),
+            b: eq.into(),
+        },
         comment: None,
     });
     body.push(Stmt {
         dsts: vec![cond],
-        op: Op::BoolOr { a: carry.into(), b: ge.into() },
+        op: Op::BoolOr {
+            a: carry.into(),
+            b: ge.into(),
+        },
         comment: comment(src, "rule (24): overflow or sum >= q"),
     });
     body.push(Stmt {
         dsts: vec![diff],
-        op: Op::Sub { a: sum.into(), b: q, borrow_in: None },
+        op: Op::Sub {
+            a: sum.into(),
+            b: q,
+            borrow_in: None,
+        },
         comment: comment(src, "rule (25): conditional subtraction value"),
     });
     body.push(Stmt {
@@ -142,7 +170,11 @@ fn expand_submod(
 
     body.push(Stmt {
         dsts: vec![diff],
-        op: Op::Sub { a, b, borrow_in: None },
+        op: Op::Sub {
+            a,
+            b,
+            borrow_in: None,
+        },
         comment: comment(src, "rule (25): wrapping subtraction"),
     });
     body.push(Stmt {
@@ -210,7 +242,10 @@ fn expand_mulmod(
     });
     body.push(Stmt {
         dsts: vec![p_hi, p_lo],
-        op: Op::MulWide { a: r1.into(), b: mu },
+        op: Op::MulWide {
+            a: r1.into(),
+            b: mu,
+        },
         comment: comment(src, "p = r1 * mu"),
     });
     body.push(Stmt {
@@ -287,7 +322,13 @@ mod tests {
         let expanded = expand_modular_ops(&hl.kernel);
         assert!(expanded.is_machine_level(64));
         let q = 0x0FFF_FFA0_0000_0001u64; // 60-bit prime
-        for (a, b) in [(0u64, 0u64), (q - 1, q - 1), (1, q - 1), (123456, 654321), (q / 2, q / 2 + 1)] {
+        for (a, b) in [
+            (0u64, 0u64),
+            (q - 1, q - 1),
+            (1, q - 1),
+            (123456, 654321),
+            (q / 2, q / 2 + 1),
+        ] {
             let r = interp::run(&expanded, &[a, b, q]).unwrap();
             let expected = ((a as u128 + b as u128) % q as u128) as u64;
             assert_eq!(r.outputs[0], expected, "a={a} b={b}");
@@ -306,9 +347,13 @@ mod tests {
 
         let mut state = 0x2545F4914F6CDD1Du64;
         for _ in 0..200 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let a = state % q;
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let b = state % q;
             let r = interp::run(&sub, &[a, b, q]).unwrap();
             let expected = if a >= b { a - b } else { a + q - b };

@@ -381,9 +381,28 @@ mod tests {
         let lo2 = kb.local("lo2", Ty::UInt(64));
         let f = kb.local("f", Ty::Flag);
         let out = kb.output("out", Ty::UInt(64));
-        kb.push(vec![hi1, lo1], Op::MulWide { a: a.into(), b: b_lo.into() });
-        kb.push(vec![hi2, lo2], Op::MulWide { a: a.into(), b: b_hi.into() });
-        kb.push(vec![f, out], Op::AddWide { a: lo1.into(), b: lo2.into(), carry_in: None });
+        kb.push(
+            vec![hi1, lo1],
+            Op::MulWide {
+                a: a.into(),
+                b: b_lo.into(),
+            },
+        );
+        kb.push(
+            vec![hi2, lo2],
+            Op::MulWide {
+                a: a.into(),
+                b: b_hi.into(),
+            },
+        );
+        kb.push(
+            vec![f, out],
+            Op::AddWide {
+                a: lo1.into(),
+                b: lo2.into(),
+                carry_in: None,
+            },
+        );
         let kernel = kb.build();
         let mut zt = HashMap::new();
         zt.insert(b_hi, 64u32); // the entire high word is known zero
@@ -398,7 +417,11 @@ mod tests {
         let optimized = optimize(&pruned);
         let after = moma_ir::cost::static_counts(&optimized);
         assert_eq!(before.get("mulwide"), 2);
-        assert_eq!(after.get("mulwide"), 1, "multiplication by the zero word must vanish");
+        assert_eq!(
+            after.get("mulwide"),
+            1,
+            "multiplication by the zero word must vanish"
+        );
         assert!(after.total() < before.total());
         // Semantics preserved: out = low(a*b_lo) + 0.
         let r_before = interp::run(&kernel, &[7, 0, 1 << 40]).unwrap();
@@ -412,7 +435,14 @@ mod tests {
         let a = kb.param("a", Ty::UInt(64));
         let c = kb.param("c", Ty::Flag);
         let o = kb.output("o", Ty::UInt(64));
-        kb.push(vec![o], Op::Select { cond: c.into(), if_true: a.into(), if_false: a.into() });
+        kb.push(
+            vec![o],
+            Op::Select {
+                cond: c.into(),
+                if_true: a.into(),
+                if_false: a.into(),
+            },
+        );
         let (s, changed) = simplify(&kb.build());
         assert!(changed);
         assert!(matches!(s.body[0].op, Op::Copy { .. }));
@@ -425,8 +455,20 @@ mod tests {
         let unused = kb.local("unused", Ty::UInt(64));
         let also_unused = kb.local("also_unused", Ty::UInt(64));
         let o = kb.output("o", Ty::UInt(64));
-        kb.push(vec![unused], Op::MulLow { a: a.into(), b: a.into() });
-        kb.push(vec![also_unused], Op::MulLow { a: unused.into(), b: a.into() });
+        kb.push(
+            vec![unused],
+            Op::MulLow {
+                a: a.into(),
+                b: a.into(),
+            },
+        );
+        kb.push(
+            vec![also_unused],
+            Op::MulLow {
+                a: unused.into(),
+                b: a.into(),
+            },
+        );
         kb.push(vec![o], Op::Copy { src: a.into() });
         let (out, changed) = eliminate_dead_code(&kb.build());
         assert!(changed);
@@ -440,13 +482,46 @@ mod tests {
         let o1 = kb.output("o1", Ty::Flag);
         let o2 = kb.output("o2", Ty::Flag);
         let o3 = kb.output("o3", Ty::Flag);
-        kb.push(vec![o1], Op::BoolAnd { a: f.into(), b: Operand::Const(0) });
-        kb.push(vec![o2], Op::BoolOr { a: f.into(), b: Operand::Const(1) });
-        kb.push(vec![o3], Op::BoolOr { a: f.into(), b: Operand::Const(0) });
+        kb.push(
+            vec![o1],
+            Op::BoolAnd {
+                a: f.into(),
+                b: Operand::Const(0),
+            },
+        );
+        kb.push(
+            vec![o2],
+            Op::BoolOr {
+                a: f.into(),
+                b: Operand::Const(1),
+            },
+        );
+        kb.push(
+            vec![o3],
+            Op::BoolOr {
+                a: f.into(),
+                b: Operand::Const(0),
+            },
+        );
         let (s, _) = simplify(&kb.build());
-        assert!(matches!(s.body[0].op, Op::Copy { src: Operand::Const(0) }));
-        assert!(matches!(s.body[1].op, Op::Copy { src: Operand::Const(1) }));
-        assert!(matches!(s.body[2].op, Op::Copy { src: Operand::Var(_) }));
+        assert!(matches!(
+            s.body[0].op,
+            Op::Copy {
+                src: Operand::Const(0)
+            }
+        ));
+        assert!(matches!(
+            s.body[1].op,
+            Op::Copy {
+                src: Operand::Const(1)
+            }
+        ));
+        assert!(matches!(
+            s.body[2].op,
+            Op::Copy {
+                src: Operand::Var(_)
+            }
+        ));
     }
 
     #[test]

@@ -101,7 +101,8 @@ pub const EXTENDED_RULES: [RuleDescription; 4] = [
     RuleDescription {
         number: 101,
         lhs: "[c0..c3] = [a0,a1] * [b0,b1] (Karatsuba)",
-        rhs: "z0 = a1*b1;  z2 = a0*b0;  z1 = (a0+a1)(b0+b1) - z0 - z2;  c = z2*2^(2w) + z1*2^w + z0",
+        rhs:
+            "z0 = a1*b1;  z2 = a0*b0;  z1 = (a0+a1)(b0+b1) - z0 - z2;  c = z2*2^(2w) + z1*2^w + z0",
         implemented_in: "split::Splitter::emit_mul_karatsuba",
     },
     RuleDescription {

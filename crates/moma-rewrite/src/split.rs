@@ -116,8 +116,22 @@ impl Splitter {
         self.push(vec![lt_hi], Op::Lt { a: a_hi, b: b_hi }, comment.clone());
         self.push(vec![eq_hi], Op::Eq { a: a_hi, b: b_hi }, None);
         self.push(vec![lt_lo], Op::Lt { a: a_lo, b: b_lo }, None);
-        self.push(vec![both], Op::BoolAnd { a: eq_hi.into(), b: lt_lo.into() }, None);
-        self.push(vec![dst], Op::BoolOr { a: lt_hi.into(), b: both.into() }, None);
+        self.push(
+            vec![both],
+            Op::BoolAnd {
+                a: eq_hi.into(),
+                b: lt_lo.into(),
+            },
+            None,
+        );
+        self.push(
+            vec![dst],
+            Op::BoolOr {
+                a: lt_hi.into(),
+                b: both.into(),
+            },
+            None,
+        );
     }
 
     /// Borrow-out of `a - b - borrow_in` over split operands:
@@ -137,8 +151,22 @@ impl Splitter {
                 let and = self.fresh("bor_and", Ty::Flag);
                 let or = self.fresh("bor", Ty::Flag);
                 self.push(vec![eq], Op::Eq { a: a_lo, b: b_lo }, None);
-                self.push(vec![and], Op::BoolAnd { a: eq.into(), b: bin }, None);
-                self.push(vec![or], Op::BoolOr { a: lt.into(), b: and.into() }, None);
+                self.push(
+                    vec![and],
+                    Op::BoolAnd {
+                        a: eq.into(),
+                        b: bin,
+                    },
+                    None,
+                );
+                self.push(
+                    vec![or],
+                    Op::BoolOr {
+                        a: lt.into(),
+                        b: and.into(),
+                    },
+                    None,
+                );
                 or
             }
         }
@@ -165,12 +193,20 @@ impl Splitter {
                 let cin = carry_in.map(|c| self.map_operand(c));
                 self.push(
                     vec![mid, s_lo],
-                    Op::AddWide { a: a_lo, b: b_lo, carry_in: cin },
+                    Op::AddWide {
+                        a: a_lo,
+                        b: b_lo,
+                        carry_in: cin,
+                    },
                     comment.clone(),
                 );
                 self.push(
                     vec![carry_dst, s_hi],
-                    Op::AddWide { a: a_hi, b: b_hi, carry_in: Some(mid.into()) },
+                    Op::AddWide {
+                        a: a_hi,
+                        b: b_hi,
+                        carry_in: Some(mid.into()),
+                    },
                     None,
                 );
             }
@@ -182,13 +218,21 @@ impl Splitter {
                 let bin = borrow_in.map(|c| self.map_operand(c));
                 self.push(
                     vec![d_lo],
-                    Op::Sub { a: a_lo, b: b_lo, borrow_in: bin },
+                    Op::Sub {
+                        a: a_lo,
+                        b: b_lo,
+                        borrow_in: bin,
+                    },
                     comment.clone(),
                 );
                 let borrow = self.emit_borrow_out(a_lo, b_lo, bin);
                 self.push(
                     vec![d_hi],
-                    Op::Sub { a: a_hi, b: b_hi, borrow_in: Some(borrow.into()) },
+                    Op::Sub {
+                        a: a_hi,
+                        b: b_hi,
+                        borrow_in: Some(borrow.into()),
+                    },
                     None,
                 );
             }
@@ -199,10 +243,22 @@ impl Splitter {
                 let (b_hi, b_lo) = self.split_operand(*b);
                 match self.mul_algorithm {
                     MulAlgorithm::Schoolbook => self.emit_mul_schoolbook(
-                        half_ty, [hh, hl, lh, ll], a_hi, a_lo, b_hi, b_lo, comment,
+                        half_ty,
+                        [hh, hl, lh, ll],
+                        a_hi,
+                        a_lo,
+                        b_hi,
+                        b_lo,
+                        comment,
                     ),
                     MulAlgorithm::Karatsuba => self.emit_mul_karatsuba(
-                        half_ty, [hh, hl, lh, ll], a_hi, a_lo, b_hi, b_lo, comment,
+                        half_ty,
+                        [hh, hl, lh, ll],
+                        a_hi,
+                        a_lo,
+                        b_hi,
+                        b_lo,
+                        comment,
                     ),
                 }
             }
@@ -223,8 +279,24 @@ impl Splitter {
                 self.push(vec![e], Op::MulLow { a: a_lo, b: b_hi }, None);
                 self.push(vec![f], Op::MulLow { a: a_hi, b: b_lo }, None);
                 self.push(vec![d_lo], Op::Copy { src: p_lo.into() }, None);
-                self.push(vec![k1, t], Op::AddWide { a: p_hi.into(), b: e.into(), carry_in: None }, None);
-                self.push(vec![k2, d_hi], Op::AddWide { a: t.into(), b: f.into(), carry_in: None }, None);
+                self.push(
+                    vec![k1, t],
+                    Op::AddWide {
+                        a: p_hi.into(),
+                        b: e.into(),
+                        carry_in: None,
+                    },
+                    None,
+                );
+                self.push(
+                    vec![k2, d_hi],
+                    Op::AddWide {
+                        a: t.into(),
+                        b: f.into(),
+                        carry_in: None,
+                    },
+                    None,
+                );
             }
             Op::Lt { a, b } => {
                 let dst = self.map_dst(stmt.dsts[0]);
@@ -239,21 +311,58 @@ impl Splitter {
                 let eq_lo = self.fresh("eq_lo", Ty::Flag);
                 self.push(vec![eq_hi], Op::Eq { a: a_hi, b: b_hi }, comment);
                 self.push(vec![eq_lo], Op::Eq { a: a_lo, b: b_lo }, None);
-                self.push(vec![dst], Op::BoolAnd { a: eq_hi.into(), b: eq_lo.into() }, None);
+                self.push(
+                    vec![dst],
+                    Op::BoolAnd {
+                        a: eq_hi.into(),
+                        b: eq_lo.into(),
+                    },
+                    None,
+                );
             }
-            Op::Select { cond, if_true, if_false } => {
+            Op::Select {
+                cond,
+                if_true,
+                if_false,
+            } => {
                 let cond = self.map_operand(*cond);
-                if kernel.ty(stmt.dsts[0]).needs_lowering(self.half) || kernel.ty(stmt.dsts[0]).bits() == self.half * 2 {
+                if kernel.ty(stmt.dsts[0]).needs_lowering(self.half)
+                    || kernel.ty(stmt.dsts[0]).bits() == self.half * 2
+                {
                     let (d_hi, d_lo) = self.split_dst(stmt.dsts[0]);
                     let (t_hi, t_lo) = self.split_operand(*if_true);
                     let (f_hi, f_lo) = self.split_operand(*if_false);
-                    self.push(vec![d_hi], Op::Select { cond, if_true: t_hi, if_false: f_hi }, comment);
-                    self.push(vec![d_lo], Op::Select { cond, if_true: t_lo, if_false: f_lo }, None);
+                    self.push(
+                        vec![d_hi],
+                        Op::Select {
+                            cond,
+                            if_true: t_hi,
+                            if_false: f_hi,
+                        },
+                        comment,
+                    );
+                    self.push(
+                        vec![d_lo],
+                        Op::Select {
+                            cond,
+                            if_true: t_lo,
+                            if_false: f_lo,
+                        },
+                        None,
+                    );
                 } else {
                     let d = self.map_dst(stmt.dsts[0]);
                     let t = self.map_operand(*if_true);
                     let f = self.map_operand(*if_false);
-                    self.push(vec![d], Op::Select { cond, if_true: t, if_false: f }, comment);
+                    self.push(
+                        vec![d],
+                        Op::Select {
+                            cond,
+                            if_true: t,
+                            if_false: f,
+                        },
+                        comment,
+                    );
                 }
             }
             Op::ShrMulti { words, shift } => {
@@ -269,7 +378,14 @@ impl Splitter {
                     new_dsts.push(hi);
                     new_dsts.push(lo);
                 }
-                self.push(new_dsts, Op::ShrMulti { words: new_words, shift: *shift }, comment);
+                self.push(
+                    new_dsts,
+                    Op::ShrMulti {
+                        words: new_words,
+                        shift: *shift,
+                    },
+                    comment,
+                );
             }
             Op::BoolAnd { .. } | Op::BoolOr { .. } => unreachable!("flag ops are never wide"),
             Op::AddMod { .. } | Op::SubMod { .. } | Op::MulModBarrett { .. } => {
@@ -308,16 +424,56 @@ impl Splitter {
         let x_lo = self.fresh("cross_lo", half_ty);
         let cr = self.fresh("cross_carry", Ty::Flag);
         let x_hi = self.fresh("cross_hi", half_ty);
-        self.push(vec![cf, x_lo], Op::AddWide { a: p1l.into(), b: p2l.into(), carry_in: None }, None);
-        self.push(vec![cr, x_hi], Op::AddWide { a: p1h.into(), b: p2h.into(), carry_in: Some(cf.into()) }, None);
+        self.push(
+            vec![cf, x_lo],
+            Op::AddWide {
+                a: p1l.into(),
+                b: p2l.into(),
+                carry_in: None,
+            },
+            None,
+        );
+        self.push(
+            vec![cr, x_hi],
+            Op::AddWide {
+                a: p1h.into(),
+                b: p2h.into(),
+                carry_in: Some(cf.into()),
+            },
+            None,
+        );
         // Accumulate into the four result words (rule (29)).
         let k1 = self.fresh("acc_c1", Ty::Flag);
         let k2 = self.fresh("acc_c2", Ty::Flag);
         let k3 = self.fresh("acc_c3", Ty::Flag);
         self.push(vec![ll], Op::Copy { src: p0l.into() }, None);
-        self.push(vec![k1, lh], Op::AddWide { a: p0h.into(), b: x_lo.into(), carry_in: None }, None);
-        self.push(vec![k2, hl], Op::AddWide { a: p3l.into(), b: x_hi.into(), carry_in: Some(k1.into()) }, None);
-        self.push(vec![k3, hh], Op::AddWide { a: p3h.into(), b: cr.into(), carry_in: Some(k2.into()) }, None);
+        self.push(
+            vec![k1, lh],
+            Op::AddWide {
+                a: p0h.into(),
+                b: x_lo.into(),
+                carry_in: None,
+            },
+            None,
+        );
+        self.push(
+            vec![k2, hl],
+            Op::AddWide {
+                a: p3l.into(),
+                b: x_hi.into(),
+                carry_in: Some(k1.into()),
+            },
+            None,
+        );
+        self.push(
+            vec![k3, hh],
+            Op::AddWide {
+                a: p3h.into(),
+                b: cr.into(),
+                carry_in: Some(k2.into()),
+            },
+            None,
+        );
     }
 
     /// Karatsuba splitting of a widening multiplication (Equation 9): three half
@@ -345,33 +501,111 @@ impl Splitter {
         let sa = self.fresh("ka_sa", half_ty);
         let cb = self.fresh("ka_cb", Ty::Flag);
         let sb = self.fresh("ka_sb", half_ty);
-        self.push(vec![ca, sa], Op::AddWide { a: a_lo, b: a_hi, carry_in: None }, None);
-        self.push(vec![cb, sb], Op::AddWide { a: b_lo, b: b_hi, carry_in: None }, None);
+        self.push(
+            vec![ca, sa],
+            Op::AddWide {
+                a: a_lo,
+                b: a_hi,
+                carry_in: None,
+            },
+            None,
+        );
+        self.push(
+            vec![cb, sb],
+            Op::AddWide {
+                a: b_lo,
+                b: b_hi,
+                carry_in: None,
+            },
+            None,
+        );
         // m = sa*sb
         let mh = self.fresh("ka_m_hi", half_ty);
         let ml = self.fresh("ka_m_lo", half_ty);
-        self.push(vec![mh, ml], Op::MulWide { a: sa.into(), b: sb.into() }, None);
+        self.push(
+            vec![mh, ml],
+            Op::MulWide {
+                a: sa.into(),
+                b: sb.into(),
+            },
+            None,
+        );
         // Carry corrections: (ca·2^H + sa)(cb·2^H + sb)
         //   = m + ca·sb·2^H + cb·sa·2^H + (ca∧cb)·2^2H  — a 3-half-word value [e2, e1, e0].
         let t1 = self.fresh("ka_t1", half_ty);
         let t2 = self.fresh("ka_t2", half_ty);
-        self.push(vec![t1], Op::Select { cond: ca.into(), if_true: sb.into(), if_false: Operand::Const(0) }, None);
-        self.push(vec![t2], Op::Select { cond: cb.into(), if_true: sa.into(), if_false: Operand::Const(0) }, None);
+        self.push(
+            vec![t1],
+            Op::Select {
+                cond: ca.into(),
+                if_true: sb.into(),
+                if_false: Operand::Const(0),
+            },
+            None,
+        );
+        self.push(
+            vec![t2],
+            Op::Select {
+                cond: cb.into(),
+                if_true: sa.into(),
+                if_false: Operand::Const(0),
+            },
+            None,
+        );
         let e0 = ml;
         let k1 = self.fresh("ka_k1", Ty::Flag);
         let e1a = self.fresh("ka_e1a", half_ty);
         let k2 = self.fresh("ka_k2", Ty::Flag);
         let e1 = self.fresh("ka_e1", half_ty);
-        self.push(vec![k1, e1a], Op::AddWide { a: mh.into(), b: t1.into(), carry_in: None }, None);
-        self.push(vec![k2, e1], Op::AddWide { a: e1a.into(), b: t2.into(), carry_in: None }, None);
+        self.push(
+            vec![k1, e1a],
+            Op::AddWide {
+                a: mh.into(),
+                b: t1.into(),
+                carry_in: None,
+            },
+            None,
+        );
+        self.push(
+            vec![k2, e1],
+            Op::AddWide {
+                a: e1a.into(),
+                b: t2.into(),
+                carry_in: None,
+            },
+            None,
+        );
         let cacb = self.fresh("ka_cacb", Ty::Flag);
-        self.push(vec![cacb], Op::BoolAnd { a: ca.into(), b: cb.into() }, None);
+        self.push(
+            vec![cacb],
+            Op::BoolAnd {
+                a: ca.into(),
+                b: cb.into(),
+            },
+            None,
+        );
         let kz1 = self.fresh("ka_kz1", Ty::Flag);
         let e2a = self.fresh("ka_e2a", half_ty);
         let kz2 = self.fresh("ka_kz2", Ty::Flag);
         let e2 = self.fresh("ka_e2", half_ty);
-        self.push(vec![kz1, e2a], Op::AddWide { a: k1.into(), b: k2.into(), carry_in: None }, None);
-        self.push(vec![kz2, e2], Op::AddWide { a: e2a.into(), b: cacb.into(), carry_in: None }, None);
+        self.push(
+            vec![kz1, e2a],
+            Op::AddWide {
+                a: k1.into(),
+                b: k2.into(),
+                carry_in: None,
+            },
+            None,
+        );
+        self.push(
+            vec![kz2, e2],
+            Op::AddWide {
+                a: e2a.into(),
+                b: cacb.into(),
+                carry_in: None,
+            },
+            None,
+        );
         // cross = [e2, e1, e0] − z0 − z2, a value of at most 2H+1 bits.
         let (s2, s1, s0) = self.emit_sub3(half_ty, e2, e1, e0, z0h, z0l);
         let (u2, u1, u0) = self.emit_sub3(half_ty, s2, s1, s0, z2h, z2l);
@@ -380,9 +614,33 @@ impl Splitter {
         let r2c = self.fresh("ka_r2c", Ty::Flag);
         let r3c = self.fresh("ka_r3c", Ty::Flag);
         self.push(vec![ll], Op::Copy { src: z0l.into() }, None);
-        self.push(vec![r1c, lh], Op::AddWide { a: z0h.into(), b: u0.into(), carry_in: None }, None);
-        self.push(vec![r2c, hl], Op::AddWide { a: z2l.into(), b: u1.into(), carry_in: Some(r1c.into()) }, None);
-        self.push(vec![r3c, hh], Op::AddWide { a: z2h.into(), b: u2.into(), carry_in: Some(r2c.into()) }, None);
+        self.push(
+            vec![r1c, lh],
+            Op::AddWide {
+                a: z0h.into(),
+                b: u0.into(),
+                carry_in: None,
+            },
+            None,
+        );
+        self.push(
+            vec![r2c, hl],
+            Op::AddWide {
+                a: z2l.into(),
+                b: u1.into(),
+                carry_in: Some(r1c.into()),
+            },
+            None,
+        );
+        self.push(
+            vec![r3c, hh],
+            Op::AddWide {
+                a: z2h.into(),
+                b: u2.into(),
+                carry_in: Some(r2c.into()),
+            },
+            None,
+        );
     }
 
     /// Three-half-word minus two-half-word subtraction used by the Karatsuba rewrite:
@@ -399,11 +657,35 @@ impl Splitter {
         let r0 = self.fresh("ks_r0", half_ty);
         let r1 = self.fresh("ks_r1", half_ty);
         let r2 = self.fresh("ks_r2", half_ty);
-        self.push(vec![r0], Op::Sub { a: e0.into(), b: s_lo.into(), borrow_in: None }, None);
+        self.push(
+            vec![r0],
+            Op::Sub {
+                a: e0.into(),
+                b: s_lo.into(),
+                borrow_in: None,
+            },
+            None,
+        );
         let b0 = self.emit_borrow_out(e0.into(), s_lo.into(), None);
-        self.push(vec![r1], Op::Sub { a: e1.into(), b: s_hi.into(), borrow_in: Some(b0.into()) }, None);
+        self.push(
+            vec![r1],
+            Op::Sub {
+                a: e1.into(),
+                b: s_hi.into(),
+                borrow_in: Some(b0.into()),
+            },
+            None,
+        );
         let b1 = self.emit_borrow_out(e1.into(), s_hi.into(), Some(b0.into()));
-        self.push(vec![r2], Op::Sub { a: e2.into(), b: Operand::Const(0), borrow_in: Some(b1.into()) }, None);
+        self.push(
+            vec![r2],
+            Op::Sub {
+                a: e2.into(),
+                b: Operand::Const(0),
+                borrow_in: Some(b1.into()),
+            },
+            None,
+        );
         (r2, r1, r0)
     }
 }
@@ -446,9 +728,15 @@ pub fn split_once(
         let zt = zero_top_bits.get(&id).copied().unwrap_or(0);
         if var.ty == Ty::UInt(wide) {
             let hi = VarId(out.vars.len());
-            out.vars.push(Var { name: format!("{}_hi", var.name), ty: Ty::UInt(half) });
+            out.vars.push(Var {
+                name: format!("{}_hi", var.name),
+                ty: Ty::UInt(half),
+            });
             let lo = VarId(out.vars.len());
-            out.vars.push(Var { name: format!("{}_lo", var.name), ty: Ty::UInt(half) });
+            out.vars.push(Var {
+                name: format!("{}_lo", var.name),
+                ty: Ty::UInt(half),
+            });
             mapping.insert(id, VarMapping::Pair(hi, lo));
             new_zero_top.insert(hi, zt.min(half));
             new_zero_top.insert(lo, zt.saturating_sub(half));
@@ -490,10 +778,7 @@ pub fn split_once(
     };
 
     for stmt in &kernel.body {
-        let touches_wide = stmt
-            .dsts
-            .iter()
-            .any(|d| kernel.ty(*d) == Ty::UInt(wide))
+        let touches_wide = stmt.dsts.iter().any(|d| kernel.ty(*d) == Ty::UInt(wide))
             || stmt.op.operands().iter().any(|o| {
                 o.as_var()
                     .map(|v| kernel.ty(v) == Ty::UInt(wide))
@@ -539,7 +824,11 @@ fn remap_op(op: &Op, s: &Splitter) -> Op {
         Op::Eq { a, b } => Op::Eq { a: m(a), b: m(b) },
         Op::BoolAnd { a, b } => Op::BoolAnd { a: m(a), b: m(b) },
         Op::BoolOr { a, b } => Op::BoolOr { a: m(a), b: m(b) },
-        Op::Select { cond, if_true, if_false } => Op::Select {
+        Op::Select {
+            cond,
+            if_true,
+            if_false,
+        } => Op::Select {
             cond: m(cond),
             if_true: m(if_true),
             if_false: m(if_false),
@@ -548,8 +837,16 @@ fn remap_op(op: &Op, s: &Splitter) -> Op {
             words: words.iter().map(m).collect(),
             shift: *shift,
         },
-        Op::AddMod { a, b, q } => Op::AddMod { a: m(a), b: m(b), q: m(q) },
-        Op::SubMod { a, b, q } => Op::SubMod { a: m(a), b: m(b), q: m(q) },
+        Op::AddMod { a, b, q } => Op::AddMod {
+            a: m(a),
+            b: m(b),
+            q: m(q),
+        },
+        Op::SubMod { a, b, q } => Op::SubMod {
+            a: m(a),
+            b: m(b),
+            q: m(q),
+        },
         Op::MulModBarrett { a, b, q, mu, mbits } => Op::MulModBarrett {
             a: m(a),
             b: m(b),
@@ -676,7 +973,10 @@ mod tests {
                 (0, 12345),
                 (1, u128::MAX),
                 (u128::MAX, u128::MAX),
-                (0xdeadbeefdeadbeefdeadbeefdeadbeef, 0xcafebabecafebabecafebabecafebabe),
+                (
+                    0xdeadbeefdeadbeefdeadbeefdeadbeef,
+                    0xcafebabecafebabecafebabecafebabe,
+                ),
                 ((1 << 124) - 160, (1 << 124) - 161),
             ],
         );
@@ -690,7 +990,10 @@ mod tests {
             &[
                 (0, 12345),
                 (u128::MAX, u128::MAX),
-                (0x123456789abcdef0123456789abcdef0, 0xfedcba9876543210fedcba9876543210),
+                (
+                    0x123456789abcdef0123456789abcdef0,
+                    0xfedcba9876543210fedcba9876543210,
+                ),
                 ((1 << 124) - 160, 7),
             ],
         );
@@ -733,7 +1036,11 @@ mod tests {
         assert_eq!(split.zero_top_bits.get(&a_lo).copied().unwrap_or(0), 0);
         // Splitting again: the top 256-bit half becomes two 128-bit quarters, the
         // topmost of which is entirely zero.
-        let split2 = split_once(&split.kernel, &split.zero_top_bits, MulAlgorithm::Schoolbook);
+        let split2 = split_once(
+            &split.kernel,
+            &split.zero_top_bits,
+            MulAlgorithm::Schoolbook,
+        );
         let a_hi_hi = split2.kernel.params[0];
         assert_eq!(split2.zero_top_bits.get(&a_hi_hi), Some(&128));
     }

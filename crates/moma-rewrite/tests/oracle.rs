@@ -15,7 +15,12 @@ use std::collections::HashMap;
 /// `x_hi_hi…`, in most-significant-first order. We therefore collect, for each original
 /// parameter, its word variables in declaration order and fill them most significant
 /// first. Pruned (dropped) words are simply skipped.
-fn pack_param(value: &BigUint, word_names: &[String], word_bits: u32, padded_bits: u32) -> Vec<u64> {
+fn pack_param(
+    value: &BigUint,
+    word_names: &[String],
+    word_bits: u32,
+    padded_bits: u32,
+) -> Vec<u64> {
     // Produce the padded value as words, most significant first.
     let total_words = (padded_bits / word_bits) as usize;
     let limbs64 = value.to_limbs_le(padded_bits.div_ceil(64) as usize);

@@ -132,12 +132,7 @@ impl RnsContext {
     pub fn from_residues(&self, x: &RnsInt) -> BigUint {
         assert_eq!(x.residues.len(), self.moduli.len());
         let mut acc = BigUint::zero();
-        for ((&r, &m), (mi, yi)) in x
-            .residues
-            .iter()
-            .zip(&self.moduli)
-            .zip(&self.crt)
-        {
+        for ((&r, &m), (mi, yi)) in x.residues.iter().zip(&self.moduli).zip(&self.crt) {
             // term = r * yi mod m, times Mi
             let t = (r as u128 * *yi as u128 % m as u128) as u64;
             acc = &acc + &(mi * &BigUint::from(t));

@@ -87,7 +87,10 @@ impl Compiler {
 
     /// Like [`Compiler::compile`], but also returns the per-stage rewrite trace
     /// (the §4 worked example as the tool performs it).
-    pub fn compile_with_trace(&self, spec: &KernelSpec) -> (GeneratedKernel, Vec<(String, String)>) {
+    pub fn compile_with_trace(
+        &self,
+        spec: &KernelSpec,
+    ) -> (GeneratedKernel, Vec<(String, String)>) {
         let hl = builders::build(spec);
         let (lowered, trace) = lower_with_trace(&hl, &self.config);
         let cuda_source = emit_cuda(&lowered.kernel).expect("lowered kernels are emittable");

@@ -117,9 +117,12 @@ mod tests {
 
     #[test]
     fn modelled_times_scale_with_width_and_device() {
-        let h100_128 = modelled_ntt_ns_per_butterfly(DeviceSpec::H100, 128, 12, MulAlgorithm::Schoolbook);
-        let h100_768 = modelled_ntt_ns_per_butterfly(DeviceSpec::H100, 768, 12, MulAlgorithm::Schoolbook);
-        let v100_128 = modelled_ntt_ns_per_butterfly(DeviceSpec::V100, 128, 12, MulAlgorithm::Schoolbook);
+        let h100_128 =
+            modelled_ntt_ns_per_butterfly(DeviceSpec::H100, 128, 12, MulAlgorithm::Schoolbook);
+        let h100_768 =
+            modelled_ntt_ns_per_butterfly(DeviceSpec::H100, 768, 12, MulAlgorithm::Schoolbook);
+        let v100_128 =
+            modelled_ntt_ns_per_butterfly(DeviceSpec::V100, 128, 12, MulAlgorithm::Schoolbook);
         assert!(h100_768 > 10.0 * h100_128);
         assert!(v100_128 > h100_128);
     }

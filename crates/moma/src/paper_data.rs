@@ -26,7 +26,15 @@ pub const NTT_256_BASELINES: [Reference; 4] = [
         system: "ICICLE",
         platform: "H100",
         bits: 256,
-        points: &[(10, 30.0), (12, 16.0), (14, 12.0), (16, 10.0), (18, 9.0), (20, 9.0), (22, 9.5)],
+        points: &[
+            (10, 30.0),
+            (12, 16.0),
+            (14, 12.0),
+            (16, 10.0),
+            (18, 9.0),
+            (20, 9.0),
+            (22, 9.5),
+        ],
     },
     Reference {
         system: "GZKP",
@@ -82,7 +90,14 @@ pub const NTT_384_BASELINES: [Reference; 2] = [
         system: "ICICLE",
         platform: "H100",
         bits: 384,
-        points: &[(10, 40.0), (12, 25.0), (14, 20.0), (16, 17.0), (18, 16.0), (20, 16.0)],
+        points: &[
+            (10, 40.0),
+            (12, 25.0),
+            (14, 20.0),
+            (16, 17.0),
+            (18, 16.0),
+            (20, 16.0),
+        ],
     },
     Reference {
         system: "FPMM",
@@ -217,7 +232,11 @@ mod tests {
         {
             assert!(!r.points.is_empty(), "{} has points", r.system);
             assert!(r.points.iter().all(|(_, ns)| *ns > 0.0));
-            assert!(r.points.windows(2).all(|w| w[0].0 < w[1].0), "{} sizes sorted", r.system);
+            assert!(
+                r.points.windows(2).all(|w| w[0].0 < w[1].0),
+                "{} sizes sorted",
+                r.system
+            );
         }
     }
 
@@ -230,8 +249,7 @@ mod tests {
     }
 
     #[test]
-    fn claims_are_the_published_numbers()
-    {
+    fn claims_are_the_published_numbers() {
         assert_eq!(claims::NTT_256_VS_ICICLE, 13.0);
         assert_eq!(claims::BLAS_ADDSUB_VS_GMP, 527.0);
     }

@@ -32,9 +32,16 @@ fn main() {
     let slow = schoolbook_polymul(&params, &a, &b);
     let t_schoolbook = t0.elapsed();
 
-    assert_eq!(fast, slow, "NTT-based product must equal the schoolbook product");
+    assert_eq!(
+        fast, slow,
+        "NTT-based product must equal the schoolbook product"
+    );
     println!("polynomial degree:            {}", DEGREE - 1);
-    println!("coefficient modulus:          {}-bit ({}-bit kernel)", BITS - 4, BITS);
+    println!(
+        "coefficient modulus:          {}-bit ({}-bit kernel)",
+        BITS - 4,
+        BITS
+    );
     println!("NTT-based multiplication:     {t_ntt:?}");
     println!("schoolbook multiplication:    {t_schoolbook:?}");
     println!(

@@ -34,8 +34,12 @@ fn main() {
     //    arbitrary-precision oracle.
     let q = moma::ntt::params::paper_modulus(256);
     let mu = (BigUint::from(1u64) << (2 * q.bits() + 3)) / &q;
-    let a = BigUint::from_hex("123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef").unwrap() % &q;
-    let b = BigUint::from_hex("fedcba9876543210fedcba9876543210fedcba9876543210fedcba987654321").unwrap() % &q;
+    let a = BigUint::from_hex("123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef")
+        .unwrap()
+        % &q;
+    let b = BigUint::from_hex("fedcba9876543210fedcba9876543210fedcba9876543210fedcba987654321")
+        .unwrap()
+        % &q;
 
     let words = |x: &BigUint| {
         let mut w = x.to_limbs_le(4);

@@ -28,7 +28,12 @@ fn main() {
     let y = Batch::random(&ring, &mut rng, 64, 256);
     let a = ring.random_element(&mut rng);
 
-    println!("batch: {} vectors x {} elements, {}-bit modulus\n", x.batch_size(), x.vector_len, q_big.bits());
+    println!(
+        "batch: {} vectors x {} elements, {}-bit modulus\n",
+        x.batch_size(),
+        x.vector_len,
+        q_big.bits()
+    );
     for op in BlasOp::all() {
         let (_, stats) = run_batch_parallel(&ring, op, a, &x, &y);
         println!(

@@ -119,21 +119,19 @@ fn generated_butterfly_matches_oracle_381_bits() {
                 .into_iter()
                 .find(|r| name == r || name.starts_with(&format!("{r}_")))
                 .unwrap();
-            remaining
-                .entry(root)
-                .or_insert_with(|| {
-                    let full = &packed[root];
-                    let kept = generated
-                        .kernel
-                        .params
-                        .iter()
-                        .filter(|p| {
-                            let n = &generated.kernel.var(**p).name;
-                            n == root || n.starts_with(&format!("{root}_"))
-                        })
-                        .count();
-                    full[full.len() - kept..].iter().copied().collect()
-                });
+            remaining.entry(root).or_insert_with(|| {
+                let full = &packed[root];
+                let kept = generated
+                    .kernel
+                    .params
+                    .iter()
+                    .filter(|p| {
+                        let n = &generated.kernel.var(**p).name;
+                        n == root || n.starts_with(&format!("{root}_"))
+                    })
+                    .count();
+                full[full.len() - kept..].iter().copied().collect()
+            });
         }
         let mut inputs = Vec::new();
         for p in &generated.kernel.params {

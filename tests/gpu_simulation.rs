@@ -59,8 +59,18 @@ fn cost_model_reproduces_figure_shapes() {
 
     // The V100 is the slowest device at every width (Figure 3).
     for bits in [128u32, 256, 384] {
-        let v = engine::modelled_ntt_ns_per_butterfly(DeviceSpec::V100, bits, 14, MulAlgorithm::Schoolbook);
-        let h = engine::modelled_ntt_ns_per_butterfly(DeviceSpec::H100, bits, 14, MulAlgorithm::Schoolbook);
+        let v = engine::modelled_ntt_ns_per_butterfly(
+            DeviceSpec::V100,
+            bits,
+            14,
+            MulAlgorithm::Schoolbook,
+        );
+        let h = engine::modelled_ntt_ns_per_butterfly(
+            DeviceSpec::H100,
+            bits,
+            14,
+            MulAlgorithm::Schoolbook,
+        );
         assert!(v > h, "{bits}");
     }
 
@@ -78,8 +88,10 @@ fn zero_pruning_reduces_modelled_time_for_padded_widths() {
     // 384-bit butterflies (stored in 512-bit containers) must be modelled as faster
     // than full 512-bit butterflies — this is what makes Figure 3c sit below a
     // hypothetical 512-bit curve.
-    let t384 = engine::modelled_ntt_ns_per_butterfly(DeviceSpec::H100, 384, 16, MulAlgorithm::Schoolbook);
-    let t512 = engine::modelled_ntt_ns_per_butterfly(DeviceSpec::H100, 512, 16, MulAlgorithm::Schoolbook);
+    let t384 =
+        engine::modelled_ntt_ns_per_butterfly(DeviceSpec::H100, 384, 16, MulAlgorithm::Schoolbook);
+    let t512 =
+        engine::modelled_ntt_ns_per_butterfly(DeviceSpec::H100, 512, 16, MulAlgorithm::Schoolbook);
     assert!(t384 < t512);
 }
 

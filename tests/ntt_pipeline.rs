@@ -16,7 +16,9 @@ use rand::SeedableRng;
 fn ntt_roundtrip_and_dft_agreement_256() {
     let params = NttParams::<4>::for_paper_modulus(64, 256, MulAlgorithm::Schoolbook);
     let mut rng = StdRng::seed_from_u64(1);
-    let data: Vec<_> = (0..64).map(|_| params.ring.random_element(&mut rng)).collect();
+    let data: Vec<_> = (0..64)
+        .map(|_| params.ring.random_element(&mut rng))
+        .collect();
 
     let mut fast = data.clone();
     forward(&params, &mut fast);
@@ -32,8 +34,12 @@ fn polynomial_product_matches_oracle_convolution() {
     let q_big = paper_modulus(bits);
     let params = NttParams::<2>::for_paper_modulus(2, bits, MulAlgorithm::Schoolbook);
     let mut rng = StdRng::seed_from_u64(2);
-    let a: Vec<_> = (0..40).map(|_| params.ring.random_element(&mut rng)).collect();
-    let b: Vec<_> = (0..25).map(|_| params.ring.random_element(&mut rng)).collect();
+    let a: Vec<_> = (0..40)
+        .map(|_| params.ring.random_element(&mut rng))
+        .collect();
+    let b: Vec<_> = (0..25)
+        .map(|_| params.ring.random_element(&mut rng))
+        .collect();
 
     let fast = ntt_polymul(bits, MulAlgorithm::Schoolbook, &a, &b);
     let slow = schoolbook_polymul(&params, &a, &b);
@@ -69,8 +75,14 @@ fn blas_matches_oracle_and_rns_baseline() {
 
     // Oracle (GMP stand-in).
     for i in 0..n {
-        assert_eq!(to_big(&moma_prod[i]), to_big(&a[i]).mod_mul(&to_big(&b[i]), &q_big));
-        assert_eq!(to_big(&moma_sum[i]), to_big(&a[i]).mod_add(&to_big(&b[i]), &q_big));
+        assert_eq!(
+            to_big(&moma_prod[i]),
+            to_big(&a[i]).mod_mul(&to_big(&b[i]), &q_big)
+        );
+        assert_eq!(
+            to_big(&moma_sum[i]),
+            to_big(&a[i]).mod_add(&to_big(&b[i]), &q_big)
+        );
     }
 
     // GRNS stand-in (RNS): product before reduction, then reduced mod q.

@@ -1,0 +1,106 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace's property tests use:
+//! the [`proptest!`] macro (including `#![proptest_config(..)]`), [`Strategy`] with
+//! `prop_map`, `any::<T>()`, integer-range strategies, `prop::collection::vec`,
+//! tuples of strategies, [`Just`], and the `prop_assert*` / `prop_assume!` macros.
+//!
+//! Semantics differ from real proptest in one deliberate way: there is no input
+//! shrinking. Failing cases report the drawn inputs via the standard assertion
+//! message instead. Case generation is fully deterministic (seeded from the test
+//! function's name), so failures reproduce across runs.
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-importable prelude, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Namespace module matching `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Rejects the current test case (treated as skipped, not failed) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Asserts a condition inside a property; panics (failing the test) if false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { ::std::assert!($($args)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { ::std::assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { ::std::assert_ne!($($args)*) };
+}
+
+/// Defines property tests: each `#[test] fn name(pat in strategy, ...) { body }`
+/// becomes a normal `#[test]` that runs `body` for `config.cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest! { @run ($config) $($rest)* }
+    };
+    (@run ($config:expr) $(
+        $(#[$meta:meta])+
+        fn $name:ident ( $( $pat:pat_param in $strategy:expr ),+ $(,)? ) $body:block
+    )*) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut rng = $crate::test_runner::rng_for_test(::core::stringify!($name));
+                let mut accepted: u32 = 0;
+                let mut attempts: u32 = 0;
+                let max_attempts = config.cases.saturating_mul(16).max(64);
+                while accepted < config.cases && attempts < max_attempts {
+                    attempts += 1;
+                    $( let $pat = $crate::strategy::Strategy::sample(&($strategy), &mut rng); )+
+                    let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::core::result::Result::Ok(()) })();
+                    match outcome {
+                        ::core::result::Result::Ok(()) => accepted += 1,
+                        ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject) => {}
+                    }
+                }
+                // Mirror real proptest's "too many global rejects" failure: a
+                // property whose assumptions filter out (nearly) every generated
+                // case must not silently count as passing.
+                ::std::assert!(
+                    accepted >= config.cases,
+                    "prop_assume! rejected too many cases: only {accepted}/{} accepted \
+                     after {attempts} attempts",
+                    config.cases,
+                );
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! { @run ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}

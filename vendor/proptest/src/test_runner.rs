@@ -1,0 +1,57 @@
+//! Test-runner plumbing: configuration, per-test deterministic RNG, and the
+//! case-outcome type used by the `proptest!` macro expansion.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// Configuration accepted by `#![proptest_config(..)]`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Outcome of a single generated case.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The case was rejected by `prop_assume!` (skipped, not failed).
+    Reject,
+}
+
+/// The RNG handed to strategies. Deterministic per test function.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+/// Builds the deterministic RNG for the named test. `DefaultHasher` uses fixed
+/// keys, so the seed — and therefore every generated case — is stable across runs
+/// and machines.
+pub fn rng_for_test(name: &str) -> TestRng {
+    let mut hasher = DefaultHasher::new();
+    name.hash(&mut hasher);
+    TestRng {
+        inner: StdRng::seed_from_u64(hasher.finish()),
+    }
+}

@@ -1,0 +1,78 @@
+//! Concrete generators: the deterministic [`StdRng`] and the clock-seeded
+//! [`ThreadRng`].
+
+use crate::{RngCore, SeedableRng};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// xoshiro256** seeded through SplitMix64 — same construction the real `rand`
+/// ecosystem uses for its small RNGs. Deterministic for a given seed.
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        StdRng { s }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Derives a fresh seed from the system clock and a process-wide counter.
+pub(crate) fn entropy_seed() -> u64 {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0x5eed);
+    nanos ^ COUNTER.fetch_add(0x9e37_79b9_7f4a_7c15, Ordering::Relaxed)
+}
+
+/// The generator returned by [`crate::thread_rng`].
+#[derive(Clone, Debug)]
+pub struct ThreadRng {
+    inner: StdRng,
+}
+
+impl ThreadRng {
+    pub(crate) fn new() -> Self {
+        ThreadRng {
+            inner: StdRng::seed_from_u64(entropy_seed()),
+        }
+    }
+}
+
+impl RngCore for ThreadRng {
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
