@@ -6,27 +6,49 @@
 //! Usage:
 //!   cargo run -p moma-bench --bin reproduce --release            # everything
 //!   cargo run -p moma-bench --bin reproduce --release -- fig3    # one item
+//!   cargo run -p moma-bench --bin reproduce --release -- bench   # hot-path bench,
+//!                                                                # writes BENCH_ntt_blas.json
+//!   cargo run -p moma-bench --bin reproduce --release -- --quick # bench only, fast
 //!
-//! Items: table1, table2, codegen, fig1, fig2, fig3, fig4, fig5a, fig5b, claims.
+//! Items: table1, table2, codegen, fig1, fig2, fig3, fig4, fig5a, fig5b, claims, bench.
+//! `--quick` reduces the bench iteration counts (CI smoke mode); on its own it implies
+//! the `bench` item only.
 
 use moma::bignum::BigUint;
 use moma::blas::batch::{run_batch, Batch};
+use moma::blas::gpu::run_batch_parallel;
 use moma::blas::BlasOp;
 use moma::engine;
 use moma::gpu::DeviceSpec;
+use moma::ir::compiled::CompiledKernel;
+use moma::ir::interp;
 use moma::mp::{ModRing, MpUint, MulAlgorithm as RtMulAlgorithm};
 use moma::ntt::params::{paper_modulus, NttParams};
-use moma::ntt::transform::{butterfly_count, forward};
+use moma::ntt::plan::{NttPlan, NttPlan64};
+use moma::ntt::transform::{butterfly_count, forward, Ntt64};
 use moma::paper_data;
 use moma::rewrite::rules::CORE_RULES;
+use moma::rewrite::{builders, lower};
 use moma::rns::{vector as rns_vec, RnsContext};
 use moma::MulAlgorithm;
-use moma::{Compiler, KernelOp, KernelSpec};
+use moma::{Compiler, KernelOp, KernelSpec, LoweringConfig};
+use rand::Rng;
 use std::time::Instant;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name || a == "all");
+    let all_args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = all_args.iter().any(|a| a == "--quick");
+    let args: Vec<String> = all_args.into_iter().filter(|a| a != "--quick").collect();
+    // `--quick` with no explicit items means "bench smoke only"; otherwise the
+    // item list (or its absence = everything) decides as before.
+    let bench_only = quick && args.is_empty();
+    let want = |name: &str| {
+        if bench_only {
+            name == "bench"
+        } else {
+            args.is_empty() || args.iter().any(|a| a == name || a == "all")
+        }
+    };
 
     if want("table1") {
         table1();
@@ -54,6 +76,9 @@ fn main() {
     }
     if want("claims") {
         claims();
+    }
+    if want("bench") {
+        bench(quick);
     }
 }
 
@@ -462,4 +487,220 @@ fn claims() {
     let counts_ka = engine::butterfly_op_counts(128, MulAlgorithm::Karatsuba);
     println!("\n128-bit butterfly multiplications: schoolbook {} vs Karatsuba {} (paper 5.4: 4 vs 3 per double word)",
         counts_sb.multiplications(), counts_ka.multiplications());
+}
+
+// ---------------------------------------------------------------------------
+// Hot-path benchmark: naive vs planned NTT, interpreted vs compiled kernels.
+// Emits BENCH_ntt_blas.json so later PRs have a perf trajectory to beat.
+// ---------------------------------------------------------------------------
+
+/// Runs `f` `iters` times on a fresh clone of `data` and returns the best
+/// wall-clock seconds of one run (setup excluded from the timed region).
+fn best_run<T: Clone>(iters: u32, data: &T, mut f: impl FnMut(&mut T)) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let mut work = data.clone();
+        let start = Instant::now();
+        f(&mut work);
+        let elapsed = start.elapsed().as_secs_f64();
+        std::hint::black_box(&work);
+        best = best.min(elapsed);
+    }
+    best
+}
+
+struct NttBenchRow {
+    path: &'static str,
+    ns_per_butterfly: f64,
+}
+
+/// Benchmarks the 64-bit NTT: naive Barrett loop vs Shoup/lazy-reduction plan.
+fn bench_ntt_u64(n: usize, iters: u32) -> (f64, Vec<NttBenchRow>) {
+    let ntt = Ntt64::new(n);
+    let plan = NttPlan64::from_ntt(&ntt);
+    let mut rng = rand::thread_rng();
+    let data: Vec<u64> = (0..n).map(|_| rng.gen::<u64>() % ntt.ctx.q).collect();
+    let butterflies = butterfly_count(n) as f64;
+    let naive = best_run(iters, &data, |w| ntt.forward(w)) * 1e9 / butterflies;
+    let planned = best_run(iters, &data, |w| plan.forward(w)) * 1e9 / butterflies;
+    (
+        naive / planned,
+        vec![
+            NttBenchRow {
+                path: "naive_u64",
+                ns_per_butterfly: naive,
+            },
+            NttBenchRow {
+                path: "planned_u64",
+                ns_per_butterfly: planned,
+            },
+        ],
+    )
+}
+
+/// Benchmarks the 128-bit (2-limb) NTT: naive loop vs precomputed-table plan.
+fn bench_ntt_u128(n: usize, iters: u32) -> (f64, Vec<NttBenchRow>) {
+    let params = NttParams::<2>::for_paper_modulus(n, 128, RtMulAlgorithm::Schoolbook);
+    let plan = NttPlan::new(&params);
+    let mut rng = rand::thread_rng();
+    let data: Vec<_> = (0..n)
+        .map(|_| params.ring.random_element(&mut rng))
+        .collect();
+    let butterflies = butterfly_count(n) as f64;
+    let naive = best_run(iters, &data, |w| forward(&params, w)) * 1e9 / butterflies;
+    let planned = best_run(iters, &data, |w| plan.forward(w)) * 1e9 / butterflies;
+    (
+        naive / planned,
+        vec![
+            NttBenchRow {
+                path: "naive_u128",
+                ns_per_butterfly: naive,
+            },
+            NttBenchRow {
+                path: "planned_u128",
+                ns_per_butterfly: planned,
+            },
+        ],
+    )
+}
+
+/// Benchmarks batch execution of a generated machine-level kernel: per-element
+/// tree interpretation vs the compiled bytecode executor.
+fn bench_kernel_batch(
+    op: KernelOp,
+    bits: u32,
+    elements: usize,
+    iters: u32,
+) -> (String, f64, f64, f64) {
+    let hl = builders::build(&KernelSpec::new(op, bits));
+    let lowered = lower(&hl, &LoweringConfig::default());
+    let kernel = &lowered.kernel;
+    let compiled = CompiledKernel::compile(kernel).expect("lowered kernels compile");
+
+    // Random inputs masked to each parameter's width; the two executors compute
+    // the same function on any input, so correctness of the values is irrelevant
+    // here (the cross-check tests cover it).
+    let mut rng = rand::thread_rng();
+    let widths: Vec<u32> = kernel.params.iter().map(|p| kernel.ty(*p).bits()).collect();
+    let rows: Vec<u64> = (0..elements)
+        .flat_map(|_| {
+            widths
+                .iter()
+                .map(|&b| {
+                    let v: u64 = rng.gen();
+                    if b >= 64 {
+                        v
+                    } else {
+                        v & ((1u64 << b) - 1)
+                    }
+                })
+                .collect::<Vec<u64>>()
+        })
+        .collect();
+    let p = widths.len();
+
+    let interpreted = best_run(iters, &(), |_| {
+        for row in 0..elements {
+            let run = interp::run(kernel, &rows[row * p..(row + 1) * p])
+                .expect("interpreter accepts generated kernels");
+            std::hint::black_box(&run.outputs);
+        }
+    }) * 1e9
+        / elements as f64;
+    let compiled_ns = best_run(iters, &(), |_| {
+        let batch = compiled.run_batch(&rows).expect("compiled batch runs");
+        std::hint::black_box(&batch.outputs);
+    }) * 1e9
+        / elements as f64;
+    (
+        kernel.name.clone(),
+        interpreted,
+        compiled_ns,
+        interpreted / compiled_ns,
+    )
+}
+
+/// Benchmarks the BLAS batch path: sequential loop vs scoped-thread parallel launch.
+fn bench_blas_batch(batch_size: usize, vector_len: usize, iters: u32) -> (f64, f64, f64) {
+    let q = MpUint::<4>::from_limbs_le(&paper_modulus(256).to_limbs_le(4));
+    let ring = ModRing::new(q);
+    let mut rng = rand::thread_rng();
+    let x = Batch::<4>::random(&ring, &mut rng, batch_size, vector_len);
+    let y = Batch::<4>::random(&ring, &mut rng, batch_size, vector_len);
+    let a = ring.random_element(&mut rng);
+    let elements = (batch_size * vector_len) as f64;
+    let sequential = best_run(iters, &(), |_| {
+        std::hint::black_box(run_batch(&ring, BlasOp::VecMul, a, &x, &y));
+    }) * 1e9
+        / elements;
+    let parallel = best_run(iters, &(), |_| {
+        let (out, _) = run_batch_parallel(&ring, BlasOp::VecMul, a, &x, &y);
+        std::hint::black_box(out);
+    }) * 1e9
+        / elements;
+    (sequential, parallel, sequential / parallel)
+}
+
+fn bench(quick: bool) {
+    heading(if quick {
+        "Hot-path bench (quick mode) -> BENCH_ntt_blas.json"
+    } else {
+        "Hot-path bench -> BENCH_ntt_blas.json"
+    });
+    let iters = if quick { 3 } else { 10 };
+    let n = 1024;
+    let batch_size = 64;
+
+    let (speedup_u64, rows_u64) = bench_ntt_u64(n, iters);
+    let (speedup_u128, rows_u128) = bench_ntt_u128(n, iters);
+    println!("NTT, n = {n} (ns per butterfly):");
+    for r in rows_u64.iter().chain(&rows_u128) {
+        println!("  {:<14} {:>10.2}", r.path, r.ns_per_butterfly);
+    }
+    println!("  planned-vs-naive speedup: u64 {speedup_u64:.2}x, u128 {speedup_u128:.2}x");
+
+    let kernel_elements = batch_size * n;
+    let kernel_iters = if quick { 2 } else { 5 };
+    let (kernel_name, interp_ns, compiled_ns, kernel_speedup) =
+        bench_kernel_batch(KernelOp::ModMul, 128, kernel_elements, kernel_iters);
+    println!(
+        "\nGenerated kernel '{kernel_name}' over {kernel_elements} elements (batch {batch_size} x {n}):"
+    );
+    println!("  interpreted    {interp_ns:>10.2} ns/element");
+    println!("  compiled       {compiled_ns:>10.2} ns/element");
+    println!("  compiled-vs-interpreted speedup: {kernel_speedup:.2}x");
+
+    let (blas_seq, blas_par, blas_speedup) = bench_blas_batch(batch_size, n, iters);
+    println!("\n256-bit BLAS vector multiplication, batch {batch_size} x {n} (ns per element):");
+    println!("  sequential     {blas_seq:>10.2}");
+    println!("  parallel       {blas_par:>10.2}");
+    println!("  parallel-vs-sequential speedup: {blas_speedup:.2}x");
+
+    let json = format!(
+        "{{\n  \"generated_by\": \"reproduce bench\",\n  \"quick\": {quick},\n  \"ntt\": {{\n    \
+         \"n\": {n},\n    \"rows\": [\n{ntt_rows}\n    ],\n    \
+         \"planned_vs_naive_speedup_u64\": {speedup_u64:.3},\n    \
+         \"planned_vs_naive_speedup_u128\": {speedup_u128:.3}\n  }},\n  \
+         \"kernel_batch\": {{\n    \"kernel\": \"{kernel_name}\",\n    \
+         \"elements\": {kernel_elements},\n    \
+         \"interpreted_ns_per_element\": {interp_ns:.2},\n    \
+         \"compiled_ns_per_element\": {compiled_ns:.2},\n    \
+         \"compiled_vs_interpreted_speedup\": {kernel_speedup:.3}\n  }},\n  \
+         \"blas_batch\": {{\n    \"bits\": 256,\n    \"op\": \"vec_mul\",\n    \
+         \"batch\": {batch_size},\n    \"vector_len\": {n},\n    \
+         \"sequential_ns_per_element\": {blas_seq:.2},\n    \
+         \"parallel_ns_per_element\": {blas_par:.2},\n    \
+         \"parallel_vs_sequential_speedup\": {blas_speedup:.3}\n  }}\n}}\n",
+        ntt_rows = rows_u64
+            .iter()
+            .chain(&rows_u128)
+            .map(|r| format!(
+                "      {{\"path\": \"{}\", \"ns_per_butterfly\": {:.2}}}",
+                r.path, r.ns_per_butterfly
+            ))
+            .collect::<Vec<_>>()
+            .join(",\n"),
+    );
+    std::fs::write("BENCH_ntt_blas.json", &json).expect("write BENCH_ntt_blas.json");
+    println!("\nwrote BENCH_ntt_blas.json");
 }

@@ -2,13 +2,16 @@
 
 use crate::batch::{apply_element, Batch};
 use crate::BlasOp;
-use moma_gpu::launch::{launch_indexed, LaunchStats};
+use moma_gpu::launch::{launch_map, LaunchStats};
 use moma_mp::{ModRing, MpUint};
-use parking_lot::Mutex;
 
 /// Runs one BLAS operation over a batch with one virtual GPU thread per element,
 /// returning the result and the launch statistics (wall-clock time on the host thread
 /// pool).
+///
+/// Elements are chunked across `std::thread::scope` workers sized by the machine's
+/// available parallelism; every worker writes a disjoint slice of the output, so the
+/// launch has no lock on its hot path.
 ///
 /// # Panics
 ///
@@ -23,14 +26,12 @@ pub fn run_batch_parallel<const L: usize>(
     assert_eq!(x.data.len(), y.data.len(), "batch shape mismatch");
     assert_eq!(x.vector_len, y.vector_len, "batch shape mismatch");
     let n = x.data.len();
-    let out = Mutex::new(vec![MpUint::<L>::ZERO; n]);
-    let stats = launch_indexed(n, |i| {
-        let value = apply_element(ring, op, a_scalar, x.data[i], y.data[i]);
-        out.lock()[i] = value;
+    let (data, stats) = launch_map(n, |i| {
+        apply_element(ring, op, a_scalar, x.data[i], y.data[i])
     });
     (
         Batch {
-            data: out.into_inner(),
+            data,
             vector_len: x.vector_len,
         },
         stats,
@@ -58,5 +59,17 @@ mod tests {
             assert_eq!(parallel, sequential, "{op:?}");
             assert_eq!(stats.threads, 256);
         }
+    }
+
+    #[test]
+    fn large_batch_round_trips_add_then_sub() {
+        let ring = ModRing::new(U128::from_hex("fffffffffffffffffffffe100000001"));
+        let mut rng = StdRng::seed_from_u64(8);
+        let x = Batch::random(&ring, &mut rng, 16, 256);
+        let y = Batch::random(&ring, &mut rng, 16, 256);
+        let a = ring.random_element(&mut rng);
+        let (sum, _) = run_batch_parallel(&ring, BlasOp::VecAdd, a, &x, &y);
+        let (back, _) = run_batch_parallel(&ring, BlasOp::VecSub, a, &sum, &y);
+        assert_eq!(back, x);
     }
 }

@@ -2,15 +2,28 @@
 //! pool.
 //!
 //! The paper's BLAS kernels assign one CUDA thread per vector element and its NTT
-//! kernels one thread per butterfly (§5.1). [`launch_indexed`] reproduces that model on
-//! the host: the index space `0..n` is partitioned over worker threads (std scoped
-//! threads), each element runs the same kernel closure, and the wall-clock time
-//! of the whole launch is reported. [`launch_kernel`] does the same but executes a
-//! *generated* machine-level kernel through the `moma-ir` interpreter, which is how the
-//! functional correctness of generated code is exercised end to end.
+//! kernels one thread per butterfly (§5.1). This module reproduces that model on the
+//! host: the index space `0..n` is chunked over `std::thread::scope` workers sized by
+//! [`std::thread::available_parallelism`], each element runs the same kernel, and the
+//! wall-clock time of the whole launch is reported.
+//!
+//! Three tiers of entry points:
+//!
+//! * [`launch_indexed`] — runs a side-effecting closure per element (the most general
+//!   form; callers own their output storage and synchronization);
+//! * [`launch_map`] / [`launch_map_with`] — runs a *value-returning* closure per
+//!   element and collects the results in index order. Each worker writes a disjoint
+//!   chunk, so there is no lock on the output path; the `_with` variant additionally
+//!   gives every worker its own mutable state (a compiled-kernel scratch frame, an
+//!   RNG, …) initialized once per worker rather than once per element;
+//! * [`launch_kernel`] / [`launch_compiled`] — executes a *generated* machine-level
+//!   kernel per element. `launch_kernel` compiles the kernel once and routes the hot
+//!   loop through [`moma_ir::compiled::CompiledKernel`]; the tree interpreter remains
+//!   available as the correctness oracle (`moma_ir::interp`), and the test suites
+//!   cross-check the two.
 
-use moma_ir::{interp, Kernel};
-use parking_lot::Mutex;
+use moma_ir::compiled::CompiledKernel;
+use moma_ir::Kernel;
 use std::time::{Duration, Instant};
 
 /// Statistics of one simulated launch.
@@ -54,22 +67,30 @@ where
     let workers = worker_count().max(1);
     let start = Instant::now();
     if n > 0 {
-        let chunk = n.div_ceil(workers);
-        std::thread::scope(|scope| {
-            for w in 0..workers {
-                let lo = w * chunk;
-                let hi = ((w + 1) * chunk).min(n);
-                if lo >= hi {
-                    continue;
-                }
-                let f = &kernel_fn;
-                scope.spawn(move || {
-                    for i in lo..hi {
-                        f(i);
-                    }
-                });
+        if workers == 1 {
+            // One worker: run inline rather than paying a thread spawn for no
+            // parallelism (single-core hosts, cgroup-limited CI runners).
+            for i in 0..n {
+                kernel_fn(i);
             }
-        });
+        } else {
+            let chunk = n.div_ceil(workers);
+            std::thread::scope(|scope| {
+                for w in 0..workers {
+                    let lo = w * chunk;
+                    let hi = ((w + 1) * chunk).min(n);
+                    if lo >= hi {
+                        continue;
+                    }
+                    let f = &kernel_fn;
+                    scope.spawn(move || {
+                        for i in lo..hi {
+                            f(i);
+                        }
+                    });
+                }
+            });
+        }
     }
     LaunchStats {
         threads: n,
@@ -78,38 +99,128 @@ where
     }
 }
 
-/// Executes a generated machine-level kernel once per element through the interpreter.
+/// Runs `f(i)` for every `i` in `0..n` in parallel and collects the results in
+/// index order.
+///
+/// Each worker fills a disjoint output chunk, so no synchronization is needed on
+/// the result path (unlike routing writes through a shared mutex, which serializes
+/// exactly the part of the launch that was supposed to be parallel).
+pub fn launch_map<T, F>(n: usize, f: F) -> (Vec<T>, LaunchStats)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    launch_map_with(n, || (), |(), i| f(i))
+}
+
+/// Like [`launch_map`], but gives each worker its own mutable state created by
+/// `init` — scratch buffers, per-worker RNGs — initialized once per worker instead
+/// of once per element.
+pub fn launch_map_with<S, T, I, F>(n: usize, init: I, f: F) -> (Vec<T>, LaunchStats)
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
+    let workers = worker_count().max(1);
+    let start = Instant::now();
+    let mut results: Vec<T> = Vec::with_capacity(n);
+    if n > 0 && workers == 1 {
+        // One worker: run inline (see `launch_indexed`).
+        let mut state = init();
+        results.extend((0..n).map(|i| f(&mut state, i)));
+    } else if n > 0 {
+        let chunk = n.div_ceil(workers);
+        let chunks: Vec<Vec<T>> = std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for w in 0..workers {
+                let lo = w * chunk;
+                let hi = ((w + 1) * chunk).min(n);
+                if lo >= hi {
+                    continue;
+                }
+                let f = &f;
+                let init = &init;
+                handles.push(scope.spawn(move || {
+                    let mut state = init();
+                    (lo..hi).map(|i| f(&mut state, i)).collect::<Vec<T>>()
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("launch worker panicked"))
+                .collect()
+        });
+        for c in chunks {
+            results.extend(c);
+        }
+    }
+    (
+        results,
+        LaunchStats {
+            threads: n,
+            workers,
+            elapsed: start.elapsed(),
+        },
+    )
+}
+
+/// Executes an already-compiled machine-level kernel once per element.
 ///
 /// `inputs(i)` supplies the parameter words for element `i`; the outputs of every
-/// element are collected in index order.
+/// element are collected in index order. Each worker reuses one scratch frame for
+/// its whole chunk.
 ///
 /// # Panics
 ///
-/// Panics if the interpreter fails on any element (which would indicate an invalid
-/// generated kernel).
+/// Panics if execution fails on any element (which would indicate an invalid
+/// generated kernel or malformed inputs).
+pub fn launch_compiled<I>(
+    compiled: &CompiledKernel,
+    n: usize,
+    inputs: I,
+) -> (Vec<Vec<u64>>, LaunchStats)
+where
+    I: Fn(usize) -> Vec<u64> + Sync,
+{
+    launch_map_with(
+        n,
+        || compiled.scratch(),
+        |scratch, i| {
+            let input = inputs(i);
+            let mut out = Vec::with_capacity(compiled.output_count());
+            compiled
+                .run_with(&input, scratch, &mut out)
+                .unwrap_or_else(|e| panic!("generated kernel failed on element {i}: {e}"));
+            out
+        },
+    )
+}
+
+/// Executes a generated machine-level kernel once per element.
+///
+/// The kernel is compiled to register-allocated bytecode once, then the batch runs
+/// through [`launch_compiled`]. Callers that launch the same kernel repeatedly
+/// should compile once with [`CompiledKernel::compile`] and call
+/// [`launch_compiled`] directly.
+///
+/// # Panics
+///
+/// Panics if the kernel fails to compile or fails on any element (which would
+/// indicate an invalid generated kernel).
 pub fn launch_kernel<I>(kernel: &Kernel, n: usize, inputs: I) -> (Vec<Vec<u64>>, LaunchStats)
 where
     I: Fn(usize) -> Vec<u64> + Sync,
 {
-    let results: Mutex<Vec<Option<Vec<u64>>>> = Mutex::new(vec![None; n]);
-    let stats = launch_indexed(n, |i| {
-        let input = inputs(i);
-        let run = interp::run(kernel, &input)
-            .unwrap_or_else(|e| panic!("generated kernel failed on element {i}: {e}"));
-        results.lock()[i] = Some(run.outputs);
-    });
-    let outputs = results
-        .into_inner()
-        .into_iter()
-        .map(|o| o.expect("every element executed"))
-        .collect();
-    (outputs, stats)
+    let compiled = CompiledKernel::compile(kernel)
+        .unwrap_or_else(|e| panic!("generated kernel failed to compile: {e}"));
+    launch_compiled(&compiled, n, inputs)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use moma_ir::{KernelBuilder, Op, Ty};
+    use moma_ir::{interp, KernelBuilder, Op, Ty};
     use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
@@ -129,6 +240,43 @@ mod tests {
         let stats = launch_indexed(0, |_| panic!("must not run"));
         assert_eq!(stats.threads, 0);
         assert_eq!(stats.nanos_per_element(), 0.0);
+        let (out, stats) = launch_map(0, |_| -> u64 { panic!("must not run") });
+        assert!(out.is_empty());
+        assert_eq!(stats.threads, 0);
+    }
+
+    #[test]
+    fn map_collects_results_in_index_order() {
+        let (out, stats) = launch_map(10_000, |i| i * i);
+        assert_eq!(out.len(), 10_000);
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i * i));
+        assert_eq!(stats.threads, 10_000);
+    }
+
+    #[test]
+    fn map_with_initializes_state_per_worker_not_per_element() {
+        let inits = AtomicUsize::new(0);
+        let (out, stats) = launch_map_with(
+            5000,
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+                0usize
+            },
+            |count, i| {
+                // The state is a per-worker call counter bounded by the element
+                // count; the result stays dependent only on `i`.
+                *count += 1;
+                assert!(*count <= 5000);
+                i
+            },
+        );
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i));
+        let created = inits.load(Ordering::Relaxed);
+        assert!(
+            created <= stats.workers,
+            "state must be per worker ({created} inits for {} workers)",
+            stats.workers
+        );
     }
 
     #[test]
@@ -153,6 +301,33 @@ mod tests {
         assert_eq!(stats.threads, 512);
         for (i, out) in outputs.iter().enumerate() {
             assert_eq!(out, &vec![3 * i as u64]);
+        }
+    }
+
+    #[test]
+    fn compiled_launch_matches_the_interpreter_oracle() {
+        let mut kb = KernelBuilder::new("modmul");
+        let a = kb.param("a", Ty::UInt(64));
+        let b = kb.param("b", Ty::UInt(64));
+        let q = kb.param("q", Ty::UInt(64));
+        let p = kb.output("p", Ty::UInt(64));
+        kb.push(
+            vec![p],
+            Op::MulModBarrett {
+                a: a.into(),
+                b: b.into(),
+                q: q.into(),
+                mu: moma_ir::Operand::Const(0),
+                mbits: 31,
+            },
+        );
+        let kernel = kb.build();
+        let compiled = CompiledKernel::compile(&kernel).unwrap();
+        let feed = |i: usize| vec![i as u64 * 77, i as u64 * 131 + 5, 2_147_483_647];
+        let (outputs, _) = launch_compiled(&compiled, 256, feed);
+        for (i, out) in outputs.iter().enumerate() {
+            let oracle = interp::run(&kernel, &feed(i)).unwrap();
+            assert_eq!(out, &oracle.outputs, "element {i}");
         }
     }
 }

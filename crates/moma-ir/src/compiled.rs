@@ -1,0 +1,947 @@
+//! A compiled bytecode executor for machine-level kernels.
+//!
+//! The tree interpreter in [`crate::interp`] resolves every operand through an
+//! `Option`-checked lookup, allocates a fresh value table per run, and updates a
+//! `BTreeMap`-backed operation counter on every statement. That is fine as a
+//! correctness oracle, but it dominates the runtime of the simulated GPU, where the
+//! same kernel executes once per element across large batches.
+//!
+//! [`CompiledKernel`] moves all of that work to compile time:
+//!
+//! * **Register allocation** — variables are linear-scan-allocated into dense `u64`
+//!   slots; a slot is recycled as soon as the last read of its variable has
+//!   executed, so the scratch frame is much smaller than the variable count and is
+//!   reused across batch elements with zero per-element allocation.
+//! * **Static checking** — width limits and use-before-def are verified once at
+//!   compile time (straight-line code makes the check exact), so the execution loop
+//!   has no error paths.
+//! * **Precomputed masks and counts** — destination masks are baked into each
+//!   bytecode op, and the per-element [`OpCounts`] is computed once (statement
+//!   counts are exact execution counts for straight-line kernels).
+//!
+//! The interpreter remains the semantic reference: `CompiledKernel::run` is
+//! observationally identical to [`interp::run`](crate::interp::run), and the test
+//! suites cross-check the two on every kernel the rewrite system produces.
+
+use crate::cost::{static_counts, OpCounts};
+use crate::interp::{InterpError, RunResult};
+use crate::{Kernel, Op, Operand, VarId};
+
+/// A bytecode operand: a register slot index.
+///
+/// There are no immediate operands at execution time — compile-time constants are
+/// materialized into dedicated registers that [`CompiledKernel::run_with`] preloads
+/// before the body runs. That keeps every instruction small (better bytecode cache
+/// density) and every operand read a single indexed load.
+type Src = u32;
+
+/// A bytecode destination: a register slot plus the write mask of its type width.
+#[derive(Debug, Clone, Copy)]
+struct Dst {
+    reg: u32,
+    mask: u64,
+}
+
+/// The multi-word-shift payload, boxed so the rare variant does not inflate every
+/// [`Code`] instruction.
+#[derive(Debug, Clone)]
+struct ShrOp {
+    dsts: Vec<Dst>,
+    words: Vec<Src>,
+    shift: u32,
+    word_bits: u32,
+}
+
+/// One bytecode instruction with fully resolved register slots.
+#[derive(Debug, Clone)]
+enum Code {
+    Copy {
+        d: Dst,
+        s: Src,
+    },
+    AddWide {
+        carry: Dst,
+        sum: Dst,
+        a: Src,
+        b: Src,
+        cin: Src,
+        sum_bits: u32,
+    },
+    Sub {
+        d: Dst,
+        a: Src,
+        b: Src,
+        bin: Src,
+    },
+    MulWide {
+        hi: Dst,
+        lo: Dst,
+        a: Src,
+        b: Src,
+        lo_bits: u32,
+    },
+    MulLow {
+        d: Dst,
+        a: Src,
+        b: Src,
+    },
+    Lt {
+        d: Dst,
+        a: Src,
+        b: Src,
+    },
+    Eq {
+        d: Dst,
+        a: Src,
+        b: Src,
+    },
+    BoolAnd {
+        d: Dst,
+        a: Src,
+        b: Src,
+    },
+    BoolOr {
+        d: Dst,
+        a: Src,
+        b: Src,
+    },
+    Select {
+        d: Dst,
+        cond: Src,
+        if_true: Src,
+        if_false: Src,
+    },
+    ShrMulti(Box<ShrOp>),
+    AddMod {
+        d: Dst,
+        a: Src,
+        b: Src,
+        q: Src,
+    },
+    SubMod {
+        d: Dst,
+        a: Src,
+        b: Src,
+        q: Src,
+    },
+    MulModBarrett {
+        d: Dst,
+        a: Src,
+        b: Src,
+        q: Src,
+    },
+}
+
+/// Reusable per-worker execution state: the register frame plus the multi-word
+/// shift staging buffer. Create one per thread with [`CompiledKernel::scratch`] and
+/// pass it to every [`CompiledKernel::run_with`] call to amortize the allocation
+/// across a whole batch.
+#[derive(Debug, Clone, Default)]
+pub struct Scratch {
+    regs: Vec<u64>,
+    shr: Vec<u64>,
+}
+
+/// A kernel compiled to register-allocated bytecode.
+///
+/// # Example
+///
+/// ```
+/// use moma_ir::{compiled::CompiledKernel, interp, KernelBuilder, Op, Ty};
+///
+/// let mut kb = KernelBuilder::new("addmod64");
+/// let a = kb.param("a", Ty::UInt(64));
+/// let b = kb.param("b", Ty::UInt(64));
+/// let q = kb.param("q", Ty::UInt(64));
+/// let c = kb.output("c", Ty::UInt(64));
+/// kb.push(vec![c], Op::AddMod { a: a.into(), b: b.into(), q: q.into() });
+/// let kernel = kb.build();
+///
+/// let compiled = CompiledKernel::compile(&kernel).unwrap();
+/// let fast = compiled.run(&[90, 80, 100]).unwrap();
+/// let slow = interp::run(&kernel, &[90, 80, 100]).unwrap();
+/// assert_eq!(fast, slow);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CompiledKernel {
+    name: String,
+    code: Vec<Code>,
+    /// Register slot and declared bit-width of each parameter, in signature order.
+    params: Vec<(u32, u32)>,
+    /// Parameter names, for error messages only (cold path).
+    param_names: Vec<String>,
+    /// Register slot of each output, in signature order.
+    outputs: Vec<u32>,
+    /// Materialized constants: `const_values[k]` is preloaded into register
+    /// `const_base + k` before each element executes.
+    const_base: usize,
+    const_values: Vec<u64>,
+    n_regs: usize,
+    counts: OpCounts,
+}
+
+impl CompiledKernel {
+    /// Compiles a machine-level kernel to bytecode.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InterpError::UnsupportedWidth`] if any variable is wider than 64
+    /// bits and [`InterpError::UseBeforeDef`] if a variable is read (or an output
+    /// left) before assignment — exactly the conditions under which the interpreter
+    /// would fail at runtime.
+    pub fn compile(kernel: &Kernel) -> Result<Self, InterpError> {
+        for v in &kernel.vars {
+            if v.ty.bits() > 64 {
+                return Err(InterpError::UnsupportedWidth {
+                    var: v.name.clone(),
+                    bits: v.ty.bits(),
+                });
+            }
+        }
+
+        let alloc = RegAlloc::run(kernel)?;
+        let slot_of = |v: VarId| alloc.slot_at_def[v.0].expect("defined vars have slots");
+
+        // Constants are interned into registers past the allocator's frame; they
+        // are preloaded once per element and never written by the body.
+        let const_base = alloc.n_regs;
+        let mut const_values: Vec<u64> = Vec::new();
+        let mut const_map: std::collections::HashMap<u64, u32> = std::collections::HashMap::new();
+
+        let mut code = Vec::with_capacity(kernel.body.len());
+        for (i, stmt) in kernel.body.iter().enumerate() {
+            let mut src = |o: Operand| -> Src {
+                match o {
+                    Operand::Const(c) => *const_map.entry(c).or_insert_with(|| {
+                        const_values.push(c);
+                        (const_base + const_values.len() - 1) as u32
+                    }),
+                    Operand::Var(v) => alloc.slot_at_use[i][&v],
+                }
+            };
+            let dst = |d: VarId| -> Dst {
+                Dst {
+                    reg: alloc.slot_at_write[i][&d],
+                    mask: mask64(kernel.ty(d).bits()),
+                }
+            };
+            code.push(match &stmt.op {
+                Op::Copy { src: s } => Code::Copy {
+                    d: dst(stmt.dsts[0]),
+                    s: src(*s),
+                },
+                Op::AddWide { a, b, carry_in } => Code::AddWide {
+                    carry: dst(stmt.dsts[0]),
+                    sum: dst(stmt.dsts[1]),
+                    a: src(*a),
+                    b: src(*b),
+                    cin: src(carry_in.unwrap_or(Operand::ZERO)),
+                    sum_bits: kernel.ty(stmt.dsts[1]).bits(),
+                },
+                Op::Sub { a, b, borrow_in } => Code::Sub {
+                    d: dst(stmt.dsts[0]),
+                    a: src(*a),
+                    b: src(*b),
+                    bin: src(borrow_in.unwrap_or(Operand::ZERO)),
+                },
+                Op::MulWide { a, b } => Code::MulWide {
+                    hi: dst(stmt.dsts[0]),
+                    lo: dst(stmt.dsts[1]),
+                    a: src(*a),
+                    b: src(*b),
+                    lo_bits: kernel.ty(stmt.dsts[1]).bits(),
+                },
+                Op::MulLow { a, b } => Code::MulLow {
+                    d: dst(stmt.dsts[0]),
+                    a: src(*a),
+                    b: src(*b),
+                },
+                Op::Lt { a, b } => Code::Lt {
+                    d: dst(stmt.dsts[0]),
+                    a: src(*a),
+                    b: src(*b),
+                },
+                Op::Eq { a, b } => Code::Eq {
+                    d: dst(stmt.dsts[0]),
+                    a: src(*a),
+                    b: src(*b),
+                },
+                Op::BoolAnd { a, b } => Code::BoolAnd {
+                    d: dst(stmt.dsts[0]),
+                    a: src(*a),
+                    b: src(*b),
+                },
+                Op::BoolOr { a, b } => Code::BoolOr {
+                    d: dst(stmt.dsts[0]),
+                    a: src(*a),
+                    b: src(*b),
+                },
+                Op::Select {
+                    cond,
+                    if_true,
+                    if_false,
+                } => Code::Select {
+                    d: dst(stmt.dsts[0]),
+                    cond: src(*cond),
+                    if_true: src(*if_true),
+                    if_false: src(*if_false),
+                },
+                Op::ShrMulti { words, shift } => Code::ShrMulti(Box::new(ShrOp {
+                    dsts: stmt.dsts.iter().map(|d| dst(*d)).collect(),
+                    words: words.iter().map(|w| src(*w)).collect(),
+                    shift: *shift,
+                    // Matches the interpreter: the width of the first variable word
+                    // (constants are typed by their use sites).
+                    word_bits: words
+                        .iter()
+                        .find_map(|o| o.as_var().map(|v| kernel.ty(v).bits()))
+                        .unwrap_or(64),
+                })),
+                Op::AddMod { a, b, q } => Code::AddMod {
+                    d: dst(stmt.dsts[0]),
+                    a: src(*a),
+                    b: src(*b),
+                    q: src(*q),
+                },
+                Op::SubMod { a, b, q } => Code::SubMod {
+                    d: dst(stmt.dsts[0]),
+                    a: src(*a),
+                    b: src(*b),
+                    q: src(*q),
+                },
+                Op::MulModBarrett { a, b, q, .. } => Code::MulModBarrett {
+                    d: dst(stmt.dsts[0]),
+                    a: src(*a),
+                    b: src(*b),
+                    q: src(*q),
+                },
+            });
+        }
+
+        Ok(CompiledKernel {
+            name: kernel.name.clone(),
+            code,
+            params: kernel
+                .params
+                .iter()
+                .map(|p| (slot_of(*p), kernel.ty(*p).bits()))
+                .collect(),
+            param_names: kernel
+                .params
+                .iter()
+                .map(|p| kernel.var(*p).name.clone())
+                .collect(),
+            outputs: alloc.output_slots,
+            const_base,
+            n_regs: const_base + const_values.len(),
+            const_values,
+            counts: static_counts(kernel),
+        })
+    }
+
+    /// The kernel name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of register slots in the execution frame (after linear-scan reuse;
+    /// at most the kernel's variable count).
+    pub fn register_count(&self) -> usize {
+        self.n_regs
+    }
+
+    /// Number of parameters expected per element.
+    pub fn param_count(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Number of outputs produced per element.
+    pub fn output_count(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// The word-level operations one element executes (exact, since kernels are
+    /// straight-line).
+    pub fn counts_per_element(&self) -> &OpCounts {
+        &self.counts
+    }
+
+    /// Creates an execution scratch frame sized for this kernel.
+    pub fn scratch(&self) -> Scratch {
+        Scratch {
+            regs: vec![0; self.n_regs],
+            shr: Vec::new(),
+        }
+    }
+
+    /// Executes the kernel once, reusing `scratch` and appending the outputs to
+    /// `out`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InterpError::ArgumentCount`] or [`InterpError::InputTooWide`] on
+    /// bad inputs (all other failure modes were ruled out at compile time).
+    pub fn run_with(
+        &self,
+        inputs: &[u64],
+        scratch: &mut Scratch,
+        out: &mut Vec<u64>,
+    ) -> Result<(), InterpError> {
+        if inputs.len() != self.params.len() {
+            return Err(InterpError::ArgumentCount {
+                expected: self.params.len(),
+                got: inputs.len(),
+            });
+        }
+        if scratch.regs.len() != self.n_regs {
+            scratch.regs.resize(self.n_regs, 0);
+        }
+        for (idx, ((slot, bits), &input)) in self.params.iter().zip(inputs).enumerate() {
+            if *bits < 64 && input >> bits != 0 {
+                return Err(InterpError::InputTooWide {
+                    var: self.param_names[idx].clone(),
+                });
+            }
+            scratch.regs[*slot as usize] = input;
+        }
+        // Preload the materialized constants. Unconditional so that a scratch
+        // frame carried over from another kernel can never leak stale values.
+        scratch.regs[self.const_base..self.n_regs].copy_from_slice(&self.const_values);
+        self.exec(scratch);
+        out.extend(self.outputs.iter().map(|o| scratch.regs[*o as usize]));
+        Ok(())
+    }
+
+    /// Executes the kernel once and returns outputs plus operation counts — the
+    /// drop-in equivalent of [`interp::run`](crate::interp::run).
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::run_with`].
+    pub fn run(&self, inputs: &[u64]) -> Result<RunResult, InterpError> {
+        let mut scratch = self.scratch();
+        let mut outputs = Vec::with_capacity(self.outputs.len());
+        self.run_with(inputs, &mut scratch, &mut outputs)?;
+        Ok(RunResult {
+            outputs,
+            counts: self.counts.clone(),
+        })
+    }
+
+    /// Executes the kernel over a whole batch with one shared scratch frame.
+    ///
+    /// `inputs` is row-major: element `i`'s parameters occupy
+    /// `inputs[i * param_count .. (i + 1) * param_count]`. Outputs are returned
+    /// row-major in the same element order, and `counts` aggregates the operations
+    /// of every element (per-element counts × batch size).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InterpError::ArgumentCount`] if `inputs.len()` is not a multiple
+    /// of the parameter count, or [`InterpError::InputTooWide`] for any bad element
+    /// input.
+    pub fn run_batch(&self, inputs: &[u64]) -> Result<BatchRunResult, InterpError> {
+        let p = self.params.len().max(1);
+        if inputs.len() % p != 0 {
+            return Err(InterpError::ArgumentCount {
+                expected: p,
+                got: inputs.len() % p,
+            });
+        }
+        let elements = if self.params.is_empty() {
+            0
+        } else {
+            inputs.len() / p
+        };
+        let mut scratch = self.scratch();
+        let mut outputs = Vec::with_capacity(elements * self.outputs.len());
+        for row in 0..elements {
+            self.run_with(&inputs[row * p..(row + 1) * p], &mut scratch, &mut outputs)?;
+        }
+        Ok(BatchRunResult {
+            elements,
+            outputs_per_element: self.outputs.len(),
+            outputs,
+            counts: self.counts.scaled(elements as u64),
+        })
+    }
+
+    /// The bytecode execution loop: no lookups, no `Option`s, no allocation.
+    fn exec(&self, scratch: &mut Scratch) {
+        let regs = &mut scratch.regs;
+        let rd = |regs: &[u64], s: Src| -> u64 { regs[s as usize] };
+        for op in &self.code {
+            match op {
+                Code::Copy { d, s } => {
+                    regs[d.reg as usize] = rd(regs, *s) & d.mask;
+                }
+                Code::AddWide {
+                    carry,
+                    sum,
+                    a,
+                    b,
+                    cin,
+                    sum_bits,
+                } => {
+                    let cin = rd(regs, *cin) as u128;
+                    let t = rd(regs, *a) as u128 + rd(regs, *b) as u128 + cin;
+                    regs[carry.reg as usize] = ((t >> sum_bits) as u64) & carry.mask;
+                    regs[sum.reg as usize] = (t as u64) & sum.mask;
+                }
+                Code::Sub { d, a, b, bin } => {
+                    let bin = rd(regs, *bin);
+                    let t = rd(regs, *a).wrapping_sub(rd(regs, *b)).wrapping_sub(bin);
+                    regs[d.reg as usize] = t & d.mask;
+                }
+                Code::MulWide {
+                    hi,
+                    lo,
+                    a,
+                    b,
+                    lo_bits,
+                } => {
+                    let p = rd(regs, *a) as u128 * rd(regs, *b) as u128;
+                    regs[hi.reg as usize] = ((p >> lo_bits) as u64) & hi.mask;
+                    regs[lo.reg as usize] = (p as u64) & lo.mask;
+                }
+                Code::MulLow { d, a, b } => {
+                    regs[d.reg as usize] = rd(regs, *a).wrapping_mul(rd(regs, *b)) & d.mask;
+                }
+                Code::Lt { d, a, b } => {
+                    regs[d.reg as usize] = (rd(regs, *a) < rd(regs, *b)) as u64;
+                }
+                Code::Eq { d, a, b } => {
+                    regs[d.reg as usize] = (rd(regs, *a) == rd(regs, *b)) as u64;
+                }
+                Code::BoolAnd { d, a, b } => {
+                    regs[d.reg as usize] = (rd(regs, *a) != 0 && rd(regs, *b) != 0) as u64;
+                }
+                Code::BoolOr { d, a, b } => {
+                    regs[d.reg as usize] = (rd(regs, *a) != 0 || rd(regs, *b) != 0) as u64;
+                }
+                Code::Select {
+                    d,
+                    cond,
+                    if_true,
+                    if_false,
+                } => {
+                    let v = if rd(regs, *cond) != 0 {
+                        rd(regs, *if_true)
+                    } else {
+                        rd(regs, *if_false)
+                    };
+                    regs[d.reg as usize] = v & d.mask;
+                }
+                Code::ShrMulti(op) => {
+                    // Destinations may alias source words, so stage the sources in
+                    // the reusable scratch buffer first (no per-call allocation).
+                    scratch.shr.clear();
+                    for w in &op.words {
+                        scratch.shr.push(regs[*w as usize]);
+                    }
+                    let src_words = &scratch.shr;
+                    let n = src_words.len();
+                    let word_bits = op.word_bits;
+                    let total_bits = word_bits * n as u32;
+                    for (k, dst) in op.dsts.iter().rev().enumerate() {
+                        let mut v: u64 = 0;
+                        for bit in 0..word_bits {
+                            let src_bit = op.shift + k as u32 * word_bits + bit;
+                            if src_bit < total_bits {
+                                let word = n as u32 - 1 - src_bit / word_bits;
+                                let b = (src_words[word as usize] >> (src_bit % word_bits)) & 1;
+                                v |= b << bit;
+                            }
+                        }
+                        regs[dst.reg as usize] = v & dst.mask;
+                    }
+                }
+                Code::AddMod { d, a, b, q } => {
+                    let q = rd(regs, *q) as u128;
+                    let v = (rd(regs, *a) as u128 + rd(regs, *b) as u128) % q;
+                    regs[d.reg as usize] = (v as u64) & d.mask;
+                }
+                Code::SubMod { d, a, b, q } => {
+                    let q = rd(regs, *q);
+                    let a = rd(regs, *a);
+                    let b = rd(regs, *b);
+                    let v = if a < b {
+                        (a as u128 + q as u128 - b as u128) as u64
+                    } else {
+                        a - b
+                    };
+                    regs[d.reg as usize] = v & d.mask;
+                }
+                Code::MulModBarrett { d, a, b, q } => {
+                    let q = rd(regs, *q) as u128;
+                    let v = (rd(regs, *a) as u128 * rd(regs, *b) as u128) % q;
+                    regs[d.reg as usize] = (v as u64) & d.mask;
+                }
+            }
+        }
+    }
+}
+
+/// Result of one batched execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchRunResult {
+    /// Number of elements executed.
+    pub elements: usize,
+    /// Outputs per element (the kernel's output arity).
+    pub outputs_per_element: usize,
+    /// Row-major outputs: element `i`'s outputs occupy
+    /// `outputs[i * outputs_per_element .. (i + 1) * outputs_per_element]`.
+    pub outputs: Vec<u64>,
+    /// Total operations executed across the batch.
+    pub counts: OpCounts,
+}
+
+impl BatchRunResult {
+    /// The outputs of element `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.elements`.
+    pub fn element(&self, i: usize) -> &[u64] {
+        let w = self.outputs_per_element;
+        &self.outputs[i * w..(i + 1) * w]
+    }
+}
+
+fn mask64(bits: u32) -> u64 {
+    if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    }
+}
+
+/// Linear-scan register allocation over a straight-line kernel.
+///
+/// Walks the body once, assigning each live variable a dense slot and recycling a
+/// slot as soon as its variable's last read has executed. Because the code is
+/// straight-line, liveness is exact: a variable is live from its (re)definition to
+/// its final read (outputs are live to the end).
+struct RegAlloc {
+    /// Slot each variable holds at its defining write (for parameters: at entry).
+    slot_at_def: Vec<Option<u32>>,
+    /// Per-statement read map: variable → slot at that statement.
+    slot_at_use: Vec<std::collections::HashMap<VarId, u32>>,
+    /// Per-statement write map: variable → slot assigned for that write.
+    slot_at_write: Vec<std::collections::HashMap<VarId, u32>>,
+    output_slots: Vec<u32>,
+    n_regs: usize,
+}
+
+impl RegAlloc {
+    fn run(kernel: &Kernel) -> Result<RegAlloc, InterpError> {
+        use std::collections::HashMap;
+
+        // Last statement index that reads each variable (outputs never expire).
+        let mut last_read: Vec<Option<usize>> = vec![None; kernel.vars.len()];
+        for (i, stmt) in kernel.body.iter().enumerate() {
+            for o in stmt.op.operands() {
+                if let Some(v) = o.as_var() {
+                    last_read[v.0] = Some(i);
+                }
+            }
+        }
+        let is_output: Vec<bool> = {
+            let mut f = vec![false; kernel.vars.len()];
+            for o in &kernel.outputs {
+                f[o.0] = true;
+            }
+            f
+        };
+
+        let mut current: Vec<Option<u32>> = vec![None; kernel.vars.len()];
+        let mut slot_at_def: Vec<Option<u32>> = vec![None; kernel.vars.len()];
+        let mut free: Vec<u32> = Vec::new();
+        let mut n_regs: u32 = 0;
+        let mut allocate = |free: &mut Vec<u32>| -> u32 {
+            free.pop().unwrap_or_else(|| {
+                n_regs += 1;
+                n_regs - 1
+            })
+        };
+
+        for p in &kernel.params {
+            let slot = allocate(&mut free);
+            current[p.0] = Some(slot);
+            slot_at_def[p.0] = Some(slot);
+        }
+
+        let mut slot_at_use = Vec::with_capacity(kernel.body.len());
+        let mut slot_at_write = Vec::with_capacity(kernel.body.len());
+        for (i, stmt) in kernel.body.iter().enumerate() {
+            let mut uses = HashMap::new();
+            for o in stmt.op.operands() {
+                if let Some(v) = o.as_var() {
+                    let slot = current[v.0].ok_or_else(|| InterpError::UseBeforeDef {
+                        var: kernel.var(v).name.clone(),
+                    })?;
+                    uses.insert(v, slot);
+                }
+            }
+            // Expire operands whose last read is this statement *before* assigning
+            // destination slots — but only release slots that none of this
+            // statement's destinations are about to keep (a destination may be the
+            // same variable as an operand).
+            for (&v, &slot) in &uses {
+                if last_read[v.0] == Some(i) && !is_output[v.0] && !stmt.dsts.contains(&v) {
+                    current[v.0] = None;
+                    free.push(slot);
+                }
+            }
+            let mut writes = HashMap::new();
+            for d in &stmt.dsts {
+                let slot = match current[d.0] {
+                    Some(slot) => slot,
+                    None => {
+                        let slot = allocate(&mut free);
+                        current[d.0] = Some(slot);
+                        if slot_at_def[d.0].is_none() {
+                            slot_at_def[d.0] = Some(slot);
+                        }
+                        slot
+                    }
+                };
+                writes.insert(*d, slot);
+                // A destination that is never read and is not an output dies
+                // immediately; keep its slot live through this statement (the write
+                // still happens) and recycle it afterwards.
+                if !is_output[d.0] && last_read[d.0].map_or(true, |l| l <= i) {
+                    current[d.0] = None;
+                    free.push(slot);
+                }
+            }
+            slot_at_use.push(uses);
+            slot_at_write.push(writes);
+        }
+
+        let mut output_slots = Vec::with_capacity(kernel.outputs.len());
+        for o in &kernel.outputs {
+            let slot = current[o.0].ok_or_else(|| InterpError::UseBeforeDef {
+                var: kernel.var(*o).name.clone(),
+            })?;
+            output_slots.push(slot);
+        }
+
+        Ok(RegAlloc {
+            slot_at_def,
+            slot_at_use,
+            slot_at_write,
+            output_slots,
+            n_regs: n_regs as usize,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{interp, KernelBuilder, Ty};
+
+    fn modops_kernel() -> Kernel {
+        let mut kb = KernelBuilder::new("modops");
+        let a = kb.param("a", Ty::UInt(64));
+        let b = kb.param("b", Ty::UInt(64));
+        let q = kb.param("q", Ty::UInt(64));
+        let s = kb.output("s", Ty::UInt(64));
+        let d = kb.output("d", Ty::UInt(64));
+        let p = kb.output("p", Ty::UInt(64));
+        kb.push(
+            vec![s],
+            Op::AddMod {
+                a: a.into(),
+                b: b.into(),
+                q: q.into(),
+            },
+        );
+        kb.push(
+            vec![d],
+            Op::SubMod {
+                a: a.into(),
+                b: b.into(),
+                q: q.into(),
+            },
+        );
+        kb.push(
+            vec![p],
+            Op::MulModBarrett {
+                a: a.into(),
+                b: b.into(),
+                q: q.into(),
+                mu: Operand::Const(0),
+                mbits: 7,
+            },
+        );
+        kb.build()
+    }
+
+    #[test]
+    fn matches_interpreter_on_modops() {
+        let k = modops_kernel();
+        let c = CompiledKernel::compile(&k).unwrap();
+        for inputs in [[90u64, 95, 101], [0, 0, 7], [100, 3, 101]] {
+            assert_eq!(c.run(&inputs).unwrap(), interp::run(&k, &inputs).unwrap());
+        }
+    }
+
+    #[test]
+    fn add_with_carry_and_flag_masking() {
+        let mut kb = KernelBuilder::new("add64");
+        let a = kb.param("a", Ty::UInt(64));
+        let b = kb.param("b", Ty::UInt(64));
+        let carry = kb.output("carry", Ty::Flag);
+        let sum = kb.output("sum", Ty::UInt(64));
+        kb.push(
+            vec![carry, sum],
+            Op::AddWide {
+                a: a.into(),
+                b: b.into(),
+                carry_in: None,
+            },
+        );
+        let k = kb.build();
+        let c = CompiledKernel::compile(&k).unwrap();
+        assert_eq!(c.run(&[u64::MAX, 1]).unwrap().outputs, vec![1, 0]);
+        assert_eq!(c.run(&[2, 3]).unwrap().outputs, vec![0, 5]);
+        assert_eq!(c.run(&[2, 3]).unwrap().counts.total(), 1);
+    }
+
+    #[test]
+    fn shr_multi_with_aliased_destinations() {
+        // dsts == words: the staging buffer must prevent read-after-write hazards.
+        let mut kb = KernelBuilder::new("shr_alias");
+        let hi = kb.param("hi", Ty::UInt(64));
+        let lo = kb.param("lo", Ty::UInt(64));
+        let out_hi = kb.output("out_hi", Ty::UInt(64));
+        let out_lo = kb.output("out_lo", Ty::UInt(64));
+        kb.push(
+            vec![out_hi, out_lo],
+            Op::ShrMulti {
+                words: vec![hi.into(), lo.into()],
+                shift: 100,
+            },
+        );
+        let k = kb.build();
+        let c = CompiledKernel::compile(&k).unwrap();
+        let (h, l) = (0x1234_5678_9abc_def0u64, 0x0fed_cba9_8765_4321u64);
+        assert_eq!(c.run(&[h, l]).unwrap(), interp::run(&k, &[h, l]).unwrap());
+    }
+
+    #[test]
+    fn register_reuse_shrinks_the_frame() {
+        // A long chain of temporaries: t1 = a+b; t2 = t1+b; ... each ti dies as
+        // soon as t(i+1) is computed, so the frame stays small.
+        let mut kb = KernelBuilder::new("chain");
+        let a = kb.param("a", Ty::UInt(64));
+        let b = kb.param("b", Ty::UInt(64));
+        let mut prev = a;
+        for i in 0..32 {
+            let f = kb.fresh(&format!("c{i}"), Ty::Flag);
+            let t = kb.fresh(&format!("t{i}"), Ty::UInt(64));
+            kb.push(
+                vec![f, t],
+                Op::AddWide {
+                    a: prev.into(),
+                    b: b.into(),
+                    carry_in: None,
+                },
+            );
+            prev = t;
+        }
+        let o = kb.output("o", Ty::UInt(64));
+        kb.push(vec![o], Op::Copy { src: prev.into() });
+        let k = kb.build();
+        let c = CompiledKernel::compile(&k).unwrap();
+        assert!(
+            c.register_count() < k.vars.len() / 4,
+            "expected heavy slot reuse: {} regs for {} vars",
+            c.register_count(),
+            k.vars.len()
+        );
+        assert_eq!(c.run(&[5, 3]).unwrap(), interp::run(&k, &[5, 3]).unwrap());
+    }
+
+    #[test]
+    fn batch_matches_per_element_runs() {
+        let k = modops_kernel();
+        let c = CompiledKernel::compile(&k).unwrap();
+        let rows: Vec<[u64; 3]> = (0..50).map(|i| [i * 7 % 101, i * 13 % 101, 101]).collect();
+        let flat: Vec<u64> = rows.iter().flatten().copied().collect();
+        let batch = c.run_batch(&flat).unwrap();
+        assert_eq!(batch.elements, 50);
+        let mut total = OpCounts::new();
+        for (i, row) in rows.iter().enumerate() {
+            let single = interp::run(&k, row).unwrap();
+            assert_eq!(batch.element(i), &single.outputs[..]);
+            total = total + single.counts;
+        }
+        assert_eq!(batch.counts, total);
+    }
+
+    #[test]
+    fn error_cases_mirror_the_interpreter() {
+        let k = modops_kernel();
+        let c = CompiledKernel::compile(&k).unwrap();
+        assert!(matches!(
+            c.run(&[1]),
+            Err(InterpError::ArgumentCount {
+                expected: 3,
+                got: 1
+            })
+        ));
+        assert!(matches!(
+            c.run_batch(&[1, 2, 3, 4]),
+            Err(InterpError::ArgumentCount { .. })
+        ));
+
+        let mut kb = KernelBuilder::new("wide");
+        let a = kb.param("a", Ty::UInt(128));
+        let o = kb.output("o", Ty::UInt(128));
+        kb.push(vec![o], Op::Copy { src: a.into() });
+        assert!(matches!(
+            CompiledKernel::compile(&kb.build()),
+            Err(InterpError::UnsupportedWidth { .. })
+        ));
+
+        let mut kb = KernelBuilder::new("narrow");
+        let a = kb.param("a", Ty::UInt(8));
+        let o = kb.output("o", Ty::UInt(8));
+        kb.push(vec![o], Op::Copy { src: a.into() });
+        let c = CompiledKernel::compile(&kb.build()).unwrap();
+        assert_eq!(c.run(&[200]).unwrap().outputs, vec![200]);
+        assert!(matches!(
+            c.run(&[300]),
+            Err(InterpError::InputTooWide { .. })
+        ));
+    }
+
+    #[test]
+    fn use_before_def_is_a_compile_error() {
+        let mut kb = KernelBuilder::new("ubd");
+        let _a = kb.param("a", Ty::UInt(64));
+        let t = kb.local("t", Ty::UInt(64));
+        let o = kb.output("o", Ty::UInt(64));
+        kb.push(vec![o], Op::Copy { src: t.into() });
+        assert!(matches!(
+            CompiledKernel::compile(&kb.build()),
+            Err(InterpError::UseBeforeDef { .. })
+        ));
+    }
+
+    #[test]
+    fn undefined_output_is_a_compile_error() {
+        let mut kb = KernelBuilder::new("noout");
+        let a = kb.param("a", Ty::UInt(64));
+        let t = kb.local("t", Ty::UInt(64));
+        let _o = kb.output("o", Ty::UInt(64));
+        kb.push(vec![t], Op::Copy { src: a.into() });
+        assert!(matches!(
+            CompiledKernel::compile(&kb.build()),
+            Err(InterpError::UseBeforeDef { .. })
+        ));
+    }
+}

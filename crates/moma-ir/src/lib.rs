@@ -13,9 +13,13 @@
 //!   carries, widening multiplications, comparisons, conditional selects, multi-word
 //!   shifts, and the high-level modular operations that seed the rewriting;
 //! * [`validate`] — a type checker enforcing the width discipline of the rules;
-//! * [`interp`] — an interpreter for machine-level kernels (used as the execution
-//!   backend of the simulated GPU and for correctness oracles) that also counts
-//!   word-level operations for the cost model;
+//! * [`interp`] — a tree-walking interpreter for machine-level kernels (the semantic
+//!   reference and correctness oracle) that also counts word-level operations for the
+//!   cost model;
+//! * [`compiled`] — a bytecode executor that register-allocates variables into dense
+//!   slots at compile time; batch execution ([`compiled::CompiledKernel::run_batch`])
+//!   reuses one scratch frame across elements and is the execution backend of the
+//!   simulated GPU's hot path;
 //! * [`emit`] — source emitters producing CUDA-like C (mirroring the paper's
 //!   Listings 1–4) and Rust.
 //!
@@ -38,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod compiled;
 pub mod cost;
 pub mod emit;
 pub mod interp;
@@ -45,5 +50,6 @@ mod kernel;
 mod ty;
 pub mod validate;
 
+pub use compiled::{BatchRunResult, CompiledKernel};
 pub use kernel::{Kernel, KernelBuilder, Op, Operand, Stmt, Var, VarId};
 pub use ty::Ty;

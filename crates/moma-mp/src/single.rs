@@ -86,6 +86,54 @@ impl SingleBarrett {
         c as u64
     }
 
+    /// Precomputes the Shoup quotient `⌊w · 2^64 / q⌋` for a fixed multiplicand
+    /// `w < q`.
+    ///
+    /// Shoup's trick trades one division at precompute time for a much cheaper
+    /// multiplication at use time: with the quotient in hand, [`Self::mul_mod_shoup`]
+    /// needs one high-half `u128` multiplication and two wrapping `u64`
+    /// multiplications instead of the three `u128` multiplications of Barrett
+    /// reduction. It is the single-word analogue of the paper's precomputed-constant
+    /// strategy (`μ` in Listing 1), applied per twiddle factor by the NTT plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `w >= q`.
+    #[inline]
+    pub fn shoup_precompute(&self, w: u64) -> u64 {
+        debug_assert!(w < self.q);
+        (((w as u128) << 64) / self.q as u128) as u64
+    }
+
+    /// Lazy Shoup multiplication: returns `x · w − ⌊x · w / q⌋_approx · q`, a value
+    /// congruent to `x · w (mod q)` in the half-reduced range `[0, 2q)`.
+    ///
+    /// `w_shoup` must be [`Self::shoup_precompute`]`(w)`. The input `x` may itself be
+    /// lazily reduced: any `x < 4q` is accepted (the constructor's 60-bit modulus
+    /// bound guarantees `4q < 2^64`, which is what makes the error term stay below
+    /// one extra `q`). Callers chaining butterflies keep values in `[0, 4q)` and
+    /// normalize once at the end — the lazy-reduction discipline of the NTT hot path.
+    #[inline]
+    pub fn mul_mod_shoup_lazy(&self, x: u64, w: u64, w_shoup: u64) -> u64 {
+        debug_assert!(w < self.q);
+        debug_assert!((x as u128) < 4 * self.q as u128);
+        let hi = ((w_shoup as u128 * x as u128) >> 64) as u64;
+        w.wrapping_mul(x).wrapping_sub(hi.wrapping_mul(self.q))
+    }
+
+    /// Fully reduced Shoup multiplication: `(x · w) mod q` with `w_shoup`
+    /// precomputed by [`Self::shoup_precompute`]. Accepts `x < 4q` like the lazy
+    /// variant and adds the single conditional subtraction the lazy variant omits.
+    #[inline]
+    pub fn mul_mod_shoup(&self, x: u64, w: u64, w_shoup: u64) -> u64 {
+        let r = self.mul_mod_shoup_lazy(x, w, w_shoup);
+        if r >= self.q {
+            r - self.q
+        } else {
+            r
+        }
+    }
+
     /// Modular exponentiation by square-and-multiply.
     pub fn pow_mod(&self, base: u64, mut exp: u64) -> u64 {
         let mut result = 1 % self.q;
@@ -194,6 +242,43 @@ mod tests {
         assert_eq!(ctx.pow_mod(123456789, Q60 - 1), 1);
         let inv = ctx.inv_mod(123456789);
         assert_eq!(ctx.mul_mod(inv, 123456789), 1);
+    }
+
+    #[test]
+    fn shoup_matches_barrett_reference() {
+        let ctx = SingleBarrett::new(Q60);
+        let mut state = 0x2545f4914f6cdd1du64;
+        for _ in 0..5_000 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let w = state % Q60;
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let x = state % Q60;
+            let ws = ctx.shoup_precompute(w);
+            let expected = ((x as u128 * w as u128) % Q60 as u128) as u64;
+            assert_eq!(ctx.mul_mod_shoup(x, w, ws), expected, "x={x} w={w}");
+            let lazy = ctx.mul_mod_shoup_lazy(x, w, ws);
+            assert!(lazy < 2 * Q60, "lazy result must stay below 2q");
+            assert_eq!(lazy % Q60, expected, "lazy result must be congruent");
+        }
+    }
+
+    #[test]
+    fn shoup_accepts_lazily_reduced_inputs() {
+        // Inputs anywhere in [0, 4q) must produce a congruent result below 2q.
+        let ctx = SingleBarrett::new(Q60);
+        let w = Q60 - 12345;
+        let ws = ctx.shoup_precompute(w);
+        for x in [0, 1, Q60 - 1, Q60, 2 * Q60 - 1, 3 * Q60 + 17, 4 * Q60 - 1] {
+            let lazy = ctx.mul_mod_shoup_lazy(x, w, ws);
+            assert!(lazy < 2 * Q60);
+            let expected = ((x as u128 % Q60 as u128) * w as u128 % Q60 as u128) as u64;
+            assert_eq!(lazy % Q60, expected);
+            assert_eq!(ctx.mul_mod_shoup(x, w, ws), expected);
+        }
     }
 
     #[test]

@@ -10,6 +10,9 @@
 //!   and root-of-unity generation;
 //! * [`transform`] — the iterative radix-2 Cooley–Tukey forward and inverse transforms
 //!   over [`moma_mp::MpUint`] elements, plus a 64-bit single-word variant;
+//! * [`plan`] — precomputed execution plans: bit-reversed twiddle tables built once
+//!   per (modulus, n), with Shoup precomputed quotients and lazy reduction on the
+//!   single-word path — the hot-path entry points for repeated transforms;
 //! * [`reference`] — the `O(n^2)` direct DFT used as a correctness oracle;
 //! * [`polymul`] — NTT-based polynomial multiplication (the application motivating the
 //!   kernel in FHE/ZKP workloads).
@@ -18,9 +21,11 @@
 #![warn(missing_docs)]
 
 pub mod params;
+pub mod plan;
 pub mod polymul;
 pub mod reference;
 pub mod transform;
 
 pub use params::NttParams;
+pub use plan::{NttPlan, NttPlan64};
 pub use transform::{forward, inverse, Ntt64};

@@ -1,0 +1,424 @@
+//! Precomputed NTT execution plans — the hot-path replacement for the naive
+//! transforms in [`crate::transform`].
+//!
+//! The naive loops recompute every twiddle factor on the fly: a serial modular
+//! multiplication chain inside each block plus a stage-root derivation per stage.
+//! That is two modular multiplications per butterfly where one suffices, and it
+//! serializes work the paper distributes across CUDA threads. A plan performs all
+//! of that work **once per (modulus, n)**:
+//!
+//! * [`NttPlan`] — the multi-word path. Precomputes the flat bit-reversed-order
+//!   twiddle tables (Harvey's layout: entry `m + j` holds `ω_{2m}^j`, so every
+//!   stage reads its twiddles sequentially) for the forward and inverse transforms
+//!   plus `n^{-1}`, and runs butterflies with exactly one ring multiplication each.
+//! * [`NttPlan64`] — the single-word path. Additionally stores a Shoup
+//!   precomputed quotient per twiddle ([`SingleBarrett::shoup_precompute`]) and
+//!   executes the butterfly stages with **lazy reduction**: values live in
+//!   `[0, 4q)` through the stages (one conditional subtraction per butterfly
+//!   instead of three) and are normalized to `[0, q)` in a single final pass.
+//!   This is Harvey's butterfly, valid because the evaluation modulus has 60 bits
+//!   (`4q < 2^64`).
+
+use crate::params::NttParams;
+use crate::transform::{bit_reverse_permute, stage_roots, stage_roots_u64, Ntt64};
+use moma_mp::single::SingleBarrett;
+use moma_mp::{ModRing, MpUint, MulAlgorithm};
+
+/// A reusable execution plan for `n`-point transforms over `L`-limb elements.
+///
+/// Building a plan costs about `n` ring multiplications (one serial pass per
+/// stage-aggregate table); every subsequent transform then does one multiplication
+/// per butterfly instead of the naive loop's two, and no stage-root derivation.
+///
+/// # Example
+///
+/// ```
+/// use moma_ntt::{NttParams, NttPlan};
+/// use moma_mp::MulAlgorithm;
+///
+/// let params = NttParams::<2>::for_paper_modulus(16, 128, MulAlgorithm::Schoolbook);
+/// let plan = NttPlan::new(&params);
+/// let mut data = vec![moma_mp::U128::from_u64(7); 16];
+/// let original = data.clone();
+/// plan.forward(&mut data);
+/// plan.inverse(&mut data);
+/// assert_eq!(data, original);
+/// ```
+#[derive(Debug, Clone)]
+pub struct NttPlan<const L: usize> {
+    /// Transform size (a power of two).
+    pub n: usize,
+    /// The coefficient ring `Z_q`.
+    pub ring: ModRing<L>,
+    /// Forward twiddles in bit-reversed (Harvey) layout: `fwd[m + j] = ω_{2m}^j`
+    /// for every stage half-length `m = 1, 2, …, n/2` and `0 ≤ j < m`. Entry 0 is
+    /// unused padding so the table is indexed directly by `m + j`.
+    fwd: Vec<MpUint<L>>,
+    /// Inverse twiddles in the same layout, built from `ω^{-1}`.
+    inv: Vec<MpUint<L>>,
+    /// `n^{-1} mod q` for the inverse transform's final scaling.
+    n_inv: MpUint<L>,
+}
+
+impl<const L: usize> NttPlan<L> {
+    /// Builds a plan from existing transform parameters.
+    pub fn new(params: &NttParams<L>) -> Self {
+        NttPlan {
+            n: params.n,
+            ring: params.ring,
+            fwd: build_table(&params.ring, params.omega, params.n),
+            inv: build_table(&params.ring, params.omega_inv, params.n),
+            n_inv: params.n_inv,
+        }
+    }
+
+    /// Convenience constructor: derives parameters for the evaluation modulus of
+    /// `bits`-bit kernels and builds the plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`NttParams::for_paper_modulus`].
+    pub fn for_paper_modulus(n: usize, bits: u32, alg: MulAlgorithm) -> Self {
+        Self::new(&NttParams::for_paper_modulus(n, bits, alg))
+    }
+
+    /// In-place forward NTT using the precomputed tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != self.n`.
+    pub fn forward(&self, data: &mut [MpUint<L>]) {
+        self.run(data, &self.fwd);
+    }
+
+    /// In-place inverse NTT (including the `1/n` scaling) using the precomputed
+    /// tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != self.n`.
+    pub fn inverse(&self, data: &mut [MpUint<L>]) {
+        self.run(data, &self.inv);
+        for x in data.iter_mut() {
+            *x = self.ring.mul(*x, self.n_inv);
+        }
+    }
+
+    fn run(&self, data: &mut [MpUint<L>], table: &[MpUint<L>]) {
+        assert_eq!(
+            data.len(),
+            self.n,
+            "data length must equal the transform size"
+        );
+        bit_reverse_permute(data);
+        // Stage m = 1 uses only the twiddle ω^0 = 1: no multiplication needed.
+        for pair in data.chunks_exact_mut(2) {
+            let x = pair[0];
+            let y = pair[1];
+            pair[0] = self.ring.add(x, y);
+            pair[1] = self.ring.sub(x, y);
+        }
+        let mut m = 2;
+        while m < self.n {
+            let twiddles = &table[m..2 * m];
+            let mut start = 0;
+            while start < self.n {
+                for (j, &w) in twiddles.iter().enumerate() {
+                    let x = data[start + j];
+                    let wy = self.ring.mul(w, data[start + j + m]);
+                    data[start + j] = self.ring.add(x, wy);
+                    data[start + j + m] = self.ring.sub(x, wy);
+                }
+                start += 2 * m;
+            }
+            m <<= 1;
+        }
+    }
+}
+
+/// Builds the flat bit-reversed-layout twiddle table for `root` (a primitive `n`-th
+/// root of unity): entry `m + j` is `root^{(n/2m)·j}`, i.e. `ω_{2m}^j`.
+fn build_table<const L: usize>(ring: &ModRing<L>, root: MpUint<L>, n: usize) -> Vec<MpUint<L>> {
+    let mut table = vec![MpUint::<L>::ONE; n.max(2)];
+    // stage_roots[k] = root^(n / 2^(k+1)) = ω_{2^(k+1)}, off one squaring ladder.
+    let roots = stage_roots(ring, root, n);
+    let mut m = 1;
+    let mut stage = 0;
+    while m < n {
+        let w_2m = roots[stage];
+        let mut cur = MpUint::<L>::ONE;
+        for j in 0..m {
+            table[m + j] = cur;
+            cur = ring.mul(cur, w_2m);
+        }
+        m <<= 1;
+        stage += 1;
+    }
+    table
+}
+
+/// A single-machine-word plan over the 60-bit evaluation modulus, with Shoup
+/// precomputed quotients and lazy reduction through the butterfly stages.
+///
+/// Each butterfly performs one [`SingleBarrett::mul_mod_shoup_lazy`] (one `u128`
+/// high product and two wrapping word multiplications), one addition, and one
+/// subtraction, with values kept in `[0, 4q)`; a single normalize pass brings the
+/// result back to `[0, q)`. Compare the naive [`Ntt64`], which spends two full
+/// Barrett multiplications (three `u128` products each) per butterfly on the
+/// twiddle chain alone.
+#[derive(Debug, Clone)]
+pub struct NttPlan64 {
+    /// Transform size.
+    pub n: usize,
+    /// Single-word Barrett context for the 60-bit modulus (used for setup and the
+    /// fallback entry points; the hot loop uses the Shoup tables).
+    pub ctx: SingleBarrett,
+    two_q: u64,
+    fwd: Vec<u64>,
+    fwd_shoup: Vec<u64>,
+    inv: Vec<u64>,
+    inv_shoup: Vec<u64>,
+    n_inv: u64,
+    n_inv_shoup: u64,
+}
+
+impl NttPlan64 {
+    /// Builds the plan for an `n`-point transform over the 60-bit evaluation
+    /// modulus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power of two between 2 and 2^32.
+    pub fn new(n: usize) -> Self {
+        Self::from_ntt(&Ntt64::new(n))
+    }
+
+    /// Builds the plan from an existing naive transform context (same modulus,
+    /// same roots — the two paths compute identical transforms).
+    pub fn from_ntt(ntt: &Ntt64) -> Self {
+        let ctx = ntt.ctx;
+        let fwd = build_table_u64(&ctx, ntt.omega, ntt.n);
+        let inv = build_table_u64(&ctx, ntt.omega_inv, ntt.n);
+        let fwd_shoup = fwd.iter().map(|&w| ctx.shoup_precompute(w)).collect();
+        let inv_shoup = inv.iter().map(|&w| ctx.shoup_precompute(w)).collect();
+        NttPlan64 {
+            n: ntt.n,
+            ctx,
+            two_q: 2 * ctx.q,
+            fwd,
+            fwd_shoup,
+            inv,
+            inv_shoup,
+            n_inv: ntt.n_inv,
+            n_inv_shoup: ctx.shoup_precompute(ntt.n_inv),
+        }
+    }
+
+    /// In-place forward transform. Inputs must be reduced (`< q`); outputs are
+    /// reduced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != self.n`.
+    pub fn forward(&self, data: &mut [u64]) {
+        self.run_lazy(data, &self.fwd, &self.fwd_shoup);
+        let q = self.ctx.q;
+        for x in data.iter_mut() {
+            let mut v = *x;
+            if v >= self.two_q {
+                v -= self.two_q;
+            }
+            if v >= q {
+                v -= q;
+            }
+            *x = v;
+        }
+    }
+
+    /// In-place inverse transform (with `1/n` scaling). Inputs must be reduced;
+    /// outputs are reduced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != self.n`.
+    pub fn inverse(&self, data: &mut [u64]) {
+        self.run_lazy(data, &self.inv, &self.inv_shoup);
+        // The scaling multiplication doubles as the normalize pass: the lazy Shoup
+        // product accepts the stages' [0, 4q) values and lands in [0, 2q).
+        let q = self.ctx.q;
+        for x in data.iter_mut() {
+            let t = self
+                .ctx
+                .mul_mod_shoup_lazy(*x, self.n_inv, self.n_inv_shoup);
+            *x = if t >= q { t - q } else { t };
+        }
+    }
+
+    /// Runs the butterfly stages with values lazily reduced in `[0, 4q)`.
+    ///
+    /// Harvey's butterfly: fold `x` into `[0, 2q)` with one conditional
+    /// subtraction, take the lazy Shoup product `t = w·y mod q ∈ [0, 2q)`, and emit
+    /// `x + t` and `x − t + 2q`, both `< 4q`. Correct because `4q < 2^64` for the
+    /// 60-bit modulus. The Shoup product is inlined (one high `u128` product, two
+    /// wrapping word products) and the loops are structured as exact chunks so the
+    /// compiler drops every bounds check from the inner loop.
+    fn run_lazy(&self, data: &mut [u64], table: &[u64], shoup: &[u64]) {
+        assert_eq!(
+            data.len(),
+            self.n,
+            "data length must equal the transform size"
+        );
+        bit_reverse_permute(data);
+        let q = self.ctx.q;
+        let two_q = self.two_q;
+
+        // Stage m = 1 is special-cased: its only twiddle is ω^0 = 1, so the
+        // butterfly needs no multiplication at all. Inputs are reduced (< q), so
+        // `x + y < 2q` and `x + 2q − y < 4q` keep the lazy invariant.
+        for pair in data.chunks_exact_mut(2) {
+            let x = pair[0];
+            let y = pair[1];
+            pair[0] = x + y;
+            pair[1] = x + two_q - y;
+        }
+
+        let mut m = 2;
+        while m < self.n {
+            let twiddles = &table[m..2 * m];
+            let quotients = &shoup[m..2 * m];
+            for block in data.chunks_exact_mut(2 * m) {
+                let (xs, ys) = block.split_at_mut(m);
+                for (((x, y), &w), &ws) in xs
+                    .iter_mut()
+                    .zip(ys.iter_mut())
+                    .zip(twiddles)
+                    .zip(quotients)
+                {
+                    let mut xv = *x;
+                    if xv >= two_q {
+                        xv -= two_q;
+                    }
+                    let yv = *y;
+                    let hi = ((ws as u128 * yv as u128) >> 64) as u64;
+                    let t = w.wrapping_mul(yv).wrapping_sub(hi.wrapping_mul(q));
+                    *x = xv + t;
+                    *y = xv + two_q - t;
+                }
+            }
+            m <<= 1;
+        }
+    }
+}
+
+/// `u64` counterpart of [`build_table`].
+fn build_table_u64(ctx: &SingleBarrett, root: u64, n: usize) -> Vec<u64> {
+    let mut table = vec![1u64; n.max(2)];
+    let roots = stage_roots_u64(ctx, root, n);
+    let mut m = 1;
+    let mut stage = 0;
+    while m < n {
+        let w_2m = roots[stage];
+        let mut w = 1u64;
+        for j in 0..m {
+            table[m + j] = w;
+            w = ctx.mul_mod(w, w_2m);
+        }
+        m <<= 1;
+        stage += 1;
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::naive_dft;
+    use crate::transform::{forward, inverse};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn plan_matches_naive_transform_128() {
+        let params = NttParams::<2>::for_paper_modulus(64, 128, MulAlgorithm::Schoolbook);
+        let plan = NttPlan::new(&params);
+        let mut rng = StdRng::seed_from_u64(71);
+        let data: Vec<_> = (0..64)
+            .map(|_| params.ring.random_element(&mut rng))
+            .collect();
+        let mut a = data.clone();
+        let mut b = data;
+        forward(&params, &mut a);
+        plan.forward(&mut b);
+        assert_eq!(a, b, "planned forward must match the naive path");
+        inverse(&params, &mut a);
+        plan.inverse(&mut b);
+        assert_eq!(a, b, "planned inverse must match the naive path");
+    }
+
+    #[test]
+    fn plan_matches_dft_oracle() {
+        let params = NttParams::<2>::for_paper_modulus(32, 128, MulAlgorithm::Schoolbook);
+        let plan = NttPlan::new(&params);
+        let mut rng = StdRng::seed_from_u64(72);
+        let data: Vec<_> = (0..32)
+            .map(|_| params.ring.random_element(&mut rng))
+            .collect();
+        let expected = naive_dft(&params, &data);
+        let mut actual = data.clone();
+        plan.forward(&mut actual);
+        assert_eq!(actual, expected);
+    }
+
+    #[test]
+    fn plan_roundtrip_at_multiple_widths() {
+        fn roundtrip<const L: usize>(bits: u32, n: usize) {
+            let plan = NttPlan::<L>::for_paper_modulus(n, bits, MulAlgorithm::Schoolbook);
+            let mut rng = StdRng::seed_from_u64(bits as u64 + n as u64);
+            let data: Vec<_> = (0..n).map(|_| plan.ring.random_element(&mut rng)).collect();
+            let mut work = data.clone();
+            plan.forward(&mut work);
+            assert_ne!(work, data);
+            plan.inverse(&mut work);
+            assert_eq!(work, data, "{bits} bits, n={n}");
+        }
+        roundtrip::<2>(128, 64);
+        roundtrip::<4>(256, 32);
+        roundtrip::<6>(384, 16);
+    }
+
+    #[test]
+    fn plan64_matches_naive_ntt64() {
+        let ntt = Ntt64::new(512);
+        let plan = NttPlan64::from_ntt(&ntt);
+        let mut rng = StdRng::seed_from_u64(73);
+        let data: Vec<u64> = (0..512).map(|_| rng.gen::<u64>() % ntt.ctx.q).collect();
+        let mut a = data.clone();
+        let mut b = data.clone();
+        ntt.forward(&mut a);
+        plan.forward(&mut b);
+        assert_eq!(a, b, "planned u64 forward must match the naive path");
+        ntt.inverse(&mut a);
+        plan.inverse(&mut b);
+        assert_eq!(a, b, "planned u64 inverse must match the naive path");
+        assert_eq!(a, data, "inverse ∘ forward must be the identity");
+    }
+
+    #[test]
+    fn plan64_outputs_are_fully_reduced() {
+        let plan = NttPlan64::new(256);
+        let mut rng = StdRng::seed_from_u64(74);
+        let mut data: Vec<u64> = (0..256).map(|_| rng.gen::<u64>() % plan.ctx.q).collect();
+        plan.forward(&mut data);
+        assert!(data.iter().all(|&x| x < plan.ctx.q));
+        plan.inverse(&mut data);
+        assert!(data.iter().all(|&x| x < plan.ctx.q));
+    }
+
+    #[test]
+    #[should_panic(expected = "data length")]
+    fn plan_wrong_length_panics() {
+        let plan = NttPlan::<2>::for_paper_modulus(16, 128, MulAlgorithm::Schoolbook);
+        let mut data = vec![MpUint::ZERO; 8];
+        plan.forward(&mut data);
+    }
+}

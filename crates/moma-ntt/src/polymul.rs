@@ -1,15 +1,15 @@
 //! NTT-based polynomial multiplication — the `O(n log n)` path that motivates the NTT
 //! kernel in FHE and ZKP workloads (§2.3).
 
-use crate::params::NttParams;
-use crate::transform::{forward, inverse};
+use crate::plan::NttPlan;
 use moma_mp::{MpUint, MulAlgorithm};
 
 /// Multiplies two polynomials with coefficients in `Z_q` using the NTT.
 ///
 /// The product degree determines the transform size (the next power of two at least
-/// `a.len() + b.len() - 1`); new parameters are derived for that size over the same
-/// evaluation modulus.
+/// `a.len() + b.len() - 1`); an [`NttPlan`] is built once for that size over the
+/// evaluation modulus and drives both forward transforms and the inverse, so the
+/// three transforms share one set of precomputed twiddle tables.
 ///
 /// # Panics
 ///
@@ -26,20 +26,20 @@ pub fn ntt_polymul<const L: usize>(
     );
     let result_len = a.len() + b.len() - 1;
     let n = result_len.next_power_of_two().max(2);
-    let params = NttParams::<L>::for_paper_modulus(n, bits, alg);
-    let ring = &params.ring;
+    let plan = NttPlan::<L>::for_paper_modulus(n, bits, alg);
+    let ring = &plan.ring;
 
     let mut fa = vec![MpUint::<L>::ZERO; n];
     let mut fb = vec![MpUint::<L>::ZERO; n];
     fa[..a.len()].copy_from_slice(a);
     fb[..b.len()].copy_from_slice(b);
 
-    forward(&params, &mut fa);
-    forward(&params, &mut fb);
+    plan.forward(&mut fa);
+    plan.forward(&mut fb);
     for i in 0..n {
         fa[i] = ring.mul(fa[i], fb[i]);
     }
-    inverse(&params, &mut fa);
+    plan.inverse(&mut fa);
     fa.truncate(result_len);
     fa
 }
@@ -47,6 +47,7 @@ pub fn ntt_polymul<const L: usize>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::params::NttParams;
     use crate::reference::schoolbook_polymul;
     use rand::rngs::StdRng;
     use rand::SeedableRng;

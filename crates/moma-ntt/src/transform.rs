@@ -18,30 +18,56 @@ pub fn bit_reverse_permute<T>(data: &mut [T]) {
     }
 }
 
-/// In-place forward NTT of `data` (length `params.n`).
+/// Derives every per-stage root for an `n`-point transform from one power ladder.
 ///
-/// Each stage executes `n/2` independent butterflies — the unit of parallelism the
-/// paper assigns to CUDA threads (§5.1). The butterfly is exactly the kernel produced
-/// by `moma_rewrite::builders::KernelOp::Butterfly`: one modular multiplication by the
-/// twiddle factor, one modular addition, one modular subtraction.
-///
-/// # Panics
-///
-/// Panics if `data.len() != params.n`.
-pub fn forward<const L: usize>(params: &NttParams<L>, data: &mut [MpUint<L>]) {
-    assert_eq!(
-        data.len(),
-        params.n,
-        "data length must equal the transform size"
-    );
+/// Stage `len` of the decimation-in-time loop needs `w_len = root^(n/len)`, a primitive
+/// `len`-th root of unity. Those exponents are successive powers of two, so the whole
+/// set is one squaring chain: `roots[k]` (for stage `len = 2^(k+1)`) is
+/// `roots[k+1]` squared, starting from `roots[log2 n − 1] = root`. This replaces the
+/// full `ring.pow` modular exponentiation the old loop ran once per stage —
+/// `log2 n` squarings instead of `log2 n` square-and-multiply chains.
+pub(crate) fn stage_roots<const L: usize>(
+    ring: &moma_mp::ModRing<L>,
+    root: MpUint<L>,
+    n: usize,
+) -> Vec<MpUint<L>> {
+    let stages = n.trailing_zeros() as usize;
+    let mut roots = vec![MpUint::<L>::ONE; stages];
+    let mut cur = root;
+    for slot in roots.iter_mut().rev() {
+        *slot = cur;
+        cur = ring.mul(cur, cur);
+    }
+    roots
+}
+
+/// Single-word counterpart of [`stage_roots`]: `roots[k]` is `root^(n / 2^(k+1))`,
+/// the stage root for `len = 2^(k+1)`, derived by one squaring ladder.
+pub(crate) fn stage_roots_u64(ctx: &SingleBarrett, root: u64, n: usize) -> Vec<u64> {
+    let stages = n.trailing_zeros() as usize;
+    let mut roots = vec![1u64; stages];
+    let mut cur = root;
+    for slot in roots.iter_mut().rev() {
+        *slot = cur;
+        cur = ctx.mul_mod(cur, cur);
+    }
+    roots
+}
+
+fn transform_in_place<const L: usize>(
+    params: &NttParams<L>,
+    root: MpUint<L>,
+    data: &mut [MpUint<L>],
+) {
     let ring = &params.ring;
     let n = params.n;
     bit_reverse_permute(data);
+    let roots = stage_roots(ring, root, n);
     let mut len = 2;
+    let mut stage = 0;
     while len <= n {
-        // w_len = omega^(n/len): a primitive len-th root of unity.
-        let exponent = (n / len) as u64;
-        let w_len = ring.pow(params.omega, &MpUint::from_u64(exponent));
+        // w_len = root^(n/len): a primitive len-th root of unity, off the ladder.
+        let w_len = roots[stage];
         let mut start = 0;
         while start < n {
             let mut w = MpUint::<L>::ONE;
@@ -55,7 +81,32 @@ pub fn forward<const L: usize>(params: &NttParams<L>, data: &mut [MpUint<L>]) {
             start += len;
         }
         len <<= 1;
+        stage += 1;
     }
+}
+
+/// In-place forward NTT of `data` (length `params.n`).
+///
+/// Each stage executes `n/2` independent butterflies — the unit of parallelism the
+/// paper assigns to CUDA threads (§5.1). The butterfly is exactly the kernel produced
+/// by `moma_rewrite::builders::KernelOp::Butterfly`: one modular multiplication by the
+/// twiddle factor, one modular addition, one modular subtraction.
+///
+/// This is the *naive* path: it derives stage roots on the fly (from one power
+/// ladder) and walks the twiddle chain serially inside each block. Repeated
+/// transforms of the same size should build an [`crate::plan::NttPlan`] once and
+/// reuse its precomputed tables instead.
+///
+/// # Panics
+///
+/// Panics if `data.len() != params.n`.
+pub fn forward<const L: usize>(params: &NttParams<L>, data: &mut [MpUint<L>]) {
+    assert_eq!(
+        data.len(),
+        params.n,
+        "data length must equal the transform size"
+    );
+    transform_in_place(params, params.omega, data);
 }
 
 /// In-place inverse NTT of `data`, including the `1/n` scaling.
@@ -69,27 +120,8 @@ pub fn inverse<const L: usize>(params: &NttParams<L>, data: &mut [MpUint<L>]) {
         params.n,
         "data length must equal the transform size"
     );
+    transform_in_place(params, params.omega_inv, data);
     let ring = &params.ring;
-    let n = params.n;
-    bit_reverse_permute(data);
-    let mut len = 2;
-    while len <= n {
-        let exponent = (n / len) as u64;
-        let w_len = ring.pow(params.omega_inv, &MpUint::from_u64(exponent));
-        let mut start = 0;
-        while start < n {
-            let mut w = MpUint::<L>::ONE;
-            for j in 0..len / 2 {
-                let x = data[start + j];
-                let wy = ring.mul(w, data[start + j + len / 2]);
-                data[start + j] = ring.add(x, wy);
-                data[start + j + len / 2] = ring.sub(x, wy);
-                w = ring.mul(w, w_len);
-            }
-            start += len;
-        }
-        len <<= 1;
-    }
     for x in data.iter_mut() {
         *x = ring.mul(*x, params.n_inv);
     }
@@ -108,9 +140,9 @@ pub struct Ntt64 {
     pub n: usize,
     /// Single-word Barrett context for the 60-bit modulus.
     pub ctx: SingleBarrett,
-    omega: u64,
-    omega_inv: u64,
-    n_inv: u64,
+    pub(crate) omega: u64,
+    pub(crate) omega_inv: u64,
+    pub(crate) n_inv: u64,
 }
 
 impl Ntt64 {
@@ -163,9 +195,13 @@ impl Ntt64 {
     fn transform(&self, data: &mut [u64], root: u64, _inverse: bool) {
         assert_eq!(data.len(), self.n);
         bit_reverse_permute(data);
+        // Stage roots off one squaring ladder: stage `len` needs root^(n/len), and
+        // those exponents are successive powers of two.
+        let roots = stage_roots_u64(&self.ctx, root, self.n);
         let mut len = 2;
+        let mut stage = 0;
         while len <= self.n {
-            let w_len = self.ctx.pow_mod(root, (self.n / len) as u64);
+            let w_len = roots[stage];
             let mut start = 0;
             while start < self.n {
                 let mut w = 1u64;
@@ -179,6 +215,7 @@ impl Ntt64 {
                 start += len;
             }
             len <<= 1;
+            stage += 1;
         }
     }
 }
