@@ -19,8 +19,10 @@ use moma::blas::batch::{run_batch, Batch};
 use moma::blas::gpu::run_batch_parallel;
 use moma::blas::BlasOp;
 use moma::engine;
+use moma::gpu::cost::{calibrate, CalibrationSample, OpWeights};
 use moma::gpu::DeviceSpec;
 use moma::ir::compiled::CompiledKernel;
+use moma::ir::cost::OpCounts;
 use moma::ir::interp;
 use moma::mp::{ModRing, MpUint, MulAlgorithm as RtMulAlgorithm};
 use moma::ntt::params::{paper_modulus, NttParams};
@@ -29,7 +31,7 @@ use moma::ntt::transform::{butterfly_count, forward, Ntt64};
 use moma::paper_data;
 use moma::rewrite::rules::CORE_RULES;
 use moma::rewrite::{builders, lower};
-use moma::rns::{vector as rns_vec, RnsContext};
+use moma::rns::{vector as rns_vec, RnsContext, RnsMatrix, RnsPlan};
 use moma::MulAlgorithm;
 use moma::{Compiler, KernelOp, KernelSpec, LoweringConfig};
 use rand::Rng;
@@ -193,6 +195,14 @@ fn fig2() {
             "GRNS stand-in / vec add",
             Box::new(move |bits| measure_rns_blas(bits, false, elements)),
         ),
+        (
+            "GRNS planned / vec mul",
+            Box::new(move |bits| measure_rns_planned_blas(bits, true, elements)),
+        ),
+        (
+            "GRNS planned / vec add",
+            Box::new(move |bits| measure_rns_planned_blas(bits, false, elements)),
+        ),
     ];
     for (label, f) in &baseline_rows {
         println!(
@@ -272,6 +282,29 @@ fn measure_rns_blas(bits: u32, mul: bool, elements: usize) -> f64 {
         rns_vec::vec_mul(&ctx, &ra, &rb)
     } else {
         rns_vec::vec_add(&ctx, &ra, &rb)
+    };
+    std::hint::black_box(out);
+    start.elapsed().as_secs_f64() * 1e9 / elements as f64
+}
+
+/// The planned (SoA, launcher-routed) counterpart of [`measure_rns_blas`].
+fn measure_rns_planned_blas(bits: u32, mul: bool, elements: usize) -> f64 {
+    let plan = RnsPlan::with_capacity_bits(2 * bits + 8);
+    let q = paper_modulus(bits);
+    let mut rng = rand::thread_rng();
+    let a: Vec<BigUint> = (0..elements)
+        .map(|_| moma::bignum::random::random_below(&mut rng, &q))
+        .collect();
+    let b: Vec<BigUint> = (0..elements)
+        .map(|_| moma::bignum::random::random_below(&mut rng, &q))
+        .collect();
+    let ma = RnsMatrix::from_biguints(&plan, &a);
+    let mb = RnsMatrix::from_biguints(&plan, &b);
+    let start = Instant::now();
+    let out = if mul {
+        plan.mul(&ma, &mb)
+    } else {
+        plan.add(&ma, &mb)
     };
     std::hint::black_box(out);
     start.elapsed().as_secs_f64() * 1e9 / elements as f64
@@ -564,14 +597,18 @@ fn bench_ntt_u128(n: usize, iters: u32) -> (f64, Vec<NttBenchRow>) {
     )
 }
 
+/// Result of one interpreted-vs-compiled kernel batch measurement.
+struct KernelBatchBench {
+    name: String,
+    counts: OpCounts,
+    interp_ns: f64,
+    compiled_ns: f64,
+    speedup: f64,
+}
+
 /// Benchmarks batch execution of a generated machine-level kernel: per-element
 /// tree interpretation vs the compiled bytecode executor.
-fn bench_kernel_batch(
-    op: KernelOp,
-    bits: u32,
-    elements: usize,
-    iters: u32,
-) -> (String, f64, f64, f64) {
+fn bench_kernel_batch(op: KernelOp, bits: u32, elements: usize, iters: u32) -> KernelBatchBench {
     let hl = builders::build(&KernelSpec::new(op, bits));
     let lowered = lower(&hl, &LoweringConfig::default());
     let kernel = &lowered.kernel;
@@ -612,12 +649,70 @@ fn bench_kernel_batch(
         std::hint::black_box(&batch.outputs);
     }) * 1e9
         / elements as f64;
-    (
-        kernel.name.clone(),
-        interpreted,
+    KernelBatchBench {
+        name: kernel.name.clone(),
+        counts: compiled.counts_per_element().clone(),
+        interp_ns: interpreted,
         compiled_ns,
-        interpreted / compiled_ns,
-    )
+        speedup: interpreted / compiled_ns,
+    }
+}
+
+/// Benchmarks RNS vector multiplication: the `BigUint`-backed `RnsContext` path
+/// (per-element residue `Vec`s, `u128 %` reduction) vs the planned SoA engine
+/// (`RnsPlan`/`RnsMatrix`, per-residue-row Barrett kernels on the launcher).
+/// Returns `(path, ns_per_element)` rows plus the vec_mul speedup.
+fn bench_rns_blas(bits: u32, elements: usize, iters: u32) -> (Vec<(String, f64)>, f64) {
+    let ctx = RnsContext::with_capacity_bits(2 * bits + 8);
+    let plan = RnsPlan::new(&ctx);
+    let q = paper_modulus(bits);
+    let mut rng = rand::thread_rng();
+    let a: Vec<BigUint> = (0..elements)
+        .map(|_| moma::bignum::random::random_below(&mut rng, &q))
+        .collect();
+    let b: Vec<BigUint> = (0..elements)
+        .map(|_| moma::bignum::random::random_below(&mut rng, &q))
+        .collect();
+    let va = rns_vec::RnsVector::from_biguints(&ctx, &a);
+    let vb = rns_vec::RnsVector::from_biguints(&ctx, &b);
+    let ma = RnsMatrix::from_biguints(&plan, &a);
+    let mb = RnsMatrix::from_biguints(&plan, &b);
+    let per_elt = 1e9 / elements as f64;
+    let ctx_mul = best_run(iters, &(), |_| {
+        std::hint::black_box(rns_vec::vec_mul(&ctx, &va, &vb));
+    }) * per_elt;
+    let planned_mul = best_run(iters, &(), |_| {
+        std::hint::black_box(plan.mul(&ma, &mb));
+    }) * per_elt;
+    let ctx_add = best_run(iters, &(), |_| {
+        std::hint::black_box(rns_vec::vec_add(&ctx, &va, &vb));
+    }) * per_elt;
+    let planned_add = best_run(iters, &(), |_| {
+        std::hint::black_box(plan.add(&ma, &mb));
+    }) * per_elt;
+    let rows = vec![
+        (format!("rns_ctx_{}", BlasOp::VecMul.key()), ctx_mul),
+        (format!("rns_planned_{}", BlasOp::VecMul.key()), planned_mul),
+        (format!("rns_ctx_{}", BlasOp::VecAdd.key()), ctx_add),
+        (format!("rns_planned_{}", BlasOp::VecAdd.key()), planned_add),
+    ];
+    (rows, ctx_mul / planned_mul)
+}
+
+/// Benchmarks the 64-bit planned NTT executed inline vs stage-by-stage on the
+/// virtual-GPU launcher (one thread per butterfly, a launch barrier per stage).
+/// Returns `(inline_ns_per_butterfly, launcher_ns_per_butterfly)`.
+fn bench_ntt_launcher(n: usize, iters: u32) -> (f64, f64) {
+    let plan = NttPlan64::new(n);
+    let mut rng = rand::thread_rng();
+    let data: Vec<u64> = (0..n).map(|_| rng.gen::<u64>() % plan.ctx.q).collect();
+    let butterflies = butterfly_count(n) as f64;
+    let inline = best_run(iters, &data, |w| plan.forward(w)) * 1e9 / butterflies;
+    let launched = best_run(iters, &data, |w| {
+        plan.forward_on_launcher(w);
+    }) * 1e9
+        / butterflies;
+    (inline, launched)
 }
 
 /// Benchmarks the BLAS batch path: sequential loop vs scoped-thread parallel launch.
@@ -659,16 +754,62 @@ fn bench(quick: bool) {
     }
     println!("  planned-vs-naive speedup: u64 {speedup_u64:.2}x, u128 {speedup_u128:.2}x");
 
+    let (ntt_inline, ntt_launched) = bench_ntt_launcher(n, iters);
+    println!("\nLauncher-routed u64 NTT, n = {n} (ns per butterfly):");
+    println!("  inline plan    {ntt_inline:>10.2}");
+    println!("  launcher       {ntt_launched:>10.2}");
+    println!(
+        "  launcher-vs-inline ratio: {:.2}x (stage launches pay a barrier per stage; \
+         > 1 means overhead on this host)",
+        ntt_launched / ntt_inline
+    );
+
+    let rns_elements = if quick { 1 << 10 } else { 1 << 12 };
+    let (rns_rows, rns_speedup) = bench_rns_blas(256, rns_elements, iters);
+    println!("\n256-bit RNS vector ops over {rns_elements} elements (ns per element):");
+    for (path, ns) in &rns_rows {
+        println!("  {path:<22} {ns:>10.2}");
+    }
+    println!("  planned-vs-context speedup on vec_mul: {rns_speedup:.2}x");
+
     let kernel_elements = batch_size * n;
     let kernel_iters = if quick { 2 } else { 5 };
-    let (kernel_name, interp_ns, compiled_ns, kernel_speedup) =
-        bench_kernel_batch(KernelOp::ModMul, 128, kernel_elements, kernel_iters);
+    let modmul = bench_kernel_batch(KernelOp::ModMul, 128, kernel_elements, kernel_iters);
+    let butterfly = bench_kernel_batch(KernelOp::Butterfly, 128, kernel_elements, kernel_iters);
+    for k in [&modmul, &butterfly] {
+        println!(
+            "\nGenerated kernel '{}' over {kernel_elements} elements (batch {batch_size} x {n}):",
+            k.name
+        );
+        println!("  interpreted    {:>10.2} ns/element", k.interp_ns);
+        println!("  compiled       {:>10.2} ns/element", k.compiled_ns);
+        println!("  compiled-vs-interpreted speedup: {:.2}x", k.speedup);
+    }
+
+    // Feed the measured compiled-executor numbers back into the analytical cost
+    // model: fit the per-op weight scale so `weights.weigh(counts)` predicts
+    // ns/element on this host (ROADMAP "GPU cost-model calibration").
+    let samples: Vec<CalibrationSample> = [&modmul, &butterfly]
+        .into_iter()
+        .map(|k| CalibrationSample {
+            counts: k.counts.clone(),
+            measured_ns: k.compiled_ns,
+        })
+        .collect();
+    let base = OpWeights::default();
+    let calibrated = calibrate(&base, &samples).expect("calibration fit succeeds");
+    let cal_scale = calibrated.mul / base.mul;
+    println!("\nCost-model calibration from the two compiled-kernel samples:");
+    println!("  fitted scale   {cal_scale:>10.4} ns per default-weight cycle");
     println!(
-        "\nGenerated kernel '{kernel_name}' over {kernel_elements} elements (batch {batch_size} x {n}):"
+        "  weights (ns/op)  mul {:.2}  mul_low {:.2}  add/sub {:.2}  logic {:.2}  shift {:.2}  copy {:.2}",
+        calibrated.mul,
+        calibrated.mul_low,
+        calibrated.add_sub,
+        calibrated.logic,
+        calibrated.shift,
+        calibrated.copy
     );
-    println!("  interpreted    {interp_ns:>10.2} ns/element");
-    println!("  compiled       {compiled_ns:>10.2} ns/element");
-    println!("  compiled-vs-interpreted speedup: {kernel_speedup:.2}x");
 
     let (blas_seq, blas_par, blas_speedup) = bench_blas_batch(batch_size, n, iters);
     println!("\n256-bit BLAS vector multiplication, batch {batch_size} x {n} (ns per element):");
@@ -681,12 +822,24 @@ fn bench(quick: bool) {
          \"n\": {n},\n    \"rows\": [\n{ntt_rows}\n    ],\n    \
          \"planned_vs_naive_speedup_u64\": {speedup_u64:.3},\n    \
          \"planned_vs_naive_speedup_u128\": {speedup_u128:.3}\n  }},\n  \
+         \"ntt_launcher\": {{\n    \"n\": {n},\n    \
+         \"inline_ns_per_butterfly\": {ntt_inline:.2},\n    \
+         \"launcher_ns_per_butterfly\": {ntt_launched:.2},\n    \
+         \"launcher_vs_inline_ratio\": {launcher_ratio:.3}\n  }},\n  \
+         \"rns_blas\": {{\n    \"bits\": 256,\n    \"elements\": {rns_elements},\n    \
+         \"rows\": [\n{rns_rows_json}\n    ],\n    \
+         \"planned_vs_ctx_speedup_{mul_key}\": {rns_speedup:.3}\n  }},\n  \
          \"kernel_batch\": {{\n    \"kernel\": \"{kernel_name}\",\n    \
          \"elements\": {kernel_elements},\n    \
          \"interpreted_ns_per_element\": {interp_ns:.2},\n    \
          \"compiled_ns_per_element\": {compiled_ns:.2},\n    \
          \"compiled_vs_interpreted_speedup\": {kernel_speedup:.3}\n  }},\n  \
-         \"blas_batch\": {{\n    \"bits\": 256,\n    \"op\": \"vec_mul\",\n    \
+         \"cost_calibration\": {{\n    \"samples\": {n_samples},\n    \
+         \"scale_ns_per_cycle\": {cal_scale:.4},\n    \
+         \"weights_ns\": {{\"mul\": {w_mul:.3}, \"mul_low\": {w_mul_low:.3}, \
+         \"add_sub\": {w_add_sub:.3}, \"logic\": {w_logic:.3}, \
+         \"shift\": {w_shift:.3}, \"copy\": {w_copy:.3}}}\n  }},\n  \
+         \"blas_batch\": {{\n    \"bits\": 256,\n    \"op\": \"{mul_key}\",\n    \
          \"batch\": {batch_size},\n    \"vector_len\": {n},\n    \
          \"sequential_ns_per_element\": {blas_seq:.2},\n    \
          \"parallel_ns_per_element\": {blas_par:.2},\n    \
@@ -700,6 +853,26 @@ fn bench(quick: bool) {
             ))
             .collect::<Vec<_>>()
             .join(",\n"),
+        launcher_ratio = ntt_launched / ntt_inline,
+        rns_rows_json = rns_rows
+            .iter()
+            .map(|(path, ns)| format!(
+                "      {{\"path\": \"{path}\", \"ns_per_element\": {ns:.2}}}"
+            ))
+            .collect::<Vec<_>>()
+            .join(",\n"),
+        mul_key = BlasOp::VecMul.key(),
+        kernel_name = modmul.name,
+        interp_ns = modmul.interp_ns,
+        compiled_ns = modmul.compiled_ns,
+        kernel_speedup = modmul.speedup,
+        n_samples = samples.len(),
+        w_mul = calibrated.mul,
+        w_mul_low = calibrated.mul_low,
+        w_add_sub = calibrated.add_sub,
+        w_logic = calibrated.logic,
+        w_shift = calibrated.shift,
+        w_copy = calibrated.copy,
     );
     std::fs::write("BENCH_ntt_blas.json", &json).expect("write BENCH_ntt_blas.json");
     println!("\nwrote BENCH_ntt_blas.json");

@@ -105,6 +105,17 @@ impl BlasOp {
             BlasOp::Axpy => "axpy",
         }
     }
+
+    /// Stable snake_case key for machine-readable output (the row names of
+    /// `BENCH_ntt_blas.json`), shared by the positional and RNS engines.
+    pub fn key(&self) -> &'static str {
+        match self {
+            BlasOp::VecMul => "vec_mul",
+            BlasOp::VecAdd => "vec_add",
+            BlasOp::VecSub => "vec_sub",
+            BlasOp::Axpy => "axpy",
+        }
+    }
 }
 
 #[cfg(test)]

@@ -47,6 +47,72 @@ impl Default for OpWeights {
     }
 }
 
+impl OpWeights {
+    /// Weighted cost of one kernel execution with the given operation counts, in
+    /// whatever unit the weights are expressed in (device cycles for the default
+    /// weights, measured nanoseconds for [`calibrate`]d weights).
+    pub fn weigh(&self, counts: &OpCounts) -> f64 {
+        counts.get("mulwide") as f64 * self.mul
+            + counts.get("mullow") as f64 * self.mul_low
+            + counts.add_sub() as f64 * self.add_sub
+            + counts.logic() as f64 * self.logic
+            + counts.shifts() as f64 * self.shift
+            + counts.get("copy") as f64 * self.copy
+    }
+
+    /// Returns the weights uniformly scaled by `factor`.
+    pub fn scaled(&self, factor: f64) -> OpWeights {
+        OpWeights {
+            mul: self.mul * factor,
+            mul_low: self.mul_low * factor,
+            add_sub: self.add_sub * factor,
+            logic: self.logic * factor,
+            shift: self.shift * factor,
+            copy: self.copy * factor,
+        }
+    }
+}
+
+/// One measured observation for weight calibration: a kernel's per-element word
+/// operation counts paired with its measured per-element runtime.
+#[derive(Debug, Clone)]
+pub struct CalibrationSample {
+    /// Word-operation counts of one kernel execution (e.g.
+    /// `moma_ir::compiled::CompiledKernel::counts_per_element`).
+    pub counts: OpCounts,
+    /// Measured wall-clock nanoseconds per element.
+    pub measured_ns: f64,
+}
+
+/// Fits the per-op weights to measured data, replacing the hand-set defaults.
+///
+/// The model stays linear in the operation counts, so fitting the relative
+/// weights jointly from a handful of benchmark rows is under-determined; instead
+/// this keeps the *ratios* of `base` and fits the single scale `s` minimizing the
+/// least-squares error `Σ (s·w(cᵢ) − tᵢ)²` over the samples — the closed form
+/// `s = Σ w(cᵢ)·tᵢ / Σ w(cᵢ)²`. The returned weights are therefore in *measured
+/// nanoseconds per op*: `weights.weigh(counts)` predicts the per-element runtime
+/// of a kernel on the measured platform. `reproduce bench` feeds the rows of
+/// `BENCH_ntt_blas.json` through this to keep the cost model anchored to real
+/// numbers.
+///
+/// Returns `None` when `samples` is empty, no sample contains weighted work, or
+/// the fit degenerates (non-finite or non-positive scale).
+pub fn calibrate(base: &OpWeights, samples: &[CalibrationSample]) -> Option<OpWeights> {
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for s in samples {
+        let predicted = base.weigh(&s.counts);
+        num += predicted * s.measured_ns;
+        den += predicted * predicted;
+    }
+    if den == 0.0 {
+        return None;
+    }
+    let scale = num / den;
+    (scale.is_finite() && scale > 0.0).then(|| base.scaled(scale))
+}
+
 /// Result of a cost estimate.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct KernelCostEstimate {
@@ -100,13 +166,7 @@ impl CostModel {
 
     /// Cycles consumed by one execution of a kernel with the given operation counts.
     pub fn cycles_per_thread(&self, counts: &OpCounts) -> f64 {
-        let w = &self.weights;
-        counts.get("mulwide") as f64 * w.mul
-            + counts.get("mullow") as f64 * w.mul_low
-            + counts.add_sub() as f64 * w.add_sub
-            + counts.logic() as f64 * w.logic
-            + counts.shifts() as f64 * w.shift
-            + counts.get("copy") as f64 * w.copy
+        self.weights.weigh(counts)
     }
 
     /// Estimates a data-parallel launch of `threads` virtual threads, each executing a
@@ -282,5 +342,76 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn ntt_size_must_be_power_of_two() {
         CostModel::new(DeviceSpec::H100).estimate_ntt(&counts(1, 1), 1000, 128);
+    }
+
+    #[test]
+    fn calibrate_recovers_a_known_scale() {
+        let base = OpWeights::default();
+        // Synthesize measurements from the base weights scaled by a known factor;
+        // the least-squares fit must recover it exactly (up to float error).
+        let truth = 7.25;
+        let samples: Vec<CalibrationSample> = [counts(4, 8), counts(30, 60), counts(1, 0)]
+            .into_iter()
+            .map(|c| CalibrationSample {
+                measured_ns: base.weigh(&c) * truth,
+                counts: c,
+            })
+            .collect();
+        let fitted = calibrate(&base, &samples).expect("fit succeeds");
+        assert!((fitted.mul - base.mul * truth).abs() < 1e-9);
+        assert!((fitted.add_sub - base.add_sub * truth).abs() < 1e-9);
+        for s in &samples {
+            assert!((fitted.weigh(&s.counts) - s.measured_ns).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn calibrate_balances_noisy_samples() {
+        let base = OpWeights::default();
+        // Two samples pulling in different directions: the fit lands between the
+        // per-sample scales, weighted toward the heavier kernel.
+        let heavy = counts(30, 60);
+        let light = counts(2, 4);
+        let samples = [
+            CalibrationSample {
+                measured_ns: base.weigh(&heavy) * 3.0,
+                counts: heavy,
+            },
+            CalibrationSample {
+                measured_ns: base.weigh(&light) * 5.0,
+                counts: light,
+            },
+        ];
+        let fitted = calibrate(&base, &samples).expect("fit succeeds");
+        let scale = fitted.mul / base.mul;
+        assert!(scale > 3.0 && scale < 5.0, "scale {scale}");
+        assert!(
+            (scale - 3.0).abs() < (scale - 5.0).abs(),
+            "heavier sample dominates the fit (scale {scale})"
+        );
+    }
+
+    #[test]
+    fn calibrate_rejects_degenerate_inputs() {
+        let base = OpWeights::default();
+        assert!(calibrate(&base, &[]).is_none());
+        // No weighted work at all.
+        assert!(calibrate(
+            &base,
+            &[CalibrationSample {
+                counts: OpCounts::new(),
+                measured_ns: 10.0,
+            }]
+        )
+        .is_none());
+        // Zero/negative measurements cannot produce a positive scale.
+        assert!(calibrate(
+            &base,
+            &[CalibrationSample {
+                counts: counts(3, 3),
+                measured_ns: 0.0,
+            }]
+        )
+        .is_none());
     }
 }

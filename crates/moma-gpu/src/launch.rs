@@ -37,6 +37,18 @@ pub struct LaunchStats {
     pub elapsed: Duration,
 }
 
+impl Default for LaunchStats {
+    /// The statistics of a launch that had nothing to do: zero threads, one
+    /// worker, zero elapsed time — the identity for [`LaunchStats::accumulate`].
+    fn default() -> Self {
+        LaunchStats {
+            threads: 0,
+            workers: 1,
+            elapsed: Duration::ZERO,
+        }
+    }
+}
+
 impl LaunchStats {
     /// Wall-clock nanoseconds per element.
     pub fn nanos_per_element(&self) -> f64 {
@@ -45,6 +57,16 @@ impl LaunchStats {
         } else {
             self.elapsed.as_secs_f64() * 1e9 / self.threads as f64
         }
+    }
+
+    /// Folds a subsequent (serialized) launch into this total: threads add up,
+    /// workers take the maximum, elapsed times add up. Used by callers that chain
+    /// several launches into one logical operation (NTT stages with a barrier
+    /// between them, one launch per residue row, …).
+    pub fn accumulate(&mut self, next: LaunchStats) {
+        self.threads += next.threads;
+        self.workers = self.workers.max(next.workers);
+        self.elapsed += next.elapsed;
     }
 }
 
@@ -165,6 +187,56 @@ where
     )
 }
 
+/// Runs one virtual thread per `chunk_len`-sized chunk of `out`, giving each
+/// thread index-order mutable access to exactly its own chunk (the last chunk may
+/// be shorter when the length does not divide evenly).
+///
+/// This is the in-place counterpart of [`launch_map`] for kernels whose natural
+/// unit of work is a whole row — e.g. one RNS residue plane — rather than one
+/// element: the caller allocates the flat output once and every worker writes its
+/// disjoint rows directly, with no per-row collection or concatenation on the
+/// launch path.
+///
+/// # Panics
+///
+/// Panics if `chunk_len` is zero.
+pub fn launch_chunks<T, F>(out: &mut [T], chunk_len: usize, f: F) -> LaunchStats
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunk_len > 0, "chunk length must be positive");
+    let n = out.len().div_ceil(chunk_len);
+    let workers = worker_count().max(1);
+    let start = Instant::now();
+    if n > 0 && workers == 1 {
+        // One worker: run inline (see `launch_indexed`).
+        for (i, chunk) in out.chunks_mut(chunk_len).enumerate() {
+            f(i, chunk);
+        }
+    } else if n > 0 {
+        let per = n.div_ceil(workers);
+        let mut chunks: Vec<(usize, &mut [T])> = out.chunks_mut(chunk_len).enumerate().collect();
+        std::thread::scope(|scope| {
+            while !chunks.is_empty() {
+                let take = per.min(chunks.len());
+                let batch: Vec<(usize, &mut [T])> = chunks.drain(..take).collect();
+                let f = &f;
+                scope.spawn(move || {
+                    for (i, chunk) in batch {
+                        f(i, chunk);
+                    }
+                });
+            }
+        });
+    }
+    LaunchStats {
+        threads: n,
+        workers,
+        elapsed: start.elapsed(),
+    }
+}
+
 /// Executes an already-compiled machine-level kernel once per element.
 ///
 /// `inputs(i)` supplies the parameter words for element `i`; the outputs of every
@@ -277,6 +349,39 @@ mod tests {
             "state must be per worker ({created} inits for {} workers)",
             stats.workers
         );
+    }
+
+    #[test]
+    fn chunk_launch_fills_every_chunk_in_place() {
+        let mut out = vec![0u64; 1000];
+        let stats = launch_chunks(&mut out, 100, |i, chunk| {
+            assert_eq!(chunk.len(), 100);
+            for (j, slot) in chunk.iter_mut().enumerate() {
+                *slot = (i * 100 + j) as u64;
+            }
+        });
+        assert_eq!(stats.threads, 10);
+        assert!(out.iter().enumerate().all(|(k, &v)| v == k as u64));
+    }
+
+    #[test]
+    fn chunk_launch_handles_ragged_tail_and_empty_output() {
+        let mut out = vec![0u32; 7];
+        let stats = launch_chunks(&mut out, 3, |i, chunk| {
+            assert_eq!(chunk.len(), if i == 2 { 1 } else { 3 });
+            chunk.fill(i as u32 + 1);
+        });
+        assert_eq!(stats.threads, 3);
+        assert_eq!(out, [1, 1, 1, 2, 2, 2, 3]);
+        let mut empty: [u8; 0] = [];
+        let stats = launch_chunks(&mut empty, 4, |_, _| panic!("must not run"));
+        assert_eq!(stats.threads, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk length")]
+    fn chunk_launch_rejects_zero_chunks() {
+        launch_chunks(&mut [0u8; 4], 0, |_, _| {});
     }
 
     #[test]

@@ -1,0 +1,280 @@
+//! Stage-level batched NTT execution on the simulated GPU launcher.
+//!
+//! The inline plan paths ([`NttPlan::forward`], [`NttPlan64::forward`]) walk the
+//! butterfly stages as serial host loops. The paper instead maps **one CUDA thread
+//! per butterfly** and launches each stage as a grid, with grid synchronization
+//! between stages (§5.1). This module reproduces that execution shape on the
+//! virtual-GPU launcher: every stage walks the plan's precomputed twiddle tables
+//! and dispatches its `n/2` butterflies through [`moma_gpu::launch_indexed`] /
+//! [`moma_gpu::launch_map`]; the join at the end of each launch is the
+//! stage barrier.
+//!
+//! Two execution strategies, chosen by element width:
+//!
+//! * **Single word** ([`NttPlan64`]): the data lives in a `Vec<AtomicU64>` for the
+//!   duration of the transform. Within one stage every butterfly reads and writes
+//!   only its own pair of slots, so relaxed atomics are just the safe-Rust spelling
+//!   of CUDA's disjoint global-memory accesses, and the transform stays genuinely
+//!   in place. Butterflies use the same Shoup multiplication and `[0, 4q)` lazy
+//!   reduction as the inline path; one final element-parallel pass normalizes.
+//! * **Multi word** ([`NttPlan`]): each stage is a [`moma_gpu::launch_map`] that
+//!   returns the `n/2` butterfly output pairs (one ring multiplication each), which
+//!   are then scattered back — the double-buffered formulation, since `MpUint`
+//!   values cannot be updated atomically.
+//!
+//! On a many-core host the stage launches spread the butterflies across workers;
+//! on the single-vCPU CI container they degrade to the inline loop plus launch
+//! bookkeeping, which is exactly the overhead `reproduce bench` records as the
+//! `ntt_launcher` entry.
+
+use crate::plan::{NttPlan, NttPlan64};
+use crate::transform::bit_reverse_permute;
+use moma_gpu::launch::{launch_indexed, launch_map, LaunchStats};
+use moma_mp::MpUint;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Maps a butterfly index `t ∈ [0, n/2)` of a stage with half-length `m` to the
+/// data index of its upper input; the lower input sits `m` slots later.
+#[inline]
+fn butterfly_base(t: usize, m: usize) -> usize {
+    let log_m = m.trailing_zeros();
+    ((t >> log_m) << (log_m + 1)) | (t & (m - 1))
+}
+
+impl NttPlan64 {
+    /// In-place forward transform with every stage dispatched through
+    /// [`launch_indexed`], one virtual thread per butterfly. Inputs must be
+    /// reduced (`< q`); outputs are reduced. Returns the accumulated launch
+    /// statistics of all stages plus the final normalize pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != self.n`.
+    pub fn forward_on_launcher(&self, data: &mut [u64]) -> LaunchStats {
+        let (cells, mut stats) = self.run_stages_on_launcher(data, &self.fwd, &self.fwd_shoup);
+        let q = self.ctx.q;
+        let two_q = self.two_q;
+        let (normalized, pass) = launch_map(self.n, |i| {
+            let mut v = cells[i].load(Ordering::Relaxed);
+            if v >= two_q {
+                v -= two_q;
+            }
+            if v >= q {
+                v -= q;
+            }
+            v
+        });
+        stats.accumulate(pass);
+        data.copy_from_slice(&normalized);
+        stats
+    }
+
+    /// In-place inverse transform (with `1/n` scaling) with every stage
+    /// dispatched through [`launch_indexed`]. Inputs must be reduced; outputs are
+    /// reduced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != self.n`.
+    pub fn inverse_on_launcher(&self, data: &mut [u64]) -> LaunchStats {
+        let (cells, mut stats) = self.run_stages_on_launcher(data, &self.inv, &self.inv_shoup);
+        let q = self.ctx.q;
+        let (scaled, pass) = launch_map(self.n, |i| {
+            // The scaling multiplication doubles as the normalize pass, exactly as
+            // in the inline plan: the lazy Shoup product accepts [0, 4q) inputs.
+            let t = self.ctx.mul_mod_shoup_lazy(
+                cells[i].load(Ordering::Relaxed),
+                self.n_inv,
+                self.n_inv_shoup,
+            );
+            if t >= q {
+                t - q
+            } else {
+                t
+            }
+        });
+        stats.accumulate(pass);
+        data.copy_from_slice(&scaled);
+        stats
+    }
+
+    /// Runs the butterfly stages on the launcher, returning the working array
+    /// (values lazily reduced in `[0, 4q)`) and the accumulated stage statistics.
+    fn run_stages_on_launcher(
+        &self,
+        data: &mut [u64],
+        table: &[u64],
+        shoup: &[u64],
+    ) -> (Vec<AtomicU64>, LaunchStats) {
+        assert_eq!(
+            data.len(),
+            self.n,
+            "data length must equal the transform size"
+        );
+        bit_reverse_permute(data);
+        let cells: Vec<AtomicU64> = data.iter().map(|&x| AtomicU64::new(x)).collect();
+        let mut stats = LaunchStats::default();
+        let q = self.ctx.q;
+        let two_q = self.two_q;
+        let mut m = 1;
+        while m < self.n {
+            let twiddles = &table[m..2 * m];
+            let quotients = &shoup[m..2 * m];
+            let stage = launch_indexed(self.n / 2, |t| {
+                let i = butterfly_base(t, m);
+                let k = i + m;
+                let j = t & (m - 1);
+                // Harvey's lazy butterfly, identical to the inline hot loop: fold
+                // x into [0, 2q), take the lazy Shoup product t = w·y mod q in
+                // [0, 2q), and emit x + t and x − t + 2q, both < 4q.
+                let mut x = cells[i].load(Ordering::Relaxed);
+                if x >= two_q {
+                    x -= two_q;
+                }
+                let y = cells[k].load(Ordering::Relaxed);
+                let hi = ((quotients[j] as u128 * y as u128) >> 64) as u64;
+                let t = twiddles[j].wrapping_mul(y).wrapping_sub(hi.wrapping_mul(q));
+                cells[i].store(x + t, Ordering::Relaxed);
+                cells[k].store(x + two_q - t, Ordering::Relaxed);
+            });
+            stats.accumulate(stage);
+            m <<= 1;
+        }
+        (cells, stats)
+    }
+}
+
+impl<const L: usize> NttPlan<L> {
+    /// Forward transform with every stage dispatched through [`launch_map`], one
+    /// virtual thread per butterfly (each producing its output pair, scattered
+    /// back between stages).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != self.n`.
+    pub fn forward_on_launcher(&self, data: &mut [MpUint<L>]) -> LaunchStats {
+        self.run_stages_on_launcher(data, &self.fwd)
+    }
+
+    /// Inverse transform (with `1/n` scaling) with every stage dispatched through
+    /// [`launch_map`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != self.n`.
+    pub fn inverse_on_launcher(&self, data: &mut [MpUint<L>]) -> LaunchStats {
+        let mut stats = self.run_stages_on_launcher(data, &self.inv);
+        let (scaled, pass) = launch_map(self.n, |i| self.ring.mul(data[i], self.n_inv));
+        stats.accumulate(pass);
+        data.copy_from_slice(&scaled);
+        stats
+    }
+
+    fn run_stages_on_launcher(&self, data: &mut [MpUint<L>], table: &[MpUint<L>]) -> LaunchStats {
+        assert_eq!(
+            data.len(),
+            self.n,
+            "data length must equal the transform size"
+        );
+        bit_reverse_permute(data);
+        let mut stats = LaunchStats::default();
+        let mut m = 1;
+        while m < self.n {
+            let twiddles = &table[m..2 * m];
+            let (pairs, stage) = launch_map(self.n / 2, |t| {
+                let i = butterfly_base(t, m);
+                let x = data[i];
+                let wy = self.ring.mul(twiddles[t & (m - 1)], data[i + m]);
+                (self.ring.add(x, wy), self.ring.sub(x, wy))
+            });
+            stats.accumulate(stage);
+            for (t, &(hi, lo)) in pairs.iter().enumerate() {
+                let i = butterfly_base(t, m);
+                data[i] = hi;
+                data[i + m] = lo;
+            }
+            m <<= 1;
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::NttParams;
+    use crate::transform::butterfly_count;
+    use moma_mp::MulAlgorithm;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn butterfly_index_mapping_covers_every_pair_once() {
+        let n = 16;
+        for m in [1usize, 2, 4, 8] {
+            let mut seen = vec![0u32; n];
+            for t in 0..n / 2 {
+                let i = butterfly_base(t, m);
+                seen[i] += 1;
+                seen[i + m] += 1;
+            }
+            assert!(seen.iter().all(|&c| c == 1), "m = {m}: {seen:?}");
+        }
+    }
+
+    #[test]
+    fn launcher64_matches_inline_plan() {
+        let plan = NttPlan64::new(256);
+        let mut rng = StdRng::seed_from_u64(91);
+        let data: Vec<u64> = (0..256).map(|_| rng.gen::<u64>() % plan.ctx.q).collect();
+        let mut inline = data.clone();
+        let mut launched = data.clone();
+        plan.forward(&mut inline);
+        let stats = plan.forward_on_launcher(&mut launched);
+        assert_eq!(launched, inline, "forward must match the inline plan");
+        // (n/2)·log2 n butterflies plus the n-element normalize pass.
+        assert_eq!(stats.threads as u64, butterfly_count(256) + 256);
+        plan.inverse(&mut inline);
+        plan.inverse_on_launcher(&mut launched);
+        assert_eq!(launched, inline, "inverse must match the inline plan");
+        assert_eq!(launched, data, "inverse ∘ forward must be the identity");
+    }
+
+    #[test]
+    fn launcher64_outputs_are_fully_reduced() {
+        let plan = NttPlan64::new(128);
+        let mut rng = StdRng::seed_from_u64(92);
+        let mut data: Vec<u64> = (0..128).map(|_| rng.gen::<u64>() % plan.ctx.q).collect();
+        plan.forward_on_launcher(&mut data);
+        assert!(data.iter().all(|&x| x < plan.ctx.q));
+        plan.inverse_on_launcher(&mut data);
+        assert!(data.iter().all(|&x| x < plan.ctx.q));
+    }
+
+    #[test]
+    fn launcher_multiword_matches_inline_plan() {
+        let params = NttParams::<2>::for_paper_modulus(64, 128, MulAlgorithm::Schoolbook);
+        let plan = NttPlan::new(&params);
+        let mut rng = StdRng::seed_from_u64(93);
+        let data: Vec<_> = (0..64)
+            .map(|_| params.ring.random_element(&mut rng))
+            .collect();
+        let mut inline = data.clone();
+        let mut launched = data.clone();
+        plan.forward(&mut inline);
+        plan.forward_on_launcher(&mut launched);
+        assert_eq!(launched, inline, "forward must match the inline plan");
+        plan.inverse(&mut inline);
+        plan.inverse_on_launcher(&mut launched);
+        assert_eq!(launched, inline, "inverse must match the inline plan");
+        assert_eq!(launched, data);
+    }
+
+    #[test]
+    #[should_panic(expected = "data length")]
+    fn launcher_wrong_length_panics() {
+        let plan = NttPlan64::new(64);
+        let mut data = vec![0u64; 32];
+        plan.forward_on_launcher(&mut data);
+    }
+}

@@ -13,6 +13,9 @@
 //! * [`plan`] — precomputed execution plans: bit-reversed twiddle tables built once
 //!   per (modulus, n), with Shoup precomputed quotients and lazy reduction on the
 //!   single-word path — the hot-path entry points for repeated transforms;
+//! * [`launcher`] — stage-level batched execution of the plans on the simulated
+//!   GPU launcher: each stage dispatches one virtual thread per butterfly through
+//!   `moma_gpu::launch_indexed`/`launch_map`, the paper's §5.1 execution shape;
 //! * [`reference`] — the `O(n^2)` direct DFT used as a correctness oracle;
 //! * [`polymul`] — NTT-based polynomial multiplication (the application motivating the
 //!   kernel in FHE/ZKP workloads).
@@ -20,6 +23,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod launcher;
 pub mod params;
 pub mod plan;
 pub mod polymul;

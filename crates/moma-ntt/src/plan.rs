@@ -53,11 +53,11 @@ pub struct NttPlan<const L: usize> {
     /// Forward twiddles in bit-reversed (Harvey) layout: `fwd[m + j] = ω_{2m}^j`
     /// for every stage half-length `m = 1, 2, …, n/2` and `0 ≤ j < m`. Entry 0 is
     /// unused padding so the table is indexed directly by `m + j`.
-    fwd: Vec<MpUint<L>>,
+    pub(crate) fwd: Vec<MpUint<L>>,
     /// Inverse twiddles in the same layout, built from `ω^{-1}`.
-    inv: Vec<MpUint<L>>,
+    pub(crate) inv: Vec<MpUint<L>>,
     /// `n^{-1} mod q` for the inverse transform's final scaling.
-    n_inv: MpUint<L>,
+    pub(crate) n_inv: MpUint<L>,
 }
 
 impl<const L: usize> NttPlan<L> {
@@ -173,13 +173,13 @@ pub struct NttPlan64 {
     /// Single-word Barrett context for the 60-bit modulus (used for setup and the
     /// fallback entry points; the hot loop uses the Shoup tables).
     pub ctx: SingleBarrett,
-    two_q: u64,
-    fwd: Vec<u64>,
-    fwd_shoup: Vec<u64>,
-    inv: Vec<u64>,
-    inv_shoup: Vec<u64>,
-    n_inv: u64,
-    n_inv_shoup: u64,
+    pub(crate) two_q: u64,
+    pub(crate) fwd: Vec<u64>,
+    pub(crate) fwd_shoup: Vec<u64>,
+    pub(crate) inv: Vec<u64>,
+    pub(crate) inv_shoup: Vec<u64>,
+    pub(crate) n_inv: u64,
+    pub(crate) n_inv_shoup: u64,
 }
 
 impl NttPlan64 {

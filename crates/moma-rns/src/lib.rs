@@ -8,22 +8,35 @@
 //!   required dynamic range, with conversion to residues and CRT reconstruction;
 //! * [`RnsInt`] — one large integer in residue form, with `O(#moduli)` addition,
 //!   subtraction, and multiplication;
-//! * [`vector`] — element-wise vector operations used as the baseline in the Figure 2
-//!   BLAS comparison.
+//! * [`vector`] — per-element vector operations over [`RnsInt`] values, the original
+//!   (allocation-heavy) baseline of the Figure 2 BLAS comparison;
+//! * [`plan`] — the planned residue engine: [`RnsPlan`] precomputes per-modulus
+//!   Barrett constants and CRT data once per basis, and [`RnsMatrix`] stores whole
+//!   vectors in structure-of-arrays layout so element-wise operations run
+//!   per-residue-row on the simulated GPU launcher with no arbitrary-precision
+//!   arithmetic on the hot path.
 //!
 //! The trade-off the paper measures is visible directly in the API: ring operations are
 //! embarrassingly cheap per residue, but anything that needs the positional value —
 //! comparison, reduction modulo a user modulus `q` that is not the RNS product, or
 //! conversion — requires CRT reconstruction through arbitrary-precision arithmetic.
+//!
+//! [`RnsContext`]/[`RnsInt`] remain the readable correctness oracle; the planned
+//! engine is cross-checked against them property-by-property.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod plan;
 pub mod vector;
 
+pub use plan::{RnsMatrix, RnsPlan};
+
 use moma_bignum::{prime, BigUint};
+use moma_mp::single::SingleBarrett;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::collections::HashSet;
 
 /// Number of bits per RNS modulus. 31-bit moduli keep every product inside a `u64`
 /// accumulator without overflow handling, mirroring GRNS's use of the GPU's
@@ -46,6 +59,9 @@ pub const MODULUS_BITS: u32 = 31;
 #[derive(Debug, Clone)]
 pub struct RnsContext {
     moduli: Vec<u64>,
+    /// The basis moduli as `BigUint`s, built once so the conversion paths do not
+    /// re-allocate one `BigUint` per modulus per call.
+    moduli_big: Vec<BigUint>,
     product: BigUint,
     /// Precomputed CRT data: (M_i = product / m_i, y_i = M_i^{-1} mod m_i).
     crt: Vec<(BigUint, u64)>,
@@ -68,30 +84,37 @@ impl RnsContext {
         assert!(count > 0, "need at least one modulus");
         let mut rng = StdRng::seed_from_u64(0x6e73_5f72_6e73);
         let mut moduli = Vec::with_capacity(count);
+        // Set-based dedup: the old `moduli.contains` scan made basis construction
+        // quadratic in the modulus count.
+        let mut seen = HashSet::with_capacity(count);
         while moduli.len() < count {
             let p = prime::random_prime(&mut rng, MODULUS_BITS)
                 .to_u64()
                 .expect("31-bit prime fits u64");
-            if !moduli.contains(&p) {
+            if seen.insert(p) {
                 moduli.push(p);
             }
         }
+        let moduli_big: Vec<BigUint> = moduli.iter().map(|&m| BigUint::from(m)).collect();
         let mut product = BigUint::one();
-        for &m in &moduli {
-            product = &product * &BigUint::from(m);
+        for m_big in &moduli_big {
+            product = &product * m_big;
         }
         let crt = moduli
             .iter()
-            .map(|&m| {
-                let m_big = BigUint::from(m);
-                let mi = &product / &m_big;
-                let mi_mod = (&mi % &m_big).to_u64().unwrap();
-                let yi = mod_inverse_u64(mi_mod, m);
+            .zip(&moduli_big)
+            .map(|(&m, m_big)| {
+                let mi = &product / m_big;
+                let mi_mod = (&mi % m_big).to_u64().unwrap();
+                // Word-sized modular inverse via the shared helper in `moma-mp`
+                // (Fermat over a Barrett context; the moduli are 31-bit primes).
+                let yi = SingleBarrett::new(m).inv_mod(mi_mod);
                 (mi, yi)
             })
             .collect();
         RnsContext {
             moduli,
+            moduli_big,
             product,
             crt,
         }
@@ -121,9 +144,9 @@ impl RnsContext {
         assert!(x < &self.product, "value exceeds the RNS dynamic range");
         RnsInt {
             residues: self
-                .moduli
+                .moduli_big
                 .iter()
-                .map(|&m| (x % &BigUint::from(m)).to_u64().unwrap())
+                .map(|m_big| (x % m_big).to_u64().unwrap())
                 .collect(),
         }
     }
@@ -185,21 +208,6 @@ impl RnsContext {
 pub struct RnsInt {
     /// One residue per basis modulus, in basis order.
     pub residues: Vec<u64>,
-}
-
-/// Modular inverse of `a` modulo prime `m` (both word-sized) by Fermat exponentiation.
-fn mod_inverse_u64(a: u64, m: u64) -> u64 {
-    let mut result: u128 = 1;
-    let mut base = a as u128 % m as u128;
-    let mut exp = m - 2;
-    while exp > 0 {
-        if exp & 1 == 1 {
-            result = result * base % m as u128;
-        }
-        base = base * base % m as u128;
-        exp >>= 1;
-    }
-    result as u64
 }
 
 #[cfg(test)]

@@ -1,0 +1,594 @@
+//! The planned residue engine: precompute-once-execute-many RNS arithmetic in
+//! structure-of-arrays layout on the simulated GPU launcher.
+//!
+//! The original [`RnsContext`]/[`RnsInt`] path is a readable oracle, but it is the
+//! wrong shape for a throughput comparison against MoMA's positional kernels: every
+//! element owns its own `Vec<u64>` of residues (array-of-structures), every
+//! multiplication reduces through a `u128 %` division, and every conversion
+//! allocates one `BigUint` per modulus. GRNS — the baseline the paper compares
+//! against — stores residues *plane by plane* and runs each plane as an independent
+//! data-parallel kernel. This module reproduces that organisation:
+//!
+//! * [`RnsPlan`] precomputes, once per basis, a [`SingleBarrett`] context per
+//!   modulus (so hot-path reductions are Barrett multiplications, not `u128`
+//!   divisions), the residues of every power of the limb radix `2^64` (so
+//!   positional→residue conversion is a dot product over machine words with no
+//!   arbitrary-precision arithmetic), and the CRT reconstruction data;
+//! * [`RnsMatrix`] stores a vector of `n` big integers as a flat `#moduli × n`
+//!   row-major matrix (structure-of-arrays): row `r` holds the residues of all `n`
+//!   elements modulo basis prime `m_r`;
+//! * element-wise operations ([`RnsPlan::apply`]) dispatch one virtual GPU thread
+//!   per residue row through [`moma_gpu::launch_chunks`] (each thread filling its
+//!   row of the flat output in place), and
+//!   [`RnsPlan::mul_compiled`] routes the same per-residue multiplication through a
+//!   *generated* machine-level kernel via [`moma_gpu::launch_compiled`] — so GRNS
+//!   vector ops and MoMA compiled kernels are measured on the same launch
+//!   infrastructure.
+//!
+//! The conversion-cost trade-off the paper measures is explicit in the types:
+//! everything on [`RnsMatrix`] is `BigUint`-free, while [`RnsPlan::to_biguints`]
+//! and [`RnsPlan::reduce_mod`] — the operations RNS cannot do residue-locally —
+//! pay the CRT reconstruction through arbitrary-precision arithmetic. Positional
+//! (MoMA-style) multi-word arithmetic never pays that step, which is the heart of
+//! the Figure 2 comparison.
+
+use crate::{RnsContext, RnsInt};
+use moma_bignum::BigUint;
+use moma_blas::BlasOp;
+use moma_gpu::launch::{launch_chunks, launch_compiled, LaunchStats};
+use moma_ir::compiled::CompiledKernel;
+use moma_ir::{Kernel, KernelBuilder, Op, Operand, Ty};
+use moma_mp::single::SingleBarrett;
+use std::sync::OnceLock;
+
+/// Precomputed per-basis execution data for the planned residue engine.
+///
+/// Built once per basis (from an existing [`RnsContext`] or directly from a
+/// capacity); every subsequent element-wise operation is pure machine-word
+/// arithmetic.
+///
+/// # Example
+///
+/// ```
+/// use moma_bignum::BigUint;
+/// use moma_rns::{RnsContext, RnsMatrix, RnsPlan};
+///
+/// let ctx = RnsContext::with_capacity_bits(256);
+/// let plan = RnsPlan::new(&ctx);
+/// let a: Vec<BigUint> = (1u64..5).map(BigUint::from).collect();
+/// let b: Vec<BigUint> = (5u64..9).map(BigUint::from).collect();
+/// let ma = RnsMatrix::from_biguints(&plan, &a);
+/// let mb = RnsMatrix::from_biguints(&plan, &b);
+/// let prod = plan.mul(&ma, &mb);
+/// assert_eq!(plan.to_biguints(&prod)[0], &a[0] * &b[0]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RnsPlan {
+    /// One Barrett context per basis modulus, in basis order.
+    ctxs: Vec<SingleBarrett>,
+    /// `limb_residues[r][j] = 2^(64·j) mod m_r` for every limb position `j` the
+    /// dynamic range can hold — the dot-product table for `BigUint`-free forward
+    /// conversion.
+    limb_residues: Vec<Vec<u64>>,
+    /// Product of the basis (the dynamic range).
+    product: BigUint,
+    /// CRT reconstruction data per modulus: `(M_i = product / m_i, y_i =
+    /// M_i^{-1} mod m_i)`.
+    crt: Vec<(BigUint, u64)>,
+    /// One *generated* single-word Barrett modmul kernel per modulus, compiled
+    /// lazily on the first [`RnsPlan::mul_compiled`] call (the plain arithmetic
+    /// paths never pay for them) and cached for every call after.
+    mul_kernels: OnceLock<Vec<CompiledKernel>>,
+}
+
+impl RnsPlan {
+    /// Builds the plan for the basis of an existing context.
+    ///
+    /// The plan computes the same residues and reconstructions as the context; the
+    /// crosscheck tests exploit that to use [`RnsContext`] as the oracle.
+    pub fn new(ctx: &RnsContext) -> Self {
+        let ctxs: Vec<SingleBarrett> = ctx.moduli.iter().map(|&m| SingleBarrett::new(m)).collect();
+        let max_limbs = ctx.product.bits().div_ceil(64) as usize;
+        let limb_residues = ctxs
+            .iter()
+            .map(|b| {
+                // radix = 2^64 mod m, then successive powers by Barrett multiplication.
+                let radix = (u64::MAX % b.q) + 1;
+                let radix = if radix == b.q { 0 } else { radix };
+                let mut pows = Vec::with_capacity(max_limbs);
+                let mut cur = 1u64;
+                for _ in 0..max_limbs {
+                    pows.push(cur);
+                    cur = b.mul_mod(cur, radix);
+                }
+                pows
+            })
+            .collect();
+        RnsPlan {
+            ctxs,
+            limb_residues,
+            product: ctx.product.clone(),
+            crt: ctx.crt.clone(),
+            mul_kernels: OnceLock::new(),
+        }
+    }
+
+    /// Convenience constructor: builds a deterministic basis covering at least
+    /// `bits` bits of dynamic range (same basis as
+    /// [`RnsContext::with_capacity_bits`]).
+    pub fn with_capacity_bits(bits: u32) -> Self {
+        Self::new(&RnsContext::with_capacity_bits(bits))
+    }
+
+    /// Number of basis moduli (= rows of every matrix over this plan).
+    pub fn moduli_count(&self) -> usize {
+        self.ctxs.len()
+    }
+
+    /// The basis moduli, in basis order.
+    pub fn moduli(&self) -> impl Iterator<Item = u64> + '_ {
+        self.ctxs.iter().map(|c| c.q)
+    }
+
+    /// The product of the basis (the dynamic range).
+    pub fn product(&self) -> &BigUint {
+        &self.product
+    }
+
+    /// Converts one positional integer into residues with no `BigUint`
+    /// arithmetic: each residue is a Barrett dot product of the value's machine
+    /// words against the precomputed limb-radix residues.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not below the dynamic range.
+    pub fn to_residues(&self, x: &BigUint) -> RnsInt {
+        assert!(x < &self.product, "value exceeds the RNS dynamic range");
+        let limbs = x.limbs();
+        RnsInt {
+            residues: self
+                .ctxs
+                .iter()
+                .zip(&self.limb_residues)
+                .map(|(ctx, pows)| residue_of(ctx, pows, limbs))
+                .collect(),
+        }
+    }
+
+    /// Reconstructs the positional value of one residue column via the Chinese
+    /// remainder theorem — the explicit conversion path where arbitrary-precision
+    /// arithmetic is allowed (and unavoidable).
+    pub fn from_residues(&self, x: &RnsInt) -> BigUint {
+        assert_eq!(x.residues.len(), self.moduli_count());
+        self.crt_reconstruct(|r| x.residues[r])
+    }
+
+    /// Element-wise `a + b` over matrices (one launcher thread per residue row).
+    pub fn add(&self, a: &RnsMatrix, b: &RnsMatrix) -> RnsMatrix {
+        self.apply(BlasOp::VecAdd, None, a, b).0
+    }
+
+    /// Element-wise `a - b` (well-defined modulo the basis product).
+    pub fn sub(&self, a: &RnsMatrix, b: &RnsMatrix) -> RnsMatrix {
+        self.apply(BlasOp::VecSub, None, a, b).0
+    }
+
+    /// Element-wise `a * b`.
+    pub fn mul(&self, a: &RnsMatrix, b: &RnsMatrix) -> RnsMatrix {
+        self.apply(BlasOp::VecMul, None, a, b).0
+    }
+
+    /// `a·x + y` with an RNS scalar `a`.
+    pub fn axpy(&self, a: &RnsInt, x: &RnsMatrix, y: &RnsMatrix) -> RnsMatrix {
+        self.apply(BlasOp::Axpy, Some(a), x, y).0
+    }
+
+    /// Runs one BLAS operation element-wise over two matrices, one virtual GPU
+    /// thread per residue row, and reports the launch statistics.
+    ///
+    /// This is the planned hot path: each row runs against its own precomputed
+    /// Barrett context, performs no `BigUint` arithmetic and no per-element
+    /// allocation, and all rows share the same [`moma_gpu::launch_chunks`]
+    /// infrastructure the positional BLAS batches use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix shapes do not match the plan (or each other), or if
+    /// `op` is [`BlasOp::Axpy`] and no scalar is supplied.
+    pub fn apply(
+        &self,
+        op: BlasOp,
+        scalar: Option<&RnsInt>,
+        a: &RnsMatrix,
+        b: &RnsMatrix,
+    ) -> (RnsMatrix, LaunchStats) {
+        self.check_shape(a);
+        self.check_shape(b);
+        assert_eq!(a.cols, b.cols, "matrix width mismatch");
+        let scalar = match op {
+            BlasOp::Axpy => {
+                let s = scalar.expect("axpy requires an RNS scalar");
+                assert_eq!(
+                    s.residues.len(),
+                    self.moduli_count(),
+                    "scalar basis mismatch"
+                );
+                Some(s)
+            }
+            _ => None,
+        };
+        let cols = a.cols;
+        // One flat allocation; every launcher thread fills its own residue row in
+        // place (no per-row collection or concatenation).
+        let mut data = vec![0u64; self.moduli_count() * cols];
+        let stats = if cols == 0 {
+            LaunchStats::default()
+        } else {
+            launch_chunks(&mut data, cols, |r, out| {
+                let ctx = &self.ctxs[r];
+                let ar = a.row(r);
+                let br = b.row(r);
+                // The basis moduli are 31-bit, so the per-residue multiplication
+                // takes the narrow Barrett path: one widening multiplication per
+                // product.
+                match op {
+                    BlasOp::VecMul => {
+                        for (o, (&x, &y)) in out.iter_mut().zip(ar.iter().zip(br)) {
+                            *o = mul_mod(ctx, x, y);
+                        }
+                    }
+                    BlasOp::VecAdd => {
+                        for (o, (&x, &y)) in out.iter_mut().zip(ar.iter().zip(br)) {
+                            *o = ctx.add_mod(x, y);
+                        }
+                    }
+                    BlasOp::VecSub => {
+                        for (o, (&x, &y)) in out.iter_mut().zip(ar.iter().zip(br)) {
+                            *o = ctx.sub_mod(x, y);
+                        }
+                    }
+                    BlasOp::Axpy => {
+                        let s = scalar.unwrap().residues[r];
+                        for (o, (&x, &y)) in out.iter_mut().zip(ar.iter().zip(br)) {
+                            *o = ctx.add_mod(mul_mod(ctx, s, x), y);
+                        }
+                    }
+                }
+            })
+        };
+        (
+            RnsMatrix {
+                rows: self.moduli_count(),
+                cols,
+                data,
+            },
+            stats,
+        )
+    }
+
+    /// Element-wise `a * b` routed through a *generated* machine-level modular
+    /// multiplication kernel per residue row, executed with
+    /// [`moma_gpu::launch_compiled`].
+    ///
+    /// Functionally identical to [`RnsPlan::mul`]; it exists so the GRNS-style
+    /// residue arithmetic and MoMA's compiled positional kernels can be measured
+    /// on the exact same executor and launcher. (The generated kernel pays an
+    /// exact-division reduction per element, so this path is a measurement
+    /// harness, not the fast path.)
+    pub fn mul_compiled(&self, a: &RnsMatrix, b: &RnsMatrix) -> (RnsMatrix, LaunchStats) {
+        self.check_shape(a);
+        self.check_shape(b);
+        assert_eq!(a.cols, b.cols, "matrix width mismatch");
+        let cols = a.cols;
+        let mut data = Vec::with_capacity(self.moduli_count() * cols);
+        let mut total = LaunchStats::default();
+        let kernels = self.mul_kernels.get_or_init(|| {
+            self.ctxs
+                .iter()
+                .map(|b| {
+                    CompiledKernel::compile(&modmul_kernel(b))
+                        .expect("generated residue kernel compiles")
+                })
+                .collect()
+        });
+        for (r, compiled) in kernels.iter().enumerate() {
+            let ar = a.row(r);
+            let br = b.row(r);
+            let (outs, stats) = launch_compiled(compiled, cols, |i| vec![ar[i], br[i]]);
+            data.extend(outs.iter().map(|o| o[0]));
+            total.accumulate(stats);
+        }
+        (
+            RnsMatrix {
+                rows: self.moduli_count(),
+                cols,
+                data,
+            },
+            total,
+        )
+    }
+
+    /// Reduces every element modulo a user modulus `q` that is not the basis
+    /// product: CRT reconstruction, positional reduction, forward conversion.
+    /// This is the expensive round trip positional arithmetic avoids.
+    pub fn reduce_mod(&self, a: &RnsMatrix, q: &BigUint) -> RnsMatrix {
+        let reduced: Vec<BigUint> = self.to_biguints(a).into_iter().map(|x| &x % q).collect();
+        RnsMatrix::from_biguints(self, &reduced)
+    }
+
+    /// Converts a whole matrix back to positional integers (CRT per column).
+    pub fn to_biguints(&self, a: &RnsMatrix) -> Vec<BigUint> {
+        self.check_shape(a);
+        (0..a.cols)
+            .map(|c| self.crt_reconstruct(|r| a.data[r * a.cols + c]))
+            .collect()
+    }
+
+    fn crt_reconstruct(&self, residue: impl Fn(usize) -> u64) -> BigUint {
+        let mut acc = BigUint::zero();
+        for (r, (ctx, (mi, yi))) in self.ctxs.iter().zip(&self.crt).enumerate() {
+            let t = ctx.mul_mod(residue(r) % ctx.q, *yi);
+            acc = &acc + &(mi * &BigUint::from(t));
+        }
+        &acc % &self.product
+    }
+
+    fn check_shape(&self, a: &RnsMatrix) {
+        assert_eq!(a.rows, self.moduli_count(), "matrix basis mismatch");
+        assert_eq!(a.data.len(), a.rows * a.cols, "matrix storage corrupt");
+    }
+}
+
+/// `(a · b) mod q`, taking the narrow Barrett fast path (one widening
+/// multiplication) whenever the modulus allows it — always true for the 31-bit
+/// bases [`RnsContext`] constructs, with the general path kept as a fallback.
+#[inline]
+fn mul_mod(ctx: &SingleBarrett, a: u64, b: u64) -> u64 {
+    if ctx.mbits <= 32 {
+        ctx.mul_mod_narrow(a, b)
+    } else {
+        ctx.mul_mod(a, b)
+    }
+}
+
+/// Computes `value mod q` from little-endian machine words: a Barrett dot product
+/// against the precomputed residues of the limb-radix powers.
+fn residue_of(ctx: &SingleBarrett, pows: &[u64], limbs: &[u64]) -> u64 {
+    assert!(
+        limbs.len() <= pows.len(),
+        "value exceeds the RNS dynamic range"
+    );
+    let mut acc = 0u64;
+    for (&limb, &pow) in limbs.iter().zip(pows) {
+        acc = ctx.add_mod(acc, mul_mod(ctx, limb % ctx.q, pow));
+    }
+    acc
+}
+
+/// Builds the generated single-word Barrett modular-multiplication kernel for one
+/// residue modulus: `out = (a · b) mod q` with `q`, `μ`, and the modulus bit-width
+/// baked in as constants (the paper's Listing 1 `_smulmod` shape).
+fn modmul_kernel(ctx: &SingleBarrett) -> Kernel {
+    let mut kb = KernelBuilder::new(format!("rns_modmul_m{:x}", ctx.q));
+    let a = kb.param("a", Ty::UInt(64));
+    let b = kb.param("b", Ty::UInt(64));
+    let out = kb.output("out", Ty::UInt(64));
+    kb.push(
+        vec![out],
+        Op::MulModBarrett {
+            a: a.into(),
+            b: b.into(),
+            q: Operand::Const(ctx.q),
+            mu: Operand::Const(ctx.mu),
+            mbits: ctx.mbits,
+        },
+    );
+    kb.build()
+}
+
+/// A vector of big integers in residue form, stored structure-of-arrays.
+///
+/// Row `r` of the flat row-major storage holds the residues of all `cols`
+/// elements modulo basis prime `m_r` — the GRNS "residue plane" layout, which is
+/// what lets one launcher thread stream a whole row with perfect locality.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RnsMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<u64>,
+}
+
+impl RnsMatrix {
+    /// Converts a slice of positional integers into SoA residue form, one
+    /// launcher thread per residue row. Apart from reading each value's machine
+    /// words, the conversion performs no `BigUint` arithmetic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any value is not below the plan's dynamic range.
+    pub fn from_biguints(plan: &RnsPlan, values: &[BigUint]) -> Self {
+        for v in values {
+            assert!(v < &plan.product, "value exceeds the RNS dynamic range");
+        }
+        let cols = values.len();
+        let mut data = vec![0u64; plan.moduli_count() * cols];
+        if cols > 0 {
+            launch_chunks(&mut data, cols, |r, out| {
+                let ctx = &plan.ctxs[r];
+                let pows = &plan.limb_residues[r];
+                for (o, v) in out.iter_mut().zip(values) {
+                    *o = residue_of(ctx, pows, v.limbs());
+                }
+            });
+        }
+        RnsMatrix {
+            rows: plan.moduli_count(),
+            cols,
+            data,
+        }
+    }
+
+    /// Number of residue rows (= basis moduli).
+    pub fn row_count(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of elements (columns).
+    pub fn len(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns `true` if the matrix holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.cols == 0
+    }
+
+    /// One residue row: the residues of every element modulo basis prime `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    pub fn row(&self, r: usize) -> &[u64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Extracts one element's residue column as an [`RnsInt`] (inspection /
+    /// interop path; allocates).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range.
+    pub fn element(&self, c: usize) -> RnsInt {
+        assert!(c < self.cols, "column out of range");
+        RnsInt {
+            residues: (0..self.rows)
+                .map(|r| self.data[r * self.cols + c])
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector::RnsVector;
+    use moma_bignum::random::random_bits;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(n: usize, bits: u32) -> (RnsContext, RnsPlan, Vec<BigUint>, Vec<BigUint>) {
+        let ctx = RnsContext::with_capacity_bits(2 * bits + 8);
+        let plan = RnsPlan::new(&ctx);
+        let mut rng = StdRng::seed_from_u64(0x504c_414e);
+        let a: Vec<BigUint> = (0..n).map(|_| random_bits(&mut rng, bits)).collect();
+        let b: Vec<BigUint> = (0..n).map(|_| random_bits(&mut rng, bits)).collect();
+        (ctx, plan, a, b)
+    }
+
+    #[test]
+    fn residues_match_context_oracle() {
+        let (ctx, plan, a, _) = setup(12, 140);
+        for v in a.iter().chain([&BigUint::zero(), &BigUint::one()]) {
+            assert_eq!(plan.to_residues(v), ctx.to_residues(v), "value {v:?}");
+        }
+    }
+
+    #[test]
+    fn matrix_round_trips_through_crt() {
+        let (_, plan, a, _) = setup(9, 200);
+        let m = RnsMatrix::from_biguints(&plan, &a);
+        assert_eq!(m.row_count(), plan.moduli_count());
+        assert_eq!(m.len(), 9);
+        assert_eq!(plan.to_biguints(&m), a);
+    }
+
+    #[test]
+    fn elementwise_ops_match_vector_oracle() {
+        let (ctx, plan, a, b) = setup(16, 120);
+        let va = RnsVector::from_biguints(&ctx, &a);
+        let vb = RnsVector::from_biguints(&ctx, &b);
+        let ma = RnsMatrix::from_biguints(&plan, &a);
+        let mb = RnsMatrix::from_biguints(&plan, &b);
+        type Oracle = fn(&RnsContext, &RnsInt, &RnsInt) -> RnsInt;
+        let checks: [(BlasOp, Oracle); 3] = [
+            (BlasOp::VecMul, |c, x, y| c.mul(x, y)),
+            (BlasOp::VecAdd, |c, x, y| c.add(x, y)),
+            (BlasOp::VecSub, |c, x, y| c.sub(x, y)),
+        ];
+        for (op, oracle) in checks {
+            let (out, stats) = plan.apply(op, None, &ma, &mb);
+            assert_eq!(stats.threads, plan.moduli_count(), "{op:?}");
+            for c in 0..a.len() {
+                assert_eq!(
+                    out.element(c),
+                    oracle(&ctx, &va.elements[c], &vb.elements[c]),
+                    "{op:?} column {c}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn axpy_matches_positional() {
+        let (_, plan, x, y) = setup(8, 100);
+        let s = BigUint::from(0xdead_beefu64);
+        let mx = RnsMatrix::from_biguints(&plan, &x);
+        let my = RnsMatrix::from_biguints(&plan, &y);
+        let out = plan.axpy(&plan.to_residues(&s), &mx, &my);
+        let back = plan.to_biguints(&out);
+        for c in 0..x.len() {
+            assert_eq!(back[c], &(&s * &x[c]) + &y[c]);
+        }
+    }
+
+    #[test]
+    fn compiled_kernel_path_matches_rowwise_path() {
+        let (_, plan, a, b) = setup(10, 96);
+        let ma = RnsMatrix::from_biguints(&plan, &a);
+        let mb = RnsMatrix::from_biguints(&plan, &b);
+        let fast = plan.mul(&ma, &mb);
+        let (compiled, stats) = plan.mul_compiled(&ma, &mb);
+        assert_eq!(compiled, fast);
+        assert_eq!(stats.threads, plan.moduli_count() * a.len());
+    }
+
+    #[test]
+    fn reduce_mod_matches_oracle() {
+        let (ctx, plan, a, b) = setup(4, 120);
+        let q = BigUint::from_hex("ffffffffffffffffffffffffffffff61").unwrap();
+        let prod = plan.mul(
+            &RnsMatrix::from_biguints(&plan, &a),
+            &RnsMatrix::from_biguints(&plan, &b),
+        );
+        let reduced = plan.reduce_mod(&prod, &q);
+        for (c, back) in plan.to_biguints(&reduced).iter().enumerate() {
+            assert_eq!(back, &((&a[c] * &b[c]) % &q));
+            assert_eq!(reduced.element(c), ctx.reduce_mod(&prod.element(c), &q));
+        }
+    }
+
+    #[test]
+    fn empty_matrix_is_fine() {
+        let plan = RnsPlan::with_capacity_bits(64);
+        let m = RnsMatrix::from_biguints(&plan, &[]);
+        assert!(m.is_empty());
+        assert!(plan.mul(&m, &m).is_empty());
+        assert!(plan.to_biguints(&m).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "dynamic range")]
+    fn oversized_value_rejected() {
+        let plan = RnsPlan::with_capacity_bits(64);
+        RnsMatrix::from_biguints(&plan, &[BigUint::from(1u64) << 200]);
+    }
+
+    #[test]
+    #[should_panic(expected = "basis mismatch")]
+    fn mismatched_bases_rejected() {
+        let small = RnsPlan::with_capacity_bits(64);
+        let large = RnsPlan::with_capacity_bits(256);
+        let m = RnsMatrix::from_biguints(&large, &[BigUint::one()]);
+        small.mul(&m, &m);
+    }
+}

@@ -1,4 +1,9 @@
 //! Element-wise vector operations over RNS integers (the GRNS BLAS baseline).
+//!
+//! This is the array-of-structures oracle path: one [`RnsInt`] (and one residue
+//! `Vec`) per element. The measured hot path lives in [`crate::plan`], which
+//! stores whole vectors as flat residue planes and runs them on the GPU
+//! launcher; the crosscheck tests pin the two paths together.
 
 use crate::{RnsContext, RnsInt};
 use moma_bignum::BigUint;

@@ -1,0 +1,134 @@
+//! Property tests for the planned residue engine: on random bases, sizes, and
+//! values, `RnsPlan`/`RnsMatrix` operations must agree residue-for-residue with
+//! the `BigUint`-backed `RnsContext` oracle, and conversions must round-trip.
+
+use moma_bignum::{random::random_bits, BigUint};
+use moma_blas::BlasOp;
+use moma_rns::vector::RnsVector;
+use moma_rns::{RnsContext, RnsMatrix, RnsPlan};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn random_values(seed: u64, n: usize, bits: u32) -> (Vec<BigUint>, Vec<BigUint>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let a = (0..n).map(|_| random_bits(&mut rng, bits)).collect();
+    let b = (0..n).map(|_| random_bits(&mut rng, bits)).collect();
+    (a, b)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Forward conversion agrees with the oracle and CRT round-trips.
+    #[test]
+    fn conversion_matches_oracle_and_round_trips(
+        seed in any::<u64>(),
+        n in 1usize..20,
+        bits in 1u32..220,
+    ) {
+        let ctx = RnsContext::with_capacity_bits(bits.max(8));
+        let plan = RnsPlan::new(&ctx);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let values: Vec<BigUint> = (0..n).map(|_| random_bits(&mut rng, bits)).collect();
+        let m = RnsMatrix::from_biguints(&plan, &values);
+        for (c, v) in values.iter().enumerate() {
+            prop_assert_eq!(m.element(c), ctx.to_residues(v), "column {}", c);
+            prop_assert_eq!(&plan.from_residues(&m.element(c)), v);
+        }
+        prop_assert_eq!(plan.to_biguints(&m), values);
+    }
+
+    /// Element-wise matrix ops equal the per-element context ops, residue for
+    /// residue.
+    #[test]
+    fn elementwise_ops_match_context_oracle(
+        seed in any::<u64>(),
+        n in 1usize..20,
+        bits in 8u32..160,
+    ) {
+        let ctx = RnsContext::with_capacity_bits(2 * bits + 8);
+        let plan = RnsPlan::new(&ctx);
+        let (a, b) = random_values(seed, n, bits);
+        let va = RnsVector::from_biguints(&ctx, &a);
+        let vb = RnsVector::from_biguints(&ctx, &b);
+        let ma = RnsMatrix::from_biguints(&plan, &a);
+        let mb = RnsMatrix::from_biguints(&plan, &b);
+        for op in [BlasOp::VecMul, BlasOp::VecAdd, BlasOp::VecSub] {
+            let (out, _) = plan.apply(op, None, &ma, &mb);
+            for c in 0..n {
+                let oracle = match op {
+                    BlasOp::VecMul => ctx.mul(&va.elements[c], &vb.elements[c]),
+                    BlasOp::VecAdd => ctx.add(&va.elements[c], &vb.elements[c]),
+                    BlasOp::VecSub => ctx.sub(&va.elements[c], &vb.elements[c]),
+                    BlasOp::Axpy => unreachable!(),
+                };
+                prop_assert_eq!(out.element(c), oracle, "{:?} column {}", op, c);
+            }
+        }
+    }
+
+    /// axpy positionally equals `a·x + y` (values sized so no wraparound).
+    #[test]
+    fn axpy_matches_positional(
+        seed in any::<u64>(),
+        n in 1usize..16,
+        bits in 8u32..120,
+        scalar in any::<u64>(),
+    ) {
+        let plan = RnsPlan::with_capacity_bits(2 * bits.max(64) + 8);
+        let (x, y) = random_values(seed, n, bits);
+        let s = BigUint::from(scalar);
+        let out = plan.axpy(
+            &plan.to_residues(&s),
+            &RnsMatrix::from_biguints(&plan, &x),
+            &RnsMatrix::from_biguints(&plan, &y),
+        );
+        let back = plan.to_biguints(&out);
+        for c in 0..n {
+            prop_assert_eq!(&back[c], &(&(&s * &x[c]) + &y[c]), "column {}", c);
+        }
+    }
+
+    /// The compiled-kernel multiplication path computes exactly what the rowwise
+    /// Barrett path computes.
+    #[test]
+    fn compiled_mul_matches_rowwise_mul(
+        seed in any::<u64>(),
+        n in 1usize..12,
+        bits in 8u32..100,
+    ) {
+        let plan = RnsPlan::with_capacity_bits(2 * bits + 8);
+        let (a, b) = random_values(seed, n, bits);
+        let ma = RnsMatrix::from_biguints(&plan, &a);
+        let mb = RnsMatrix::from_biguints(&plan, &b);
+        prop_assert_eq!(plan.mul_compiled(&ma, &mb).0, plan.mul(&ma, &mb));
+    }
+
+    /// reduce_mod agrees with the context oracle element by element.
+    #[test]
+    fn reduce_mod_matches_oracle(
+        seed in any::<u64>(),
+        n in 1usize..8,
+        bits in 16u32..100,
+    ) {
+        let ctx = RnsContext::with_capacity_bits(2 * bits + 8);
+        let plan = RnsPlan::new(&ctx);
+        let (a, b) = random_values(seed, n, bits);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+        let q = random_bits(&mut rng, bits.max(2)) + BigUint::one();
+        let prod = plan.mul(
+            &RnsMatrix::from_biguints(&plan, &a),
+            &RnsMatrix::from_biguints(&plan, &b),
+        );
+        let reduced = plan.reduce_mod(&prod, &q);
+        for c in 0..n {
+            prop_assert_eq!(
+                reduced.element(c),
+                ctx.reduce_mod(&prod.element(c), &q),
+                "column {}",
+                c
+            );
+        }
+    }
+}
