@@ -31,7 +31,7 @@ use moma::ntt::transform::{butterfly_count, forward, Ntt64};
 use moma::paper_data;
 use moma::rewrite::rules::CORE_RULES;
 use moma::rewrite::{builders, lower};
-use moma::rns::{vector as rns_vec, RnsContext, RnsMatrix, RnsPlan};
+use moma::rns::{vector as rns_vec, BaseConvPlan, RnsContext, RnsMatrix, RnsPlan};
 use moma::MulAlgorithm;
 use moma::{Compiler, KernelOp, KernelSpec, LoweringConfig};
 use rand::Rng;
@@ -203,6 +203,14 @@ fn fig2() {
             "GRNS planned / vec add",
             Box::new(move |bits| measure_rns_planned_blas(bits, false, elements)),
         ),
+        (
+            "GRNS planned / base conv",
+            Box::new(move |bits| measure_rns_baseconv(bits, false, elements)),
+        ),
+        (
+            "GRNS planned / rescale",
+            Box::new(move |bits| measure_rns_baseconv(bits, true, elements)),
+        ),
     ];
     for (label, f) in &baseline_rows {
         println!(
@@ -308,6 +316,39 @@ fn measure_rns_planned_blas(bits: u32, mul: bool, elements: usize) -> f64 {
     };
     std::hint::black_box(out);
     start.elapsed().as_secs_f64() * 1e9 / elements as f64
+}
+
+/// A deterministic base-extension target: `count` distinct 31-bit primes drawn
+/// from a seed distinct from the default basis generator's (a shared modulus
+/// between the two bases would be harmless, but a fresh basis is the workload
+/// Figure 2's pipelines chain).
+fn baseconv_target_plan(count: usize, seed: u64) -> RnsPlan {
+    RnsPlan::new(&RnsContext::with_random_primes(count, 31, seed))
+}
+
+/// Measures the planned RNS chain operations — fast base extension
+/// (`rescale = false`) or approximate scaled rounding (`rescale = true`) —
+/// returning ns per element.
+fn measure_rns_baseconv(bits: u32, rescale: bool, elements: usize) -> f64 {
+    let plan = RnsPlan::with_capacity_bits(2 * bits + 8);
+    let q = paper_modulus(bits);
+    let mut rng = rand::thread_rng();
+    let a: Vec<BigUint> = (0..elements)
+        .map(|_| moma::bignum::random::random_below(&mut rng, &q))
+        .collect();
+    let ma = RnsMatrix::from_biguints(&plan, &a);
+    if rescale {
+        let rp = plan.rescale_plan();
+        let start = Instant::now();
+        std::hint::black_box(plan.scale_and_round(&rp, &ma));
+        start.elapsed().as_secs_f64() * 1e9 / elements as f64
+    } else {
+        let dst = baseconv_target_plan(plan.moduli_count(), 0xba5e_c0de);
+        let bc = BaseConvPlan::new(&plan, &dst);
+        let start = Instant::now();
+        std::hint::black_box(plan.base_convert(&bc, &ma));
+        start.elapsed().as_secs_f64() * 1e9 / elements as f64
+    }
 }
 
 /// Measures the host runtime-library NTT, returning ns per butterfly.
@@ -699,6 +740,38 @@ fn bench_rns_blas(bits: u32, elements: usize, iters: u32) -> (Vec<(String, f64)>
     (rows, ctx_mul / planned_mul)
 }
 
+/// Benchmarks the RNS operations FHE pipelines chain between element-wise
+/// stages, all on the planned engine: fast base extension (row-wise
+/// sum-of-products and the generated multiply-accumulate kernel path) and
+/// approximate scaled rounding. Returns `(path, ns_per_element)` rows.
+fn bench_rns_baseconv(bits: u32, elements: usize, iters: u32) -> Vec<(String, f64)> {
+    let plan = RnsPlan::with_capacity_bits(2 * bits + 8);
+    let dst = baseconv_target_plan(plan.moduli_count(), 0xba5e_c0de);
+    let bc = BaseConvPlan::new(&plan, &dst);
+    let rp = plan.rescale_plan();
+    let q = paper_modulus(bits);
+    let mut rng = rand::thread_rng();
+    let a: Vec<BigUint> = (0..elements)
+        .map(|_| moma::bignum::random::random_below(&mut rng, &q))
+        .collect();
+    let ma = RnsMatrix::from_biguints(&plan, &a);
+    let per_elt = 1e9 / elements as f64;
+    let convert = best_run(iters, &(), |_| {
+        std::hint::black_box(plan.base_convert(&bc, &ma));
+    }) * per_elt;
+    let compiled = best_run(iters, &(), |_| {
+        std::hint::black_box(plan.base_convert_compiled(&bc, &ma));
+    }) * per_elt;
+    let rescale = best_run(iters, &(), |_| {
+        std::hint::black_box(plan.scale_and_round(&rp, &ma));
+    }) * per_elt;
+    vec![
+        ("rns_base_convert".to_string(), convert),
+        ("rns_base_convert_compiled".to_string(), compiled),
+        ("rns_rescale".to_string(), rescale),
+    ]
+}
+
 /// Benchmarks the 64-bit planned NTT executed inline vs stage-by-stage on the
 /// virtual-GPU launcher (one thread per butterfly, a launch barrier per stage).
 /// Returns `(inline_ns_per_butterfly, launcher_ns_per_butterfly)`.
@@ -772,6 +845,14 @@ fn bench(quick: bool) {
     }
     println!("  planned-vs-context speedup on vec_mul: {rns_speedup:.2}x");
 
+    let baseconv_rows = bench_rns_baseconv(256, rns_elements, iters);
+    println!(
+        "\n256-bit RNS base extension / rescale over {rns_elements} elements (ns per element):"
+    );
+    for (path, ns) in &baseconv_rows {
+        println!("  {path:<26} {ns:>10.2}");
+    }
+
     let kernel_elements = batch_size * n;
     let kernel_iters = if quick { 2 } else { 5 };
     let modmul = bench_kernel_batch(KernelOp::ModMul, 128, kernel_elements, kernel_iters);
@@ -797,19 +878,44 @@ fn bench(quick: bool) {
         })
         .collect();
     let base = OpWeights::default();
-    let calibrated = calibrate(&base, &samples).expect("calibration fit succeeds");
-    let cal_scale = calibrated.mul / base.mul;
-    println!("\nCost-model calibration from the two compiled-kernel samples:");
-    println!("  fitted scale   {cal_scale:>10.4} ns per default-weight cycle");
-    println!(
-        "  weights (ns/op)  mul {:.2}  mul_low {:.2}  add/sub {:.2}  logic {:.2}  shift {:.2}  copy {:.2}",
-        calibrated.mul,
-        calibrated.mul_low,
-        calibrated.add_sub,
-        calibrated.logic,
-        calibrated.shift,
-        calibrated.copy
-    );
+    // The fit now names its failure mode; a skipped calibration is *reported*
+    // (console + JSON) instead of the entry silently vanishing from the file.
+    let cost_calibration = match calibrate(&base, &samples) {
+        Ok(calibrated) => {
+            let cal_scale = calibrated.mul / base.mul;
+            println!("\nCost-model calibration from the two compiled-kernel samples:");
+            println!("  fitted scale   {cal_scale:>10.4} ns per default-weight cycle");
+            println!(
+                "  weights (ns/op)  mul {:.2}  mul_low {:.2}  add/sub {:.2}  logic {:.2}  shift {:.2}  copy {:.2}",
+                calibrated.mul,
+                calibrated.mul_low,
+                calibrated.add_sub,
+                calibrated.logic,
+                calibrated.shift,
+                calibrated.copy
+            );
+            format!(
+                "{{\n    \"samples\": {},\n    \"scale_ns_per_cycle\": {cal_scale:.4},\n    \
+                 \"weights_ns\": {{\"mul\": {:.3}, \"mul_low\": {:.3}, \
+                 \"add_sub\": {:.3}, \"logic\": {:.3}, \
+                 \"shift\": {:.3}, \"copy\": {:.3}}}\n  }}",
+                samples.len(),
+                calibrated.mul,
+                calibrated.mul_low,
+                calibrated.add_sub,
+                calibrated.logic,
+                calibrated.shift,
+                calibrated.copy
+            )
+        }
+        Err(why) => {
+            println!("\nCost-model calibration skipped: {why}");
+            format!(
+                "{{\n    \"samples\": {},\n    \"skipped\": \"{why}\"\n  }}",
+                samples.len()
+            )
+        }
+    };
 
     let (blas_seq, blas_par, blas_speedup) = bench_blas_batch(batch_size, n, iters);
     println!("\n256-bit BLAS vector multiplication, batch {batch_size} x {n} (ns per element):");
@@ -829,16 +935,14 @@ fn bench(quick: bool) {
          \"rns_blas\": {{\n    \"bits\": 256,\n    \"elements\": {rns_elements},\n    \
          \"rows\": [\n{rns_rows_json}\n    ],\n    \
          \"planned_vs_ctx_speedup_{mul_key}\": {rns_speedup:.3}\n  }},\n  \
+         \"rns_baseconv\": {{\n    \"bits\": 256,\n    \"elements\": {rns_elements},\n    \
+         \"rows\": [\n{baseconv_rows_json}\n    ]\n  }},\n  \
          \"kernel_batch\": {{\n    \"kernel\": \"{kernel_name}\",\n    \
          \"elements\": {kernel_elements},\n    \
          \"interpreted_ns_per_element\": {interp_ns:.2},\n    \
          \"compiled_ns_per_element\": {compiled_ns:.2},\n    \
          \"compiled_vs_interpreted_speedup\": {kernel_speedup:.3}\n  }},\n  \
-         \"cost_calibration\": {{\n    \"samples\": {n_samples},\n    \
-         \"scale_ns_per_cycle\": {cal_scale:.4},\n    \
-         \"weights_ns\": {{\"mul\": {w_mul:.3}, \"mul_low\": {w_mul_low:.3}, \
-         \"add_sub\": {w_add_sub:.3}, \"logic\": {w_logic:.3}, \
-         \"shift\": {w_shift:.3}, \"copy\": {w_copy:.3}}}\n  }},\n  \
+         \"cost_calibration\": {cost_calibration},\n  \
          \"blas_batch\": {{\n    \"bits\": 256,\n    \"op\": \"{mul_key}\",\n    \
          \"batch\": {batch_size},\n    \"vector_len\": {n},\n    \
          \"sequential_ns_per_element\": {blas_seq:.2},\n    \
@@ -861,18 +965,18 @@ fn bench(quick: bool) {
             ))
             .collect::<Vec<_>>()
             .join(",\n"),
+        baseconv_rows_json = baseconv_rows
+            .iter()
+            .map(|(path, ns)| format!(
+                "      {{\"path\": \"{path}\", \"ns_per_element\": {ns:.2}}}"
+            ))
+            .collect::<Vec<_>>()
+            .join(",\n"),
         mul_key = BlasOp::VecMul.key(),
         kernel_name = modmul.name,
         interp_ns = modmul.interp_ns,
         compiled_ns = modmul.compiled_ns,
         kernel_speedup = modmul.speedup,
-        n_samples = samples.len(),
-        w_mul = calibrated.mul,
-        w_mul_low = calibrated.mul_low,
-        w_add_sub = calibrated.add_sub,
-        w_logic = calibrated.logic,
-        w_shift = calibrated.shift,
-        w_copy = calibrated.copy,
     );
     std::fs::write("BENCH_ntt_blas.json", &json).expect("write BENCH_ntt_blas.json");
     println!("\nwrote BENCH_ntt_blas.json");

@@ -51,13 +51,33 @@ impl OpWeights {
     /// Weighted cost of one kernel execution with the given operation counts, in
     /// whatever unit the weights are expressed in (device cycles for the default
     /// weights, measured nanoseconds for [`calibrate`]d weights).
+    ///
+    /// High-level modular statements (`mulmod`, `addmod`, `submod`, and the
+    /// fused `macmod`) are weighed by the operation mix of their single-word
+    /// expansion — kernels that execute them *fused* (the interpreter, the
+    /// compiled executor's generated RNS kernels) would otherwise weigh zero and
+    /// silently estimate as free.
     pub fn weigh(&self, counts: &OpCounts) -> f64 {
+        // Word-op mixes of the moma-rewrite expansions: a Barrett mulmod lowers
+        // to 2 widening muls, 1 low mul, 2 shifts, 2 sub, 2 logic; an addmod to
+        // 2 add/sub and 5 logic; a submod to 2 add/sub and 2 logic.
+        let mulmod = 2.0 * self.mul
+            + self.mul_low
+            + 2.0 * self.shift
+            + 2.0 * self.add_sub
+            + 2.0 * self.logic;
+        let addmod = 2.0 * self.add_sub + 5.0 * self.logic;
+        let submod = 2.0 * self.add_sub + 2.0 * self.logic;
         counts.get("mulwide") as f64 * self.mul
             + counts.get("mullow") as f64 * self.mul_low
             + counts.add_sub() as f64 * self.add_sub
             + counts.logic() as f64 * self.logic
             + counts.shifts() as f64 * self.shift
             + counts.get("copy") as f64 * self.copy
+            + counts.get("mulmod") as f64 * mulmod
+            + counts.get("addmod") as f64 * addmod
+            + counts.get("submod") as f64 * submod
+            + counts.get("macmod") as f64 * (mulmod + addmod)
     }
 
     /// Returns the weights uniformly scaled by `factor`.
@@ -84,6 +104,60 @@ pub struct CalibrationSample {
     pub measured_ns: f64,
 }
 
+/// Why a calibration fit could not produce usable weights.
+///
+/// The variants separate "the caller fed the fit garbage" (no samples, an
+/// unusable measurement, counts with no weighted work) from "the data itself
+/// rejected the model" (a non-positive or non-finite fitted scale), so callers
+/// like `moma-bench` can *report* why calibration was skipped instead of
+/// silently omitting the result.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CalibrateError {
+    /// The sample set was empty — nothing to fit.
+    NoSamples,
+    /// A sample carried a zero, negative, or non-finite measured runtime; such a
+    /// measurement can never be explained by non-negative op weights, so the fit
+    /// refuses it instead of letting it silently drag the scale to zero.
+    InvalidMeasurement {
+        /// Index of the offending sample.
+        index: usize,
+        /// Its measured per-element nanoseconds.
+        measured_ns: f64,
+    },
+    /// No sample contained any weighted work (all op counts weighed zero), so
+    /// the least-squares denominator vanished.
+    NoWeightedWork,
+    /// The fit completed but produced a scale that cannot be applied (zero,
+    /// negative, or non-finite).
+    DegenerateFit {
+        /// The rejected scale.
+        scale: f64,
+    },
+}
+
+impl std::fmt::Display for CalibrateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CalibrateError::NoSamples => write!(f, "no calibration samples"),
+            CalibrateError::InvalidMeasurement { index, measured_ns } => write!(
+                f,
+                "sample {index} has an unusable measurement ({measured_ns} ns/element)"
+            ),
+            CalibrateError::NoWeightedWork => {
+                write!(
+                    f,
+                    "no sample contains weighted work (all op counts weigh 0)"
+                )
+            }
+            CalibrateError::DegenerateFit { scale } => {
+                write!(f, "fit produced an unusable scale ({scale})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CalibrateError {}
+
 /// Fits the per-op weights to measured data, replacing the hand-set defaults.
 ///
 /// The model stays linear in the operation counts, so fitting the relative
@@ -96,21 +170,40 @@ pub struct CalibrationSample {
 /// `BENCH_ntt_blas.json` through this to keep the cost model anchored to real
 /// numbers.
 ///
-/// Returns `None` when `samples` is empty, no sample contains weighted work, or
-/// the fit degenerates (non-finite or non-positive scale).
-pub fn calibrate(base: &OpWeights, samples: &[CalibrationSample]) -> Option<OpWeights> {
+/// # Errors
+///
+/// Returns a [`CalibrateError`] naming the first problem found: an empty sample
+/// set, an unusable measurement, counts with no weighted work, or a degenerate
+/// fitted scale.
+pub fn calibrate(
+    base: &OpWeights,
+    samples: &[CalibrationSample],
+) -> Result<OpWeights, CalibrateError> {
+    if samples.is_empty() {
+        return Err(CalibrateError::NoSamples);
+    }
     let mut num = 0.0;
     let mut den = 0.0;
-    for s in samples {
+    for (index, s) in samples.iter().enumerate() {
+        if !s.measured_ns.is_finite() || s.measured_ns <= 0.0 {
+            return Err(CalibrateError::InvalidMeasurement {
+                index,
+                measured_ns: s.measured_ns,
+            });
+        }
         let predicted = base.weigh(&s.counts);
         num += predicted * s.measured_ns;
         den += predicted * predicted;
     }
     if den == 0.0 {
-        return None;
+        return Err(CalibrateError::NoWeightedWork);
     }
     let scale = num / den;
-    (scale.is_finite() && scale > 0.0).then(|| base.scaled(scale))
+    if scale.is_finite() && scale > 0.0 {
+        Ok(base.scaled(scale))
+    } else {
+        Err(CalibrateError::DegenerateFit { scale })
+    }
 }
 
 /// Result of a cost estimate.
@@ -392,26 +485,81 @@ mod tests {
     }
 
     #[test]
-    fn calibrate_rejects_degenerate_inputs() {
+    fn high_level_modular_ops_weigh_their_expansion_mix() {
+        let w = OpWeights::default();
+        let mut fused = OpCounts::new();
+        fused.record(&Op::MulModBarrett {
+            a: Operand::Const(1),
+            b: Operand::Const(1),
+            q: Operand::Const(3),
+            mu: Operand::Const(0),
+            mbits: 2,
+        });
+        fused.record(&Op::MulAddMod {
+            a: Operand::Const(1),
+            b: Operand::Const(1),
+            c: Operand::Const(0),
+            q: Operand::Const(3),
+            mu: Operand::Const(0),
+            mbits: 2,
+        });
+        let weighed = w.weigh(&fused);
+        assert!(weighed > 0.0, "fused modular ops must not weigh zero");
+        // macmod = mulmod + addmod, so the pair weighs two mulmods plus one
+        // addmod's worth of word ops.
+        let mulmod = 2.0 * w.mul + w.mul_low + 2.0 * w.shift + 2.0 * w.add_sub + 2.0 * w.logic;
+        let addmod = 2.0 * w.add_sub + 5.0 * w.logic;
+        assert!((weighed - (2.0 * mulmod + addmod)).abs() < 1e-9);
+        // A calibration sample made of fused ops now carries weighted work.
+        let fit = calibrate(
+            &w,
+            &[CalibrationSample {
+                counts: fused,
+                measured_ns: 100.0,
+            }],
+        );
+        assert!(fit.is_ok(), "fused-op sample must be fittable: {fit:?}");
+    }
+
+    #[test]
+    fn calibrate_names_each_failure_mode() {
         let base = OpWeights::default();
-        assert!(calibrate(&base, &[]).is_none());
+        assert_eq!(calibrate(&base, &[]), Err(CalibrateError::NoSamples));
         // No weighted work at all.
-        assert!(calibrate(
-            &base,
-            &[CalibrationSample {
-                counts: OpCounts::new(),
-                measured_ns: 10.0,
-            }]
-        )
-        .is_none());
-        // Zero/negative measurements cannot produce a positive scale.
-        assert!(calibrate(
-            &base,
-            &[CalibrationSample {
-                counts: counts(3, 3),
-                measured_ns: 0.0,
-            }]
-        )
-        .is_none());
+        assert_eq!(
+            calibrate(
+                &base,
+                &[CalibrationSample {
+                    counts: OpCounts::new(),
+                    measured_ns: 10.0,
+                }]
+            ),
+            Err(CalibrateError::NoWeightedWork)
+        );
+        // Zero/negative/non-finite measurements are flagged with their index
+        // instead of silently dragging the scale to zero.
+        for bad in [0.0, -4.5, f64::NAN, f64::INFINITY] {
+            let samples = [
+                CalibrationSample {
+                    counts: counts(2, 2),
+                    measured_ns: 8.0,
+                },
+                CalibrationSample {
+                    counts: counts(3, 3),
+                    measured_ns: bad,
+                },
+            ];
+            match calibrate(&base, &samples) {
+                Err(CalibrateError::InvalidMeasurement { index: 1, .. }) => {}
+                other => panic!("expected InvalidMeasurement for {bad}, got {other:?}"),
+            }
+        }
+        // Every error renders a human-readable reason for the bench report.
+        assert!(CalibrateError::NoSamples
+            .to_string()
+            .contains("no calibration"));
+        assert!(CalibrateError::DegenerateFit { scale: -1.0 }
+            .to_string()
+            .contains("-1"));
     }
 }

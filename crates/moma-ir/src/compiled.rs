@@ -130,6 +130,13 @@ enum Code {
         b: Src,
         q: Src,
     },
+    MulAddMod {
+        d: Dst,
+        a: Src,
+        b: Src,
+        c: Src,
+        q: Src,
+    },
 }
 
 /// Reusable per-worker execution state: the register frame plus the multi-word
@@ -313,6 +320,13 @@ impl CompiledKernel {
                     d: dst(stmt.dsts[0]),
                     a: src(*a),
                     b: src(*b),
+                    q: src(*q),
+                },
+                Op::MulAddMod { a, b, c, q, .. } => Code::MulAddMod {
+                    d: dst(stmt.dsts[0]),
+                    a: src(*a),
+                    b: src(*b),
+                    c: src(*c),
                     q: src(*q),
                 },
             });
@@ -577,6 +591,13 @@ impl CompiledKernel {
                     let v = (rd(regs, *a) as u128 * rd(regs, *b) as u128) % q;
                     regs[d.reg as usize] = (v as u64) & d.mask;
                 }
+                Code::MulAddMod { d, a, b, c, q } => {
+                    let q = rd(regs, *q) as u128;
+                    // a·b + c cannot overflow u128 for word-sized operands.
+                    let v =
+                        (rd(regs, *a) as u128 * rd(regs, *b) as u128 + rd(regs, *c) as u128) % q;
+                    regs[d.reg as usize] = (v as u64) & d.mask;
+                }
             }
         }
     }
@@ -786,6 +807,51 @@ mod tests {
         for inputs in [[90u64, 95, 101], [0, 0, 7], [100, 3, 101]] {
             assert_eq!(c.run(&inputs).unwrap(), interp::run(&k, &inputs).unwrap());
         }
+    }
+
+    #[test]
+    fn muladdmod_matches_interpreter_and_chains() {
+        // A two-step multiply-accumulate chain: acc = (a·c0) mod q, then
+        // out = (b·c1 + acc) mod q — the shape of the generated base-extension
+        // kernels, with the constants interned into preloaded registers.
+        let mut kb = KernelBuilder::new("mac_chain");
+        let a = kb.param("a", Ty::UInt(64));
+        let b = kb.param("b", Ty::UInt(64));
+        let acc = kb.local("acc", Ty::UInt(64));
+        let out = kb.output("out", Ty::UInt(64));
+        let q = 101u64;
+        kb.push(
+            vec![acc],
+            Op::MulAddMod {
+                a: a.into(),
+                b: Operand::Const(7),
+                c: Operand::Const(0),
+                q: Operand::Const(q),
+                mu: Operand::Const(0),
+                mbits: 7,
+            },
+        );
+        kb.push(
+            vec![out],
+            Op::MulAddMod {
+                a: b.into(),
+                b: Operand::Const(13),
+                c: acc.into(),
+                q: Operand::Const(q),
+                mu: Operand::Const(0),
+                mbits: 7,
+            },
+        );
+        let k = kb.build();
+        let c = CompiledKernel::compile(&k).unwrap();
+        for inputs in [[0u64, 0], [100, 100], [u64::MAX, u64::MAX], [17, 91]] {
+            let fast = c.run(&inputs).unwrap();
+            assert_eq!(fast, interp::run(&k, &inputs).unwrap());
+            let expected =
+                ((inputs[1] as u128 * 13 + (inputs[0] as u128 * 7) % q as u128) % q as u128) as u64;
+            assert_eq!(fast.outputs, vec![expected]);
+        }
+        assert_eq!(c.run(&[1, 1]).unwrap().counts.get("macmod"), 2);
     }
 
     #[test]

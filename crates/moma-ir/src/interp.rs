@@ -286,6 +286,13 @@ fn exec_stmt(
             let v = (read(*a, values)? * read(*b, values)?) % q;
             write(stmt.dsts[0], v, values);
         }
+        Op::MulAddMod { a, b, c, q, .. } => {
+            let q = read(*q, values)?;
+            // Word-sized operands: a·b < 2^128 − 2^65 + 1, so adding a third word
+            // can never overflow the u128 intermediate.
+            let v = (read(*a, values)? * read(*b, values)? + read(*c, values)?) % q;
+            write(stmt.dsts[0], v, values);
+        }
     }
     Ok(())
 }

@@ -178,6 +178,24 @@ pub enum Op {
         /// Bit-width of the modulus.
         mbits: u32,
     },
+    /// `dst = (a · b + c) mod q` — high-level fused multiply-accumulate, the inner
+    /// step of sum-of-products reductions (RNS base extension accumulates one of
+    /// these per source modulus). Expands to [`Op::MulModBarrett`] followed by
+    /// [`Op::AddMod`]; the interpreter and compiled executor run it fused.
+    MulAddMod {
+        /// First factor (reduced).
+        a: Operand,
+        /// Second factor (reduced).
+        b: Operand,
+        /// Accumulator (reduced).
+        c: Operand,
+        /// Modulus (of `mbits` bits).
+        q: Operand,
+        /// Barrett constant `⌊2^(2·mbits+3)/q⌋`.
+        mu: Operand,
+        /// Bit-width of the modulus.
+        mbits: u32,
+    },
 }
 
 impl Op {
@@ -213,6 +231,7 @@ impl Op {
             Op::ShrMulti { words, .. } => words.clone(),
             Op::AddMod { a, b, q } | Op::SubMod { a, b, q } => vec![*a, *b, *q],
             Op::MulModBarrett { a, b, q, mu, .. } => vec![*a, *b, *q, *mu],
+            Op::MulAddMod { a, b, c, q, mu, .. } => vec![*a, *b, *c, *q, *mu],
         }
     }
 
@@ -233,6 +252,7 @@ impl Op {
             Op::AddMod { .. } => "addmod",
             Op::SubMod { .. } => "submod",
             Op::MulModBarrett { .. } => "mulmod",
+            Op::MulAddMod { .. } => "macmod",
         }
     }
 
@@ -241,7 +261,7 @@ impl Op {
     pub fn is_high_level(&self) -> bool {
         matches!(
             self,
-            Op::AddMod { .. } | Op::SubMod { .. } | Op::MulModBarrett { .. }
+            Op::AddMod { .. } | Op::SubMod { .. } | Op::MulModBarrett { .. } | Op::MulAddMod { .. }
         )
     }
 }

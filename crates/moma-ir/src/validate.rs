@@ -284,6 +284,25 @@ fn check_stmt(
                 }
             }
         }
+        Op::MulAddMod {
+            a,
+            b,
+            c,
+            q,
+            mu,
+            mbits,
+        } => {
+            expect_dsts(1)?;
+            let w = op_width(&[*a, *b, *c, *q, *mu, Operand::Var(stmt.dsts[0])])?;
+            if let Some(w) = w {
+                if *mbits + 4 > w {
+                    return Err(err(
+                        idx,
+                        format!("Barrett modulus bit-width {mbits} too large for {w}-bit operands"),
+                    ));
+                }
+            }
+        }
     }
     Ok(())
 }

@@ -25,6 +25,13 @@ pub struct SingleBarrett {
     pub mu: u64,
     /// Significant bits of the modulus.
     pub mbits: u32,
+    /// The limb-radix residue `2^64 mod q`, precomputed for
+    /// [`Self::reduce_wide`]'s high-word fold.
+    pub radix: u64,
+    /// The word reciprocal `⌊2^64 / q⌋`, precomputed so reducing a full machine
+    /// word modulo `q` ([`Self::reduce_word`]) costs two multiplications and a
+    /// conditional subtraction instead of a hardware division.
+    pub recip: u64,
 }
 
 impl SingleBarrett {
@@ -43,7 +50,23 @@ impl SingleBarrett {
         );
         // mu = floor(2^(2*mbits+3) / q) fits in 64 bits because q >= 2^(mbits-1).
         let mu = ((1u128 << (2 * mbits + 3)) / q as u128) as u64;
-        SingleBarrett { q, mu, mbits }
+        let radix = {
+            let r = (u64::MAX % q) + 1;
+            if r == q {
+                0
+            } else {
+                r
+            }
+        };
+        // recip = floor(2^64 / q) <= 2^63 for q >= 2, so it fits a word.
+        let recip = ((1u128 << 64) / q as u128) as u64;
+        SingleBarrett {
+            q,
+            mu,
+            mbits,
+            radix,
+            recip,
+        }
     }
 
     /// `(a + b) mod q` (paper `_saddmod`). Inputs must already be reduced.
@@ -86,11 +109,31 @@ impl SingleBarrett {
         c as u64
     }
 
+    /// Returns `true` if the modulus qualifies for the narrow fast path
+    /// ([`Self::mul_mod_narrow`]): at most 32 significant bits, so the product of
+    /// two reduced inputs fits one machine word.
+    ///
+    /// **Dispatch rule:** callers that select a multiplication routine per modulus
+    /// must branch on this *once, where the routine is chosen* (e.g. when a plan
+    /// is built), not rely on every call site remembering the precondition —
+    /// `mul_mod_narrow` on a wide modulus silently truncates in release builds.
+    /// `RnsPlan::new` in `moma-rns` is the reference caller: it records the
+    /// verdict per basis modulus at construction and routes wide rows through
+    /// [`Self::mul_mod`].
+    #[inline]
+    pub fn is_narrow(&self) -> bool {
+        self.mbits <= 32
+    }
+
     /// `(a · b) mod q` for *narrow* moduli (at most 32 bits): the same Barrett
     /// reduction as [`Self::mul_mod`], but since reduced inputs multiply to one
     /// machine word, the whole computation needs a single widening `u128`
     /// multiplication (against `μ`) instead of three. This is the hot kernel of
     /// the RNS residue planes, whose 31-bit moduli always qualify.
+    ///
+    /// For moduli wider than 32 bits the single-word product `a · b` wraps and
+    /// the result is silently wrong in release builds — gate on
+    /// [`Self::is_narrow`] where the path is selected (see its dispatch rule).
     ///
     /// # Panics
     ///
@@ -162,6 +205,48 @@ impl SingleBarrett {
         }
     }
 
+    /// The residue of the limb radix: `2^64 mod q` (precomputed by
+    /// [`Self::new`]).
+    #[inline]
+    pub fn radix_residue(&self) -> u64 {
+        self.radix
+    }
+
+    /// Reduces a full machine word modulo `q`: `x mod q` for any `x`, with no
+    /// hardware division — one widening multiplication against the precomputed
+    /// reciprocal, one low multiplication, one conditional subtraction.
+    ///
+    /// With `recip = ⌊2^64/q⌋ = (2^64 − ρ)/q` (`0 ≤ ρ < q`), the quotient
+    /// estimate `q̂ = ⌊x·recip/2^64⌋` satisfies `x/q − 2 < q̂ ≤ x/q`, so
+    /// `x − q̂·q ∈ [0, 2q)` and a single conditional subtraction finishes.
+    #[inline]
+    pub fn reduce_word(&self, x: u64) -> u64 {
+        let qhat = ((x as u128 * self.recip as u128) >> 64) as u64;
+        let r = x.wrapping_sub(qhat.wrapping_mul(self.q));
+        let r = if r >= self.q { r - self.q } else { r };
+        debug_assert_eq!(r, x % self.q);
+        r
+    }
+
+    /// Reduces a full double-word value modulo `q`: `t mod q` for any `t < 2^128`.
+    ///
+    /// This is the closing step of a widening sum-of-products reduction: callers
+    /// accumulate `Σ aᵢ·bᵢ` exactly in a `u128` (see [`smac`]) and reduce once at
+    /// the end, instead of performing one modular reduction per term. The high
+    /// word is folded in through the precomputed radix residue `2^64 mod q`, and
+    /// both word reductions go through the division-free [`Self::reduce_word`].
+    #[inline]
+    pub fn reduce_wide(&self, t: u128) -> u64 {
+        let hi = (t >> 64) as u64;
+        let lo = t as u64;
+        if hi == 0 {
+            return self.reduce_word(lo);
+        }
+        // t = hi·2^64 + lo ≡ (hi mod q)·(2^64 mod q) + (lo mod q)  (mod q).
+        let folded = self.mul_mod(self.reduce_word(hi), self.radix);
+        self.add_mod(folded, self.reduce_word(lo))
+    }
+
     /// Modular exponentiation by square-and-multiply.
     pub fn pow_mod(&self, base: u64, mut exp: u64) -> u64 {
         let mut result = 1 % self.q;
@@ -198,6 +283,24 @@ pub fn ssub(a: u64, b: u64) -> u64 {
 #[inline]
 pub fn smul(a: u64, b: u64) -> u128 {
     a as u128 * b as u128
+}
+
+/// Widening single-word multiply-accumulate: `acc + a · b` in the full 128-bit
+/// accumulator — the inner step of sum-of-products reductions (RNS base
+/// extension accumulates one of these per source modulus, then reduces once via
+/// [`SingleBarrett::reduce_wide`]).
+///
+/// The accumulator has at least 8 bits of headroom over any sum of ≤ 2^8
+/// products of 60-bit values, far beyond any practical basis size; debug builds
+/// panic on the (theoretical) overflow, release builds are saturation-free
+/// because callers bound the term count (see `BaseConvPlan::new` in `moma-rns`).
+#[inline]
+pub fn smac(acc: u128, a: u64, b: u64) -> u128 {
+    debug_assert!(
+        acc.checked_add(a as u128 * b as u128).is_some(),
+        "sum-of-products accumulator overflowed"
+    );
+    acc.wrapping_add(a as u128 * b as u128)
 }
 
 #[cfg(test)]
@@ -333,6 +436,65 @@ mod tests {
         assert_eq!(sadd(u64::MAX, u64::MAX), 2 * (u64::MAX as u128));
         assert_eq!(ssub(3, 5), 3u64.wrapping_sub(5));
         assert_eq!(smul(u64::MAX, 2), (u64::MAX as u128) * 2);
+        assert_eq!(smac(10, 3, 4), 22);
+        assert_eq!(
+            smac(1 << 60, u64::MAX, u64::MAX),
+            (1u128 << 60) + u64::MAX as u128 * u64::MAX as u128
+        );
+    }
+
+    #[test]
+    fn narrow_predicate_flips_at_32_bits() {
+        // (2^32 − 1) has exactly 32 significant bits; 2^32 has 33.
+        assert!(SingleBarrett::new((1 << 32) - 1).is_narrow());
+        assert!(!SingleBarrett::new(1 << 32).is_narrow());
+        assert!(!SingleBarrett::new((1 << 32) + 1).is_narrow());
+        assert!(SingleBarrett::new((1 << 31) + 11).is_narrow());
+        assert!(!SingleBarrett::new(Q60).is_narrow());
+    }
+
+    #[test]
+    fn reduce_word_matches_hardware_division() {
+        for q in [
+            2u64,
+            3,
+            7,
+            65537,
+            2_147_483_647,
+            4_294_967_291,
+            1 << 32,
+            Q60,
+        ] {
+            let ctx = SingleBarrett::new(q);
+            for x in [0u64, 1, q - 1, q, q + 1, 2 * q + 3, u64::MAX, u64::MAX - q] {
+                assert_eq!(ctx.reduce_word(x), x % q, "q={q} x={x}");
+            }
+            let mut state = 0xfeed_f00d_dead_beefu64;
+            for _ in 0..2_000 {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                assert_eq!(ctx.reduce_word(state), state % q, "q={q} x={state}");
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_wide_matches_u128_reference() {
+        for q in [2u64, 3, 65537, 2_147_483_647, 4_294_967_291, Q60] {
+            let ctx = SingleBarrett::new(q);
+            let radix_expected = ((1u128 << 64) % q as u128) as u64;
+            assert_eq!(ctx.radix_residue(), radix_expected, "q={q}");
+            let mut state = 0x0123_4567_89ab_cdefu64;
+            for _ in 0..2_000 {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let hi = state;
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let lo = state;
+                let t = (hi as u128) << 64 | lo as u128;
+                assert_eq!(ctx.reduce_wide(t), (t % q as u128) as u64, "q={q} t={t}");
+            }
+            assert_eq!(ctx.reduce_wide(0), 0);
+            assert_eq!(ctx.reduce_wide(u128::MAX), (u128::MAX % q as u128) as u64);
+        }
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! `moma-bignum` arbitrary-precision oracle, at every bit-width the paper evaluates.
 
 use moma_bignum::BigUint;
+use moma_mp::single::{smac, SingleBarrett};
 use moma_mp::{BarrettContext, ModRing, MontgomeryContext, MpUint, MulAlgorithm};
 use proptest::prelude::*;
 
@@ -133,5 +134,69 @@ proptest! {
     fn conversion_round_trip(a in mp::<6>()) {
         prop_assert_eq!(from_big::<6>(&to_big(&a)), a);
         prop_assert_eq!(MpUint::<6>::from_hex(&a.to_hex()), a);
+    }
+
+    /// The narrow/wide dispatch boundary: for moduli drawn around 2^31..2^32 the
+    /// narrow single-widening-multiplication path must agree with the general
+    /// Barrett path exactly when `is_narrow()` says it applies, and `is_narrow`
+    /// itself must flip precisely at 32 significant bits.
+    #[test]
+    fn narrow_mul_matches_general_at_the_32_bit_boundary(
+        q_off in 0u64..(1 << 20),
+        seed in any::<u64>(),
+        wide_bits in 33u32..=60,
+    ) {
+        // Moduli straddling the boundary: just under 2^31, around 2^32, and a
+        // genuinely wide one (where only the general path is valid).
+        let near = [
+            (1u64 << 31) - 1 - (q_off % ((1 << 20) - 1)),
+            (1u64 << 31) + 1 + q_off,
+            (1u64 << 32) - 1 - (q_off % ((1 << 20) - 1)),
+            (1u64 << 32).saturating_sub(1).max(2),
+        ];
+        let wide = (1u64 << (wide_bits - 1)) | (q_off | 1);
+        for q in near.into_iter().chain([wide]) {
+            let ctx = SingleBarrett::new(q);
+            prop_assert_eq!(ctx.is_narrow(), 64 - q.leading_zeros() <= 32, "q={}", q);
+            let mut state = seed | 1;
+            for _ in 0..32 {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let a = state % q;
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let b = state % q;
+                let expected = ((a as u128 * b as u128) % q as u128) as u64;
+                prop_assert_eq!(ctx.mul_mod(a, b), expected, "general q={} a={} b={}", q, a, b);
+                if ctx.is_narrow() {
+                    prop_assert_eq!(
+                        ctx.mul_mod_narrow(a, b), expected,
+                        "narrow q={} a={} b={}", q, a, b
+                    );
+                }
+            }
+        }
+    }
+
+    /// A widening sum-of-products accumulated with `smac` and closed with
+    /// `reduce_wide` equals the term-by-term modular computation.
+    #[test]
+    fn smac_reduce_wide_matches_term_by_term(
+        terms in prop::collection::vec((any::<u64>(), any::<u64>()), 1..24),
+        q_seed in any::<u64>(),
+        narrow in any::<bool>(),
+    ) {
+        let q = if narrow {
+            (q_seed % ((1 << 32) - 2)).max(2)
+        } else {
+            ((1 << 33) + q_seed % ((1 << 59) - (1 << 33))).max(2)
+        };
+        let ctx = SingleBarrett::new(q);
+        let mut acc = 0u128;
+        let mut expected = 0u64;
+        for (a, b) in terms {
+            let (a, b) = (a % q, b % q);
+            acc = smac(acc, a, b);
+            expected = ctx.add_mod(expected, ctx.mul_mod(a, b));
+        }
+        prop_assert_eq!(ctx.reduce_wide(acc), expected, "q={}", q);
     }
 }

@@ -195,8 +195,24 @@ impl NttPlan64 {
 
     /// Builds the plan from an existing naive transform context (same modulus,
     /// same roots — the two paths compute identical transforms).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the modulus is below `2^62` (i.e. at 63 or more
+    /// significant bits, or exactly `q = 2^62`). The Harvey lazy butterflies
+    /// keep values in `[0, 4q)` between stages, so `4q` must fit a machine word;
+    /// this is a real `assert!` (not a `debug_assert!`) because a violation in a
+    /// release build would silently wrap the butterfly arithmetic instead of
+    /// failing loudly. [`SingleBarrett::new`] already caps moduli at 60 bits, but
+    /// the plan's invariant is `q < 2^62` and is enforced where the lazy
+    /// discipline is entered, not inherited from a caller's context.
     pub fn from_ntt(ntt: &Ntt64) -> Self {
         let ctx = ntt.ctx;
+        assert!(
+            ctx.q < 1 << 62,
+            "lazy-reduction NTT requires q < 2^62 so values in [0, 4q) fit a word (got {} bits)",
+            64 - ctx.q.leading_zeros()
+        );
         let fwd = build_table_u64(&ctx, ntt.omega, ntt.n);
         let inv = build_table_u64(&ctx, ntt.omega_inv, ntt.n);
         let fwd_shoup = fwd.iter().map(|&w| ctx.shoup_precompute(w)).collect();
@@ -412,6 +428,46 @@ mod tests {
         assert!(data.iter().all(|&x| x < plan.ctx.q));
         plan.inverse(&mut data);
         assert!(data.iter().all(|&x| x < plan.ctx.q));
+    }
+
+    #[test]
+    #[should_panic(expected = "q < 2^62")]
+    fn plan64_rejects_moduli_at_the_lazy_reduction_boundary() {
+        // Forge a context whose modulus breaks the [0, 4q) word-width invariant
+        // (SingleBarrett::new itself would reject it, but the plan must not rely
+        // on every caller having gone through that constructor).
+        let good = Ntt64::new(4);
+        let forged = Ntt64 {
+            n: good.n,
+            ctx: SingleBarrett {
+                q: 1 << 62,
+                mu: 1,
+                mbits: 63,
+                radix: 0,
+                recip: 0,
+            },
+            omega: good.omega,
+            omega_inv: good.omega_inv,
+            n_inv: good.n_inv,
+        };
+        NttPlan64::from_ntt(&forged);
+    }
+
+    #[test]
+    fn plan64_boundary_modulus_keeps_lazy_values_in_range() {
+        // The largest modulus the stack can build is 60-bit, comfortably below
+        // the 2^62 bound: 4q must fit a u64 and a forward/inverse round trip must
+        // stay exact on inputs packed at the top of the reduced range.
+        let plan = NttPlan64::new(64);
+        assert!(plan.ctx.q < 1 << 62);
+        assert_eq!(plan.two_q, 2 * plan.ctx.q); // no wrap computing 2q
+        assert!(plan.two_q.checked_mul(2).is_some(), "4q must fit a u64");
+        let data: Vec<u64> = (0..64).map(|i| plan.ctx.q - 1 - i as u64).collect();
+        let mut work = data.clone();
+        plan.forward(&mut work);
+        assert!(work.iter().all(|&x| x < plan.ctx.q));
+        plan.inverse(&mut work);
+        assert_eq!(work, data);
     }
 
     #[test]

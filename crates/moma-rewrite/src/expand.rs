@@ -28,7 +28,7 @@ pub(crate) fn fresh(kernel: &mut Kernel, prefix: &str, ty: Ty) -> VarId {
 /// Expands every high-level modular operation in the kernel.
 ///
 /// Statements that are already mid-level are kept unchanged. The output contains no
-/// `AddMod`, `SubMod`, or `MulModBarrett` statements.
+/// `AddMod`, `SubMod`, `MulModBarrett`, or `MulAddMod` statements.
 pub fn expand_modular_ops(kernel: &Kernel) -> Kernel {
     let mut out = kernel.clone();
     let body = std::mem::take(&mut out.body);
@@ -51,6 +51,39 @@ pub fn expand_modular_ops(kernel: &Kernel) -> Kernel {
                     *q,
                     *mu,
                     *mbits,
+                    &stmt,
+                );
+            }
+            Op::MulAddMod {
+                a,
+                b,
+                c,
+                q,
+                mu,
+                mbits,
+            } => {
+                // Fused multiply-accumulate: expand as the product into a fresh
+                // temporary followed by the modular addition of the accumulator.
+                let w = width_of(&out, stmt.dsts[0]);
+                let prod = fresh(&mut out, "macprod", w);
+                expand_mulmod(
+                    &mut out,
+                    &mut new_body,
+                    prod,
+                    *a,
+                    *b,
+                    *q,
+                    *mu,
+                    *mbits,
+                    &stmt,
+                );
+                expand_addmod(
+                    &mut out,
+                    &mut new_body,
+                    stmt.dsts[0],
+                    prod.into(),
+                    *c,
+                    *q,
                     &stmt,
                 );
             }
@@ -362,6 +395,54 @@ mod tests {
             let r = interp::run(&mul, &[a, b, q, mu]).unwrap();
             let expected = ((a as u128 * b as u128) % q as u128) as u64;
             assert_eq!(r.outputs[0], expected);
+        }
+    }
+
+    #[test]
+    fn expanded_64_bit_muladdmod_matches_fused_semantics() {
+        // Build a one-statement kernel around the fused op and check that its
+        // expansion (MulModBarrett + AddMod word algebra) computes (a·b + c) mod q.
+        let q = 0x0FFF_FFA0_0000_0001u64;
+        let mbits = 60;
+        let mu = ((1u128 << (2 * mbits + 3)) / q as u128) as u64;
+        let mut kb = moma_ir::KernelBuilder::new("macmod64");
+        let a = kb.param("a", Ty::UInt(64));
+        let b = kb.param("b", Ty::UInt(64));
+        let c = kb.param("c", Ty::UInt(64));
+        let qv = kb.param("q", Ty::UInt(64));
+        let muv = kb.param("mu", Ty::UInt(64));
+        let out = kb.output("out", Ty::UInt(64));
+        kb.push(
+            vec![out],
+            Op::MulAddMod {
+                a: a.into(),
+                b: b.into(),
+                c: c.into(),
+                q: qv.into(),
+                mu: muv.into(),
+                mbits,
+            },
+        );
+        let kernel = kb.build();
+        let expanded = expand_modular_ops(&kernel);
+        assert!(expanded.body.iter().all(|s| !s.op.is_high_level()));
+        assert!(expanded.is_machine_level(64));
+        validate(&expanded).unwrap();
+
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        for _ in 0..200 {
+            let mut next = || {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                state % q
+            };
+            let (a, b, c) = (next(), next(), next());
+            let fused = interp::run(&kernel, &[a, b, c, q, mu]).unwrap();
+            let lowered = interp::run(&expanded, &[a, b, c, q, mu]).unwrap();
+            let expected = ((a as u128 * b as u128 + c as u128) % q as u128) as u64;
+            assert_eq!(fused.outputs[0], expected, "a={a} b={b} c={c}");
+            assert_eq!(lowered.outputs[0], expected, "a={a} b={b} c={c}");
         }
     }
 

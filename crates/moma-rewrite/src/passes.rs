@@ -296,6 +296,21 @@ fn map_operands(op: &Op, f: &dyn Fn(Operand) -> Operand) -> Op {
             mu: f(*mu),
             mbits: *mbits,
         },
+        Op::MulAddMod {
+            a,
+            b,
+            c,
+            q,
+            mu,
+            mbits,
+        } => Op::MulAddMod {
+            a: f(*a),
+            b: f(*b),
+            c: f(*c),
+            q: f(*q),
+            mu: f(*mu),
+            mbits: *mbits,
+        },
     }
 }
 

@@ -388,7 +388,10 @@ impl Splitter {
                 );
             }
             Op::BoolAnd { .. } | Op::BoolOr { .. } => unreachable!("flag ops are never wide"),
-            Op::AddMod { .. } | Op::SubMod { .. } | Op::MulModBarrett { .. } => {
+            Op::AddMod { .. }
+            | Op::SubMod { .. }
+            | Op::MulModBarrett { .. }
+            | Op::MulAddMod { .. } => {
                 unreachable!("high-level ops must be expanded before splitting")
             }
         }
@@ -850,6 +853,21 @@ fn remap_op(op: &Op, s: &Splitter) -> Op {
         Op::MulModBarrett { a, b, q, mu, mbits } => Op::MulModBarrett {
             a: m(a),
             b: m(b),
+            q: m(q),
+            mu: m(mu),
+            mbits: *mbits,
+        },
+        Op::MulAddMod {
+            a,
+            b,
+            c,
+            q,
+            mu,
+            mbits,
+        } => Op::MulAddMod {
+            a: m(a),
+            b: m(b),
+            c: m(c),
             q: m(q),
             mu: m(mu),
             mbits: *mbits,

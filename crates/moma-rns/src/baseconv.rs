@@ -1,0 +1,636 @@
+//! RNS base extension and approximate scaled rounding on the planned engine.
+//!
+//! Element-wise residue arithmetic ([`crate::plan`]) is only half of the GRNS
+//! workload the paper's Figure 2 models: FHE pipelines chain two more RNS
+//! primitives *between* the NTT and BLAS stages, and both are sum-of-products
+//! reductions rather than independent per-residue maps:
+//!
+//! * **Fast base extension** (`FastBConv` in the BEHZ literature): re-express a
+//!   value known modulo basis `B = {m_1, …, m_k}` (product `M`) in a second
+//!   basis `B' = {m'_1, …, m'_l}` without reconstructing the positional value.
+//!   With pseudo-residues `x̃_r = x_r · (M/m_r)^{-1} mod m_r`, each target
+//!   residue is `y_s = Σ_r x̃_r · |M/m_r|_{m'_s} mod m'_s`. The conversion is
+//!   *approximate*: the sum equals `x + α·M` for an overshoot `0 ≤ α < k`,
+//!   which downstream FHE operations absorb by design.
+//! * **Approximate scaled rounding** (the CKKS/BGV rescale): divide by the last
+//!   basis modulus `m_k` with rounding, dropping that modulus from the basis —
+//!   `y = (x − [x]_{m_k})/m_k + ([x]_{m_k} > m_k/2)`, computed residue-locally
+//!   as `y_r = (x_r − c)·m_k^{-1} mod m_r` plus the rounding increment.
+//!
+//! [`BaseConvPlan`] precomputes, **once per basis pair**, the punctured-product
+//! inverses `(M/m_r)^{-1} mod m_r` and the cross-basis table
+//! `|M/m_r|_{m'_s}`; [`RescalePlan`] precomputes the dropped modulus' inverses
+//! and the output-basis plan. Execution then runs one virtual GPU thread per
+//! *target* residue row through [`moma_gpu::launch_chunks`], exactly like the
+//! element-wise operations, with the inner sum accumulated widening
+//! ([`moma_mp::single::smac`]) and reduced once per element
+//! ([`SingleBarrett::reduce_wide`]). A second path routes the same
+//! accumulation through a *generated* fused multiply-accumulate kernel
+//! ([`moma_ir::Op::MulAddMod`]) on [`moma_gpu::launch_compiled`], so the
+//! conversion cost is measurable on the same executor as MoMA's positional
+//! kernels.
+//!
+//! Both operations are cross-checked bit-for-bit against the `BigUint` oracles
+//! [`RnsContext::base_convert`] and [`RnsContext::scale_and_round`].
+
+use crate::plan::{mul_mod, RnsMatrix, RnsPlan};
+use crate::RnsContext;
+use moma_gpu::launch::{launch_chunks, launch_compiled, LaunchStats};
+use moma_ir::compiled::CompiledKernel;
+use moma_ir::{Kernel, KernelBuilder, Op, Operand, Ty};
+use moma_mp::single::{smac, SingleBarrett};
+use std::sync::OnceLock;
+
+/// Precomputed tables for fast base extension from one basis into another.
+///
+/// Built once per `(source, target)` basis pair; every subsequent
+/// [`RnsPlan::base_convert`] is pure machine-word arithmetic.
+///
+/// # Example
+///
+/// ```
+/// use moma_bignum::BigUint;
+/// use moma_rns::{BaseConvPlan, RnsContext, RnsMatrix, RnsPlan};
+///
+/// let src = RnsPlan::new(&RnsContext::with_moduli_count(4));
+/// let dst = RnsPlan::new(&RnsContext::with_moduli(&[2147481173, 2147482223]));
+/// let bc = BaseConvPlan::new(&src, &dst);
+/// let m = RnsMatrix::from_biguints(&src, &[BigUint::from(12345u64)]);
+/// let (converted, _) = src.base_convert(&bc, &m);
+/// assert_eq!(converted.row_count(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BaseConvPlan {
+    /// Source basis moduli, for validating that a conversion is run from the
+    /// plan it was built for.
+    src_moduli: Vec<u64>,
+    /// `(M/m_r)^{-1} mod m_r` per source modulus — the pseudo-residue factors.
+    inv_punctured: Vec<u64>,
+    /// Row-major cross-basis table: `cross[s·k + r] = |M/m_r|_{m'_s}`, laid out
+    /// so each target row's accumulation streams its own contiguous slice.
+    cross: Vec<u64>,
+    /// The target plan (cloned so converted matrices can be used immediately).
+    dst: RnsPlan,
+    /// One generated fused multiply-accumulate kernel per target modulus,
+    /// compiled lazily on the first [`RnsPlan::base_convert_compiled`] call.
+    mac_kernels: OnceLock<Vec<CompiledKernel>>,
+}
+
+impl BaseConvPlan {
+    /// Builds the conversion tables for the `src → dst` basis pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widening sum-of-products could overflow its 128-bit
+    /// accumulator — `k` terms of `(m_r − 1)·(m'_s − 1)` each — which cannot
+    /// happen for any realistic basis (it needs ≥ 2^8 moduli of 60 bits).
+    pub fn new(src: &RnsPlan, dst: &RnsPlan) -> Self {
+        let k = src.moduli_count();
+        let max_src = src.moduli().max().expect("basis is non-empty");
+        let max_dst = dst.moduli().max().expect("basis is non-empty");
+        let worst_term = (max_src - 1) as u128 * (max_dst - 1) as u128;
+        assert!(
+            worst_term == 0 || k as u128 <= u128::MAX / worst_term,
+            "basis pair too large for the widening accumulator ({k} source moduli)"
+        );
+        // crt[r] = (M/m_r, (M/m_r)^{-1} mod m_r): both halves of the fast
+        // conversion are already precomputed by the source plan.
+        let inv_punctured: Vec<u64> = src.crt.iter().map(|(_, yi)| *yi).collect();
+        let mut cross = Vec::with_capacity(dst.moduli_count() * k);
+        for dst_ctx in &dst.ctxs {
+            let m_big = moma_bignum::BigUint::from(dst_ctx.q);
+            for (mi, _) in &src.crt {
+                cross.push((mi % &m_big).to_u64().expect("residue fits a word"));
+            }
+        }
+        BaseConvPlan {
+            src_moduli: src.moduli().collect(),
+            inv_punctured,
+            cross,
+            dst: dst.clone(),
+            mac_kernels: OnceLock::new(),
+        }
+    }
+
+    /// The target plan matrices produced by this conversion live over.
+    pub fn dst_plan(&self) -> &RnsPlan {
+        &self.dst
+    }
+
+    pub(crate) fn check_source(&self, src: &RnsPlan) {
+        assert!(
+            src.moduli().eq(self.src_moduli.iter().copied()),
+            "conversion plan was built for a different source basis"
+        );
+    }
+
+    /// Generates (on first use) and returns the per-target-modulus fused
+    /// multiply-accumulate kernels.
+    fn kernels(&self) -> &[CompiledKernel] {
+        self.mac_kernels.get_or_init(|| {
+            let k = self.src_moduli.len();
+            self.dst
+                .ctxs
+                .iter()
+                .enumerate()
+                .map(|(s, ctx)| {
+                    let kernel = mac_kernel(ctx, &self.cross[s * k..(s + 1) * k]);
+                    CompiledKernel::compile(&kernel).expect("generated baseconv kernel compiles")
+                })
+                .collect()
+        })
+    }
+}
+
+/// Builds the generated sum-of-products kernel for one target modulus: a chain
+/// of fused multiply-accumulates `acc = (x̃_r · c_r + acc) mod q` with the
+/// cross-basis constants, `q`, and `μ` baked in — one [`Op::MulAddMod`]
+/// statement per source modulus.
+///
+/// The kernel's parameters are the element's pseudo-residues **reduced modulo
+/// the target modulus** (the caller folds them, since a pseudo-residue lives in
+/// its source ring and a mixed-width basis pair can have `m_r > m'_s`):
+/// `MulAddMod`'s operands are contractually reduced, and the word-algebra
+/// expansion the emitters rely on is only exact under that precondition.
+fn mac_kernel(ctx: &SingleBarrett, cross_row: &[u64]) -> Kernel {
+    let mut kb = KernelBuilder::new(format!("rns_baseconv_m{:x}", ctx.q));
+    let params: Vec<_> = (0..cross_row.len())
+        .map(|r| kb.param(format!("x{r}"), Ty::UInt(64)))
+        .collect();
+    let out = kb.output("out", Ty::UInt(64));
+    let mut acc = Operand::Const(0);
+    let last = cross_row.len() - 1;
+    for (r, (&x, &c)) in params.iter().zip(cross_row).enumerate() {
+        let dst = if r == last {
+            out
+        } else {
+            kb.fresh("acc", Ty::UInt(64))
+        };
+        kb.push(
+            vec![dst],
+            Op::MulAddMod {
+                a: x.into(),
+                b: Operand::Const(c),
+                c: acc,
+                q: Operand::Const(ctx.q),
+                mu: Operand::Const(ctx.mu),
+                mbits: ctx.mbits,
+            },
+        );
+        acc = dst.into();
+    }
+    kb.build()
+}
+
+impl RnsPlan {
+    /// Computes the pseudo-residue planes `x̃_r = x_r · (M/m_r)^{-1} mod m_r`,
+    /// one launcher thread per source residue row — the shared first stage of
+    /// both base-conversion paths.
+    fn pseudo_residues(&self, bc: &BaseConvPlan, a: &RnsMatrix) -> (Vec<u64>, LaunchStats) {
+        let cols = a.len();
+        let mut pseudo = vec![0u64; self.moduli_count() * cols];
+        let stats = if cols == 0 {
+            LaunchStats::default()
+        } else {
+            launch_chunks(&mut pseudo, cols, |r, out| {
+                let ctx = &self.ctxs[r];
+                let narrow = self.narrow[r];
+                let inv = bc.inv_punctured[r];
+                for (o, &x) in out.iter_mut().zip(a.row(r)) {
+                    *o = mul_mod(ctx, narrow, x, inv);
+                }
+            })
+        };
+        (pseudo, stats)
+    }
+
+    /// Fast base extension: re-expresses every element of `a` (over this plan's
+    /// basis `B`, product `M`) in the target basis of `bc`, entirely in
+    /// machine-word arithmetic.
+    ///
+    /// Two launch rounds: pseudo-residues (one thread per *source* row), then
+    /// the sum-of-products accumulation (one thread per *target* row), each
+    /// element accumulated widening ([`smac`]) and reduced once
+    /// ([`SingleBarrett::reduce_wide`]). The result represents `x + α·M` for an
+    /// overshoot `0 ≤ α < k` — the approximate conversion FHE pipelines use,
+    /// bit-for-bit equal to the [`RnsContext::base_convert`] oracle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bc` was built for a different source basis or `a` does not
+    /// match this plan.
+    pub fn base_convert(&self, bc: &BaseConvPlan, a: &RnsMatrix) -> (RnsMatrix, LaunchStats) {
+        bc.check_source(self);
+        self.check_shape(a);
+        let cols = a.len();
+        let k = self.moduli_count();
+        let (pseudo, mut stats) = self.pseudo_residues(bc, a);
+        let mut data = vec![0u64; bc.dst.moduli_count() * cols];
+        if cols > 0 {
+            stats.accumulate(launch_chunks(&mut data, cols, |s, out| {
+                let ctx = &bc.dst.ctxs[s];
+                let cross_row = &bc.cross[s * k..(s + 1) * k];
+                for (i, o) in out.iter_mut().enumerate() {
+                    let mut acc = 0u128;
+                    for (r, &c) in cross_row.iter().enumerate() {
+                        acc = smac(acc, pseudo[r * cols + i], c);
+                    }
+                    *o = ctx.reduce_wide(acc);
+                }
+            }));
+        }
+        (
+            RnsMatrix {
+                rows: bc.dst.moduli_count(),
+                cols,
+                data,
+            },
+            stats,
+        )
+    }
+
+    /// Fast base extension routed through the *generated* fused
+    /// multiply-accumulate kernels, one [`launch_compiled`] per target residue
+    /// row.
+    ///
+    /// Functionally identical to [`RnsPlan::base_convert`]; it exists so the
+    /// conversion cost is measurable on the exact same compiled executor and
+    /// launcher as MoMA's positional kernels (like
+    /// [`RnsPlan::mul_compiled`], a measurement harness rather than the fast
+    /// path).
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`RnsPlan::base_convert`] does.
+    pub fn base_convert_compiled(
+        &self,
+        bc: &BaseConvPlan,
+        a: &RnsMatrix,
+    ) -> (RnsMatrix, LaunchStats) {
+        bc.check_source(self);
+        self.check_shape(a);
+        let cols = a.len();
+        let k = self.moduli_count();
+        let (pseudo, mut stats) = self.pseudo_residues(bc, a);
+        let mut data = Vec::with_capacity(bc.dst.moduli_count() * cols);
+        for (compiled, ctx) in bc.kernels().iter().zip(&bc.dst.ctxs) {
+            // A pseudo-residue is reduced modulo its *source* modulus, which
+            // may exceed the target modulus in a mixed-width basis pair; the
+            // generated kernel's MulAddMod contract requires factors reduced
+            // modulo the target q, so fold them in here — congruence is
+            // unchanged since (x mod q)·c + acc ≡ x·c + acc (mod q).
+            let (outs, round) = launch_compiled(compiled, cols, |i| {
+                (0..k)
+                    .map(|r| ctx.reduce_word(pseudo[r * cols + i]))
+                    .collect()
+            });
+            data.extend(outs.iter().map(|o| o[0]));
+            stats.accumulate(round);
+        }
+        (
+            RnsMatrix {
+                rows: bc.dst.moduli_count(),
+                cols,
+                data,
+            },
+            stats,
+        )
+    }
+
+    /// Builds the rescale tables for dropping this basis' last modulus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the basis has fewer than two moduli.
+    pub fn rescale_plan(&self) -> RescalePlan {
+        RescalePlan::new(self)
+    }
+
+    /// Approximate scaled rounding (the CKKS/BGV rescale): divides every
+    /// element by the last basis modulus `m_k` with rounding and returns the
+    /// result over the shortened basis, one launcher thread per output residue
+    /// row.
+    ///
+    /// Residue-locally, `y_r = (x_r − c)·m_k^{-1} mod m_r` with `c` the
+    /// element's last residue, plus one when `c > m_k/2` — so the result is
+    /// within one of `x/m_k`, bit-for-bit equal to the
+    /// [`RnsContext::scale_and_round`] oracle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rp` was built for a different basis or `a` does not match
+    /// this plan.
+    pub fn scale_and_round(&self, rp: &RescalePlan, a: &RnsMatrix) -> (RnsMatrix, LaunchStats) {
+        rp.check_source(self);
+        self.check_shape(a);
+        let cols = a.len();
+        let rows = rp.out.moduli_count();
+        let last = self.ctxs[rows].q;
+        let half = last / 2;
+        let c_row = a.row(rows);
+        let mut data = vec![0u64; rows * cols];
+        let stats = if cols == 0 {
+            LaunchStats::default()
+        } else {
+            launch_chunks(&mut data, cols, |r, out| {
+                let ctx = &rp.out.ctxs[r];
+                let narrow = rp.out.narrow[r];
+                let inv = rp.inv_last[r];
+                for ((o, &x), &c) in out.iter_mut().zip(a.row(r)).zip(c_row) {
+                    // (x_r − c)·m_k^{-1}, then the rounding increment. The
+                    // dropped residue c lives in [0, m_k), possibly above this
+                    // row's modulus, so fold it first. Hardware division is
+                    // the measured-faster fold in this loop (~2× over the
+                    // multiply-based `reduce_word` on the benched host): the
+                    // otherwise-idle divider overlaps the Barrett multiply
+                    // chain instead of contending with it.
+                    let diff = ctx.sub_mod(x, c % ctx.q);
+                    let y = mul_mod(ctx, narrow, diff, inv);
+                    *o = if c > half { ctx.add_mod(y, 1) } else { y };
+                }
+            })
+        };
+        (RnsMatrix { rows, cols, data }, stats)
+    }
+}
+
+/// Precomputed tables for one rescale step: dropping the last basis modulus
+/// with approximate rounding.
+///
+/// Built once per basis; holds the output-basis [`RnsPlan`] (the source basis
+/// without its last modulus) and the dropped modulus' inverse in every
+/// remaining residue ring.
+#[derive(Debug, Clone)]
+pub struct RescalePlan {
+    /// Source basis moduli, for validating the plan pairing.
+    src_moduli: Vec<u64>,
+    /// The output plan (source basis without the last modulus).
+    out: RnsPlan,
+    /// `m_k^{-1} mod m_r` per remaining modulus.
+    inv_last: Vec<u64>,
+}
+
+impl RescalePlan {
+    /// Builds the rescale tables for dropping `src`'s last modulus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` has fewer than two moduli.
+    pub fn new(src: &RnsPlan) -> Self {
+        let moduli: Vec<u64> = src.moduli().collect();
+        assert!(moduli.len() >= 2, "rescale needs at least two basis moduli");
+        let last = *moduli.last().expect("non-empty basis");
+        // The source plan already validated its basis; skip re-running the
+        // primality checks on the surviving moduli.
+        let out = RnsPlan::new(&RnsContext::from_moduli(
+            moduli[..moduli.len() - 1].to_vec(),
+        ));
+        let inv_last = out
+            .ctxs
+            .iter()
+            .map(|ctx| ctx.inv_mod(last % ctx.q))
+            .collect();
+        RescalePlan {
+            src_moduli: moduli,
+            out,
+            inv_last,
+        }
+    }
+
+    /// The plan the rescaled matrices live over.
+    pub fn output_plan(&self) -> &RnsPlan {
+        &self.out
+    }
+
+    pub(crate) fn check_source(&self, src: &RnsPlan) {
+        assert!(
+            src.moduli().eq(self.src_moduli.iter().copied()),
+            "rescale plan was built for a different source basis"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moma_bignum::random::random_bits;
+    use moma_bignum::BigUint;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Generates `count` distinct primes of `bits` bits from a seeded rng
+    /// (through the shared deterministic basis builder).
+    fn primes(seed: u64, count: usize, bits: u32) -> Vec<u64> {
+        RnsContext::with_random_primes(count, bits, seed)
+            .moduli()
+            .to_vec()
+    }
+
+    /// A mixed basis: narrow 31-bit primes interleaved with wide 40/52-bit ones.
+    fn mixed_basis(seed: u64) -> Vec<u64> {
+        let narrow = primes(seed, 2, 31);
+        let wide = [primes(seed ^ 1, 1, 40), primes(seed ^ 2, 1, 52)].concat();
+        vec![narrow[0], wide[0], narrow[1], wide[1]]
+    }
+
+    #[test]
+    fn base_convert_matches_oracle_per_element() {
+        let src_ctx = RnsContext::with_capacity_bits(200);
+        let src = RnsPlan::new(&src_ctx);
+        let dst_ctx = RnsContext::with_moduli(&primes(0xbc, 5, 31));
+        let dst = RnsPlan::new(&dst_ctx);
+        let bc = BaseConvPlan::new(&src, &dst);
+        let mut rng = StdRng::seed_from_u64(0xba5e);
+        let values: Vec<BigUint> = (0..17).map(|_| random_bits(&mut rng, 190)).collect();
+        let a = RnsMatrix::from_biguints(&src, &values);
+        let (out, stats) = src.base_convert(&bc, &a);
+        assert_eq!(out.row_count(), dst.moduli_count());
+        assert_eq!(out.len(), values.len());
+        assert_eq!(
+            stats.threads,
+            src.moduli_count() + dst.moduli_count(),
+            "one thread per source row plus one per target row"
+        );
+        for (c, v) in values.iter().enumerate() {
+            let oracle = src_ctx.base_convert(&dst_ctx, &src_ctx.to_residues(v));
+            assert_eq!(out.element(c), oracle, "column {c}");
+        }
+    }
+
+    #[test]
+    fn base_convert_overshoot_is_a_small_multiple_of_the_source_product() {
+        // Choose a target basis with enough headroom that x + αM reconstructs
+        // exactly; then the overshoot α must be below the source basis size.
+        let src = RnsPlan::new(&RnsContext::with_moduli_count(4));
+        let dst = RnsPlan::new(&RnsContext::with_moduli(&primes(0x41, 7, 31)));
+        let bc = BaseConvPlan::new(&src, &dst);
+        let mut rng = StdRng::seed_from_u64(7);
+        let values: Vec<BigUint> = (0..9)
+            .map(|_| moma_bignum::random::random_below(&mut rng, src.product()))
+            .collect();
+        let a = RnsMatrix::from_biguints(&src, &values);
+        let (out, _) = src.base_convert(&bc, &a);
+        for (c, v) in values.iter().enumerate() {
+            let reconstructed = dst.to_biguints(&out)[c].clone();
+            let excess = &reconstructed - v;
+            let (alpha, rem) = excess.div_rem(src.product());
+            assert!(
+                rem.is_zero(),
+                "column {c}: overshoot must be a multiple of M"
+            );
+            assert!(
+                alpha.to_u64().unwrap() < src.moduli_count() as u64,
+                "column {c}: α = {alpha:?} out of range"
+            );
+        }
+    }
+
+    #[test]
+    fn base_convert_on_mixed_narrow_wide_bases_matches_oracle() {
+        let src_ctx = RnsContext::with_moduli(&mixed_basis(0x51));
+        let dst_ctx = RnsContext::with_moduli(&mixed_basis(0x99));
+        let src = RnsPlan::new(&src_ctx);
+        let dst = RnsPlan::new(&dst_ctx);
+        let bc = BaseConvPlan::new(&src, &dst);
+        let mut rng = StdRng::seed_from_u64(0x1117);
+        let values: Vec<BigUint> = (0..11)
+            .map(|_| moma_bignum::random::random_below(&mut rng, src.product()))
+            .collect();
+        let a = RnsMatrix::from_biguints(&src, &values);
+        let (out, _) = src.base_convert(&bc, &a);
+        for (c, v) in values.iter().enumerate() {
+            let oracle = src_ctx.base_convert(&dst_ctx, &src_ctx.to_residues(v));
+            assert_eq!(out.element(c), oracle, "column {c}");
+        }
+    }
+
+    #[test]
+    fn compiled_base_convert_matches_rowwise_path() {
+        let src = RnsPlan::new(&RnsContext::with_capacity_bits(160));
+        let dst = RnsPlan::new(&RnsContext::with_moduli(&primes(0xcc, 4, 31)));
+        let bc = BaseConvPlan::new(&src, &dst);
+        let mut rng = StdRng::seed_from_u64(0xc0);
+        let values: Vec<BigUint> = (0..13).map(|_| random_bits(&mut rng, 150)).collect();
+        let a = RnsMatrix::from_biguints(&src, &values);
+        let (plain, _) = src.base_convert(&bc, &a);
+        let (compiled, stats) = src.base_convert_compiled(&bc, &a);
+        assert_eq!(compiled, plain);
+        assert_eq!(
+            stats.threads,
+            src.moduli_count() + dst.moduli_count() * values.len()
+        );
+    }
+
+    #[test]
+    fn scale_and_round_matches_oracle_and_stays_within_one() {
+        let ctx = RnsContext::with_moduli_count(5);
+        let plan = RnsPlan::new(&ctx);
+        let rp = plan.rescale_plan();
+        let mut rng = StdRng::seed_from_u64(0x5ca1e);
+        let values: Vec<BigUint> = (0..15)
+            .map(|_| moma_bignum::random::random_below(&mut rng, plan.product()))
+            .collect();
+        let a = RnsMatrix::from_biguints(&plan, &values);
+        let (out, stats) = plan.scale_and_round(&rp, &a);
+        assert_eq!(out.row_count(), plan.moduli_count() - 1);
+        assert_eq!(stats.threads, plan.moduli_count() - 1);
+        let last = BigUint::from(*ctx.moduli().last().unwrap());
+        for (c, v) in values.iter().enumerate() {
+            let oracle = ctx.scale_and_round(&ctx.to_residues(v));
+            assert_eq!(out.element(c), oracle, "column {c}");
+            // Semantics: the reconstructed quotient is within one of v / m_k
+            // (both sides exact integers, so compare v − y·m_k against m_k).
+            let y = rp.output_plan().to_biguints(&out)[c].clone();
+            let scaled = &y * &last;
+            let distance = if scaled >= *v {
+                &scaled - v
+            } else {
+                v - &scaled
+            };
+            assert!(distance <= last, "column {c}: |y·m_k − v| must be ≤ m_k");
+        }
+    }
+
+    #[test]
+    fn scale_and_round_on_mixed_basis_matches_oracle() {
+        let ctx = RnsContext::with_moduli(&mixed_basis(0x77));
+        let plan = RnsPlan::new(&ctx);
+        let rp = plan.rescale_plan();
+        let mut rng = StdRng::seed_from_u64(0x700);
+        let values: Vec<BigUint> = (0..9)
+            .map(|_| moma_bignum::random::random_below(&mut rng, plan.product()))
+            .collect();
+        let a = RnsMatrix::from_biguints(&plan, &values);
+        let (out, _) = plan.scale_and_round(&rp, &a);
+        for (c, v) in values.iter().enumerate() {
+            assert_eq!(
+                out.element(c),
+                ctx.scale_and_round(&ctx.to_residues(v)),
+                "column {c}"
+            );
+        }
+    }
+
+    #[test]
+    fn rescale_then_convert_chains_across_bases() {
+        // The FHE-style chain: rescale to drop a modulus, then base-extend the
+        // result into a fresh basis — every intermediate checked by oracle.
+        let ctx = RnsContext::with_moduli_count(4);
+        let plan = RnsPlan::new(&ctx);
+        let rp = plan.rescale_plan();
+        let dst = RnsPlan::new(&RnsContext::with_moduli(&primes(0xf00, 4, 31)));
+        let bc = BaseConvPlan::new(rp.output_plan(), &dst);
+        let mut rng = StdRng::seed_from_u64(0xc11a);
+        let values: Vec<BigUint> = (0..6)
+            .map(|_| moma_bignum::random::random_below(&mut rng, plan.product()))
+            .collect();
+        let a = RnsMatrix::from_biguints(&plan, &values);
+        let (rescaled, _) = plan.scale_and_round(&rp, &a);
+        let (extended, _) = rp.output_plan().base_convert(&bc, &rescaled);
+        let out_ctx = ctx.without_last();
+        let dst_ctx = RnsContext::with_moduli(&primes(0xf00, 4, 31));
+        for (c, v) in values.iter().enumerate() {
+            let oracle_rescaled = ctx.scale_and_round(&ctx.to_residues(v));
+            let oracle_extended = out_ctx.base_convert(&dst_ctx, &oracle_rescaled);
+            assert_eq!(extended.element(c), oracle_extended, "column {c}");
+        }
+    }
+
+    #[test]
+    fn empty_matrices_are_fine() {
+        let src = RnsPlan::new(&RnsContext::with_moduli_count(3));
+        let dst = RnsPlan::new(&RnsContext::with_moduli(&primes(0xe, 3, 31)));
+        let bc = BaseConvPlan::new(&src, &dst);
+        let empty = RnsMatrix::from_biguints(&src, &[]);
+        assert!(src.base_convert(&bc, &empty).0.is_empty());
+        assert!(src.base_convert_compiled(&bc, &empty).0.is_empty());
+        let rp = src.rescale_plan();
+        assert!(src.scale_and_round(&rp, &empty).0.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "different source basis")]
+    fn base_convert_rejects_mismatched_plan_pairing() {
+        let a = RnsPlan::new(&RnsContext::with_moduli_count(3));
+        let b = RnsPlan::new(&RnsContext::with_moduli_count(5));
+        let dst = RnsPlan::new(&RnsContext::with_moduli(&primes(0xd, 3, 31)));
+        let bc = BaseConvPlan::new(&a, &dst);
+        let m = RnsMatrix::from_biguints(&b, &[BigUint::one()]);
+        b.base_convert(&bc, &m);
+    }
+
+    #[test]
+    fn oracle_base_convert_round_trips_when_target_covers_source() {
+        // Values below M that convert into a larger basis reconstruct to
+        // x + αM; reducing mod M recovers x — the RnsInt-level sanity check.
+        let src = RnsContext::with_moduli_count(3);
+        let dst = RnsContext::with_moduli(&primes(0xab, 6, 31));
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..8 {
+            let x = moma_bignum::random::random_below(&mut rng, src.product());
+            let converted = src.base_convert(&dst, &src.to_residues(&x));
+            let back = dst.from_residues(&converted);
+            assert_eq!(&back % src.product(), x);
+        }
+    }
+}

@@ -14,7 +14,14 @@
 //!   Barrett constants and CRT data once per basis, and [`RnsMatrix`] stores whole
 //!   vectors in structure-of-arrays layout so element-wise operations run
 //!   per-residue-row on the simulated GPU launcher with no arbitrary-precision
-//!   arithmetic on the hot path.
+//!   arithmetic on the hot path;
+//! * [`baseconv`] — the RNS operations FHE pipelines chain *between* element-wise
+//!   stages: [`BaseConvPlan`] precomputes the fast-base-extension tables once per
+//!   basis pair and [`RnsPlan::base_convert`] runs the sum-of-products
+//!   accumulation one launcher thread per target residue row (with a generated
+//!   multiply-accumulate kernel as the compiled path), while [`RescalePlan`] /
+//!   [`RnsPlan::scale_and_round`] implement approximate division-by-`m_k` with
+//!   rounding (the CKKS/BGV rescale primitive).
 //!
 //! The trade-off the paper measures is visible directly in the API: ring operations are
 //! embarrassingly cheap per residue, but anything that needs the positional value —
@@ -27,9 +34,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod baseconv;
 pub mod plan;
 pub mod vector;
 
+pub use baseconv::{BaseConvPlan, RescalePlan};
 pub use plan::{RnsMatrix, RnsPlan};
 
 use moma_bignum::{prime, BigUint};
@@ -81,20 +90,64 @@ impl RnsContext {
 
     /// Creates a context with exactly `count` deterministic prime moduli.
     pub fn with_moduli_count(count: usize) -> Self {
+        Self::with_random_primes(count, MODULUS_BITS, 0x6e73_5f72_6e73)
+    }
+
+    /// Creates a context over `count` distinct primes of `bits` bits drawn from
+    /// a seeded generator — the deterministic basis builder for fresh
+    /// base-extension targets (the benches and cross-basis tests need a second
+    /// basis that is not the default one).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero or `bits` exceeds the 60-bit single-word
+    /// Barrett limit.
+    pub fn with_random_primes(count: usize, bits: u32, seed: u64) -> Self {
         assert!(count > 0, "need at least one modulus");
-        let mut rng = StdRng::seed_from_u64(0x6e73_5f72_6e73);
+        let mut rng = StdRng::seed_from_u64(seed);
         let mut moduli = Vec::with_capacity(count);
-        // Set-based dedup: the old `moduli.contains` scan made basis construction
-        // quadratic in the modulus count.
+        // Set-based dedup: a `moduli.contains` scan would make basis
+        // construction quadratic in the modulus count.
         let mut seen = HashSet::with_capacity(count);
         while moduli.len() < count {
-            let p = prime::random_prime(&mut rng, MODULUS_BITS)
+            let p = prime::random_prime(&mut rng, bits)
                 .to_u64()
-                .expect("31-bit prime fits u64");
+                .expect("word-sized prime fits u64");
             if seen.insert(p) {
                 moduli.push(p);
             }
         }
+        Self::from_moduli(moduli)
+    }
+
+    /// Creates a context over an explicit basis of pairwise-distinct primes.
+    ///
+    /// Unlike the deterministic constructors, the basis may mix *narrow*
+    /// (≤32-bit) and *wide* moduli of up to 60 bits — the planned engine decides
+    /// the narrow-Barrett dispatch per modulus at plan-build time. This is also
+    /// how base-extension targets and rescale output bases are built.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the basis is empty, contains a duplicate, a non-prime, or a
+    /// modulus wider than 60 bits (the single-word Barrett limit).
+    pub fn with_moduli(moduli: &[u64]) -> Self {
+        assert!(!moduli.is_empty(), "need at least one modulus");
+        let mut seen = HashSet::with_capacity(moduli.len());
+        let mut rng = StdRng::seed_from_u64(0x7072_696d_6573);
+        for &m in moduli {
+            assert!(seen.insert(m), "duplicate modulus {m}");
+            assert!(
+                prime::is_prime(&mut rng, &BigUint::from(m)),
+                "modulus {m} is not prime (CRT reconstruction needs a prime basis)"
+            );
+        }
+        Self::from_moduli(moduli.to_vec())
+    }
+
+    /// Shared constructor tail: precomputes the products and CRT data for an
+    /// already-validated basis.
+    fn from_moduli(moduli: Vec<u64>) -> Self {
         let moduli_big: Vec<BigUint> = moduli.iter().map(|&m| BigUint::from(m)).collect();
         let mut product = BigUint::one();
         for m_big in &moduli_big {
@@ -107,7 +160,8 @@ impl RnsContext {
                 let mi = &product / m_big;
                 let mi_mod = (&mi % m_big).to_u64().unwrap();
                 // Word-sized modular inverse via the shared helper in `moma-mp`
-                // (Fermat over a Barrett context; the moduli are 31-bit primes).
+                // (Fermat over a Barrett context; the moduli are primes of at
+                // most 60 bits).
                 let yi = SingleBarrett::new(m).inv_mod(mi_mod);
                 (mi, yi)
             })
@@ -118,6 +172,20 @@ impl RnsContext {
             product,
             crt,
         }
+    }
+
+    /// The same basis with the last modulus dropped — the output basis of one
+    /// [`RnsContext::scale_and_round`] step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the basis has fewer than two moduli.
+    pub fn without_last(&self) -> Self {
+        assert!(
+            self.moduli.len() >= 2,
+            "rescale needs at least two basis moduli"
+        );
+        Self::from_moduli(self.moduli[..self.moduli.len() - 1].to_vec())
     }
 
     /// The prime moduli of the basis.
@@ -186,6 +254,77 @@ impl RnsContext {
     pub fn reduce_mod(&self, a: &RnsInt, q: &BigUint) -> RnsInt {
         let positional = self.from_residues(a);
         self.to_residues(&(&positional % q))
+    }
+
+    /// Slow-path oracle for *fast base extension*: converts `x` from this basis
+    /// `B` (product `M`) into residues modulo the moduli of `dst`, through exact
+    /// arbitrary-precision arithmetic.
+    ///
+    /// The fast conversion is the BEHZ-style approximate CRT: with
+    /// pseudo-residues `x̃_r = x_r · (M/m_r)^{-1} mod m_r`, the value
+    /// `Σ_r x̃_r · (M/m_r)` equals `x + α·M` for some overshoot `0 ≤ α < #B`,
+    /// and the conversion returns that sum's residues in the target basis. The
+    /// planned engine ([`RnsPlan::base_convert`]) computes exactly this function
+    /// with machine-word arithmetic; this method is its `BigUint` oracle,
+    /// bit-for-bit including the overshoot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` does not match this basis.
+    pub fn base_convert(&self, dst: &RnsContext, x: &RnsInt) -> RnsInt {
+        assert_eq!(x.residues.len(), self.moduli.len(), "value basis mismatch");
+        let mut sum = BigUint::zero();
+        for ((&xr, &m), (mi, yi)) in x.residues.iter().zip(&self.moduli).zip(&self.crt) {
+            // x̃_r = x_r · (M/m_r)^{-1} mod m_r, then the exact product with M/m_r.
+            let pseudo = (xr as u128 * *yi as u128 % m as u128) as u64;
+            sum = &sum + &(mi * &BigUint::from(pseudo));
+        }
+        RnsInt {
+            residues: dst
+                .moduli_big
+                .iter()
+                .map(|m_big| (&sum % m_big).to_u64().unwrap())
+                .collect(),
+        }
+    }
+
+    /// Slow-path oracle for *approximate scaled rounding* (the CKKS/BGV rescale
+    /// primitive): divides by the last basis modulus `m_k` with rounding and
+    /// returns residues over the remaining basis (see
+    /// [`RnsContext::without_last`]).
+    ///
+    /// With `c = x mod m_k` (the last residue), the result is
+    /// `y = (x − c)/m_k + (c > m_k/2)` — exact division after removing the last
+    /// residue, plus the rounding correction, so `|y − x/m_k| ≤ 1`. The planned
+    /// engine ([`RnsPlan::scale_and_round`]) computes the same function residue-
+    /// locally; this method is its `BigUint` oracle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the basis has fewer than two moduli or `x` does not match it.
+    pub fn scale_and_round(&self, x: &RnsInt) -> RnsInt {
+        assert!(
+            self.moduli.len() >= 2,
+            "rescale needs at least two basis moduli"
+        );
+        assert_eq!(x.residues.len(), self.moduli.len(), "value basis mismatch");
+        let k = self.moduli.len() - 1;
+        let last = self.moduli[k];
+        let c = x.residues[k];
+        let v = self.from_residues(x);
+        // v ≡ c (mod m_k) and v ≥ c, so the subtraction is exact and the
+        // quotient is an integer.
+        let (mut y, rem) = (&v - &BigUint::from(c)).div_rem(&BigUint::from(last));
+        debug_assert!(rem.is_zero(), "x − (x mod m_k) must divide by m_k");
+        if c > last / 2 {
+            y = &y + &BigUint::one();
+        }
+        RnsInt {
+            residues: self.moduli_big[..k]
+                .iter()
+                .map(|m_big| (&y % m_big).to_u64().unwrap())
+                .collect(),
+        }
     }
 
     fn zip(&self, a: &RnsInt, b: &RnsInt, f: impl Fn(u64, u64, u64) -> u64) -> RnsInt {

@@ -65,16 +65,23 @@ use std::sync::OnceLock;
 #[derive(Debug, Clone)]
 pub struct RnsPlan {
     /// One Barrett context per basis modulus, in basis order.
-    ctxs: Vec<SingleBarrett>,
+    pub(crate) ctxs: Vec<SingleBarrett>,
+    /// Narrow-path verdict per modulus, decided **once at plan construction**:
+    /// `narrow[r]` is `true` iff modulus `r` has at most 32 bits, so
+    /// [`SingleBarrett::mul_mod_narrow`]'s single-widening-multiplication path is
+    /// valid for it. Row kernels dispatch on this precomputed flag instead of
+    /// relying on every call site to re-check the precondition — on a wide
+    /// modulus the narrow path silently truncates in release builds.
+    pub(crate) narrow: Vec<bool>,
     /// `limb_residues[r][j] = 2^(64·j) mod m_r` for every limb position `j` the
     /// dynamic range can hold — the dot-product table for `BigUint`-free forward
     /// conversion.
-    limb_residues: Vec<Vec<u64>>,
+    pub(crate) limb_residues: Vec<Vec<u64>>,
     /// Product of the basis (the dynamic range).
-    product: BigUint,
+    pub(crate) product: BigUint,
     /// CRT reconstruction data per modulus: `(M_i = product / m_i, y_i =
     /// M_i^{-1} mod m_i)`.
-    crt: Vec<(BigUint, u64)>,
+    pub(crate) crt: Vec<(BigUint, u64)>,
     /// One *generated* single-word Barrett modmul kernel per modulus, compiled
     /// lazily on the first [`RnsPlan::mul_compiled`] call (the plain arithmetic
     /// paths never pay for them) and cached for every call after.
@@ -88,13 +95,17 @@ impl RnsPlan {
     /// crosscheck tests exploit that to use [`RnsContext`] as the oracle.
     pub fn new(ctx: &RnsContext) -> Self {
         let ctxs: Vec<SingleBarrett> = ctx.moduli.iter().map(|&m| SingleBarrett::new(m)).collect();
+        // The narrow-vs-wide multiplication dispatch is validated here, once per
+        // basis, where the path is *selected* — not at each call site. Mixed
+        // bases (narrow and wide moduli in one plan) are fully supported; each
+        // residue row gets the fastest multiplication that is correct for it.
+        let narrow: Vec<bool> = ctxs.iter().map(SingleBarrett::is_narrow).collect();
         let max_limbs = ctx.product.bits().div_ceil(64) as usize;
         let limb_residues = ctxs
             .iter()
             .map(|b| {
                 // radix = 2^64 mod m, then successive powers by Barrett multiplication.
-                let radix = (u64::MAX % b.q) + 1;
-                let radix = if radix == b.q { 0 } else { radix };
+                let radix = b.radix_residue();
                 let mut pows = Vec::with_capacity(max_limbs);
                 let mut cur = 1u64;
                 for _ in 0..max_limbs {
@@ -106,6 +117,7 @@ impl RnsPlan {
             .collect();
         RnsPlan {
             ctxs,
+            narrow,
             limb_residues,
             product: ctx.product.clone(),
             crt: ctx.crt.clone(),
@@ -149,8 +161,9 @@ impl RnsPlan {
             residues: self
                 .ctxs
                 .iter()
+                .zip(&self.narrow)
                 .zip(&self.limb_residues)
-                .map(|(ctx, pows)| residue_of(ctx, pows, limbs))
+                .map(|((ctx, &narrow), pows)| residue_of(ctx, narrow, pows, limbs))
                 .collect(),
         }
     }
@@ -226,15 +239,16 @@ impl RnsPlan {
         } else {
             launch_chunks(&mut data, cols, |r, out| {
                 let ctx = &self.ctxs[r];
+                // Per-row dispatch recorded at plan build: the narrow
+                // single-widening-multiplication path for validated ≤32-bit
+                // moduli, the general Barrett path otherwise.
+                let narrow = self.narrow[r];
                 let ar = a.row(r);
                 let br = b.row(r);
-                // The basis moduli are 31-bit, so the per-residue multiplication
-                // takes the narrow Barrett path: one widening multiplication per
-                // product.
                 match op {
                     BlasOp::VecMul => {
                         for (o, (&x, &y)) in out.iter_mut().zip(ar.iter().zip(br)) {
-                            *o = mul_mod(ctx, x, y);
+                            *o = mul_mod(ctx, narrow, x, y);
                         }
                     }
                     BlasOp::VecAdd => {
@@ -250,7 +264,7 @@ impl RnsPlan {
                     BlasOp::Axpy => {
                         let s = scalar.unwrap().residues[r];
                         for (o, (&x, &y)) in out.iter_mut().zip(ar.iter().zip(br)) {
-                            *o = ctx.add_mod(mul_mod(ctx, s, x), y);
+                            *o = ctx.add_mod(mul_mod(ctx, narrow, s, x), y);
                         }
                     }
                 }
@@ -333,18 +347,19 @@ impl RnsPlan {
         &acc % &self.product
     }
 
-    fn check_shape(&self, a: &RnsMatrix) {
+    pub(crate) fn check_shape(&self, a: &RnsMatrix) {
         assert_eq!(a.rows, self.moduli_count(), "matrix basis mismatch");
         assert_eq!(a.data.len(), a.rows * a.cols, "matrix storage corrupt");
     }
 }
 
-/// `(a · b) mod q`, taking the narrow Barrett fast path (one widening
-/// multiplication) whenever the modulus allows it — always true for the 31-bit
-/// bases [`RnsContext`] constructs, with the general path kept as a fallback.
+/// `(a · b) mod q`, dispatching on the `narrow` verdict the plan recorded at
+/// construction: the single-widening-multiplication path for validated ≤32-bit
+/// moduli (always true for the 31-bit bases [`RnsContext`] constructs by
+/// default), the general Barrett path for wide rows of a mixed basis.
 #[inline]
-fn mul_mod(ctx: &SingleBarrett, a: u64, b: u64) -> u64 {
-    if ctx.mbits <= 32 {
+pub(crate) fn mul_mod(ctx: &SingleBarrett, narrow: bool, a: u64, b: u64) -> u64 {
+    if narrow {
         ctx.mul_mod_narrow(a, b)
     } else {
         ctx.mul_mod(a, b)
@@ -353,14 +368,14 @@ fn mul_mod(ctx: &SingleBarrett, a: u64, b: u64) -> u64 {
 
 /// Computes `value mod q` from little-endian machine words: a Barrett dot product
 /// against the precomputed residues of the limb-radix powers.
-fn residue_of(ctx: &SingleBarrett, pows: &[u64], limbs: &[u64]) -> u64 {
+fn residue_of(ctx: &SingleBarrett, narrow: bool, pows: &[u64], limbs: &[u64]) -> u64 {
     assert!(
         limbs.len() <= pows.len(),
         "value exceeds the RNS dynamic range"
     );
     let mut acc = 0u64;
     for (&limb, &pow) in limbs.iter().zip(pows) {
-        acc = ctx.add_mod(acc, mul_mod(ctx, limb % ctx.q, pow));
+        acc = ctx.add_mod(acc, mul_mod(ctx, narrow, limb % ctx.q, pow));
     }
     acc
 }
@@ -393,9 +408,9 @@ fn modmul_kernel(ctx: &SingleBarrett) -> Kernel {
 /// what lets one launcher thread stream a whole row with perfect locality.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RnsMatrix {
-    rows: usize,
-    cols: usize,
-    data: Vec<u64>,
+    pub(crate) rows: usize,
+    pub(crate) cols: usize,
+    pub(crate) data: Vec<u64>,
 }
 
 impl RnsMatrix {
@@ -415,9 +430,10 @@ impl RnsMatrix {
         if cols > 0 {
             launch_chunks(&mut data, cols, |r, out| {
                 let ctx = &plan.ctxs[r];
+                let narrow = plan.narrow[r];
                 let pows = &plan.limb_residues[r];
                 for (o, v) in out.iter_mut().zip(values) {
-                    *o = residue_of(ctx, pows, v.limbs());
+                    *o = residue_of(ctx, narrow, pows, v.limbs());
                 }
             });
         }

@@ -2,19 +2,49 @@
 //! values, `RnsPlan`/`RnsMatrix` operations must agree residue-for-residue with
 //! the `BigUint`-backed `RnsContext` oracle, and conversions must round-trip.
 
+use moma_bignum::prime::random_prime;
 use moma_bignum::{random::random_bits, BigUint};
 use moma_blas::BlasOp;
 use moma_rns::vector::RnsVector;
-use moma_rns::{RnsContext, RnsMatrix, RnsPlan};
+use moma_rns::{BaseConvPlan, RnsContext, RnsMatrix, RnsPlan};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 fn random_values(seed: u64, n: usize, bits: u32) -> (Vec<BigUint>, Vec<BigUint>) {
     let mut rng = StdRng::seed_from_u64(seed);
     let a = (0..n).map(|_| random_bits(&mut rng, bits)).collect();
     let b = (0..n).map(|_| random_bits(&mut rng, bits)).collect();
     (a, b)
+}
+
+/// A random basis of `count` distinct primes whose widths straddle the narrow
+/// (≤32-bit) / wide boundary: each modulus is drawn at 30–33 bits or genuinely
+/// wide (up to 58 bits), so every plan exercises the per-row dispatch.
+fn random_mixed_basis(seed: u64, count: usize) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out: Vec<u64> = Vec::with_capacity(count);
+    while out.len() < count {
+        let bits = match rng.gen_range(0..4) {
+            0 => rng.gen_range(30..32) as u32,
+            1 => 32,
+            2 => 33,
+            _ => rng.gen_range(34..59) as u32,
+        };
+        let p = random_prime(&mut rng, bits).to_u64().expect("fits u64");
+        if !out.contains(&p) {
+            out.push(p);
+        }
+    }
+    out
+}
+
+/// Random values strictly below `bound`.
+fn random_below_n(seed: u64, n: usize, bound: &BigUint) -> Vec<BigUint> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| moma_bignum::random::random_below(&mut rng, bound))
+        .collect()
 }
 
 proptest! {
@@ -103,6 +133,87 @@ proptest! {
         let ma = RnsMatrix::from_biguints(&plan, &a);
         let mb = RnsMatrix::from_biguints(&plan, &b);
         prop_assert_eq!(plan.mul_compiled(&ma, &mb).0, plan.mul(&ma, &mb));
+    }
+
+    /// The planned engine round-trips on bases mixing narrow (≤32-bit) and wide
+    /// moduli: conversion, CRT reconstruction, and element-wise multiplication
+    /// must all agree with the context oracle when the per-row narrow/wide
+    /// dispatch is exercised on both sides of the boundary.
+    #[test]
+    fn mixed_narrow_wide_basis_round_trips_and_multiplies(
+        seed in any::<u64>(),
+        count in 2usize..7,
+        n in 1usize..12,
+    ) {
+        let ctx = RnsContext::with_moduli(&random_mixed_basis(seed, count));
+        let plan = RnsPlan::new(&ctx);
+        let a = random_below_n(seed ^ 0xa, n, ctx.product());
+        let b = random_below_n(seed ^ 0xb, n, ctx.product());
+        let ma = RnsMatrix::from_biguints(&plan, &a);
+        prop_assert_eq!(plan.to_biguints(&ma), a.clone(), "round trip");
+        let mb = RnsMatrix::from_biguints(&plan, &b);
+        let out = plan.mul(&ma, &mb);
+        for c in 0..n {
+            prop_assert_eq!(
+                out.element(c),
+                ctx.mul(&ctx.to_residues(&a[c]), &ctx.to_residues(&b[c])),
+                "column {}", c
+            );
+        }
+    }
+
+    /// Fast base extension agrees bit-for-bit with the BigUint oracle on random
+    /// basis pairs mixing narrow and wide moduli, on both the row-wise and the
+    /// generated-kernel paths.
+    #[test]
+    fn base_convert_matches_oracle_on_random_bases(
+        seed in any::<u64>(),
+        src_count in 2usize..6,
+        dst_count in 1usize..6,
+        n in 1usize..10,
+    ) {
+        let src_ctx = RnsContext::with_moduli(&random_mixed_basis(seed, src_count));
+        let dst_ctx = RnsContext::with_moduli(&random_mixed_basis(seed ^ 0xd57, dst_count));
+        let src = RnsPlan::new(&src_ctx);
+        let dst = RnsPlan::new(&dst_ctx);
+        let bc = BaseConvPlan::new(&src, &dst);
+        let values = random_below_n(seed ^ 0x5a1, n, src_ctx.product());
+        let a = RnsMatrix::from_biguints(&src, &values);
+        let (out, _) = src.base_convert(&bc, &a);
+        let (compiled, _) = src.base_convert_compiled(&bc, &a);
+        prop_assert_eq!(&compiled, &out, "compiled path must match row-wise path");
+        for (c, v) in values.iter().enumerate() {
+            let oracle = src_ctx.base_convert(&dst_ctx, &src_ctx.to_residues(v));
+            prop_assert_eq!(out.element(c), oracle, "column {}", c);
+        }
+    }
+
+    /// Approximate scaled rounding agrees with the BigUint oracle and lands
+    /// within one of the true quotient on random mixed bases.
+    #[test]
+    fn scale_and_round_matches_oracle_on_random_bases(
+        seed in any::<u64>(),
+        count in 2usize..7,
+        n in 1usize..10,
+    ) {
+        let ctx = RnsContext::with_moduli(&random_mixed_basis(seed, count));
+        let plan = RnsPlan::new(&ctx);
+        let rp = plan.rescale_plan();
+        let values = random_below_n(seed ^ 0x0f, n, ctx.product());
+        let a = RnsMatrix::from_biguints(&plan, &values);
+        let (out, _) = plan.scale_and_round(&rp, &a);
+        let last = BigUint::from(*ctx.moduli().last().unwrap());
+        for (c, v) in values.iter().enumerate() {
+            prop_assert_eq!(
+                out.element(c),
+                ctx.scale_and_round(&ctx.to_residues(v)),
+                "column {}", c
+            );
+            let y = rp.output_plan().to_biguints(&out)[c].clone();
+            let scaled = &y * &last;
+            let distance = if scaled >= *v { &scaled - v } else { v - &scaled };
+            prop_assert!(distance <= last, "column {}: rounding error exceeds m_k", c);
+        }
     }
 
     /// reduce_mod agrees with the context oracle element by element.
