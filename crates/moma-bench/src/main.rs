@@ -18,7 +18,6 @@ use moma::bignum::BigUint;
 use moma::blas::batch::{run_batch, Batch};
 use moma::blas::gpu::run_batch_parallel;
 use moma::blas::BlasOp;
-use moma::engine;
 use moma::gpu::cost::{calibrate, CalibrationSample, OpWeights};
 use moma::gpu::DeviceSpec;
 use moma::ir::compiled::CompiledKernel;
@@ -26,14 +25,14 @@ use moma::ir::cost::OpCounts;
 use moma::ir::interp;
 use moma::mp::{ModRing, MpUint, MulAlgorithm as RtMulAlgorithm};
 use moma::ntt::params::{paper_modulus, NttParams};
-use moma::ntt::plan::{NttPlan, NttPlan64};
+use moma::ntt::plan::NttPlan;
 use moma::ntt::transform::{butterfly_count, forward, Ntt64};
 use moma::paper_data;
 use moma::rewrite::rules::CORE_RULES;
 use moma::rewrite::{builders, lower};
 use moma::rns::{vector as rns_vec, BaseConvPlan, RnsContext, RnsMatrix, RnsPlan};
 use moma::MulAlgorithm;
-use moma::{Compiler, KernelOp, KernelSpec, LoweringConfig};
+use moma::{Compiler, KernelOp, KernelSpec, LoweringConfig, RnsSpace, Session};
 use rand::Rng;
 use std::time::Instant;
 
@@ -52,6 +51,10 @@ fn main() {
         }
     };
 
+    // One session serves every figure and bench: generated kernels, NTT plans,
+    // and RNS plans are built once and shared across items.
+    let session = Session::default();
+
     if want("table1") {
         table1();
     }
@@ -62,25 +65,25 @@ fn main() {
         codegen_stats();
     }
     if want("fig2") {
-        fig2();
+        fig2(&session);
     }
     if want("fig1") || want("fig3") {
-        fig3();
+        fig3(&session);
     }
     if want("fig4") {
-        fig4();
+        fig4(&session);
     }
     if want("fig5a") {
-        fig5a();
+        fig5a(&session);
     }
     if want("fig5b") {
         fig5b();
     }
     if want("claims") {
-        claims();
+        claims(&session);
     }
     if want("bench") {
-        bench(quick);
+        bench(&session, quick);
     }
 }
 
@@ -151,7 +154,7 @@ fn measure_blas<const L: usize>(bits: u32, op: BlasOp, elements: usize) -> f64 {
     start.elapsed().as_secs_f64() * 1e9 / (iters * elements) as f64
 }
 
-fn fig2() {
+fn fig2(session: &Session) {
     heading("Figure 2: BLAS operations, ns per element (2^14 elements, host CPU)");
     let elements = 1 << 14;
     println!(
@@ -241,7 +244,7 @@ fn fig2() {
         for bits in [128u32, 256, 512, 1024] {
             print!(
                 " {:>8.3}",
-                engine::modelled_blas_ns_per_element(d, KernelOp::ModMul, bits, 1 << 20)
+                session.modelled_blas_ns_per_element(d, KernelOp::ModMul, bits, 1 << 20)
             );
         }
         println!();
@@ -326,6 +329,14 @@ fn baseconv_target_plan(count: usize, seed: u64) -> RnsPlan {
     RnsPlan::new(&RnsContext::with_random_primes(count, 31, seed))
 }
 
+/// [`baseconv_target_plan`] through the session's basis-keyed plan cache.
+fn baseconv_target_space(session: &Session, count: usize, seed: u64) -> RnsSpace<'_> {
+    let moduli = RnsContext::with_random_primes(count, 31, seed)
+        .moduli()
+        .to_vec();
+    session.rns(&moduli)
+}
+
 /// Measures the planned RNS chain operations — fast base extension
 /// (`rescale = false`) or approximate scaled rounding (`rescale = true`) —
 /// returning ns per element.
@@ -366,7 +377,7 @@ fn measure_ntt<const L: usize>(bits: u32, log_n: u32) -> f64 {
     start.elapsed().as_secs_f64() * 1e9 / butterfly_count(n) as f64
 }
 
-fn fig3() {
+fn fig3(session: &Session) {
     heading("Figures 1 & 3: NTT runtime per butterfly (ns)");
     let log_sizes = [8u32, 10, 12, 14, 16, 18, 20, 22];
     for (bits, baselines) in [
@@ -382,7 +393,7 @@ fn fig3() {
         }
         println!();
         // Modelled MoMA on each device.
-        for series in engine::moma_ntt_series(bits, &log_sizes, MulAlgorithm::Schoolbook) {
+        for series in session.ntt_series(bits, &log_sizes, MulAlgorithm::Schoolbook) {
             print!("{:<28}", format!("{} [{}]", series.system, series.platform));
             for (_, ns) in &series.points {
                 print!(" {ns:>8.2}");
@@ -425,7 +436,7 @@ fn fig3() {
     }
 }
 
-fn fig4() {
+fn fig4(session: &Session) {
     heading("Figure 4: 2^16-point NTT across input bit-widths (modelled, ns per butterfly)");
     println!(
         "{:<12} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
@@ -436,7 +447,7 @@ fn fig4() {
         for bits in [128u32, 256, 384, 512, 640, 768, 1024] {
             print!(
                 " {:>10.2}",
-                engine::modelled_ntt_ns_per_butterfly(d, bits, 16, MulAlgorithm::Schoolbook)
+                session.modelled_ntt_ns_per_butterfly(d, bits, 16, MulAlgorithm::Schoolbook)
             );
         }
         println!();
@@ -456,7 +467,7 @@ fn fig4() {
     println!();
 }
 
-fn fig5a() {
+fn fig5a(session: &Session) {
     heading("Figure 5a: 4096-point NTT runtime vs input bit-width (modelled per device, µs)");
     println!(
         "{:<12} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
@@ -465,7 +476,7 @@ fn fig5a() {
     for d in [DeviceSpec::H100, DeviceSpec::RTX4090] {
         print!("{:<12}", d.name);
         for bits in [64u32, 128, 256, 512, 768, 1024] {
-            let ns = engine::modelled_ntt_ns_per_butterfly(d, bits, 12, MulAlgorithm::Schoolbook);
+            let ns = session.modelled_ntt_ns_per_butterfly(d, bits, 12, MulAlgorithm::Schoolbook);
             let total_us = ns * butterfly_count(4096) as f64 / 1e3;
             print!(" {total_us:>10.2}");
         }
@@ -515,7 +526,7 @@ fn measure_ntt_alg<const L: usize>(bits: u32, alg: RtMulAlgorithm) -> f64 {
     start.elapsed().as_secs_f64() * 1e3
 }
 
-fn claims() {
+fn claims(session: &Session) {
     heading("Headline claims: paper vs this reproduction");
     // Claim: BLAS speedups over GMP/GRNS.
     let elements = 1 << 12;
@@ -538,7 +549,7 @@ fn claims() {
     let moma_h100: f64 = [12u32, 14, 16, 18, 20, 22]
         .iter()
         .map(|&l| {
-            engine::modelled_ntt_ns_per_butterfly(
+            session.modelled_ntt_ns_per_butterfly(
                 DeviceSpec::H100,
                 256,
                 l,
@@ -557,8 +568,8 @@ fn claims() {
         icicle / moma_h100, paper_data::claims::NTT_256_VS_ICICLE);
 
     // Claim: Karatsuba vs schoolbook crossover.
-    let counts_sb = engine::butterfly_op_counts(128, MulAlgorithm::Schoolbook);
-    let counts_ka = engine::butterfly_op_counts(128, MulAlgorithm::Karatsuba);
+    let counts_sb = session.butterfly_op_counts(128, MulAlgorithm::Schoolbook);
+    let counts_ka = session.butterfly_op_counts(128, MulAlgorithm::Karatsuba);
     println!("\n128-bit butterfly multiplications: schoolbook {} vs Karatsuba {} (paper 5.4: 4 vs 3 per double word)",
         counts_sb.multiplications(), counts_ka.multiplications());
 }
@@ -588,15 +599,16 @@ struct NttBenchRow {
     ns_per_butterfly: f64,
 }
 
-/// Benchmarks the 64-bit NTT: naive Barrett loop vs Shoup/lazy-reduction plan.
-fn bench_ntt_u64(n: usize, iters: u32) -> (f64, Vec<NttBenchRow>) {
+/// Benchmarks the 64-bit NTT: naive Barrett loop vs the session-cached
+/// Shoup/lazy-reduction plan.
+fn bench_ntt_u64(session: &Session, n: usize, iters: u32) -> (f64, Vec<NttBenchRow>) {
     let ntt = Ntt64::new(n);
-    let plan = NttPlan64::from_ntt(&ntt);
+    let space = session.ntt_default(n);
     let mut rng = rand::thread_rng();
     let data: Vec<u64> = (0..n).map(|_| rng.gen::<u64>() % ntt.ctx.q).collect();
     let butterflies = butterfly_count(n) as f64;
     let naive = best_run(iters, &data, |w| ntt.forward(w)) * 1e9 / butterflies;
-    let planned = best_run(iters, &data, |w| plan.forward(w)) * 1e9 / butterflies;
+    let planned = best_run(iters, &data, |w| space.forward(w)) * 1e9 / butterflies;
     (
         naive / planned,
         vec![
@@ -612,10 +624,11 @@ fn bench_ntt_u64(n: usize, iters: u32) -> (f64, Vec<NttBenchRow>) {
     )
 }
 
-/// Benchmarks the 128-bit (2-limb) NTT: naive loop vs precomputed-table plan.
-fn bench_ntt_u128(n: usize, iters: u32) -> (f64, Vec<NttBenchRow>) {
+/// Benchmarks the 128-bit (2-limb) NTT: naive loop vs the session-cached
+/// precomputed-table plan.
+fn bench_ntt_u128(session: &Session, n: usize, iters: u32) -> (f64, Vec<NttBenchRow>) {
     let params = NttParams::<2>::for_paper_modulus(n, 128, RtMulAlgorithm::Schoolbook);
-    let plan = NttPlan::new(&params);
+    let plan: std::sync::Arc<NttPlan<2>> = session.ntt_multiword::<2>(128, n);
     let mut rng = rand::thread_rng();
     let data: Vec<_> = (0..n)
         .map(|_| params.ring.random_element(&mut rng))
@@ -703,9 +716,15 @@ fn bench_kernel_batch(op: KernelOp, bits: u32, elements: usize, iters: u32) -> K
 /// (per-element residue `Vec`s, `u128 %` reduction) vs the planned SoA engine
 /// (`RnsPlan`/`RnsMatrix`, per-residue-row Barrett kernels on the launcher).
 /// Returns `(path, ns_per_element)` rows plus the vec_mul speedup.
-fn bench_rns_blas(bits: u32, elements: usize, iters: u32) -> (Vec<(String, f64)>, f64) {
+fn bench_rns_blas(
+    session: &Session,
+    bits: u32,
+    elements: usize,
+    iters: u32,
+) -> (Vec<(String, f64)>, f64) {
     let ctx = RnsContext::with_capacity_bits(2 * bits + 8);
-    let plan = RnsPlan::new(&ctx);
+    let space = session.rns_with_capacity(2 * bits + 8);
+    let plan = space.plan();
     let q = paper_modulus(bits);
     let mut rng = rand::thread_rng();
     let a: Vec<BigUint> = (0..elements)
@@ -716,8 +735,8 @@ fn bench_rns_blas(bits: u32, elements: usize, iters: u32) -> (Vec<(String, f64)>
         .collect();
     let va = rns_vec::RnsVector::from_biguints(&ctx, &a);
     let vb = rns_vec::RnsVector::from_biguints(&ctx, &b);
-    let ma = RnsMatrix::from_biguints(&plan, &a);
-    let mb = RnsMatrix::from_biguints(&plan, &b);
+    let ma = RnsMatrix::from_biguints(plan, &a);
+    let mb = RnsMatrix::from_biguints(plan, &b);
     let per_elt = 1e9 / elements as f64;
     let ctx_mul = best_run(iters, &(), |_| {
         std::hint::black_box(rns_vec::vec_mul(&ctx, &va, &vb));
@@ -744,26 +763,34 @@ fn bench_rns_blas(bits: u32, elements: usize, iters: u32) -> (Vec<(String, f64)>
 /// stages, all on the planned engine: fast base extension (row-wise
 /// sum-of-products and the generated multiply-accumulate kernel path) and
 /// approximate scaled rounding. Returns `(path, ns_per_element)` rows.
-fn bench_rns_baseconv(bits: u32, elements: usize, iters: u32) -> Vec<(String, f64)> {
-    let plan = RnsPlan::with_capacity_bits(2 * bits + 8);
-    let dst = baseconv_target_plan(plan.moduli_count(), 0xba5e_c0de);
-    let bc = BaseConvPlan::new(&plan, &dst);
-    let rp = plan.rescale_plan();
+fn bench_rns_baseconv(
+    session: &Session,
+    bits: u32,
+    elements: usize,
+    iters: u32,
+) -> Vec<(String, f64)> {
+    let src = session.rns_with_capacity(2 * bits + 8);
+    let dst = baseconv_target_space(session, src.plan().moduli_count(), 0xba5e_c0de);
+    let bc = src.conversion_to(&dst);
+    let rp = src.rescale_plan();
+    // The generated MAC kernels come from the session kernel cache: compiled on
+    // the first request, shared by every later conversion over this basis pair.
+    let kernels = src.conversion_kernels(&bc);
     let q = paper_modulus(bits);
     let mut rng = rand::thread_rng();
     let a: Vec<BigUint> = (0..elements)
         .map(|_| moma::bignum::random::random_below(&mut rng, &q))
         .collect();
-    let ma = RnsMatrix::from_biguints(&plan, &a);
+    let ma = RnsMatrix::from_biguints(src.plan(), &a);
     let per_elt = 1e9 / elements as f64;
     let convert = best_run(iters, &(), |_| {
-        std::hint::black_box(plan.base_convert(&bc, &ma));
+        std::hint::black_box(src.plan().base_convert(&bc, &ma));
     }) * per_elt;
     let compiled = best_run(iters, &(), |_| {
-        std::hint::black_box(plan.base_convert_compiled(&bc, &ma));
+        std::hint::black_box(src.plan().base_convert_compiled_with(&bc, &ma, &kernels));
     }) * per_elt;
     let rescale = best_run(iters, &(), |_| {
-        std::hint::black_box(plan.scale_and_round(&rp, &ma));
+        std::hint::black_box(src.plan().scale_and_round(&rp, &ma));
     }) * per_elt;
     vec![
         ("rns_base_convert".to_string(), convert),
@@ -772,20 +799,107 @@ fn bench_rns_baseconv(bits: u32, elements: usize, iters: u32) -> Vec<(String, f6
     ]
 }
 
+/// Result of the fused-vs-two-pass rescale-and-extend measurement.
+struct FusedChainBench {
+    fused_ns: f64,
+    two_pass_ns: f64,
+    speedup: f64,
+    fused_selected: bool,
+}
+
+/// Benchmarks the session's fused rescale-and-extend chain against the two-pass
+/// rescale -> extend reference over the same session-cached plan, and records
+/// which path the session cost model would select.
+fn bench_session_fused(
+    session: &Session,
+    bits: u32,
+    elements: usize,
+    iters: u32,
+) -> FusedChainBench {
+    let src = session.rns_with_capacity(2 * bits + 8);
+    let dst = baseconv_target_space(session, src.plan().moduli_count() - 1, 0xf00d_cafe);
+    let p = src.rescale_extend_to(&dst);
+    let q = paper_modulus(bits);
+    let mut rng = rand::thread_rng();
+    let a: Vec<BigUint> = (0..elements)
+        .map(|_| moma::bignum::random::random_below(&mut rng, &q))
+        .collect();
+    let ma = RnsMatrix::from_biguints(src.plan(), &a);
+    let per_elt = 1e9 / elements as f64;
+    let fused_ns = best_run(iters, &(), |_| {
+        std::hint::black_box(src.plan().rescale_then_extend(&p, &ma));
+    }) * per_elt;
+    let two_pass_ns = best_run(iters, &(), |_| {
+        std::hint::black_box(src.plan().rescale_then_extend_two_pass(&p, &ma));
+    }) * per_elt;
+    FusedChainBench {
+        fused_ns,
+        two_pass_ns,
+        speedup: two_pass_ns / fused_ns,
+        fused_selected: p.fused_is_faster(session.cost_model(), elements),
+    }
+}
+
 /// Benchmarks the 64-bit planned NTT executed inline vs stage-by-stage on the
 /// virtual-GPU launcher (one thread per butterfly, a launch barrier per stage).
 /// Returns `(inline_ns_per_butterfly, launcher_ns_per_butterfly)`.
-fn bench_ntt_launcher(n: usize, iters: u32) -> (f64, f64) {
-    let plan = NttPlan64::new(n);
+fn bench_ntt_launcher(session: &Session, n: usize, iters: u32) -> (f64, f64) {
+    let space = session.ntt_default(n);
     let mut rng = rand::thread_rng();
-    let data: Vec<u64> = (0..n).map(|_| rng.gen::<u64>() % plan.ctx.q).collect();
+    let data: Vec<u64> = (0..n).map(|_| rng.gen::<u64>() % space.modulus()).collect();
     let butterflies = butterfly_count(n) as f64;
-    let inline = best_run(iters, &data, |w| plan.forward(w)) * 1e9 / butterflies;
+    let inline = best_run(iters, &data, |w| space.forward(w)) * 1e9 / butterflies;
     let launched = best_run(iters, &data, |w| {
-        plan.forward_on_launcher(w);
+        space.plan().forward_on_launcher(w);
     }) * 1e9
         / butterflies;
     (inline, launched)
+}
+
+/// Result of the batched-vs-single launcher NTT measurement: the ROADMAP
+/// "batched transforms" item. The launch counts are the point: batching keeps
+/// the per-stage launch count at `log2 n + 1` however many transforms ride
+/// along, where one-by-one execution pays that per transform.
+struct BatchedNttBench {
+    batched_ns_per_butterfly: f64,
+    single_ns_per_butterfly: f64,
+    batched_launches: usize,
+    single_launches: usize,
+}
+
+/// Benchmarks `batch` transforms of size `n` run through one stage-batched
+/// launch sequence ([`moma::NttSpace::forward_batch`], grid = batch × n/2 per
+/// stage) vs the same transforms launched one by one.
+fn bench_ntt_batched(session: &Session, n: usize, batch: usize, iters: u32) -> BatchedNttBench {
+    let space = session.ntt_default(n);
+    let mut rng = rand::thread_rng();
+    let data: Vec<u64> = (0..batch * n)
+        .map(|_| rng.gen::<u64>() % space.modulus())
+        .collect();
+    let butterflies = (batch as u64 * butterfly_count(n)) as f64;
+    let batched = best_run(iters, &data, |w| {
+        space.forward_batch(w);
+    }) * 1e9
+        / butterflies;
+    let single = best_run(iters, &data, |w| {
+        for transform in w.chunks_exact_mut(n) {
+            space.plan().forward_on_launcher(transform);
+        }
+    }) * 1e9
+        / butterflies;
+    // Launch counts are deterministic; read them off one run of each shape.
+    let mut probe = data.clone();
+    let batched_launches = space.forward_batch(&mut probe).launches;
+    let mut single_launches = 0;
+    for transform in probe.chunks_exact_mut(n) {
+        single_launches += space.plan().forward_on_launcher(transform).launches;
+    }
+    BatchedNttBench {
+        batched_ns_per_butterfly: batched,
+        single_ns_per_butterfly: single,
+        batched_launches,
+        single_launches,
+    }
 }
 
 /// Benchmarks the BLAS batch path: sequential loop vs scoped-thread parallel launch.
@@ -809,7 +923,7 @@ fn bench_blas_batch(batch_size: usize, vector_len: usize, iters: u32) -> (f64, f
     (sequential, parallel, sequential / parallel)
 }
 
-fn bench(quick: bool) {
+fn bench(session: &Session, quick: bool) {
     heading(if quick {
         "Hot-path bench (quick mode) -> BENCH_ntt_blas.json"
     } else {
@@ -819,15 +933,15 @@ fn bench(quick: bool) {
     let n = 1024;
     let batch_size = 64;
 
-    let (speedup_u64, rows_u64) = bench_ntt_u64(n, iters);
-    let (speedup_u128, rows_u128) = bench_ntt_u128(n, iters);
+    let (speedup_u64, rows_u64) = bench_ntt_u64(session, n, iters);
+    let (speedup_u128, rows_u128) = bench_ntt_u128(session, n, iters);
     println!("NTT, n = {n} (ns per butterfly):");
     for r in rows_u64.iter().chain(&rows_u128) {
         println!("  {:<14} {:>10.2}", r.path, r.ns_per_butterfly);
     }
     println!("  planned-vs-naive speedup: u64 {speedup_u64:.2}x, u128 {speedup_u128:.2}x");
 
-    let (ntt_inline, ntt_launched) = bench_ntt_launcher(n, iters);
+    let (ntt_inline, ntt_launched) = bench_ntt_launcher(session, n, iters);
     println!("\nLauncher-routed u64 NTT, n = {n} (ns per butterfly):");
     println!("  inline plan    {ntt_inline:>10.2}");
     println!("  launcher       {ntt_launched:>10.2}");
@@ -837,21 +951,49 @@ fn bench(quick: bool) {
         ntt_launched / ntt_inline
     );
 
+    let ntt_batch = if quick { 8 } else { 16 };
+    let batched = bench_ntt_batched(session, n, ntt_batch, iters);
+    println!(
+        "\nStage-batched u64 NTT on the launcher, batch {ntt_batch} x {n} (ns per butterfly):"
+    );
+    println!(
+        "  one-by-one     {:>10.2}   ({} launches)",
+        batched.single_ns_per_butterfly, batched.single_launches
+    );
+    println!(
+        "  batched        {:>10.2}   ({} launches, independent of batch size)",
+        batched.batched_ns_per_butterfly, batched.batched_launches
+    );
+
     let rns_elements = if quick { 1 << 10 } else { 1 << 12 };
-    let (rns_rows, rns_speedup) = bench_rns_blas(256, rns_elements, iters);
+    let (rns_rows, rns_speedup) = bench_rns_blas(session, 256, rns_elements, iters);
     println!("\n256-bit RNS vector ops over {rns_elements} elements (ns per element):");
     for (path, ns) in &rns_rows {
         println!("  {path:<22} {ns:>10.2}");
     }
     println!("  planned-vs-context speedup on vec_mul: {rns_speedup:.2}x");
 
-    let baseconv_rows = bench_rns_baseconv(256, rns_elements, iters);
+    let baseconv_rows = bench_rns_baseconv(session, 256, rns_elements, iters);
     println!(
         "\n256-bit RNS base extension / rescale over {rns_elements} elements (ns per element):"
     );
     for (path, ns) in &baseconv_rows {
         println!("  {path:<26} {ns:>10.2}");
     }
+
+    let fused = bench_session_fused(session, 256, rns_elements, iters);
+    println!("\n256-bit fused rescale-and-extend over {rns_elements} elements (ns per element):");
+    println!("  two-pass       {:>10.2}", fused.two_pass_ns);
+    println!("  fused          {:>10.2}", fused.fused_ns);
+    println!(
+        "  fused-vs-two-pass speedup: {:.2}x (cost model selects {})",
+        fused.speedup,
+        if fused.fused_selected {
+            "fused"
+        } else {
+            "two-pass"
+        }
+    );
 
     let kernel_elements = batch_size * n;
     let kernel_iters = if quick { 2 } else { 5 };
@@ -932,11 +1074,23 @@ fn bench(quick: bool) {
          \"inline_ns_per_butterfly\": {ntt_inline:.2},\n    \
          \"launcher_ns_per_butterfly\": {ntt_launched:.2},\n    \
          \"launcher_vs_inline_ratio\": {launcher_ratio:.3}\n  }},\n  \
+         \"ntt_launcher_batched\": {{\n    \"n\": {n},\n    \
+         \"batch\": {ntt_batch},\n    \
+         \"batched_ns_per_butterfly\": {batched_ns:.2},\n    \
+         \"single_ns_per_butterfly\": {batched_single_ns:.2},\n    \
+         \"batched_stage_launches\": {batched_launches},\n    \
+         \"per_transform_stage_launches\": {single_launches}\n  }},\n  \
          \"rns_blas\": {{\n    \"bits\": 256,\n    \"elements\": {rns_elements},\n    \
          \"rows\": [\n{rns_rows_json}\n    ],\n    \
          \"planned_vs_ctx_speedup_{mul_key}\": {rns_speedup:.3}\n  }},\n  \
          \"rns_baseconv\": {{\n    \"bits\": 256,\n    \"elements\": {rns_elements},\n    \
          \"rows\": [\n{baseconv_rows_json}\n    ]\n  }},\n  \
+         \"session_fused_rescale_extend\": {{\n    \"bits\": 256,\n    \
+         \"elements\": {rns_elements},\n    \
+         \"fused_ns_per_element\": {fused_ns:.2},\n    \
+         \"two_pass_ns_per_element\": {fused_two_pass_ns:.2},\n    \
+         \"fused_vs_two_pass_speedup\": {fused_speedup:.3},\n    \
+         \"cost_model_selects_fused\": {fused_selected}\n  }},\n  \
          \"kernel_batch\": {{\n    \"kernel\": \"{kernel_name}\",\n    \
          \"elements\": {kernel_elements},\n    \
          \"interpreted_ns_per_element\": {interp_ns:.2},\n    \
@@ -958,6 +1112,14 @@ fn bench(quick: bool) {
             .collect::<Vec<_>>()
             .join(",\n"),
         launcher_ratio = ntt_launched / ntt_inline,
+        batched_ns = batched.batched_ns_per_butterfly,
+        batched_single_ns = batched.single_ns_per_butterfly,
+        batched_launches = batched.batched_launches,
+        single_launches = batched.single_launches,
+        fused_ns = fused.fused_ns,
+        fused_two_pass_ns = fused.two_pass_ns,
+        fused_speedup = fused.speedup,
+        fused_selected = fused.fused_selected,
         rns_rows_json = rns_rows
             .iter()
             .map(|(path, ns)| format!(

@@ -35,7 +35,7 @@ impl BigUint {
     }
 
     /// Karatsuba divide-and-conquer multiplication (paper Equation 9), falling back to
-    /// schoolbook below [`KARATSUBA_THRESHOLD`] limbs.
+    /// schoolbook below `KARATSUBA_THRESHOLD` limbs.
     ///
     /// ```
     /// # use moma_bignum::BigUint;

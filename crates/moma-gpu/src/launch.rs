@@ -33,17 +33,24 @@ pub struct LaunchStats {
     pub threads: usize,
     /// Number of host worker threads used.
     pub workers: usize,
+    /// Number of kernel launches performed (1 for a single launch; accumulated
+    /// totals count one per launch). On real hardware every launch pays a fixed
+    /// dispatch + grid-barrier cost, so callers that batch work care about this
+    /// number staying independent of the batch size.
+    pub launches: usize,
     /// Wall-clock time of the launch.
     pub elapsed: Duration,
 }
 
 impl Default for LaunchStats {
     /// The statistics of a launch that had nothing to do: zero threads, one
-    /// worker, zero elapsed time — the identity for [`LaunchStats::accumulate`].
+    /// worker, zero launches, zero elapsed time — the identity for
+    /// [`LaunchStats::accumulate`].
     fn default() -> Self {
         LaunchStats {
             threads: 0,
             workers: 1,
+            launches: 0,
             elapsed: Duration::ZERO,
         }
     }
@@ -59,13 +66,14 @@ impl LaunchStats {
         }
     }
 
-    /// Folds a subsequent (serialized) launch into this total: threads add up,
-    /// workers take the maximum, elapsed times add up. Used by callers that chain
-    /// several launches into one logical operation (NTT stages with a barrier
-    /// between them, one launch per residue row, …).
+    /// Folds a subsequent (serialized) launch into this total: threads and
+    /// launch counts add up, workers take the maximum, elapsed times add up.
+    /// Used by callers that chain several launches into one logical operation
+    /// (NTT stages with a barrier between them, one launch per residue row, …).
     pub fn accumulate(&mut self, next: LaunchStats) {
         self.threads += next.threads;
         self.workers = self.workers.max(next.workers);
+        self.launches += next.launches;
         self.elapsed += next.elapsed;
     }
 }
@@ -117,6 +125,7 @@ where
     LaunchStats {
         threads: n,
         workers,
+        launches: 1,
         elapsed: start.elapsed(),
     }
 }
@@ -182,6 +191,7 @@ where
         LaunchStats {
             threads: n,
             workers,
+            launches: 1,
             elapsed: start.elapsed(),
         },
     )
@@ -233,6 +243,7 @@ where
     LaunchStats {
         threads: n,
         workers,
+        launches: 1,
         elapsed: start.elapsed(),
     }
 }
@@ -265,6 +276,82 @@ where
                 .run_with(&input, scratch, &mut out)
                 .unwrap_or_else(|e| panic!("generated kernel failed on element {i}: {e}"));
             out
+        },
+    )
+}
+
+/// Executes an already-compiled kernel over a whole row-major input batch in one
+/// launch: element `i`'s parameters occupy
+/// `inputs[i * param_count .. (i + 1) * param_count]`, and the outputs are
+/// returned flat in the same element order (`output_count` words per element).
+///
+/// This is the fast path for large batches: contiguous row ranges are split
+/// across the host workers, each worker reuses one scratch frame and writes its
+/// slice of the flat output directly — no per-element input `Vec`, no
+/// per-element output allocation, no closure dispatch (the overhead that made
+/// the per-element [`launch_compiled`] path ~10× slower than the direct
+/// arithmetic it was measuring).
+///
+/// # Panics
+///
+/// Panics if `inputs.len()` is not a multiple of the kernel's parameter count,
+/// or if execution fails on any element (an invalid generated kernel or
+/// malformed inputs).
+pub fn launch_compiled_batch(compiled: &CompiledKernel, inputs: &[u64]) -> (Vec<u64>, LaunchStats) {
+    let p = compiled.param_count().max(1);
+    assert!(
+        inputs.len() % p == 0,
+        "flat input length must be a multiple of the parameter count"
+    );
+    let n = if compiled.param_count() == 0 {
+        0
+    } else {
+        inputs.len() / p
+    };
+    let oc = compiled.output_count();
+    let workers = worker_count().max(1);
+    let start = Instant::now();
+    let mut out = vec![0u64; n * oc];
+    let run_rows = |lo: usize, hi: usize, out_slice: &mut [u64]| {
+        let mut scratch = compiled.scratch();
+        let mut row_out = Vec::with_capacity(oc);
+        for i in lo..hi {
+            row_out.clear();
+            compiled
+                .run_with(&inputs[i * p..(i + 1) * p], &mut scratch, &mut row_out)
+                .unwrap_or_else(|e| panic!("generated kernel failed on element {i}: {e}"));
+            out_slice[(i - lo) * oc..(i - lo + 1) * oc].copy_from_slice(&row_out);
+        }
+    };
+    if n > 0 && workers == 1 {
+        // One worker: run inline (see `launch_indexed`).
+        run_rows(0, n, &mut out);
+    } else if n > 0 {
+        let chunk = n.div_ceil(workers);
+        let mut slices: Vec<(usize, usize, &mut [u64])> = Vec::new();
+        let mut rest: &mut [u64] = &mut out;
+        let mut lo = 0;
+        while lo < n {
+            let hi = (lo + chunk).min(n);
+            let (head, tail) = rest.split_at_mut((hi - lo) * oc);
+            slices.push((lo, hi, head));
+            rest = tail;
+            lo = hi;
+        }
+        std::thread::scope(|scope| {
+            for (lo, hi, slice) in slices {
+                let run_rows = &run_rows;
+                scope.spawn(move || run_rows(lo, hi, slice));
+            }
+        });
+    }
+    (
+        out,
+        LaunchStats {
+            threads: n,
+            workers,
+            launches: 1,
+            elapsed: start.elapsed(),
         },
     )
 }
@@ -407,6 +494,51 @@ mod tests {
         for (i, out) in outputs.iter().enumerate() {
             assert_eq!(out, &vec![3 * i as u64]);
         }
+    }
+
+    #[test]
+    fn compiled_batch_launch_matches_per_element_launch() {
+        let mut kb = KernelBuilder::new("modmul");
+        let a = kb.param("a", Ty::UInt(64));
+        let b = kb.param("b", Ty::UInt(64));
+        let p = kb.output("p", Ty::UInt(64));
+        kb.push(
+            vec![p],
+            Op::MulModBarrett {
+                a: a.into(),
+                b: b.into(),
+                q: moma_ir::Operand::Const(2_147_483_647),
+                mu: moma_ir::Operand::Const(0),
+                mbits: 31,
+            },
+        );
+        let compiled = CompiledKernel::compile(&kb.build()).unwrap();
+        let n = 333; // deliberately not a multiple of any worker count
+        let flat: Vec<u64> = (0..n)
+            .flat_map(|i| [i as u64 * 77, i as u64 * 131 + 5])
+            .collect();
+        let (batch_out, stats) = launch_compiled_batch(&compiled, &flat);
+        assert_eq!(stats.threads, n);
+        assert_eq!(stats.launches, 1);
+        assert_eq!(batch_out.len(), n);
+        let (per_elt, _) =
+            launch_compiled(&compiled, n, |i| vec![i as u64 * 77, i as u64 * 131 + 5]);
+        for (i, out) in per_elt.iter().enumerate() {
+            assert_eq!(batch_out[i], out[0], "element {i}");
+        }
+        let (empty, stats) = launch_compiled_batch(&compiled, &[]);
+        assert!(empty.is_empty());
+        assert_eq!(stats.threads, 0);
+    }
+
+    #[test]
+    fn launch_stats_count_launches() {
+        let mut total = LaunchStats::default();
+        assert_eq!(total.launches, 0);
+        total.accumulate(launch_indexed(8, |_| {}));
+        total.accumulate(launch_indexed(8, |_| {}));
+        assert_eq!(total.launches, 2);
+        assert_eq!(total.threads, 16);
     }
 
     #[test]

@@ -29,6 +29,6 @@ pub mod launch;
 pub use cost::{CostModel, KernelCostEstimate};
 pub use device::DeviceSpec;
 pub use launch::{
-    launch_chunks, launch_compiled, launch_indexed, launch_kernel, launch_map, launch_map_with,
-    LaunchStats,
+    launch_chunks, launch_compiled, launch_compiled_batch, launch_indexed, launch_kernel,
+    launch_map, launch_map_with, LaunchStats,
 };

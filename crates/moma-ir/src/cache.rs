@@ -1,0 +1,190 @@
+//! A hit-counted cache for compiled kernels, keyed by what they were
+//! specialized for.
+//!
+//! The paper's whole discipline is *compile once, execute many*: a kernel is
+//! generated per (operation, bit-width) — and, for the residue engines, per
+//! modulus, since the modulus, its Barrett constant, and the cross-basis tables
+//! are baked into the generated code as constants. [`KernelCache`] is the shared
+//! piece of that discipline: callers describe a kernel by its [`KernelCacheKey`]
+//! and supply a builder closure; the cache compiles on the first request and
+//! hands back the same [`CompiledKernel`] (behind an [`Arc`]) on every request
+//! after. Hit and miss counters are exposed so tests — and sessions — can
+//! *assert* reuse rather than hope for it.
+
+use crate::compiled::CompiledKernel;
+use crate::interp::InterpError;
+use crate::Kernel;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Identity of one specialized generated kernel.
+///
+/// * `op` — the operation mnemonic (e.g. `"modmul"`, `"baseconv_mac"`); kernels
+///   generated with different lowering options should encode them here
+///   (`"butterfly_karatsuba"`).
+/// * `width` — the operand bit-width the kernel was generated for.
+/// * `modulus` — the modulus baked into the kernel as a constant, or `0` for
+///   kernels that take the modulus as a runtime parameter. Together with `op`
+///   this is the "modulus class": two kernels with the same op and width but
+///   different baked-in moduli are different machine code.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct KernelCacheKey {
+    /// Operation mnemonic (including any lowering-option suffix).
+    pub op: String,
+    /// Operand bit-width.
+    pub width: u32,
+    /// Baked-in modulus (`0` when the modulus is a runtime parameter).
+    pub modulus: u64,
+}
+
+impl KernelCacheKey {
+    /// Builds a key from its three components.
+    pub fn new(op: impl Into<String>, width: u32, modulus: u64) -> Self {
+        KernelCacheKey {
+            op: op.into(),
+            width,
+            modulus,
+        }
+    }
+}
+
+/// A thread-safe, hit-counted map from [`KernelCacheKey`] to compiled kernels.
+///
+/// # Example
+///
+/// ```
+/// use moma_ir::cache::{KernelCache, KernelCacheKey};
+/// use moma_ir::{KernelBuilder, Op, Operand, Ty};
+///
+/// let cache = KernelCache::default();
+/// let build = || {
+///     let mut kb = KernelBuilder::new("modmul");
+///     let a = kb.param("a", Ty::UInt(64));
+///     let b = kb.param("b", Ty::UInt(64));
+///     let out = kb.output("out", Ty::UInt(64));
+///     kb.push(vec![out], Op::MulModBarrett {
+///         a: a.into(), b: b.into(),
+///         q: Operand::Const(2147483647), mu: Operand::Const(0), mbits: 31,
+///     });
+///     kb.build()
+/// };
+/// let key = KernelCacheKey::new("modmul", 64, 2147483647);
+/// let first = cache.get_or_compile(key.clone(), build).unwrap();
+/// let second = cache.get_or_compile(key, build).unwrap();
+/// assert!(std::sync::Arc::ptr_eq(&first, &second));
+/// assert_eq!((cache.hits(), cache.misses()), (1, 1));
+/// ```
+#[derive(Debug, Default)]
+pub struct KernelCache {
+    map: Mutex<HashMap<KernelCacheKey, Arc<CompiledKernel>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl KernelCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the cached compiled kernel for `key`, building and compiling it
+    /// with `build` on the first request.
+    ///
+    /// The builder runs under the cache lock, so concurrent requests for the
+    /// same key compile exactly once.
+    ///
+    /// # Errors
+    ///
+    /// Returns the compile error if the built kernel does not compile (nothing
+    /// is cached in that case).
+    pub fn get_or_compile(
+        &self,
+        key: KernelCacheKey,
+        build: impl FnOnce() -> Kernel,
+    ) -> Result<Arc<CompiledKernel>, InterpError> {
+        let mut map = self.map.lock().expect("kernel cache poisoned");
+        if let Some(hit) = map.get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(hit));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let compiled = Arc::new(CompiledKernel::compile(&build())?);
+        map.insert(key, Arc::clone(&compiled));
+        Ok(compiled)
+    }
+
+    /// Number of requests served from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of requests that had to compile.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct kernels currently cached.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("kernel cache poisoned").len()
+    }
+
+    /// Returns `true` if no kernel has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{KernelBuilder, Op, Operand, Ty};
+
+    fn modmul_kernel(q: u64) -> Kernel {
+        let mut kb = KernelBuilder::new(format!("modmul_{q:x}"));
+        let a = kb.param("a", Ty::UInt(64));
+        let b = kb.param("b", Ty::UInt(64));
+        let out = kb.output("out", Ty::UInt(64));
+        kb.push(
+            vec![out],
+            Op::MulModBarrett {
+                a: a.into(),
+                b: b.into(),
+                q: Operand::Const(q),
+                mu: Operand::Const(0),
+                mbits: 31,
+            },
+        );
+        kb.build()
+    }
+
+    #[test]
+    fn second_request_is_a_hit_and_shares_the_kernel() {
+        let cache = KernelCache::new();
+        let key = KernelCacheKey::new("modmul", 64, 97);
+        let first = cache
+            .get_or_compile(key.clone(), || modmul_kernel(97))
+            .unwrap();
+        let second = cache
+            .get_or_compile(key, || panic!("must not rebuild"))
+            .unwrap();
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_moduli_are_distinct_kernels() {
+        let cache = KernelCache::new();
+        for q in [97u64, 101, 97] {
+            cache
+                .get_or_compile(KernelCacheKey::new("modmul", 64, q), || modmul_kernel(q))
+                .unwrap();
+        }
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.hits(), 1);
+        assert!(!cache.is_empty());
+    }
+}

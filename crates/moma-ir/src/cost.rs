@@ -32,6 +32,16 @@ impl OpCounts {
         self.counts.get(mnemonic).copied().unwrap_or(0)
     }
 
+    /// Adds `count` occurrences of a mnemonic directly, without constructing an
+    /// [`Op`]. This is how callers build *synthetic* per-element counts — e.g. a
+    /// planned runtime-library path whose operation mix is known analytically
+    /// rather than recorded from generated code — for the cost model to weigh.
+    pub fn add_mnemonic(&mut self, mnemonic: &'static str, count: u64) {
+        if count > 0 {
+            *self.counts.entry(mnemonic).or_insert(0) += count;
+        }
+    }
+
     /// Total number of operations.
     pub fn total(&self) -> u64 {
         self.counts.values().sum()

@@ -4,10 +4,10 @@
 //! butterfly stages as serial host loops. The paper instead maps **one CUDA thread
 //! per butterfly** and launches each stage as a grid, with grid synchronization
 //! between stages (§5.1). This module reproduces that execution shape on the
-//! virtual-GPU launcher: every stage walks the plan's precomputed twiddle tables
-//! and dispatches its `n/2` butterflies through [`moma_gpu::launch_indexed`] /
-//! [`moma_gpu::launch_map`]; the join at the end of each launch is the
-//! stage barrier.
+//! virtual-GPU launcher: every stage reads the plan's precomputed twiddles through
+//! the [`NttPlan64::stage`] / [`NttPlan::stage`] accessors and dispatches its
+//! butterflies through [`moma_gpu::launch_indexed`] / [`moma_gpu::launch_map`];
+//! the join at the end of each launch is the stage barrier.
 //!
 //! Two execution strategies, chosen by element width:
 //!
@@ -21,6 +21,13 @@
 //!   returns the `n/2` butterfly output pairs (one ring multiplication each), which
 //!   are then scattered back — the double-buffered formulation, since `MpUint`
 //!   values cannot be updated atomically.
+//!
+//! **Batched transforms** ([`NttPlan64::forward_batch_on_launcher`]) run many
+//! same-size transforms through *one* launch per stage with grid = batch × n/2 —
+//! the paper's batched NTT shape. The per-stage barrier is thereby amortized over
+//! the whole batch: the launch count of a batched transform is `log2 n + 1`
+//! regardless of the batch size (see [`moma_gpu::LaunchStats::launches`]), where
+//! launching the transforms one by one pays `batch × (log2 n + 1)`.
 //!
 //! On a many-core host the stage launches spread the butterflies across workers;
 //! on the single-vCPU CI container they degrade to the inline loop plus launch
@@ -51,10 +58,47 @@ impl NttPlan64 {
     ///
     /// Panics if `data.len() != self.n`.
     pub fn forward_on_launcher(&self, data: &mut [u64]) -> LaunchStats {
-        let (cells, mut stats) = self.run_stages_on_launcher(data, &self.fwd, &self.fwd_shoup);
+        assert_eq!(
+            data.len(),
+            self.n,
+            "data length must equal the transform size"
+        );
+        self.forward_batch_on_launcher(data)
+    }
+
+    /// In-place inverse transform (with `1/n` scaling) with every stage
+    /// dispatched through [`launch_indexed`]. Inputs must be reduced; outputs are
+    /// reduced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != self.n`.
+    pub fn inverse_on_launcher(&self, data: &mut [u64]) -> LaunchStats {
+        assert_eq!(
+            data.len(),
+            self.n,
+            "data length must equal the transform size"
+        );
+        self.inverse_batch_on_launcher(data)
+    }
+
+    /// Forward-transforms a whole batch of `data.len() / n` transforms in place,
+    /// with each butterfly stage of **all** transforms dispatched as one launch
+    /// (grid = batch × n/2, one virtual thread per butterfly) — the paper's
+    /// batched NTT. The per-stage grid barrier is paid once per stage, not once
+    /// per transform: the returned statistics report `log2 n + 1` launches
+    /// however large the batch is.
+    ///
+    /// Inputs must be reduced (`< q`); outputs are reduced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` is not a non-zero multiple of `self.n`.
+    pub fn forward_batch_on_launcher(&self, data: &mut [u64]) -> LaunchStats {
+        let (cells, mut stats) = self.run_stages_batched(data, true);
         let q = self.ctx.q;
-        let two_q = self.two_q;
-        let (normalized, pass) = launch_map(self.n, |i| {
+        let two_q = self.two_q();
+        let (normalized, pass) = launch_map(data.len(), |i| {
             let mut v = cells[i].load(Ordering::Relaxed);
             if v >= two_q {
                 v -= two_q;
@@ -69,24 +113,23 @@ impl NttPlan64 {
         stats
     }
 
-    /// In-place inverse transform (with `1/n` scaling) with every stage
-    /// dispatched through [`launch_indexed`]. Inputs must be reduced; outputs are
-    /// reduced.
+    /// Inverse-transforms a whole batch of `data.len() / n` transforms in place
+    /// (with `1/n` scaling), one launch per butterfly stage across the whole
+    /// batch. Inputs must be reduced; outputs are reduced.
     ///
     /// # Panics
     ///
-    /// Panics if `data.len() != self.n`.
-    pub fn inverse_on_launcher(&self, data: &mut [u64]) -> LaunchStats {
-        let (cells, mut stats) = self.run_stages_on_launcher(data, &self.inv, &self.inv_shoup);
+    /// Panics if `data.len()` is not a non-zero multiple of `self.n`.
+    pub fn inverse_batch_on_launcher(&self, data: &mut [u64]) -> LaunchStats {
+        let (cells, mut stats) = self.run_stages_batched(data, false);
         let q = self.ctx.q;
-        let (scaled, pass) = launch_map(self.n, |i| {
+        let (n_inv, n_inv_shoup) = self.n_inv_pair();
+        let (scaled, pass) = launch_map(data.len(), |i| {
             // The scaling multiplication doubles as the normalize pass, exactly as
             // in the inline plan: the lazy Shoup product accepts [0, 4q) inputs.
-            let t = self.ctx.mul_mod_shoup_lazy(
-                cells[i].load(Ordering::Relaxed),
-                self.n_inv,
-                self.n_inv_shoup,
-            );
+            let t =
+                self.ctx
+                    .mul_mod_shoup_lazy(cells[i].load(Ordering::Relaxed), n_inv, n_inv_shoup);
             if t >= q {
                 t - q
             } else {
@@ -98,32 +141,34 @@ impl NttPlan64 {
         stats
     }
 
-    /// Runs the butterfly stages on the launcher, returning the working array
-    /// (values lazily reduced in `[0, 4q)`) and the accumulated stage statistics.
-    fn run_stages_on_launcher(
-        &self,
-        data: &mut [u64],
-        table: &[u64],
-        shoup: &[u64],
-    ) -> (Vec<AtomicU64>, LaunchStats) {
-        assert_eq!(
-            data.len(),
-            self.n,
-            "data length must equal the transform size"
+    /// Runs the butterfly stages of every transform in the batch on the
+    /// launcher — one launch per stage covering the whole batch — returning the
+    /// working array (values lazily reduced in `[0, 4q)`) and the accumulated
+    /// stage statistics.
+    fn run_stages_batched(&self, data: &mut [u64], forward: bool) -> (Vec<AtomicU64>, LaunchStats) {
+        assert!(
+            !data.is_empty() && data.len() % self.n == 0,
+            "data length must be a non-zero multiple of the transform size"
         );
-        bit_reverse_permute(data);
+        let batch = data.len() / self.n;
+        let half = self.n / 2;
+        for transform in data.chunks_exact_mut(self.n) {
+            bit_reverse_permute(transform);
+        }
         let cells: Vec<AtomicU64> = data.iter().map(|&x| AtomicU64::new(x)).collect();
         let mut stats = LaunchStats::default();
         let q = self.ctx.q;
-        let two_q = self.two_q;
+        let two_q = self.two_q();
         let mut m = 1;
         while m < self.n {
-            let twiddles = &table[m..2 * m];
-            let quotients = &shoup[m..2 * m];
-            let stage = launch_indexed(self.n / 2, |t| {
-                let i = butterfly_base(t, m);
+            let stage = self.stage(forward, m);
+            let round = launch_indexed(batch * half, |t| {
+                // Thread t handles butterfly t % (n/2) of transform t / (n/2).
+                let base = (t / half) * self.n;
+                let bf = t % half;
+                let i = base + butterfly_base(bf, m);
                 let k = i + m;
-                let j = t & (m - 1);
+                let j = bf & (m - 1);
                 // Harvey's lazy butterfly, identical to the inline hot loop: fold
                 // x into [0, 2q), take the lazy Shoup product t = w·y mod q in
                 // [0, 2q), and emit x + t and x − t + 2q, both < 4q.
@@ -132,12 +177,14 @@ impl NttPlan64 {
                     x -= two_q;
                 }
                 let y = cells[k].load(Ordering::Relaxed);
-                let hi = ((quotients[j] as u128 * y as u128) >> 64) as u64;
-                let t = twiddles[j].wrapping_mul(y).wrapping_sub(hi.wrapping_mul(q));
+                let hi = ((stage.shoup[j] as u128 * y as u128) >> 64) as u64;
+                let t = stage.twiddles[j]
+                    .wrapping_mul(y)
+                    .wrapping_sub(hi.wrapping_mul(q));
                 cells[i].store(x + t, Ordering::Relaxed);
                 cells[k].store(x + two_q - t, Ordering::Relaxed);
             });
-            stats.accumulate(stage);
+            stats.accumulate(round);
             m <<= 1;
         }
         (cells, stats)
@@ -153,7 +200,7 @@ impl<const L: usize> NttPlan<L> {
     ///
     /// Panics if `data.len() != self.n`.
     pub fn forward_on_launcher(&self, data: &mut [MpUint<L>]) -> LaunchStats {
-        self.run_stages_on_launcher(data, &self.fwd)
+        self.run_stages_on_launcher(data, true)
     }
 
     /// Inverse transform (with `1/n` scaling) with every stage dispatched through
@@ -163,14 +210,15 @@ impl<const L: usize> NttPlan<L> {
     ///
     /// Panics if `data.len() != self.n`.
     pub fn inverse_on_launcher(&self, data: &mut [MpUint<L>]) -> LaunchStats {
-        let mut stats = self.run_stages_on_launcher(data, &self.inv);
-        let (scaled, pass) = launch_map(self.n, |i| self.ring.mul(data[i], self.n_inv));
+        let mut stats = self.run_stages_on_launcher(data, false);
+        let n_inv = self.n_inv();
+        let (scaled, pass) = launch_map(self.n, |i| self.ring.mul(data[i], n_inv));
         stats.accumulate(pass);
         data.copy_from_slice(&scaled);
         stats
     }
 
-    fn run_stages_on_launcher(&self, data: &mut [MpUint<L>], table: &[MpUint<L>]) -> LaunchStats {
+    fn run_stages_on_launcher(&self, data: &mut [MpUint<L>], forward: bool) -> LaunchStats {
         assert_eq!(
             data.len(),
             self.n,
@@ -180,7 +228,7 @@ impl<const L: usize> NttPlan<L> {
         let mut stats = LaunchStats::default();
         let mut m = 1;
         while m < self.n {
-            let twiddles = &table[m..2 * m];
+            let twiddles = self.stage(forward, m);
             let (pairs, stage) = launch_map(self.n / 2, |t| {
                 let i = butterfly_base(t, m);
                 let x = data[i];
@@ -252,6 +300,38 @@ mod tests {
     }
 
     #[test]
+    fn batched_launcher_matches_per_transform_launcher() {
+        let n = 128;
+        let batch = 5;
+        let plan = NttPlan64::new(n);
+        let mut rng = StdRng::seed_from_u64(94);
+        let data: Vec<u64> = (0..batch * n)
+            .map(|_| rng.gen::<u64>() % plan.ctx.q)
+            .collect();
+        let mut batched = data.clone();
+        let stats = plan.forward_batch_on_launcher(&mut batched);
+        // One launch per stage plus the normalize pass, independent of batch.
+        assert_eq!(stats.launches, n.trailing_zeros() as usize + 1);
+        assert_eq!(
+            stats.threads as u64,
+            batch as u64 * butterfly_count(n) + (batch * n) as u64
+        );
+        let mut single = data.clone();
+        let mut single_launches = 0;
+        for transform in single.chunks_exact_mut(n) {
+            single_launches += plan.forward_on_launcher(transform).launches;
+        }
+        assert_eq!(batched, single, "batched forward must match per-transform");
+        assert_eq!(single_launches, batch * (n.trailing_zeros() as usize + 1));
+        let inv_stats = plan.inverse_batch_on_launcher(&mut batched);
+        assert_eq!(inv_stats.launches, n.trailing_zeros() as usize + 1);
+        assert_eq!(
+            batched, data,
+            "batched inverse ∘ forward must be the identity"
+        );
+    }
+
+    #[test]
     fn launcher_multiword_matches_inline_plan() {
         let params = NttParams::<2>::for_paper_modulus(64, 128, MulAlgorithm::Schoolbook);
         let plan = NttPlan::new(&params);
@@ -276,5 +356,13 @@ mod tests {
         let plan = NttPlan64::new(64);
         let mut data = vec![0u64; 32];
         plan.forward_on_launcher(&mut data);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of the transform size")]
+    fn batched_launcher_rejects_ragged_batches() {
+        let plan = NttPlan64::new(64);
+        let mut data = vec![0u64; 96];
+        plan.forward_batch_on_launcher(&mut data);
     }
 }

@@ -16,7 +16,7 @@
 //! * [`launcher`] — stage-level batched execution of the plans on the simulated
 //!   GPU launcher: each stage dispatches one virtual thread per butterfly through
 //!   `moma_gpu::launch_indexed`/`launch_map`, the paper's §5.1 execution shape;
-//! * [`reference`] — the `O(n^2)` direct DFT used as a correctness oracle;
+//! * [`mod@reference`] — the `O(n^2)` direct DFT used as a correctness oracle;
 //! * [`polymul`] — NTT-based polynomial multiplication (the application motivating the
 //!   kernel in FHE/ZKP workloads).
 
@@ -31,5 +31,5 @@ pub mod reference;
 pub mod transform;
 
 pub use params::NttParams;
-pub use plan::{NttPlan, NttPlan64};
+pub use plan::{NttPlan, NttPlan64, Stage64};
 pub use transform::{forward, inverse, Ntt64};

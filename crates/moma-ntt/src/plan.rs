@@ -53,11 +53,11 @@ pub struct NttPlan<const L: usize> {
     /// Forward twiddles in bit-reversed (Harvey) layout: `fwd[m + j] = ω_{2m}^j`
     /// for every stage half-length `m = 1, 2, …, n/2` and `0 ≤ j < m`. Entry 0 is
     /// unused padding so the table is indexed directly by `m + j`.
-    pub(crate) fwd: Vec<MpUint<L>>,
+    fwd: Vec<MpUint<L>>,
     /// Inverse twiddles in the same layout, built from `ω^{-1}`.
-    pub(crate) inv: Vec<MpUint<L>>,
+    inv: Vec<MpUint<L>>,
     /// `n^{-1} mod q` for the inverse transform's final scaling.
-    pub(crate) n_inv: MpUint<L>,
+    n_inv: MpUint<L>,
 }
 
 impl<const L: usize> NttPlan<L> {
@@ -80,6 +80,30 @@ impl<const L: usize> NttPlan<L> {
     /// Panics under the same conditions as [`NttParams::for_paper_modulus`].
     pub fn for_paper_modulus(n: usize, bits: u32, alg: MulAlgorithm) -> Self {
         Self::new(&NttParams::for_paper_modulus(n, bits, alg))
+    }
+
+    /// The twiddle factors of one butterfly stage, selected by direction and
+    /// stage half-length `m` (a power of two below `n`): entry `j` is `ω_{2m}^j`.
+    ///
+    /// This — not the raw tables — is the interface stage-level executors (the
+    /// launcher, session batching) consume plans through, so the table layout
+    /// can change without breaking them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is not a power of two in `[1, n)`.
+    pub fn stage(&self, forward: bool, m: usize) -> &[MpUint<L>] {
+        assert!(
+            m.is_power_of_two() && m < self.n,
+            "stage half-length must be a power of two below n"
+        );
+        let table = if forward { &self.fwd } else { &self.inv };
+        &table[m..2 * m]
+    }
+
+    /// `n^{-1} mod q`, the inverse transform's final scaling factor.
+    pub fn n_inv(&self) -> MpUint<L> {
+        self.n_inv
     }
 
     /// In-place forward NTT using the precomputed tables.
@@ -173,13 +197,24 @@ pub struct NttPlan64 {
     /// Single-word Barrett context for the 60-bit modulus (used for setup and the
     /// fallback entry points; the hot loop uses the Shoup tables).
     pub ctx: SingleBarrett,
-    pub(crate) two_q: u64,
-    pub(crate) fwd: Vec<u64>,
-    pub(crate) fwd_shoup: Vec<u64>,
-    pub(crate) inv: Vec<u64>,
-    pub(crate) inv_shoup: Vec<u64>,
-    pub(crate) n_inv: u64,
-    pub(crate) n_inv_shoup: u64,
+    two_q: u64,
+    fwd: Vec<u64>,
+    fwd_shoup: Vec<u64>,
+    inv: Vec<u64>,
+    inv_shoup: Vec<u64>,
+    n_inv: u64,
+    n_inv_shoup: u64,
+}
+
+/// One butterfly stage's twiddle view for [`NttPlan64`]: the twiddle factors and
+/// their Shoup precomputed quotients, in lock-step order (entry `j` is
+/// `ω_{2m}^j` and its quotient).
+#[derive(Debug, Clone, Copy)]
+pub struct Stage64<'a> {
+    /// The stage's twiddle factors: entry `j` is `ω_{2m}^j`.
+    pub twiddles: &'a [u64],
+    /// Shoup precomputed quotients, one per twiddle.
+    pub shoup: &'a [u64],
 }
 
 impl NttPlan64 {
@@ -191,6 +226,18 @@ impl NttPlan64 {
     /// Panics if `n` is not a power of two between 2 and 2^32.
     pub fn new(n: usize) -> Self {
         Self::from_ntt(&Ntt64::new(n))
+    }
+
+    /// Builds the plan for an `n`-point transform over an explicit NTT-friendly
+    /// prime modulus — the `(q, n)`-keyed constructor session plan caches use.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the conditions of [`Ntt64::with_modulus`] (and the `q < 2^62`
+    /// lazy-reduction bound, which [`moma_mp::single::SingleBarrett`]'s 60-bit
+    /// cap already implies).
+    pub fn with_modulus(q: u64, n: usize) -> Self {
+        Self::from_ntt(&Ntt64::with_modulus(q, n))
     }
 
     /// Builds the plan from an existing naive transform context (same modulus,
@@ -228,6 +275,44 @@ impl NttPlan64 {
             n_inv: ntt.n_inv,
             n_inv_shoup: ctx.shoup_precompute(ntt.n_inv),
         }
+    }
+
+    /// The twiddle factors and Shoup quotients of one butterfly stage, selected
+    /// by direction and stage half-length `m` (a power of two below `n`).
+    ///
+    /// This is the stable interface stage-level executors (the launcher, session
+    /// batching) consume the plan through; the flat bit-reversed table layout
+    /// stays an implementation detail.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is not a power of two in `[1, n)`.
+    pub fn stage(&self, forward: bool, m: usize) -> Stage64<'_> {
+        assert!(
+            m.is_power_of_two() && m < self.n,
+            "stage half-length must be a power of two below n"
+        );
+        let (table, shoup) = if forward {
+            (&self.fwd, &self.fwd_shoup)
+        } else {
+            (&self.inv, &self.inv_shoup)
+        };
+        Stage64 {
+            twiddles: &table[m..2 * m],
+            shoup: &shoup[m..2 * m],
+        }
+    }
+
+    /// `2q` — the upper bound of the lazy-reduction fold (values live in
+    /// `[0, 4q)` between stages; see [`NttPlan64::from_ntt`]).
+    pub fn two_q(&self) -> u64 {
+        self.two_q
+    }
+
+    /// `n^{-1} mod q` and its Shoup precomputed quotient, the inverse
+    /// transform's final scaling pair.
+    pub fn n_inv_pair(&self) -> (u64, u64) {
+        (self.n_inv, self.n_inv_shoup)
     }
 
     /// In-place forward transform. Inputs must be reduced (`< q`); outputs are

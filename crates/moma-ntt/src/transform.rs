@@ -3,6 +3,7 @@
 use crate::params::NttParams;
 use moma_mp::single::SingleBarrett;
 use moma_mp::MpUint;
+use rand::SeedableRng;
 
 /// Permutes `data` into bit-reversed order in place.
 pub fn bit_reverse_permute<T>(data: &mut [T]) {
@@ -152,10 +153,31 @@ impl Ntt64 {
     ///
     /// Panics if `n` is not a power of two between 2 and 2^32.
     pub fn new(n: usize) -> Self {
-        assert!(n.is_power_of_two() && (2..=1 << 32).contains(&n));
         let q = crate::params::paper_modulus(64)
             .to_u64()
             .expect("60-bit modulus");
+        Self::with_modulus(q, n)
+    }
+
+    /// Builds a 64-bit NTT over an explicit NTT-friendly prime modulus `q` —
+    /// the constructor session caches key their plans by `(q, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power of two between 2 and 2^32, if `q` is not an
+    /// odd prime below `2^60` (the [`SingleBarrett`] bound), or if `n` does not
+    /// divide `q − 1` (no primitive `n`-th root of unity exists then).
+    pub fn with_modulus(q: u64, n: usize) -> Self {
+        assert!(n.is_power_of_two() && (2..=1 << 32).contains(&n));
+        assert!(
+            (q - 1) % n as u64 == 0,
+            "transform size must divide q - 1 (no primitive root of unity otherwise)"
+        );
+        let mut rng = rand::rngs::StdRng::seed_from_u64(q);
+        assert!(
+            moma_bignum::prime::is_prime(&mut rng, &moma_bignum::BigUint::from(q)),
+            "NTT modulus must be prime"
+        );
         let ctx = SingleBarrett::new(q);
         // Deterministic generator search as in the multi-word case.
         let cofactor = (q - 1) / n as u64;

@@ -26,20 +26,33 @@
 //! ([`moma_mp::single::smac`]) and reduced once per element
 //! ([`SingleBarrett::reduce_wide`]). A second path routes the same
 //! accumulation through a *generated* fused multiply-accumulate kernel
-//! ([`moma_ir::Op::MulAddMod`]) on [`moma_gpu::launch_compiled`], so the
+//! ([`moma_ir::Op::MulAddMod`]) on [`moma_gpu::launch_compiled_batch`], so the
 //! conversion cost is measurable on the same executor as MoMA's positional
 //! kernels.
 //!
-//! Both operations are cross-checked bit-for-bit against the `BigUint` oracles
+//! FHE pipelines chain the two — rescale, then extend the quotient into a fresh
+//! basis (the BEHZ `FastBConvSK` shape). Run separately that walks the data
+//! twice; [`RescaleExtendPlan`] folds the dropped modulus' inverse *into* the
+//! punctured-product inverses at plan-build time, so
+//! [`RnsPlan::rescale_then_extend`] computes the conversion's pseudo-residues
+//! straight from the unrescaled data — one launch round per residue-row set,
+//! no intermediate matrix. The two-pass chain stays callable
+//! ([`RnsPlan::rescale_then_extend_two_pass`]) and the cost model prices both
+//! ([`RescaleExtendPlan::fused_is_faster`]) so sessions can select
+//! automatically.
+//!
+//! Every operation is cross-checked bit-for-bit against the `BigUint` oracles
 //! [`RnsContext::base_convert`] and [`RnsContext::scale_and_round`].
 
 use crate::plan::{mul_mod, RnsMatrix, RnsPlan};
 use crate::RnsContext;
-use moma_gpu::launch::{launch_chunks, launch_compiled, LaunchStats};
+use moma_gpu::launch::{launch_chunks, launch_compiled_batch, LaunchStats};
+use moma_gpu::CostModel;
 use moma_ir::compiled::CompiledKernel;
+use moma_ir::cost::OpCounts;
 use moma_ir::{Kernel, KernelBuilder, Op, Operand, Ty};
 use moma_mp::single::{smac, SingleBarrett};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 /// Precomputed tables for fast base extension from one basis into another.
 ///
@@ -73,7 +86,10 @@ pub struct BaseConvPlan {
     dst: RnsPlan,
     /// One generated fused multiply-accumulate kernel per target modulus,
     /// compiled lazily on the first [`RnsPlan::base_convert_compiled`] call.
-    mac_kernels: OnceLock<Vec<CompiledKernel>>,
+    /// Callers that own a cross-plan kernel cache (a session) should instead
+    /// generate the IR with [`BaseConvPlan::mac_kernel_ir`], compile through
+    /// their cache, and execute with [`RnsPlan::base_convert_compiled_with`].
+    mac_kernels: OnceLock<Vec<Arc<CompiledKernel>>>,
 }
 
 impl BaseConvPlan {
@@ -126,19 +142,31 @@ impl BaseConvPlan {
 
     /// Generates (on first use) and returns the per-target-modulus fused
     /// multiply-accumulate kernels.
-    fn kernels(&self) -> &[CompiledKernel] {
+    fn kernels(&self) -> &[Arc<CompiledKernel>] {
         self.mac_kernels.get_or_init(|| {
-            let k = self.src_moduli.len();
-            self.dst
-                .ctxs
-                .iter()
-                .enumerate()
-                .map(|(s, ctx)| {
-                    let kernel = mac_kernel(ctx, &self.cross[s * k..(s + 1) * k]);
-                    CompiledKernel::compile(&kernel).expect("generated baseconv kernel compiles")
+            (0..self.dst.moduli_count())
+                .map(|s| {
+                    Arc::new(
+                        CompiledKernel::compile(&self.mac_kernel_ir(s))
+                            .expect("generated baseconv kernel compiles"),
+                    )
                 })
                 .collect()
         })
+    }
+
+    /// Builds the IR of the generated fused multiply-accumulate kernel for
+    /// target modulus `s` (one [`Op::MulAddMod`] per source modulus, the
+    /// cross-basis constants baked in). This is the hook for external kernel
+    /// caches: compile it once under a `("baseconv_mac", 64, m'_s)` key and
+    /// execute with [`RnsPlan::base_convert_compiled_with`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is not a target-row index.
+    pub fn mac_kernel_ir(&self, s: usize) -> Kernel {
+        let k = self.src_moduli.len();
+        mac_kernel(&self.dst.ctxs[s], &self.cross[s * k..(s + 1) * k])
     }
 }
 
@@ -250,8 +278,8 @@ impl RnsPlan {
     }
 
     /// Fast base extension routed through the *generated* fused
-    /// multiply-accumulate kernels, one [`launch_compiled`] per target residue
-    /// row.
+    /// multiply-accumulate kernels, one [`launch_compiled_batch`] per target
+    /// residue row.
     ///
     /// Functionally identical to [`RnsPlan::base_convert`]; it exists so the
     /// conversion cost is measurable on the exact same compiled executor and
@@ -267,24 +295,58 @@ impl RnsPlan {
         bc: &BaseConvPlan,
         a: &RnsMatrix,
     ) -> (RnsMatrix, LaunchStats) {
+        self.base_convert_compiled_with(bc, a, bc.kernels())
+    }
+
+    /// [`RnsPlan::base_convert_compiled`] with caller-supplied compiled MAC
+    /// kernels — the entry point for session-owned kernel caches, which compile
+    /// each [`BaseConvPlan::mac_kernel_ir`] once per `(op, width, modulus)` key
+    /// and reuse it across every conversion plan and call.
+    ///
+    /// Each target row runs as one flat-batch launch
+    /// ([`moma_gpu::launch_compiled_batch`]): the per-element input marshalling
+    /// that dominated the old per-element path (a fresh `Vec` per element per
+    /// row) is hoisted into one row-major buffer fill.
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`RnsPlan::base_convert`] does, or if `kernels` does not hold
+    /// exactly one kernel per target modulus.
+    pub fn base_convert_compiled_with(
+        &self,
+        bc: &BaseConvPlan,
+        a: &RnsMatrix,
+        kernels: &[Arc<CompiledKernel>],
+    ) -> (RnsMatrix, LaunchStats) {
         bc.check_source(self);
         self.check_shape(a);
+        assert_eq!(
+            kernels.len(),
+            bc.dst.moduli_count(),
+            "one compiled MAC kernel per target modulus"
+        );
         let cols = a.len();
         let k = self.moduli_count();
         let (pseudo, mut stats) = self.pseudo_residues(bc, a);
         let mut data = Vec::with_capacity(bc.dst.moduli_count() * cols);
-        for (compiled, ctx) in bc.kernels().iter().zip(&bc.dst.ctxs) {
+        let mut flat = vec![0u64; cols * k];
+        for (compiled, ctx) in kernels.iter().zip(&bc.dst.ctxs) {
+            if cols == 0 {
+                break;
+            }
             // A pseudo-residue is reduced modulo its *source* modulus, which
             // may exceed the target modulus in a mixed-width basis pair; the
             // generated kernel's MulAddMod contract requires factors reduced
-            // modulo the target q, so fold them in here — congruence is
-            // unchanged since (x mod q)·c + acc ≡ x·c + acc (mod q).
-            let (outs, round) = launch_compiled(compiled, cols, |i| {
-                (0..k)
-                    .map(|r| ctx.reduce_word(pseudo[r * cols + i]))
-                    .collect()
-            });
-            data.extend(outs.iter().map(|o| o[0]));
+            // modulo the target q, so fold them into the row-major input batch
+            // here — congruence is unchanged since
+            // (x mod q)·c + acc ≡ x·c + acc (mod q).
+            for (r, plane) in pseudo.chunks_exact(cols).enumerate() {
+                for (i, &x) in plane.iter().enumerate() {
+                    flat[i * k + r] = ctx.reduce_word(x);
+                }
+            }
+            let (outs, round) = launch_compiled_batch(compiled, &flat);
+            data.extend(outs);
             stats.accumulate(round);
         }
         (
@@ -352,6 +414,105 @@ impl RnsPlan {
         };
         (RnsMatrix { rows, cols, data }, stats)
     }
+
+    /// Builds the fused rescale-and-extend tables for dropping this basis' last
+    /// modulus and re-expressing the result in `dst`'s basis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the basis has fewer than two moduli, or under the
+    /// [`BaseConvPlan::new`] accumulator-width conditions.
+    pub fn rescale_extend_plan(&self, dst: &RnsPlan) -> RescaleExtendPlan {
+        RescaleExtendPlan::new(self, dst)
+    }
+
+    /// Fused rescale-and-extend (the BEHZ `FastBConvSK` shape): divides every
+    /// element by the last basis modulus `m_k` with rounding **and** re-expresses
+    /// the quotient in the target basis, in one launch round per residue-row set —
+    /// the pseudo-residues come straight off the source data, with no
+    /// intermediate rescaled matrix ever written.
+    ///
+    /// Residue-locally, with `c` the element's last residue and
+    /// `δ = (c > m_k/2)`: the rescaled value is `y_r = (x_r − c)·m_k^{-1} + δ`,
+    /// and its pseudo-residue for the conversion is
+    /// `ỹ_r = y_r·(M⁻/m_r)^{-1} = (x_r − c)·f_r + δ·(M⁻/m_r)^{-1} (mod m_r)`
+    /// where `f_r = m_k^{-1}·(M⁻/m_r)^{-1} mod m_r` was folded at plan-build
+    /// time. The target residues are then the usual cross-basis sums. The result
+    /// is bit-for-bit the [`RnsPlan::scale_and_round`]-then-
+    /// [`RnsPlan::base_convert`] chain (including the `x + αM⁻` overshoot).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` was built for a different source basis or `a` does not
+    /// match this plan.
+    pub fn rescale_then_extend(
+        &self,
+        p: &RescaleExtendPlan,
+        a: &RnsMatrix,
+    ) -> (RnsMatrix, LaunchStats) {
+        p.rescale.check_source(self);
+        self.check_shape(a);
+        let cols = a.len();
+        let km1 = self.moduli_count() - 1;
+        let rows = p.bc.dst.moduli_count();
+        let last = self.ctxs[km1].q;
+        let half = last / 2;
+        let c_row = a.row(km1);
+        let mut stats = LaunchStats::default();
+        let mut data = vec![0u64; rows * cols];
+        if cols > 0 {
+            // Round 1 — fused pseudo-residues, one thread per surviving source
+            // row, reading the source data directly.
+            let mut pseudo = vec![0u64; km1 * cols];
+            stats.accumulate(launch_chunks(&mut pseudo, cols, |r, out| {
+                let ctx = &self.ctxs[r];
+                let narrow = self.narrow[r];
+                let f = p.fused[r];
+                let ip = p.bc.inv_punctured[r];
+                for ((o, &x), &c) in out.iter_mut().zip(a.row(r)).zip(c_row) {
+                    // The dropped residue c lives in [0, m_k), possibly above
+                    // this row's modulus; fold it first (see scale_and_round).
+                    let diff = ctx.sub_mod(x, c % ctx.q);
+                    let t = mul_mod(ctx, narrow, diff, f);
+                    *o = if c > half { ctx.add_mod(t, ip) } else { t };
+                }
+            }));
+            // Round 2 — the cross-basis accumulation, one thread per target row,
+            // identical to base_convert's second stage.
+            stats.accumulate(launch_chunks(&mut data, cols, |s, out| {
+                let ctx = &p.bc.dst.ctxs[s];
+                let cross_row = &p.bc.cross[s * km1..(s + 1) * km1];
+                for (i, o) in out.iter_mut().enumerate() {
+                    let mut acc = 0u128;
+                    for (r, &c) in cross_row.iter().enumerate() {
+                        acc = smac(acc, pseudo[r * cols + i], c);
+                    }
+                    *o = ctx.reduce_wide(acc);
+                }
+            }));
+        }
+        (RnsMatrix { rows, cols, data }, stats)
+    }
+
+    /// The unfused reference chain for [`RnsPlan::rescale_then_extend`]:
+    /// [`RnsPlan::scale_and_round`] into an intermediate matrix, then
+    /// [`RnsPlan::base_convert`] — three launch rounds and one extra full pass
+    /// over the data. Kept callable so the fused saving stays measurable and the
+    /// cost model has a real alternative to price.
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`RnsPlan::rescale_then_extend`] does.
+    pub fn rescale_then_extend_two_pass(
+        &self,
+        p: &RescaleExtendPlan,
+        a: &RnsMatrix,
+    ) -> (RnsMatrix, LaunchStats) {
+        let (rescaled, mut stats) = self.scale_and_round(&p.rescale, a);
+        let (out, round) = p.rescale.out.base_convert(&p.bc, &rescaled);
+        stats.accumulate(round);
+        (out, stats)
+    }
 }
 
 /// Precomputed tables for one rescale step: dropping the last basis modulus
@@ -407,6 +568,107 @@ impl RescalePlan {
             src.moduli().eq(self.src_moduli.iter().copied()),
             "rescale plan was built for a different source basis"
         );
+    }
+}
+
+/// Precomputed tables for the fused rescale-and-extend chain: dropping the
+/// source basis' last modulus with rounding and re-expressing the quotient in a
+/// target basis, in one launch round per residue-row set.
+///
+/// Built once per `(source, target)` basis pair; contains the unfused
+/// [`RescalePlan`] and [`BaseConvPlan`] (for the two-pass reference path) plus
+/// the fused per-row factors `f_r = m_k^{-1}·(M⁻/m_r)^{-1} mod m_r` that let the
+/// pseudo-residues of the conversion be computed straight from the unrescaled
+/// data.
+#[derive(Debug, Clone)]
+pub struct RescaleExtendPlan {
+    /// The rescale half (also carries the output plan of the dropped basis).
+    rescale: RescalePlan,
+    /// The conversion half, built over the rescaled (shortened) basis.
+    bc: BaseConvPlan,
+    /// `f_r = m_k^{-1}·(M⁻/m_r)^{-1} mod m_r` per surviving source modulus.
+    fused: Vec<u64>,
+}
+
+impl RescaleExtendPlan {
+    /// Builds the fused tables for `src` (whose last modulus is dropped) into
+    /// `dst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` has fewer than two moduli, or under the
+    /// [`BaseConvPlan::new`] accumulator-width conditions.
+    pub fn new(src: &RnsPlan, dst: &RnsPlan) -> Self {
+        let rescale = RescalePlan::new(src);
+        let bc = BaseConvPlan::new(&rescale.out, dst);
+        let fused = rescale
+            .out
+            .ctxs
+            .iter()
+            .zip(&rescale.inv_last)
+            .zip(&bc.inv_punctured)
+            .map(|((ctx, &inv_last), &ip)| ctx.mul_mod(inv_last, ip))
+            .collect();
+        RescaleExtendPlan { rescale, bc, fused }
+    }
+
+    /// The unfused rescale half (whose output plan is the shortened basis).
+    pub fn rescale_plan(&self) -> &RescalePlan {
+        &self.rescale
+    }
+
+    /// The unfused conversion half (over the shortened basis).
+    pub fn base_conv_plan(&self) -> &BaseConvPlan {
+        &self.bc
+    }
+
+    /// The target plan the chain's results live over.
+    pub fn dst_plan(&self) -> &RnsPlan {
+        &self.bc.dst
+    }
+
+    /// Synthetic per-element operation counts of the fused path, for the cost
+    /// model: one submod + mulmod (+ the rounding addmod) per surviving source
+    /// row, one fused multiply-accumulate per (target row × source row), and one
+    /// wide reduction (priced as a mulmod) per target row.
+    pub fn fused_counts(&self) -> OpCounts {
+        let km1 = self.fused.len() as u64;
+        let l = self.bc.dst.moduli_count() as u64;
+        let mut c = OpCounts::new();
+        c.add_mnemonic("submod", km1);
+        c.add_mnemonic("mulmod", km1 + l);
+        c.add_mnemonic("addmod", km1);
+        c.add_mnemonic("macmod", l * km1);
+        c
+    }
+
+    /// Synthetic per-element operation counts of the two-pass path: the fused
+    /// mix plus one extra modular multiplication per surviving source row (the
+    /// separate pseudo-residue pass the fusion folds away).
+    pub fn two_pass_counts(&self) -> OpCounts {
+        let km1 = self.fused.len() as u64;
+        let mut c = self.fused_counts();
+        c.add_mnemonic("mulmod", km1);
+        c
+    }
+
+    /// Decides, from the device cost model, whether the fused path is the
+    /// cheaper way to run the chain over `cols` elements — the automatic
+    /// selection sessions apply. Besides the arithmetic saving, the two-pass
+    /// path writes and re-reads the whole intermediate rescaled matrix, which
+    /// the memory term prices.
+    pub fn fused_is_faster(&self, model: &CostModel, cols: usize) -> bool {
+        let k = self.fused.len() as u64 + 1;
+        let l = self.bc.dst.moduli_count() as u64;
+        // Per-element global-memory traffic in words: both paths read the source
+        // column and write the target column plus the pseudo-residue plane; the
+        // two-pass path additionally writes and re-reads the rescaled column.
+        let fused_bytes = 8 * (k + 2 * (k - 1) + l);
+        let two_pass_bytes = fused_bytes + 8 * 2 * (k - 1);
+        let cols = cols.max(1) as u64;
+        let fused = model.estimate_launch(&self.fused_counts(), cols, fused_bytes);
+        let two_pass = model.estimate_launch(&self.two_pass_counts(), cols, two_pass_bytes);
+        fused.total <= two_pass.total
     }
 }
 
@@ -594,6 +856,85 @@ mod tests {
             let oracle_extended = out_ctx.base_convert(&dst_ctx, &oracle_rescaled);
             assert_eq!(extended.element(c), oracle_extended, "column {c}");
         }
+    }
+
+    #[test]
+    fn fused_rescale_extend_matches_the_two_pass_chain_bit_for_bit() {
+        let ctx = RnsContext::with_moduli_count(5);
+        let plan = RnsPlan::new(&ctx);
+        let dst = RnsPlan::new(&RnsContext::with_moduli(&primes(0xfe, 5, 31)));
+        let p = plan.rescale_extend_plan(&dst);
+        let mut rng = StdRng::seed_from_u64(0xf5ed);
+        let values: Vec<BigUint> = (0..21)
+            .map(|_| moma_bignum::random::random_below(&mut rng, plan.product()))
+            .collect();
+        let a = RnsMatrix::from_biguints(&plan, &values);
+        let (fused, fused_stats) = plan.rescale_then_extend(&p, &a);
+        let (two_pass, two_pass_stats) = plan.rescale_then_extend_two_pass(&p, &a);
+        assert_eq!(fused, two_pass, "fusion must not change a single bit");
+        // The fusion saves one whole launch round (the separate rescale pass).
+        assert_eq!(fused_stats.launches, 2);
+        assert_eq!(two_pass_stats.launches, 3);
+        assert_eq!(
+            fused_stats.threads + plan.moduli_count() - 1,
+            two_pass_stats.threads
+        );
+        // And matches the BigUint oracle chain per element.
+        let out_ctx = ctx.without_last();
+        let dst_ctx = RnsContext::with_moduli(&primes(0xfe, 5, 31));
+        for (c, v) in values.iter().enumerate() {
+            let oracle = out_ctx.base_convert(&dst_ctx, &ctx.scale_and_round(&ctx.to_residues(v)));
+            assert_eq!(fused.element(c), oracle, "column {c}");
+        }
+    }
+
+    #[test]
+    fn fused_rescale_extend_on_mixed_bases_matches_oracle() {
+        let ctx = RnsContext::with_moduli(&mixed_basis(0x3a));
+        let plan = RnsPlan::new(&ctx);
+        let dst_moduli = mixed_basis(0x2b);
+        let dst = RnsPlan::new(&RnsContext::with_moduli(&dst_moduli));
+        let p = plan.rescale_extend_plan(&dst);
+        let mut rng = StdRng::seed_from_u64(0x31bb);
+        let values: Vec<BigUint> = (0..13)
+            .map(|_| moma_bignum::random::random_below(&mut rng, plan.product()))
+            .collect();
+        let a = RnsMatrix::from_biguints(&plan, &values);
+        let (fused, _) = plan.rescale_then_extend(&p, &a);
+        let out_ctx = ctx.without_last();
+        let dst_ctx = RnsContext::with_moduli(&dst_moduli);
+        for (c, v) in values.iter().enumerate() {
+            let oracle = out_ctx.base_convert(&dst_ctx, &ctx.scale_and_round(&ctx.to_residues(v)));
+            assert_eq!(fused.element(c), oracle, "column {c}");
+        }
+    }
+
+    #[test]
+    fn fused_path_is_priced_cheaper_by_the_cost_model() {
+        let plan = RnsPlan::new(&RnsContext::with_moduli_count(6));
+        let dst = RnsPlan::new(&RnsContext::with_moduli(&primes(0x9, 6, 31)));
+        let p = plan.rescale_extend_plan(&dst);
+        assert!(p.fused_counts().total() < p.two_pass_counts().total());
+        let model = CostModel::new(moma_gpu::DeviceSpec::H100);
+        assert!(p.fused_is_faster(&model, 4096));
+    }
+
+    #[test]
+    fn compiled_base_convert_accepts_external_kernels() {
+        let src = RnsPlan::new(&RnsContext::with_moduli_count(4));
+        let dst = RnsPlan::new(&RnsContext::with_moduli(&primes(0x77, 3, 31)));
+        let bc = BaseConvPlan::new(&src, &dst);
+        let kernels: Vec<Arc<CompiledKernel>> = (0..dst.moduli_count())
+            .map(|s| Arc::new(CompiledKernel::compile(&bc.mac_kernel_ir(s)).unwrap()))
+            .collect();
+        let mut rng = StdRng::seed_from_u64(0xeeee);
+        let values: Vec<BigUint> = (0..7)
+            .map(|_| moma_bignum::random::random_below(&mut rng, src.product()))
+            .collect();
+        let a = RnsMatrix::from_biguints(&src, &values);
+        let (internal, _) = src.base_convert_compiled(&bc, &a);
+        let (external, _) = src.base_convert_compiled_with(&bc, &a, &kernels);
+        assert_eq!(internal, external);
     }
 
     #[test]

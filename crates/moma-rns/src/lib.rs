@@ -38,7 +38,7 @@ pub mod baseconv;
 pub mod plan;
 pub mod vector;
 
-pub use baseconv::{BaseConvPlan, RescalePlan};
+pub use baseconv::{BaseConvPlan, RescaleExtendPlan, RescalePlan};
 pub use plan::{RnsMatrix, RnsPlan};
 
 use moma_bignum::{prime, BigUint};

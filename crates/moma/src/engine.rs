@@ -9,57 +9,58 @@
 //! * **modelled** — analytical per-device estimates obtained by feeding the word-level
 //!   operation counts of the *generated* kernels into the GPU cost model; these stand
 //!   in for the paper's H100 / RTX 4090 / V100 measurements.
+//!
+//! The free functions of this module predate [`crate::Session`] and are kept for
+//! one release as thin deprecated shims: each builds a throwaway session per
+//! call, so nothing is cached between calls. Use the session methods of the same
+//! names instead — they compile each kernel once and share it across devices and
+//! figures.
 
-use crate::compiler::Compiler;
-use moma_gpu::{CostModel, DeviceSpec};
+use crate::session::Session;
+use moma_gpu::DeviceSpec;
 use moma_ir::cost::OpCounts;
-use moma_rewrite::{KernelOp, KernelSpec, LoweringConfig, MulAlgorithm};
+use moma_rewrite::{KernelOp, MulAlgorithm};
 
 /// Word-level operation counts of one generated butterfly at a given bit-width.
+#[deprecated(since = "0.2.0", note = "use moma::Session::butterfly_op_counts")]
 pub fn butterfly_op_counts(bits: u32, alg: MulAlgorithm) -> OpCounts {
-    let compiler = Compiler::new(LoweringConfig {
-        mul_algorithm: alg,
-        ..LoweringConfig::default()
-    });
-    compiler
-        .compile(&KernelSpec::new(KernelOp::Butterfly, bits))
-        .op_counts
+    Session::default().butterfly_op_counts(bits, alg)
 }
 
 /// Word-level operation counts of one generated BLAS element kernel.
+#[deprecated(since = "0.2.0", note = "use moma::Session::blas_op_counts")]
 pub fn blas_op_counts(op: KernelOp, bits: u32, alg: MulAlgorithm) -> OpCounts {
-    let compiler = Compiler::new(LoweringConfig {
-        mul_algorithm: alg,
-        ..LoweringConfig::default()
-    });
-    compiler.compile(&KernelSpec::new(op, bits)).op_counts
+    Session::default().blas_op_counts(op, bits, alg)
 }
 
 /// Modelled NTT runtime per butterfly (nanoseconds) on a device — the y-axis of
 /// Figures 1, 3, and 4.
+#[deprecated(
+    since = "0.2.0",
+    note = "use moma::Session::modelled_ntt_ns_per_butterfly"
+)]
 pub fn modelled_ntt_ns_per_butterfly(
     device: DeviceSpec,
     bits: u32,
     log2_n: u32,
     alg: MulAlgorithm,
 ) -> f64 {
-    let counts = butterfly_op_counts(bits, alg);
-    CostModel::new(device).ntt_time_per_butterfly_ns(&counts, 1u64 << log2_n, bits)
+    Session::new(device).modelled_ntt_ns_per_butterfly(device, bits, log2_n, alg)
 }
 
 /// Modelled BLAS runtime per element (nanoseconds) on a device — the y-axis of
 /// Figure 2.
+#[deprecated(
+    since = "0.2.0",
+    note = "use moma::Session::modelled_blas_ns_per_element"
+)]
 pub fn modelled_blas_ns_per_element(
     device: DeviceSpec,
     op: KernelOp,
     bits: u32,
     elements: u64,
 ) -> f64 {
-    let counts = blas_op_counts(op, bits, MulAlgorithm::Schoolbook);
-    // Each element reads two operands and writes one result.
-    let bytes = 3 * (bits as u64 / 8);
-    let est = CostModel::new(device).estimate_launch(&counts, elements, bytes);
-    est.nanos() / elements as f64
+    Session::new(device).modelled_blas_ns_per_element(device, op, bits, elements)
 }
 
 /// One row of a figure: system label, platform, and the series of (x, ns) points.
@@ -75,26 +76,13 @@ pub struct Series {
 
 /// Builds the modelled MoMA series for one NTT figure panel (one bit-width, a range of
 /// transform sizes) across the three paper devices.
+#[deprecated(since = "0.2.0", note = "use moma::Session::ntt_series")]
 pub fn moma_ntt_series(bits: u32, log_sizes: &[u32], alg: MulAlgorithm) -> Vec<Series> {
-    DeviceSpec::all()
-        .iter()
-        .map(|device| Series {
-            system: "MoMA (modelled)".to_string(),
-            platform: device.name.to_string(),
-            points: log_sizes
-                .iter()
-                .map(|&log_n| {
-                    (
-                        log_n,
-                        modelled_ntt_ns_per_butterfly(*device, bits, log_n, alg),
-                    )
-                })
-                .collect(),
-        })
-        .collect()
+    Session::default().ntt_series(bits, log_sizes, alg)
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the shims must keep delegating correctly for one release
 mod tests {
     use super::*;
 
@@ -140,5 +128,23 @@ mod tests {
         let series = moma_ntt_series(128, &[10, 12, 14], MulAlgorithm::Schoolbook);
         assert_eq!(series.len(), 3);
         assert!(series.iter().all(|s| s.points.len() == 3));
+    }
+
+    #[test]
+    fn shims_agree_with_the_session_methods() {
+        let session = Session::default();
+        assert_eq!(
+            butterfly_op_counts(256, MulAlgorithm::Schoolbook),
+            session.butterfly_op_counts(256, MulAlgorithm::Schoolbook)
+        );
+        assert_eq!(
+            modelled_ntt_ns_per_butterfly(DeviceSpec::H100, 128, 12, MulAlgorithm::Schoolbook),
+            session.modelled_ntt_ns_per_butterfly(
+                DeviceSpec::H100,
+                128,
+                12,
+                MulAlgorithm::Schoolbook
+            )
+        );
     }
 }

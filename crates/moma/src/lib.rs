@@ -4,13 +4,20 @@
 //! Kernels using Multi-word Modular Arithmetic on GPU"* (CGO 2025). It ties the
 //! subsystem crates together behind one public API:
 //!
-//! * [`Compiler`] — generate a cryptographic kernel (modular add/sub/mul, NTT
-//!   butterfly, BLAS axpy) at any input bit-width, lower it with the MoMA rewrite
-//!   system, and obtain the word-level IR, emitted CUDA-like and Rust source, and
-//!   operation counts;
-//! * [`engine`] — run the generated kernels and their runtime-library equivalents on
-//!   the simulated GPU, and estimate per-device runtimes with the analytical cost
-//!   model (the machinery behind every figure of the evaluation);
+//! * [`Session`] — **the entry point**: owns a device, a compiled-kernel cache,
+//!   and plan caches for every precompute-once object in the runtime
+//!   ([`ntt::NttPlan64`] keyed by `(q, n)`, [`rns::RnsPlan`] keyed by basis,
+//!   conversion/rescale/fused-chain plans keyed by basis pair), every
+//!   `get_or_build` hit-counted. Typed handles — [`session::RnsSpace`] /
+//!   [`session::RnsVec`] with chainable ops and cost-model-selected execution
+//!   paths (including the fused [`session::RnsVec::rescale_then_extend`]
+//!   chain), [`session::NttSpace`] with stage-batched transforms — sit on top;
+//! * [`Compiler`] — the stateless kernel generator underneath (modular
+//!   add/sub/mul, NTT butterfly, BLAS axpy at any input bit-width, lowered with
+//!   the MoMA rewrite system to word-level IR, emitted CUDA-like and Rust
+//!   source, and operation counts). Prefer [`Session::compile`], which caches;
+//! * [`engine`] — the figure machinery: the [`engine::Series`] type plus
+//!   deprecated free-function shims for the pre-`Session` estimation API;
 //! * [`paper_data`] — the published baseline series (ICICLE, GZKP, RPU, FPMM, PipeZK,
 //!   GMP, GRNS, …) digitised from the paper's figures, so each figure can be
 //!   regenerated with all of its lines;
@@ -20,13 +27,25 @@
 //! # Quickstart
 //!
 //! ```
-//! use moma::{Compiler, KernelOp, KernelSpec};
+//! use moma::{KernelOp, KernelSpec, Session};
+//!
+//! let session = Session::default();
 //!
 //! // Generate a 256-bit Barrett modular multiplication for a 64-bit machine word.
-//! let compiler = Compiler::default();
-//! let kernel = compiler.compile(&KernelSpec::new(KernelOp::ModMul, 256));
+//! let kernel = session.compile(&KernelSpec::new(KernelOp::ModMul, 256));
 //! assert!(kernel.cuda_source.contains("__device__"));
 //! assert!(kernel.op_counts.multiplications() > 0);
+//!
+//! // Compile once, execute many: the second request builds nothing.
+//! let again = session.compile(&KernelSpec::new(KernelOp::ModMul, 256));
+//! assert_eq!(session.stats().generated.hits, 1);
+//! assert!(std::sync::Arc::ptr_eq(&kernel, &again));
+//!
+//! // Typed handles over the cached plans: an RNS space and a batched NTT space.
+//! let space = session.rns_with_capacity(128);
+//! let ntt = session.ntt_default(1024);
+//! assert_eq!(ntt.n(), 1024);
+//! assert!(space.moduli().len() >= 4);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -35,9 +54,11 @@
 pub mod compiler;
 pub mod engine;
 pub mod paper_data;
+pub mod session;
 
 pub use compiler::{Compiler, GeneratedKernel};
 pub use moma_rewrite::{KernelOp, KernelSpec, LoweringConfig, MulAlgorithm};
+pub use session::{CacheStats, NttSpace, RnsSpace, RnsVec, Session, SessionStats};
 
 /// Re-export of the arbitrary-precision integer crate (GMP stand-in / oracle).
 pub use moma_bignum as bignum;

@@ -1,0 +1,994 @@
+//! `Session` — one cached, typed entry point for plans, kernels, and fused RNS
+//! chains.
+//!
+//! The paper's discipline is *compile once, execute many*: kernels are generated
+//! per (operation, bit-width) and reused across launches, and every runtime
+//! subsystem in this reproduction has its own precompute-once object —
+//! [`NttPlan64`]/[`NttPlan`], [`RnsPlan`], [`BaseConvPlan`], [`RescalePlan`],
+//! [`RescaleExtendPlan`], `CompiledKernel`. Before this module, callers had to
+//! hand-assemble those objects and pick among execution paths by hand. A
+//! [`Session`] is the one owner of all of them:
+//!
+//! * it owns a device ([`DeviceSpec`]) and the [`CostModel`] derived from it,
+//!   which drives automatic execution-path selection (fused vs two-pass chains,
+//!   direct vs generated-kernel conversions);
+//! * it owns a *generated-kernel* cache (keyed by operation, bit-width, and
+//!   multiplication algorithm) and a *compiled-kernel* cache
+//!   ([`moma_ir::KernelCache`], keyed by operation, width, and baked-in
+//!   modulus);
+//! * it owns plan caches: [`NttPlan64`] keyed by `(q, n)`, multi-word
+//!   [`NttPlan`] keyed by `(limbs, bits, n)`, [`RnsPlan`] keyed by basis,
+//!   [`BaseConvPlan`]/[`RescaleExtendPlan`] keyed by basis pair, and
+//!   [`RescalePlan`] keyed by basis.
+//!
+//! Every `get_or_build` is **hit-counted** ([`Session::stats`]), so reuse is a
+//! testable property, not a hope: the second request for any plan or kernel
+//! builds nothing.
+//!
+//! On top of the caches sit typed handles: [`Session::rns`] yields an
+//! [`RnsSpace`] whose [`RnsVec`]s chain `add`/`mul`/`axpy`/`base_convert`/
+//! `rescale`/[`RnsVec::rescale_then_extend`] (the fused BEHZ `FastBConvSK`
+//! chain, selected automatically over the two-pass path by the cost model), and
+//! [`Session::ntt`] yields an [`NttSpace`] whose
+//! [`NttSpace::forward_batch`] runs many transforms with one launch per
+//! butterfly stage (grid = batch × n/2) — the paper's batched NTT.
+//!
+//! # Example
+//!
+//! ```
+//! use moma::bignum::BigUint;
+//! use moma::Session;
+//!
+//! let session = Session::default();
+//! let src = session.rns_with_capacity(128);
+//! // Chain: elementwise multiply, then the fused rescale-and-extend.
+//! let a = src.encode(&[BigUint::from(7u64), BigUint::from(11u64)]);
+//! let b = src.encode(&[BigUint::from(5u64), BigUint::from(3u64)]);
+//! let extended = a.mul(&b).rescale_then_extend(&src);
+//! assert_eq!(extended.len(), 2);
+//! // The second identical chain hits every cache.
+//! let before = session.stats().rescale_extend.misses;
+//! let _ = a.mul(&b).rescale_then_extend(&src);
+//! assert_eq!(session.stats().rescale_extend.misses, before);
+//! ```
+
+use crate::compiler::{Compiler, GeneratedKernel};
+use crate::engine::Series;
+use moma_bignum::BigUint;
+use moma_gpu::launch::LaunchStats;
+use moma_gpu::{CostModel, DeviceSpec};
+use moma_ir::cache::{KernelCache, KernelCacheKey};
+use moma_ir::compiled::CompiledKernel;
+use moma_ir::cost::OpCounts;
+use moma_ntt::plan::{NttPlan, NttPlan64};
+use moma_rewrite::{KernelOp, KernelSpec, LoweringConfig, MulAlgorithm};
+use moma_rns::{BaseConvPlan, RescaleExtendPlan, RescalePlan, RnsContext, RnsMatrix, RnsPlan};
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Hit/miss counters of one session cache (a snapshot; see [`Session::stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Requests served from the cache.
+    pub hits: u64,
+    /// Requests that had to build.
+    pub misses: u64,
+}
+
+/// Snapshot of every session cache's hit/miss counters.
+///
+/// Tests assert reuse with these: after a warm-up call, an identical request
+/// must increment only `hits`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SessionStats {
+    /// Generated-kernel cache (op, bit-width, multiplication algorithm).
+    pub generated: CacheStats,
+    /// Compiled per-modulus kernel cache (op, width, modulus).
+    pub kernels: CacheStats,
+    /// Single-word NTT plans, keyed by `(q, n)`.
+    pub ntt: CacheStats,
+    /// Multi-word NTT plans, keyed by `(limbs, bits, n)`.
+    pub ntt_multiword: CacheStats,
+    /// RNS plans, keyed by basis.
+    pub rns: CacheStats,
+    /// Base-conversion plans, keyed by basis pair.
+    pub baseconv: CacheStats,
+    /// Rescale plans, keyed by basis.
+    pub rescale: CacheStats,
+    /// Fused rescale-and-extend plans, keyed by basis pair.
+    pub rescale_extend: CacheStats,
+}
+
+/// A hit-counted `get_or_build` map. The builder runs under the lock, so
+/// concurrent requests for the same key build exactly once.
+struct PlanCache<K, V: ?Sized> {
+    map: Mutex<HashMap<K, Arc<V>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<K: std::hash::Hash + Eq, V: ?Sized> Default for PlanCache<K, V> {
+    fn default() -> Self {
+        PlanCache {
+            map: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+}
+
+impl<K: std::hash::Hash + Eq, V: ?Sized> PlanCache<K, V> {
+    fn get_or_build(&self, key: K, build: impl FnOnce() -> Arc<V>) -> Arc<V> {
+        let mut map = self.map.lock().expect("plan cache poisoned");
+        if let Some(hit) = map.get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(hit);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let built = build();
+        map.insert(key, Arc::clone(&built));
+        built
+    }
+
+    fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The cached, typed entry point to the whole MoMA runtime (see the
+/// [module docs](self)).
+///
+/// A `Session` is `Sync`; handles borrow it, so one session can serve any
+/// number of spaces, vectors, and launches. Construction is cheap — everything
+/// expensive is built on first use and cached.
+pub struct Session {
+    device: DeviceSpec,
+    compiler: Compiler,
+    cost: CostModel,
+    generated: PlanCache<(KernelOp, u32, MulAlgorithm), GeneratedKernel>,
+    kernels: KernelCache,
+    ntt64: PlanCache<(u64, usize), NttPlan64>,
+    ntt_mw: PlanCache<(u32, u32, usize), dyn Any + Send + Sync>,
+    rns: PlanCache<Vec<u64>, RnsPlan>,
+    /// Capacity-bits → deterministic basis memo, so repeated
+    /// [`Session::rns_with_capacity`] calls skip the prime search (a plain memo,
+    /// not a hit-counted plan cache: it holds no built plan).
+    capacity_bases: Mutex<HashMap<u32, Vec<u64>>>,
+    baseconv: PlanCache<(Vec<u64>, Vec<u64>), BaseConvPlan>,
+    rescale: PlanCache<Vec<u64>, RescalePlan>,
+    rescale_extend: PlanCache<(Vec<u64>, Vec<u64>), RescaleExtendPlan>,
+}
+
+impl Default for Session {
+    /// A session on the paper's primary device (H100) with the default
+    /// lowering configuration.
+    fn default() -> Self {
+        Session::new(DeviceSpec::H100)
+    }
+}
+
+impl Session {
+    /// Creates a session for one device with the default lowering
+    /// configuration.
+    pub fn new(device: DeviceSpec) -> Self {
+        Session::with_config(device, LoweringConfig::default())
+    }
+
+    /// Creates a session with an explicit lowering configuration (word width,
+    /// multiplication algorithm, optimization switches).
+    pub fn with_config(device: DeviceSpec, config: LoweringConfig) -> Self {
+        Session {
+            device,
+            compiler: Compiler::new(config),
+            cost: CostModel::new(device),
+            generated: PlanCache::default(),
+            kernels: KernelCache::new(),
+            ntt64: PlanCache::default(),
+            ntt_mw: PlanCache::default(),
+            rns: PlanCache::default(),
+            capacity_bases: Mutex::new(HashMap::new()),
+            baseconv: PlanCache::default(),
+            rescale: PlanCache::default(),
+            rescale_extend: PlanCache::default(),
+        }
+    }
+
+    /// The device this session models and selects execution paths for.
+    pub fn device(&self) -> DeviceSpec {
+        self.device
+    }
+
+    /// The cost model path selection runs on.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Snapshot of every cache's hit/miss counters.
+    pub fn stats(&self) -> SessionStats {
+        SessionStats {
+            generated: self.generated.stats(),
+            kernels: CacheStats {
+                hits: self.kernels.hits(),
+                misses: self.kernels.misses(),
+            },
+            ntt: self.ntt64.stats(),
+            ntt_multiword: self.ntt_mw.stats(),
+            rns: self.rns.stats(),
+            baseconv: self.baseconv.stats(),
+            rescale: self.rescale.stats(),
+            rescale_extend: self.rescale_extend.stats(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Generated kernels and modelled estimates
+    // ------------------------------------------------------------------
+
+    /// Generates (or returns the cached) kernel for `spec` under the session's
+    /// lowering configuration.
+    pub fn compile(&self, spec: &KernelSpec) -> Arc<GeneratedKernel> {
+        self.compile_with_algorithm(spec, self.compiler.config.mul_algorithm)
+    }
+
+    /// Like [`Session::compile`], with an explicit multiplication algorithm
+    /// (the §5.4 ablation axis) — part of the generated-kernel cache key.
+    pub fn compile_with_algorithm(
+        &self,
+        spec: &KernelSpec,
+        alg: MulAlgorithm,
+    ) -> Arc<GeneratedKernel> {
+        self.generated.get_or_build((spec.op, spec.bits, alg), || {
+            let compiler = Compiler::new(LoweringConfig {
+                mul_algorithm: alg,
+                ..self.compiler.config
+            });
+            Arc::new(compiler.compile(spec))
+        })
+    }
+
+    /// Word-level operation counts of one generated butterfly at a bit-width
+    /// (cached).
+    pub fn butterfly_op_counts(&self, bits: u32, alg: MulAlgorithm) -> OpCounts {
+        self.compile_with_algorithm(&KernelSpec::new(KernelOp::Butterfly, bits), alg)
+            .op_counts
+            .clone()
+    }
+
+    /// Word-level operation counts of one generated BLAS element kernel
+    /// (cached).
+    pub fn blas_op_counts(&self, op: KernelOp, bits: u32, alg: MulAlgorithm) -> OpCounts {
+        self.compile_with_algorithm(&KernelSpec::new(op, bits), alg)
+            .op_counts
+            .clone()
+    }
+
+    /// Modelled NTT runtime per butterfly (nanoseconds) on a device — the
+    /// y-axis of the paper's Figures 1, 3, and 4. The generated butterfly is
+    /// compiled once per (bit-width, algorithm) and shared across devices.
+    pub fn modelled_ntt_ns_per_butterfly(
+        &self,
+        device: DeviceSpec,
+        bits: u32,
+        log2_n: u32,
+        alg: MulAlgorithm,
+    ) -> f64 {
+        let counts = self.butterfly_op_counts(bits, alg);
+        CostModel::new(device).ntt_time_per_butterfly_ns(&counts, 1u64 << log2_n, bits)
+    }
+
+    /// Modelled BLAS runtime per element (nanoseconds) on a device — the
+    /// y-axis of the paper's Figure 2.
+    pub fn modelled_blas_ns_per_element(
+        &self,
+        device: DeviceSpec,
+        op: KernelOp,
+        bits: u32,
+        elements: u64,
+    ) -> f64 {
+        let counts = self.blas_op_counts(op, bits, MulAlgorithm::Schoolbook);
+        // Each element reads two operands and writes one result.
+        let bytes = 3 * (bits as u64 / 8);
+        let est = CostModel::new(device).estimate_launch(&counts, elements, bytes);
+        est.nanos() / elements as f64
+    }
+
+    /// Builds the modelled MoMA series for one NTT figure panel (one bit-width,
+    /// a range of transform sizes) across the three paper devices, off the
+    /// shared generated-kernel cache.
+    pub fn ntt_series(&self, bits: u32, log_sizes: &[u32], alg: MulAlgorithm) -> Vec<Series> {
+        DeviceSpec::all()
+            .iter()
+            .map(|device| Series {
+                system: "MoMA (modelled)".to_string(),
+                platform: device.name.to_string(),
+                points: log_sizes
+                    .iter()
+                    .map(|&log_n| {
+                        (
+                            log_n,
+                            self.modelled_ntt_ns_per_butterfly(*device, bits, log_n, alg),
+                        )
+                    })
+                    .collect(),
+            })
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // NTT spaces
+    // ------------------------------------------------------------------
+
+    /// The `n`-point single-word NTT space over the prime modulus `q`,
+    /// building (or reusing) the `(q, n)`-keyed [`NttPlan64`].
+    ///
+    /// # Panics
+    ///
+    /// Panics under the [`moma_ntt::Ntt64::with_modulus`] conditions (n not a
+    /// power of two, q not an NTT-friendly prime below `2^60`).
+    pub fn ntt(&self, q: u64, n: usize) -> NttSpace<'_> {
+        NttSpace {
+            plan: self
+                .ntt64
+                .get_or_build((q, n), || Arc::new(NttPlan64::with_modulus(q, n))),
+            _session: std::marker::PhantomData,
+        }
+    }
+
+    /// The `n`-point NTT space over the paper's 60-bit evaluation modulus.
+    pub fn ntt_default(&self, n: usize) -> NttSpace<'_> {
+        let q = moma_ntt::params::paper_modulus(64)
+            .to_u64()
+            .expect("60-bit modulus");
+        self.ntt(q, n)
+    }
+
+    /// The cached `n`-point multi-word NTT plan for `bits`-bit kernels over
+    /// `L` limbs, keyed by `(L, bits, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the [`moma_ntt::NttParams::for_paper_modulus`] conditions.
+    pub fn ntt_multiword<const L: usize>(&self, bits: u32, n: usize) -> Arc<NttPlan<L>> {
+        let alg = match self.compiler.config.mul_algorithm {
+            MulAlgorithm::Schoolbook => moma_mp::MulAlgorithm::Schoolbook,
+            MulAlgorithm::Karatsuba => moma_mp::MulAlgorithm::Karatsuba,
+        };
+        let plan = self.ntt_mw.get_or_build((L as u32, bits, n), || {
+            Arc::new(NttPlan::<L>::for_paper_modulus(n, bits, alg))
+        });
+        plan.downcast::<NttPlan<L>>()
+            .unwrap_or_else(|_| unreachable!("multi-word plan cache key includes the limb count"))
+    }
+
+    // ------------------------------------------------------------------
+    // RNS spaces and chain plans
+    // ------------------------------------------------------------------
+
+    /// The RNS space over an explicit basis of distinct word-sized primes,
+    /// building (or reusing) the basis-keyed [`RnsPlan`].
+    ///
+    /// # Panics
+    ///
+    /// Panics under the [`RnsContext::with_moduli`] conditions (composite,
+    /// duplicate, or oversized moduli).
+    pub fn rns(&self, moduli: &[u64]) -> RnsSpace<'_> {
+        RnsSpace {
+            session: self,
+            plan: self.rns_plan(moduli),
+        }
+    }
+
+    /// The RNS space over the deterministic basis covering at least `bits`
+    /// bits of dynamic range (same basis as [`RnsContext::with_capacity_bits`]).
+    pub fn rns_with_capacity(&self, bits: u32) -> RnsSpace<'_> {
+        // Memoize capacity → basis so repeated requests skip the deterministic
+        // prime search entirely; the plan itself then comes from (or seeds) the
+        // basis-keyed cache.
+        let mut built_ctx = None;
+        let moduli = {
+            let mut memo = self.capacity_bases.lock().expect("capacity memo poisoned");
+            memo.entry(bits)
+                .or_insert_with(|| {
+                    let ctx = RnsContext::with_capacity_bits(bits);
+                    let moduli = ctx.moduli().to_vec();
+                    built_ctx = Some(ctx);
+                    moduli
+                })
+                .clone()
+        };
+        RnsSpace {
+            session: self,
+            plan: self.rns.get_or_build(moduli, || {
+                let ctx = built_ctx.unwrap_or_else(|| RnsContext::with_capacity_bits(bits));
+                Arc::new(RnsPlan::new(&ctx))
+            }),
+        }
+    }
+
+    fn rns_plan(&self, moduli: &[u64]) -> Arc<RnsPlan> {
+        self.rns.get_or_build(moduli.to_vec(), || {
+            Arc::new(RnsPlan::new(&RnsContext::with_moduli(moduli)))
+        })
+    }
+
+    fn baseconv_plan(&self, src: &Arc<RnsPlan>, dst: &Arc<RnsPlan>) -> Arc<BaseConvPlan> {
+        let key = (src.moduli().collect(), dst.moduli().collect());
+        self.baseconv
+            .get_or_build(key, || Arc::new(BaseConvPlan::new(src, dst)))
+    }
+
+    fn rescale_plan_for(&self, src: &Arc<RnsPlan>) -> Arc<RescalePlan> {
+        self.rescale
+            .get_or_build(src.moduli().collect(), || Arc::new(src.rescale_plan()))
+    }
+
+    fn rescale_extend_plan_for(
+        &self,
+        src: &Arc<RnsPlan>,
+        dst: &Arc<RnsPlan>,
+    ) -> Arc<RescaleExtendPlan> {
+        let key = (src.moduli().collect(), dst.moduli().collect());
+        self.rescale_extend
+            .get_or_build(key, || Arc::new(src.rescale_extend_plan(dst)))
+    }
+
+    /// The compiled per-target-modulus MAC kernels of a conversion plan, served
+    /// from the session kernel cache under
+    /// `("baseconv_mac[<source basis>]", 64, m'_s)` keys — so every conversion
+    /// over the same basis pair, from any plan object, shares one compilation.
+    fn baseconv_mac_kernels(&self, bc: &BaseConvPlan, src: &RnsPlan) -> Vec<Arc<CompiledKernel>> {
+        // The kernel constants depend on the source basis (cross-row tables),
+        // not just the target modulus; the key carries the source moduli
+        // verbatim — two bases must never share a key, a hash could collide.
+        let op = format!(
+            "baseconv_mac[{}]",
+            src.moduli()
+                .map(|m| format!("{m:x}"))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        bc.dst_plan()
+            .moduli()
+            .enumerate()
+            .map(|(s, m)| {
+                self.kernels
+                    .get_or_compile(KernelCacheKey::new(op.clone(), 64, m), || {
+                        bc.mac_kernel_ir(s)
+                    })
+                    .expect("generated baseconv kernels compile")
+            })
+            .collect()
+    }
+
+    /// Prices the direct (widening-accumulate) conversion path against the
+    /// generated-kernel path for `k` source and `l` target moduli, and returns
+    /// `true` when the generated path is cheaper on the session device. The
+    /// direct path accumulates raw widening multiply-adds and reduces once per
+    /// element; the generated path executes one fused modular
+    /// multiply-accumulate per term plus a per-term fold of the pseudo-residues
+    /// into the target ring.
+    fn compiled_convert_is_faster(&self, k: u64, l: u64, cols: usize) -> bool {
+        let mut direct = OpCounts::new();
+        direct.add_mnemonic("mulmod", k + l); // pseudo-residues + final reductions
+        direct.add_mnemonic("mulwide", l * k); // smac products
+        direct.add_mnemonic("add", l * k); // smac accumulations
+        let mut compiled = OpCounts::new();
+        compiled.add_mnemonic("mulmod", k + l * k); // pseudo-residues + folds
+        compiled.add_mnemonic("macmod", l * k);
+        let cols = cols.max(1) as u64;
+        let bytes = 8 * (k + l);
+        let direct_est = self.cost.estimate_launch(&direct, cols, bytes);
+        let compiled_est = self.cost.estimate_launch(&compiled, cols, bytes);
+        compiled_est.total < direct_est.total
+    }
+}
+
+// ----------------------------------------------------------------------
+// Typed handles
+// ----------------------------------------------------------------------
+
+/// An `n`-point single-word NTT space handed out by [`Session::ntt`] — a cached
+/// [`NttPlan64`] plus the batched launcher entry points.
+#[derive(Clone)]
+pub struct NttSpace<'s> {
+    plan: Arc<NttPlan64>,
+    // Spaces are session-scoped handles; the lifetime keeps the API uniform
+    // with `RnsSpace` without holding data the space does not use yet.
+    _session: std::marker::PhantomData<&'s Session>,
+}
+
+impl NttSpace<'_> {
+    /// The underlying cached plan (for launcher-level access).
+    pub fn plan(&self) -> &NttPlan64 {
+        &self.plan
+    }
+
+    /// Transform size.
+    pub fn n(&self) -> usize {
+        self.plan.n
+    }
+
+    /// The modulus of the coefficient ring.
+    pub fn modulus(&self) -> u64 {
+        self.plan.ctx.q
+    }
+
+    /// In-place forward transform on the inline hot path (Shoup multiplication,
+    /// lazy reduction). Inputs must be reduced; outputs are reduced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != self.n()`.
+    pub fn forward(&self, data: &mut [u64]) {
+        self.plan.forward(data);
+    }
+
+    /// In-place inverse transform (with `1/n` scaling) on the inline hot path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != self.n()`.
+    pub fn inverse(&self, data: &mut [u64]) {
+        self.plan.inverse(data);
+    }
+
+    /// Forward-transforms `data.len() / n` transforms in place with one
+    /// launch per butterfly stage across the whole batch (grid = batch × n/2) —
+    /// the launch count of the returned statistics is `log2 n + 1` however
+    /// large the batch is.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` is not a non-zero multiple of `self.n()`.
+    pub fn forward_batch(&self, data: &mut [u64]) -> LaunchStats {
+        self.plan.forward_batch_on_launcher(data)
+    }
+
+    /// Inverse counterpart of [`NttSpace::forward_batch`] (with `1/n` scaling).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` is not a non-zero multiple of `self.n()`.
+    pub fn inverse_batch(&self, data: &mut [u64]) -> LaunchStats {
+        self.plan.inverse_batch_on_launcher(data)
+    }
+}
+
+/// An RNS space (a basis of word-sized primes) handed out by [`Session::rns`]:
+/// the factory for [`RnsVec`]s over the session's cached [`RnsPlan`].
+#[derive(Clone)]
+pub struct RnsSpace<'s> {
+    session: &'s Session,
+    plan: Arc<RnsPlan>,
+}
+
+impl<'s> RnsSpace<'s> {
+    /// The underlying cached plan.
+    pub fn plan(&self) -> &RnsPlan {
+        &self.plan
+    }
+
+    /// The basis moduli, in basis order.
+    pub fn moduli(&self) -> Vec<u64> {
+        self.plan.moduli().collect()
+    }
+
+    /// The basis product (the dynamic range).
+    pub fn product(&self) -> &BigUint {
+        self.plan.product()
+    }
+
+    /// Encodes positional integers into a residue vector over this space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any value is not below the dynamic range.
+    pub fn encode(&self, values: &[BigUint]) -> RnsVec<'s> {
+        RnsVec {
+            session: self.session,
+            plan: Arc::clone(&self.plan),
+            matrix: RnsMatrix::from_biguints(&self.plan, values),
+        }
+    }
+
+    /// The session-cached conversion plan from this space's basis into `dst`'s
+    /// (for launcher-level measurement; [`RnsVec::base_convert`] uses it
+    /// implicitly).
+    pub fn conversion_to(&self, dst: &RnsSpace<'_>) -> Arc<BaseConvPlan> {
+        self.session.baseconv_plan(&self.plan, &dst.plan)
+    }
+
+    /// The session-cached rescale plan for this space's basis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the basis has fewer than two moduli.
+    pub fn rescale_plan(&self) -> Arc<RescalePlan> {
+        self.session.rescale_plan_for(&self.plan)
+    }
+
+    /// The session-cached fused rescale-and-extend plan into `dst`'s basis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the basis has fewer than two moduli.
+    pub fn rescale_extend_to(&self, dst: &RnsSpace<'_>) -> Arc<RescaleExtendPlan> {
+        self.session.rescale_extend_plan_for(&self.plan, &dst.plan)
+    }
+
+    /// The compiled per-target-modulus MAC kernels of `bc`, served from the
+    /// session kernel cache (compiled on first request, shared after).
+    pub fn conversion_kernels(&self, bc: &BaseConvPlan) -> Vec<Arc<CompiledKernel>> {
+        self.session.baseconv_mac_kernels(bc, &self.plan)
+    }
+
+    /// Wraps an existing residue matrix (over this space's basis) in a vector
+    /// handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix shape does not match the basis.
+    pub fn wrap(&self, matrix: RnsMatrix) -> RnsVec<'s> {
+        assert_eq!(
+            matrix.row_count(),
+            self.plan.moduli_count(),
+            "matrix basis mismatch"
+        );
+        RnsVec {
+            session: self.session,
+            plan: Arc::clone(&self.plan),
+            matrix,
+        }
+    }
+}
+
+/// A vector of big integers in residue form over a session-cached basis, with
+/// chainable operations. Every operation routes through the session's plan and
+/// kernel caches and — where more than one execution path exists — picks the
+/// path the session cost model prices cheaper.
+#[derive(Clone)]
+pub struct RnsVec<'s> {
+    session: &'s Session,
+    plan: Arc<RnsPlan>,
+    matrix: RnsMatrix,
+}
+
+impl<'s> RnsVec<'s> {
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.matrix.len()
+    }
+
+    /// Returns `true` if the vector holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.matrix.is_empty()
+    }
+
+    /// The underlying residue matrix.
+    pub fn matrix(&self) -> &RnsMatrix {
+        &self.matrix
+    }
+
+    /// The space this vector lives over.
+    pub fn space(&self) -> RnsSpace<'s> {
+        RnsSpace {
+            session: self.session,
+            plan: Arc::clone(&self.plan),
+        }
+    }
+
+    /// Decodes the vector back to positional integers (CRT per column).
+    pub fn to_biguints(&self) -> Vec<BigUint> {
+        self.plan.to_biguints(&self.matrix)
+    }
+
+    fn wrap(&self, matrix: RnsMatrix) -> RnsVec<'s> {
+        RnsVec {
+            session: self.session,
+            plan: Arc::clone(&self.plan),
+            matrix,
+        }
+    }
+
+    /// Element-wise `self + other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on basis or length mismatch.
+    pub fn add(&self, other: &RnsVec<'_>) -> RnsVec<'s> {
+        self.wrap(self.plan.add(&self.matrix, &other.matrix))
+    }
+
+    /// Element-wise `self - other` (well-defined modulo the basis product).
+    ///
+    /// # Panics
+    ///
+    /// Panics on basis or length mismatch.
+    pub fn sub(&self, other: &RnsVec<'_>) -> RnsVec<'s> {
+        self.wrap(self.plan.sub(&self.matrix, &other.matrix))
+    }
+
+    /// Element-wise `self * other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on basis or length mismatch.
+    pub fn mul(&self, other: &RnsVec<'_>) -> RnsVec<'s> {
+        self.wrap(self.plan.mul(&self.matrix, &other.matrix))
+    }
+
+    /// `a·self + y` with a positional scalar `a`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on basis or length mismatch, or if `a` exceeds the dynamic range.
+    pub fn axpy(&self, a: &BigUint, y: &RnsVec<'_>) -> RnsVec<'s> {
+        let scalar = self.plan.to_residues(a);
+        self.wrap(self.plan.axpy(&scalar, &self.matrix, &y.matrix))
+    }
+
+    /// Fast base extension into `dst`'s basis (the approximate `x + αM`
+    /// conversion), through the session-cached [`BaseConvPlan`].
+    ///
+    /// The execution path is picked by the session cost model: the direct
+    /// widening-accumulate kernels, or the *generated* fused multiply-accumulate
+    /// kernels served from the session kernel cache — callers no longer choose
+    /// between two methods.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the [`RnsPlan::base_convert`] conditions.
+    pub fn base_convert(&self, dst: &RnsSpace<'s>) -> RnsVec<'s> {
+        let bc = self.session.baseconv_plan(&self.plan, &dst.plan);
+        let k = self.plan.moduli_count() as u64;
+        let l = dst.plan.moduli_count() as u64;
+        let (matrix, _) = if self.session.compiled_convert_is_faster(k, l, self.len()) {
+            let kernels = self.session.baseconv_mac_kernels(&bc, &self.plan);
+            self.plan
+                .base_convert_compiled_with(&bc, &self.matrix, &kernels)
+        } else {
+            self.plan.base_convert(&bc, &self.matrix)
+        };
+        RnsVec {
+            session: self.session,
+            plan: Arc::clone(&dst.plan),
+            matrix,
+        }
+    }
+
+    /// Approximate scaled rounding (the CKKS/BGV rescale): divides every
+    /// element by the last basis modulus with rounding and returns the vector
+    /// over the shortened basis, through the session-cached [`RescalePlan`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the basis has fewer than two moduli.
+    pub fn rescale(&self) -> RnsVec<'s> {
+        let rp = self.session.rescale_plan_for(&self.plan);
+        let (matrix, _) = self.plan.scale_and_round(&rp, &self.matrix);
+        let out_moduli: Vec<u64> = rp.output_plan().moduli().collect();
+        // The rescale plan already carries a fully built plan for the shortened
+        // basis; seed the basis cache with it rather than rebuilding one (the
+        // rebuild would redo primality validation and all precomputed tables).
+        let plan = self
+            .session
+            .rns
+            .get_or_build(out_moduli, || Arc::new(rp.output_plan().clone()));
+        RnsVec {
+            session: self.session,
+            plan,
+            matrix,
+        }
+    }
+
+    /// The fused rescale-and-extend chain (BEHZ `FastBConvSK`): drops the last
+    /// basis modulus with rounding **and** re-expresses the quotient in `dst`'s
+    /// basis, through the session-cached [`RescaleExtendPlan`]. The fused
+    /// single-sweep kernel and the two-pass rescale→extend chain compute
+    /// bit-for-bit the same result; the session cost model picks whichever it
+    /// prices cheaper for this vector's length
+    /// ([`RescaleExtendPlan::fused_is_faster`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the basis has fewer than two moduli, or under the
+    /// [`RnsPlan::base_convert`] accumulator conditions.
+    pub fn rescale_then_extend(&self, dst: &RnsSpace<'s>) -> RnsVec<'s> {
+        let p = self.session.rescale_extend_plan_for(&self.plan, &dst.plan);
+        let (matrix, _) = if p.fused_is_faster(&self.session.cost, self.len()) {
+            self.plan.rescale_then_extend(&p, &self.matrix)
+        } else {
+            self.plan.rescale_then_extend_two_pass(&p, &self.matrix)
+        };
+        RnsVec {
+            session: self.session,
+            plan: Arc::clone(&dst.plan),
+            matrix,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moma_bignum::random::random_below;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generated_kernels_are_cached_per_spec_and_algorithm() {
+        let session = Session::default();
+        let spec = KernelSpec::new(KernelOp::ModMul, 256);
+        let first = session.compile(&spec);
+        let second = session.compile(&spec);
+        assert!(Arc::ptr_eq(&first, &second));
+        let karatsuba = session.compile_with_algorithm(&spec, MulAlgorithm::Karatsuba);
+        assert!(!Arc::ptr_eq(&first, &karatsuba));
+        let stats = session.stats();
+        assert_eq!(stats.generated.hits, 1);
+        assert_eq!(stats.generated.misses, 2);
+    }
+
+    #[test]
+    fn ntt_plans_are_cached_by_modulus_and_size() {
+        let session = Session::default();
+        let a = session.ntt_default(64);
+        let b = session.ntt_default(64);
+        assert!(Arc::ptr_eq(&a.plan, &b.plan));
+        let c = session.ntt_default(128);
+        assert!(!Arc::ptr_eq(&a.plan, &c.plan));
+        assert_eq!(session.stats().ntt, CacheStats { hits: 1, misses: 2 });
+        // Round trip through the handle.
+        let mut rng = StdRng::seed_from_u64(1);
+        let data: Vec<u64> = (0..64)
+            .map(|_| {
+                random_below(&mut rng, &BigUint::from(a.modulus()))
+                    .to_u64()
+                    .unwrap()
+            })
+            .collect();
+        let mut work = data.clone();
+        a.forward(&mut work);
+        a.inverse(&mut work);
+        assert_eq!(work, data);
+    }
+
+    #[test]
+    fn multiword_ntt_plans_are_cached_per_limb_count() {
+        let session = Session::default();
+        let a = session.ntt_multiword::<2>(128, 32);
+        let b = session.ntt_multiword::<2>(128, 32);
+        assert!(Arc::ptr_eq(&a, &b));
+        let stats = session.stats();
+        assert_eq!(stats.ntt_multiword, CacheStats { hits: 1, misses: 1 });
+        let mut rng = StdRng::seed_from_u64(2);
+        let data: Vec<_> = (0..32).map(|_| a.ring.random_element(&mut rng)).collect();
+        let mut work = data.clone();
+        a.forward(&mut work);
+        a.inverse(&mut work);
+        assert_eq!(work, data);
+    }
+
+    #[test]
+    fn rns_chain_matches_the_oracle_and_reuses_every_plan() {
+        let session = Session::default();
+        let src = session.rns_with_capacity(160);
+        let src_moduli = src.moduli();
+        let dst = session.rns(&src_moduli[..4]);
+        let mut rng = StdRng::seed_from_u64(3);
+        let values: Vec<BigUint> = (0..9)
+            .map(|_| random_below(&mut rng, src.product()))
+            .collect();
+        let v = src.encode(&values);
+        let out = v.mul(&v).rescale_then_extend(&dst);
+        // Oracle: square, rescale, extend — element by element.
+        let ctx = RnsContext::with_moduli(&src.moduli());
+        let dst_ctx = RnsContext::with_moduli(&dst.moduli());
+        let out_ctx = ctx.without_last();
+        for (c, x) in values.iter().enumerate() {
+            let sq = (x * x) % src.product();
+            let oracle =
+                out_ctx.base_convert(&dst_ctx, &ctx.scale_and_round(&ctx.to_residues(&sq)));
+            assert_eq!(out.matrix().element(c), oracle, "column {c}");
+        }
+        let miss_baseline = session.stats();
+        // The second identical chain builds nothing anywhere.
+        let again = src.encode(&values).mul(&v).rescale_then_extend(&dst);
+        assert_eq!(again.to_biguints(), out.to_biguints());
+        let after = session.stats();
+        assert_eq!(after.rns.misses, miss_baseline.rns.misses);
+        assert_eq!(
+            after.rescale_extend.misses,
+            miss_baseline.rescale_extend.misses
+        );
+        assert_eq!(after.kernels.misses, miss_baseline.kernels.misses);
+        assert!(after.rescale_extend.hits > miss_baseline.rescale_extend.hits);
+    }
+
+    #[test]
+    fn rns_vec_ops_match_plan_results() {
+        let session = Session::default();
+        let space = session.rns_with_capacity(96);
+        let mut rng = StdRng::seed_from_u64(4);
+        let a: Vec<BigUint> = (0..6)
+            .map(|_| random_below(&mut rng, space.product()))
+            .collect();
+        let b: Vec<BigUint> = (0..6)
+            .map(|_| random_below(&mut rng, space.product()))
+            .collect();
+        let va = space.encode(&a);
+        let vb = space.encode(&b);
+        let scalar = BigUint::from(0x1234_5678u64);
+        for (c, (x, y)) in a.iter().zip(&b).enumerate() {
+            assert_eq!(
+                va.add(&vb).to_biguints()[c],
+                (x + y) % space.product(),
+                "add {c}"
+            );
+            assert_eq!(
+                va.mul(&vb).to_biguints()[c],
+                (x * y) % space.product(),
+                "mul {c}"
+            );
+            assert_eq!(
+                va.axpy(&scalar, &vb).to_biguints()[c],
+                (&(&scalar * x) + y) % space.product(),
+                "axpy {c}"
+            );
+        }
+        // rescale matches the oracle.
+        let ctx = RnsContext::with_moduli(&space.moduli());
+        let rescaled = va.rescale();
+        for (c, x) in a.iter().enumerate() {
+            assert_eq!(
+                rescaled.matrix().element(c),
+                ctx.scale_and_round(&ctx.to_residues(x)),
+                "rescale {c}"
+            );
+        }
+    }
+
+    #[test]
+    fn base_convert_handle_matches_the_direct_path() {
+        let session = Session::default();
+        let src = session.rns_with_capacity(128);
+        let src_moduli = src.moduli();
+        let dst = session.rns(&src_moduli[..5]);
+        let mut rng = StdRng::seed_from_u64(5);
+        let values: Vec<BigUint> = (0..7)
+            .map(|_| random_below(&mut rng, src.product()))
+            .collect();
+        let converted = src.encode(&values).base_convert(&dst);
+        let ctx = RnsContext::with_moduli(&src.moduli());
+        let dst_ctx = RnsContext::with_moduli(&dst.moduli());
+        for (c, v) in values.iter().enumerate() {
+            assert_eq!(
+                converted.matrix().element(c),
+                ctx.base_convert(&dst_ctx, &ctx.to_residues(v)),
+                "column {c}"
+            );
+        }
+    }
+
+    #[test]
+    fn batched_ntt_space_amortizes_stage_launches() {
+        let session = Session::default();
+        let space = session.ntt_default(64);
+        let mut rng = StdRng::seed_from_u64(6);
+        let q = BigUint::from(space.modulus());
+        let data: Vec<u64> = (0..8 * 64)
+            .map(|_| random_below(&mut rng, &q).to_u64().unwrap())
+            .collect();
+        let mut batched = data.clone();
+        let stats = space.forward_batch(&mut batched);
+        assert_eq!(stats.launches, 6 + 1, "log2(64) stages + normalize");
+        let inv = space.inverse_batch(&mut batched);
+        assert_eq!(inv.launches, 6 + 1);
+        assert_eq!(batched, data);
+    }
+}

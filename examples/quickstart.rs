@@ -1,16 +1,20 @@
-//! Quickstart: generate a 256-bit modular multiplication kernel, look at the code the
-//! rewrite system produces, and execute it.
+//! Quickstart: open a `Session`, generate a 256-bit modular multiplication kernel
+//! through its cache, look at the code the rewrite system produces, execute it, and
+//! run a session-cached RNS chain.
 //!
 //! Run with: `cargo run -p moma-examples --example quickstart`
 
 use moma::bignum::BigUint;
-use moma::{Compiler, KernelOp, KernelSpec};
+use moma::{KernelOp, KernelSpec, Session};
 
 fn main() {
-    // 1. Generate the kernel: (a * b) mod q for 256-bit operands, Barrett reduction,
+    // 1. One session owns every cache: generated kernels, compiled kernels, and
+    //    the NTT/RNS execution plans. Everything below goes through it.
+    let session = Session::default();
+
+    // 2. Generate the kernel: (a * b) mod q for 256-bit operands, Barrett reduction,
     //    lowered to 64-bit machine words by the MoMA rewrite system.
-    let compiler = Compiler::default();
-    let kernel = compiler.compile(&KernelSpec::new(KernelOp::ModMul, 256));
+    let kernel = session.compile(&KernelSpec::new(KernelOp::ModMul, 256));
 
     println!("Generated kernel: {}", kernel.kernel.name);
     println!(
@@ -30,7 +34,16 @@ fn main() {
     }
     println!("... ({} lines total)\n", kernel.cuda_source.lines().count());
 
-    // 2. Execute the generated code on real values and check it against the
+    // 3. Compile once, execute many: an identical request is served from the cache.
+    let again = session.compile(&KernelSpec::new(KernelOp::ModMul, 256));
+    assert!(std::sync::Arc::ptr_eq(&kernel, &again));
+    println!(
+        "generated-kernel cache: {} miss, {} hit (second request built nothing)\n",
+        session.stats().generated.misses,
+        session.stats().generated.hits
+    );
+
+    // 4. Execute the generated code on real values and check it against the
     //    arbitrary-precision oracle.
     let q = moma::ntt::params::paper_modulus(256);
     let mu = (BigUint::from(1u64) << (2 * q.bits() + 3)) / &q;
@@ -60,5 +73,23 @@ fn main() {
     println!("a * b mod q (generated code) = 0x{got:x}");
     println!("a * b mod q (oracle)         = 0x{expected:x}");
     assert_eq!(got, expected, "generated code must agree with the oracle");
-    println!("\nThe generated kernel agrees with the arbitrary-precision oracle.");
+    println!("The generated kernel agrees with the arbitrary-precision oracle.\n");
+
+    // 5. The typed RNS handles: encode, square, and run the fused
+    //    rescale-and-extend chain (BEHZ FastBConvSK), all through session caches.
+    let space = session.rns_with_capacity(128);
+    let values = [a % space.product(), b % space.product()];
+    let vec = space.encode(&values);
+    let extended = vec.mul(&vec).rescale_then_extend(&space);
+    println!(
+        "RNS chain over {} moduli: mul -> fused rescale_then_extend -> {} elements over {} target rows",
+        space.moduli().len(),
+        extended.len(),
+        extended.matrix().row_count()
+    );
+    let stats = session.stats();
+    println!(
+        "plan caches after the chain: rns {}+{}, rescale_extend {}+{} (misses+hits)",
+        stats.rns.misses, stats.rns.hits, stats.rescale_extend.misses, stats.rescale_extend.hits
+    );
 }

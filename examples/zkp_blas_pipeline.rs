@@ -7,10 +7,9 @@
 use moma::blas::batch::Batch;
 use moma::blas::gpu::run_batch_parallel;
 use moma::blas::BlasOp;
-use moma::engine;
 use moma::gpu::DeviceSpec;
 use moma::mp::{ModRing, MpUint};
-use moma::{Compiler, KernelOp, KernelSpec};
+use moma::{KernelOp, KernelSpec, Session};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -45,10 +44,10 @@ fn main() {
     }
 
     // The zero-pruning optimization: a 381-bit kernel is cheaper than the padded
-    // 512-bit kernel it lives in.
-    let compiler = Compiler::default();
-    let pruned = compiler.compile(&KernelSpec::new(KernelOp::ModMul, BITS));
-    let full = compiler.compile(&KernelSpec::new(KernelOp::ModMul, 512));
+    // 512-bit kernel it lives in. Both kernels come out of the session cache.
+    let session = Session::default();
+    let pruned = session.compile(&KernelSpec::new(KernelOp::ModMul, BITS));
+    let full = session.compile(&KernelSpec::new(KernelOp::ModMul, 512));
     println!(
         "\nzero pruning: {}-bit modmul uses {} word ops vs {} for the full 512-bit kernel",
         BITS,
@@ -56,10 +55,11 @@ fn main() {
         full.op_counts.total()
     );
 
-    // Modelled per-element times on the paper's three GPUs.
+    // Modelled per-element times on the paper's three GPUs — the generated
+    // kernel is compiled once (session cache) and re-priced per device.
     println!("\nmodelled vector-multiplication time per element (ns), 2^20 elements:");
     for device in DeviceSpec::all() {
-        let ns = engine::modelled_blas_ns_per_element(device, KernelOp::ModMul, 384, 1 << 20);
+        let ns = session.modelled_blas_ns_per_element(device, KernelOp::ModMul, 384, 1 << 20);
         println!("  {:<10} {ns:.3} ns", device.name);
     }
 }

@@ -1,12 +1,11 @@
 //! Integration test: the simulated GPU — generated kernels executed one virtual thread
 //! per element, and the analytical cost model's qualitative properties.
 
-use moma::engine;
 use moma::gpu::launch::launch_kernel;
 use moma::gpu::{CostModel, DeviceSpec};
 use moma::mp::{ModRing, MpUint};
 use moma::ntt::params::paper_modulus;
-use moma::{Compiler, KernelOp, KernelSpec, MulAlgorithm};
+use moma::{Compiler, KernelOp, KernelSpec, MulAlgorithm, Session};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -46,11 +45,12 @@ fn generated_vecaddmod_on_simulated_gpu_matches_runtime_library() {
 #[test]
 fn cost_model_reproduces_figure_shapes() {
     // Per-butterfly time grows with bit-width (Figure 5a) ...
+    let session = Session::default();
     let h100 = DeviceSpec::H100;
-    let t128 = engine::modelled_ntt_ns_per_butterfly(h100, 128, 12, MulAlgorithm::Schoolbook);
-    let t256 = engine::modelled_ntt_ns_per_butterfly(h100, 256, 12, MulAlgorithm::Schoolbook);
-    let t512 = engine::modelled_ntt_ns_per_butterfly(h100, 512, 12, MulAlgorithm::Schoolbook);
-    let t1024 = engine::modelled_ntt_ns_per_butterfly(h100, 1024, 12, MulAlgorithm::Schoolbook);
+    let t128 = session.modelled_ntt_ns_per_butterfly(h100, 128, 12, MulAlgorithm::Schoolbook);
+    let t256 = session.modelled_ntt_ns_per_butterfly(h100, 256, 12, MulAlgorithm::Schoolbook);
+    let t512 = session.modelled_ntt_ns_per_butterfly(h100, 512, 12, MulAlgorithm::Schoolbook);
+    let t1024 = session.modelled_ntt_ns_per_butterfly(h100, 1024, 12, MulAlgorithm::Schoolbook);
     assert!(t128 < t256 && t256 < t512 && t512 < t1024);
     // ... with super-linear slowdown factors (the paper reports 5.6x from 128 to 256,
     // 4.8x from 256 to 512, 4.7x from 512 to 1024 on H100).
@@ -59,13 +59,13 @@ fn cost_model_reproduces_figure_shapes() {
 
     // The V100 is the slowest device at every width (Figure 3).
     for bits in [128u32, 256, 384] {
-        let v = engine::modelled_ntt_ns_per_butterfly(
+        let v = session.modelled_ntt_ns_per_butterfly(
             DeviceSpec::V100,
             bits,
             14,
             MulAlgorithm::Schoolbook,
         );
-        let h = engine::modelled_ntt_ns_per_butterfly(
+        let h = session.modelled_ntt_ns_per_butterfly(
             DeviceSpec::H100,
             bits,
             14,
@@ -77,7 +77,7 @@ fn cost_model_reproduces_figure_shapes() {
     // The shared-memory cliff: V100 per-butterfly time jumps between 2^10 and 2^12
     // (Figure 3a shows the significant slowdown for sizes 2^11 and larger).
     let model = CostModel::new(DeviceSpec::V100);
-    let counts = engine::butterfly_op_counts(128, MulAlgorithm::Schoolbook);
+    let counts = session.butterfly_op_counts(128, MulAlgorithm::Schoolbook);
     let small = model.ntt_time_per_butterfly_ns(&counts, 1 << 10, 128);
     let large = model.ntt_time_per_butterfly_ns(&counts, 1 << 12, 128);
     assert!(large > small);
@@ -88,10 +88,11 @@ fn zero_pruning_reduces_modelled_time_for_padded_widths() {
     // 384-bit butterflies (stored in 512-bit containers) must be modelled as faster
     // than full 512-bit butterflies — this is what makes Figure 3c sit below a
     // hypothetical 512-bit curve.
+    let session = Session::default();
     let t384 =
-        engine::modelled_ntt_ns_per_butterfly(DeviceSpec::H100, 384, 16, MulAlgorithm::Schoolbook);
+        session.modelled_ntt_ns_per_butterfly(DeviceSpec::H100, 384, 16, MulAlgorithm::Schoolbook);
     let t512 =
-        engine::modelled_ntt_ns_per_butterfly(DeviceSpec::H100, 512, 16, MulAlgorithm::Schoolbook);
+        session.modelled_ntt_ns_per_butterfly(DeviceSpec::H100, 512, 16, MulAlgorithm::Schoolbook);
     assert!(t384 < t512);
 }
 

@@ -1,0 +1,148 @@
+//! Cross-crate integration tests for the `moma::Session` API: plan and kernel
+//! reuse is asserted through the hit counters (a second identical request must
+//! build nothing), and the typed handles must agree with the low-level oracles
+//! they wrap.
+
+use moma::bignum::BigUint;
+use moma::rns::RnsContext;
+use moma::{KernelOp, KernelSpec, Session};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn random_values(seed: u64, count: usize, below: &BigUint) -> Vec<BigUint> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| moma::bignum::random::random_below(&mut rng, below))
+        .collect()
+}
+
+#[test]
+fn second_identical_request_builds_nothing_anywhere() {
+    let session = Session::default();
+    let src = session.rns_with_capacity(160);
+    let src_moduli = src.moduli();
+    let dst = session.rns(&src_moduli[..4]);
+    let values = random_values(1, 6, src.product());
+
+    // Warm-up: every cache misses once.
+    let _ = session.compile(&KernelSpec::new(KernelOp::Butterfly, 256));
+    let ntt = session.ntt_default(256);
+    let bc = src.conversion_to(&dst);
+    let _ = src.conversion_kernels(&bc);
+    let warm = src.encode(&values).mul(&src.encode(&values));
+    let _ = warm.rescale_then_extend(&dst);
+    let _ = warm.base_convert(&dst);
+    let _ = warm.rescale();
+    let baseline = session.stats();
+    assert!(baseline.generated.misses > 0);
+    assert!(baseline.ntt.misses > 0);
+    assert!(baseline.rns.misses > 0);
+    assert!(baseline.baseconv.misses > 0);
+    assert!(baseline.rescale.misses > 0);
+    assert!(baseline.rescale_extend.misses > 0);
+    assert!(baseline.kernels.misses > 0);
+
+    // The identical second round: hits only, not a single new build.
+    let _ = session.compile(&KernelSpec::new(KernelOp::Butterfly, 256));
+    let ntt_again = session.ntt_default(256);
+    assert!(std::ptr::eq(ntt.plan(), ntt_again.plan()));
+    let bc_again = src.conversion_to(&dst);
+    let _ = src.conversion_kernels(&bc_again);
+    let again = src.encode(&values).mul(&src.encode(&values));
+    let _ = again.rescale_then_extend(&dst);
+    let _ = again.base_convert(&dst);
+    let _ = again.rescale();
+    let after = session.stats();
+
+    assert_eq!(after.generated.misses, baseline.generated.misses);
+    assert_eq!(after.ntt.misses, baseline.ntt.misses);
+    assert_eq!(after.rns.misses, baseline.rns.misses);
+    assert_eq!(after.baseconv.misses, baseline.baseconv.misses);
+    assert_eq!(after.rescale.misses, baseline.rescale.misses);
+    assert_eq!(after.rescale_extend.misses, baseline.rescale_extend.misses);
+    assert_eq!(after.kernels.misses, baseline.kernels.misses);
+    assert!(after.generated.hits > baseline.generated.hits);
+    assert!(after.ntt.hits > baseline.ntt.hits);
+    assert!(after.baseconv.hits > baseline.baseconv.hits);
+    assert!(after.rescale_extend.hits > baseline.rescale_extend.hits);
+    assert!(after.kernels.hits > baseline.kernels.hits);
+}
+
+#[test]
+fn session_chain_matches_the_biguint_oracle() {
+    let session = Session::default();
+    let src = session.rns_with_capacity(128);
+    let src_moduli = src.moduli();
+    let dst = session.rns(&src_moduli[..4]);
+    let values = random_values(2, 8, src.product());
+    let out = src
+        .encode(&values)
+        .mul(&src.encode(&values))
+        .rescale_then_extend(&dst);
+
+    let ctx = RnsContext::with_moduli(&src_moduli);
+    let dst_ctx = RnsContext::with_moduli(&dst.moduli());
+    let out_ctx = ctx.without_last();
+    for (c, x) in values.iter().enumerate() {
+        let sq = (x * x) % src.product();
+        let oracle = out_ctx.base_convert(&dst_ctx, &ctx.scale_and_round(&ctx.to_residues(&sq)));
+        assert_eq!(out.matrix().element(c), oracle, "column {c}");
+    }
+}
+
+#[test]
+fn batched_ntt_launch_count_is_independent_of_batch_size() {
+    let session = Session::default();
+    let n = 256;
+    let space = session.ntt_default(n);
+    let expected_launches = n.trailing_zeros() as usize + 1; // stages + normalize
+    let q = BigUint::from(space.modulus());
+    for batch in [1usize, 4, 16] {
+        let data: Vec<u64> = random_values(batch as u64, batch * n, &q)
+            .iter()
+            .map(|v| v.to_u64().unwrap())
+            .collect();
+        let mut work = data.clone();
+        let stats = space.forward_batch(&mut work);
+        assert_eq!(
+            stats.launches, expected_launches,
+            "batch {batch}: stage launches must not scale with batch size"
+        );
+        assert_eq!(
+            stats.threads,
+            batch * (n / 2) * n.trailing_zeros() as usize + batch * n,
+            "batch {batch}: one thread per butterfly plus the normalize pass"
+        );
+        // Batched execution is still the same transform.
+        let mut reference = data.clone();
+        for transform in reference.chunks_exact_mut(n) {
+            space.forward(transform);
+        }
+        assert_eq!(work, reference, "batch {batch}");
+        space.inverse_batch(&mut work);
+        assert_eq!(work, data, "batch {batch}: inverse ∘ forward");
+    }
+}
+
+#[test]
+fn session_compiled_conversion_kernels_are_shared_across_plans() {
+    let session = Session::default();
+    let src = session.rns_with_capacity(96);
+    let dst_moduli = RnsContext::with_random_primes(3, 31, 0xabcd)
+        .moduli()
+        .to_vec();
+    let dst = session.rns(&dst_moduli);
+    let bc = src.conversion_to(&dst);
+    let first = src.conversion_kernels(&bc);
+    let second = src.conversion_kernels(&bc);
+    assert_eq!(first.len(), dst_moduli.len());
+    for (a, b) in first.iter().zip(&second) {
+        assert!(
+            std::sync::Arc::ptr_eq(a, b),
+            "kernels must be shared, not recompiled"
+        );
+    }
+    let stats = session.stats();
+    assert_eq!(stats.kernels.misses, dst_moduli.len() as u64);
+    assert_eq!(stats.kernels.hits, dst_moduli.len() as u64);
+}
