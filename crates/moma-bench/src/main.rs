@@ -10,9 +10,15 @@
 //!                                                                # writes BENCH_ntt_blas.json
 //!   cargo run -p moma-bench --bin reproduce --release -- --quick # bench only, fast
 //!
-//! Items: table1, table2, codegen, fig1, fig2, fig3, fig4, fig5a, fig5b, claims, bench.
-//! `--quick` reduces the bench iteration counts (CI smoke mode); on its own it implies
-//! the `bench` item only.
+//! Items: table1, table2, codegen, fig1, fig2, fig3, fig4, fig5a, fig5b, claims, serve,
+//! bench. `--quick` reduces the bench iteration counts (CI smoke mode); on its own it
+//! implies the `serve` and `bench` items only.
+//!
+//! `serve` runs the closed-loop batching-service bench: N simulated clients in a
+//! closed loop against a `moma-serve` server over one shared session, batched
+//! coalescing vs the one-request-at-a-time baseline (throughput, p50/p99 latency,
+//! launches per op, cache hit rate). Its numbers land in `BENCH_ntt_blas.json`
+//! under `serve_closed_loop` when the `bench` item also runs.
 
 use moma::bignum::BigUint;
 use moma::blas::batch::{run_batch, Batch};
@@ -33,8 +39,9 @@ use moma::rewrite::{builders, lower};
 use moma::rns::{vector as rns_vec, BaseConvPlan, RnsContext, RnsMatrix, RnsPlan};
 use moma::MulAlgorithm;
 use moma::{Compiler, KernelOp, KernelSpec, LoweringConfig, RnsSpace, Session};
-use rand::Rng;
-use std::time::Instant;
+use moma_serve::{ServeConfig, Server, WorkItem};
+use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
 
 fn main() {
     let all_args: Vec<String> = std::env::args().skip(1).collect();
@@ -45,7 +52,7 @@ fn main() {
     let bench_only = quick && args.is_empty();
     let want = |name: &str| {
         if bench_only {
-            name == "bench"
+            name == "bench" || name == "serve"
         } else {
             args.is_empty() || args.iter().any(|a| a == name || a == "all")
         }
@@ -82,8 +89,13 @@ fn main() {
     if want("claims") {
         claims(&session);
     }
-    if want("bench") {
-        bench(&session, quick);
+    // The serve bench runs once and feeds both the printed section and the
+    // `serve_closed_loop` entry the `bench` item writes to the JSON file.
+    if want("serve") || want("bench") {
+        let serve = bench_serve(quick);
+        if want("bench") {
+            bench(&session, quick, &serve);
+        }
     }
 }
 
@@ -330,7 +342,7 @@ fn baseconv_target_plan(count: usize, seed: u64) -> RnsPlan {
 }
 
 /// [`baseconv_target_plan`] through the session's basis-keyed plan cache.
-fn baseconv_target_space(session: &Session, count: usize, seed: u64) -> RnsSpace<'_> {
+fn baseconv_target_space(session: &Session, count: usize, seed: u64) -> RnsSpace {
     let moduli = RnsContext::with_random_primes(count, 31, seed)
         .moduli()
         .to_vec();
@@ -923,7 +935,192 @@ fn bench_blas_batch(batch_size: usize, vector_len: usize, iters: u32) -> (f64, f
     (sequential, parallel, sequential / parallel)
 }
 
-fn bench(session: &Session, quick: bool) {
+/// Aggregates of one closed-loop serve run plus its baseline comparison.
+struct ServeBench {
+    clients: usize,
+    requests: usize,
+    n: usize,
+    throughput_ops_per_sec: f64,
+    p50_us: f64,
+    p99_us: f64,
+    launches_per_op: f64,
+    baseline_launches_per_op: f64,
+    avg_batch: f64,
+    ntt_cache_hit_rate: f64,
+}
+
+/// One closed-loop run: `clients` threads each keep exactly one request in
+/// flight against a fresh server/session pair; per-request latency and the
+/// fair launch share (`batch_launches / batch_size`) are recorded at the
+/// client.
+struct ServeRun {
+    elapsed_s: f64,
+    latencies_us: Vec<f64>,
+    launch_share_sum: f64,
+    batch_sum: u64,
+    ops: usize,
+    ntt_cache_hit_rate: f64,
+}
+
+fn serve_closed_loop_run(
+    config: ServeConfig,
+    clients: usize,
+    per_client: usize,
+    n: usize,
+) -> ServeRun {
+    // A fresh session per run keeps the cache-hit-rate measurement honest: the
+    // first request of each kind builds, everything after must hit.
+    let session = Session::default();
+    let server = Server::new(session.clone(), config);
+    let src_moduli = session.rns_with_capacity(128).moduli();
+    let tenant = server.register_tenant(&src_moduli, &src_moduli[..4]);
+    let product = session.rns(&src_moduli).product().clone();
+    let q = session.ntt_default(n).modulus();
+
+    let start = Instant::now();
+    let per_thread: Vec<(Vec<f64>, f64, u64)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let client = server.client();
+                let product = &product;
+                s.spawn(move || {
+                    let mut rng = rand::rngs::StdRng::seed_from_u64(0xC0FFEE + c as u64);
+                    let mut latencies = Vec::with_capacity(per_client);
+                    let mut share = 0.0f64;
+                    let mut batch_sum = 0u64;
+                    for i in 0..per_client {
+                        // Mixed workload: mostly NTT transforms, every eighth
+                        // request the tenant's fused RNS chain.
+                        let item = if i % 8 == 7 {
+                            let mut operand = |seed_len: usize| -> Vec<BigUint> {
+                                (0..seed_len)
+                                    .map(|_| moma::bignum::random::random_below(&mut rng, product))
+                                    .collect()
+                            };
+                            WorkItem::RnsMulRescaleExtend {
+                                tenant,
+                                a: operand(4),
+                                b: operand(4),
+                            }
+                        } else {
+                            WorkItem::NttForward {
+                                q,
+                                n,
+                                data: (0..n).map(|_| rng.gen_range(0..q)).collect(),
+                            }
+                        };
+                        let t0 = Instant::now();
+                        let done = client.call(item).expect("serve bench request");
+                        latencies.push(t0.elapsed().as_secs_f64() * 1e6);
+                        share += done.batch_launches as f64 / done.batch_size as f64;
+                        batch_sum += done.batch_size as u64;
+                    }
+                    (latencies, share, batch_sum)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("serve bench client"))
+            .collect()
+    });
+    let elapsed_s = start.elapsed().as_secs_f64();
+
+    let ntt = session.stats().ntt;
+    let mut run = ServeRun {
+        elapsed_s,
+        latencies_us: Vec::new(),
+        launch_share_sum: 0.0,
+        batch_sum: 0,
+        ops: clients * per_client,
+        ntt_cache_hit_rate: ntt.hits as f64 / (ntt.hits + ntt.misses).max(1) as f64,
+    };
+    for (latencies, share, batch_sum) in per_thread {
+        run.latencies_us.extend(latencies);
+        run.launch_share_sum += share;
+        run.batch_sum += batch_sum;
+    }
+    run.latencies_us
+        .sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    run
+}
+
+fn percentile(sorted_us: &[f64], p: f64) -> f64 {
+    let idx = ((sorted_us.len() as f64 - 1.0) * p).round() as usize;
+    sorted_us[idx]
+}
+
+/// The closed-loop batching-service bench: 8 simulated clients over one shared
+/// session, coalescing batcher vs the one-request-at-a-time baseline.
+fn bench_serve(quick: bool) -> ServeBench {
+    heading("Closed-loop serve bench (moma-serve batching front-end)");
+    let clients = 8;
+    let per_client = if quick { 24 } else { 96 };
+    let n = 1024;
+    let batched = serve_closed_loop_run(
+        ServeConfig {
+            workers: 2,
+            max_batch: 64,
+            min_batch: 4,
+            batch_window: Duration::from_millis(5),
+        },
+        clients,
+        per_client,
+        n,
+    );
+    // max_batch = 1 disables coalescing: every request is its own batch and
+    // pays the full per-op launch count.
+    let baseline = serve_closed_loop_run(
+        ServeConfig {
+            workers: 2,
+            max_batch: 1,
+            min_batch: 1,
+            batch_window: Duration::ZERO,
+        },
+        clients,
+        per_client,
+        n,
+    );
+
+    let result = ServeBench {
+        clients,
+        requests: batched.ops,
+        n,
+        throughput_ops_per_sec: batched.ops as f64 / batched.elapsed_s,
+        p50_us: percentile(&batched.latencies_us, 0.50),
+        p99_us: percentile(&batched.latencies_us, 0.99),
+        launches_per_op: batched.launch_share_sum / batched.ops as f64,
+        baseline_launches_per_op: baseline.launch_share_sum / baseline.ops as f64,
+        avg_batch: batched.batch_sum as f64 / batched.ops as f64,
+        ntt_cache_hit_rate: batched.ntt_cache_hit_rate,
+    };
+    println!(
+        "{clients} closed-loop clients x {per_client} requests (n = {n} NTT + fused RNS chains):"
+    );
+    println!(
+        "  batched    {:>10.0} ops/s   p50 {:>8.1} us   p99 {:>8.1} us   {:.2} launches/op   avg batch {:.2}",
+        result.throughput_ops_per_sec,
+        result.p50_us,
+        result.p99_us,
+        result.launches_per_op,
+        result.avg_batch
+    );
+    println!(
+        "  baseline   {:>10.0} ops/s   p50 {:>8.1} us   p99 {:>8.1} us   {:.2} launches/op   (max_batch = 1)",
+        baseline.ops as f64 / baseline.elapsed_s,
+        percentile(&baseline.latencies_us, 0.50),
+        percentile(&baseline.latencies_us, 0.99),
+        result.baseline_launches_per_op
+    );
+    println!(
+        "  coalescing cuts launches/op by {:.2}x; NTT plan cache hit rate {:.4}",
+        result.baseline_launches_per_op / result.launches_per_op,
+        result.ntt_cache_hit_rate
+    );
+    result
+}
+
+fn bench(session: &Session, quick: bool, serve: &ServeBench) {
     heading(if quick {
         "Hot-path bench (quick mode) -> BENCH_ntt_blas.json"
     } else {
@@ -1101,7 +1298,15 @@ fn bench(session: &Session, quick: bool) {
          \"batch\": {batch_size},\n    \"vector_len\": {n},\n    \
          \"sequential_ns_per_element\": {blas_seq:.2},\n    \
          \"parallel_ns_per_element\": {blas_par:.2},\n    \
-         \"parallel_vs_sequential_speedup\": {blas_speedup:.3}\n  }}\n}}\n",
+         \"parallel_vs_sequential_speedup\": {blas_speedup:.3}\n  }},\n  \
+         \"serve_closed_loop\": {{\n    \"clients\": {serve_clients},\n    \
+         \"requests\": {serve_requests},\n    \"n\": {serve_n},\n    \
+         \"throughput_ops_per_sec\": {serve_throughput:.1},\n    \
+         \"p50_us\": {serve_p50:.1},\n    \"p99_us\": {serve_p99:.1},\n    \
+         \"launches_per_op\": {serve_lpo:.3},\n    \
+         \"baseline_launches_per_op\": {serve_baseline_lpo:.3},\n    \
+         \"avg_batch\": {serve_avg_batch:.3},\n    \
+         \"ntt_cache_hit_rate\": {serve_hit_rate:.4}\n  }}\n}}\n",
         ntt_rows = rows_u64
             .iter()
             .chain(&rows_u128)
@@ -1139,6 +1344,16 @@ fn bench(session: &Session, quick: bool) {
         interp_ns = modmul.interp_ns,
         compiled_ns = modmul.compiled_ns,
         kernel_speedup = modmul.speedup,
+        serve_clients = serve.clients,
+        serve_requests = serve.requests,
+        serve_n = serve.n,
+        serve_throughput = serve.throughput_ops_per_sec,
+        serve_p50 = serve.p50_us,
+        serve_p99 = serve.p99_us,
+        serve_lpo = serve.launches_per_op,
+        serve_baseline_lpo = serve.baseline_launches_per_op,
+        serve_avg_batch = serve.avg_batch,
+        serve_hit_rate = serve.ntt_cache_hit_rate,
     );
     std::fs::write("BENCH_ntt_blas.json", &json).expect("write BENCH_ntt_blas.json");
     println!("\nwrote BENCH_ntt_blas.json");

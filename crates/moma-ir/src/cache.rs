@@ -16,7 +16,7 @@ use crate::interp::InterpError;
 use crate::Kernel;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// Identity of one specialized generated kernel.
 ///
@@ -88,6 +88,14 @@ impl KernelCache {
         Self::default()
     }
 
+    /// Locks the map, recovering the guard if a previous holder panicked: the
+    /// map only ever holds fully compiled kernels (a failed compile caches
+    /// nothing), so the data behind a poisoned lock is always valid, and a
+    /// panicked caller must not wedge a long-lived serving session.
+    fn lock_map(&self) -> MutexGuard<'_, HashMap<KernelCacheKey, Arc<CompiledKernel>>> {
+        self.map.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Returns the cached compiled kernel for `key`, building and compiling it
     /// with `build` on the first request.
     ///
@@ -103,7 +111,7 @@ impl KernelCache {
         key: KernelCacheKey,
         build: impl FnOnce() -> Kernel,
     ) -> Result<Arc<CompiledKernel>, InterpError> {
-        let mut map = self.map.lock().expect("kernel cache poisoned");
+        let mut map = self.lock_map();
         if let Some(hit) = map.get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(Arc::clone(hit));
@@ -126,7 +134,7 @@ impl KernelCache {
 
     /// Number of distinct kernels currently cached.
     pub fn len(&self) -> usize {
-        self.map.lock().expect("kernel cache poisoned").len()
+        self.lock_map().len()
     }
 
     /// Returns `true` if no kernel has been cached yet.

@@ -1,0 +1,61 @@
+//! A batching service front-end over one shared [`moma::Session`].
+//!
+//! The paper's performance story is *wide launches over warm plans*: a batched
+//! NTT runs `log2 n + 1` stage launches however many transforms ride in the
+//! batch, and an RNS chain op runs a fixed launch sequence however many
+//! elements it covers. A service that executes each client request by itself
+//! pays the full launch count per request; a service that **coalesces**
+//! concurrent requests into one flat batch divides it by the batch size. This
+//! crate is that service, built directly on the owned, `Send + 'static` session
+//! handles (`NttSpace`, `RnsSpace`, `RnsVec`):
+//!
+//! * [`Server`] owns a shared [`moma::Session`] clone, a dispatcher thread, and a
+//!   pool of worker threads (plain `std::thread` + `std::sync::mpsc` — no async
+//!   runtime);
+//! * the dispatcher collects in-flight requests for up to a batching window and
+//!   groups them by compatible work — same `(q, n)` NTT direction, same tenant
+//!   RNS chain — into flat batches;
+//! * workers execute each batch through the session's stage-batched launchers
+//!   ([`moma::session::NttSpace::forward_batch`]) and fused RNS chains, so the
+//!   plans, kernels, and twiddle tables are built once and shared across every
+//!   request the server ever sees;
+//! * [`Client`] handles are cheap to clone and free to cross threads; a
+//!   submitted request yields a [`Ticket`] that resolves to a [`Completion`]
+//!   carrying the response plus the batch observability (batch size, launches)
+//!   the closed-loop bench aggregates.
+//!
+//! Tenants ([`Server::register_tenant`]) pin an RNS source/destination basis
+//! pair once; every chain request for that tenant reuses the same cached
+//! spaces and plans.
+//!
+//! # Example
+//!
+//! ```
+//! use moma::Session;
+//! use moma_serve::{Response, ServeConfig, Server, WorkItem};
+//!
+//! let server = Server::new(Session::default(), ServeConfig::default());
+//! let client = server.client();
+//! let space = server.session().ntt_default(8);
+//! let (q, data) = (space.modulus(), vec![1u64, 2, 3, 4, 5, 6, 7, 0]);
+//!
+//! let fwd = client
+//!     .call(WorkItem::NttForward { q, n: 8, data: data.clone() })
+//!     .unwrap();
+//! let Response::Ntt(transformed) = fwd.response else { unreachable!() };
+//! let inv = client
+//!     .call(WorkItem::NttInverse { q, n: 8, data: transformed })
+//!     .unwrap();
+//! let Response::Ntt(round_trip) = inv.response else { unreachable!() };
+//! assert_eq!(round_trip, data);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod server;
+
+pub use server::{
+    Client, Completion, Response, ServeConfig, ServeError, Server, ServerStats, TenantId, Ticket,
+    WorkItem,
+};

@@ -1,0 +1,816 @@
+//! The server: submission channel, coalescing dispatcher, worker pool.
+//!
+//! Life of a request: a [`Client`] validates it cheaply and sends it down one
+//! shared `mpsc` channel. The dispatcher thread collects in-flight requests —
+//! up to [`ServeConfig::max_batch`], waiting at most
+//! [`ServeConfig::batch_window`] once it holds fewer than
+//! [`ServeConfig::min_batch`] — then groups them by compatible work (same
+//! `(q, n)` NTT direction, same tenant chain) and hands each group to the
+//! worker pool. A worker flattens the group into one batch, executes it through
+//! the shared session's stage-batched launchers, splits the result, and
+//! resolves every [`Ticket`] with its slice plus the group's batch statistics.
+//! A panicking batch (say, a modulus the NTT planner rejects) fails only its
+//! own group — the worker catches the unwind and resolves those tickets with
+//! [`ServeError::Internal`]; the server keeps serving.
+
+use moma::bignum::BigUint;
+use moma::Session;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError, TryRecvError};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Handle to a registered RNS basis pair (see [`Server::register_tenant`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TenantId(usize);
+
+/// Server sizing and batching knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads executing batches (≥ 1).
+    pub workers: usize,
+    /// Hard cap on requests coalesced into one collection round (≥ 1). `1`
+    /// disables coalescing entirely — the one-request-at-a-time baseline.
+    pub max_batch: usize,
+    /// Once this many requests are in hand, stop waiting for more (≥ 1). The
+    /// dispatcher only waits out the batching window while it holds fewer.
+    pub min_batch: usize,
+    /// How long the dispatcher is willing to hold the first request of a round
+    /// while waiting for companions.
+    pub batch_window: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 2,
+            max_batch: 64,
+            min_batch: 1,
+            batch_window: Duration::from_millis(1),
+        }
+    }
+}
+
+/// One unit of client work.
+#[derive(Debug, Clone)]
+pub enum WorkItem {
+    /// Forward NTT of one `n`-point transform over the prime `q`.
+    NttForward {
+        /// NTT-friendly prime modulus.
+        q: u64,
+        /// Transform size (power of two).
+        n: usize,
+        /// Exactly `n` coefficients, each below `q`.
+        data: Vec<u64>,
+    },
+    /// Inverse NTT (with `1/n` scaling) of one `n`-point transform over `q`.
+    NttInverse {
+        /// NTT-friendly prime modulus.
+        q: u64,
+        /// Transform size (power of two).
+        n: usize,
+        /// Exactly `n` coefficients, each below `q`.
+        data: Vec<u64>,
+    },
+    /// The fused RNS chain `(a · b) → rescale → extend` over a tenant's basis
+    /// pair: element-wise multiply in the source basis, then the fused
+    /// rescale-and-extend into the destination basis.
+    RnsMulRescaleExtend {
+        /// The basis pair, from [`Server::register_tenant`].
+        tenant: TenantId,
+        /// Left operand, every value below the tenant's source-basis product.
+        a: Vec<BigUint>,
+        /// Right operand, same length as `a`.
+        b: Vec<BigUint>,
+    },
+}
+
+/// A finished request's payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Transformed coefficients (NTT work).
+    Ntt(Vec<u64>),
+    /// Chain results in positional form (RNS work).
+    Rns(Vec<BigUint>),
+}
+
+/// A finished request: the payload plus the batch it was executed in.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Completion {
+    /// The result payload.
+    pub response: Response,
+    /// How many requests shared this request's executed batch (≥ 1).
+    pub batch_size: usize,
+    /// Simulated kernel launches the whole batch cost; a request's fair share
+    /// is `batch_launches / batch_size`.
+    pub batch_launches: u64,
+}
+
+/// Why a request failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The tenant id was never registered on this server.
+    UnknownTenant(usize),
+    /// The request failed submit-time validation.
+    BadRequest(String),
+    /// The server shut down before the request resolved.
+    Shutdown,
+    /// The batch execution panicked (e.g. a modulus the NTT planner rejects).
+    Internal(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::UnknownTenant(id) => write!(f, "unknown tenant id {id}"),
+            ServeError::BadRequest(why) => write!(f, "bad request: {why}"),
+            ServeError::Shutdown => write!(f, "server shut down"),
+            ServeError::Internal(why) => write!(f, "batch execution failed: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Monotonic service counters (a snapshot; see [`Server::stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerStats {
+    /// Requests accepted by [`Client::submit`].
+    pub submitted: u64,
+    /// Requests resolved successfully.
+    pub completed: u64,
+    /// Requests resolved with [`ServeError::Internal`].
+    pub failed: u64,
+    /// Batches executed.
+    pub batches: u64,
+    /// Requests that shared their batch with at least one other request.
+    pub coalesced_requests: u64,
+    /// Total simulated kernel launches across all batches.
+    pub launches: u64,
+    /// Size of the largest batch executed so far.
+    pub largest_batch: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    batches: AtomicU64,
+    coalesced_requests: AtomicU64,
+    launches: AtomicU64,
+    largest_batch: AtomicU64,
+}
+
+/// One registered basis pair: owned session handles, reused by every chain
+/// request the tenant ever submits.
+struct Tenant {
+    src: moma::RnsSpace,
+    dst: moma::RnsSpace,
+}
+
+struct Shared {
+    session: Session,
+    config: ServeConfig,
+    shutdown: AtomicBool,
+    tenants: RwLock<Vec<Tenant>>,
+    counters: Counters,
+}
+
+type Reply = mpsc::SyncSender<Result<Completion, ServeError>>;
+
+struct Envelope {
+    item: WorkItem,
+    reply: Reply,
+}
+
+/// What the dispatcher coalesces on: requests with equal keys flatten into one
+/// executed batch.
+#[derive(PartialEq, Eq, Hash)]
+enum BatchKey {
+    NttForward { q: u64, n: usize },
+    NttInverse { q: u64, n: usize },
+    Rns { tenant: usize },
+}
+
+impl BatchKey {
+    fn of(item: &WorkItem) -> Self {
+        match item {
+            WorkItem::NttForward { q, n, .. } => BatchKey::NttForward { q: *q, n: *n },
+            WorkItem::NttInverse { q, n, .. } => BatchKey::NttInverse { q: *q, n: *n },
+            WorkItem::RnsMulRescaleExtend { tenant, .. } => BatchKey::Rns { tenant: tenant.0 },
+        }
+    }
+}
+
+/// A batching server over one shared session (see the [crate docs](crate)).
+///
+/// Dropping the server shuts it down: the dispatcher and workers are joined,
+/// and any request still unresolved — queued, or submitted through a
+/// still-alive [`Client`] — resolves to [`ServeError::Shutdown`].
+pub struct Server {
+    shared: Arc<Shared>,
+    submit_tx: Option<mpsc::Sender<Envelope>>,
+    dispatcher: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Starts a server over `session` (sharing its caches with every other
+    /// clone of that session) with the given sizing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.workers`, `config.max_batch`, or `config.min_batch`
+    /// is zero.
+    pub fn new(session: Session, config: ServeConfig) -> Self {
+        assert!(config.workers >= 1, "at least one worker");
+        assert!(config.max_batch >= 1, "max_batch must be at least 1");
+        assert!(config.min_batch >= 1, "min_batch must be at least 1");
+        let shared = Arc::new(Shared {
+            session,
+            config,
+            shutdown: AtomicBool::new(false),
+            tenants: RwLock::new(Vec::new()),
+            counters: Counters::default(),
+        });
+        let (submit_tx, submit_rx) = mpsc::channel::<Envelope>();
+        let (work_tx, work_rx) = mpsc::channel::<Vec<Envelope>>();
+        let work_rx = Arc::new(Mutex::new(work_rx));
+        let workers = (0..shared.config.workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let work_rx = Arc::clone(&work_rx);
+                thread::spawn(move || worker_loop(&shared, &work_rx))
+            })
+            .collect();
+        let dispatcher = {
+            let shared = Arc::clone(&shared);
+            thread::spawn(move || dispatch_loop(&shared, &submit_rx, &work_tx))
+        };
+        Server {
+            shared,
+            submit_tx: Some(submit_tx),
+            dispatcher: Some(dispatcher),
+            workers,
+        }
+    }
+
+    /// The shared session behind this server (same caches as every clone).
+    pub fn session(&self) -> &Session {
+        &self.shared.session
+    }
+
+    /// Registers an RNS basis pair and returns its id. The source and
+    /// destination spaces — and every plan and kernel their chain needs — are
+    /// session-cached handles, built at most once and reused by every
+    /// [`WorkItem::RnsMulRescaleExtend`] for this tenant.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the [`Session::rns`] conditions (composite, duplicate, or
+    /// oversized moduli), or if `src_moduli` has fewer than two moduli (the
+    /// chain rescales, which drops one).
+    pub fn register_tenant(&self, src_moduli: &[u64], dst_moduli: &[u64]) -> TenantId {
+        assert!(
+            src_moduli.len() >= 2,
+            "the chain rescales: the source basis needs at least two moduli"
+        );
+        let tenant = Tenant {
+            src: self.shared.session.rns(src_moduli),
+            dst: self.shared.session.rns(dst_moduli),
+        };
+        let mut tenants = self
+            .shared
+            .tenants
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
+        tenants.push(tenant);
+        TenantId(tenants.len() - 1)
+    }
+
+    /// A new submission handle. Clients are cheap to clone, `Send`, and may
+    /// outlive the server (submissions after shutdown resolve to
+    /// [`ServeError::Shutdown`]).
+    pub fn client(&self) -> Client {
+        Client {
+            shared: Arc::clone(&self.shared),
+            tx: self
+                .submit_tx
+                .clone()
+                .expect("submit channel lives as long as the server"),
+        }
+    }
+
+    /// Snapshot of the service counters.
+    pub fn stats(&self) -> ServerStats {
+        let c = &self.shared.counters;
+        ServerStats {
+            submitted: c.submitted.load(Ordering::Relaxed),
+            completed: c.completed.load(Ordering::Relaxed),
+            failed: c.failed.load(Ordering::Relaxed),
+            batches: c.batches.load(Ordering::Relaxed),
+            coalesced_requests: c.coalesced_requests.load(Ordering::Relaxed),
+            launches: c.launches.load(Ordering::Relaxed),
+            largest_batch: c.largest_batch.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        drop(self.submit_tx.take());
+        if let Some(dispatcher) = self.dispatcher.take() {
+            let _ = dispatcher.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// A cloneable submission handle to a [`Server`].
+#[derive(Clone)]
+pub struct Client {
+    shared: Arc<Shared>,
+    tx: mpsc::Sender<Envelope>,
+}
+
+impl Client {
+    /// Validates `item` and enqueues it, returning a [`Ticket`] that resolves
+    /// when a worker has executed the request's batch.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadRequest`] / [`ServeError::UnknownTenant`] on
+    /// validation failure, [`ServeError::Shutdown`] if the server is gone.
+    pub fn submit(&self, item: WorkItem) -> Result<Ticket, ServeError> {
+        self.validate(&item)?;
+        let (reply, rx) = mpsc::sync_channel(1);
+        self.tx
+            .send(Envelope { item, reply })
+            .map_err(|_| ServeError::Shutdown)?;
+        self.shared
+            .counters
+            .submitted
+            .fetch_add(1, Ordering::Relaxed);
+        Ok(Ticket { rx })
+    }
+
+    /// Submits `item` and blocks until it resolves.
+    ///
+    /// # Errors
+    ///
+    /// The [`Client::submit`] errors, plus [`ServeError::Internal`] if the
+    /// batch execution panicked.
+    pub fn call(&self, item: WorkItem) -> Result<Completion, ServeError> {
+        self.submit(item)?.wait()
+    }
+
+    fn validate(&self, item: &WorkItem) -> Result<(), ServeError> {
+        match item {
+            WorkItem::NttForward { q, n, data } | WorkItem::NttInverse { q, n, data } => {
+                if *n < 2 || !n.is_power_of_two() {
+                    return Err(ServeError::BadRequest(format!(
+                        "transform size {n} is not a power of two ≥ 2"
+                    )));
+                }
+                if data.len() != *n {
+                    return Err(ServeError::BadRequest(format!(
+                        "{} coefficients for an {n}-point transform",
+                        data.len()
+                    )));
+                }
+                if data.iter().any(|&x| x >= *q) {
+                    return Err(ServeError::BadRequest(format!(
+                        "coefficient not reduced below q = {q}"
+                    )));
+                }
+                Ok(())
+            }
+            WorkItem::RnsMulRescaleExtend { tenant, a, b } => {
+                let tenants = self
+                    .shared
+                    .tenants
+                    .read()
+                    .unwrap_or_else(PoisonError::into_inner);
+                let t = tenants
+                    .get(tenant.0)
+                    .ok_or(ServeError::UnknownTenant(tenant.0))?;
+                if a.is_empty() || a.len() != b.len() {
+                    return Err(ServeError::BadRequest(format!(
+                        "operand lengths {} and {} (need equal, non-empty)",
+                        a.len(),
+                        b.len()
+                    )));
+                }
+                let product = t.src.product();
+                if a.iter().chain(b.iter()).any(|v| v >= product) {
+                    return Err(ServeError::BadRequest(
+                        "operand not below the source-basis product".to_string(),
+                    ));
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// The pending side of one submitted request.
+pub struct Ticket {
+    rx: mpsc::Receiver<Result<Completion, ServeError>>,
+}
+
+impl Ticket {
+    /// Blocks until the request resolves.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the batch resolved this request to; [`ServeError::Shutdown`]
+    /// if the server went away first.
+    pub fn wait(self) -> Result<Completion, ServeError> {
+        self.rx.recv().unwrap_or(Err(ServeError::Shutdown))
+    }
+}
+
+/// How long the dispatcher sleeps per idle poll while watching for shutdown.
+const IDLE_POLL: Duration = Duration::from_millis(10);
+
+fn dispatch_loop(
+    shared: &Shared,
+    submit_rx: &mpsc::Receiver<Envelope>,
+    work_tx: &mpsc::Sender<Vec<Envelope>>,
+) {
+    let config = &shared.config;
+    loop {
+        // Block (in shutdown-aware slices) for the round's first request.
+        let first = loop {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            match submit_rx.recv_timeout(IDLE_POLL) {
+                Ok(envelope) => break envelope,
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => return,
+            }
+        };
+        // Coalesce: drain what is already queued; while below min_batch, wait
+        // out the batching window for companions.
+        let mut pending = vec![first];
+        let deadline = Instant::now() + config.batch_window;
+        while pending.len() < config.max_batch {
+            match submit_rx.try_recv() {
+                Ok(envelope) => pending.push(envelope),
+                Err(TryRecvError::Disconnected) => break,
+                Err(TryRecvError::Empty) => {
+                    if pending.len() >= config.min_batch {
+                        break;
+                    }
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    match submit_rx.recv_timeout(deadline - now) {
+                        Ok(envelope) => pending.push(envelope),
+                        Err(_) => break,
+                    }
+                }
+            }
+        }
+        // Group by compatible work; each group is one executed batch.
+        let mut groups: HashMap<BatchKey, Vec<Envelope>> = HashMap::new();
+        for envelope in pending {
+            groups
+                .entry(BatchKey::of(&envelope.item))
+                .or_default()
+                .push(envelope);
+        }
+        for (_, group) in groups {
+            if work_tx.send(group).is_err() {
+                return;
+            }
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, work_rx: &Arc<Mutex<mpsc::Receiver<Vec<Envelope>>>>) {
+    loop {
+        // Hold the receiver lock only to take the next batch.
+        let batch = {
+            let rx = work_rx.lock().unwrap_or_else(PoisonError::into_inner);
+            rx.recv()
+        };
+        let Ok(batch) = batch else { return };
+        execute_batch(shared, batch);
+    }
+}
+
+fn execute_batch(shared: &Shared, batch: Vec<Envelope>) {
+    let batch_size = batch.len();
+    let counters = &shared.counters;
+    counters.batches.fetch_add(1, Ordering::Relaxed);
+    counters
+        .largest_batch
+        .fetch_max(batch_size as u64, Ordering::Relaxed);
+    if batch_size > 1 {
+        counters
+            .coalesced_requests
+            .fetch_add(batch_size as u64, Ordering::Relaxed);
+    }
+    let (items, replies): (Vec<WorkItem>, Vec<Reply>) = batch
+        .into_iter()
+        .map(|envelope| (envelope.item, envelope.reply))
+        .unzip();
+    // A panicking batch fails only its own group; the shared state the closure
+    // touches is the session's caches, which stay valid across an unwind
+    // (stampede slots unclaim themselves, locks recover from poisoning).
+    let executed = catch_unwind(AssertUnwindSafe(|| run_batch(shared, &items)));
+    match executed {
+        Ok((responses, launches)) => {
+            counters.launches.fetch_add(launches, Ordering::Relaxed);
+            counters
+                .completed
+                .fetch_add(batch_size as u64, Ordering::Relaxed);
+            for (reply, response) in replies.into_iter().zip(responses) {
+                let _ = reply.send(Ok(Completion {
+                    response,
+                    batch_size,
+                    batch_launches: launches,
+                }));
+            }
+        }
+        Err(panic) => {
+            counters
+                .failed
+                .fetch_add(batch_size as u64, Ordering::Relaxed);
+            let why = panic
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "batch panicked".to_string());
+            for reply in replies {
+                let _ = reply.send(Err(ServeError::Internal(why.clone())));
+            }
+        }
+    }
+}
+
+/// Executes one homogeneous batch, returning per-request responses and the
+/// batch's total launch count.
+fn run_batch(shared: &Shared, items: &[WorkItem]) -> (Vec<Response>, u64) {
+    match &items[0] {
+        WorkItem::NttForward { q, n, .. } | WorkItem::NttInverse { q, n, .. } => {
+            let forward = matches!(items[0], WorkItem::NttForward { .. });
+            // One flat buffer, one stage-batched transform for the whole group:
+            // log2(n) + 1 launches however many requests ride along.
+            let mut flat = Vec::with_capacity(items.len() * n);
+            for item in items {
+                let (WorkItem::NttForward { data, .. } | WorkItem::NttInverse { data, .. }) = item
+                else {
+                    unreachable!("dispatcher groups by batch key");
+                };
+                flat.extend_from_slice(data);
+            }
+            let space = shared.session.ntt(*q, *n);
+            let stats = if forward {
+                space.forward_batch(&mut flat)
+            } else {
+                space.inverse_batch(&mut flat)
+            };
+            let responses = flat
+                .chunks_exact(*n)
+                .map(|chunk| Response::Ntt(chunk.to_vec()))
+                .collect();
+            (responses, stats.launches as u64)
+        }
+        WorkItem::RnsMulRescaleExtend { tenant, .. } => {
+            let (src, dst) = {
+                let tenants = shared
+                    .tenants
+                    .read()
+                    .unwrap_or_else(PoisonError::into_inner);
+                let t = &tenants[tenant.0];
+                (t.src.clone(), t.dst.clone())
+            };
+            // Concatenate every request's operands into one vector pair: the
+            // whole group then costs one multiply + one fused chain.
+            let mut lengths = Vec::with_capacity(items.len());
+            let mut flat_a = Vec::new();
+            let mut flat_b = Vec::new();
+            for item in items {
+                let WorkItem::RnsMulRescaleExtend { a, b, .. } = item else {
+                    unreachable!("dispatcher groups by batch key");
+                };
+                lengths.push(a.len());
+                flat_a.extend_from_slice(a);
+                flat_b.extend_from_slice(b);
+            }
+            let va = src.encode(&flat_a);
+            let vb = src.encode(&flat_b);
+            let (product, mul_stats) = va.mul_with_stats(&vb);
+            let (out, chain_stats) = product.rescale_then_extend_with_stats(&dst);
+            let mut values = out.to_biguints().into_iter();
+            let responses = lengths
+                .iter()
+                .map(|&len| Response::Rns(values.by_ref().take(len).collect()))
+                .collect();
+            (
+                responses,
+                (mul_stats.launches + chain_stats.launches) as u64,
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moma::bignum::random::random_below;
+    use moma::rns::RnsContext;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ntt_item(space: &moma::NttSpace, seed: u64) -> (WorkItem, Vec<u64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let q = BigUint::from(space.modulus());
+        let data: Vec<u64> = (0..space.n())
+            .map(|_| random_below(&mut rng, &q).to_u64().unwrap())
+            .collect();
+        (
+            WorkItem::NttForward {
+                q: space.modulus(),
+                n: space.n(),
+                data: data.clone(),
+            },
+            data,
+        )
+    }
+
+    #[test]
+    fn ntt_round_trip_matches_the_inline_path() {
+        let server = Server::new(Session::default(), ServeConfig::default());
+        let client = server.client();
+        let space = server.session().ntt_default(64);
+        let (item, data) = ntt_item(&space, 1);
+        let done = client.call(item).unwrap();
+        let Response::Ntt(transformed) = done.response else {
+            panic!("NTT work yields NTT responses")
+        };
+        let mut expected = data.clone();
+        space.forward(&mut expected);
+        assert_eq!(transformed, expected);
+        let back = client
+            .call(WorkItem::NttInverse {
+                q: space.modulus(),
+                n: space.n(),
+                data: transformed,
+            })
+            .unwrap();
+        assert_eq!(back.response, Response::Ntt(data));
+    }
+
+    #[test]
+    fn coalesced_batch_costs_one_stage_sweep() {
+        // min_batch = 4 with a generous window: the dispatcher provably holds
+        // the first request until all four are in hand, so the batch size and
+        // launch count are deterministic.
+        let server = Server::new(
+            Session::default(),
+            ServeConfig {
+                workers: 1,
+                max_batch: 8,
+                min_batch: 4,
+                batch_window: Duration::from_secs(5),
+            },
+        );
+        let client = server.client();
+        let space = server.session().ntt_default(64);
+        let tickets: Vec<Ticket> = (0..4)
+            .map(|seed| client.submit(ntt_item(&space, seed).0).unwrap())
+            .collect();
+        for ticket in tickets {
+            let done = ticket.wait().unwrap();
+            assert_eq!(done.batch_size, 4);
+            // log2(64) stages + the lazy-reduction normalize pass, shared by
+            // the whole batch.
+            assert_eq!(done.batch_launches, 7);
+        }
+        let stats = server.stats();
+        assert_eq!(stats.batches, 1);
+        assert_eq!(stats.coalesced_requests, 4);
+        assert_eq!(stats.largest_batch, 4);
+        assert_eq!(stats.completed, 4);
+    }
+
+    #[test]
+    fn rns_chain_matches_the_oracle_through_the_server() {
+        let session = Session::default();
+        let server = Server::new(session.clone(), ServeConfig::default());
+        let client = server.client();
+        let src_space = session.rns_with_capacity(128);
+        let src_moduli = src_space.moduli();
+        let dst_moduli = &src_moduli[..4];
+        let tenant = server.register_tenant(&src_moduli, dst_moduli);
+
+        let mut rng = StdRng::seed_from_u64(7);
+        let a: Vec<BigUint> = (0..5)
+            .map(|_| random_below(&mut rng, src_space.product()))
+            .collect();
+        let b: Vec<BigUint> = (0..5)
+            .map(|_| random_below(&mut rng, src_space.product()))
+            .collect();
+        let done = client
+            .call(WorkItem::RnsMulRescaleExtend {
+                tenant,
+                a: a.clone(),
+                b: b.clone(),
+            })
+            .unwrap();
+        let Response::Rns(values) = done.response else {
+            panic!("RNS work yields RNS responses")
+        };
+        let ctx = RnsContext::with_moduli(&src_moduli);
+        let dst_ctx = RnsContext::with_moduli(dst_moduli);
+        let out_ctx = ctx.without_last();
+        for (c, (x, y)) in a.iter().zip(&b).enumerate() {
+            let prod = (x * y) % src_space.product();
+            let oracle = dst_ctx.from_residues(
+                &out_ctx.base_convert(&dst_ctx, &ctx.scale_and_round(&ctx.to_residues(&prod))),
+            );
+            assert_eq!(values[c], oracle, "element {c}");
+        }
+    }
+
+    #[test]
+    fn validation_rejects_malformed_requests() {
+        let server = Server::new(Session::default(), ServeConfig::default());
+        let client = server.client();
+        let q = server.session().ntt_default(8).modulus();
+        let bad = [
+            WorkItem::NttForward {
+                q,
+                n: 6,
+                data: vec![0; 6],
+            },
+            WorkItem::NttForward {
+                q,
+                n: 8,
+                data: vec![0; 4],
+            },
+            WorkItem::NttForward {
+                q,
+                n: 8,
+                data: vec![q; 8],
+            },
+        ];
+        for item in bad {
+            assert!(matches!(
+                client.submit(item),
+                Err(ServeError::BadRequest(_))
+            ));
+        }
+        assert!(matches!(
+            client.submit(WorkItem::RnsMulRescaleExtend {
+                tenant: TenantId(3),
+                a: vec![BigUint::from(1u64)],
+                b: vec![BigUint::from(1u64)],
+            }),
+            Err(ServeError::UnknownTenant(3))
+        ));
+        assert_eq!(server.stats().submitted, 0);
+    }
+
+    #[test]
+    fn a_panicking_batch_fails_alone_and_the_server_keeps_serving() {
+        let server = Server::new(Session::default(), ServeConfig::default());
+        let client = server.client();
+        // q = 6 passes the cheap submit-time checks but the NTT planner panics.
+        let poisoned = client.call(WorkItem::NttForward {
+            q: 6,
+            n: 8,
+            data: vec![1; 8],
+        });
+        assert!(matches!(poisoned, Err(ServeError::Internal(_))));
+        // The very same session still serves valid work.
+        let space = server.session().ntt_default(8);
+        let (item, _) = ntt_item(&space, 9);
+        assert!(client.call(item).is_ok());
+        let stats = server.stats();
+        assert_eq!(stats.failed, 1);
+        assert_eq!(stats.completed, 1);
+    }
+
+    #[test]
+    fn clients_outliving_the_server_get_shutdown_errors() {
+        let server = Server::new(Session::default(), ServeConfig::default());
+        let client = server.client();
+        let space = server.session().ntt_default(8);
+        let (item, _) = ntt_item(&space, 11);
+        drop(server);
+        assert!(matches!(client.call(item), Err(ServeError::Shutdown)));
+    }
+}

@@ -10,58 +10,14 @@
 //!   operation counts of the *generated* kernels into the GPU cost model; these stand
 //!   in for the paper's H100 / RTX 4090 / V100 measurements.
 //!
-//! The free functions of this module predate [`crate::Session`] and are kept for
-//! one release as thin deprecated shims: each builds a throwaway session per
-//! call, so nothing is cached between calls. Use the session methods of the same
-//! names instead — they compile each kernel once and share it across devices and
-//! figures.
-
-use crate::session::Session;
-use moma_gpu::DeviceSpec;
-use moma_ir::cost::OpCounts;
-use moma_rewrite::{KernelOp, MulAlgorithm};
-
-/// Word-level operation counts of one generated butterfly at a given bit-width.
-#[deprecated(since = "0.2.0", note = "use moma::Session::butterfly_op_counts")]
-pub fn butterfly_op_counts(bits: u32, alg: MulAlgorithm) -> OpCounts {
-    Session::default().butterfly_op_counts(bits, alg)
-}
-
-/// Word-level operation counts of one generated BLAS element kernel.
-#[deprecated(since = "0.2.0", note = "use moma::Session::blas_op_counts")]
-pub fn blas_op_counts(op: KernelOp, bits: u32, alg: MulAlgorithm) -> OpCounts {
-    Session::default().blas_op_counts(op, bits, alg)
-}
-
-/// Modelled NTT runtime per butterfly (nanoseconds) on a device — the y-axis of
-/// Figures 1, 3, and 4.
-#[deprecated(
-    since = "0.2.0",
-    note = "use moma::Session::modelled_ntt_ns_per_butterfly"
-)]
-pub fn modelled_ntt_ns_per_butterfly(
-    device: DeviceSpec,
-    bits: u32,
-    log2_n: u32,
-    alg: MulAlgorithm,
-) -> f64 {
-    Session::new(device).modelled_ntt_ns_per_butterfly(device, bits, log2_n, alg)
-}
-
-/// Modelled BLAS runtime per element (nanoseconds) on a device — the y-axis of
-/// Figure 2.
-#[deprecated(
-    since = "0.2.0",
-    note = "use moma::Session::modelled_blas_ns_per_element"
-)]
-pub fn modelled_blas_ns_per_element(
-    device: DeviceSpec,
-    op: KernelOp,
-    bits: u32,
-    elements: u64,
-) -> f64 {
-    Session::new(device).modelled_blas_ns_per_element(device, op, bits, elements)
-}
+//! The estimation entry points live on [`crate::Session`]
+//! ([`crate::Session::butterfly_op_counts`], [`crate::Session::blas_op_counts`],
+//! [`crate::Session::modelled_ntt_ns_per_butterfly`],
+//! [`crate::Session::modelled_blas_ns_per_element`],
+//! [`crate::Session::ntt_series`]) — they compile each kernel once and share it
+//! across devices and figures. The pre-`Session` free-function shims that used
+//! to live here were deprecated for one release and have been removed. This
+//! module keeps the figure data type, [`Series`].
 
 /// One row of a figure: system label, platform, and the series of (x, ns) points.
 #[derive(Debug, Clone, PartialEq)]
@@ -74,23 +30,18 @@ pub struct Series {
     pub points: Vec<(u32, f64)>,
 }
 
-/// Builds the modelled MoMA series for one NTT figure panel (one bit-width, a range of
-/// transform sizes) across the three paper devices.
-#[deprecated(since = "0.2.0", note = "use moma::Session::ntt_series")]
-pub fn moma_ntt_series(bits: u32, log_sizes: &[u32], alg: MulAlgorithm) -> Vec<Series> {
-    Session::default().ntt_series(bits, log_sizes, alg)
-}
-
 #[cfg(test)]
-#[allow(deprecated)] // the shims must keep delegating correctly for one release
 mod tests {
-    use super::*;
+    use crate::session::Session;
+    use moma_gpu::DeviceSpec;
+    use moma_rewrite::{KernelOp, MulAlgorithm};
 
     #[test]
     fn butterfly_counts_grow_quadratically_with_width() {
-        let c128 = butterfly_op_counts(128, MulAlgorithm::Schoolbook);
-        let c256 = butterfly_op_counts(256, MulAlgorithm::Schoolbook);
-        let c512 = butterfly_op_counts(512, MulAlgorithm::Schoolbook);
+        let session = Session::default();
+        let c128 = session.butterfly_op_counts(128, MulAlgorithm::Schoolbook);
+        let c256 = session.butterfly_op_counts(256, MulAlgorithm::Schoolbook);
+        let c512 = session.butterfly_op_counts(512, MulAlgorithm::Schoolbook);
         // Schoolbook multiplication is O(k^2) in the number of words.
         assert!(c256.multiplications() >= 3 * c128.multiplications());
         assert!(c512.multiplications() >= 3 * c256.multiplications());
@@ -98,53 +49,61 @@ mod tests {
 
     #[test]
     fn karatsuba_reduces_butterfly_multiplications() {
-        let sb = butterfly_op_counts(256, MulAlgorithm::Schoolbook);
-        let ka = butterfly_op_counts(256, MulAlgorithm::Karatsuba);
+        let session = Session::default();
+        let sb = session.butterfly_op_counts(256, MulAlgorithm::Schoolbook);
+        let ka = session.butterfly_op_counts(256, MulAlgorithm::Karatsuba);
         assert!(ka.multiplications() < sb.multiplications());
     }
 
     #[test]
     fn modelled_times_scale_with_width_and_device() {
-        let h100_128 =
-            modelled_ntt_ns_per_butterfly(DeviceSpec::H100, 128, 12, MulAlgorithm::Schoolbook);
-        let h100_768 =
-            modelled_ntt_ns_per_butterfly(DeviceSpec::H100, 768, 12, MulAlgorithm::Schoolbook);
-        let v100_128 =
-            modelled_ntt_ns_per_butterfly(DeviceSpec::V100, 128, 12, MulAlgorithm::Schoolbook);
+        let session = Session::default();
+        let h100_128 = session.modelled_ntt_ns_per_butterfly(
+            DeviceSpec::H100,
+            128,
+            12,
+            MulAlgorithm::Schoolbook,
+        );
+        let h100_768 = session.modelled_ntt_ns_per_butterfly(
+            DeviceSpec::H100,
+            768,
+            12,
+            MulAlgorithm::Schoolbook,
+        );
+        let v100_128 = session.modelled_ntt_ns_per_butterfly(
+            DeviceSpec::V100,
+            128,
+            12,
+            MulAlgorithm::Schoolbook,
+        );
         assert!(h100_768 > 10.0 * h100_128);
         assert!(v100_128 > h100_128);
     }
 
     #[test]
     fn blas_estimates_are_positive_and_mul_heavier_than_add() {
-        let mul = modelled_blas_ns_per_element(DeviceSpec::RTX4090, KernelOp::ModMul, 256, 1 << 16);
-        let add = modelled_blas_ns_per_element(DeviceSpec::RTX4090, KernelOp::ModAdd, 256, 1 << 16);
+        let session = Session::default();
+        let mul = session.modelled_blas_ns_per_element(
+            DeviceSpec::RTX4090,
+            KernelOp::ModMul,
+            256,
+            1 << 16,
+        );
+        let add = session.modelled_blas_ns_per_element(
+            DeviceSpec::RTX4090,
+            KernelOp::ModAdd,
+            256,
+            1 << 16,
+        );
         assert!(mul > add);
         assert!(add > 0.0);
     }
 
     #[test]
     fn series_have_one_point_per_size() {
-        let series = moma_ntt_series(128, &[10, 12, 14], MulAlgorithm::Schoolbook);
+        let session = Session::default();
+        let series = session.ntt_series(128, &[10, 12, 14], MulAlgorithm::Schoolbook);
         assert_eq!(series.len(), 3);
         assert!(series.iter().all(|s| s.points.len() == 3));
-    }
-
-    #[test]
-    fn shims_agree_with_the_session_methods() {
-        let session = Session::default();
-        assert_eq!(
-            butterfly_op_counts(256, MulAlgorithm::Schoolbook),
-            session.butterfly_op_counts(256, MulAlgorithm::Schoolbook)
-        );
-        assert_eq!(
-            modelled_ntt_ns_per_butterfly(DeviceSpec::H100, 128, 12, MulAlgorithm::Schoolbook),
-            session.modelled_ntt_ns_per_butterfly(
-                DeviceSpec::H100,
-                128,
-                12,
-                MulAlgorithm::Schoolbook
-            )
-        );
     }
 }

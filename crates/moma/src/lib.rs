@@ -8,16 +8,21 @@
 //!   and plan caches for every precompute-once object in the runtime
 //!   ([`ntt::NttPlan64`] keyed by `(q, n)`, [`rns::RnsPlan`] keyed by basis,
 //!   conversion/rescale/fused-chain plans keyed by basis pair), every
-//!   `get_or_build` hit-counted. Typed handles — [`session::RnsSpace`] /
-//!   [`session::RnsVec`] with chainable ops and cost-model-selected execution
-//!   paths (including the fused [`session::RnsVec::rescale_then_extend`]
-//!   chain), [`session::NttSpace`] with stage-batched transforms — sit on top;
+//!   `get_or_build` hit-counted and stampede-controlled (builds run outside the
+//!   cache lock; same-key requests build exactly once, different-key requests
+//!   never serialize). The session is a cheap `Clone` handle over shared state
+//!   — `Send + Sync`, shareable across threads. Typed handles —
+//!   [`session::RnsSpace`] / [`session::RnsVec`] with chainable ops and
+//!   cost-model-selected execution paths (including the fused
+//!   [`session::RnsVec::rescale_then_extend`] chain), [`session::NttSpace`]
+//!   with stage-batched transforms — sit on top and are *owned*
+//!   (`Send + 'static`), free to cross threads or sit in a request queue;
 //! * [`Compiler`] — the stateless kernel generator underneath (modular
 //!   add/sub/mul, NTT butterfly, BLAS axpy at any input bit-width, lowered with
 //!   the MoMA rewrite system to word-level IR, emitted CUDA-like and Rust
 //!   source, and operation counts). Prefer [`Session::compile`], which caches;
-//! * [`engine`] — the figure machinery: the [`engine::Series`] type plus
-//!   deprecated free-function shims for the pre-`Session` estimation API;
+//! * [`engine`] — the figure machinery: the [`engine::Series`] type (the
+//!   estimation entry points live on [`Session`]);
 //! * [`paper_data`] — the published baseline series (ICICLE, GZKP, RPU, FPMM, PipeZK,
 //!   GMP, GRNS, …) digitised from the paper's figures, so each figure can be
 //!   regenerated with all of its lines;

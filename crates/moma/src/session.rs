@@ -1,5 +1,5 @@
 //! `Session` — one cached, typed entry point for plans, kernels, and fused RNS
-//! chains.
+//! chains, shareable across any number of threads.
 //!
 //! The paper's discipline is *compile once, execute many*: kernels are generated
 //! per (operation, bit-width) and reused across launches, and every runtime
@@ -24,6 +24,42 @@
 //! Every `get_or_build` is **hit-counted** ([`Session::stats`]), so reuse is a
 //! testable property, not a hope: the second request for any plan or kernel
 //! builds nothing.
+//!
+//! # Sharing and concurrency
+//!
+//! `Session` is a cheap handle: [`Session::clone`] shares one cache state (the
+//! expensive tables live behind an internal [`Arc`]), every method takes
+//! `&self`, and the session and all of its handles are `Send + Sync + 'static`
+//! (statically asserted below). A warm session can therefore be hit from any
+//! number of threads, and the handles it gives out — [`NttSpace`],
+//! [`RnsSpace`], [`RnsVec`] — are *owned*: they can cross threads, sit in a
+//! request queue, or live inside a server for as long as they like.
+//!
+//! Concurrent cache access is stampede-controlled: an expensive build (say, the
+//! twiddle tables of an `n = 2^14` NTT plan) runs **outside** the cache map
+//! lock. Concurrent requests for the *same* key still build exactly once — the
+//! first requester claims the key and later ones block on that one build
+//! (counted in [`CacheStats::contended`]) — while requests for *different* keys
+//! build in parallel, never serializing behind each other. A builder that
+//! panics unclaims its key and wakes the waiters, so one poisoned build cannot
+//! wedge a long-lived serving session.
+//!
+//! ```
+//! use moma::Session;
+//!
+//! let session = Session::default();
+//! let worker = session.clone(); // shares the same caches
+//! std::thread::spawn(move || {
+//!     let ntt = worker.ntt_default(64); // an owned, Send + 'static handle
+//!     assert_eq!(ntt.n(), 64);
+//! })
+//! .join()
+//! .unwrap();
+//! // The spawned thread's build is visible here: the same plan is a cache hit.
+//! let _ = session.ntt_default(64);
+//! assert_eq!(session.stats().ntt.misses, 1);
+//! assert_eq!(session.stats().ntt.hits, 1);
+//! ```
 //!
 //! On top of the caches sit typed handles: [`Session::rns`] yields an
 //! [`RnsSpace`] whose [`RnsVec`]s chain `add`/`mul`/`axpy`/`base_convert`/
@@ -55,6 +91,7 @@
 use crate::compiler::{Compiler, GeneratedKernel};
 use crate::engine::Series;
 use moma_bignum::BigUint;
+use moma_blas::BlasOp;
 use moma_gpu::launch::LaunchStats;
 use moma_gpu::{CostModel, DeviceSpec};
 use moma_ir::cache::{KernelCache, KernelCacheKey};
@@ -64,9 +101,10 @@ use moma_ntt::plan::{NttPlan, NttPlan64};
 use moma_rewrite::{KernelOp, KernelSpec, LoweringConfig, MulAlgorithm};
 use moma_rns::{BaseConvPlan, RescaleExtendPlan, RescalePlan, RnsContext, RnsMatrix, RnsPlan};
 use std::any::Any;
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 
 /// Hit/miss counters of one session cache (a snapshot; see [`Session::stats`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -75,6 +113,11 @@ pub struct CacheStats {
     pub hits: u64,
     /// Requests that had to build.
     pub misses: u64,
+    /// Requests that blocked on another thread's in-flight build of the same
+    /// key (each is also counted as a hit once the build publishes). Contention
+    /// on *different* keys never happens by construction — builds run outside
+    /// the map lock.
+    pub contended: u64,
 }
 
 /// Snapshot of every session cache's hit/miss counters.
@@ -101,12 +144,52 @@ pub struct SessionStats {
     pub rescale_extend: CacheStats,
 }
 
-/// A hit-counted `get_or_build` map. The builder runs under the lock, so
-/// concurrent requests for the same key build exactly once.
+/// Locks a mutex, recovering the guard if a previous holder panicked.
+///
+/// Session caches only ever hold fully constructed `Arc`s, and every multi-step
+/// update happens outside the lock, so the data behind a poisoned lock is
+/// always valid — a panicked builder thread must not wedge a long-lived
+/// serving session.
+fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// One cache slot: the in-flight or finished result of a single keyed build.
+enum SlotState<V: ?Sized> {
+    /// The claiming thread is running the builder outside the map lock.
+    Building,
+    /// The published result.
+    Ready(Arc<V>),
+    /// The builder panicked and unclaimed the key; waiters retry the lookup.
+    Failed,
+}
+
+struct Slot<V: ?Sized> {
+    state: Mutex<SlotState<V>>,
+    ready: Condvar,
+}
+
+impl<V: ?Sized> Slot<V> {
+    fn new() -> Self {
+        Slot {
+            state: Mutex::new(SlotState::Building),
+            ready: Condvar::new(),
+        }
+    }
+}
+
+/// A hit-counted `get_or_build` map with per-key stampede control.
+///
+/// The map lock is held only to *find or claim* a slot — never while building.
+/// Concurrent requests for the same key build exactly once (later requesters
+/// block on the claimant's slot); requests for different keys build fully in
+/// parallel. A panicking builder unclaims its key (the slot is removed and its
+/// waiters woken to retry), so no panic leaves the cache wedged.
 struct PlanCache<K, V: ?Sized> {
-    map: Mutex<HashMap<K, Arc<V>>>,
+    map: Mutex<HashMap<K, Arc<Slot<V>>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    contended: AtomicU64,
 }
 
 impl<K: std::hash::Hash + Eq, V: ?Sized> Default for PlanCache<K, V> {
@@ -115,38 +198,103 @@ impl<K: std::hash::Hash + Eq, V: ?Sized> Default for PlanCache<K, V> {
             map: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            contended: AtomicU64::new(0),
         }
     }
 }
 
-impl<K: std::hash::Hash + Eq, V: ?Sized> PlanCache<K, V> {
-    fn get_or_build(&self, key: K, build: impl FnOnce() -> Arc<V>) -> Arc<V> {
-        let mut map = self.map.lock().expect("plan cache poisoned");
-        if let Some(hit) = map.get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(hit);
+/// Removes a claimed-but-unpublished key when the builder unwinds, marking the
+/// slot failed and waking its waiters so they can retry (and re-claim) instead
+/// of blocking forever.
+struct UnclaimOnPanic<'a, K: std::hash::Hash + Eq + Clone, V: ?Sized> {
+    cache: &'a PlanCache<K, V>,
+    key: &'a K,
+    slot: &'a Arc<Slot<V>>,
+    armed: bool,
+}
+
+impl<K: std::hash::Hash + Eq + Clone, V: ?Sized> Drop for UnclaimOnPanic<'_, K, V> {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let built = build();
-        map.insert(key, Arc::clone(&built));
-        built
+        let mut map = lock_unpoisoned(&self.cache.map);
+        if map
+            .get(self.key)
+            .is_some_and(|slot| Arc::ptr_eq(slot, self.slot))
+        {
+            map.remove(self.key);
+        }
+        drop(map);
+        *lock_unpoisoned(&self.slot.state) = SlotState::Failed;
+        self.slot.ready.notify_all();
+    }
+}
+
+impl<K: std::hash::Hash + Eq + Clone, V: ?Sized> PlanCache<K, V> {
+    fn get_or_build(&self, key: K, build: impl FnOnce() -> Arc<V>) -> Arc<V> {
+        loop {
+            // Hold the map lock only long enough to find or claim the slot.
+            let claimed = {
+                let mut map = lock_unpoisoned(&self.map);
+                match map.entry(key.clone()) {
+                    Entry::Occupied(entry) => Err(Arc::clone(entry.get())),
+                    Entry::Vacant(entry) => Ok(Arc::clone(entry.insert(Arc::new(Slot::new())))),
+                }
+            };
+            match claimed {
+                Ok(slot) => {
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    let mut guard = UnclaimOnPanic {
+                        cache: self,
+                        key: &key,
+                        slot: &slot,
+                        armed: true,
+                    };
+                    let built = build();
+                    guard.armed = false;
+                    *lock_unpoisoned(&slot.state) = SlotState::Ready(Arc::clone(&built));
+                    slot.ready.notify_all();
+                    return built;
+                }
+                Err(slot) => {
+                    let mut state = lock_unpoisoned(&slot.state);
+                    if matches!(*state, SlotState::Building) {
+                        self.contended.fetch_add(1, Ordering::Relaxed);
+                        while matches!(*state, SlotState::Building) {
+                            state = slot
+                                .ready
+                                .wait(state)
+                                .unwrap_or_else(PoisonError::into_inner);
+                        }
+                    }
+                    match &*state {
+                        SlotState::Ready(value) => {
+                            self.hits.fetch_add(1, Ordering::Relaxed);
+                            return Arc::clone(value);
+                        }
+                        // The builder panicked; retry (possibly claiming the
+                        // key ourselves this time).
+                        SlotState::Failed => continue,
+                        SlotState::Building => unreachable!("woken while still building"),
+                    }
+                }
+            }
+        }
     }
 
     fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            contended: self.contended.load(Ordering::Relaxed),
         }
     }
 }
 
-/// The cached, typed entry point to the whole MoMA runtime (see the
-/// [module docs](self)).
-///
-/// A `Session` is `Sync`; handles borrow it, so one session can serve any
-/// number of spaces, vectors, and launches. Construction is cheap — everything
-/// expensive is built on first use and cached.
-pub struct Session {
+/// Everything a session owns, shared by all of its clones. Private: the public
+/// surface is [`Session`], the cheap handle around it.
+struct SessionState {
     device: DeviceSpec,
     compiler: Compiler,
     cost: CostModel,
@@ -163,6 +311,31 @@ pub struct Session {
     rescale: PlanCache<Vec<u64>, RescalePlan>,
     rescale_extend: PlanCache<(Vec<u64>, Vec<u64>), RescaleExtendPlan>,
 }
+
+/// The cached, typed entry point to the whole MoMA runtime (see the
+/// [module docs](self)).
+///
+/// A `Session` is a cheap, clonable handle over shared cache state:
+/// [`Session::clone`] gives another handle to the *same* caches, every method
+/// takes `&self`, and the session and all handles it yields are
+/// `Send + Sync + 'static` — one warm session serves any number of threads.
+/// Construction is cheap; everything expensive is built on first use, cached,
+/// and stampede-controlled (see the module docs).
+#[derive(Clone)]
+pub struct Session {
+    state: Arc<SessionState>,
+}
+
+// Compile-time proof of the sharing contract: the session and every handle it
+// yields cross threads and outlive any borrow.
+const _: () = {
+    const fn shareable<T: Send + Sync + 'static>() {}
+    shareable::<Session>();
+    shareable::<SessionStats>();
+    shareable::<NttSpace>();
+    shareable::<RnsSpace>();
+    shareable::<RnsVec>();
+};
 
 impl Default for Session {
     /// A session on the paper's primary device (H100) with the default
@@ -183,45 +356,54 @@ impl Session {
     /// multiplication algorithm, optimization switches).
     pub fn with_config(device: DeviceSpec, config: LoweringConfig) -> Self {
         Session {
-            device,
-            compiler: Compiler::new(config),
-            cost: CostModel::new(device),
-            generated: PlanCache::default(),
-            kernels: KernelCache::new(),
-            ntt64: PlanCache::default(),
-            ntt_mw: PlanCache::default(),
-            rns: PlanCache::default(),
-            capacity_bases: Mutex::new(HashMap::new()),
-            baseconv: PlanCache::default(),
-            rescale: PlanCache::default(),
-            rescale_extend: PlanCache::default(),
+            state: Arc::new(SessionState {
+                device,
+                compiler: Compiler::new(config),
+                cost: CostModel::new(device),
+                generated: PlanCache::default(),
+                kernels: KernelCache::new(),
+                ntt64: PlanCache::default(),
+                ntt_mw: PlanCache::default(),
+                rns: PlanCache::default(),
+                capacity_bases: Mutex::new(HashMap::new()),
+                baseconv: PlanCache::default(),
+                rescale: PlanCache::default(),
+                rescale_extend: PlanCache::default(),
+            }),
         }
+    }
+
+    /// Returns `true` if `other` shares this session's cache state (i.e. one is
+    /// a clone of the other).
+    pub fn shares_state_with(&self, other: &Session) -> bool {
+        Arc::ptr_eq(&self.state, &other.state)
     }
 
     /// The device this session models and selects execution paths for.
     pub fn device(&self) -> DeviceSpec {
-        self.device
+        self.state.device
     }
 
     /// The cost model path selection runs on.
     pub fn cost_model(&self) -> &CostModel {
-        &self.cost
+        &self.state.cost
     }
 
     /// Snapshot of every cache's hit/miss counters.
     pub fn stats(&self) -> SessionStats {
         SessionStats {
-            generated: self.generated.stats(),
+            generated: self.state.generated.stats(),
             kernels: CacheStats {
-                hits: self.kernels.hits(),
-                misses: self.kernels.misses(),
+                hits: self.state.kernels.hits(),
+                misses: self.state.kernels.misses(),
+                contended: 0,
             },
-            ntt: self.ntt64.stats(),
-            ntt_multiword: self.ntt_mw.stats(),
-            rns: self.rns.stats(),
-            baseconv: self.baseconv.stats(),
-            rescale: self.rescale.stats(),
-            rescale_extend: self.rescale_extend.stats(),
+            ntt: self.state.ntt64.stats(),
+            ntt_multiword: self.state.ntt_mw.stats(),
+            rns: self.state.rns.stats(),
+            baseconv: self.state.baseconv.stats(),
+            rescale: self.state.rescale.stats(),
+            rescale_extend: self.state.rescale_extend.stats(),
         }
     }
 
@@ -232,7 +414,7 @@ impl Session {
     /// Generates (or returns the cached) kernel for `spec` under the session's
     /// lowering configuration.
     pub fn compile(&self, spec: &KernelSpec) -> Arc<GeneratedKernel> {
-        self.compile_with_algorithm(spec, self.compiler.config.mul_algorithm)
+        self.compile_with_algorithm(spec, self.state.compiler.config.mul_algorithm)
     }
 
     /// Like [`Session::compile`], with an explicit multiplication algorithm
@@ -242,10 +424,11 @@ impl Session {
         spec: &KernelSpec,
         alg: MulAlgorithm,
     ) -> Arc<GeneratedKernel> {
-        self.generated.get_or_build((spec.op, spec.bits, alg), || {
+        let state = &self.state;
+        state.generated.get_or_build((spec.op, spec.bits, alg), || {
             let compiler = Compiler::new(LoweringConfig {
                 mul_algorithm: alg,
-                ..self.compiler.config
+                ..state.compiler.config
             });
             Arc::new(compiler.compile(spec))
         })
@@ -324,23 +507,28 @@ impl Session {
     // ------------------------------------------------------------------
 
     /// The `n`-point single-word NTT space over the prime modulus `q`,
-    /// building (or reusing) the `(q, n)`-keyed [`NttPlan64`].
+    /// building (or reusing) the `(q, n)`-keyed [`NttPlan64`]. The returned
+    /// handle is owned (`Send + 'static`): it can cross threads or sit in a
+    /// queue, and keeps the session's caches alive.
     ///
     /// # Panics
     ///
     /// Panics under the [`moma_ntt::Ntt64::with_modulus`] conditions (n not a
-    /// power of two, q not an NTT-friendly prime below `2^60`).
-    pub fn ntt(&self, q: u64, n: usize) -> NttSpace<'_> {
+    /// power of two, q not an NTT-friendly prime below `2^60`). A concurrent
+    /// request that loses the build race to a panicking builder retries and
+    /// panics the same way.
+    pub fn ntt(&self, q: u64, n: usize) -> NttSpace {
         NttSpace {
+            session: self.clone(),
             plan: self
+                .state
                 .ntt64
                 .get_or_build((q, n), || Arc::new(NttPlan64::with_modulus(q, n))),
-            _session: std::marker::PhantomData,
         }
     }
 
     /// The `n`-point NTT space over the paper's 60-bit evaluation modulus.
-    pub fn ntt_default(&self, n: usize) -> NttSpace<'_> {
+    pub fn ntt_default(&self, n: usize) -> NttSpace {
         let q = moma_ntt::params::paper_modulus(64)
             .to_u64()
             .expect("60-bit modulus");
@@ -354,11 +542,11 @@ impl Session {
     ///
     /// Panics under the [`moma_ntt::NttParams::for_paper_modulus`] conditions.
     pub fn ntt_multiword<const L: usize>(&self, bits: u32, n: usize) -> Arc<NttPlan<L>> {
-        let alg = match self.compiler.config.mul_algorithm {
+        let alg = match self.state.compiler.config.mul_algorithm {
             MulAlgorithm::Schoolbook => moma_mp::MulAlgorithm::Schoolbook,
             MulAlgorithm::Karatsuba => moma_mp::MulAlgorithm::Karatsuba,
         };
-        let plan = self.ntt_mw.get_or_build((L as u32, bits, n), || {
+        let plan = self.state.ntt_mw.get_or_build((L as u32, bits, n), || {
             Arc::new(NttPlan::<L>::for_paper_modulus(n, bits, alg))
         });
         plan.downcast::<NttPlan<L>>()
@@ -370,28 +558,29 @@ impl Session {
     // ------------------------------------------------------------------
 
     /// The RNS space over an explicit basis of distinct word-sized primes,
-    /// building (or reusing) the basis-keyed [`RnsPlan`].
+    /// building (or reusing) the basis-keyed [`RnsPlan`]. The returned handle
+    /// is owned (`Send + 'static`), like every session handle.
     ///
     /// # Panics
     ///
     /// Panics under the [`RnsContext::with_moduli`] conditions (composite,
     /// duplicate, or oversized moduli).
-    pub fn rns(&self, moduli: &[u64]) -> RnsSpace<'_> {
+    pub fn rns(&self, moduli: &[u64]) -> RnsSpace {
         RnsSpace {
-            session: self,
             plan: self.rns_plan(moduli),
+            session: self.clone(),
         }
     }
 
     /// The RNS space over the deterministic basis covering at least `bits`
     /// bits of dynamic range (same basis as [`RnsContext::with_capacity_bits`]).
-    pub fn rns_with_capacity(&self, bits: u32) -> RnsSpace<'_> {
+    pub fn rns_with_capacity(&self, bits: u32) -> RnsSpace {
         // Memoize capacity → basis so repeated requests skip the deterministic
         // prime search entirely; the plan itself then comes from (or seeds) the
         // basis-keyed cache.
         let mut built_ctx = None;
         let moduli = {
-            let mut memo = self.capacity_bases.lock().expect("capacity memo poisoned");
+            let mut memo = lock_unpoisoned(&self.state.capacity_bases);
             memo.entry(bits)
                 .or_insert_with(|| {
                     let ctx = RnsContext::with_capacity_bits(bits);
@@ -402,28 +591,30 @@ impl Session {
                 .clone()
         };
         RnsSpace {
-            session: self,
-            plan: self.rns.get_or_build(moduli, || {
+            plan: self.state.rns.get_or_build(moduli, || {
                 let ctx = built_ctx.unwrap_or_else(|| RnsContext::with_capacity_bits(bits));
                 Arc::new(RnsPlan::new(&ctx))
             }),
+            session: self.clone(),
         }
     }
 
     fn rns_plan(&self, moduli: &[u64]) -> Arc<RnsPlan> {
-        self.rns.get_or_build(moduli.to_vec(), || {
+        self.state.rns.get_or_build(moduli.to_vec(), || {
             Arc::new(RnsPlan::new(&RnsContext::with_moduli(moduli)))
         })
     }
 
     fn baseconv_plan(&self, src: &Arc<RnsPlan>, dst: &Arc<RnsPlan>) -> Arc<BaseConvPlan> {
         let key = (src.moduli().collect(), dst.moduli().collect());
-        self.baseconv
+        self.state
+            .baseconv
             .get_or_build(key, || Arc::new(BaseConvPlan::new(src, dst)))
     }
 
     fn rescale_plan_for(&self, src: &Arc<RnsPlan>) -> Arc<RescalePlan> {
-        self.rescale
+        self.state
+            .rescale
             .get_or_build(src.moduli().collect(), || Arc::new(src.rescale_plan()))
     }
 
@@ -433,7 +624,8 @@ impl Session {
         dst: &Arc<RnsPlan>,
     ) -> Arc<RescaleExtendPlan> {
         let key = (src.moduli().collect(), dst.moduli().collect());
-        self.rescale_extend
+        self.state
+            .rescale_extend
             .get_or_build(key, || Arc::new(src.rescale_extend_plan(dst)))
     }
 
@@ -456,7 +648,8 @@ impl Session {
             .moduli()
             .enumerate()
             .map(|(s, m)| {
-                self.kernels
+                self.state
+                    .kernels
                     .get_or_compile(KernelCacheKey::new(op.clone(), 64, m), || {
                         bc.mac_kernel_ir(s)
                     })
@@ -482,8 +675,8 @@ impl Session {
         compiled.add_mnemonic("macmod", l * k);
         let cols = cols.max(1) as u64;
         let bytes = 8 * (k + l);
-        let direct_est = self.cost.estimate_launch(&direct, cols, bytes);
-        let compiled_est = self.cost.estimate_launch(&compiled, cols, bytes);
+        let direct_est = self.state.cost.estimate_launch(&direct, cols, bytes);
+        let compiled_est = self.state.cost.estimate_launch(&compiled, cols, bytes);
         compiled_est.total < direct_est.total
     }
 }
@@ -494,15 +687,22 @@ impl Session {
 
 /// An `n`-point single-word NTT space handed out by [`Session::ntt`] — a cached
 /// [`NttPlan64`] plus the batched launcher entry points.
+///
+/// The handle is owned (`Send + Sync + 'static`): it holds its own [`Session`]
+/// clone, so it can cross threads or sit in a request queue for as long as it
+/// likes.
 #[derive(Clone)]
-pub struct NttSpace<'s> {
+pub struct NttSpace {
+    session: Session,
     plan: Arc<NttPlan64>,
-    // Spaces are session-scoped handles; the lifetime keeps the API uniform
-    // with `RnsSpace` without holding data the space does not use yet.
-    _session: std::marker::PhantomData<&'s Session>,
 }
 
-impl NttSpace<'_> {
+impl NttSpace {
+    /// The session this space was handed out by (shares its caches).
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
     /// The underlying cached plan (for launcher-level access).
     pub fn plan(&self) -> &NttPlan64 {
         &self.plan
@@ -561,13 +761,20 @@ impl NttSpace<'_> {
 
 /// An RNS space (a basis of word-sized primes) handed out by [`Session::rns`]:
 /// the factory for [`RnsVec`]s over the session's cached [`RnsPlan`].
+///
+/// Owned like every session handle: `Send + Sync + 'static`, cheap to clone.
 #[derive(Clone)]
-pub struct RnsSpace<'s> {
-    session: &'s Session,
+pub struct RnsSpace {
+    session: Session,
     plan: Arc<RnsPlan>,
 }
 
-impl<'s> RnsSpace<'s> {
+impl RnsSpace {
+    /// The session this space was handed out by (shares its caches).
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
     /// The underlying cached plan.
     pub fn plan(&self) -> &RnsPlan {
         &self.plan
@@ -588,9 +795,9 @@ impl<'s> RnsSpace<'s> {
     /// # Panics
     ///
     /// Panics if any value is not below the dynamic range.
-    pub fn encode(&self, values: &[BigUint]) -> RnsVec<'s> {
+    pub fn encode(&self, values: &[BigUint]) -> RnsVec {
         RnsVec {
-            session: self.session,
+            session: self.session.clone(),
             plan: Arc::clone(&self.plan),
             matrix: RnsMatrix::from_biguints(&self.plan, values),
         }
@@ -599,7 +806,7 @@ impl<'s> RnsSpace<'s> {
     /// The session-cached conversion plan from this space's basis into `dst`'s
     /// (for launcher-level measurement; [`RnsVec::base_convert`] uses it
     /// implicitly).
-    pub fn conversion_to(&self, dst: &RnsSpace<'_>) -> Arc<BaseConvPlan> {
+    pub fn conversion_to(&self, dst: &RnsSpace) -> Arc<BaseConvPlan> {
         self.session.baseconv_plan(&self.plan, &dst.plan)
     }
 
@@ -617,7 +824,7 @@ impl<'s> RnsSpace<'s> {
     /// # Panics
     ///
     /// Panics if the basis has fewer than two moduli.
-    pub fn rescale_extend_to(&self, dst: &RnsSpace<'_>) -> Arc<RescaleExtendPlan> {
+    pub fn rescale_extend_to(&self, dst: &RnsSpace) -> Arc<RescaleExtendPlan> {
         self.session.rescale_extend_plan_for(&self.plan, &dst.plan)
     }
 
@@ -633,14 +840,14 @@ impl<'s> RnsSpace<'s> {
     /// # Panics
     ///
     /// Panics if the matrix shape does not match the basis.
-    pub fn wrap(&self, matrix: RnsMatrix) -> RnsVec<'s> {
+    pub fn wrap(&self, matrix: RnsMatrix) -> RnsVec {
         assert_eq!(
             matrix.row_count(),
             self.plan.moduli_count(),
             "matrix basis mismatch"
         );
         RnsVec {
-            session: self.session,
+            session: self.session.clone(),
             plan: Arc::clone(&self.plan),
             matrix,
         }
@@ -651,14 +858,17 @@ impl<'s> RnsSpace<'s> {
 /// chainable operations. Every operation routes through the session's plan and
 /// kernel caches and — where more than one execution path exists — picks the
 /// path the session cost model prices cheaper.
+///
+/// Owned like every session handle: a vector encoded on one thread can be
+/// moved to (or shared with) another and operated on there.
 #[derive(Clone)]
-pub struct RnsVec<'s> {
-    session: &'s Session,
+pub struct RnsVec {
+    session: Session,
     plan: Arc<RnsPlan>,
     matrix: RnsMatrix,
 }
 
-impl<'s> RnsVec<'s> {
+impl RnsVec {
     /// Number of elements.
     pub fn len(&self) -> usize {
         self.matrix.len()
@@ -675,9 +885,9 @@ impl<'s> RnsVec<'s> {
     }
 
     /// The space this vector lives over.
-    pub fn space(&self) -> RnsSpace<'s> {
+    pub fn space(&self) -> RnsSpace {
         RnsSpace {
-            session: self.session,
+            session: self.session.clone(),
             plan: Arc::clone(&self.plan),
         }
     }
@@ -687,9 +897,9 @@ impl<'s> RnsVec<'s> {
         self.plan.to_biguints(&self.matrix)
     }
 
-    fn wrap(&self, matrix: RnsMatrix) -> RnsVec<'s> {
+    fn wrap(&self, matrix: RnsMatrix) -> RnsVec {
         RnsVec {
-            session: self.session,
+            session: self.session.clone(),
             plan: Arc::clone(&self.plan),
             matrix,
         }
@@ -700,7 +910,7 @@ impl<'s> RnsVec<'s> {
     /// # Panics
     ///
     /// Panics on basis or length mismatch.
-    pub fn add(&self, other: &RnsVec<'_>) -> RnsVec<'s> {
+    pub fn add(&self, other: &RnsVec) -> RnsVec {
         self.wrap(self.plan.add(&self.matrix, &other.matrix))
     }
 
@@ -709,7 +919,7 @@ impl<'s> RnsVec<'s> {
     /// # Panics
     ///
     /// Panics on basis or length mismatch.
-    pub fn sub(&self, other: &RnsVec<'_>) -> RnsVec<'s> {
+    pub fn sub(&self, other: &RnsVec) -> RnsVec {
         self.wrap(self.plan.sub(&self.matrix, &other.matrix))
     }
 
@@ -718,8 +928,21 @@ impl<'s> RnsVec<'s> {
     /// # Panics
     ///
     /// Panics on basis or length mismatch.
-    pub fn mul(&self, other: &RnsVec<'_>) -> RnsVec<'s> {
-        self.wrap(self.plan.mul(&self.matrix, &other.matrix))
+    pub fn mul(&self, other: &RnsVec) -> RnsVec {
+        self.mul_with_stats(other).0
+    }
+
+    /// Like [`RnsVec::mul`], also returning the launch statistics — the
+    /// observability surface batching services aggregate launches-per-op from.
+    ///
+    /// # Panics
+    ///
+    /// Panics on basis or length mismatch.
+    pub fn mul_with_stats(&self, other: &RnsVec) -> (RnsVec, LaunchStats) {
+        let (matrix, stats) = self
+            .plan
+            .apply(BlasOp::VecMul, None, &self.matrix, &other.matrix);
+        (self.wrap(matrix), stats)
     }
 
     /// `a·self + y` with a positional scalar `a`.
@@ -727,7 +950,7 @@ impl<'s> RnsVec<'s> {
     /// # Panics
     ///
     /// Panics on basis or length mismatch, or if `a` exceeds the dynamic range.
-    pub fn axpy(&self, a: &BigUint, y: &RnsVec<'_>) -> RnsVec<'s> {
+    pub fn axpy(&self, a: &BigUint, y: &RnsVec) -> RnsVec {
         let scalar = self.plan.to_residues(a);
         self.wrap(self.plan.axpy(&scalar, &self.matrix, &y.matrix))
     }
@@ -743,7 +966,7 @@ impl<'s> RnsVec<'s> {
     /// # Panics
     ///
     /// Panics under the [`RnsPlan::base_convert`] conditions.
-    pub fn base_convert(&self, dst: &RnsSpace<'s>) -> RnsVec<'s> {
+    pub fn base_convert(&self, dst: &RnsSpace) -> RnsVec {
         let bc = self.session.baseconv_plan(&self.plan, &dst.plan);
         let k = self.plan.moduli_count() as u64;
         let l = dst.plan.moduli_count() as u64;
@@ -755,7 +978,7 @@ impl<'s> RnsVec<'s> {
             self.plan.base_convert(&bc, &self.matrix)
         };
         RnsVec {
-            session: self.session,
+            session: self.session.clone(),
             plan: Arc::clone(&dst.plan),
             matrix,
         }
@@ -768,7 +991,7 @@ impl<'s> RnsVec<'s> {
     /// # Panics
     ///
     /// Panics if the basis has fewer than two moduli.
-    pub fn rescale(&self) -> RnsVec<'s> {
+    pub fn rescale(&self) -> RnsVec {
         let rp = self.session.rescale_plan_for(&self.plan);
         let (matrix, _) = self.plan.scale_and_round(&rp, &self.matrix);
         let out_moduli: Vec<u64> = rp.output_plan().moduli().collect();
@@ -777,10 +1000,11 @@ impl<'s> RnsVec<'s> {
         // rebuild would redo primality validation and all precomputed tables).
         let plan = self
             .session
+            .state
             .rns
             .get_or_build(out_moduli, || Arc::new(rp.output_plan().clone()));
         RnsVec {
-            session: self.session,
+            session: self.session.clone(),
             plan,
             matrix,
         }
@@ -798,18 +1022,31 @@ impl<'s> RnsVec<'s> {
     ///
     /// Panics if the basis has fewer than two moduli, or under the
     /// [`RnsPlan::base_convert`] accumulator conditions.
-    pub fn rescale_then_extend(&self, dst: &RnsSpace<'s>) -> RnsVec<'s> {
+    pub fn rescale_then_extend(&self, dst: &RnsSpace) -> RnsVec {
+        self.rescale_then_extend_with_stats(dst).0
+    }
+
+    /// Like [`RnsVec::rescale_then_extend`], also returning the launch
+    /// statistics of the selected path.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the [`RnsVec::rescale_then_extend`] conditions.
+    pub fn rescale_then_extend_with_stats(&self, dst: &RnsSpace) -> (RnsVec, LaunchStats) {
         let p = self.session.rescale_extend_plan_for(&self.plan, &dst.plan);
-        let (matrix, _) = if p.fused_is_faster(&self.session.cost, self.len()) {
+        let (matrix, stats) = if p.fused_is_faster(&self.session.state.cost, self.len()) {
             self.plan.rescale_then_extend(&p, &self.matrix)
         } else {
             self.plan.rescale_then_extend_two_pass(&p, &self.matrix)
         };
-        RnsVec {
-            session: self.session,
-            plan: Arc::clone(&dst.plan),
-            matrix,
-        }
+        (
+            RnsVec {
+                session: self.session.clone(),
+                plan: Arc::clone(&dst.plan),
+                matrix,
+            },
+            stats,
+        )
     }
 }
 
@@ -819,6 +1056,8 @@ mod tests {
     use moma_bignum::random::random_below;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use std::sync::mpsc;
+    use std::thread;
 
     #[test]
     fn generated_kernels_are_cached_per_spec_and_algorithm() {
@@ -842,7 +1081,14 @@ mod tests {
         assert!(Arc::ptr_eq(&a.plan, &b.plan));
         let c = session.ntt_default(128);
         assert!(!Arc::ptr_eq(&a.plan, &c.plan));
-        assert_eq!(session.stats().ntt, CacheStats { hits: 1, misses: 2 });
+        assert_eq!(
+            session.stats().ntt,
+            CacheStats {
+                hits: 1,
+                misses: 2,
+                contended: 0
+            }
+        );
         // Round trip through the handle.
         let mut rng = StdRng::seed_from_u64(1);
         let data: Vec<u64> = (0..64)
@@ -865,13 +1111,145 @@ mod tests {
         let b = session.ntt_multiword::<2>(128, 32);
         assert!(Arc::ptr_eq(&a, &b));
         let stats = session.stats();
-        assert_eq!(stats.ntt_multiword, CacheStats { hits: 1, misses: 1 });
+        assert_eq!(
+            stats.ntt_multiword,
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                contended: 0
+            }
+        );
         let mut rng = StdRng::seed_from_u64(2);
         let data: Vec<_> = (0..32).map(|_| a.ring.random_element(&mut rng)).collect();
         let mut work = data.clone();
         a.forward(&mut work);
         a.inverse(&mut work);
         assert_eq!(work, data);
+    }
+
+    #[test]
+    fn clones_share_cache_state() {
+        let session = Session::default();
+        let clone = session.clone();
+        assert!(session.shares_state_with(&clone));
+        assert!(!session.shares_state_with(&Session::default()));
+        let _ = clone.ntt_default(64);
+        // The clone's build is the original's cache hit.
+        let _ = session.ntt_default(64);
+        let stats = session.stats();
+        assert_eq!((stats.ntt.misses, stats.ntt.hits), (1, 1));
+    }
+
+    #[test]
+    fn plan_cache_stampede_builds_once_for_one_key() {
+        let cache: PlanCache<u32, u64> = PlanCache::default();
+        let builds = Arc::new(AtomicU64::new(0));
+        let barrier = Arc::new(std::sync::Barrier::new(8));
+        thread::scope(|s| {
+            for _ in 0..8 {
+                let builds = Arc::clone(&builds);
+                let barrier = Arc::clone(&barrier);
+                let cache = &cache;
+                s.spawn(move || {
+                    barrier.wait();
+                    let v = cache.get_or_build(7, || {
+                        builds.fetch_add(1, Ordering::SeqCst);
+                        // Widen the race window so waiters really do contend.
+                        thread::sleep(std::time::Duration::from_millis(20));
+                        Arc::new(42u64)
+                    });
+                    assert_eq!(*v, 42);
+                });
+            }
+        });
+        assert_eq!(builds.load(Ordering::SeqCst), 1, "exactly one build");
+        let stats = cache.stats();
+        assert_eq!((stats.misses, stats.hits), (1, 7));
+    }
+
+    #[test]
+    fn plan_cache_different_keys_build_in_parallel() {
+        // Key 1's builder blocks until key 2's build has *completed*. If builds
+        // for different keys serialized behind one lock, this would deadlock.
+        let cache: Arc<PlanCache<u32, u64>> = Arc::new(PlanCache::default());
+        let (unblock_tx, unblock_rx) = mpsc::channel::<()>();
+        let slow = {
+            let cache = Arc::clone(&cache);
+            thread::spawn(move || {
+                cache.get_or_build(1, move || {
+                    unblock_rx.recv().expect("key 2 completes while we build");
+                    Arc::new(100u64)
+                })
+            })
+        };
+        // Runs while key 1 is mid-build.
+        let fast = cache.get_or_build(2, || Arc::new(200u64));
+        assert_eq!(*fast, 200);
+        unblock_tx.send(()).unwrap();
+        assert_eq!(*slow.join().unwrap(), 100);
+        let stats = cache.stats();
+        assert_eq!((stats.misses, stats.hits, stats.contended), (2, 0, 0));
+    }
+
+    #[test]
+    fn plan_cache_waiters_are_counted_as_contended_hits() {
+        let cache: Arc<PlanCache<u32, u64>> = Arc::new(PlanCache::default());
+        let (entered_tx, entered_rx) = mpsc::channel::<()>();
+        let (unblock_tx, unblock_rx) = mpsc::channel::<()>();
+        let builder = {
+            let cache = Arc::clone(&cache);
+            thread::spawn(move || {
+                cache.get_or_build(5, move || {
+                    entered_tx.send(()).unwrap();
+                    unblock_rx.recv().unwrap();
+                    Arc::new(55u64)
+                })
+            })
+        };
+        entered_rx.recv().unwrap(); // the build is provably in flight
+        let waiter = {
+            let cache = Arc::clone(&cache);
+            thread::spawn(move || cache.get_or_build(5, || unreachable!("key already claimed")))
+        };
+        // Give the waiter time to reach the condvar, then publish.
+        while cache.stats().contended == 0 {
+            thread::yield_now();
+        }
+        unblock_tx.send(()).unwrap();
+        assert_eq!(*builder.join().unwrap(), 55);
+        assert_eq!(*waiter.join().unwrap(), 55);
+        let stats = cache.stats();
+        assert_eq!((stats.misses, stats.hits, stats.contended), (1, 1, 1));
+    }
+
+    #[test]
+    fn plan_cache_recovers_from_a_panicking_builder() {
+        let cache: Arc<PlanCache<u32, u64>> = Arc::new(PlanCache::default());
+        let panicked = {
+            let cache = Arc::clone(&cache);
+            thread::spawn(move || cache.get_or_build(9, || panic!("builder died")))
+        };
+        assert!(panicked.join().is_err());
+        // The key was unclaimed: the next request simply builds.
+        let v = cache.get_or_build(9, || Arc::new(99u64));
+        assert_eq!(*v, 99);
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 2, "the failed claim and the successful one");
+    }
+
+    #[test]
+    fn session_survives_a_panicking_plan_builder() {
+        let session = Session::default();
+        let poisoner = session.clone();
+        // q = 6 is composite: the NttPlan64 builder panics inside the cache.
+        let result = thread::spawn(move || poisoner.ntt(6, 8)).join();
+        assert!(result.is_err());
+        // The session is not wedged: a valid request still builds and caches.
+        let space = session.ntt_default(8);
+        assert_eq!(space.n(), 8);
+        let _ = session.ntt_default(8);
+        let stats = session.stats();
+        assert_eq!(stats.ntt.hits, 1);
     }
 
     #[test]

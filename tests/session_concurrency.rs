@@ -1,0 +1,155 @@
+//! Concurrency contract of the shared `Session`: stampede-controlled plan
+//! caches (same-key requests build exactly once, different-key requests never
+//! serialize), owned `Send + 'static` handles that cross threads bit-for-bit
+//! intact, and recovery from panicking builders.
+
+use moma::bignum::BigUint;
+use moma::rns::RnsContext;
+use moma::{NttSpace, RnsSpace, RnsVec, Session};
+use std::sync::{Arc, Barrier};
+use std::thread;
+
+/// Compile-time: the session and every handle it yields are shareable across
+/// threads and free of borrowed lifetimes.
+const _: () = {
+    const fn shareable<T: Send + Sync + 'static>() {}
+    shareable::<Session>();
+    shareable::<NttSpace>();
+    shareable::<RnsSpace>();
+    shareable::<RnsVec>();
+};
+
+#[test]
+fn same_key_stampede_builds_exactly_once() {
+    const THREADS: u64 = 8;
+    let session = Session::default();
+    let barrier = Arc::new(Barrier::new(THREADS as usize));
+    let plans: Vec<_> = thread::scope(|s| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let worker = session.clone();
+                let barrier = Arc::clone(&barrier);
+                s.spawn(move || {
+                    // All threads release at once into the same (q, n) request.
+                    barrier.wait();
+                    worker.ntt_default(1 << 12)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    // Every thread got the same plan object…
+    for space in &plans[1..] {
+        assert!(std::ptr::eq(plans[0].plan(), space.plan()));
+    }
+    // …and the cache saw exactly one build: one miss, N − 1 hits, however the
+    // race interleaved. (`contended` counts only the waiters that blocked on
+    // the in-flight build; late arrivals that found it published are plain
+    // hits, so it can be anywhere in [0, N − 1].)
+    let stats = session.stats().ntt;
+    assert_eq!(stats.misses, 1, "same-key stampede must build exactly once");
+    assert_eq!(stats.hits, THREADS - 1);
+    assert!(stats.contended < THREADS);
+}
+
+#[test]
+fn different_keys_build_concurrently_without_serializing() {
+    // Four distinct (q, n) plans built from four threads at once. With builds
+    // running outside the map lock this takes ~one build time; the test only
+    // asserts completion and per-key single builds (a deadlock or serialization
+    // on one coarse lock would time the suite out on the n = 2^13 tables).
+    let session = Session::default();
+    let sizes = [1 << 10, 1 << 11, 1 << 12, 1 << 13];
+    thread::scope(|s| {
+        for &n in &sizes {
+            let worker = session.clone();
+            s.spawn(move || worker.ntt_default(n));
+        }
+    });
+    let stats = session.stats().ntt;
+    assert_eq!(stats.misses, sizes.len() as u64, "one build per key");
+    assert_eq!(stats.contended, 0, "different keys never contend");
+}
+
+#[test]
+fn owned_handles_cross_threads_bit_for_bit() {
+    let session = Session::default();
+    let src = session.rns_with_capacity(128);
+    let src_moduli = src.moduli();
+    let dst = session.rns(&src_moduli[..4]);
+
+    let mut rng_values = Vec::new();
+    let mut x = BigUint::from(0x1234_5678_9abc_def0u64);
+    for _ in 0..6 {
+        x = (&x * &BigUint::from(0x9e37_79b9u64)) % src.product();
+        rng_values.push(x.clone());
+    }
+
+    // Encode on this thread; move the owned vector (and spaces) to another
+    // thread; run the chain there; bring the result back.
+    let encoded = src.encode(&rng_values);
+    let out = thread::spawn(move || {
+        let squared = encoded.mul(&encoded);
+        squared.rescale_then_extend(&dst).to_biguints()
+    })
+    .join()
+    .expect("worker thread");
+
+    // Bit-for-bit against the BigUint oracle, computed on this thread.
+    let ctx = RnsContext::with_moduli(&src_moduli);
+    let dst_ctx = RnsContext::with_moduli(&src_moduli[..4]);
+    let out_ctx = ctx.without_last();
+    for (c, v) in rng_values.iter().enumerate() {
+        let sq = (v * v) % src.product();
+        let oracle = dst_ctx.from_residues(
+            &out_ctx.base_convert(&dst_ctx, &ctx.scale_and_round(&ctx.to_residues(&sq))),
+        );
+        assert_eq!(out[c], oracle, "element {c}");
+    }
+}
+
+#[test]
+fn a_panicking_builder_does_not_wedge_the_session() {
+    let session = Session::default();
+    let poisoner = session.clone();
+    // q = 6 is composite: the NTT plan builder panics mid-build, inside the
+    // stampede slot, on another thread.
+    let died = thread::spawn(move || poisoner.ntt(6, 8)).join();
+    assert!(died.is_err(), "composite modulus must panic");
+    // The key was unclaimed and no lock stayed poisoned: the same session
+    // still builds, caches, and serves.
+    let space = session.ntt_default(8);
+    let mut data: Vec<u64> = (0..8).collect();
+    let original = data.clone();
+    space.forward(&mut data);
+    space.inverse(&mut data);
+    assert_eq!(data, original);
+    let _ = session.ntt_default(8);
+    assert_eq!(session.stats().ntt.hits, 1);
+}
+
+#[test]
+fn clones_observe_each_others_builds() {
+    let session = Session::default();
+    let results: Vec<u64> = thread::scope(|s| {
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let worker = session.clone();
+                s.spawn(move || {
+                    let space = worker.ntt_default(256);
+                    let mut data = vec![0u64; 256];
+                    data[0] = i;
+                    space.forward(&mut data);
+                    data[0]
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    assert_eq!(results.len(), 4);
+    let stats = session.stats().ntt;
+    assert_eq!(
+        stats.misses, 1,
+        "four clones share one cache: one build total"
+    );
+}
