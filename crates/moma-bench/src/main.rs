@@ -17,8 +17,12 @@
 //! `serve` runs the closed-loop batching-service bench: N simulated clients in a
 //! closed loop against a `moma-serve` server over one shared session, batched
 //! coalescing vs the one-request-at-a-time baseline (throughput, p50/p99 latency,
-//! launches per op, cache hit rate). Its numbers land in `BENCH_ntt_blas.json`
-//! under `serve_closed_loop` when the `bench` item also runs.
+//! launches per op, cache hit rate). It also runs the open-loop overload bench:
+//! arrival-rate-driven load at ≈2x measured capacity against a bounded-queue
+//! server, recording goodput, shed rate, and the latency of *accepted* requests
+//! — the robustness claim is that p99 stays bounded because excess load is shed
+//! at admission instead of queueing. The numbers land in `BENCH_ntt_blas.json`
+//! under `serve_closed_loop` and `serve_overload` when the `bench` item also runs.
 
 use moma::bignum::BigUint;
 use moma::blas::batch::{run_batch, Batch};
@@ -39,8 +43,9 @@ use moma::rewrite::{builders, lower};
 use moma::rns::{vector as rns_vec, BaseConvPlan, RnsContext, RnsMatrix, RnsPlan};
 use moma::MulAlgorithm;
 use moma::{Compiler, KernelOp, KernelSpec, LoweringConfig, RnsSpace, Session};
-use moma_serve::{ServeConfig, Server, WorkItem};
+use moma_serve::{ServeConfig, ServeError, Server, Ticket, WorkItem};
 use rand::{Rng, SeedableRng};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 fn main() {
@@ -89,12 +94,14 @@ fn main() {
     if want("claims") {
         claims(&session);
     }
-    // The serve bench runs once and feeds both the printed section and the
-    // `serve_closed_loop` entry the `bench` item writes to the JSON file.
+    // The serve benches run once and feed both the printed sections and the
+    // `serve_closed_loop` / `serve_overload` entries the `bench` item writes
+    // to the JSON file.
     if want("serve") || want("bench") {
         let serve = bench_serve(quick);
+        let overload = bench_serve_overload(quick);
         if want("bench") {
-            bench(&session, quick, &serve);
+            bench(&session, quick, &serve, &overload);
         }
     }
 }
@@ -1063,6 +1070,7 @@ fn bench_serve(quick: bool) -> ServeBench {
             max_batch: 64,
             min_batch: 4,
             batch_window: Duration::from_millis(5),
+            ..ServeConfig::default()
         },
         clients,
         per_client,
@@ -1076,6 +1084,7 @@ fn bench_serve(quick: bool) -> ServeBench {
             max_batch: 1,
             min_batch: 1,
             batch_window: Duration::ZERO,
+            ..ServeConfig::default()
         },
         clients,
         per_client,
@@ -1120,7 +1129,193 @@ fn bench_serve(quick: bool) -> ServeBench {
     result
 }
 
-fn bench(session: &Session, quick: bool, serve: &ServeBench) {
+/// Aggregates of one open-loop overload run: fixed arrival rate ≈ 2x measured
+/// capacity against a bounded-queue server.
+struct OverloadBench {
+    n: usize,
+    capacity_ops_per_sec: f64,
+    offered_qps: f64,
+    attempts: u64,
+    accepted: u64,
+    shed: u64,
+    expired: u64,
+    shed_rate: f64,
+    goodput_ops_per_sec: f64,
+    p50_accepted_us: f64,
+    p99_accepted_us: f64,
+}
+
+/// The overload server: deliberately capacity-capped (one worker, modest
+/// batching) with a shallow bounded queue, so saturation — and the shedding
+/// that keeps accepted-request latency flat — is reachable quickly.
+fn overload_config() -> ServeConfig {
+    ServeConfig {
+        workers: 1,
+        max_batch: 8,
+        min_batch: 1,
+        batch_window: Duration::from_millis(1),
+        queue_depth: 64,
+        ..ServeConfig::default()
+    }
+}
+
+/// Saturating closed loop (pure NTT): enough clients to keep the worker busy;
+/// their combined throughput is the capacity the open loop doubles.
+fn overload_capacity_probe(clients: usize, per_client: usize, n: usize) -> f64 {
+    let session = Session::default();
+    let server = Server::new(session.clone(), overload_config());
+    let q = session.ntt_default(n).modulus();
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for c in 0..clients {
+            let client = server.client();
+            s.spawn(move || {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(0xFEED + c as u64);
+                for _ in 0..per_client {
+                    let data: Vec<u64> = (0..n).map(|_| rng.gen_range(0..q)).collect();
+                    client
+                        .call(WorkItem::NttForward { q, n, data })
+                        .expect("capacity probe request");
+                }
+            });
+        }
+    });
+    (clients * per_client) as f64 / start.elapsed().as_secs_f64()
+}
+
+/// The open-loop overload bench: requests arrive on a fixed schedule at ≈2x
+/// the measured capacity, regardless of completions. The bounded submission
+/// queue sheds the excess at admission ([`ServeError::Overloaded`]), so the
+/// latency of *accepted* requests stays bounded instead of collapsing into an
+/// ever-growing queue.
+fn bench_serve_overload(quick: bool) -> OverloadBench {
+    heading("Open-loop overload bench (admission control + load shedding)");
+    let n = 1024;
+    let capacity = overload_capacity_probe(16, if quick { 16 } else { 48 }, n);
+    let offered = 2.0 * capacity;
+    let duration_s = if quick { 0.6 } else { 1.25 };
+    let total = (offered * duration_s).max(32.0) as u64;
+
+    let session = Session::default();
+    let server = Server::new(session.clone(), overload_config());
+    let client = server.client();
+    let q = session.ntt_default(n).modulus();
+    // Warm the plan caches so the measured run starts from service steady
+    // state, and pre-generate payloads so the generator thread stays cheap.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x10AD);
+    let warm: Vec<u64> = (0..n).map(|_| rng.gen_range(0..q)).collect();
+    client
+        .call(WorkItem::NttForward { q, n, data: warm })
+        .expect("warmup request");
+    let pool: Vec<Vec<u64>> = (0..32)
+        .map(|_| (0..n).map(|_| rng.gen_range(0..q)).collect())
+        .collect();
+
+    let (done_tx, done_rx) = mpsc::channel::<(Ticket, Instant)>();
+    let done_rx = Arc::new(Mutex::new(done_rx));
+    let start = Instant::now();
+    let (attempts, accepted, mut latencies_us) = std::thread::scope(|s| {
+        // Waiter pool: resolves accepted tickets as they complete so the
+        // generator never blocks on results (open loop, not closed loop).
+        let waiters: Vec<_> = (0..4)
+            .map(|_| {
+                let done_rx = Arc::clone(&done_rx);
+                s.spawn(move || {
+                    let mut latencies = Vec::new();
+                    loop {
+                        let next = {
+                            let rx = done_rx.lock().expect("waiter queue lock");
+                            rx.recv()
+                        };
+                        let Ok((ticket, t0)) = next else { break };
+                        if ticket.wait().is_ok() {
+                            latencies.push(t0.elapsed().as_secs_f64() * 1e6);
+                        }
+                    }
+                    latencies
+                })
+            })
+            .collect();
+        // Generator: fixed arrival schedule at the offered rate. A full queue
+        // sheds instantly, which is exactly the behavior under test.
+        let interval = Duration::from_secs_f64(1.0 / offered);
+        let mut attempts = 0u64;
+        let mut accepted = 0u64;
+        for i in 0..total {
+            let target = start + interval.mul_f64(i as f64);
+            let now = Instant::now();
+            if target > now {
+                std::thread::sleep(target - now);
+            }
+            attempts += 1;
+            let item = WorkItem::NttForward {
+                q,
+                n,
+                data: pool[i as usize % pool.len()].clone(),
+            };
+            let t0 = Instant::now();
+            match client.submit(item) {
+                Ok(ticket) => {
+                    accepted += 1;
+                    done_tx.send((ticket, t0)).expect("waiter pool alive");
+                }
+                Err(ServeError::Overloaded) => {}
+                Err(other) => panic!("unexpected submit error: {other}"),
+            }
+        }
+        drop(done_tx);
+        let latencies: Vec<f64> = waiters
+            .into_iter()
+            .flat_map(|h| h.join().expect("overload waiter"))
+            .collect();
+        (attempts, accepted, latencies)
+    });
+    let elapsed_s = start.elapsed().as_secs_f64();
+    latencies_us.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+
+    let stats = server.stats();
+    let result = OverloadBench {
+        n,
+        capacity_ops_per_sec: capacity,
+        offered_qps: offered,
+        attempts,
+        accepted,
+        shed: stats.shed,
+        expired: stats.expired,
+        shed_rate: stats.shed as f64 / attempts.max(1) as f64,
+        goodput_ops_per_sec: latencies_us.len() as f64 / elapsed_s,
+        p50_accepted_us: if latencies_us.is_empty() {
+            0.0
+        } else {
+            percentile(&latencies_us, 0.50)
+        },
+        p99_accepted_us: if latencies_us.is_empty() {
+            0.0
+        } else {
+            percentile(&latencies_us, 0.99)
+        },
+    };
+    println!(
+        "offered {:.0} req/s (2x measured capacity {:.0} ops/s) for {duration_s:.2} s, n = {n}:",
+        result.offered_qps, result.capacity_ops_per_sec
+    );
+    println!(
+        "  attempted {} -> accepted {} / shed {} ({:.1}% shed rate), expired {}",
+        result.attempts,
+        result.accepted,
+        result.shed,
+        100.0 * result.shed_rate,
+        result.expired,
+    );
+    println!(
+        "  goodput {:>8.0} ops/s   accepted p50 {:>8.1} us   p99 {:>8.1} us \
+         (bounded: excess load is shed at admission, not queued)",
+        result.goodput_ops_per_sec, result.p50_accepted_us, result.p99_accepted_us
+    );
+    result
+}
+
+fn bench(session: &Session, quick: bool, serve: &ServeBench, overload: &OverloadBench) {
     heading(if quick {
         "Hot-path bench (quick mode) -> BENCH_ntt_blas.json"
     } else {
@@ -1306,7 +1501,16 @@ fn bench(session: &Session, quick: bool, serve: &ServeBench) {
          \"launches_per_op\": {serve_lpo:.3},\n    \
          \"baseline_launches_per_op\": {serve_baseline_lpo:.3},\n    \
          \"avg_batch\": {serve_avg_batch:.3},\n    \
-         \"ntt_cache_hit_rate\": {serve_hit_rate:.4}\n  }}\n}}\n",
+         \"ntt_cache_hit_rate\": {serve_hit_rate:.4}\n  }},\n  \
+         \"serve_overload\": {{\n    \"n\": {ov_n},\n    \
+         \"capacity_ops_per_sec\": {ov_capacity:.1},\n    \
+         \"offered_qps\": {ov_offered:.1},\n    \
+         \"attempts\": {ov_attempts},\n    \"accepted\": {ov_accepted},\n    \
+         \"shed\": {ov_shed},\n    \"expired\": {ov_expired},\n    \
+         \"shed_rate\": {ov_shed_rate:.4},\n    \
+         \"goodput_ops_per_sec\": {ov_goodput:.1},\n    \
+         \"p50_accepted_us\": {ov_p50:.1},\n    \
+         \"p99_accepted_us\": {ov_p99:.1}\n  }}\n}}\n",
         ntt_rows = rows_u64
             .iter()
             .chain(&rows_u128)
@@ -1354,6 +1558,17 @@ fn bench(session: &Session, quick: bool, serve: &ServeBench) {
         serve_baseline_lpo = serve.baseline_launches_per_op,
         serve_avg_batch = serve.avg_batch,
         serve_hit_rate = serve.ntt_cache_hit_rate,
+        ov_n = overload.n,
+        ov_capacity = overload.capacity_ops_per_sec,
+        ov_offered = overload.offered_qps,
+        ov_attempts = overload.attempts,
+        ov_accepted = overload.accepted,
+        ov_shed = overload.shed,
+        ov_expired = overload.expired,
+        ov_shed_rate = overload.shed_rate,
+        ov_goodput = overload.goodput_ops_per_sec,
+        ov_p50 = overload.p50_accepted_us,
+        ov_p99 = overload.p99_accepted_us,
     );
     std::fs::write("BENCH_ntt_blas.json", &json).expect("write BENCH_ntt_blas.json");
     println!("\nwrote BENCH_ntt_blas.json");

@@ -1,0 +1,181 @@
+//! Deterministic fault injection for the serving stack.
+//!
+//! A [`FaultPlan`] maps request **sequence numbers** (assigned by
+//! [`Client::submit`](crate::Client::submit) in admission order, starting at
+//! zero) to injected [`Fault`]s. The plan threads through
+//! [`ServeConfig::fault_plan`](crate::ServeConfig::fault_plan) and the server
+//! consults it at well-defined points of a batch's life, so every degraded-mode
+//! path — a panicking batch, a slow batch missing its deadline, a spuriously
+//! failing batch, a dying worker thread — has a reproducible test. An empty
+//! plan (the default) injects nothing and costs one hash lookup per batch.
+//!
+//! Determinism: [`FaultPlan::seeded`] derives the whole schedule from a seed
+//! via a splitmix64 stream — the same seed and horizon always yield the same
+//! plan, with no dependence on wall-clock time or thread interleaving.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// One injected fault, applied to the batch containing the keyed request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Panic inside the batch execution. The worker's per-batch unwind guard
+    /// catches it: the batch resolves to
+    /// [`ServeError::Internal`](crate::ServeError::Internal) and the server
+    /// keeps serving.
+    Panic,
+    /// Sleep this long before the batch's pre-execution deadline re-check —
+    /// a stand-in for a slow batch, driving deadline misses deterministically.
+    Delay(Duration),
+    /// Resolve the whole batch with
+    /// [`ServeError::Internal`](crate::ServeError::Internal) without executing
+    /// it — a spurious failure with no panic involved.
+    Fail,
+    /// Kill the worker thread itself, *outside* the per-batch unwind guard.
+    /// The batch's replies are lost (tickets resolve to
+    /// [`ServeError::Shutdown`](crate::ServeError::Shutdown)) and the
+    /// supervisor respawns the worker, counting a `restart`.
+    Die,
+}
+
+/// A deterministic schedule of injected faults, keyed by request sequence
+/// number.
+///
+/// ```
+/// use moma_serve::{Fault, FaultPlan};
+/// use std::time::Duration;
+///
+/// let plan = FaultPlan::new()
+///     .with(3, Fault::Panic)
+///     .with(7, Fault::Delay(Duration::from_millis(2)));
+/// assert_eq!(plan.fault_for(3), Some(Fault::Panic));
+/// assert_eq!(plan.fault_for(4), None);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    faults: HashMap<u64, Fault>,
+}
+
+impl FaultPlan {
+    /// An empty plan: no faults, the production default.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Adds (or overrides) the fault injected for request `seq`.
+    #[must_use]
+    pub fn with(mut self, seq: u64, fault: Fault) -> Self {
+        self.faults.insert(seq, fault);
+        self
+    }
+
+    /// A reproducible mixed schedule over the first `horizon` sequence
+    /// numbers: ≈5% panics, ≈5% delays of 1–3 ms, ≈3% spurious failures, and
+    /// (for `horizon ≥ 2`) exactly two worker deaths. The same `(seed,
+    /// horizon)` always yields the same plan.
+    pub fn seeded(seed: u64, horizon: u64) -> Self {
+        let mut plan = FaultPlan::new();
+        for seq in 0..horizon {
+            let h = splitmix64(seed ^ splitmix64(seq));
+            let fault = match h % 100 {
+                0..=4 => Fault::Panic,
+                5..=9 => Fault::Delay(Duration::from_millis(1 + (h >> 32) % 3)),
+                10..=12 => Fault::Fail,
+                _ => continue,
+            };
+            plan.faults.insert(seq, fault);
+        }
+        if horizon >= 2 {
+            // Two deterministic worker deaths, at distinct sequence numbers.
+            let d1 = splitmix64(seed ^ 0xDEAD_BEEF) % horizon;
+            let mut d2 = splitmix64(seed ^ 0xFEED_FACE) % horizon;
+            if d2 == d1 {
+                d2 = (d2 + 1) % horizon;
+            }
+            plan.faults.insert(d1, Fault::Die);
+            plan.faults.insert(d2, Fault::Die);
+        }
+        plan
+    }
+
+    /// The fault injected for request `seq`, if any.
+    pub fn fault_for(&self, seq: u64) -> Option<Fault> {
+        self.faults.get(&seq).copied()
+    }
+
+    /// Whether the plan injects nothing (the production default).
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// How many sequence numbers have a fault scheduled.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Iterates over the scheduled `(sequence number, fault)` pairs in
+    /// arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, Fault)> + '_ {
+        self.faults.iter().map(|(&seq, &fault)| (seq, fault))
+    }
+}
+
+/// The splitmix64 mixing function: a cheap, well-distributed `u64 -> u64`
+/// hash. Used for the seeded fault schedule and the retry backoff jitter so
+/// both are deterministic without a `rand` dependency.
+pub(crate) fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_plans_are_deterministic() {
+        let a = FaultPlan::seeded(42, 300);
+        let b = FaultPlan::seeded(42, 300);
+        assert_eq!(a, b);
+        assert_ne!(a, FaultPlan::seeded(43, 300));
+    }
+
+    #[test]
+    fn seeded_plans_mix_all_fault_kinds_within_the_horizon() {
+        let plan = FaultPlan::seeded(7, 400);
+        let deaths = plan.iter().filter(|(_, f)| *f == Fault::Die).count();
+        let panics = plan.iter().filter(|(_, f)| *f == Fault::Panic).count();
+        let delays = plan
+            .iter()
+            .filter(|(_, f)| matches!(f, Fault::Delay(_)))
+            .count();
+        let fails = plan.iter().filter(|(_, f)| *f == Fault::Fail).count();
+        assert_eq!(deaths, 2, "exactly two worker deaths");
+        assert!(panics > 0 && delays > 0 && fails > 0, "{plan:?}");
+        assert!(plan.iter().all(|(seq, _)| seq < 400));
+        assert_eq!(plan.len(), deaths + panics + delays + fails);
+    }
+
+    #[test]
+    fn with_overrides_and_lookup_misses_are_none() {
+        let plan = FaultPlan::new().with(5, Fault::Fail).with(5, Fault::Panic);
+        assert_eq!(plan.fault_for(5), Some(Fault::Panic));
+        assert_eq!(plan.fault_for(6), None);
+        assert!(!plan.is_empty());
+        assert!(FaultPlan::new().is_empty());
+    }
+
+    #[test]
+    fn splitmix_spreads_consecutive_inputs() {
+        // Not a statistical test — just a guard that the mixer is not the
+        // identity and maps consecutive inputs far apart.
+        let outs: Vec<u64> = (0..16).map(splitmix64).collect();
+        let mut sorted = outs.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 16);
+        assert!(outs.windows(2).all(|w| w[0].abs_diff(w[1]) > 1 << 32));
+    }
+}

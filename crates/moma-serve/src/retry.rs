@@ -1,0 +1,196 @@
+//! Client-side retry with deterministic jittered exponential backoff.
+//!
+//! Transient failures — [`ServeError::Overloaded`] from admission control,
+//! [`ServeError::Internal`] from a failed batch — are worth retrying; a
+//! malformed request or an expired deadline is not. [`Client::call_with_retry`]
+//! encodes that policy: it retries only the retryable errors, sleeping a
+//! jittered exponential backoff between attempts, and gives up after a
+//! per-call attempt budget with a [`RetryError`] that keeps the last server
+//! error reachable through [`std::error::Error::source`].
+//!
+//! The jitter is **deterministic**: it is derived from
+//! [`RetryPolicy::seed`] and the attempt index via splitmix64, so two runs
+//! with the same policy back off identically — load tests and the chaos
+//! harness reproduce bit-for-bit.
+
+use crate::fault::splitmix64;
+use crate::server::{Client, Completion, ServeError, WorkItem};
+use std::time::Duration;
+
+/// How [`Client::call_with_retry`] paces its attempts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempt budget, including the first try (≥ 1; `1` disables
+    /// retrying).
+    pub attempts: u32,
+    /// Backoff before the first retry; doubles each further retry.
+    pub base_backoff: Duration,
+    /// Cap on any single backoff sleep.
+    pub max_backoff: Duration,
+    /// Seed for the deterministic jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 4,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(100),
+            seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff slept after failed attempt `attempt` (0-based): the capped
+    /// exponential `base_backoff · 2^attempt`, scaled by a deterministic
+    /// jitter factor in `[0.5, 1.0]` drawn from `seed` and `attempt`.
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let exp = self
+            .base_backoff
+            .saturating_mul(1u32.checked_shl(attempt).unwrap_or(u32::MAX))
+            .min(self.max_backoff);
+        let jitter = 0.5
+            + (splitmix64(self.seed ^ u64::from(attempt) << 17) as f64) / (u64::MAX as f64) / 2.0;
+        exp.mul_f64(jitter)
+    }
+}
+
+/// A call that exhausted its retry budget (or hit a non-retryable error).
+///
+/// The last server error stays reachable both as a public field and through
+/// [`std::error::Error::source`], so `anyhow`-style chains render the full
+/// story: `call failed after 4 attempts: server overloaded: ...`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryError {
+    /// How many attempts were actually made (≤ the policy budget).
+    pub attempts: u32,
+    /// The error the final attempt resolved to.
+    pub last: ServeError,
+}
+
+impl std::fmt::Display for RetryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "call failed after {} attempt(s)", self.attempts)
+    }
+}
+
+impl std::error::Error for RetryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.last)
+    }
+}
+
+impl ServeError {
+    /// Whether a retry can plausibly succeed: `true` for the transient
+    /// failures ([`ServeError::Overloaded`], [`ServeError::Internal`]),
+    /// `false` for deterministic rejections (bad request, unknown tenant,
+    /// expired deadline) and for a server that is gone.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, ServeError::Overloaded | ServeError::Internal { .. })
+    }
+}
+
+impl Client {
+    /// Submits `item`, retrying retryable failures with the policy's
+    /// deterministic jittered exponential backoff, up to the policy's attempt
+    /// budget.
+    ///
+    /// # Errors
+    ///
+    /// [`RetryError`] carrying the final attempt's [`ServeError`] — either a
+    /// non-retryable error (returned immediately) or the last transient error
+    /// once the budget is spent.
+    pub fn call_with_retry(
+        &self,
+        item: WorkItem,
+        policy: &RetryPolicy,
+    ) -> Result<Completion, RetryError> {
+        let budget = policy.attempts.max(1);
+        let mut attempt = 0;
+        loop {
+            let err = match self.call(item.clone()) {
+                Ok(done) => return Ok(done),
+                Err(err) => err,
+            };
+            attempt += 1;
+            if attempt >= budget || !err.is_retryable() {
+                return Err(RetryError {
+                    attempts: attempt,
+                    last: err,
+                });
+            }
+            std::thread::sleep(policy.backoff(attempt - 1));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_exponentially_and_caps() {
+        let policy = RetryPolicy {
+            attempts: 8,
+            base_backoff: Duration::from_millis(4),
+            max_backoff: Duration::from_millis(20),
+            seed: 9,
+        };
+        // Jitter scales by [0.5, 1.0]: each backoff lives in a known band.
+        let bands = [(2, 4), (4, 8), (8, 16), (10, 20), (10, 20)];
+        for (attempt, (lo, hi)) in bands.iter().enumerate() {
+            let b = policy.backoff(attempt as u32);
+            assert!(
+                b >= Duration::from_millis(*lo) && b <= Duration::from_millis(*hi),
+                "attempt {attempt}: {b:?} outside [{lo}, {hi}] ms"
+            );
+        }
+    }
+
+    #[test]
+    fn backoff_is_deterministic_per_seed() {
+        let a = RetryPolicy {
+            seed: 7,
+            ..RetryPolicy::default()
+        };
+        let b = RetryPolicy {
+            seed: 7,
+            ..RetryPolicy::default()
+        };
+        let c = RetryPolicy {
+            seed: 8,
+            ..RetryPolicy::default()
+        };
+        assert!((0..6).all(|k| a.backoff(k) == b.backoff(k)));
+        assert!((0..6).any(|k| a.backoff(k) != c.backoff(k)));
+    }
+
+    #[test]
+    fn retryability_partition() {
+        assert!(ServeError::Overloaded.is_retryable());
+        assert!(ServeError::Internal {
+            kind: "ntt_forward",
+            batch_size: 3,
+            message: "boom".into(),
+        }
+        .is_retryable());
+        assert!(!ServeError::BadRequest("nope".into()).is_retryable());
+        assert!(!ServeError::UnknownTenant(0).is_retryable());
+        assert!(!ServeError::DeadlineExceeded.is_retryable());
+        assert!(!ServeError::Shutdown.is_retryable());
+    }
+
+    #[test]
+    fn retry_error_sources_the_server_error() {
+        use std::error::Error;
+        let err = RetryError {
+            attempts: 4,
+            last: ServeError::Overloaded,
+        };
+        let source = err.source().expect("retry errors carry their cause");
+        let serve: &ServeError = source.downcast_ref().expect("cause is a ServeError");
+        assert_eq!(*serve, ServeError::Overloaded);
+    }
+}

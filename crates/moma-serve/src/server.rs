@@ -1,24 +1,41 @@
-//! The server: submission channel, coalescing dispatcher, worker pool.
+//! The server: bounded submission queue, coalescing dispatcher, supervised
+//! worker pool.
 //!
-//! Life of a request: a [`Client`] validates it cheaply and sends it down one
-//! shared `mpsc` channel. The dispatcher thread collects in-flight requests —
-//! up to [`ServeConfig::max_batch`], waiting at most
-//! [`ServeConfig::batch_window`] once it holds fewer than
-//! [`ServeConfig::min_batch`] — then groups them by compatible work (same
-//! `(q, n)` NTT direction, same tenant chain) and hands each group to the
-//! worker pool. A worker flattens the group into one batch, executes it through
-//! the shared session's stage-batched launchers, splits the result, and
-//! resolves every [`Ticket`] with its slice plus the group's batch statistics.
-//! A panicking batch (say, a modulus the NTT planner rejects) fails only its
-//! own group — the worker catches the unwind and resolves those tickets with
-//! [`ServeError::Internal`]; the server keeps serving.
+//! Life of a request: a [`Client`] validates it cheaply, stamps it with a
+//! sequence number and an optional deadline, and **try-sends** it down one
+//! bounded `mpsc` channel — a full queue fails fast with
+//! [`ServeError::Overloaded`] instead of queueing unboundedly (admission
+//! control). The dispatcher thread collects in-flight requests — up to
+//! [`ServeConfig::max_batch`], waiting at most [`ServeConfig::batch_window`]
+//! once it holds fewer than [`ServeConfig::min_batch`] — drops any whose
+//! deadline already passed (resolving them with
+//! [`ServeError::DeadlineExceeded`]), then groups the rest by compatible work
+//! (same `(q, n)` NTT direction, same tenant chain) and hands each group to
+//! the worker pool over a second bounded channel, so backpressure from busy
+//! workers propagates to admission. A worker re-checks every deadline once
+//! more before executing — a slow batch never wastes launches on requests
+//! nobody is waiting for — then flattens the group into one batch, executes it
+//! through the shared session's stage-batched launchers, splits the result,
+//! and resolves every [`Ticket`] with its slice plus the group's batch
+//! statistics.
+//!
+//! Failure containment is layered: a panicking batch (say, a modulus the NTT
+//! planner rejects) fails only its own group — the worker catches the unwind
+//! and resolves those tickets with [`ServeError::Internal`], preserving the
+//! batch kind and size. A worker thread that *dies* (its panic escaping the
+//! per-batch guard) is respawned by the supervisor thread, which counts a
+//! `restart` in [`ServerStats`]; the pool never silently shrinks.
+//! [`Server::drain`] gives graceful shutdown: new submissions are rejected
+//! while in-flight work completes. Every one of these paths is reproducible
+//! via the seeded fault plan in [`ServeConfig::fault_plan`].
 
+use crate::fault::{Fault, FaultPlan};
 use moma::bignum::BigUint;
 use moma::Session;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{self, RecvTimeoutError, TryRecvError};
+use std::sync::mpsc::{self, RecvTimeoutError, TryRecvError, TrySendError};
 use std::sync::{Arc, Mutex, PoisonError, RwLock};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
@@ -27,7 +44,7 @@ use std::time::{Duration, Instant};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TenantId(usize);
 
-/// Server sizing and batching knobs.
+/// Server sizing, batching, robustness, and fault-injection knobs.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Worker threads executing batches (≥ 1).
@@ -41,6 +58,14 @@ pub struct ServeConfig {
     /// How long the dispatcher is willing to hold the first request of a round
     /// while waiting for companions.
     pub batch_window: Duration,
+    /// Bound on the submission queue (≥ 1). When the queue is full,
+    /// [`Client::submit`] fails fast with [`ServeError::Overloaded`] instead
+    /// of queueing — the load-shedding knob that keeps accepted-request
+    /// latency flat under overload.
+    pub queue_depth: usize,
+    /// Deterministic fault injection, keyed by request sequence number. Empty
+    /// (the default) injects nothing; see [`FaultPlan`].
+    pub fault_plan: FaultPlan,
 }
 
 impl Default for ServeConfig {
@@ -50,6 +75,8 @@ impl Default for ServeConfig {
             max_batch: 64,
             min_batch: 1,
             batch_window: Duration::from_millis(1),
+            queue_depth: 1024,
+            fault_plan: FaultPlan::new(),
         }
     }
 }
@@ -88,6 +115,18 @@ pub enum WorkItem {
     },
 }
 
+impl WorkItem {
+    /// A stable, human-readable name for the kind of batch this item rides in
+    /// — the context [`ServeError::Internal`] preserves when a batch fails.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            WorkItem::NttForward { .. } => "ntt_forward",
+            WorkItem::NttInverse { .. } => "ntt_inverse",
+            WorkItem::RnsMulRescaleExtend { .. } => "rns_mul_rescale_extend",
+        }
+    }
+}
+
 /// A finished request's payload.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
@@ -116,10 +155,26 @@ pub enum ServeError {
     UnknownTenant(usize),
     /// The request failed submit-time validation.
     BadRequest(String),
-    /// The server shut down before the request resolved.
+    /// The server shut down (or is draining, or the reply path was lost to a
+    /// dying worker) before the request resolved.
     Shutdown,
-    /// The batch execution panicked (e.g. a modulus the NTT planner rejects).
-    Internal(String),
+    /// The submission queue was full: the request was shed at admission
+    /// without queueing. Retryable — see
+    /// [`Client::call_with_retry`](crate::Client::call_with_retry).
+    Overloaded,
+    /// The request's deadline passed before its batch executed; it was
+    /// dropped without wasting launches on it.
+    DeadlineExceeded,
+    /// The batch execution failed (a panic, or an injected spurious failure),
+    /// with the batch context preserved.
+    Internal {
+        /// Which kind of batch failed (see [`WorkItem::kind_name`]).
+        kind: &'static str,
+        /// How many requests the failed batch carried.
+        batch_size: usize,
+        /// The panic payload or failure description.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -127,8 +182,21 @@ impl std::fmt::Display for ServeError {
         match self {
             ServeError::UnknownTenant(id) => write!(f, "unknown tenant id {id}"),
             ServeError::BadRequest(why) => write!(f, "bad request: {why}"),
-            ServeError::Shutdown => write!(f, "server shut down"),
-            ServeError::Internal(why) => write!(f, "batch execution failed: {why}"),
+            ServeError::Shutdown => write!(f, "server shut down before the request resolved"),
+            ServeError::Overloaded => {
+                write!(f, "server overloaded: submission queue full, request shed")
+            }
+            ServeError::DeadlineExceeded => {
+                write!(f, "deadline exceeded before the request's batch executed")
+            }
+            ServeError::Internal {
+                kind,
+                batch_size,
+                message,
+            } => write!(
+                f,
+                "batch execution failed ({kind} batch of {batch_size}): {message}"
+            ),
         }
     }
 }
@@ -144,6 +212,14 @@ pub struct ServerStats {
     pub completed: u64,
     /// Requests resolved with [`ServeError::Internal`].
     pub failed: u64,
+    /// Requests shed at admission with [`ServeError::Overloaded`] (never
+    /// queued; not counted in `submitted`).
+    pub shed: u64,
+    /// Accepted requests dropped with [`ServeError::DeadlineExceeded`] by the
+    /// dispatcher or a worker's pre-execution re-check.
+    pub expired: u64,
+    /// Worker threads the supervisor respawned after a death.
+    pub restarts: u64,
     /// Batches executed.
     pub batches: u64,
     /// Requests that shared their batch with at least one other request.
@@ -152,6 +228,8 @@ pub struct ServerStats {
     pub launches: u64,
     /// Size of the largest batch executed so far.
     pub largest_batch: u64,
+    /// Accepted requests not yet resolved (a gauge, not a counter).
+    pub outstanding: u64,
 }
 
 #[derive(Default)]
@@ -159,10 +237,14 @@ struct Counters {
     submitted: AtomicU64,
     completed: AtomicU64,
     failed: AtomicU64,
+    shed: AtomicU64,
+    expired: AtomicU64,
+    restarts: AtomicU64,
     batches: AtomicU64,
     coalesced_requests: AtomicU64,
     launches: AtomicU64,
     largest_batch: AtomicU64,
+    outstanding: AtomicU64,
 }
 
 /// One registered basis pair: owned session handles, reused by every chain
@@ -176,15 +258,59 @@ struct Shared {
     session: Session,
     config: ServeConfig,
     shutdown: AtomicBool,
+    draining: AtomicBool,
+    seq: AtomicU64,
     tenants: RwLock<Vec<Tenant>>,
     counters: Counters,
 }
 
 type Reply = mpsc::SyncSender<Result<Completion, ServeError>>;
 
+/// Releases one `outstanding` slot when dropped — however the envelope dies:
+/// resolved with a reply, shed before entering the queue, dropped with a
+/// disconnecting channel at shutdown, or unwound with a dying worker's stack.
+struct OutstandingGuard {
+    shared: Arc<Shared>,
+}
+
+impl OutstandingGuard {
+    fn new(shared: Arc<Shared>) -> Self {
+        shared.counters.outstanding.fetch_add(1, Ordering::SeqCst);
+        OutstandingGuard { shared }
+    }
+}
+
+impl Drop for OutstandingGuard {
+    fn drop(&mut self) {
+        self.shared
+            .counters
+            .outstanding
+            .fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
 struct Envelope {
+    /// Admission-order sequence number (the fault plan's key).
+    seq: u64,
     item: WorkItem,
+    deadline: Option<Instant>,
     reply: Reply,
+    guard: OutstandingGuard,
+}
+
+impl Envelope {
+    fn expired_at(&self, now: Instant) -> bool {
+        self.deadline.is_some_and(|deadline| deadline <= now)
+    }
+
+    /// Releases the outstanding slot, then sends the final result — in that
+    /// order, so "the ticket resolved" implies "no longer outstanding" (the
+    /// invariant [`Server::drain`] polls and tests assert after waiting).
+    fn resolve(self, result: Result<Completion, ServeError>) {
+        let Envelope { reply, guard, .. } = self;
+        drop(guard);
+        let _ = reply.send(result);
+    }
 }
 
 /// What the dispatcher coalesces on: requests with equal keys flatten into one
@@ -206,16 +332,20 @@ impl BatchKey {
     }
 }
 
+type WorkQueue = Arc<Mutex<mpsc::Receiver<Vec<Envelope>>>>;
+
 /// A batching server over one shared session (see the [crate docs](crate)).
 ///
-/// Dropping the server shuts it down: the dispatcher and workers are joined,
-/// and any request still unresolved — queued, or submitted through a
-/// still-alive [`Client`] — resolves to [`ServeError::Shutdown`].
+/// Dropping the server shuts it down: the dispatcher, supervisor, and workers
+/// are joined, in-flight batches finish, and any request still unresolved —
+/// queued, or submitted through a still-alive [`Client`] — resolves to
+/// [`ServeError::Shutdown`]. For a shutdown that *waits* for in-flight work
+/// first, call [`Server::drain`] before dropping.
 pub struct Server {
     shared: Arc<Shared>,
-    submit_tx: Option<mpsc::Sender<Envelope>>,
+    submit_tx: Option<mpsc::SyncSender<Envelope>>,
     dispatcher: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    supervisor: Option<JoinHandle<()>>,
 }
 
 impl Server {
@@ -224,38 +354,44 @@ impl Server {
     ///
     /// # Panics
     ///
-    /// Panics if `config.workers`, `config.max_batch`, or `config.min_batch`
-    /// is zero.
+    /// Panics if `config.workers`, `config.max_batch`, `config.min_batch`, or
+    /// `config.queue_depth` is zero.
     pub fn new(session: Session, config: ServeConfig) -> Self {
         assert!(config.workers >= 1, "at least one worker");
         assert!(config.max_batch >= 1, "max_batch must be at least 1");
         assert!(config.min_batch >= 1, "min_batch must be at least 1");
+        assert!(config.queue_depth >= 1, "queue_depth must be at least 1");
         let shared = Arc::new(Shared {
             session,
             config,
             shutdown: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
+            seq: AtomicU64::new(0),
             tenants: RwLock::new(Vec::new()),
             counters: Counters::default(),
         });
-        let (submit_tx, submit_rx) = mpsc::channel::<Envelope>();
-        let (work_tx, work_rx) = mpsc::channel::<Vec<Envelope>>();
-        let work_rx = Arc::new(Mutex::new(work_rx));
-        let workers = (0..shared.config.workers)
-            .map(|_| {
-                let shared = Arc::clone(&shared);
-                let work_rx = Arc::clone(&work_rx);
-                thread::spawn(move || worker_loop(&shared, &work_rx))
-            })
+        // Both channels are bounded: a full submission queue sheds at
+        // admission, and the narrow work channel makes busy workers push back
+        // on the dispatcher instead of letting batches pile up invisibly.
+        let (submit_tx, submit_rx) = mpsc::sync_channel::<Envelope>(shared.config.queue_depth);
+        let (work_tx, work_rx) = mpsc::sync_channel::<Vec<Envelope>>(shared.config.workers);
+        let work_rx: WorkQueue = Arc::new(Mutex::new(work_rx));
+        let workers: Vec<JoinHandle<()>> = (0..shared.config.workers)
+            .map(|_| spawn_worker(&shared, &work_rx))
             .collect();
         let dispatcher = {
             let shared = Arc::clone(&shared);
             thread::spawn(move || dispatch_loop(&shared, &submit_rx, &work_tx))
         };
+        let supervisor = {
+            let shared = Arc::clone(&shared);
+            thread::spawn(move || supervisor_loop(&shared, &work_rx, workers))
+        };
         Server {
             shared,
             submit_tx: Some(submit_tx),
             dispatcher: Some(dispatcher),
-            workers,
+            supervisor: Some(supervisor),
         }
     }
 
@@ -305,6 +441,26 @@ impl Server {
         }
     }
 
+    /// Graceful shutdown, phase one: stop admitting new requests (submissions
+    /// now fail with [`ServeError::Shutdown`]) and wait up to `timeout` for
+    /// every accepted request to resolve. Returns `true` once nothing is
+    /// outstanding, `false` if the timeout expired first (check
+    /// [`ServerStats::outstanding`] for what is left). Either way the worker
+    /// pool keeps running until the server is dropped.
+    pub fn drain(&self, timeout: Duration) -> bool {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        let deadline = Instant::now() + timeout;
+        loop {
+            if self.shared.counters.outstanding.load(Ordering::SeqCst) == 0 {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            thread::sleep(Duration::from_millis(1));
+        }
+    }
+
     /// Snapshot of the service counters.
     pub fn stats(&self) -> ServerStats {
         let c = &self.shared.counters;
@@ -312,10 +468,14 @@ impl Server {
             submitted: c.submitted.load(Ordering::Relaxed),
             completed: c.completed.load(Ordering::Relaxed),
             failed: c.failed.load(Ordering::Relaxed),
+            shed: c.shed.load(Ordering::Relaxed),
+            expired: c.expired.load(Ordering::Relaxed),
+            restarts: c.restarts.load(Ordering::Relaxed),
             batches: c.batches.load(Ordering::Relaxed),
             coalesced_requests: c.coalesced_requests.load(Ordering::Relaxed),
             launches: c.launches.load(Ordering::Relaxed),
             largest_batch: c.largest_batch.load(Ordering::Relaxed),
+            outstanding: c.outstanding.load(Ordering::SeqCst),
         }
     }
 }
@@ -327,8 +487,11 @@ impl Drop for Server {
         if let Some(dispatcher) = self.dispatcher.take() {
             let _ = dispatcher.join();
         }
-        for worker in self.workers.drain(..) {
-            let _ = worker.join();
+        // The supervisor joins the workers: once the dispatcher is gone its
+        // work sender is dropped, so workers drain the remaining batches and
+        // exit on the disconnect.
+        if let Some(supervisor) = self.supervisor.take() {
+            let _ = supervisor.join();
         }
     }
 }
@@ -337,28 +500,38 @@ impl Drop for Server {
 #[derive(Clone)]
 pub struct Client {
     shared: Arc<Shared>,
-    tx: mpsc::Sender<Envelope>,
+    tx: mpsc::SyncSender<Envelope>,
 }
 
 impl Client {
-    /// Validates `item` and enqueues it, returning a [`Ticket`] that resolves
-    /// when a worker has executed the request's batch.
+    /// Validates `item` and enqueues it without a deadline, returning a
+    /// [`Ticket`] that resolves when a worker has executed the request's
+    /// batch.
     ///
     /// # Errors
     ///
     /// [`ServeError::BadRequest`] / [`ServeError::UnknownTenant`] on
-    /// validation failure, [`ServeError::Shutdown`] if the server is gone.
+    /// validation failure, [`ServeError::Overloaded`] if the bounded
+    /// submission queue is full (the request is shed, never queued),
+    /// [`ServeError::Shutdown`] if the server is gone or draining.
     pub fn submit(&self, item: WorkItem) -> Result<Ticket, ServeError> {
-        self.validate(&item)?;
-        let (reply, rx) = mpsc::sync_channel(1);
-        self.tx
-            .send(Envelope { item, reply })
-            .map_err(|_| ServeError::Shutdown)?;
-        self.shared
-            .counters
-            .submitted
-            .fetch_add(1, Ordering::Relaxed);
-        Ok(Ticket { rx })
+        self.submit_inner(item, None)
+    }
+
+    /// Like [`Client::submit`], but the request carries a deadline `budget`
+    /// from now: if its batch has not started executing when the budget is
+    /// spent, the dispatcher or worker drops it with
+    /// [`ServeError::DeadlineExceeded`] instead of wasting launches on it.
+    ///
+    /// # Errors
+    ///
+    /// The [`Client::submit`] errors.
+    pub fn submit_with_deadline(
+        &self,
+        item: WorkItem,
+        budget: Duration,
+    ) -> Result<Ticket, ServeError> {
+        self.submit_inner(item, Some(Instant::now() + budget))
     }
 
     /// Submits `item` and blocks until it resolves.
@@ -366,9 +539,60 @@ impl Client {
     /// # Errors
     ///
     /// The [`Client::submit`] errors, plus [`ServeError::Internal`] if the
-    /// batch execution panicked.
+    /// batch execution failed.
     pub fn call(&self, item: WorkItem) -> Result<Completion, ServeError> {
         self.submit(item)?.wait()
+    }
+
+    /// Submits `item` with a deadline `budget` and blocks until it resolves.
+    ///
+    /// # Errors
+    ///
+    /// The [`Client::call`] errors, plus [`ServeError::DeadlineExceeded`] if
+    /// the budget ran out before the batch executed.
+    pub fn call_with_deadline(
+        &self,
+        item: WorkItem,
+        budget: Duration,
+    ) -> Result<Completion, ServeError> {
+        self.submit_with_deadline(item, budget)?.wait()
+    }
+
+    fn submit_inner(
+        &self,
+        item: WorkItem,
+        deadline: Option<Instant>,
+    ) -> Result<Ticket, ServeError> {
+        self.validate(&item)?;
+        if self.shared.shutdown.load(Ordering::SeqCst)
+            || self.shared.draining.load(Ordering::SeqCst)
+        {
+            return Err(ServeError::Shutdown);
+        }
+        let (reply, rx) = mpsc::sync_channel(1);
+        let envelope = Envelope {
+            seq: self.shared.seq.fetch_add(1, Ordering::Relaxed),
+            item,
+            deadline,
+            reply,
+            guard: OutstandingGuard::new(Arc::clone(&self.shared)),
+        };
+        match self.tx.try_send(envelope) {
+            Ok(()) => {
+                self.shared
+                    .counters
+                    .submitted
+                    .fetch_add(1, Ordering::Relaxed);
+                Ok(Ticket { rx })
+            }
+            // Admission control: a full queue fails fast. The unsent envelope
+            // drops here, releasing its outstanding slot.
+            Err(TrySendError::Full(_)) => {
+                self.shared.counters.shed.fetch_add(1, Ordering::Relaxed);
+                Err(ServeError::Overloaded)
+            }
+            Err(TrySendError::Disconnected(_)) => Err(ServeError::Shutdown),
+        }
     }
 
     fn validate(&self, item: &WorkItem) -> Result<(), ServeError> {
@@ -431,19 +655,35 @@ impl Ticket {
     /// # Errors
     ///
     /// Whatever the batch resolved this request to; [`ServeError::Shutdown`]
-    /// if the server went away first.
+    /// if the server went away — or the reply path was lost to a dying worker
+    /// — first.
     pub fn wait(self) -> Result<Completion, ServeError> {
         self.rx.recv().unwrap_or(Err(ServeError::Shutdown))
+    }
+
+    /// Waits at most `timeout` for the request to resolve. `None` means the
+    /// request is still pending (the ticket stays usable); `Some` carries the
+    /// resolution, with a lost reply path mapped to [`ServeError::Shutdown`]
+    /// exactly like [`Ticket::wait`].
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<Completion, ServeError>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(result) => Some(result),
+            Err(RecvTimeoutError::Timeout) => None,
+            Err(RecvTimeoutError::Disconnected) => Some(Err(ServeError::Shutdown)),
+        }
     }
 }
 
 /// How long the dispatcher sleeps per idle poll while watching for shutdown.
 const IDLE_POLL: Duration = Duration::from_millis(10);
 
+/// How often the supervisor scans the pool for dead workers.
+const SUPERVISOR_POLL: Duration = Duration::from_millis(2);
+
 fn dispatch_loop(
     shared: &Shared,
     submit_rx: &mpsc::Receiver<Envelope>,
-    work_tx: &mpsc::Sender<Vec<Envelope>>,
+    work_tx: &mpsc::SyncSender<Vec<Envelope>>,
 ) {
     let config = &shared.config;
     loop {
@@ -481,9 +721,23 @@ fn dispatch_loop(
                 }
             }
         }
-        // Group by compatible work; each group is one executed batch.
-        let mut groups: HashMap<BatchKey, Vec<Envelope>> = HashMap::new();
+        // Drop requests that are already dead: batching them would spend
+        // worker time on answers nobody is waiting for.
+        let now = Instant::now();
+        let mut live = Vec::with_capacity(pending.len());
         for envelope in pending {
+            if envelope.expired_at(now) {
+                shared.counters.expired.fetch_add(1, Ordering::Relaxed);
+                envelope.resolve(Err(ServeError::DeadlineExceeded));
+            } else {
+                live.push(envelope);
+            }
+        }
+        // Group by compatible work; each group is one executed batch. The
+        // bounded work channel blocks when every worker is busy — that
+        // backpressure is what lets the submission queue fill and shed.
+        let mut groups: HashMap<BatchKey, Vec<Envelope>> = HashMap::new();
+        for envelope in live {
             groups
                 .entry(BatchKey::of(&envelope.item))
                 .or_default()
@@ -497,7 +751,36 @@ fn dispatch_loop(
     }
 }
 
-fn worker_loop(shared: &Shared, work_rx: &Arc<Mutex<mpsc::Receiver<Vec<Envelope>>>>) {
+fn spawn_worker(shared: &Arc<Shared>, work_rx: &WorkQueue) -> JoinHandle<()> {
+    let shared = Arc::clone(shared);
+    let work_rx = Arc::clone(work_rx);
+    thread::spawn(move || worker_loop(&shared, &work_rx))
+}
+
+/// Watches the worker pool and respawns any thread that died (a panic that
+/// escaped the per-batch guard — injected via [`Fault::Die`], or a real bug).
+/// Without this, a dead worker silently shrinks the pool forever. On shutdown
+/// it joins every worker and exits.
+fn supervisor_loop(shared: &Arc<Shared>, work_rx: &WorkQueue, mut workers: Vec<JoinHandle<()>>) {
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            for worker in workers {
+                let _ = worker.join();
+            }
+            return;
+        }
+        for slot in workers.iter_mut() {
+            if slot.is_finished() && !shared.shutdown.load(Ordering::SeqCst) {
+                let dead = std::mem::replace(slot, spawn_worker(shared, work_rx));
+                let _ = dead.join();
+                shared.counters.restarts.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        thread::sleep(SUPERVISOR_POLL);
+    }
+}
+
+fn worker_loop(shared: &Shared, work_rx: &WorkQueue) {
     loop {
         // Hold the receiver lock only to take the next batch.
         let batch = {
@@ -510,8 +793,54 @@ fn worker_loop(shared: &Shared, work_rx: &Arc<Mutex<mpsc::Receiver<Vec<Envelope>
 }
 
 fn execute_batch(shared: &Shared, batch: Vec<Envelope>) {
-    let batch_size = batch.len();
     let counters = &shared.counters;
+    let plan = &shared.config.fault_plan;
+
+    // Injected worker death: the panic deliberately escapes the per-batch
+    // unwind guard below, so it is the supervisor — not `catch_unwind` — that
+    // keeps the pool at strength. The batch's envelopes drop with the stack:
+    // replies are lost (tickets resolve to `Shutdown`) and the outstanding
+    // guards release on unwind.
+    if batch
+        .iter()
+        .any(|e| plan.fault_for(e.seq) == Some(Fault::Die))
+    {
+        panic!("injected fault: worker death");
+    }
+
+    // Injected slowness, applied *before* the deadline re-check: a delayed
+    // batch must shed its expired members, not execute them.
+    if let Some(delay) = batch
+        .iter()
+        .filter_map(|e| match plan.fault_for(e.seq) {
+            Some(Fault::Delay(d)) => Some(d),
+            _ => None,
+        })
+        .max()
+    {
+        thread::sleep(delay);
+    }
+
+    // Deadline re-check: the dispatcher screened at batching time, but the
+    // batch may have waited behind slower work since. Never spend launches on
+    // requests nobody is waiting for.
+    let now = Instant::now();
+    let (live, dead): (Vec<Envelope>, Vec<Envelope>) =
+        batch.into_iter().partition(|e| !e.expired_at(now));
+    if !dead.is_empty() {
+        counters
+            .expired
+            .fetch_add(dead.len() as u64, Ordering::Relaxed);
+        for envelope in dead {
+            envelope.resolve(Err(ServeError::DeadlineExceeded));
+        }
+    }
+    if live.is_empty() {
+        return;
+    }
+
+    let batch_size = live.len();
+    let kind = live[0].item.kind_name();
     counters.batches.fetch_add(1, Ordering::Relaxed);
     counters
         .largest_batch
@@ -521,21 +850,51 @@ fn execute_batch(shared: &Shared, batch: Vec<Envelope>) {
             .coalesced_requests
             .fetch_add(batch_size as u64, Ordering::Relaxed);
     }
-    let (items, replies): (Vec<WorkItem>, Vec<Reply>) = batch
-        .into_iter()
-        .map(|envelope| (envelope.item, envelope.reply))
-        .unzip();
+
+    // Injected spurious failure: the whole batch fails without executing —
+    // the no-panic flavor of a broken batch.
+    if live
+        .iter()
+        .any(|e| plan.fault_for(e.seq) == Some(Fault::Fail))
+    {
+        counters
+            .failed
+            .fetch_add(batch_size as u64, Ordering::Relaxed);
+        for envelope in live {
+            envelope.resolve(Err(ServeError::Internal {
+                kind,
+                batch_size,
+                message: "injected fault: spurious batch failure".to_string(),
+            }));
+        }
+        return;
+    }
+
+    let mut seqs = Vec::with_capacity(batch_size);
+    let mut items = Vec::with_capacity(batch_size);
+    let mut replies = Vec::with_capacity(batch_size);
+    let mut guards = Vec::with_capacity(batch_size);
+    for envelope in live {
+        seqs.push(envelope.seq);
+        items.push(envelope.item);
+        replies.push(envelope.reply);
+        guards.push(envelope.guard);
+    }
     // A panicking batch fails only its own group; the shared state the closure
     // touches is the session's caches, which stay valid across an unwind
     // (stampede slots unclaim themselves, locks recover from poisoning).
-    let executed = catch_unwind(AssertUnwindSafe(|| run_batch(shared, &items)));
+    let executed = catch_unwind(AssertUnwindSafe(|| run_batch(shared, &seqs, &items)));
+    // Per request: release the outstanding slot, *then* send the reply, so a
+    // caller that saw its ticket resolve never observes the request as still
+    // outstanding.
     match executed {
         Ok((responses, launches)) => {
             counters.launches.fetch_add(launches, Ordering::Relaxed);
             counters
                 .completed
                 .fetch_add(batch_size as u64, Ordering::Relaxed);
-            for (reply, response) in replies.into_iter().zip(responses) {
+            for ((reply, guard), response) in replies.into_iter().zip(guards).zip(responses) {
+                drop(guard);
                 let _ = reply.send(Ok(Completion {
                     response,
                     batch_size,
@@ -552,8 +911,13 @@ fn execute_batch(shared: &Shared, batch: Vec<Envelope>) {
                 .map(|s| s.to_string())
                 .or_else(|| panic.downcast_ref::<String>().cloned())
                 .unwrap_or_else(|| "batch panicked".to_string());
-            for reply in replies {
-                let _ = reply.send(Err(ServeError::Internal(why.clone())));
+            for (reply, guard) in replies.into_iter().zip(guards) {
+                drop(guard);
+                let _ = reply.send(Err(ServeError::Internal {
+                    kind,
+                    batch_size,
+                    message: why.clone(),
+                }));
             }
         }
     }
@@ -561,7 +925,15 @@ fn execute_batch(shared: &Shared, batch: Vec<Envelope>) {
 
 /// Executes one homogeneous batch, returning per-request responses and the
 /// batch's total launch count.
-fn run_batch(shared: &Shared, items: &[WorkItem]) -> (Vec<Response>, u64) {
+fn run_batch(shared: &Shared, seqs: &[u64], items: &[WorkItem]) -> (Vec<Response>, u64) {
+    // Injected panic: thrown here, inside the per-batch unwind guard, so it
+    // exercises the same containment path as a real planner/kernel panic.
+    if let Some(seq) = seqs
+        .iter()
+        .find(|&&s| shared.config.fault_plan.fault_for(s) == Some(Fault::Panic))
+    {
+        panic!("injected fault: panic while executing request #{seq}");
+    }
     match &items[0] {
         WorkItem::NttForward { q, n, .. } | WorkItem::NttInverse { q, n, .. } => {
             let forward = matches!(items[0], WorkItem::NttForward { .. });
@@ -685,6 +1057,7 @@ mod tests {
                 max_batch: 8,
                 min_batch: 4,
                 batch_window: Duration::from_secs(5),
+                ..ServeConfig::default()
             },
         );
         let client = server.client();
@@ -704,6 +1077,7 @@ mod tests {
         assert_eq!(stats.coalesced_requests, 4);
         assert_eq!(stats.largest_batch, 4);
         assert_eq!(stats.completed, 4);
+        assert_eq!(stats.outstanding, 0);
     }
 
     #[test]
@@ -794,7 +1168,14 @@ mod tests {
             n: 8,
             data: vec![1; 8],
         });
-        assert!(matches!(poisoned, Err(ServeError::Internal(_))));
+        let Err(ServeError::Internal {
+            kind, batch_size, ..
+        }) = poisoned
+        else {
+            panic!("expected an internal error, got {poisoned:?}")
+        };
+        assert_eq!(kind, "ntt_forward");
+        assert_eq!(batch_size, 1);
         // The very same session still serves valid work.
         let space = server.session().ntt_default(8);
         let (item, _) = ntt_item(&space, 9);
@@ -812,5 +1193,17 @@ mod tests {
         let (item, _) = ntt_item(&space, 11);
         drop(server);
         assert!(matches!(client.call(item), Err(ServeError::Shutdown)));
+    }
+
+    #[test]
+    fn drain_rejects_new_work_and_reports_idle() {
+        let server = Server::new(Session::default(), ServeConfig::default());
+        let client = server.client();
+        let space = server.session().ntt_default(8);
+        let (item, _) = ntt_item(&space, 13);
+        client.call(item.clone()).unwrap();
+        assert!(server.drain(Duration::from_secs(5)));
+        assert!(matches!(client.submit(item), Err(ServeError::Shutdown)));
+        assert_eq!(server.stats().outstanding, 0);
     }
 }

@@ -8,10 +8,17 @@
 //! `Clone` handle over shared caches, the handles it yields are owned and
 //! `Send + 'static`, and the server's coalescing batcher turns many concurrent
 //! single-transform requests into one `log2(n) + 1`-launch batch.
+//!
+//! Part two demonstrates the degraded-mode contract on a deliberately tiny
+//! server: a per-request deadline missed while the worker is wedged, a
+//! bounded queue shedding a flood at admission, and `call_with_retry` riding
+//! out the overload with jittered exponential backoff.
 
 use moma::bignum::BigUint;
 use moma::Session;
-use moma_serve::{Response, ServeConfig, Server, WorkItem};
+use moma_serve::{
+    Fault, FaultPlan, Response, RetryPolicy, ServeConfig, ServeError, Server, WorkItem,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::Duration;
@@ -25,6 +32,7 @@ fn main() {
             max_batch: 32,
             min_batch: 4,
             batch_window: Duration::from_millis(5),
+            ..ServeConfig::default()
         },
     );
 
@@ -98,5 +106,79 @@ fn main() {
     println!(
         "NTT plan cache: {} misses, {} hits ({} contended waits) — one build served everyone",
         ntt.misses, ntt.hits, ntt.contended
+    );
+
+    degraded_mode_demo(&session);
+}
+
+/// The degraded-mode contract on a deliberately tiny server: one worker, no
+/// batching, a two-slot queue, and an injected 40 ms stall on the very first
+/// request so the failure paths are reachable on demand.
+fn degraded_mode_demo(session: &Session) {
+    println!("\n-- degraded mode: deadlines, shedding, retry --");
+    let server = Server::new(
+        session.clone(),
+        ServeConfig {
+            workers: 1,
+            max_batch: 1,
+            min_batch: 1,
+            batch_window: Duration::ZERO,
+            queue_depth: 2,
+            fault_plan: FaultPlan::new().with(0, Fault::Delay(Duration::from_millis(40))),
+        },
+    );
+    let client = server.client();
+    let n = 64;
+    let q = session.ntt_default(n).modulus();
+    let item = |seed: u64| WorkItem::NttForward {
+        q,
+        n,
+        data: (0..n as u64).map(|j| (seed * 131 + j) % q).collect(),
+    };
+
+    // Request 0 wedges the only worker for 40 ms (the injected fault).
+    let wedge = client.submit(item(0)).expect("first request is admitted");
+
+    // A 5 ms deadline cannot survive a 40 ms wedge: the server expires the
+    // request instead of wasting launches on an answer nobody is waiting for.
+    let doomed = client
+        .submit_with_deadline(item(1), Duration::from_millis(5))
+        .expect("admitted before the queue fills");
+    // A flood against the wedged worker fills the two-slot queue; the rest
+    // fail fast at admission instead of queueing behind the stall.
+    let flood: Vec<_> = (0..8).map(|i| client.submit(item(2 + i))).collect();
+    let shed_now = flood
+        .iter()
+        .filter(|r| matches!(r, Err(ServeError::Overloaded)))
+        .count();
+
+    // A retrying caller rides out the overload: jittered exponential backoff
+    // under an attempt budget, deterministic given the policy seed.
+    let policy = RetryPolicy {
+        attempts: 10,
+        base_backoff: Duration::from_millis(5),
+        ..RetryPolicy::default()
+    };
+    let retried = client
+        .call_with_retry(item(99), &policy)
+        .expect("retry outlasts the 40 ms wedge");
+
+    assert!(matches!(doomed.wait(), Err(ServeError::DeadlineExceeded)));
+    wedge.wait().expect("the wedged request still completes");
+    for ticket in flood.into_iter().flatten() {
+        ticket.wait().expect("accepted flood requests complete");
+    }
+    let stats = server.stats();
+    println!(
+        "deadline missed under a 40 ms injected stall -> DeadlineExceeded (expired {})",
+        stats.expired
+    );
+    println!(
+        "flood of 8 against a full two-slot queue -> {shed_now} rejected at admission (shed {})",
+        stats.shed
+    );
+    println!(
+        "call_with_retry rode out the overload and completed (batch of {})",
+        retried.batch_size
     );
 }

@@ -1,0 +1,202 @@
+//! Chaos soak: hundreds of mixed requests through a server with a seeded
+//! fault plan — injected panics, delays, spurious batch failures, and worker
+//! deaths — asserting the robustness contract end to end:
+//!
+//! * **no hangs, no leaks**: every submitted ticket resolves (bounded by
+//!   `wait_timeout`), and the outstanding gauge returns to zero;
+//! * **full accounting**: completed + failed + expired + lost-to-dying-worker
+//!   covers every accepted request exactly;
+//! * **supervision**: the worker pool ends at full strength (`restarts > 0`
+//!   after the injected deaths);
+//! * **no corruption**: after the chaos, the same session answers bit-for-bit
+//!   identically to the inline path.
+//!
+//! The schedule is deterministic: `FaultPlan::seeded` derives every fault
+//! from a fixed seed, and a single submitter thread pins request `i` to
+//! sequence number `i`, so which requests panic, stall, fail, or kill their
+//! worker is reproducible run to run.
+
+use moma::bignum::BigUint;
+use moma::Session;
+use moma_serve::{Fault, FaultPlan, Response, ServeConfig, ServeError, Server, Ticket, WorkItem};
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+const SEED: u64 = 0xC4A05;
+const TOTAL: u64 = 300;
+const N: usize = 64;
+
+fn ntt_forward(q: u64, i: u64) -> WorkItem {
+    WorkItem::NttForward {
+        q,
+        n: N,
+        data: (0..N as u64).map(|j| (i * 131 + j * 7) % q).collect(),
+    }
+}
+
+fn ntt_inverse(q: u64, i: u64) -> WorkItem {
+    WorkItem::NttInverse {
+        q,
+        n: N,
+        data: (0..N as u64).map(|j| (i * 97 + j * 13) % q).collect(),
+    }
+}
+
+#[test]
+fn chaos_soak_every_ticket_resolves_and_the_pool_recovers() {
+    let plan = FaultPlan::seeded(SEED, TOTAL);
+    // The seeded schedule must actually exercise every failure path.
+    let deaths = plan.iter().filter(|(_, f)| *f == Fault::Die).count() as u64;
+    assert!(deaths >= 1, "the soak needs at least one worker death");
+    assert!(plan.iter().any(|(_, f)| f == Fault::Panic));
+    assert!(plan.iter().any(|(_, f)| matches!(f, Fault::Delay(_))));
+    assert!(plan.iter().any(|(_, f)| f == Fault::Fail));
+    // Requests whose batch is injected with a delay get a deadline shorter
+    // than that delay: the worker-side re-check must expire them.
+    let delayed: HashSet<u64> = plan
+        .iter()
+        .filter(|(_, f)| matches!(f, Fault::Delay(_)))
+        .map(|(seq, _)| seq)
+        .collect();
+
+    let session = Session::default();
+    let server = Server::new(
+        session.clone(),
+        ServeConfig {
+            workers: 3,
+            max_batch: 16,
+            min_batch: 1,
+            batch_window: Duration::from_millis(1),
+            queue_depth: TOTAL as usize + 16,
+            fault_plan: plan,
+        },
+    );
+    let client = server.client();
+    let q = session.ntt_default(N).modulus();
+    let src_moduli = session.rns_with_capacity(128).moduli();
+    let tenant = server.register_tenant(&src_moduli, &src_moduli[..4]);
+
+    // One submitter pins request i to sequence number i (the queue is deep
+    // enough that nothing is shed, so the numbering has no gaps). The mix
+    // covers three batch keys so groups interleave across the worker pool.
+    let tickets: Vec<(u64, Ticket)> = (0..TOTAL)
+        .map(|i| {
+            let item = match i % 16 {
+                15 => WorkItem::RnsMulRescaleExtend {
+                    tenant,
+                    a: (0..3)
+                        .map(|j| BigUint::from(i * 1009 + j * 37 + 1))
+                        .collect(),
+                    b: (0..3)
+                        .map(|j| BigUint::from(i * 613 + j * 41 + 2))
+                        .collect(),
+                },
+                j if j % 2 == 1 => ntt_inverse(q, i),
+                _ => ntt_forward(q, i),
+            };
+            let ticket = if delayed.contains(&i) {
+                client
+                    .submit_with_deadline(item, Duration::from_millis(1))
+                    .expect("queue is deep enough for the whole soak")
+            } else {
+                client
+                    .submit(item)
+                    .expect("queue is deep enough for the whole soak")
+            };
+            (i, ticket)
+        })
+        .collect();
+
+    // Every ticket resolves — injected faults may fail a request, but none
+    // may hang it or leak it.
+    let (mut completed, mut failed, mut expired, mut lost) = (0u64, 0u64, 0u64, 0u64);
+    for (i, ticket) in tickets {
+        match ticket
+            .wait_timeout(Duration::from_secs(60))
+            .unwrap_or_else(|| panic!("request {i} hung through the chaos soak"))
+        {
+            Ok(done) => {
+                assert!(done.batch_size >= 1);
+                completed += 1;
+            }
+            Err(ServeError::Internal { message, .. }) => {
+                assert!(message.contains("injected fault"), "request {i}: {message}");
+                failed += 1;
+            }
+            Err(ServeError::DeadlineExceeded) => expired += 1,
+            // A dying worker drops its batch's reply paths mid-stack.
+            Err(ServeError::Shutdown) => lost += 1,
+            Err(other) => panic!("request {i}: unexpected resolution {other}"),
+        }
+    }
+    assert_eq!(
+        completed + failed + expired + lost,
+        TOTAL,
+        "every accepted request is accounted for exactly once"
+    );
+    assert!(
+        completed > 0 && failed > 0,
+        "the mix must exercise both outcomes"
+    );
+
+    // The supervisor replaced the killed workers: the pool is at strength.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while server.stats().restarts == 0 {
+        assert!(
+            Instant::now() < deadline,
+            "supervisor never respawned a dead worker"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let stats = server.stats();
+    assert!(
+        stats.restarts <= deaths,
+        "at most one restart per injected death"
+    );
+    assert_eq!(stats.submitted, TOTAL);
+    assert_eq!(stats.shed, 0, "the soak queue is never full");
+    assert_eq!(stats.completed, completed);
+    assert_eq!(stats.failed, failed);
+    assert_eq!(stats.expired, expired);
+
+    // No leaks: with all tickets resolved, nothing is outstanding.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.stats().outstanding != 0 {
+        assert!(Instant::now() < deadline, "outstanding gauge never drained");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    // Post-chaos, the very same session answers bit-for-bit correctly, with
+    // enough concurrent requests in flight to touch every (respawned) worker.
+    let space = session.ntt(q, N);
+    let post: Vec<(Ticket, Vec<u64>)> = (0..6)
+        .map(|i| {
+            let WorkItem::NttForward { data, .. } = ntt_forward(q, TOTAL + i) else {
+                unreachable!()
+            };
+            let ticket = client
+                .submit(WorkItem::NttForward {
+                    q,
+                    n: N,
+                    data: data.clone(),
+                })
+                .expect("post-chaos submissions are clean");
+            (ticket, data)
+        })
+        .collect();
+    for (ticket, data) in post {
+        let done = ticket
+            .wait_timeout(Duration::from_secs(60))
+            .expect("post-chaos request resolves")
+            .expect("post-chaos request succeeds");
+        let Response::Ntt(served) = done.response else {
+            panic!("NTT work yields NTT responses")
+        };
+        let mut expected = data;
+        space.forward(&mut expected);
+        assert_eq!(
+            served, expected,
+            "post-chaos results are bit-for-bit correct"
+        );
+    }
+}

@@ -1,0 +1,367 @@
+//! Robustness contract of the `moma-serve` front-end, exercised
+//! deterministically through the seeded fault-injection plan: deadlines,
+//! admission control and load shedding, retry with backoff, worker
+//! supervision, graceful drain, and shutdown-while-in-flight.
+//!
+//! Every test here drives a *real* server (threads, channels, launchers) —
+//! the fault plan only decides *when* things go wrong, never *how* the
+//! recovery paths work.
+
+use moma::Session;
+use moma_serve::{
+    Fault, FaultPlan, Response, RetryPolicy, ServeConfig, ServeError, Server, WorkItem,
+};
+use std::time::{Duration, Instant};
+
+/// A small deterministic NTT request: `n` ascending coefficients below `q`.
+fn ntt_item(q: u64, n: usize) -> WorkItem {
+    WorkItem::NttForward {
+        q,
+        n,
+        data: (0..n as u64).map(|i| i % q).collect(),
+    }
+}
+
+/// A one-worker, no-coalescing server whose first request (seq 0) wedges the
+/// worker for `wedge`: the smallest deterministic overload machine.
+fn wedged_server(session: &Session, queue_depth: usize, wedge: Duration) -> Server {
+    Server::new(
+        session.clone(),
+        ServeConfig {
+            workers: 1,
+            max_batch: 1,
+            min_batch: 1,
+            batch_window: Duration::ZERO,
+            queue_depth,
+            fault_plan: FaultPlan::new().with(0, Fault::Delay(wedge)),
+        },
+    )
+}
+
+#[test]
+fn dispatcher_drops_already_expired_requests() {
+    let session = Session::default();
+    let server = Server::new(session.clone(), ServeConfig::default());
+    let client = server.client();
+    let q = session.ntt_default(64).modulus();
+    // A zero budget is expired the moment the dispatcher looks at it.
+    let err = client
+        .call_with_deadline(ntt_item(q, 64), Duration::ZERO)
+        .unwrap_err();
+    assert_eq!(err, ServeError::DeadlineExceeded);
+    let stats = server.stats();
+    assert_eq!(stats.expired, 1);
+    assert_eq!(stats.completed, 0);
+    assert_eq!(stats.batches, 0, "no launch was wasted on a dead request");
+}
+
+#[test]
+fn workers_recheck_deadlines_after_a_slow_batch() {
+    let session = Session::default();
+    // Seq 0 is delayed far past its own budget: wherever the deadline check
+    // catches it (worker re-check normally; dispatcher if CI stalls), the
+    // request must expire rather than execute.
+    let server = wedged_server(&session, 16, Duration::from_millis(60));
+    let client = server.client();
+    let q = session.ntt_default(64).modulus();
+    let err = client
+        .call_with_deadline(ntt_item(q, 64), Duration::from_millis(5))
+        .unwrap_err();
+    assert_eq!(err, ServeError::DeadlineExceeded);
+    let stats = server.stats();
+    assert_eq!(stats.expired, 1);
+    assert_eq!(stats.completed, 0);
+}
+
+#[test]
+fn full_queue_sheds_at_admission_instead_of_queueing() {
+    let session = Session::default();
+    let server = wedged_server(&session, 1, Duration::from_millis(200));
+    let client = server.client();
+    let q = session.ntt_default(64).modulus();
+
+    // Wedge the single worker, then flood. The pipeline absorbs a bounded
+    // handful (executing + work channel + dispatcher-held + queue_depth);
+    // everything past that must fail fast with Overloaded.
+    let wedge = client.submit(ntt_item(q, 64)).unwrap();
+    let mut tickets = Vec::new();
+    let mut shed = 0;
+    let t0 = Instant::now();
+    for _ in 0..12 {
+        match client.submit(ntt_item(q, 64)) {
+            Ok(ticket) => tickets.push(ticket),
+            Err(ServeError::Overloaded) => shed += 1,
+            Err(other) => panic!("unexpected submit error: {other}"),
+        }
+    }
+    let flood_time = t0.elapsed();
+    assert!(shed >= 1, "a bounded queue must shed under a wedged worker");
+    assert!(
+        flood_time < Duration::from_millis(150),
+        "shedding must fail fast, not wait out the wedge ({flood_time:?})"
+    );
+    assert_eq!(server.stats().shed, shed);
+
+    // Absorbed requests still complete once the wedge clears.
+    assert!(wedge.wait().is_ok());
+    for ticket in tickets {
+        assert!(ticket.wait().is_ok());
+    }
+    let stats = server.stats();
+    assert_eq!(stats.completed, stats.submitted);
+    assert_eq!(stats.outstanding, 0);
+}
+
+#[test]
+fn retry_rides_out_transient_overload() {
+    let session = Session::default();
+    let server = wedged_server(&session, 1, Duration::from_millis(80));
+    let client = server.client();
+    let q = session.ntt_default(64).modulus();
+
+    // Wedge, then saturate the pipeline so the next submission is shed.
+    let wedge = client.submit(ntt_item(q, 64)).unwrap();
+    let mut tickets = Vec::new();
+    loop {
+        match client.submit(ntt_item(q, 64)) {
+            Ok(ticket) => tickets.push(ticket),
+            Err(ServeError::Overloaded) => break,
+            Err(other) => panic!("unexpected submit error: {other}"),
+        }
+    }
+    assert!(server.stats().shed >= 1);
+
+    // The retrying call keeps backing off until the wedge clears and a queue
+    // slot frees up; its budget comfortably outlives the 80 ms wedge.
+    let done = client
+        .call_with_retry(
+            ntt_item(q, 64),
+            &RetryPolicy {
+                attempts: 20,
+                base_backoff: Duration::from_millis(5),
+                max_backoff: Duration::from_millis(40),
+                seed: 1,
+            },
+        )
+        .expect("retry must eventually get through");
+    let Response::Ntt(_) = done.response else {
+        panic!("NTT work yields NTT responses")
+    };
+    assert!(wedge.wait().is_ok());
+    for ticket in tickets {
+        assert!(ticket.wait().is_ok());
+    }
+}
+
+#[test]
+fn retry_exhausts_its_budget_and_keeps_the_cause() {
+    use std::error::Error;
+    let session = Session::default();
+    // Every request spuriously fails: retryable, but hopeless.
+    let mut plan = FaultPlan::new();
+    for seq in 0..64 {
+        plan = plan.with(seq, Fault::Fail);
+    }
+    let server = Server::new(
+        session.clone(),
+        ServeConfig {
+            fault_plan: plan,
+            ..ServeConfig::default()
+        },
+    );
+    let client = server.client();
+    let q = session.ntt_default(64).modulus();
+    let err = client
+        .call_with_retry(
+            ntt_item(q, 64),
+            &RetryPolicy {
+                attempts: 3,
+                base_backoff: Duration::from_millis(1),
+                max_backoff: Duration::from_millis(2),
+                seed: 0,
+            },
+        )
+        .unwrap_err();
+    assert_eq!(err.attempts, 3);
+    assert!(err.last.is_retryable());
+    let source = err.source().expect("retry errors carry their cause");
+    assert!(source.to_string().contains("spurious batch failure"));
+
+    // A non-retryable error short-circuits on the first attempt.
+    let err = client
+        .call_with_retry(
+            WorkItem::NttForward {
+                q,
+                n: 6,
+                data: vec![0; 6],
+            },
+            &RetryPolicy::default(),
+        )
+        .unwrap_err();
+    assert_eq!(err.attempts, 1);
+    assert!(matches!(err.last, ServeError::BadRequest(_)));
+}
+
+#[test]
+fn internal_errors_preserve_batch_kind_and_size() {
+    let session = Session::default();
+    let server = Server::new(
+        session.clone(),
+        ServeConfig {
+            workers: 1,
+            max_batch: 4,
+            min_batch: 2,
+            batch_window: Duration::from_secs(5),
+            fault_plan: FaultPlan::new().with(0, Fault::Panic),
+            ..ServeConfig::default()
+        },
+    );
+    let client = server.client();
+    let q = session.ntt_default(64).modulus();
+    // Two requests coalesce into one batch; the injected panic fails both
+    // with the batch context preserved.
+    let t1 = client.submit(ntt_item(q, 64)).unwrap();
+    let t2 = client.submit(ntt_item(q, 64)).unwrap();
+    for ticket in [t1, t2] {
+        let err = ticket.wait().unwrap_err();
+        let ServeError::Internal {
+            kind,
+            batch_size,
+            message,
+        } = &err
+        else {
+            panic!("expected Internal, got {err:?}")
+        };
+        assert_eq!(*kind, "ntt_forward");
+        assert_eq!(*batch_size, 2);
+        assert!(message.contains("injected fault"), "{message}");
+        assert!(err.to_string().contains("ntt_forward batch of 2"), "{err}");
+    }
+    assert_eq!(server.stats().failed, 2);
+}
+
+#[test]
+fn wait_timeout_reports_pending_without_consuming_the_ticket() {
+    let session = Session::default();
+    let server = wedged_server(&session, 8, Duration::from_millis(100));
+    let client = server.client();
+    let q = session.ntt_default(64).modulus();
+    let ticket = client.submit(ntt_item(q, 64)).unwrap();
+    // The worker is asleep for 100 ms: a 5 ms wait must time out...
+    assert!(ticket.wait_timeout(Duration::from_millis(5)).is_none());
+    // ...and the same ticket still resolves once the batch lands.
+    let done = ticket
+        .wait_timeout(Duration::from_secs(10))
+        .expect("request resolves after the delay")
+        .expect("delayed batch still succeeds");
+    assert!(matches!(done.response, Response::Ntt(_)));
+}
+
+#[test]
+fn supervisor_respawns_a_dead_worker() {
+    let session = Session::default();
+    // One worker, killed by the very first request: only a respawned thread
+    // can serve anything afterwards.
+    let server = Server::new(
+        session.clone(),
+        ServeConfig {
+            workers: 1,
+            max_batch: 1,
+            min_batch: 1,
+            batch_window: Duration::ZERO,
+            fault_plan: FaultPlan::new().with(0, Fault::Die),
+            ..ServeConfig::default()
+        },
+    );
+    let client = server.client();
+    let q = session.ntt_default(64).modulus();
+    // The killing request's reply path dies with the worker's stack.
+    let err = client.call(ntt_item(q, 64)).unwrap_err();
+    assert_eq!(err, ServeError::Shutdown);
+
+    // The supervisor notices and respawns; the pool is back at strength.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.stats().restarts == 0 {
+        assert!(Instant::now() < deadline, "supervisor never respawned");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let done = client
+        .call(ntt_item(q, 64))
+        .expect("respawned worker serves");
+    assert!(matches!(done.response, Response::Ntt(_)));
+    let stats = server.stats();
+    assert_eq!(stats.restarts, 1);
+    assert_eq!(stats.completed, 1);
+    assert_eq!(stats.outstanding, 0);
+}
+
+#[test]
+fn drain_completes_in_flight_work_then_rejects_new_submissions() {
+    let session = Session::default();
+    let server = wedged_server(&session, 16, Duration::from_millis(50));
+    let client = server.client();
+    let q = session.ntt_default(64).modulus();
+    let tickets: Vec<_> = (0..4)
+        .map(|_| client.submit(ntt_item(q, 64)).unwrap())
+        .collect();
+    // Drain waits out the wedge and the queued work...
+    assert!(server.drain(Duration::from_secs(10)));
+    assert_eq!(server.stats().outstanding, 0);
+    // ...everything accepted before the drain resolved successfully...
+    for ticket in tickets {
+        assert!(ticket.wait().is_ok());
+    }
+    assert_eq!(server.stats().completed, 4);
+    // ...and nothing new is admitted.
+    assert!(matches!(
+        client.submit(ntt_item(q, 64)),
+        Err(ServeError::Shutdown)
+    ));
+}
+
+#[test]
+fn drain_times_out_when_work_cannot_finish_in_time() {
+    let session = Session::default();
+    let server = wedged_server(&session, 16, Duration::from_millis(300));
+    let client = server.client();
+    let q = session.ntt_default(64).modulus();
+    let ticket = client.submit(ntt_item(q, 64)).unwrap();
+    // The wedge outlives the drain budget: drain must give up, not hang.
+    assert!(!server.drain(Duration::from_millis(20)));
+    assert!(server.stats().outstanding >= 1);
+    // A second, patient drain finishes the job.
+    assert!(server.drain(Duration::from_secs(10)));
+    assert!(ticket.wait().is_ok());
+}
+
+#[test]
+fn dropping_the_server_resolves_every_outstanding_ticket() {
+    let session = Session::default();
+    let server = wedged_server(&session, 8, Duration::from_millis(200));
+    let client = server.client();
+    let q = session.ntt_default(64).modulus();
+    // Wedge the worker, then stack requests through the whole pipeline:
+    // executing, work channel, dispatcher-held, and the submission queue.
+    let tickets: Vec<_> = (0..5)
+        .map(|_| client.submit(ntt_item(q, 64)).unwrap())
+        .collect();
+    drop(server);
+    // Every ticket must resolve promptly — completed if its batch made it to
+    // a worker before shutdown, ServeError::Shutdown if it was still queued.
+    // None may hang.
+    let mut shut_down = 0;
+    for ticket in tickets {
+        match ticket
+            .wait_timeout(Duration::from_secs(10))
+            .expect("no ticket may hang across server drop")
+        {
+            Ok(done) => assert!(matches!(done.response, Response::Ntt(_))),
+            Err(ServeError::Shutdown) => shut_down += 1,
+            Err(other) => panic!("unexpected resolution: {other}"),
+        }
+    }
+    assert!(
+        shut_down >= 1,
+        "requests queued behind the wedge must resolve to Shutdown"
+    );
+}
