@@ -779,42 +779,49 @@ fn bench_rns_blas(
 }
 
 /// Benchmarks the RNS operations FHE pipelines chain between element-wise
-/// stages, all on the planned engine: fast base extension (row-wise
-/// sum-of-products and the generated multiply-accumulate kernel path) and
-/// approximate scaled rounding. Returns `(path, ns_per_element)` rows.
+/// stages, all on the planned engine: fast base extension (the direct row-wise
+/// sum-of-products and the fused all-rows generated-kernel path the compiled
+/// executor now runs) and approximate scaled rounding. Returns
+/// `(path, ns_per_element, launches_per_op)` rows.
 fn bench_rns_baseconv(
     session: &Session,
     bits: u32,
     elements: usize,
     iters: u32,
-) -> Vec<(String, f64)> {
+) -> Vec<(String, f64, usize)> {
     let src = session.rns_with_capacity(2 * bits + 8);
     let dst = baseconv_target_space(session, src.plan().moduli_count(), 0xba5e_c0de);
     let bc = src.conversion_to(&dst);
     let rp = src.rescale_plan();
-    // The generated MAC kernels come from the session kernel cache: compiled on
-    // the first request, shared by every later conversion over this basis pair.
-    let kernels = src.conversion_kernels(&bc);
     let q = paper_modulus(bits);
     let mut rng = rand::thread_rng();
     let a: Vec<BigUint> = (0..elements)
         .map(|_| moma::bignum::random::random_below(&mut rng, &q))
         .collect();
     let ma = RnsMatrix::from_biguints(src.plan(), &a);
+    // Probe runs record launches per op and warm the fused-kernel compile so
+    // the timed runs below measure steady state.
+    let convert_launches = src.plan().base_convert(&bc, &ma).1.launches;
+    let compiled_launches = src.plan().base_convert_fused(&bc, &ma).1.launches;
+    let rescale_launches = src.plan().scale_and_round(&rp, &ma).1.launches;
     let per_elt = 1e9 / elements as f64;
     let convert = best_run(iters, &(), |_| {
         std::hint::black_box(src.plan().base_convert(&bc, &ma));
     }) * per_elt;
     let compiled = best_run(iters, &(), |_| {
-        std::hint::black_box(src.plan().base_convert_compiled_with(&bc, &ma, &kernels));
+        std::hint::black_box(src.plan().base_convert_fused(&bc, &ma));
     }) * per_elt;
     let rescale = best_run(iters, &(), |_| {
         std::hint::black_box(src.plan().scale_and_round(&rp, &ma));
     }) * per_elt;
     vec![
-        ("rns_base_convert".to_string(), convert),
-        ("rns_base_convert_compiled".to_string(), compiled),
-        ("rns_rescale".to_string(), rescale),
+        ("rns_base_convert".to_string(), convert, convert_launches),
+        (
+            "rns_base_convert_compiled".to_string(),
+            compiled,
+            compiled_launches,
+        ),
+        ("rns_rescale".to_string(), rescale, rescale_launches),
     ]
 }
 
@@ -856,6 +863,76 @@ fn bench_session_fused(
         two_pass_ns,
         speedup: two_pass_ns / fused_ns,
         fused_selected: p.fused_is_faster(session.cost_model(), elements),
+    }
+}
+
+/// Result of the fused-vs-unfused `mul→axpy` chain measurement.
+struct MulChainBench {
+    fused_ns: f64,
+    unfused_ns: f64,
+    speedup: f64,
+    fused_selected: bool,
+    fused_launches: usize,
+    unfused_launches: usize,
+}
+
+/// Benchmarks the generated all-rows `s·(a∘b) + z` chain kernel (one launch,
+/// intermediates in registers) against the unfused `mul` followed by `axpy`
+/// sequence (two launches, one full intermediate matrix), and records which
+/// path the session cost model routes `RnsVec::mul_axpy` through.
+fn bench_fused_mul_chain(
+    session: &Session,
+    bits: u32,
+    elements: usize,
+    iters: u32,
+) -> MulChainBench {
+    let src = session.rns_with_capacity(2 * bits + 8);
+    let plan = src.plan();
+    let q = paper_modulus(bits);
+    let mut rng = rand::thread_rng();
+    let sample = |rng: &mut rand::rngs::ThreadRng| -> Vec<BigUint> {
+        (0..elements)
+            .map(|_| moma::bignum::random::random_below(rng, &q))
+            .collect()
+    };
+    let a = sample(&mut rng);
+    let b = sample(&mut rng);
+    let z = sample(&mut rng);
+    let s = moma::bignum::random::random_below(&mut rng, &q);
+    let ma = RnsMatrix::from_biguints(plan, &a);
+    let mb = RnsMatrix::from_biguints(plan, &b);
+    let mz = RnsMatrix::from_biguints(plan, &z);
+    let sres = plan.to_residues(&s);
+    // Probe runs record launches per op and warm the fused-kernel compile.
+    let fused_launches = plan.mul_axpy_fused(&ma, &mb, &sres, &mz).1.launches;
+    let unfused_launches = {
+        let (prod, mut stats) = plan.apply(BlasOp::VecMul, None, &ma, &mb);
+        stats.accumulate(plan.apply(BlasOp::Axpy, Some(&sres), &prod, &mz).1);
+        stats.launches
+    };
+    let per_elt = 1e9 / elements as f64;
+    let fused_ns = best_run(iters, &(), |_| {
+        std::hint::black_box(plan.mul_axpy_fused(&ma, &mb, &sres, &mz));
+    }) * per_elt;
+    let unfused_ns = best_run(iters, &(), |_| {
+        let (prod, _) = plan.apply(BlasOp::VecMul, None, &ma, &mb);
+        std::hint::black_box(plan.apply(BlasOp::Axpy, Some(&sres), &prod, &mz));
+    }) * per_elt;
+    // The session-level probe: one launch means the cost model routed the
+    // typed `RnsVec::mul_axpy` chain through the fused kernel.
+    let va = src.encode(&a);
+    let fused_selected = va
+        .mul_axpy_with_stats(&src.encode(&b), &s, &src.encode(&z))
+        .1
+        .launches
+        == 1;
+    MulChainBench {
+        fused_ns,
+        unfused_ns,
+        speedup: unfused_ns / fused_ns,
+        fused_selected,
+        fused_launches,
+        unfused_launches,
     }
 }
 
@@ -1357,7 +1434,12 @@ fn bench(session: &Session, quick: bool, serve: &ServeBench, overload: &Overload
         batched.batched_ns_per_butterfly, batched.batched_launches
     );
 
-    let rns_elements = if quick { 1 << 10 } else { 1 << 12 };
+    // The RNS sections keep the full element count even in quick mode: at
+    // 2^10 elements the direct path's launch overhead and the fused path's
+    // VM dispatch cost land within noise of each other, which would make the
+    // quick-mode rows too unstable for the CI ordering assertions. These
+    // sections cost microseconds per run, so the larger count is free.
+    let rns_elements = 1 << 12;
     let (rns_rows, rns_speedup) = bench_rns_blas(session, 256, rns_elements, iters);
     println!("\n256-bit RNS vector ops over {rns_elements} elements (ns per element):");
     for (path, ns) in &rns_rows {
@@ -1369,9 +1451,29 @@ fn bench(session: &Session, quick: bool, serve: &ServeBench, overload: &Overload
     println!(
         "\n256-bit RNS base extension / rescale over {rns_elements} elements (ns per element):"
     );
-    for (path, ns) in &baseconv_rows {
-        println!("  {path:<26} {ns:>10.2}");
+    for (path, ns, launches) in &baseconv_rows {
+        println!("  {path:<26} {ns:>10.2}   ({launches} launches/op)");
     }
+
+    let chain = bench_fused_mul_chain(session, 256, rns_elements, iters);
+    println!("\n256-bit fused mul->axpy chain over {rns_elements} elements (ns per element):");
+    println!(
+        "  unfused        {:>10.2}   ({} launches/op)",
+        chain.unfused_ns, chain.unfused_launches
+    );
+    println!(
+        "  fused          {:>10.2}   ({} launches/op)",
+        chain.fused_ns, chain.fused_launches
+    );
+    println!(
+        "  fused-vs-unfused speedup: {:.2}x (cost model selects {})",
+        chain.speedup,
+        if chain.fused_selected {
+            "fused"
+        } else {
+            "unfused"
+        }
+    );
 
     let fused = bench_session_fused(session, 256, rns_elements, iters);
     println!("\n256-bit fused rescale-and-extend over {rns_elements} elements (ns per element):");
@@ -1477,6 +1579,14 @@ fn bench(session: &Session, quick: bool, serve: &ServeBench, overload: &Overload
          \"planned_vs_ctx_speedup_{mul_key}\": {rns_speedup:.3}\n  }},\n  \
          \"rns_baseconv\": {{\n    \"bits\": 256,\n    \"elements\": {rns_elements},\n    \
          \"rows\": [\n{baseconv_rows_json}\n    ]\n  }},\n  \
+         \"rns_fused_chain\": {{\n    \"bits\": 256,\n    \
+         \"elements\": {rns_elements},\n    \"chain\": \"mul_axpy\",\n    \
+         \"fused_ns_per_element\": {chain_fused_ns:.2},\n    \
+         \"unfused_ns_per_element\": {chain_unfused_ns:.2},\n    \
+         \"fused_vs_unfused_speedup\": {chain_speedup:.3},\n    \
+         \"fused_launches_per_op\": {chain_fused_launches},\n    \
+         \"unfused_launches_per_op\": {chain_unfused_launches},\n    \
+         \"cost_model_selects_fused\": {chain_fused_selected}\n  }},\n  \
          \"session_fused_rescale_extend\": {{\n    \"bits\": 256,\n    \
          \"elements\": {rns_elements},\n    \
          \"fused_ns_per_element\": {fused_ns:.2},\n    \
@@ -1538,11 +1648,18 @@ fn bench(session: &Session, quick: bool, serve: &ServeBench, overload: &Overload
             .join(",\n"),
         baseconv_rows_json = baseconv_rows
             .iter()
-            .map(|(path, ns)| format!(
-                "      {{\"path\": \"{path}\", \"ns_per_element\": {ns:.2}}}"
+            .map(|(path, ns, launches)| format!(
+                "      {{\"path\": \"{path}\", \"ns_per_element\": {ns:.2}, \
+                 \"launches_per_op\": {launches}}}"
             ))
             .collect::<Vec<_>>()
             .join(",\n"),
+        chain_fused_ns = chain.fused_ns,
+        chain_unfused_ns = chain.unfused_ns,
+        chain_speedup = chain.speedup,
+        chain_fused_launches = chain.fused_launches,
+        chain_unfused_launches = chain.unfused_launches,
+        chain_fused_selected = chain.fused_selected,
         mul_key = BlasOp::VecMul.key(),
         kernel_name = modmul.name,
         interp_ns = modmul.interp_ns,

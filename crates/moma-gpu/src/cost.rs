@@ -68,6 +68,15 @@ impl OpWeights {
             + 2.0 * self.logic;
         let addmod = 2.0 * self.add_sub + 5.0 * self.logic;
         let submod = 2.0 * self.add_sub + 2.0 * self.logic;
+        // One accumulation-loop term (`macreduce`) is a widening multiply folded
+        // into a 128-bit accumulator: 1 mul + 2 add/sub. The single deferred
+        // reduction (`reducewide`) is two division-free word reductions (each
+        // 1 mul + 1 low mul + 2 add/sub + 2 logic), one Barrett fold of the
+        // high word, and the final conditional add — the
+        // `SingleBarrett::reduce_wide` sequence the compiled executor runs.
+        let macreduce = self.mul + 2.0 * self.add_sub;
+        let reduce_word = self.mul + self.mul_low + 2.0 * self.add_sub + 2.0 * self.logic;
+        let reducewide = 2.0 * reduce_word + mulmod + addmod;
         counts.get("mulwide") as f64 * self.mul
             + counts.get("mullow") as f64 * self.mul_low
             + counts.add_sub() as f64 * self.add_sub
@@ -78,6 +87,8 @@ impl OpWeights {
             + counts.get("addmod") as f64 * addmod
             + counts.get("submod") as f64 * submod
             + counts.get("macmod") as f64 * (mulmod + addmod)
+            + counts.get("macreduce") as f64 * macreduce
+            + counts.get("reducewide") as f64 * reducewide
     }
 
     /// Returns the weights uniformly scaled by `factor`.
@@ -519,6 +530,48 @@ mod tests {
             }],
         );
         assert!(fit.is_ok(), "fused-op sample must be fittable: {fit:?}");
+    }
+
+    #[test]
+    fn accumulation_loops_weigh_less_than_the_macmod_chain_they_replace() {
+        let w = OpWeights::default();
+        let k = 4;
+        let mut chain = OpCounts::new();
+        for _ in 0..k {
+            chain.record(&Op::MulAddMod {
+                a: Operand::Const(1),
+                b: Operand::Const(1),
+                c: Operand::Const(0),
+                q: Operand::Const(97),
+                mu: Operand::Const(0),
+                mbits: 7,
+            });
+        }
+        let mut fused = OpCounts::new();
+        fused.record(&Op::MacReduceMod {
+            pairs: vec![(Operand::Const(1), Operand::Const(1)); k],
+            q: 97,
+            mu: 0,
+            mbits: 7,
+            radix: 0,
+            recip: 0,
+        });
+        let chain_cost = w.weigh(&chain);
+        let fused_cost = w.weigh(&fused);
+        assert!(fused_cost > 0.0, "accumulation loops must not weigh zero");
+        assert!(
+            fused_cost < chain_cost,
+            "a {k}-term accumulation loop ({fused_cost}) must undercut the \
+             macmod chain it replaces ({chain_cost}): one deferred reduction \
+             instead of {k} full Barrett reductions"
+        );
+        // The exact mix: k widening MACs plus one deferred wide reduction.
+        let mulmod = 2.0 * w.mul + w.mul_low + 2.0 * w.shift + 2.0 * w.add_sub + 2.0 * w.logic;
+        let addmod = 2.0 * w.add_sub + 5.0 * w.logic;
+        let macreduce = w.mul + 2.0 * w.add_sub;
+        let reduce_word = w.mul + w.mul_low + 2.0 * w.add_sub + 2.0 * w.logic;
+        let reducewide = 2.0 * reduce_word + mulmod + addmod;
+        assert!((fused_cost - (k as f64 * macreduce + reducewide)).abs() < 1e-9);
     }
 
     #[test]

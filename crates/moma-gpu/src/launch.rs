@@ -20,7 +20,10 @@
 //!   kernel per element. `launch_kernel` compiles the kernel once and routes the hot
 //!   loop through [`moma_ir::compiled::CompiledKernel`]; the tree interpreter remains
 //!   available as the correctness oracle (`moma_ir::interp`), and the test suites
-//!   cross-check the two.
+//!   cross-check the two. [`launch_compiled_batch`] is the flat single-output batch
+//!   form, and [`launch_compiled_rows`] the multi-output form that scatters each
+//!   output to its own row — the shape fused residue kernels (one kernel computing
+//!   every target row of a base conversion) need to run in a single launch.
 
 use moma_ir::compiled::CompiledKernel;
 use moma_ir::Kernel;
@@ -356,6 +359,106 @@ pub fn launch_compiled_batch(compiled: &CompiledKernel, inputs: &[u64]) -> (Vec<
     )
 }
 
+/// Executes a multi-output compiled kernel over every element in a single
+/// launch, scattering output `j` of element `i` to `out[j * cols + i]` — the
+/// row-major matrix layout a residue-plane consumer needs.
+///
+/// Elements run in lane blocks through [`CompiledKernel::run_lanes`]: each
+/// bytecode instruction dispatches once per block of up to
+/// [`moma_ir::compiled::LANE_BLOCK`] elements, and parameters are loaded a
+/// whole block at a time — `fill(p, lo, lanes)` must write parameter `p` for
+/// the consecutive elements `lo..lo + lanes.len()` into `lanes`, which for
+/// row-major input planes is a contiguous row copy rather than a per-element
+/// gather. Compared with running one [`launch_compiled_batch`] per output row,
+/// this pays the fixed launch cost **once** for all rows, reads each input
+/// element once instead of once per row, and never materializes an
+/// element-major intermediate: every worker owns a disjoint column range of
+/// each output row and writes results in place.
+///
+/// `out.len()` must equal `output_count() * cols`; the launch reports `cols`
+/// virtual threads (one per element, each producing a full output column).
+///
+/// # Panics
+///
+/// Panics if `out.len()` is not `output_count() * cols`, or if execution fails
+/// on any element (an invalid generated kernel or malformed inputs).
+pub fn launch_compiled_rows<F>(
+    compiled: &CompiledKernel,
+    out: &mut [u64],
+    cols: usize,
+    fill: F,
+) -> LaunchStats
+where
+    F: Fn(usize, usize, &mut [u64]) + Sync,
+{
+    let oc = compiled.output_count();
+    assert_eq!(
+        out.len(),
+        oc * cols,
+        "output length must be output_count() * cols"
+    );
+    let workers = worker_count().max(1);
+    let start = Instant::now();
+    let run_cols = |lo: usize, hi: usize, rows: &mut [&mut [u64]]| {
+        let mut scratch = compiled.block_scratch();
+        let mut base = lo;
+        while base < hi {
+            let n = (hi - base).min(moma_ir::compiled::LANE_BLOCK);
+            compiled
+                .run_lanes(
+                    n,
+                    &mut scratch,
+                    |p, lanes| fill(p, base, lanes),
+                    |j, lanes| rows[j][base - lo..base - lo + n].copy_from_slice(lanes),
+                )
+                .unwrap_or_else(|e| {
+                    panic!(
+                        "generated kernel failed on elements {base}..{}: {e}",
+                        base + n
+                    )
+                });
+            base += n;
+        }
+    };
+    if cols > 0 && oc > 0 && workers == 1 {
+        // One worker: run inline (see `launch_indexed`).
+        let mut rows: Vec<&mut [u64]> = out.chunks_mut(cols).collect();
+        run_cols(0, cols, &mut rows);
+    } else if cols > 0 && oc > 0 {
+        // Carve every output row into the same per-worker column ranges, so
+        // each worker holds a disjoint `&mut` window of all rows at once.
+        let chunk = cols.div_ceil(workers);
+        let mut bounds = Vec::new();
+        let mut lo = 0;
+        while lo < cols {
+            bounds.push((lo, (lo + chunk).min(cols)));
+            lo = (lo + chunk).min(cols);
+        }
+        let mut bundles: Vec<Vec<&mut [u64]>> =
+            bounds.iter().map(|_| Vec::with_capacity(oc)).collect();
+        for row in out.chunks_mut(cols) {
+            let mut rest = row;
+            for (w, &(lo, hi)) in bounds.iter().enumerate() {
+                let (head, tail) = rest.split_at_mut(hi - lo);
+                bundles[w].push(head);
+                rest = tail;
+            }
+        }
+        std::thread::scope(|scope| {
+            for (&(lo, hi), mut bundle) in bounds.iter().zip(bundles) {
+                let run_cols = &run_cols;
+                scope.spawn(move || run_cols(lo, hi, &mut bundle));
+            }
+        });
+    }
+    LaunchStats {
+        threads: cols,
+        workers,
+        launches: 1,
+        elapsed: start.elapsed(),
+    }
+}
+
 /// Executes a generated machine-level kernel once per element.
 ///
 /// The kernel is compiled to register-allocated bytecode once, then the batch runs
@@ -529,6 +632,64 @@ mod tests {
         let (empty, stats) = launch_compiled_batch(&compiled, &[]);
         assert!(empty.is_empty());
         assert_eq!(stats.threads, 0);
+    }
+
+    #[test]
+    fn rows_launch_scatters_each_output_to_its_row() {
+        // Two outputs per element: sum with carry and a shifted copy — enough
+        // to see the row-major scatter (out[j * cols + i]).
+        let mut kb = KernelBuilder::new("pair");
+        let a = kb.param("a", Ty::UInt(64));
+        let b = kb.param("b", Ty::UInt(64));
+        let carry = kb.local("carry", Ty::Flag);
+        let sum = kb.output("sum", Ty::UInt(64));
+        let double = kb.output("double", Ty::UInt(64));
+        kb.push(
+            vec![carry, sum],
+            Op::AddWide {
+                a: a.into(),
+                b: b.into(),
+                carry_in: None,
+            },
+        );
+        kb.push(
+            vec![double],
+            Op::MulLow {
+                a: a.into(),
+                b: moma_ir::Operand::Const(2),
+            },
+        );
+        let compiled = CompiledKernel::compile(&kb.build()).unwrap();
+        let cols = 333; // deliberately not a multiple of any worker count
+        let inputs: Vec<[u64; 2]> = (0..cols).map(|i| [i as u64 * 3, i as u64 + 7]).collect();
+        let mut out = vec![0u64; 2 * cols];
+        let stats = launch_compiled_rows(&compiled, &mut out, cols, |p, lo, lanes| {
+            for (e, lane) in lanes.iter_mut().enumerate() {
+                *lane = inputs[lo + e][p];
+            }
+        });
+        assert_eq!(stats.threads, cols);
+        assert_eq!(stats.launches, 1);
+        let (oracle, _) = launch_compiled(&compiled, cols, |i| inputs[i].to_vec());
+        for (i, o) in oracle.iter().enumerate() {
+            assert_eq!(out[i], o[0], "row 0 element {i}");
+            assert_eq!(out[cols + i], o[1], "row 1 element {i}");
+        }
+        let mut empty: [u64; 0] = [];
+        let stats =
+            launch_compiled_rows(&compiled, &mut empty, 0, |_, _, _| panic!("must not run"));
+        assert_eq!(stats.threads, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "output length")]
+    fn rows_launch_rejects_mismatched_output_length() {
+        let mut kb = KernelBuilder::new("copy");
+        let a = kb.param("a", Ty::UInt(64));
+        let o = kb.output("o", Ty::UInt(64));
+        kb.push(vec![o], Op::Copy { src: a.into() });
+        let compiled = CompiledKernel::compile(&kb.build()).unwrap();
+        launch_compiled_rows(&compiled, &mut [0u64; 5], 4, |_, _, _| {});
     }
 
     #[test]

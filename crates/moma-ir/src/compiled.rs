@@ -137,6 +137,46 @@ enum Code {
         c: Src,
         q: Src,
     },
+    MacReduceMod(Box<MacReduceOp>),
+}
+
+/// The accumulation-loop payload, boxed like [`ShrOp`] so the variadic variant does
+/// not inflate every [`Code`] instruction.
+///
+/// The reduction constants are *re-derived from the modulus at compile time* (not
+/// taken from the kernel), so the division-free closing reduction below is exact —
+/// `reduce_wide(t) == t mod q` — for any kernel that register-allocates, validated
+/// or not. `recip == 0` is the sentinel for moduli outside the single-word Barrett
+/// domain (q < 2 or wider than 60 bits); execution falls back to an exact `u128 %`
+/// for those.
+#[derive(Debug, Clone)]
+struct MacReduceOp {
+    d: Dst,
+    pairs: Vec<(Src, Src)>,
+    q: u64,
+    mu: u64,
+    mbits: u32,
+    radix: u64,
+    recip: u64,
+}
+
+/// Number of elements [`CompiledKernel::run_lanes`] executes in lock-step. Sized
+/// so a typical fused-kernel frame (a few dozen registers × `LANE_BLOCK` lanes ×
+/// 8 bytes) stays cache-resident while still amortizing instruction dispatch.
+pub const LANE_BLOCK: usize = 128;
+
+/// Reusable lane-block execution state for [`CompiledKernel::run_lanes`]: a
+/// register frame holding [`LANE_BLOCK`] lanes per register (lane-major per
+/// register, so each register's lanes are one contiguous run), plus the
+/// multi-word shift staging buffer. Create one per worker with
+/// [`CompiledKernel::block_scratch`] and reuse it across blocks.
+#[derive(Debug, Clone, Default)]
+pub struct BlockScratch {
+    regs: Vec<u64>,
+    shr: Vec<u64>,
+    /// Id of the kernel whose constants currently occupy the frame (`0` = none),
+    /// exactly as the per-element [`Scratch`] frame's tag.
+    tag: u64,
 }
 
 /// Reusable per-worker execution state: the register frame plus the multi-word
@@ -147,6 +187,11 @@ enum Code {
 pub struct Scratch {
     regs: Vec<u64>,
     shr: Vec<u64>,
+    /// Id of the kernel whose constants currently occupy the frame's constant
+    /// registers (`0` = none). Lets [`CompiledKernel::run_with`] skip the
+    /// per-element constant preload when the same kernel reuses the frame, which
+    /// matters for constant-heavy fused kernels run over large batches.
+    tag: u64,
 }
 
 /// A kernel compiled to register-allocated bytecode.
@@ -172,6 +217,10 @@ pub struct Scratch {
 #[derive(Debug, Clone)]
 pub struct CompiledKernel {
     name: String,
+    /// Process-unique id (clones share it — they carry identical constants), used
+    /// to recognize a [`Scratch`] frame whose constant registers are already
+    /// loaded for this kernel.
+    id: u64,
     code: Vec<Code>,
     /// Register slot and declared bit-width of each parameter, in signature order.
     params: Vec<(u32, u32)>,
@@ -329,11 +378,29 @@ impl CompiledKernel {
                     c: src(*c),
                     q: src(*q),
                 },
+                Op::MacReduceMod { pairs, q, .. } => {
+                    // Re-derive the reduction constants from the modulus rather
+                    // than trusting the kernel's copies: execution stays exact
+                    // (`== Σaᵢbᵢ mod q`) even for kernels that never went through
+                    // the validator. recip == 0 flags moduli outside the
+                    // single-word Barrett domain; exec falls back to `u128 %`.
+                    let (mu, mbits, radix, recip) = barrett_constants(*q);
+                    Code::MacReduceMod(Box::new(MacReduceOp {
+                        d: dst(stmt.dsts[0]),
+                        pairs: pairs.iter().map(|(a, b)| (src(*a), src(*b))).collect(),
+                        q: *q,
+                        mu,
+                        mbits,
+                        radix,
+                        recip,
+                    }))
+                }
             });
         }
 
         Ok(CompiledKernel {
             name: kernel.name.clone(),
+            id: next_kernel_id(),
             code,
             params: kernel
                 .params
@@ -380,11 +447,15 @@ impl CompiledKernel {
         &self.counts
     }
 
-    /// Creates an execution scratch frame sized for this kernel.
+    /// Creates an execution scratch frame sized for this kernel, with the
+    /// materialized constants already loaded.
     pub fn scratch(&self) -> Scratch {
+        let mut regs = vec![0; self.n_regs];
+        regs[self.const_base..self.n_regs].copy_from_slice(&self.const_values);
         Scratch {
-            regs: vec![0; self.n_regs],
+            regs,
             shr: Vec::new(),
+            tag: self.id,
         }
     }
 
@@ -407,8 +478,15 @@ impl CompiledKernel {
                 got: inputs.len(),
             });
         }
-        if scratch.regs.len() != self.n_regs {
+        // Constant registers are never written by the body, so a frame tagged
+        // with this kernel's id still holds them from the previous element; only
+        // a frame carried over from another kernel (or a default one) needs the
+        // resize-and-preload.
+        if scratch.tag != self.id {
+            scratch.regs.clear();
             scratch.regs.resize(self.n_regs, 0);
+            scratch.regs[self.const_base..self.n_regs].copy_from_slice(&self.const_values);
+            scratch.tag = self.id;
         }
         for (idx, ((slot, bits), &input)) in self.params.iter().zip(inputs).enumerate() {
             if *bits < 64 && input >> bits != 0 {
@@ -418,9 +496,6 @@ impl CompiledKernel {
             }
             scratch.regs[*slot as usize] = input;
         }
-        // Preload the materialized constants. Unconditional so that a scratch
-        // frame carried over from another kernel can never leak stale values.
-        scratch.regs[self.const_base..self.n_regs].copy_from_slice(&self.const_values);
         self.exec(scratch);
         out.extend(self.outputs.iter().map(|o| scratch.regs[*o as usize]));
         Ok(())
@@ -478,6 +553,325 @@ impl CompiledKernel {
             outputs,
             counts: self.counts.scaled(elements as u64),
         })
+    }
+
+    /// Creates a reusable lane-block frame for [`Self::run_lanes`].
+    pub fn block_scratch(&self) -> BlockScratch {
+        let mut scratch = BlockScratch::default();
+        self.preload_block(&mut scratch);
+        scratch
+    }
+
+    /// Executes the kernel over `n` elements (`n ≤ LANE_BLOCK`) in lock-step
+    /// lanes: every bytecode instruction runs across all `n` lanes before the
+    /// next instruction dispatches, so the per-instruction dispatch (and the
+    /// per-element call overhead of [`Self::run_with`]) is amortized over the
+    /// whole block — the difference that makes generated fused kernels
+    /// competitive with hand-written loops on wide batches.
+    ///
+    /// `fill(p, lanes)` must write parameter `p`'s value for each of the `n`
+    /// elements into `lanes` (for row-major planes this is a contiguous row
+    /// copy, not a per-element gather). `sink(j, lanes)` receives output `j`'s
+    /// `n` values after execution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InterpError::InputTooWide`] if any filled lane exceeds its
+    /// parameter's declared width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > LANE_BLOCK`.
+    pub fn run_lanes<F, S>(
+        &self,
+        n: usize,
+        scratch: &mut BlockScratch,
+        mut fill: F,
+        mut sink: S,
+    ) -> Result<(), InterpError>
+    where
+        F: FnMut(usize, &mut [u64]),
+        S: FnMut(usize, &[u64]),
+    {
+        assert!(
+            n <= LANE_BLOCK,
+            "lane block holds at most {LANE_BLOCK} elements"
+        );
+        if scratch.tag != self.id {
+            self.preload_block(scratch);
+        }
+        for (idx, (slot, bits)) in self.params.iter().enumerate() {
+            let base = *slot as usize * LANE_BLOCK;
+            let lanes = &mut scratch.regs[base..base + n];
+            fill(idx, lanes);
+            if *bits < 64 && lanes.iter().any(|&v| v >> bits != 0) {
+                return Err(InterpError::InputTooWide {
+                    var: self.param_names[idx].clone(),
+                });
+            }
+        }
+        self.exec_lanes(scratch, n);
+        for (j, o) in self.outputs.iter().enumerate() {
+            let base = *o as usize * LANE_BLOCK;
+            sink(j, &scratch.regs[base..base + n]);
+        }
+        Ok(())
+    }
+
+    /// Sizes a block frame for this kernel and broadcasts the constant
+    /// registers across their lanes.
+    fn preload_block(&self, scratch: &mut BlockScratch) {
+        scratch.regs.clear();
+        scratch.regs.resize(self.n_regs * LANE_BLOCK, 0);
+        for (k, &c) in self.const_values.iter().enumerate() {
+            let base = (self.const_base + k) * LANE_BLOCK;
+            scratch.regs[base..base + LANE_BLOCK].fill(c);
+        }
+        scratch.tag = self.id;
+    }
+
+    /// The lane-block twin of [`Self::exec`]: one instruction dispatch per
+    /// block, a tight `0..n` lane loop per instruction. Kept in exact semantic
+    /// lock-step with `exec` (same arms, same masking) — the
+    /// `run_lanes_matches_per_element_run` test asserts the equivalence.
+    fn exec_lanes(&self, scratch: &mut BlockScratch, n: usize) {
+        const B: usize = LANE_BLOCK;
+        let consts_from = self.const_base;
+        let regs = &mut scratch.regs;
+        // Shared accumulator lanes for `MacReduceMod` (first pair assigns, so
+        // stale values between instructions are never read).
+        let mut accs = [0u128; LANE_BLOCK];
+        for op in &self.code {
+            match op {
+                Code::Copy { d, s } => {
+                    let (db, sb) = (d.reg as usize * B, *s as usize * B);
+                    for e in 0..n {
+                        regs[db + e] = regs[sb + e] & d.mask;
+                    }
+                }
+                Code::AddWide {
+                    carry,
+                    sum,
+                    a,
+                    b,
+                    cin,
+                    sum_bits,
+                } => {
+                    let (cb, sb) = (carry.reg as usize * B, sum.reg as usize * B);
+                    let (ab, bb, ib) = (*a as usize * B, *b as usize * B, *cin as usize * B);
+                    for e in 0..n {
+                        let t = regs[ab + e] as u128 + regs[bb + e] as u128 + regs[ib + e] as u128;
+                        regs[cb + e] = ((t >> sum_bits) as u64) & carry.mask;
+                        regs[sb + e] = (t as u64) & sum.mask;
+                    }
+                }
+                Code::Sub { d, a, b, bin } => {
+                    let (db, ab, bb, ib) = (
+                        d.reg as usize * B,
+                        *a as usize * B,
+                        *b as usize * B,
+                        *bin as usize * B,
+                    );
+                    for e in 0..n {
+                        let t = regs[ab + e]
+                            .wrapping_sub(regs[bb + e])
+                            .wrapping_sub(regs[ib + e]);
+                        regs[db + e] = t & d.mask;
+                    }
+                }
+                Code::MulWide {
+                    hi,
+                    lo,
+                    a,
+                    b,
+                    lo_bits,
+                } => {
+                    let (hb, lb) = (hi.reg as usize * B, lo.reg as usize * B);
+                    let (ab, bb) = (*a as usize * B, *b as usize * B);
+                    for e in 0..n {
+                        let p = regs[ab + e] as u128 * regs[bb + e] as u128;
+                        regs[hb + e] = ((p >> lo_bits) as u64) & hi.mask;
+                        regs[lb + e] = (p as u64) & lo.mask;
+                    }
+                }
+                Code::MulLow { d, a, b } => {
+                    let (db, ab, bb) = (d.reg as usize * B, *a as usize * B, *b as usize * B);
+                    for e in 0..n {
+                        regs[db + e] = regs[ab + e].wrapping_mul(regs[bb + e]) & d.mask;
+                    }
+                }
+                Code::Lt { d, a, b } => {
+                    let (db, ab, bb) = (d.reg as usize * B, *a as usize * B, *b as usize * B);
+                    for e in 0..n {
+                        regs[db + e] = (regs[ab + e] < regs[bb + e]) as u64;
+                    }
+                }
+                Code::Eq { d, a, b } => {
+                    let (db, ab, bb) = (d.reg as usize * B, *a as usize * B, *b as usize * B);
+                    for e in 0..n {
+                        regs[db + e] = (regs[ab + e] == regs[bb + e]) as u64;
+                    }
+                }
+                Code::BoolAnd { d, a, b } => {
+                    let (db, ab, bb) = (d.reg as usize * B, *a as usize * B, *b as usize * B);
+                    for e in 0..n {
+                        regs[db + e] = (regs[ab + e] != 0 && regs[bb + e] != 0) as u64;
+                    }
+                }
+                Code::BoolOr { d, a, b } => {
+                    let (db, ab, bb) = (d.reg as usize * B, *a as usize * B, *b as usize * B);
+                    for e in 0..n {
+                        regs[db + e] = (regs[ab + e] != 0 || regs[bb + e] != 0) as u64;
+                    }
+                }
+                Code::Select {
+                    d,
+                    cond,
+                    if_true,
+                    if_false,
+                } => {
+                    let (db, cb) = (d.reg as usize * B, *cond as usize * B);
+                    let (tb, fb) = (*if_true as usize * B, *if_false as usize * B);
+                    for e in 0..n {
+                        let v = if regs[cb + e] != 0 {
+                            regs[tb + e]
+                        } else {
+                            regs[fb + e]
+                        };
+                        regs[db + e] = v & d.mask;
+                    }
+                }
+                Code::ShrMulti(op) => {
+                    // Rare in fused hot paths; stage per lane exactly as `exec`
+                    // does (destinations may alias source words).
+                    let word_bits = op.word_bits;
+                    let nw = op.words.len();
+                    let total_bits = word_bits * nw as u32;
+                    for e in 0..n {
+                        scratch.shr.clear();
+                        for w in &op.words {
+                            scratch.shr.push(regs[*w as usize * B + e]);
+                        }
+                        for (k, dst) in op.dsts.iter().rev().enumerate() {
+                            let mut v: u64 = 0;
+                            for bit in 0..word_bits {
+                                let src_bit = op.shift + k as u32 * word_bits + bit;
+                                if src_bit < total_bits {
+                                    let word = nw as u32 - 1 - src_bit / word_bits;
+                                    let b =
+                                        (scratch.shr[word as usize] >> (src_bit % word_bits)) & 1;
+                                    v |= b << bit;
+                                }
+                            }
+                            regs[dst.reg as usize * B + e] = v & dst.mask;
+                        }
+                    }
+                }
+                Code::AddMod { d, a, b, q } => {
+                    let (db, ab, bb, qb) = (
+                        d.reg as usize * B,
+                        *a as usize * B,
+                        *b as usize * B,
+                        *q as usize * B,
+                    );
+                    for e in 0..n {
+                        let v =
+                            (regs[ab + e] as u128 + regs[bb + e] as u128) % (regs[qb + e] as u128);
+                        regs[db + e] = (v as u64) & d.mask;
+                    }
+                }
+                Code::SubMod { d, a, b, q } => {
+                    let (db, ab, bb, qb) = (
+                        d.reg as usize * B,
+                        *a as usize * B,
+                        *b as usize * B,
+                        *q as usize * B,
+                    );
+                    for e in 0..n {
+                        let (a, b, q) = (regs[ab + e], regs[bb + e], regs[qb + e]);
+                        let v = if a < b {
+                            (a as u128 + q as u128 - b as u128) as u64
+                        } else {
+                            a - b
+                        };
+                        regs[db + e] = v & d.mask;
+                    }
+                }
+                Code::MulModBarrett { d, a, b, q } => {
+                    let (db, ab, bb, qb) = (
+                        d.reg as usize * B,
+                        *a as usize * B,
+                        *b as usize * B,
+                        *q as usize * B,
+                    );
+                    for e in 0..n {
+                        let v =
+                            (regs[ab + e] as u128 * regs[bb + e] as u128) % (regs[qb + e] as u128);
+                        regs[db + e] = (v as u64) & d.mask;
+                    }
+                }
+                Code::MulAddMod { d, a, b, c, q } => {
+                    let (db, ab, bb) = (d.reg as usize * B, *a as usize * B, *b as usize * B);
+                    let (cb, qb) = (*c as usize * B, *q as usize * B);
+                    for e in 0..n {
+                        let v = (regs[ab + e] as u128 * regs[bb + e] as u128
+                            + regs[cb + e] as u128)
+                            % (regs[qb + e] as u128);
+                        regs[db + e] = (v as u64) & d.mask;
+                    }
+                }
+                Code::MacReduceMod(op) => {
+                    // Pairs outer, lanes inner: each pair's register bases are
+                    // resolved once per block, and the inner multiply-accumulate
+                    // zips contiguous lane slices (no per-lane indexing). A
+                    // constant operand — a fused cross-basis coefficient, say —
+                    // is read once as a scalar instead of streaming its
+                    // broadcast lanes. The first pair *assigns*, so the
+                    // accumulators need no per-instruction zeroing. Same bound
+                    // argument as `exec`: the validator caps Σᵢ aᵢ·bᵢ, so they
+                    // cannot wrap.
+                    if op.pairs.is_empty() {
+                        accs[..n].fill(0);
+                    }
+                    for (i, &(a, b)) in op.pairs.iter().enumerate() {
+                        // Put a constant operand on the scalar side.
+                        let (va, vb) = if (a as usize) >= consts_from {
+                            (b, a)
+                        } else {
+                            (a, b)
+                        };
+                        let ab = va as usize * B;
+                        let first = i == 0;
+                        if (vb as usize) >= consts_from {
+                            let bv = regs[vb as usize * B] as u128;
+                            for (acc, &av) in accs[..n].iter_mut().zip(&regs[ab..ab + n]) {
+                                let p = av as u128 * bv;
+                                *acc = if first { p } else { *acc + p };
+                            }
+                        } else {
+                            let bb = vb as usize * B;
+                            for ((acc, &av), &bv) in accs[..n]
+                                .iter_mut()
+                                .zip(&regs[ab..ab + n])
+                                .zip(&regs[bb..bb + n])
+                            {
+                                let p = av as u128 * bv as u128;
+                                *acc = if first { p } else { *acc + p };
+                            }
+                        }
+                    }
+                    let db = op.d.reg as usize * B;
+                    for (&acc, dst) in accs[..n].iter().zip(&mut regs[db..db + n]) {
+                        let v = if op.recip != 0 {
+                            reduce_wide(acc, op)
+                        } else {
+                            (acc % op.q as u128) as u64
+                        };
+                        *dst = v & op.d.mask;
+                    }
+                }
+            }
+        }
     }
 
     /// The bytecode execution loop: no lookups, no `Option`s, no allocation.
@@ -598,8 +992,97 @@ impl CompiledKernel {
                         (rd(regs, *a) as u128 * rd(regs, *b) as u128 + rd(regs, *c) as u128) % q;
                     regs[d.reg as usize] = (v as u64) & d.mask;
                 }
+                Code::MacReduceMod(op) => {
+                    // The validator bounds Σᵢ aᵢ·bᵢ by the operand widths, so the
+                    // accumulator cannot wrap; one reduction closes the loop.
+                    let mut acc: u128 = 0;
+                    for (a, b) in &op.pairs {
+                        acc += rd(regs, *a) as u128 * rd(regs, *b) as u128;
+                    }
+                    let v = if op.recip != 0 {
+                        reduce_wide(acc, op)
+                    } else {
+                        (acc % op.q as u128) as u64
+                    };
+                    regs[op.d.reg as usize] = v & op.d.mask;
+                }
             }
         }
+    }
+}
+
+/// Hands out process-unique kernel ids, starting at 1 so the `Default` scratch tag
+/// (`0`) never matches a kernel.
+fn next_kernel_id() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Derives the single-word Barrett constants for `q`, exactly as
+/// `moma_mp::SingleBarrett::new` does: `mu = ⌊2^(2·mbits+3)/q⌋`,
+/// `radix = 2^64 mod q`, `recip = ⌊2^64/q⌋`. Returns `recip == 0` when `q` is
+/// outside the domain (q < 2 or wider than 60 bits), signalling the `%` fallback.
+fn barrett_constants(q: u64) -> (u64, u32, u64, u64) {
+    let mbits = 64 - q.leading_zeros();
+    if q < 2 || mbits > 60 {
+        return (0, mbits, 0, 0);
+    }
+    let q = q as u128;
+    let mu = ((1u128 << (2 * mbits + 3)) / q) as u64;
+    let radix = ((1u128 << 64) % q) as u64;
+    let recip = ((1u128 << 64) / q) as u64;
+    (mu, mbits, radix, recip)
+}
+
+/// `x mod q` via the precomputed word reciprocal — two multiplications and a
+/// conditional subtraction (`SingleBarrett::reduce_word`).
+#[inline]
+fn reduce_word(x: u64, q: u64, recip: u64) -> u64 {
+    let qhat = ((x as u128 * recip as u128) >> 64) as u64;
+    let r = x.wrapping_sub(qhat.wrapping_mul(q));
+    if r >= q {
+        r - q
+    } else {
+        r
+    }
+}
+
+/// `a·b mod q` for `a, b < q` via the Barrett constants (`SingleBarrett::mul_mod`).
+#[inline]
+fn barrett_mul_mod(a: u64, b: u64, q: u64, mu: u64, mbits: u32) -> u64 {
+    let t = a as u128 * b as u128;
+    let r = ((t >> (mbits - 2)) * mu as u128) >> (mbits + 5);
+    let mut c = t - r * q as u128;
+    if c >= q as u128 {
+        c -= q as u128;
+    }
+    c as u64
+}
+
+/// `t mod q` for a 128-bit accumulator: fold the high word through
+/// `radix = 2^64 mod q`, reduce both halves word-wise, and combine
+/// (`SingleBarrett::reduce_wide`). Exact — the moma-mp test suite asserts this
+/// identity against `%` for the same constant derivations.
+#[inline]
+fn reduce_wide(t: u128, op: &MacReduceOp) -> u64 {
+    let hi = (t >> 64) as u64;
+    let lo = reduce_word(t as u64, op.q, op.recip);
+    if hi == 0 {
+        return lo;
+    }
+    let folded = barrett_mul_mod(
+        reduce_word(hi, op.q, op.recip),
+        op.radix,
+        op.q,
+        op.mu,
+        op.mbits,
+    );
+    let s = folded + lo;
+    if s >= op.q {
+        s - op.q
+    } else {
+        s
     }
 }
 
@@ -852,6 +1335,185 @@ mod tests {
             assert_eq!(fast.outputs, vec![expected]);
         }
         assert_eq!(c.run(&[1, 1]).unwrap().counts.get("macmod"), 2);
+    }
+
+    #[test]
+    fn macreduce_matches_interpreter_across_wide_accumulators() {
+        // Three-term accumulation over 56-bit operands: the u128 accumulator
+        // exceeds 2^64, exercising the radix-fold path of the division-free
+        // reduction. The constants in the op are deliberately garbage — compile()
+        // re-derives them from q, so execution must still equal Σaᵢbᵢ mod q.
+        let q = (1u64 << 52) - 47;
+        let mut kb = KernelBuilder::new("macreduce3");
+        let a = kb.param("a", Ty::UInt(56));
+        let b = kb.param("b", Ty::UInt(56));
+        let out = kb.output("out", Ty::UInt(64));
+        kb.push(
+            vec![out],
+            Op::MacReduceMod {
+                pairs: vec![
+                    (a.into(), b.into()),
+                    (a.into(), Operand::Const(7)),
+                    (b.into(), b.into()),
+                ],
+                q,
+                mu: 1,
+                mbits: 52,
+                radix: 2,
+                recip: 3,
+            },
+        );
+        let k = kb.build();
+        let c = CompiledKernel::compile(&k).unwrap();
+        let m = (1u64 << 56) - 1;
+        for inputs in [[0u64, 0], [m, m], [m, 1], [12345, 987654321]] {
+            let fast = c.run(&inputs).unwrap();
+            assert_eq!(fast, interp::run(&k, &inputs).unwrap());
+            let (a, b) = (inputs[0] as u128, inputs[1] as u128);
+            let expected = ((a * b + a * 7 + b * b) % q as u128) as u64;
+            assert_eq!(fast.outputs, vec![expected]);
+        }
+        let counts = c.run(&[1, 1]).unwrap().counts;
+        assert_eq!(counts.get("macreduce"), 3);
+        assert_eq!(counts.get("reducewide"), 1);
+    }
+
+    #[test]
+    fn run_lanes_matches_per_element_run() {
+        // The lane-block executor must be element-wise identical to the
+        // per-element path, including the constant-operand scalar fast path
+        // in `MacReduceMod` (the `Const(7)` / `Const(11)` pairs below) and
+        // partial trailing blocks. One scratch frame is reused across block
+        // sizes to exercise the preload tag as well.
+        let q = (1u64 << 52) - 47;
+        let mut kb = KernelBuilder::new("lanes_mix");
+        let a = kb.param("a", Ty::UInt(52));
+        let b = kb.param("b", Ty::UInt(52));
+        let t = kb.local("t", Ty::UInt(64));
+        let s = kb.output("s", Ty::UInt(64));
+        let out = kb.output("out", Ty::UInt(64));
+        kb.push(
+            vec![t],
+            Op::MacReduceMod {
+                pairs: vec![(a.into(), b.into()), (a.into(), Operand::Const(7))],
+                q,
+                mu: 1,
+                mbits: 52,
+                radix: 2,
+                recip: 3,
+            },
+        );
+        kb.push(
+            vec![s],
+            Op::AddMod {
+                a: t.into(),
+                b: b.into(),
+                q: Operand::Const(q),
+            },
+        );
+        kb.push(
+            vec![out],
+            Op::MacReduceMod {
+                pairs: vec![(t.into(), Operand::Const(11)), (s.into(), s.into())],
+                q,
+                mu: 1,
+                mbits: 52,
+                radix: 2,
+                recip: 3,
+            },
+        );
+        let k = kb.build();
+        let c = CompiledKernel::compile(&k).unwrap();
+        let vals = |seed: u64, n: usize| -> Vec<u64> {
+            let mut x = seed;
+            (0..n)
+                .map(|_| {
+                    x = x
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    x % q
+                })
+                .collect()
+        };
+        let mut scratch = c.block_scratch();
+        for n in [1usize, 37, LANE_BLOCK] {
+            let a_vals = vals(0x9e37 ^ n as u64, n);
+            let b_vals = vals(0x79b9 ^ n as u64, n);
+            let mut got = vec![Vec::new(); 2];
+            c.run_lanes(
+                n,
+                &mut scratch,
+                |p, lanes| {
+                    let src = if p == 0 { &a_vals } else { &b_vals };
+                    lanes.copy_from_slice(&src[..lanes.len()]);
+                },
+                |j, lanes| got[j] = lanes.to_vec(),
+            )
+            .unwrap();
+            for e in 0..n {
+                let one = c.run(&[a_vals[e], b_vals[e]]).unwrap();
+                assert_eq!(
+                    vec![got[0][e], got[1][e]],
+                    one.outputs,
+                    "element {e} of block {n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn macreduce_falls_back_to_exact_division_for_wide_moduli() {
+        // mbits > 60 is outside the single-word Barrett domain; the compiled
+        // executor must fall back to `%` and still match the interpreter.
+        let q = u64::MAX - 58;
+        let mut kb = KernelBuilder::new("macreduce_wideq");
+        let a = kb.param("a", Ty::UInt(64));
+        let out = kb.output("out", Ty::UInt(64));
+        kb.push(
+            vec![out],
+            Op::MacReduceMod {
+                pairs: vec![(a.into(), Operand::Const(3))],
+                q,
+                mu: 0,
+                mbits: 64,
+                radix: 0,
+                recip: 0,
+            },
+        );
+        let k = kb.build();
+        let c = CompiledKernel::compile(&k).unwrap();
+        for a in [0u64, 1, q - 1, u64::MAX] {
+            let fast = c.run(&[a]).unwrap();
+            assert_eq!(fast, interp::run(&k, &[a]).unwrap());
+            assert_eq!(fast.outputs, vec![((a as u128 * 3) % q as u128) as u64]);
+        }
+    }
+
+    #[test]
+    fn scratch_tag_skips_stale_constant_reload_only_for_same_kernel() {
+        // A scratch frame carried from kernel A to kernel B must be refilled with
+        // B's constants (different id), while reuse under one kernel keeps them.
+        let build = |name: &str, k: u64| {
+            let mut kb = KernelBuilder::new(name);
+            let a = kb.param("a", Ty::UInt(64));
+            let o = kb.output("o", Ty::UInt(64));
+            kb.push(
+                vec![o],
+                Op::MulLow {
+                    a: a.into(),
+                    b: Operand::Const(k),
+                },
+            );
+            CompiledKernel::compile(&kb.build()).unwrap()
+        };
+        let k3 = build("times3", 3);
+        let k5 = build("times5", 5);
+        let mut scratch = k3.scratch();
+        let mut out = Vec::new();
+        k3.run_with(&[10], &mut scratch, &mut out).unwrap();
+        k5.run_with(&[10], &mut scratch, &mut out).unwrap();
+        k3.run_with(&[11], &mut scratch, &mut out).unwrap();
+        assert_eq!(out, vec![30, 50, 33]);
     }
 
     #[test]

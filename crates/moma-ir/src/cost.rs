@@ -23,7 +23,17 @@ impl OpCounts {
     }
 
     /// Records one occurrence of `op`.
+    ///
+    /// The accumulation loop is the one op whose work scales with its payload, so
+    /// it is counted per product term ("macreduce" × the number of pairs) plus one
+    /// "reducewide" for the closing reduction — a flat per-statement count would
+    /// make a 17-term loop look as cheap as a 1-term one.
     pub fn record(&mut self, op: &Op) {
+        if let Op::MacReduceMod { pairs, .. } = op {
+            self.add_mnemonic("macreduce", pairs.len() as u64);
+            self.add_mnemonic("reducewide", 1);
+            return;
+        }
         *self.counts.entry(op.mnemonic()).or_insert(0) += 1;
     }
 

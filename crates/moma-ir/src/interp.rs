@@ -293,6 +293,15 @@ fn exec_stmt(
             let v = (read(*a, values)? * read(*b, values)? + read(*c, values)?) % q;
             write(stmt.dsts[0], v, values);
         }
+        Op::MacReduceMod { pairs, q, .. } => {
+            // Exact accumulation, one reduction at the end. The validator bounds
+            // Σᵢ aᵢ·bᵢ by the operand widths, so the u128 sum cannot wrap.
+            let mut acc: u128 = 0;
+            for (a, b) in pairs {
+                acc += read(*a, values)? * read(*b, values)?;
+            }
+            write(stmt.dsts[0], acc % *q as u128, values);
+        }
     }
     Ok(())
 }

@@ -196,6 +196,34 @@ pub enum Op {
         /// Bit-width of the modulus.
         mbits: u32,
     },
+    /// `dst = (Σᵢ aᵢ · bᵢ) mod q` — the accumulation-loop form produced by the
+    /// kernel-fusion pass: a whole sum-of-products chain accumulated exactly in a
+    /// double-word register and reduced **once** at the end, instead of one
+    /// modular reduction per term (`moma_mp::single::smac` + `reduce_wide` as a
+    /// single IR statement).
+    ///
+    /// Unlike the other modular ops, the modulus and its reduction constants are
+    /// literal values, not operands: the fusion pass only fires for
+    /// constant-modulus chains, and baking the constants in is what lets the
+    /// compiled executor and the emitters use the division-free word-reciprocal
+    /// reduction (`recip = ⌊2^64/q⌋`, `radix = 2^64 mod q`) with no runtime
+    /// consistency checks. The validator re-derives every constant from `q` and
+    /// rejects mismatches, and statically bounds `Σᵢ aᵢ · bᵢ` by the operand
+    /// widths (and literal values) so the 128-bit accumulator can never wrap.
+    MacReduceMod {
+        /// The product terms `(aᵢ, bᵢ)`, accumulated in order.
+        pairs: Vec<(Operand, Operand)>,
+        /// Modulus (of `mbits` bits, at most 60).
+        q: u64,
+        /// Barrett constant `⌊2^(2·mbits+3)/q⌋` (for the high-word fold).
+        mu: u64,
+        /// Bit-width of the modulus.
+        mbits: u32,
+        /// Limb-radix residue `2^64 mod q` (for the high-word fold).
+        radix: u64,
+        /// Word reciprocal `⌊2^64/q⌋` (for the division-free word reduction).
+        recip: u64,
+    },
 }
 
 impl Op {
@@ -232,6 +260,7 @@ impl Op {
             Op::AddMod { a, b, q } | Op::SubMod { a, b, q } => vec![*a, *b, *q],
             Op::MulModBarrett { a, b, q, mu, .. } => vec![*a, *b, *q, *mu],
             Op::MulAddMod { a, b, c, q, mu, .. } => vec![*a, *b, *c, *q, *mu],
+            Op::MacReduceMod { pairs, .. } => pairs.iter().flat_map(|(a, b)| [*a, *b]).collect(),
         }
     }
 
@@ -253,6 +282,7 @@ impl Op {
             Op::SubMod { .. } => "submod",
             Op::MulModBarrett { .. } => "mulmod",
             Op::MulAddMod { .. } => "macmod",
+            Op::MacReduceMod { .. } => "macreduce",
         }
     }
 
@@ -374,6 +404,8 @@ impl fmt::Display for Kernel {
             }
             if let Op::ShrMulti { shift, .. } = &stmt.op {
                 write!(f, ") >> {shift}")?;
+            } else if let Op::MacReduceMod { q, .. } = &stmt.op {
+                write!(f, ") mod {q}")?;
             } else {
                 write!(f, ")")?;
             }

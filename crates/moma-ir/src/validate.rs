@@ -303,6 +303,84 @@ fn check_stmt(
                 }
             }
         }
+        Op::MacReduceMod {
+            pairs,
+            q,
+            mu,
+            mbits,
+            radix,
+            recip,
+        } => {
+            expect_dsts(1)?;
+            if pairs.is_empty() {
+                return Err(err(idx, "accumulation needs at least one product term"));
+            }
+            // The reduction constants are re-derived from the modulus, exactly as
+            // `SingleBarrett::new` computes them, so a fused kernel can never
+            // carry constants that disagree with `q` — the division-free compiled
+            // reduction is only exact under these identities.
+            if *q < 2 {
+                return Err(err(idx, "accumulation modulus must be at least 2"));
+            }
+            let true_mbits = 64 - q.leading_zeros();
+            if *mbits != true_mbits || true_mbits > 60 {
+                return Err(err(
+                    idx,
+                    format!("modulus bit-width must be {true_mbits} (≤ 60), got {mbits}"),
+                ));
+            }
+            let want_mu = ((1u128 << (2 * true_mbits + 3)) / *q as u128) as u64;
+            let want_radix = ((1u128 << 64) % *q as u128) as u64;
+            let want_recip = ((1u128 << 64) / *q as u128) as u64;
+            if *mu != want_mu || *radix != want_radix || *recip != want_recip {
+                return Err(err(
+                    idx,
+                    format!("reduction constants inconsistent with modulus {q}"),
+                ));
+            }
+            // Static overflow bound: the 128-bit accumulator must hold the worst
+            // case of Σᵢ aᵢ·bᵢ, bounding each operand by its literal value or by
+            // its declared width. Fusion bails out when this cannot be shown, so
+            // a validated accumulation is always exact.
+            let bound = |o: Operand| -> Result<u128, ValidateError> {
+                match o {
+                    Operand::Const(v) => Ok(v as u128),
+                    Operand::Var(v) => match kernel.ty(v) {
+                        Ty::UInt(w) => Ok(if w >= 128 {
+                            u128::MAX
+                        } else {
+                            (1u128 << w) - 1
+                        }),
+                        Ty::Flag => Err(err(idx, "accumulation terms must be words")),
+                    },
+                }
+            };
+            let mut worst: u128 = 0;
+            for (a, b) in pairs {
+                let term = bound(*a)?.checked_mul(bound(*b)?);
+                worst = match term.and_then(|t| worst.checked_add(t)) {
+                    Some(w) => w,
+                    None => {
+                        return Err(err(
+                            idx,
+                            "sum of products can overflow the 128-bit accumulator",
+                        ))
+                    }
+                };
+            }
+            match dst_ty(0) {
+                Ty::UInt(dw) if dw >= true_mbits => {}
+                Ty::UInt(dw) => {
+                    return Err(err(
+                        idx,
+                        format!(
+                            "destination width {dw} cannot hold a residue of {true_mbits} bits"
+                        ),
+                    ))
+                }
+                Ty::Flag => return Err(err(idx, "accumulation destination must be a word")),
+            }
+        }
     }
     Ok(())
 }

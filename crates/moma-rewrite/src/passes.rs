@@ -311,6 +311,21 @@ fn map_operands(op: &Op, f: &dyn Fn(Operand) -> Operand) -> Op {
             mu: f(*mu),
             mbits: *mbits,
         },
+        Op::MacReduceMod {
+            pairs,
+            q,
+            mu,
+            mbits,
+            radix,
+            recip,
+        } => Op::MacReduceMod {
+            pairs: pairs.iter().map(|(a, b)| (f(*a), f(*b))).collect(),
+            q: *q,
+            mu: *mu,
+            mbits: *mbits,
+            radix: *radix,
+            recip: *recip,
+        },
     }
 }
 
@@ -346,14 +361,18 @@ pub fn eliminate_dead_code(kernel: &Kernel) -> (Kernel, bool) {
     (out, changed)
 }
 
-/// Runs simplification and dead-code elimination to a fixed point (bounded).
+/// Runs simplification, fusion, and dead-code elimination to a fixed point
+/// (bounded at 16 rounds, far beyond what any generated kernel needs). A second
+/// call on the result is a no-op: each round's passes report whether they
+/// changed anything, and the loop exits on the first quiet round.
 pub fn optimize(kernel: &Kernel) -> Kernel {
     let mut current = kernel.clone();
     for _ in 0..16 {
         let (simplified, c1) = simplify(&current);
-        let (cleaned, c2) = eliminate_dead_code(&simplified);
+        let (fused, c3) = crate::fuse::fuse(&simplified);
+        let (cleaned, c2) = eliminate_dead_code(&fused);
         current = cleaned;
-        if !c1 && !c2 {
+        if !c1 && !c2 && !c3 {
             break;
         }
     }
@@ -537,6 +556,60 @@ mod tests {
                 src: Operand::Var(_)
             }
         ));
+    }
+
+    #[test]
+    fn optimize_is_idempotent_including_fusion() {
+        // One fixpoint run must leave nothing for a second run to do — on a plain
+        // word-level kernel and on a fusable constant-modulus MAC chain alike.
+        let (kernel, zt) = padded_mul_kernel();
+        let once = optimize(&prune_known_zeros(&kernel, &zt));
+        assert_eq!(optimize(&once), once);
+
+        let q = (1u64 << 40) - 87;
+        let mbits = 40u32;
+        let mu = ((1u128 << (2 * mbits as u64 + 3)) / q as u128) as u64;
+        let mut kb = KernelBuilder::new("mac_fix");
+        let x = kb.param("x", Ty::UInt(44));
+        let y = kb.param("y", Ty::UInt(44));
+        let acc = kb.local("acc", Ty::UInt(44));
+        let out = kb.output("out", Ty::UInt(44));
+        kb.push(
+            vec![acc],
+            Op::MulAddMod {
+                a: x.into(),
+                b: Operand::Const(3),
+                c: Operand::Const(0),
+                q: Operand::Const(q),
+                mu: Operand::Const(mu),
+                mbits,
+            },
+        );
+        kb.push(
+            vec![out],
+            Op::MulAddMod {
+                a: y.into(),
+                b: Operand::Const(5),
+                c: acc.into(),
+                q: Operand::Const(q),
+                mu: Operand::Const(mu),
+                mbits,
+            },
+        );
+        let chain = kb.build();
+        let once = optimize(&chain);
+        assert_eq!(
+            moma_ir::cost::static_counts(&once).get("reducewide"),
+            1,
+            "the chain must fuse into a single accumulation loop"
+        );
+        assert_eq!(optimize(&once), once);
+        // Semantics preserved through the fused fixpoint.
+        let inputs = [(1u64 << 44) - 1, 987654321];
+        assert_eq!(
+            interp::run(&once, &inputs).unwrap().outputs,
+            interp::run(&chain, &inputs).unwrap().outputs
+        );
     }
 
     #[test]

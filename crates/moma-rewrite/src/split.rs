@@ -394,6 +394,9 @@ impl Splitter {
             | Op::MulAddMod { .. } => {
                 unreachable!("high-level ops must be expanded before splitting")
             }
+            Op::MacReduceMod { .. } => {
+                unreachable!("accumulation loops are introduced by fusion, after lowering")
+            }
         }
     }
 
@@ -871,6 +874,21 @@ fn remap_op(op: &Op, s: &Splitter) -> Op {
             q: m(q),
             mu: m(mu),
             mbits: *mbits,
+        },
+        Op::MacReduceMod {
+            pairs,
+            q,
+            mu,
+            mbits,
+            radix,
+            recip,
+        } => Op::MacReduceMod {
+            pairs: pairs.iter().map(|(a, b)| (m(a), m(b))).collect(),
+            q: *q,
+            mu: *mu,
+            mbits: *mbits,
+            radix: *radix,
+            recip: *recip,
         },
     }
 }

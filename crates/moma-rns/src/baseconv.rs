@@ -24,11 +24,18 @@
 //! *target* residue row through [`moma_gpu::launch_chunks`], exactly like the
 //! element-wise operations, with the inner sum accumulated widening
 //! ([`moma_mp::single::smac`]) and reduced once per element
-//! ([`SingleBarrett::reduce_wide`]). A second path routes the same
-//! accumulation through a *generated* fused multiply-accumulate kernel
-//! ([`moma_ir::Op::MulAddMod`]) on [`moma_gpu::launch_compiled_batch`], so the
-//! conversion cost is measurable on the same executor as MoMA's positional
-//! kernels.
+//! ([`SingleBarrett::reduce_wide`]). Two generated-kernel paths run the same
+//! math on the compiled executor:
+//!
+//! * [`RnsPlan::base_convert_compiled`] — one batch launch per target row
+//!   through the per-row kernels of [`BaseConvPlan::mac_kernel_ir`], which the
+//!   `moma-rewrite` fusion pass collapses from a [`moma_ir::Op::MulAddMod`]
+//!   chain into a single [`moma_ir::Op::MacReduceMod`] accumulation loop (a
+//!   measurement harness: it keeps the per-row launch structure visible);
+//! * [`RnsPlan::base_convert_fused`] — the fast path: **one** launch runs the
+//!   all-rows kernel of [`BaseConvPlan::fused_kernel_ir`], computing an
+//!   element's pseudo-residues and every target residue in registers, with no
+//!   intermediate pseudo-residue plane written or re-read at all.
 //!
 //! FHE pipelines chain the two — rescale, then extend the quotient into a fresh
 //! basis (the BEHZ `FastBConvSK` shape). Run separately that walks the data
@@ -46,7 +53,7 @@
 
 use crate::plan::{mul_mod, RnsMatrix, RnsPlan};
 use crate::RnsContext;
-use moma_gpu::launch::{launch_chunks, launch_compiled_batch, LaunchStats};
+use moma_gpu::launch::{launch_chunks, launch_compiled_batch, launch_compiled_rows, LaunchStats};
 use moma_gpu::CostModel;
 use moma_ir::compiled::CompiledKernel;
 use moma_ir::cost::OpCounts;
@@ -90,6 +97,12 @@ pub struct BaseConvPlan {
     /// generate the IR with [`BaseConvPlan::mac_kernel_ir`], compile through
     /// their cache, and execute with [`RnsPlan::base_convert_compiled_with`].
     mac_kernels: OnceLock<Vec<Arc<CompiledKernel>>>,
+    /// The single all-rows conversion kernel (pseudo-residues and every target
+    /// row in one generated program), compiled lazily on the first
+    /// [`RnsPlan::base_convert_fused`] call. Session-owned caches compile
+    /// [`BaseConvPlan::fused_kernel_ir`] themselves and run
+    /// [`RnsPlan::base_convert_fused_with`].
+    fused_kernel: OnceLock<Arc<CompiledKernel>>,
 }
 
 impl BaseConvPlan {
@@ -125,6 +138,7 @@ impl BaseConvPlan {
             cross,
             dst: dst.clone(),
             mac_kernels: OnceLock::new(),
+            fused_kernel: OnceLock::new(),
         }
     }
 
@@ -155,18 +169,116 @@ impl BaseConvPlan {
         })
     }
 
-    /// Builds the IR of the generated fused multiply-accumulate kernel for
-    /// target modulus `s` (one [`Op::MulAddMod`] per source modulus, the
-    /// cross-basis constants baked in). This is the hook for external kernel
-    /// caches: compile it once under a `("baseconv_mac", 64, m'_s)` key and
-    /// execute with [`RnsPlan::base_convert_compiled_with`].
+    /// Builds the IR of the generated sum-of-products kernel for target modulus
+    /// `s`, **after** the `moma-rewrite` fusion pass: the naive
+    /// [`Op::MulAddMod`] chain ([`BaseConvPlan::mac_kernel_ir_unfused`])
+    /// collapses to a single [`Op::MacReduceMod`] accumulation loop — one
+    /// deferred division-free reduction instead of one full Barrett reduction
+    /// per source modulus. This is the hook for external kernel caches: compile
+    /// it once under a `("baseconv_mac", 64, m'_s)` key and execute with
+    /// [`RnsPlan::base_convert_compiled_with`].
     ///
     /// # Panics
     ///
     /// Panics if `s` is not a target-row index.
     pub fn mac_kernel_ir(&self, s: usize) -> Kernel {
+        moma_rewrite::passes::optimize(&self.mac_kernel_ir_unfused(s))
+    }
+
+    /// The pre-fusion form of [`BaseConvPlan::mac_kernel_ir`]: the naive chain
+    /// of one [`Op::MulAddMod`] per source modulus. Kept callable as the oracle
+    /// the fusion crosschecks run against (and as the shape the fusion pass is
+    /// exercised on in production).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is not a target-row index.
+    pub fn mac_kernel_ir_unfused(&self, s: usize) -> Kernel {
         let k = self.src_moduli.len();
         mac_kernel(&self.dst.ctxs[s], &self.cross[s * k..(s + 1) * k])
+    }
+
+    /// Builds the IR of the **all-rows** conversion kernel: one generated
+    /// program whose parameters are an element's raw source residues and whose
+    /// outputs are every target residue at once — the pseudo-residue
+    /// multiplications and all `l` cross-basis accumulations live in the same
+    /// kernel, so one launch (and one read of the element) replaces the
+    /// two-stage pseudo-plane round-trip.
+    ///
+    /// The kernel is generated naively — one [`Op::MulModBarrett`] per source
+    /// modulus, then one [`Op::MulAddMod`] chain per target modulus — and
+    /// handed to [`moma_rewrite::passes::optimize`], whose fusion stage
+    /// collapses every multiplication and chain into [`Op::MacReduceMod`]
+    /// accumulation loops; the compiled executor then runs the whole
+    /// conversion division-free.
+    pub fn fused_kernel_ir(&self) -> Kernel {
+        moma_rewrite::passes::optimize(&self.fused_kernel_ir_unfused())
+    }
+
+    /// The naive (pre-fusion) form of [`BaseConvPlan::fused_kernel_ir`] — the
+    /// literal two-stage op sequence written as one program. Kept public as the
+    /// interpreter oracle for fusion cross-checks.
+    pub fn fused_kernel_ir_unfused(&self) -> Kernel {
+        let k = self.src_moduli.len();
+        let mut kb = KernelBuilder::new("rns_baseconv_fused");
+        let params: Vec<_> = (0..k)
+            .map(|r| kb.param(format!("x{r}"), Ty::UInt(64)))
+            .collect();
+        let outs: Vec<_> = (0..self.dst.moduli_count())
+            .map(|s| kb.output(format!("y{s}"), Ty::UInt(64)))
+            .collect();
+        let mut pseudo = Vec::with_capacity(k);
+        for ((&x, &m), &inv) in params.iter().zip(&self.src_moduli).zip(&self.inv_punctured) {
+            let ctx = SingleBarrett::new(m);
+            let t = kb.fresh("ps", Ty::UInt(64));
+            kb.push(
+                vec![t],
+                Op::MulModBarrett {
+                    a: x.into(),
+                    b: Operand::Const(inv),
+                    q: Operand::Const(ctx.q),
+                    mu: Operand::Const(ctx.mu),
+                    mbits: ctx.mbits,
+                },
+            );
+            pseudo.push(t);
+        }
+        for (s, (&out, ctx)) in outs.iter().zip(&self.dst.ctxs).enumerate() {
+            let cross_row = &self.cross[s * k..(s + 1) * k];
+            let mut acc = Operand::Const(0);
+            let last = k - 1;
+            for (r, (&t, &c)) in pseudo.iter().zip(cross_row).enumerate() {
+                let dst = if r == last {
+                    out
+                } else {
+                    kb.fresh("acc", Ty::UInt(64))
+                };
+                kb.push(
+                    vec![dst],
+                    Op::MulAddMod {
+                        a: t.into(),
+                        b: Operand::Const(c),
+                        c: acc,
+                        q: Operand::Const(ctx.q),
+                        mu: Operand::Const(ctx.mu),
+                        mbits: ctx.mbits,
+                    },
+                );
+                acc = dst.into();
+            }
+        }
+        kb.build()
+    }
+
+    /// Generates (on first use) and returns the compiled all-rows conversion
+    /// kernel.
+    fn fused(&self) -> &Arc<CompiledKernel> {
+        self.fused_kernel.get_or_init(|| {
+            Arc::new(
+                CompiledKernel::compile(&self.fused_kernel_ir())
+                    .expect("generated fused conversion kernel compiles"),
+            )
+        })
     }
 }
 
@@ -329,23 +441,43 @@ impl RnsPlan {
         let k = self.moduli_count();
         let (pseudo, mut stats) = self.pseudo_residues(bc, a);
         let mut data = Vec::with_capacity(bc.dst.moduli_count() * cols);
-        let mut flat = vec![0u64; cols * k];
+        let mut raw_flat: Option<Vec<u64>> = None;
+        let mut reduced_flat = Vec::new();
         for (compiled, ctx) in kernels.iter().zip(&bc.dst.ctxs) {
             if cols == 0 {
                 break;
             }
-            // A pseudo-residue is reduced modulo its *source* modulus, which
-            // may exceed the target modulus in a mixed-width basis pair; the
-            // generated kernel's MulAddMod contract requires factors reduced
-            // modulo the target q, so fold them into the row-major input batch
-            // here — congruence is unchanged since
-            // (x mod q)·c + acc ≡ x·c + acc (mod q).
-            for (r, plane) in pseudo.chunks_exact(cols).enumerate() {
-                for (i, &x) in plane.iter().enumerate() {
-                    flat[i * k + r] = ctx.reduce_word(x);
+            let input: &[u64] = if compiled.counts_per_element().get("macreduce") > 0 {
+                // An accumulation-loop kernel reduces the whole sum modulo the
+                // target exactly once, so term-by-term congruence is all it
+                // needs: the raw pseudo-residues feed it unchanged, and the
+                // transposed batch is built once and shared by every fused
+                // target row instead of refilled (and re-reduced) per row.
+                raw_flat.get_or_insert_with(|| {
+                    let mut flat = vec![0u64; cols * k];
+                    for (r, plane) in pseudo.chunks_exact(cols).enumerate() {
+                        for (i, &x) in plane.iter().enumerate() {
+                            flat[i * k + r] = x;
+                        }
+                    }
+                    flat
+                })
+            } else {
+                // A pseudo-residue is reduced modulo its *source* modulus,
+                // which may exceed the target modulus in a mixed-width basis
+                // pair; an unfused kernel's MulAddMod contract requires factors
+                // reduced modulo the target q, so fold them into the row-major
+                // input batch here — congruence is unchanged since
+                // (x mod q)·c + acc ≡ x·c + acc (mod q).
+                reduced_flat.resize(cols * k, 0);
+                for (r, plane) in pseudo.chunks_exact(cols).enumerate() {
+                    for (i, &x) in plane.iter().enumerate() {
+                        reduced_flat[i * k + r] = ctx.reduce_word(x);
+                    }
                 }
-            }
-            let (outs, round) = launch_compiled_batch(compiled, &flat);
+                &reduced_flat
+            };
+            let (outs, round) = launch_compiled_batch(compiled, input);
             data.extend(outs);
             stats.accumulate(round);
         }
@@ -357,6 +489,66 @@ impl RnsPlan {
             },
             stats,
         )
+    }
+
+    /// Fast base extension through the single all-rows generated kernel — the
+    /// compiled executor's fast path.
+    ///
+    /// Where [`RnsPlan::base_convert`] runs two launch rounds (pseudo-residue
+    /// planes, then the cross-basis sums) and
+    /// [`RnsPlan::base_convert_compiled`] one batch launch per target row,
+    /// this runs **one** launch for the whole conversion: each element's raw
+    /// source residues go in, every target residue comes out, and the
+    /// pseudo-residues live in registers instead of an intermediate plane that
+    /// is written once and re-read once per target row. The kernel itself is
+    /// the fusion pass' output ([`BaseConvPlan::fused_kernel_ir`]), so every
+    /// multiplication and accumulation executes as a division-free
+    /// [`Op::MacReduceMod`] loop.
+    ///
+    /// Bit-for-bit equal to [`RnsPlan::base_convert`].
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`RnsPlan::base_convert`] does.
+    pub fn base_convert_fused(&self, bc: &BaseConvPlan, a: &RnsMatrix) -> (RnsMatrix, LaunchStats) {
+        self.base_convert_fused_with(bc, a, bc.fused())
+    }
+
+    /// [`RnsPlan::base_convert_fused`] with a caller-supplied compiled all-rows
+    /// kernel — the entry point for session-owned kernel caches, which compile
+    /// [`BaseConvPlan::fused_kernel_ir`] once per basis pair and reuse it
+    /// across plans and calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`RnsPlan::base_convert`] does, or if `compiled` does not
+    /// take one parameter per source modulus and produce one output per target
+    /// modulus.
+    pub fn base_convert_fused_with(
+        &self,
+        bc: &BaseConvPlan,
+        a: &RnsMatrix,
+        compiled: &CompiledKernel,
+    ) -> (RnsMatrix, LaunchStats) {
+        bc.check_source(self);
+        self.check_shape(a);
+        let cols = a.len();
+        let k = self.moduli_count();
+        let rows = bc.dst.moduli_count();
+        assert_eq!(
+            (compiled.param_count(), compiled.output_count()),
+            (k, rows),
+            "fused conversion kernel shape must match the basis pair"
+        );
+        let mut data = vec![0u64; rows * cols];
+        let stats = if cols == 0 {
+            LaunchStats::default()
+        } else {
+            launch_compiled_rows(compiled, &mut data, cols, |r, lo, lanes| {
+                lanes.copy_from_slice(&a.data[r * cols + lo..r * cols + lo + lanes.len()]);
+            })
+        };
+        (RnsMatrix { rows, cols, data }, stats)
     }
 
     /// Builds the rescale tables for dropping this basis' last modulus.
@@ -513,6 +705,67 @@ impl RnsPlan {
         stats.accumulate(round);
         (out, stats)
     }
+
+    /// The whole `mul→rescale→extend` chain — element-wise product, rounded
+    /// division by the dropped modulus, re-expression in the target basis — in
+    /// **one** launch through the generated fused chain kernel, instead of the
+    /// three launches (and two intermediate matrices) of [`RnsPlan::mul`]
+    /// followed by [`RnsPlan::rescale_then_extend`]. Bit-for-bit equal to that
+    /// unfused sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` was built for a different source basis or the matrices do
+    /// not match this plan.
+    pub fn mul_rescale_then_extend_fused(
+        &self,
+        p: &RescaleExtendPlan,
+        a: &RnsMatrix,
+        b: &RnsMatrix,
+    ) -> (RnsMatrix, LaunchStats) {
+        self.mul_rescale_then_extend_fused_with(p, a, b, p.mul_fused())
+    }
+
+    /// [`RnsPlan::mul_rescale_then_extend_fused`] with a caller-supplied
+    /// compiled chain kernel — the entry point for session-owned kernel caches,
+    /// which compile [`RescaleExtendPlan::mul_fused_kernel_ir`] once per basis
+    /// pair and reuse it across plans and calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`RnsPlan::mul_rescale_then_extend_fused`] does, or if
+    /// `compiled` does not take two parameters per source modulus and produce
+    /// one output per target modulus.
+    pub fn mul_rescale_then_extend_fused_with(
+        &self,
+        p: &RescaleExtendPlan,
+        a: &RnsMatrix,
+        b: &RnsMatrix,
+        compiled: &CompiledKernel,
+    ) -> (RnsMatrix, LaunchStats) {
+        p.rescale.check_source(self);
+        self.check_shape(a);
+        self.check_shape(b);
+        assert_eq!(a.cols, b.cols, "matrix width mismatch");
+        let k = self.moduli_count();
+        let rows = p.bc.dst.moduli_count();
+        let cols = a.cols;
+        assert_eq!(
+            (compiled.param_count(), compiled.output_count()),
+            (2 * k, rows),
+            "fused chain kernel shape must match the basis pair"
+        );
+        let mut data = vec![0u64; rows * cols];
+        let stats = if cols == 0 {
+            LaunchStats::default()
+        } else {
+            launch_compiled_rows(compiled, &mut data, cols, |p, lo, lanes| {
+                let row = &if p % 2 == 0 { &a.data } else { &b.data }[p / 2 * cols..];
+                lanes.copy_from_slice(&row[lo..lo + lanes.len()]);
+            })
+        };
+        (RnsMatrix { rows, cols, data }, stats)
+    }
 }
 
 /// Precomputed tables for one rescale step: dropping the last basis modulus
@@ -588,6 +841,12 @@ pub struct RescaleExtendPlan {
     bc: BaseConvPlan,
     /// `f_r = m_k^{-1}·(M⁻/m_r)^{-1} mod m_r` per surviving source modulus.
     fused: Vec<u64>,
+    /// The single all-rows `mul→rescale→extend` chain kernel
+    /// ([`RescaleExtendPlan::mul_fused_kernel_ir`]), compiled lazily on the
+    /// first [`RnsPlan::mul_rescale_then_extend_fused`] call. Session-owned
+    /// caches compile the IR themselves and run
+    /// [`RnsPlan::mul_rescale_then_extend_fused_with`].
+    mul_kernel: OnceLock<Arc<CompiledKernel>>,
 }
 
 impl RescaleExtendPlan {
@@ -609,7 +868,178 @@ impl RescaleExtendPlan {
             .zip(&bc.inv_punctured)
             .map(|((ctx, &inv_last), &ip)| ctx.mul_mod(inv_last, ip))
             .collect();
-        RescaleExtendPlan { rescale, bc, fused }
+        RescaleExtendPlan {
+            rescale,
+            bc,
+            fused,
+            mul_kernel: OnceLock::new(),
+        }
+    }
+
+    /// Builds the IR of the **all-rows** `mul→rescale→extend` chain kernel: one
+    /// generated program whose parameters are an element's residues in *both*
+    /// operand matrices (over the full source basis, dropped modulus included)
+    /// and whose outputs are every target residue of
+    /// `round((a·b)/m_k)` re-expressed in the target basis — the element-wise
+    /// product, the rounding decision, the fused pseudo-residues, and all
+    /// cross-basis sums live in the same kernel, so **one** launch replaces the
+    /// three of `mul` followed by [`RnsPlan::rescale_then_extend`].
+    ///
+    /// Generated naively — Barrett multiplications, a comparison/select pair
+    /// for the rounding increment, and one [`Op::MulAddMod`] chain per target
+    /// row — then handed to [`moma_rewrite::passes::optimize`], whose fusion
+    /// stage collapses every multiplication and chain into division-free
+    /// [`Op::MacReduceMod`] accumulation loops.
+    pub fn mul_fused_kernel_ir(&self) -> Kernel {
+        moma_rewrite::passes::optimize(&self.mul_fused_kernel_ir_unfused())
+    }
+
+    /// The naive (pre-fusion) form of [`RescaleExtendPlan::mul_fused_kernel_ir`]
+    /// — the literal unfused op sequence written as one program. Kept public as
+    /// the interpreter oracle for fusion cross-checks.
+    pub fn mul_fused_kernel_ir_unfused(&self) -> Kernel {
+        let src_ctxs: Vec<SingleBarrett> = self
+            .rescale
+            .src_moduli
+            .iter()
+            .map(|&m| SingleBarrett::new(m))
+            .collect();
+        let k = src_ctxs.len();
+        let km1 = k - 1;
+        let half = src_ctxs[km1].q / 2;
+        let mut kb = KernelBuilder::new("rns_mul_rescale_extend_fused");
+        let params: Vec<_> = (0..k)
+            .map(|r| {
+                (
+                    kb.param(format!("x{r}"), Ty::UInt(64)),
+                    kb.param(format!("w{r}"), Ty::UInt(64)),
+                )
+            })
+            .collect();
+        let outs: Vec<_> = (0..self.bc.dst.moduli_count())
+            .map(|s| kb.output(format!("y{s}"), Ty::UInt(64)))
+            .collect();
+        // The products of the element-wise multiply, in registers.
+        let v: Vec<_> = params
+            .iter()
+            .zip(&src_ctxs)
+            .map(|(&(x, w), ctx)| {
+                let t = kb.fresh("v", Ty::UInt(64));
+                kb.push(
+                    vec![t],
+                    Op::MulModBarrett {
+                        a: x.into(),
+                        b: w.into(),
+                        q: Operand::Const(ctx.q),
+                        mu: Operand::Const(ctx.mu),
+                        mbits: ctx.mbits,
+                    },
+                );
+                t
+            })
+            .collect();
+        let c = v[km1];
+        // The rounding decision δ = (c > m_k/2), made once per element.
+        let delta = kb.fresh("delta", Ty::Flag);
+        kb.push(
+            vec![delta],
+            Op::Lt {
+                a: Operand::Const(half),
+                b: c.into(),
+            },
+        );
+        let mut pseudo = Vec::with_capacity(km1);
+        for (r, ctx) in self.rescale.out.ctxs.iter().enumerate() {
+            // Fold the dropped product residue into this row's ring (it lives
+            // in [0, m_k), possibly above m_r); a multiply by 1 is an exact
+            // modular fold on both executors.
+            let cr = kb.fresh("cr", Ty::UInt(64));
+            kb.push(
+                vec![cr],
+                Op::MulModBarrett {
+                    a: c.into(),
+                    b: Operand::Const(1),
+                    q: Operand::Const(ctx.q),
+                    mu: Operand::Const(ctx.mu),
+                    mbits: ctx.mbits,
+                },
+            );
+            let diff = kb.fresh("diff", Ty::UInt(64));
+            kb.push(
+                vec![diff],
+                Op::SubMod {
+                    a: v[r].into(),
+                    b: cr.into(),
+                    q: Operand::Const(ctx.q),
+                },
+            );
+            // ỹ_r = (v_r − c)·f_r + δ·(M⁻/m_r)^{-1}: the mul→add pair below is
+            // exactly the shape fusion rule 1 collapses.
+            let t = kb.fresh("t", Ty::UInt(64));
+            kb.push(
+                vec![t],
+                Op::MulModBarrett {
+                    a: diff.into(),
+                    b: Operand::Const(self.fused[r]),
+                    q: Operand::Const(ctx.q),
+                    mu: Operand::Const(ctx.mu),
+                    mbits: ctx.mbits,
+                },
+            );
+            let inc = kb.fresh("inc", Ty::UInt(64));
+            kb.push(
+                vec![inc],
+                Op::Select {
+                    cond: delta.into(),
+                    if_true: Operand::Const(self.bc.inv_punctured[r]),
+                    if_false: Operand::Const(0),
+                },
+            );
+            let p = kb.fresh("ps", Ty::UInt(64));
+            kb.push(
+                vec![p],
+                Op::AddMod {
+                    a: t.into(),
+                    b: inc.into(),
+                    q: Operand::Const(ctx.q),
+                },
+            );
+            pseudo.push(p);
+        }
+        for (s, (&out, ctx)) in outs.iter().zip(&self.bc.dst.ctxs).enumerate() {
+            let cross_row = &self.bc.cross[s * km1..(s + 1) * km1];
+            let mut acc = Operand::Const(0);
+            for (r, (&p, &cv)) in pseudo.iter().zip(cross_row).enumerate() {
+                let dst = if r + 1 == km1 {
+                    out
+                } else {
+                    kb.fresh("acc", Ty::UInt(64))
+                };
+                kb.push(
+                    vec![dst],
+                    Op::MulAddMod {
+                        a: p.into(),
+                        b: Operand::Const(cv),
+                        c: acc,
+                        q: Operand::Const(ctx.q),
+                        mu: Operand::Const(ctx.mu),
+                        mbits: ctx.mbits,
+                    },
+                );
+                acc = dst.into();
+            }
+        }
+        kb.build()
+    }
+
+    /// Generates (on first use) and returns the compiled all-rows chain kernel.
+    fn mul_fused(&self) -> &Arc<CompiledKernel> {
+        self.mul_kernel.get_or_init(|| {
+            Arc::new(
+                CompiledKernel::compile(&self.mul_fused_kernel_ir())
+                    .expect("generated fused chain kernel compiles"),
+            )
+        })
     }
 
     /// The unfused rescale half (whose output plan is the shortened basis).
@@ -784,6 +1214,106 @@ mod tests {
     }
 
     #[test]
+    fn mac_kernel_ir_is_fused_to_one_accumulation_loop() {
+        let src = RnsPlan::new(&RnsContext::with_moduli_count(4));
+        let dst = RnsPlan::new(&RnsContext::with_moduli(&primes(0x1f, 3, 31)));
+        let bc = BaseConvPlan::new(&src, &dst);
+        for s in 0..dst.moduli_count() {
+            let fused = bc.mac_kernel_ir(s);
+            moma_ir::validate::validate(&fused).expect("fused kernel validates");
+            let counts = CompiledKernel::compile(&fused)
+                .unwrap()
+                .counts_per_element()
+                .clone();
+            assert_eq!(
+                counts.get("macreduce"),
+                src.moduli_count() as u64,
+                "row {s}: one accumulation term per source modulus"
+            );
+            assert_eq!(
+                counts.get("reducewide"),
+                1,
+                "row {s}: one deferred reduction"
+            );
+            assert_eq!(
+                counts.get("macmod"),
+                0,
+                "row {s}: no per-term Barrett reductions left"
+            );
+            // The unfused oracle is still the naive chain.
+            let chain = CompiledKernel::compile(&bc.mac_kernel_ir_unfused(s)).unwrap();
+            assert_eq!(
+                chain.counts_per_element().get("macmod"),
+                src.moduli_count() as u64
+            );
+        }
+    }
+
+    #[test]
+    fn fused_kernel_collapses_the_whole_conversion() {
+        let src = RnsPlan::new(&RnsContext::with_moduli_count(4));
+        let dst = RnsPlan::new(&RnsContext::with_moduli(&primes(0x2e, 5, 31)));
+        let bc = BaseConvPlan::new(&src, &dst);
+        let kernel = bc.fused_kernel_ir();
+        moma_ir::validate::validate(&kernel).expect("fused conversion kernel validates");
+        let (k, l) = (src.moduli_count() as u64, dst.moduli_count() as u64);
+        let counts = CompiledKernel::compile(&kernel)
+            .unwrap()
+            .counts_per_element()
+            .clone();
+        // k single-term loops (the pseudo-residue multiplications) plus one
+        // k-term loop per target row; nothing survives unfused.
+        assert_eq!(counts.get("macreduce"), k + l * k);
+        assert_eq!(counts.get("reducewide"), k + l);
+        assert_eq!(counts.get("mulmod"), 0);
+        assert_eq!(counts.get("macmod"), 0);
+    }
+
+    #[test]
+    fn fused_base_convert_matches_direct_in_one_launch() {
+        let src_ctx = RnsContext::with_moduli(&mixed_basis(0x51));
+        let dst_ctx = RnsContext::with_moduli(&mixed_basis(0x99));
+        let src = RnsPlan::new(&src_ctx);
+        let dst = RnsPlan::new(&dst_ctx);
+        let bc = BaseConvPlan::new(&src, &dst);
+        let mut rng = StdRng::seed_from_u64(0xf00d);
+        let values: Vec<BigUint> = (0..23)
+            .map(|_| moma_bignum::random::random_below(&mut rng, src.product()))
+            .collect();
+        let a = RnsMatrix::from_biguints(&src, &values);
+        let (direct, direct_stats) = src.base_convert(&bc, &a);
+        let (fused, fused_stats) = src.base_convert_fused(&bc, &a);
+        assert_eq!(fused, direct, "fusion must not change a single bit");
+        assert_eq!(direct_stats.launches, 2);
+        assert_eq!(
+            fused_stats.launches, 1,
+            "the whole conversion is one launch"
+        );
+        assert_eq!(fused_stats.threads, values.len(), "one thread per element");
+        // And per element against the BigUint oracle.
+        for (c, v) in values.iter().enumerate() {
+            let oracle = src_ctx.base_convert(&dst_ctx, &src_ctx.to_residues(v));
+            assert_eq!(fused.element(c), oracle, "column {c}");
+        }
+        // Empty batches short-circuit.
+        let empty = RnsMatrix::from_biguints(&src, &[]);
+        let (out, stats) = src.base_convert_fused(&bc, &empty);
+        assert!(out.is_empty());
+        assert_eq!(stats.launches, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel shape")]
+    fn fused_base_convert_rejects_a_mismatched_kernel() {
+        let src = RnsPlan::new(&RnsContext::with_moduli_count(3));
+        let dst = RnsPlan::new(&RnsContext::with_moduli(&primes(0x7a, 3, 31)));
+        let bc = BaseConvPlan::new(&src, &dst);
+        let wrong = CompiledKernel::compile(&bc.mac_kernel_ir(0)).unwrap();
+        let a = RnsMatrix::from_biguints(&src, &[BigUint::one()]);
+        src.base_convert_fused_with(&bc, &a, &wrong);
+    }
+
+    #[test]
     fn scale_and_round_matches_oracle_and_stays_within_one() {
         let ctx = RnsContext::with_moduli_count(5);
         let plan = RnsPlan::new(&ctx);
@@ -907,6 +1437,60 @@ mod tests {
             let oracle = out_ctx.base_convert(&dst_ctx, &ctx.scale_and_round(&ctx.to_residues(v)));
             assert_eq!(fused.element(c), oracle, "column {c}");
         }
+    }
+
+    #[test]
+    fn fused_mul_rescale_extend_collapses_the_whole_chain() {
+        let ctx = RnsContext::with_moduli(&mixed_basis(0x47));
+        let plan = RnsPlan::new(&ctx);
+        let dst = RnsPlan::new(&RnsContext::with_moduli(&mixed_basis(0x58)));
+        let p = plan.rescale_extend_plan(&dst);
+        let kernel = p.mul_fused_kernel_ir();
+        moma_ir::validate::validate(&kernel).expect("fused chain kernel validates");
+        let counts = CompiledKernel::compile(&kernel)
+            .unwrap()
+            .counts_per_element()
+            .clone();
+        let (k, l) = (plan.moduli_count() as u64, dst.moduli_count() as u64);
+        let km1 = k - 1;
+        // k single-pair loops (the products), a single-pair fold plus a
+        // two-pair pseudo-residue loop per surviving row, one (k−1)-pair loop
+        // per target row; no Barrett multiplication survives unfused.
+        assert_eq!(counts.get("macreduce"), k + 3 * km1 + l * km1);
+        assert_eq!(counts.get("reducewide"), k + 2 * km1 + l);
+        assert_eq!(counts.get("submod"), km1);
+        assert_eq!(counts.get("mulmod"), 0);
+        assert_eq!(counts.get("macmod"), 0);
+    }
+
+    #[test]
+    fn fused_mul_rescale_extend_matches_the_unfused_chain_in_one_launch() {
+        let ctx = RnsContext::with_moduli(&mixed_basis(0x47));
+        let plan = RnsPlan::new(&ctx);
+        let dst = RnsPlan::new(&RnsContext::with_moduli(&mixed_basis(0x58)));
+        let p = plan.rescale_extend_plan(&dst);
+        let mut rng = StdRng::seed_from_u64(0x90ab);
+        let mut draw = |n: usize| -> Vec<BigUint> {
+            (0..n)
+                .map(|_| moma_bignum::random::random_below(&mut rng, plan.product()))
+                .collect()
+        };
+        let (va, vb) = (draw(17), draw(17));
+        let a = RnsMatrix::from_biguints(&plan, &va);
+        let b = RnsMatrix::from_biguints(&plan, &vb);
+        let prod = plan.mul(&a, &b);
+        let (unfused, chain_stats) = plan.rescale_then_extend(&p, &prod);
+        let (fused, stats) = plan.mul_rescale_then_extend_fused(&p, &a, &b);
+        assert_eq!(fused, unfused, "fusion must not change a single bit");
+        // mul (1 launch) + rescale_then_extend (2) vs the whole chain in one.
+        assert_eq!(chain_stats.launches, 2);
+        assert_eq!(stats.launches, 1, "the whole chain is one launch");
+        assert_eq!(stats.threads, va.len(), "one thread per element");
+        // Empty batches short-circuit.
+        let empty = RnsMatrix::from_biguints(&plan, &[]);
+        let (out, stats) = plan.mul_rescale_then_extend_fused(&p, &empty, &empty);
+        assert!(out.is_empty());
+        assert_eq!(stats.launches, 0);
     }
 
     #[test]

@@ -35,11 +35,11 @@
 use crate::{RnsContext, RnsInt};
 use moma_bignum::BigUint;
 use moma_blas::BlasOp;
-use moma_gpu::launch::{launch_chunks, launch_compiled, LaunchStats};
+use moma_gpu::launch::{launch_chunks, launch_compiled, launch_compiled_rows, LaunchStats};
 use moma_ir::compiled::CompiledKernel;
 use moma_ir::{Kernel, KernelBuilder, Op, Operand, Ty};
 use moma_mp::single::SingleBarrett;
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 /// Precomputed per-basis execution data for the planned residue engine.
 ///
@@ -86,6 +86,11 @@ pub struct RnsPlan {
     /// lazily on the first [`RnsPlan::mul_compiled`] call (the plain arithmetic
     /// paths never pay for them) and cached for every call after.
     mul_kernels: OnceLock<Vec<CompiledKernel>>,
+    /// The single all-rows fused `mul→axpy` chain kernel
+    /// ([`RnsPlan::mul_axpy_kernel_ir`]), compiled lazily on the first
+    /// [`RnsPlan::mul_axpy_fused`] call. Session-owned caches compile the IR
+    /// themselves and run [`RnsPlan::mul_axpy_fused_with`].
+    axpy_kernel: OnceLock<Arc<CompiledKernel>>,
 }
 
 impl RnsPlan {
@@ -122,6 +127,7 @@ impl RnsPlan {
             product: ctx.product.clone(),
             crt: ctx.crt.clone(),
             mul_kernels: OnceLock::new(),
+            axpy_kernel: OnceLock::new(),
         }
     }
 
@@ -320,6 +326,144 @@ impl RnsPlan {
             },
             total,
         )
+    }
+
+    /// Builds the IR of the **all-rows** fused `s·(a∘b) + y` chain kernel: one
+    /// generated program computing, per element, every residue row of the
+    /// multiply-then-axpy chain — four parameters (`x_r`, `w_r`, `s_r`, `z_r`)
+    /// and one output per basis modulus.
+    ///
+    /// The kernel is generated naively (a Barrett multiplication and a
+    /// multiply-accumulate per row) and handed to
+    /// [`moma_rewrite::passes::optimize`], whose fusion stage collapses each
+    /// row into two division-free [`Op::MacReduceMod`] accumulation loops (the
+    /// product, then `t·s + z` with the addend folded as an extra pair). The
+    /// scalar rides as a *parameter*, not a baked constant, so one compiled
+    /// kernel serves every scalar over this basis — which is what makes the
+    /// kernel worth caching under a basis-shaped key.
+    pub fn mul_axpy_kernel_ir(&self) -> Kernel {
+        moma_rewrite::passes::optimize(&self.mul_axpy_kernel_ir_unfused())
+    }
+
+    /// The naive (pre-fusion) form of [`RnsPlan::mul_axpy_kernel_ir`]: one
+    /// Barrett multiplication and one multiply-accumulate per row, exactly the
+    /// unfused `mul` → `axpy` sequence written as a single program. Kept public
+    /// as the interpreter oracle for fusion cross-checks.
+    pub fn mul_axpy_kernel_ir_unfused(&self) -> Kernel {
+        let mut kb = KernelBuilder::new("rns_mul_axpy_fused");
+        let rows: Vec<_> = (0..self.moduli_count())
+            .map(|r| {
+                (
+                    kb.param(format!("x{r}"), Ty::UInt(64)),
+                    kb.param(format!("w{r}"), Ty::UInt(64)),
+                    kb.param(format!("s{r}"), Ty::UInt(64)),
+                    kb.param(format!("z{r}"), Ty::UInt(64)),
+                    kb.output(format!("y{r}"), Ty::UInt(64)),
+                )
+            })
+            .collect();
+        for (ctx, (x, w, s, z, out)) in self.ctxs.iter().zip(rows) {
+            let t = kb.fresh("t", Ty::UInt(64));
+            kb.push(
+                vec![t],
+                Op::MulModBarrett {
+                    a: x.into(),
+                    b: w.into(),
+                    q: Operand::Const(ctx.q),
+                    mu: Operand::Const(ctx.mu),
+                    mbits: ctx.mbits,
+                },
+            );
+            kb.push(
+                vec![out],
+                Op::MulAddMod {
+                    a: t.into(),
+                    b: s.into(),
+                    c: z.into(),
+                    q: Operand::Const(ctx.q),
+                    mu: Operand::Const(ctx.mu),
+                    mbits: ctx.mbits,
+                },
+            );
+        }
+        kb.build()
+    }
+
+    /// `s·(a∘b) + z` — the element-wise multiply immediately scaled and
+    /// accumulated — in **one** launch through the generated fused chain
+    /// kernel, instead of the two launches (and one full intermediate matrix)
+    /// of [`RnsPlan::mul`] followed by [`RnsPlan::axpy`]. Bit-for-bit equal to
+    /// that unfused sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix shapes or the scalar basis do not match the plan.
+    pub fn mul_axpy_fused(
+        &self,
+        a: &RnsMatrix,
+        b: &RnsMatrix,
+        s: &RnsInt,
+        z: &RnsMatrix,
+    ) -> (RnsMatrix, LaunchStats) {
+        let compiled = self.axpy_kernel.get_or_init(|| {
+            Arc::new(
+                CompiledKernel::compile(&self.mul_axpy_kernel_ir())
+                    .expect("generated fused chain kernel compiles"),
+            )
+        });
+        self.mul_axpy_fused_with(a, b, s, z, compiled)
+    }
+
+    /// [`RnsPlan::mul_axpy_fused`] with a caller-supplied compiled chain kernel
+    /// — the entry point for session-owned kernel caches, which compile
+    /// [`RnsPlan::mul_axpy_kernel_ir`] once per basis and reuse it across every
+    /// scalar and call.
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`RnsPlan::mul_axpy_fused`] does, or if `compiled` does not
+    /// take four parameters and produce one output per basis modulus.
+    pub fn mul_axpy_fused_with(
+        &self,
+        a: &RnsMatrix,
+        b: &RnsMatrix,
+        s: &RnsInt,
+        z: &RnsMatrix,
+        compiled: &CompiledKernel,
+    ) -> (RnsMatrix, LaunchStats) {
+        self.check_shape(a);
+        self.check_shape(b);
+        self.check_shape(z);
+        assert_eq!(a.cols, b.cols, "matrix width mismatch");
+        assert_eq!(a.cols, z.cols, "matrix width mismatch");
+        assert_eq!(
+            s.residues.len(),
+            self.moduli_count(),
+            "scalar basis mismatch"
+        );
+        let rows = self.moduli_count();
+        let cols = a.cols;
+        assert_eq!(
+            (compiled.param_count(), compiled.output_count()),
+            (4 * rows, rows),
+            "fused chain kernel shape must match the basis"
+        );
+        let mut data = vec![0u64; rows * cols];
+        let stats = if cols == 0 {
+            LaunchStats::default()
+        } else {
+            launch_compiled_rows(compiled, &mut data, cols, |p, lo, lanes| {
+                let r = p / 4;
+                let plane = match p % 4 {
+                    0 => &a.data,
+                    1 => &b.data,
+                    2 => return lanes.fill(s.residues[r]),
+                    _ => &z.data,
+                };
+                lanes.copy_from_slice(&plane[r * cols + lo..r * cols + lo + lanes.len()]);
+            })
+        };
+        (RnsMatrix { rows, cols, data }, stats)
     }
 
     /// Reduces every element modulo a user modulus `q` that is not the basis
@@ -566,6 +710,80 @@ mod tests {
         let (compiled, stats) = plan.mul_compiled(&ma, &mb);
         assert_eq!(compiled, fast);
         assert_eq!(stats.threads, plan.moduli_count() * a.len());
+    }
+
+    #[test]
+    fn mul_axpy_kernel_collapses_to_accumulation_loops() {
+        let plan = RnsPlan::with_capacity_bits(160);
+        let kernel = plan.mul_axpy_kernel_ir();
+        moma_ir::validate::validate(&kernel).expect("fused chain kernel validates");
+        let k = plan.moduli_count() as u64;
+        let counts = CompiledKernel::compile(&kernel)
+            .unwrap()
+            .counts_per_element()
+            .clone();
+        // Per row: a single-pair loop for the product and a two-pair loop for
+        // `t·s + z` (the addend folded as the extra pair); nothing survives
+        // unfused.
+        assert_eq!(counts.get("macreduce"), 3 * k);
+        assert_eq!(counts.get("reducewide"), 2 * k);
+        assert_eq!(counts.get("mulmod"), 0);
+        assert_eq!(counts.get("macmod"), 0);
+    }
+
+    #[test]
+    fn fused_mul_axpy_matches_the_unfused_chain_in_one_launch() {
+        // A mixed narrow/wide basis so both multiplication dispatches of the
+        // unfused path are crosschecked against the generated kernel.
+        let narrow = RnsContext::with_random_primes(2, 31, 0xa1)
+            .moduli()
+            .to_vec();
+        let wide = RnsContext::with_random_primes(2, 52, 0xa2)
+            .moduli()
+            .to_vec();
+        let ctx = RnsContext::with_moduli(&[narrow[0], wide[0], narrow[1], wide[1]]);
+        let plan = RnsPlan::new(&ctx);
+        let mut rng = StdRng::seed_from_u64(0xaf99);
+        let mut draw = |n: usize| -> Vec<BigUint> {
+            (0..n)
+                .map(|_| moma_bignum::random::random_below(&mut rng, &plan.product))
+                .collect()
+        };
+        let (va, vb, vz) = (draw(19), draw(19), draw(19));
+        let s_val = draw(1).remove(0);
+        let a = RnsMatrix::from_biguints(&plan, &va);
+        let b = RnsMatrix::from_biguints(&plan, &vb);
+        let z = RnsMatrix::from_biguints(&plan, &vz);
+        let s = plan.to_residues(&s_val);
+        let (prod, mul_stats) = plan.apply(BlasOp::VecMul, None, &a, &b);
+        let (unfused, axpy_stats) = plan.apply(BlasOp::Axpy, Some(&s), &prod, &z);
+        let (fused, stats) = plan.mul_axpy_fused(&a, &b, &s, &z);
+        assert_eq!(fused, unfused, "fusion must not change a single bit");
+        assert_eq!(mul_stats.launches + axpy_stats.launches, 2);
+        assert_eq!(stats.launches, 1, "the whole chain is one launch");
+        assert_eq!(stats.threads, va.len(), "one thread per element");
+        // And positionally: s·(a·b mod M) + z (mod M).
+        for (c, back) in plan.to_biguints(&fused).iter().enumerate() {
+            let expect =
+                &(&(&s_val * &(&(&va[c] * &vb[c]) % &plan.product)) + &vz[c]) % &plan.product;
+            assert_eq!(back, &expect, "column {c}");
+        }
+        // Empty batches short-circuit.
+        let empty = RnsMatrix::from_biguints(&plan, &[]);
+        let (out, stats) = plan.mul_axpy_fused(&empty, &empty, &s, &empty);
+        assert!(out.is_empty());
+        assert_eq!(stats.launches, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel shape")]
+    fn fused_mul_axpy_rejects_a_mismatched_kernel() {
+        let plan = RnsPlan::with_capacity_bits(96);
+        let other = RnsPlan::with_capacity_bits(256);
+        let m = RnsMatrix::from_biguints(&plan, &[BigUint::one()]);
+        let s = plan.to_residues(&BigUint::one());
+        let wrong = CompiledKernel::compile(&other.mul_axpy_kernel_ir()).unwrap();
+        plan.mul_axpy_fused_with(&m, &m, &s, &m, &wrong);
     }
 
     #[test]

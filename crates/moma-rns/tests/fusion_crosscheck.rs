@@ -1,0 +1,164 @@
+//! Fusion cross-checks: every kernel that passes through the rewrite fusion
+//! stage must stay **bit-for-bit** identical to its unfused form, with the
+//! interpreter running the *unfused* program as the semantic oracle. Both the
+//! fused interpretation and the fused compiled-bytecode execution are held to
+//! the oracle, over fully random width-masked inputs.
+//!
+//! Coverage: every kernel shape the rewrite system generates (both widths,
+//! both multiplication splitting rules), plus the RNS chain kernels — the
+//! per-row base-convert MAC, the all-rows conversion, the `mul→axpy` chain,
+//! and the `mul→rescale→extend` chain — on random mixed narrow/wide bases.
+
+use moma_ir::{interp, validate, CompiledKernel, Kernel};
+use moma_rewrite::passes::optimize;
+use moma_rewrite::{lower, KernelSpec, LoweringConfig, MulAlgorithm};
+use moma_rns::{BaseConvPlan, RnsContext, RnsPlan};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Random inputs masked to each parameter's declared width.
+fn random_inputs(kernel: &Kernel, rng: &mut StdRng) -> Vec<u64> {
+    kernel
+        .params
+        .iter()
+        .map(|p| {
+            let bits = kernel.ty(*p).bits();
+            let v: u64 = rng.gen();
+            if bits >= 64 {
+                v
+            } else {
+                v & ((1u64 << bits) - 1)
+            }
+        })
+        .collect()
+}
+
+/// Optimizes `unfused` and demands that both the interpreter and the compiled
+/// executor running the fused program reproduce the unfused interpreter oracle
+/// exactly, on `rounds` random inputs.
+fn fused_matches_unfused(unfused: &Kernel, rounds: usize, rng: &mut StdRng) {
+    validate::validate(unfused).expect("unfused kernel must type-check");
+    let fused = optimize(unfused);
+    validate::validate(&fused).expect("fused kernel must type-check");
+    assert_eq!(
+        fused.params.len(),
+        unfused.params.len(),
+        "{}: fusion must not change the parameter list",
+        unfused.name
+    );
+    let compiled = CompiledKernel::compile(&fused)
+        .unwrap_or_else(|e| panic!("{}: fused compile failed: {e}", unfused.name));
+    for _ in 0..rounds {
+        let inputs = random_inputs(unfused, rng);
+        let oracle = interp::run(unfused, &inputs)
+            .unwrap_or_else(|e| panic!("{}: unfused interp failed: {e}", unfused.name));
+        let via_interp = interp::run(&fused, &inputs)
+            .unwrap_or_else(|e| panic!("{}: fused interp failed: {e}", unfused.name));
+        assert_eq!(
+            via_interp.outputs, oracle.outputs,
+            "{}: fused interpretation diverges (inputs {inputs:x?})",
+            unfused.name
+        );
+        let batch = compiled
+            .run_batch(&inputs)
+            .unwrap_or_else(|e| panic!("{}: fused batch run failed: {e}", unfused.name));
+        assert_eq!(
+            batch.element(0),
+            &oracle.outputs[..],
+            "{}: fused compiled execution diverges (inputs {inputs:x?})",
+            unfused.name
+        );
+    }
+}
+
+/// Builds a deterministic basis of `count` distinct primes whose widths cycle
+/// through `widths` (31-bit narrow rows interleaved with 40/52-bit wide ones).
+fn mixed_basis(seed: u64, count: usize, widths: &[u32]) -> Vec<u64> {
+    let mut moduli = Vec::with_capacity(count);
+    for (i, &bits) in widths.iter().cycle().take(count).enumerate() {
+        let m = RnsContext::with_random_primes(1, bits, seed ^ ((i as u64 + 1) << 17)).moduli()[0];
+        if !moduli.contains(&m) {
+            moduli.push(m);
+        }
+    }
+    let mut extra = 0u64;
+    while moduli.len() < count {
+        let m = RnsContext::with_random_primes(1, 31, seed ^ 0xdead ^ extra).moduli()[0];
+        if !moduli.contains(&m) {
+            moduli.push(m);
+        }
+        extra += 1;
+    }
+    moduli
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Every kernel shape the rewrite system generates survives the optimizer
+    /// (fusion included) bit for bit.
+    #[test]
+    fn rewrite_kernels_survive_fusion(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ops = [
+            moma_rewrite::KernelOp::ModAdd,
+            moma_rewrite::KernelOp::ModSub,
+            moma_rewrite::KernelOp::ModMul,
+            moma_rewrite::KernelOp::Axpy,
+            moma_rewrite::KernelOp::Butterfly,
+        ];
+        for op in ops {
+            for bits in [128u32, 256] {
+                for alg in [MulAlgorithm::Schoolbook, MulAlgorithm::Karatsuba] {
+                    let hl = moma_rewrite::builders::build(&KernelSpec::new(op, bits));
+                    let config = LoweringConfig { mul_algorithm: alg, ..LoweringConfig::default() };
+                    let lowered = lower(&hl, &config);
+                    fused_matches_unfused(&lowered.kernel, 3, &mut rng);
+                }
+            }
+        }
+    }
+
+    /// The base-convert kernels — each per-row MAC and the all-rows conversion
+    /// — survive fusion bit for bit on random mixed narrow/wide basis pairs.
+    #[test]
+    fn baseconv_kernels_survive_fusion(
+        seed in any::<u64>(),
+        src_count in 3usize..6,
+        dst_count in 2usize..5,
+    ) {
+        let src = RnsPlan::new(&RnsContext::with_moduli(&mixed_basis(seed, src_count, &[31, 52, 40])));
+        let dst = RnsPlan::new(&RnsContext::with_moduli(&mixed_basis(seed ^ 0xbc, dst_count, &[40, 31, 52])));
+        let bc = BaseConvPlan::new(&src, &dst);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x0bc0);
+        for s in 0..dst_count {
+            fused_matches_unfused(&bc.mac_kernel_ir_unfused(s), 4, &mut rng);
+        }
+        fused_matches_unfused(&bc.fused_kernel_ir_unfused(), 4, &mut rng);
+    }
+
+    /// The `mul→axpy` chain kernel survives fusion bit for bit on random mixed
+    /// narrow/wide bases.
+    #[test]
+    fn mul_axpy_chain_kernel_survives_fusion(seed in any::<u64>(), count in 2usize..7) {
+        let plan = RnsPlan::new(&RnsContext::with_moduli(&mixed_basis(seed, count, &[31, 52, 40, 31])));
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xa491);
+        fused_matches_unfused(&plan.mul_axpy_kernel_ir_unfused(), 5, &mut rng);
+    }
+
+    /// The whole `mul→rescale→extend` chain kernel survives fusion bit for bit
+    /// on random mixed narrow/wide basis pairs.
+    #[test]
+    fn mul_rescale_extend_chain_kernel_survives_fusion(
+        seed in any::<u64>(),
+        src_count in 3usize..6,
+        dst_count in 2usize..5,
+    ) {
+        let src = RnsPlan::new(&RnsContext::with_moduli(&mixed_basis(seed, src_count, &[40, 31, 52])));
+        let dst = RnsPlan::new(&RnsContext::with_moduli(&mixed_basis(seed ^ 0x5ca1e, dst_count, &[52, 40, 31])));
+        let p = src.rescale_extend_plan(&dst);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x0e57);
+        fused_matches_unfused(&p.mul_fused_kernel_ir_unfused(), 4, &mut rng);
+    }
+}

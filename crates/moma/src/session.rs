@@ -142,6 +142,11 @@ pub struct SessionStats {
     pub rescale: CacheStats,
     /// Fused rescale-and-extend plans, keyed by basis pair.
     pub rescale_extend: CacheStats,
+    /// Compiled all-rows fused chain kernels — base conversion, `mul→axpy`,
+    /// `mul→rescale→extend` — keyed by basis (pair). One entry per chain
+    /// *shape*: scalars and operands are kernel parameters, so a second
+    /// identical chain request is all hits.
+    pub fused: CacheStats,
 }
 
 /// Locks a mutex, recovering the guard if a previous holder panicked.
@@ -300,6 +305,9 @@ struct SessionState {
     cost: CostModel,
     generated: PlanCache<(KernelOp, u32, MulAlgorithm), GeneratedKernel>,
     kernels: KernelCache,
+    /// Compiled all-rows fused chain kernels, separate from the per-modulus
+    /// `kernels` cache so chain-fusion reuse is observable on its own counters.
+    fused: KernelCache,
     ntt64: PlanCache<(u64, usize), NttPlan64>,
     ntt_mw: PlanCache<(u32, u32, usize), dyn Any + Send + Sync>,
     rns: PlanCache<Vec<u64>, RnsPlan>,
@@ -362,6 +370,7 @@ impl Session {
                 cost: CostModel::new(device),
                 generated: PlanCache::default(),
                 kernels: KernelCache::new(),
+                fused: KernelCache::new(),
                 ntt64: PlanCache::default(),
                 ntt_mw: PlanCache::default(),
                 rns: PlanCache::default(),
@@ -404,6 +413,11 @@ impl Session {
             baseconv: self.state.baseconv.stats(),
             rescale: self.state.rescale.stats(),
             rescale_extend: self.state.rescale_extend.stats(),
+            fused: CacheStats {
+                hits: self.state.fused.hits(),
+                misses: self.state.fused.misses(),
+                contended: 0,
+            },
         }
     }
 
@@ -637,13 +651,7 @@ impl Session {
         // The kernel constants depend on the source basis (cross-row tables),
         // not just the target modulus; the key carries the source moduli
         // verbatim — two bases must never share a key, a hash could collide.
-        let op = format!(
-            "baseconv_mac[{}]",
-            src.moduli()
-                .map(|m| format!("{m:x}"))
-                .collect::<Vec<_>>()
-                .join(",")
-        );
+        let op = format!("baseconv_mac[{}]", basis_key(src));
         bc.dst_plan()
             .moduli()
             .enumerate()
@@ -658,27 +666,137 @@ impl Session {
             .collect()
     }
 
-    /// Prices the direct (widening-accumulate) conversion path against the
-    /// generated-kernel path for `k` source and `l` target moduli, and returns
-    /// `true` when the generated path is cheaper on the session device. The
-    /// direct path accumulates raw widening multiply-adds and reduces once per
-    /// element; the generated path executes one fused modular
-    /// multiply-accumulate per term plus a per-term fold of the pseudo-residues
-    /// into the target ring.
-    fn compiled_convert_is_faster(&self, k: u64, l: u64, cols: usize) -> bool {
-        let mut direct = OpCounts::new();
-        direct.add_mnemonic("mulmod", k + l); // pseudo-residues + final reductions
-        direct.add_mnemonic("mulwide", l * k); // smac products
-        direct.add_mnemonic("add", l * k); // smac accumulations
-        let mut compiled = OpCounts::new();
-        compiled.add_mnemonic("mulmod", k + l * k); // pseudo-residues + folds
-        compiled.add_mnemonic("macmod", l * k);
-        let cols = cols.max(1) as u64;
-        let bytes = 8 * (k + l);
-        let direct_est = self.state.cost.estimate_launch(&direct, cols, bytes);
-        let compiled_est = self.state.cost.estimate_launch(&compiled, cols, bytes);
-        compiled_est.total < direct_est.total
+    /// The compiled all-rows fused conversion kernel of `bc`
+    /// ([`BaseConvPlan::fused_kernel_ir`]), served from the session's
+    /// fused-chain kernel cache under a basis-pair key.
+    fn baseconv_fused_kernel(&self, bc: &BaseConvPlan, src: &RnsPlan) -> Arc<CompiledKernel> {
+        let op = format!(
+            "baseconv_fused[{}->{}]",
+            basis_key(src),
+            basis_key(bc.dst_plan())
+        );
+        self.state
+            .fused
+            .get_or_compile(KernelCacheKey::new(op, 64, 0), || bc.fused_kernel_ir())
+            .expect("generated fused conversion kernel compiles")
     }
+
+    /// The compiled all-rows `mul→axpy` chain kernel of a basis
+    /// ([`RnsPlan::mul_axpy_kernel_ir`]). The scalar is a kernel *parameter*,
+    /// so one cache entry serves every scalar over the basis.
+    fn mul_axpy_kernel(&self, plan: &RnsPlan) -> Arc<CompiledKernel> {
+        let op = format!("mul_axpy_fused[{}]", basis_key(plan));
+        self.state
+            .fused
+            .get_or_compile(KernelCacheKey::new(op, 64, 0), || plan.mul_axpy_kernel_ir())
+            .expect("generated fused chain kernel compiles")
+    }
+
+    /// The compiled all-rows `mul→rescale→extend` chain kernel of a basis pair
+    /// ([`RescaleExtendPlan::mul_fused_kernel_ir`]).
+    fn mul_rescale_extend_kernel(
+        &self,
+        p: &RescaleExtendPlan,
+        src: &RnsPlan,
+    ) -> Arc<CompiledKernel> {
+        let op = format!(
+            "mul_rescale_extend_fused[{}->{}]",
+            basis_key(src),
+            basis_key(p.dst_plan())
+        );
+        self.state
+            .fused
+            .get_or_compile(KernelCacheKey::new(op, 64, 0), || p.mul_fused_kernel_ir())
+            .expect("generated fused chain kernel compiles")
+    }
+
+    /// Prices the direct (widening-accumulate) conversion path against the
+    /// all-rows fused generated kernel for `k` source and `l` target moduli,
+    /// and returns `true` when the generated path is cheaper on the session
+    /// device. The direct path runs **two** launches — the pseudo-residue
+    /// planes, then the cross-basis sums — writing and re-reading the whole
+    /// pseudo plane in between; the fused kernel runs the entire conversion as
+    /// division-free accumulation loops in **one** launch with the
+    /// pseudo-residues held in registers.
+    fn compiled_convert_is_faster(&self, k: u64, l: u64, cols: usize) -> bool {
+        let cols = cols.max(1) as u64;
+        let cost = &self.state.cost;
+        // Both paths execute the same algebra per element: one Barrett
+        // multiply per source row, then a widening accumulation with one wide
+        // reduction per target row. Price that shared mix identically on both
+        // sides — what actually differs is the second launch and the
+        // pseudo-residue plane the direct path writes and re-reads through
+        // memory (the fused kernel holds it in registers).
+        let mut alg = OpCounts::new();
+        alg.add_mnemonic("mulmod", k);
+        alg.add_mnemonic("macreduce", l * k);
+        alg.add_mnemonic("reducewide", l);
+        let direct = cost.estimate_launch(&alg, cols, 8 * 2 * k).total
+            + cost
+                .estimate_launch(&OpCounts::new(), cols, 8 * (k + l))
+                .total;
+        let fused_est = cost.estimate_launch(&alg, cols, 8 * (k + l)).total;
+        fused_est < direct
+    }
+
+    /// Prices the unfused `mul` then `axpy` sequence (two launches and a full
+    /// intermediate product matrix) against the all-rows fused chain kernel
+    /// (one launch, product in registers) over a `k`-modulus basis, and
+    /// returns `true` when the fused kernel is cheaper on the session device.
+    fn fused_mul_axpy_is_faster(&self, k: u64, cols: usize) -> bool {
+        let cols = cols.max(1) as u64;
+        let cost = &self.state.cost;
+        // Same algebra on both sides — k modular multiplies, then k
+        // multiply-accumulate steps — priced identically; the unfused
+        // sequence pays a second launch and routes the product through a full
+        // intermediate matrix instead of registers.
+        let mut alg = OpCounts::new();
+        alg.add_mnemonic("mulmod", k);
+        alg.add_mnemonic("macmod", k);
+        let unfused = cost.estimate_launch(&alg, cols, 8 * 3 * k).total
+            + cost
+                .estimate_launch(&OpCounts::new(), cols, 8 * 3 * k)
+                .total;
+        let fused_est = cost.estimate_launch(&alg, cols, 8 * 4 * k).total;
+        fused_est < unfused
+    }
+
+    /// Prices the unfused `mul` then rescale-and-extend sequence against the
+    /// all-rows `mul→rescale→extend` chain kernel (one launch, every
+    /// intermediate in registers), and returns `true` when the chain kernel is
+    /// cheaper on the session device. `k` is the source basis size (dropped
+    /// modulus included).
+    fn fused_mul_rescale_extend_is_faster(
+        &self,
+        p: &RescaleExtendPlan,
+        k: u64,
+        cols: usize,
+    ) -> bool {
+        let cols = cols.max(1) as u64;
+        let l = p.dst_plan().moduli_count() as u64;
+        let cost = &self.state.cost;
+        // The chain kernel runs the same algebra as `mul` followed by the
+        // fused rescale-and-extend kernel; price that shared mix identically
+        // on both sides. The unfused sequence pays the second launch and the
+        // product-matrix round trip the chain keeps in registers.
+        let mut alg = p.fused_counts();
+        alg.add_mnemonic("mulmod", k);
+        let unfused = cost.estimate_launch(&alg, cols, 8 * 3 * k).total
+            + cost
+                .estimate_launch(&OpCounts::new(), cols, 8 * (k + l))
+                .total;
+        let fused_est = cost.estimate_launch(&alg, cols, 8 * (2 * k + l)).total;
+        fused_est < unfused
+    }
+}
+
+/// Hex-joined basis moduli — the verbatim basis component of fused-kernel
+/// cache keys (two bases must never share a key; a hash could collide).
+fn basis_key(plan: &RnsPlan) -> String {
+    plan.moduli()
+        .map(|m| format!("{m:x}"))
+        .collect::<Vec<_>>()
+        .join(",")
 }
 
 // ----------------------------------------------------------------------
@@ -959,9 +1077,9 @@ impl RnsVec {
     /// conversion), through the session-cached [`BaseConvPlan`].
     ///
     /// The execution path is picked by the session cost model: the direct
-    /// widening-accumulate kernels, or the *generated* fused multiply-accumulate
-    /// kernels served from the session kernel cache — callers no longer choose
-    /// between two methods.
+    /// widening-accumulate rounds, or the *generated* all-rows fused kernel
+    /// served from the session's fused-kernel cache (one launch for the whole
+    /// conversion) — callers no longer choose between two methods.
     ///
     /// # Panics
     ///
@@ -971,9 +1089,9 @@ impl RnsVec {
         let k = self.plan.moduli_count() as u64;
         let l = dst.plan.moduli_count() as u64;
         let (matrix, _) = if self.session.compiled_convert_is_faster(k, l, self.len()) {
-            let kernels = self.session.baseconv_mac_kernels(&bc, &self.plan);
+            let kernel = self.session.baseconv_fused_kernel(&bc, &self.plan);
             self.plan
-                .base_convert_compiled_with(&bc, &self.matrix, &kernels)
+                .base_convert_fused_with(&bc, &self.matrix, &kernel)
         } else {
             self.plan.base_convert(&bc, &self.matrix)
         };
@@ -982,6 +1100,113 @@ impl RnsVec {
             plan: Arc::clone(&dst.plan),
             matrix,
         }
+    }
+
+    /// `a·(self ∘ other) + y` — the multiply-then-axpy chain — with a
+    /// positional scalar `a`.
+    ///
+    /// The session cost model picks between the unfused two-launch sequence
+    /// ([`RnsVec::mul`] then [`RnsVec::axpy`]) and the all-rows fused chain
+    /// kernel served from the session's fused-kernel cache: one launch, with
+    /// the intermediate product held in registers instead of a full matrix.
+    /// Both paths compute bit-for-bit the same result.
+    ///
+    /// # Panics
+    ///
+    /// Panics on basis or length mismatch, or if `a` exceeds the dynamic range.
+    pub fn mul_axpy(&self, other: &RnsVec, a: &BigUint, y: &RnsVec) -> RnsVec {
+        self.mul_axpy_with_stats(other, a, y).0
+    }
+
+    /// Like [`RnsVec::mul_axpy`], also returning the launch statistics of the
+    /// selected path.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the [`RnsVec::mul_axpy`] conditions.
+    pub fn mul_axpy_with_stats(
+        &self,
+        other: &RnsVec,
+        a: &BigUint,
+        y: &RnsVec,
+    ) -> (RnsVec, LaunchStats) {
+        let scalar = self.plan.to_residues(a);
+        let k = self.plan.moduli_count() as u64;
+        let (matrix, stats) = if self.session.fused_mul_axpy_is_faster(k, self.len()) {
+            let kernel = self.session.mul_axpy_kernel(&self.plan);
+            self.plan
+                .mul_axpy_fused_with(&self.matrix, &other.matrix, &scalar, &y.matrix, &kernel)
+        } else {
+            let (prod, mut stats) =
+                self.plan
+                    .apply(BlasOp::VecMul, None, &self.matrix, &other.matrix);
+            let (out, round) = self
+                .plan
+                .apply(BlasOp::Axpy, Some(&scalar), &prod, &y.matrix);
+            stats.accumulate(round);
+            (out, stats)
+        };
+        (self.wrap(matrix), stats)
+    }
+
+    /// The whole `mul→rescale→extend` chain: element-wise product with
+    /// `other`, rounded division by the dropped modulus, re-expression in
+    /// `dst`'s basis.
+    ///
+    /// The session cost model picks between the unfused sequence
+    /// ([`RnsVec::mul`] then [`RnsVec::rescale_then_extend`]) and the all-rows
+    /// fused chain kernel served from the session's fused-kernel cache: one
+    /// launch, every intermediate in registers. Both paths compute bit-for-bit
+    /// the same result.
+    ///
+    /// # Panics
+    ///
+    /// Panics on basis or length mismatch, if the basis has fewer than two
+    /// moduli, or under the [`RnsPlan::base_convert`] accumulator conditions.
+    pub fn mul_rescale_then_extend(&self, other: &RnsVec, dst: &RnsSpace) -> RnsVec {
+        self.mul_rescale_then_extend_with_stats(other, dst).0
+    }
+
+    /// Like [`RnsVec::mul_rescale_then_extend`], also returning the launch
+    /// statistics of the selected path.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the [`RnsVec::mul_rescale_then_extend`] conditions.
+    pub fn mul_rescale_then_extend_with_stats(
+        &self,
+        other: &RnsVec,
+        dst: &RnsSpace,
+    ) -> (RnsVec, LaunchStats) {
+        let p = self.session.rescale_extend_plan_for(&self.plan, &dst.plan);
+        let k = self.plan.moduli_count() as u64;
+        let fused_chain = self
+            .session
+            .fused_mul_rescale_extend_is_faster(&p, k, self.len());
+        let (matrix, stats) = if fused_chain {
+            let kernel = self.session.mul_rescale_extend_kernel(&p, &self.plan);
+            self.plan
+                .mul_rescale_then_extend_fused_with(&p, &self.matrix, &other.matrix, &kernel)
+        } else {
+            let (prod, mut stats) =
+                self.plan
+                    .apply(BlasOp::VecMul, None, &self.matrix, &other.matrix);
+            let (out, round) = if p.fused_is_faster(&self.session.state.cost, self.len()) {
+                self.plan.rescale_then_extend(&p, &prod)
+            } else {
+                self.plan.rescale_then_extend_two_pass(&p, &prod)
+            };
+            stats.accumulate(round);
+            (out, stats)
+        };
+        (
+            RnsVec {
+                session: self.session.clone(),
+                plan: Arc::clone(&dst.plan),
+                matrix,
+            },
+            stats,
+        )
     }
 
     /// Approximate scaled rounding (the CKKS/BGV rescale): divides every

@@ -69,6 +69,45 @@ fn second_identical_request_builds_nothing_anywhere() {
 }
 
 #[test]
+fn fused_chain_kernels_are_cached_once_per_shape() {
+    let session = Session::default();
+    let src = session.rns_with_capacity(160);
+    let src_moduli = src.moduli();
+    let dst = session.rns(&src_moduli[..4]);
+    let x = src.encode(&random_values(7, 5, src.product()));
+    let w = src.encode(&random_values(8, 5, src.product()));
+    let y = src.encode(&random_values(9, 5, src.product()));
+    let a = BigUint::from(0x1234_5678_9abc_u64);
+    assert_eq!(session.stats().fused.misses, 0);
+
+    // Warm-up: exactly one fused-kernel compile per chain *shape*.
+    let chained = x.mul_axpy(&w, &a, &y);
+    let rescaled = x.mul_rescale_then_extend(&w, &dst);
+    let _ = x.base_convert(&dst);
+    let baseline = session.stats();
+    assert_eq!(baseline.fused.misses, 3, "one compile per chain shape");
+    assert_eq!(baseline.fused.hits, 0);
+
+    // The fused chains are bit-for-bit the unfused sequences.
+    assert_eq!(chained.matrix(), x.mul(&w).axpy(&a, &y).matrix());
+    assert_eq!(
+        rescaled.matrix(),
+        x.mul(&w).rescale_then_extend(&dst).matrix()
+    );
+
+    // The identical second round: served entirely from the fused cache.
+    let _ = x.mul_axpy(&w, &a, &y);
+    let _ = x.mul_rescale_then_extend(&w, &dst);
+    let _ = x.base_convert(&dst);
+    let after = session.stats();
+    assert_eq!(after.fused.misses, baseline.fused.misses);
+    assert_eq!(
+        after.fused.hits, 3,
+        "second identical chain hits every shape"
+    );
+}
+
+#[test]
 fn session_chain_matches_the_biguint_oracle() {
     let session = Session::default();
     let src = session.rns_with_capacity(128);
