@@ -788,7 +788,7 @@ fn bench_rns_baseconv(
     bits: u32,
     elements: usize,
     iters: u32,
-) -> Vec<(String, f64, usize)> {
+) -> Vec<(String, f64, usize, usize)> {
     let src = session.rns_with_capacity(2 * bits + 8);
     let dst = baseconv_target_space(session, src.plan().moduli_count(), 0xba5e_c0de);
     let bc = src.conversion_to(&dst);
@@ -799,11 +799,21 @@ fn bench_rns_baseconv(
         .map(|_| moma::bignum::random::random_below(&mut rng, &q))
         .collect();
     let ma = RnsMatrix::from_biguints(src.plan(), &a);
-    // Probe runs record launches per op and warm the fused-kernel compile so
-    // the timed runs below measure steady state.
-    let convert_launches = src.plan().base_convert(&bc, &ma).1.launches;
-    let compiled_launches = src.plan().base_convert_fused(&bc, &ma).1.launches;
-    let rescale_launches = src.plan().scale_and_round(&rp, &ma).1.launches;
+    // Probe runs record launches and plane allocations per op and warm the
+    // fused-kernel compile so the timed runs below measure steady state.
+    let convert_stats = src.plan().base_convert(&bc, &ma).1;
+    let compiled_stats = src.plan().base_convert_fused(&bc, &ma).1;
+    let rescale_stats = src.plan().scale_and_round(&rp, &ma).1;
+    // The pooled path over a warm pool: same arithmetic, zero heap planes.
+    let pool = session.pool();
+    pool.recycle(
+        src.plan()
+            .base_convert_pooled(&bc, &ma, pool)
+            .0
+            .take_storage(),
+    );
+    let (mut pooled_out, pooled_stats) = src.plan().base_convert_pooled(&bc, &ma, pool);
+    pool.recycle(pooled_out.take_storage());
     let per_elt = 1e9 / elements as f64;
     let convert = best_run(iters, &(), |_| {
         std::hint::black_box(src.plan().base_convert(&bc, &ma));
@@ -811,17 +821,38 @@ fn bench_rns_baseconv(
     let compiled = best_run(iters, &(), |_| {
         std::hint::black_box(src.plan().base_convert_fused(&bc, &ma));
     }) * per_elt;
+    let pooled = best_run(iters, &(), |_| {
+        let (out, _) = src.plan().base_convert_pooled(&bc, &ma, pool);
+        pool.recycle(std::hint::black_box(out).take_storage());
+    }) * per_elt;
     let rescale = best_run(iters, &(), |_| {
         std::hint::black_box(src.plan().scale_and_round(&rp, &ma));
     }) * per_elt;
     vec![
-        ("rns_base_convert".to_string(), convert, convert_launches),
+        (
+            "rns_base_convert".to_string(),
+            convert,
+            convert_stats.launches,
+            convert_stats.allocs,
+        ),
         (
             "rns_base_convert_compiled".to_string(),
             compiled,
-            compiled_launches,
+            compiled_stats.launches,
+            compiled_stats.allocs,
         ),
-        ("rns_rescale".to_string(), rescale, rescale_launches),
+        (
+            "rns_base_convert_pooled".to_string(),
+            pooled,
+            pooled_stats.launches,
+            pooled_stats.allocs,
+        ),
+        (
+            "rns_rescale".to_string(),
+            rescale,
+            rescale_stats.launches,
+            rescale_stats.allocs,
+        ),
     ]
 }
 
@@ -874,6 +905,8 @@ struct MulChainBench {
     fused_selected: bool,
     fused_launches: usize,
     unfused_launches: usize,
+    /// Plane allocations of the session-level (pooled) chain on a warm pool.
+    session_allocs: usize,
 }
 
 /// Benchmarks the generated all-rows `s·(a∘b) + z` chain kernel (one launch,
@@ -919,13 +952,14 @@ fn bench_fused_mul_chain(
         std::hint::black_box(plan.apply(BlasOp::Axpy, Some(&sres), &prod, &mz));
     }) * per_elt;
     // The session-level probe: one launch means the cost model routed the
-    // typed `RnsVec::mul_axpy` chain through the fused kernel.
+    // typed `RnsVec::mul_axpy` chain through the fused kernel. The first call
+    // warms the session pool; the second measures the steady state — every
+    // plane reused, zero heap allocations.
     let va = src.encode(&a);
-    let fused_selected = va
-        .mul_axpy_with_stats(&src.encode(&b), &s, &src.encode(&z))
-        .1
-        .launches
-        == 1;
+    let vb = src.encode(&b);
+    let vz = src.encode(&z);
+    let fused_selected = va.mul_axpy_with_stats(&vb, &s, &vz).1.launches == 1;
+    let session_allocs = va.mul_axpy_with_stats(&vb, &s, &vz).1.allocs;
     MulChainBench {
         fused_ns,
         unfused_ns,
@@ -933,6 +967,7 @@ fn bench_fused_mul_chain(
         fused_selected,
         fused_launches,
         unfused_launches,
+        session_allocs,
     }
 }
 
@@ -1031,6 +1066,12 @@ struct ServeBench {
     baseline_launches_per_op: f64,
     avg_batch: f64,
     ntt_cache_hit_rate: f64,
+    allocations_per_op: f64,
+    baseline_allocations_per_op: f64,
+    /// Allocations per op of the deterministic steady-state run: one client,
+    /// one worker, no coalescing — after warm-up every plane comes from the
+    /// pool, so this is exactly zero on a correct build.
+    steady_state_allocations_per_op: f64,
 }
 
 /// One closed-loop run: `clients` threads each keep exactly one request in
@@ -1044,6 +1085,9 @@ struct ServeRun {
     batch_sum: u64,
     ops: usize,
     ntt_cache_hit_rate: f64,
+    /// Plane-sized heap allocations per measured request, after a per-shape
+    /// warm-up stocked the plan caches and the buffer pool.
+    allocations_per_op: f64,
 }
 
 fn serve_closed_loop_run(
@@ -1060,6 +1104,29 @@ fn serve_closed_loop_run(
     let tenant = server.register_tenant(&src_moduli, &src_moduli[..4]);
     let product = session.rns(&src_moduli).product().clone();
     let q = session.ntt_default(n).modulus();
+
+    // Warm-up, outside the measurement: one request of each shape builds the
+    // plans and stocks the buffer pool, so `allocations_per_op` measures the
+    // steady state (residual misses under concurrency, not cold start).
+    {
+        let client = server.client();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0x3a3a);
+        let data: Vec<u64> = (0..n).map(|_| rng.gen_range(0..q)).collect();
+        client
+            .call(WorkItem::NttForward { q, n, data })
+            .expect("serve bench warm-up");
+        let operand: Vec<BigUint> = (0..4)
+            .map(|_| moma::bignum::random::random_below(&mut rng, &product))
+            .collect();
+        client
+            .call(WorkItem::RnsMulRescaleExtend {
+                tenant,
+                a: operand.clone(),
+                b: operand,
+            })
+            .expect("serve bench warm-up");
+    }
+    let warm_allocs = server.stats().plane_allocs;
 
     let start = Instant::now();
     let per_thread: Vec<(Vec<f64>, f64, u64)> = std::thread::scope(|s| {
@@ -1118,6 +1185,8 @@ fn serve_closed_loop_run(
         batch_sum: 0,
         ops: clients * per_client,
         ntt_cache_hit_rate: ntt.hits as f64 / (ntt.hits + ntt.misses).max(1) as f64,
+        allocations_per_op: (server.stats().plane_allocs - warm_allocs) as f64
+            / (clients * per_client) as f64,
     };
     for (latencies, share, batch_sum) in per_thread {
         run.latencies_us.extend(latencies);
@@ -1167,6 +1236,21 @@ fn bench_serve(quick: bool) -> ServeBench {
         per_client,
         n,
     );
+    // The steady-state probe: serial traffic into a single worker with
+    // coalescing off. After the per-shape warm-up nothing in the request path
+    // allocates — this run's allocations_per_op must be exactly zero.
+    let steady = serve_closed_loop_run(
+        ServeConfig {
+            workers: 1,
+            max_batch: 1,
+            min_batch: 1,
+            batch_window: Duration::ZERO,
+            ..ServeConfig::default()
+        },
+        1,
+        if quick { 32 } else { 128 },
+        n,
+    );
 
     let result = ServeBench {
         clients,
@@ -1179,6 +1263,9 @@ fn bench_serve(quick: bool) -> ServeBench {
         baseline_launches_per_op: baseline.launch_share_sum / baseline.ops as f64,
         avg_batch: batched.batch_sum as f64 / batched.ops as f64,
         ntt_cache_hit_rate: batched.ntt_cache_hit_rate,
+        allocations_per_op: batched.allocations_per_op,
+        baseline_allocations_per_op: baseline.allocations_per_op,
+        steady_state_allocations_per_op: steady.allocations_per_op,
     };
     println!(
         "{clients} closed-loop clients x {per_client} requests (n = {n} NTT + fused RNS chains):"
@@ -1203,6 +1290,83 @@ fn bench_serve(quick: bool) -> ServeBench {
         result.baseline_launches_per_op / result.launches_per_op,
         result.ntt_cache_hit_rate
     );
+    println!(
+        "  heap plane allocations/op: batched {:.4}, baseline {:.4}, steady state {:.4}",
+        result.allocations_per_op,
+        result.baseline_allocations_per_op,
+        result.steady_state_allocations_per_op
+    );
+    result
+}
+
+/// Result of the warm-start measurement: building a session's plan caches
+/// from scratch vs restoring them from a snapshot.
+struct WarmStartBench {
+    cold_build_ms: f64,
+    restore_ms: f64,
+    speedup: f64,
+    snapshot_bytes: usize,
+    plans_restored: usize,
+}
+
+/// Populates every plan family the warm-start bench measures: a 64-bit NTT
+/// plan and an RNS basis with its conversion, rescale, and fused-chain plans.
+fn warm_start_workload(session: &Session) {
+    let _ = session.ntt_default(1024);
+    let src = session.rns_with_capacity(256);
+    let src_moduli = src.moduli();
+    let dst = session.rns(&src_moduli[..4]);
+    let _ = src.conversion_to(&dst);
+    let _ = src.rescale_plan();
+    let _ = src.rescale_extend_to(&dst);
+}
+
+/// Measures precompute-once warm start: the time to build the plan caches
+/// cold vs the time to [`Session::restore`] them from a snapshot. Restore
+/// validates every table arithmetically but skips the expensive builds
+/// (prime search, twiddle generation, CRT inverses), so it must win.
+fn bench_session_warm_start(iters: u32) -> WarmStartBench {
+    heading("Session warm start (snapshot/restore vs cold plan build)");
+    let warm = Session::default();
+    warm_start_workload(&warm);
+    let bytes = warm.snapshot();
+    let report = Session::default()
+        .restore(&bytes)
+        .expect("bench snapshot restores");
+    let plans_restored = report.ntt_plans
+        + report.multiword_plans
+        + report.rns_plans
+        + report.baseconv_plans
+        + report.rescale_plans
+        + report.rescale_extend_plans;
+
+    let cold_build_ms = best_run(iters, &(), |_| {
+        let session = Session::default();
+        warm_start_workload(&session);
+        std::hint::black_box(session);
+    }) * 1e3;
+    let restore_ms = best_run(iters, &(), |_| {
+        let session = Session::default();
+        session.restore(&bytes).expect("bench snapshot restores");
+        std::hint::black_box(session);
+    }) * 1e3;
+
+    let result = WarmStartBench {
+        cold_build_ms,
+        restore_ms,
+        speedup: cold_build_ms / restore_ms,
+        snapshot_bytes: bytes.len(),
+        plans_restored,
+    };
+    println!(
+        "  cold build   {:>10.3} ms   ({} plans)",
+        result.cold_build_ms, plans_restored
+    );
+    println!(
+        "  restore      {:>10.3} ms   ({} snapshot bytes)",
+        result.restore_ms, result.snapshot_bytes
+    );
+    println!("  warm-start speedup: {:.2}x", result.speedup);
     result
 }
 
@@ -1451,8 +1615,8 @@ fn bench(session: &Session, quick: bool, serve: &ServeBench, overload: &Overload
     println!(
         "\n256-bit RNS base extension / rescale over {rns_elements} elements (ns per element):"
     );
-    for (path, ns, launches) in &baseconv_rows {
-        println!("  {path:<26} {ns:>10.2}   ({launches} launches/op)");
+    for (path, ns, launches, allocs) in &baseconv_rows {
+        println!("  {path:<26} {ns:>10.2}   ({launches} launches/op, {allocs} allocs/op)");
     }
 
     let chain = bench_fused_mul_chain(session, 256, rns_elements, iters);
@@ -1466,14 +1630,18 @@ fn bench(session: &Session, quick: bool, serve: &ServeBench, overload: &Overload
         chain.fused_ns, chain.fused_launches
     );
     println!(
-        "  fused-vs-unfused speedup: {:.2}x (cost model selects {})",
+        "  fused-vs-unfused speedup: {:.2}x (cost model selects {}); \
+         session path {} allocs/op on a warm pool",
         chain.speedup,
         if chain.fused_selected {
             "fused"
         } else {
             "unfused"
-        }
+        },
+        chain.session_allocs
     );
+
+    let warm_start = bench_session_warm_start(iters);
 
     let fused = bench_session_fused(session, 256, rns_elements, iters);
     println!("\n256-bit fused rescale-and-extend over {rns_elements} elements (ns per element):");
@@ -1586,7 +1754,14 @@ fn bench(session: &Session, quick: bool, serve: &ServeBench, overload: &Overload
          \"fused_vs_unfused_speedup\": {chain_speedup:.3},\n    \
          \"fused_launches_per_op\": {chain_fused_launches},\n    \
          \"unfused_launches_per_op\": {chain_unfused_launches},\n    \
+         \"session_allocations_per_op\": {chain_session_allocs},\n    \
          \"cost_model_selects_fused\": {chain_fused_selected}\n  }},\n  \
+         \"session_warm_start\": {{\n    \
+         \"cold_build_ms\": {ws_cold:.3},\n    \
+         \"restore_ms\": {ws_restore:.3},\n    \
+         \"warm_start_speedup\": {ws_speedup:.3},\n    \
+         \"snapshot_bytes\": {ws_bytes},\n    \
+         \"plans_restored\": {ws_plans}\n  }},\n  \
          \"session_fused_rescale_extend\": {{\n    \"bits\": 256,\n    \
          \"elements\": {rns_elements},\n    \
          \"fused_ns_per_element\": {fused_ns:.2},\n    \
@@ -1611,7 +1786,10 @@ fn bench(session: &Session, quick: bool, serve: &ServeBench, overload: &Overload
          \"launches_per_op\": {serve_lpo:.3},\n    \
          \"baseline_launches_per_op\": {serve_baseline_lpo:.3},\n    \
          \"avg_batch\": {serve_avg_batch:.3},\n    \
-         \"ntt_cache_hit_rate\": {serve_hit_rate:.4}\n  }},\n  \
+         \"ntt_cache_hit_rate\": {serve_hit_rate:.4},\n    \
+         \"allocations_per_op\": {serve_apo:.4},\n    \
+         \"baseline_allocations_per_op\": {serve_baseline_apo:.4},\n    \
+         \"steady_state_allocations_per_op\": {serve_steady_apo:.4}\n  }},\n  \
          \"serve_overload\": {{\n    \"n\": {ov_n},\n    \
          \"capacity_ops_per_sec\": {ov_capacity:.1},\n    \
          \"offered_qps\": {ov_offered:.1},\n    \
@@ -1648,9 +1826,9 @@ fn bench(session: &Session, quick: bool, serve: &ServeBench, overload: &Overload
             .join(",\n"),
         baseconv_rows_json = baseconv_rows
             .iter()
-            .map(|(path, ns, launches)| format!(
+            .map(|(path, ns, launches, allocs)| format!(
                 "      {{\"path\": \"{path}\", \"ns_per_element\": {ns:.2}, \
-                 \"launches_per_op\": {launches}}}"
+                 \"launches_per_op\": {launches}, \"allocations_per_op\": {allocs}}}"
             ))
             .collect::<Vec<_>>()
             .join(",\n"),
@@ -1659,7 +1837,13 @@ fn bench(session: &Session, quick: bool, serve: &ServeBench, overload: &Overload
         chain_speedup = chain.speedup,
         chain_fused_launches = chain.fused_launches,
         chain_unfused_launches = chain.unfused_launches,
+        chain_session_allocs = chain.session_allocs,
         chain_fused_selected = chain.fused_selected,
+        ws_cold = warm_start.cold_build_ms,
+        ws_restore = warm_start.restore_ms,
+        ws_speedup = warm_start.speedup,
+        ws_bytes = warm_start.snapshot_bytes,
+        ws_plans = warm_start.plans_restored,
         mul_key = BlasOp::VecMul.key(),
         kernel_name = modmul.name,
         interp_ns = modmul.interp_ns,
@@ -1675,6 +1859,9 @@ fn bench(session: &Session, quick: bool, serve: &ServeBench, overload: &Overload
         serve_baseline_lpo = serve.baseline_launches_per_op,
         serve_avg_batch = serve.avg_batch,
         serve_hit_rate = serve.ntt_cache_hit_rate,
+        serve_apo = serve.allocations_per_op,
+        serve_baseline_apo = serve.baseline_allocations_per_op,
+        serve_steady_apo = serve.steady_state_allocations_per_op,
         ov_n = overload.n,
         ov_capacity = overload.capacity_ops_per_sec,
         ov_offered = overload.offered_qps,

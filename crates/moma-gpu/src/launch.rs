@@ -25,8 +25,9 @@
 //!   output to its own row — the shape fused residue kernels (one kernel computing
 //!   every target row of a base conversion) need to run in a single launch.
 
-use moma_ir::compiled::CompiledKernel;
+use moma_ir::compiled::{BlockScratch, CompiledKernel, Scratch};
 use moma_ir::Kernel;
+use std::cell::RefCell;
 use std::time::{Duration, Instant};
 
 /// Statistics of one simulated launch.
@@ -41,6 +42,16 @@ pub struct LaunchStats {
     /// dispatch + grid-barrier cost, so callers that batch work care about this
     /// number staying independent of the batch size.
     pub launches: usize,
+    /// Plane-sized heap buffers (output planes, working planes) the launch
+    /// path allocated. In-place entry points ([`launch_indexed`],
+    /// [`launch_chunks`], [`launch_compiled_rows`],
+    /// [`launch_compiled_batch_into`]) report `0` — the caller owns the
+    /// output — and ops that route their planes through a
+    /// [`crate::pool::BufferPool`] report the pool-miss delta, so a warm
+    /// steady state reports `0` end to end. Per-worker scratch frames are
+    /// O(registers), not plane-sized, and are excluded (the inline
+    /// single-worker path reuses a thread-local frame and allocates none).
+    pub allocs: usize,
     /// Wall-clock time of the launch.
     pub elapsed: Duration,
 }
@@ -54,6 +65,7 @@ impl Default for LaunchStats {
             threads: 0,
             workers: 1,
             launches: 0,
+            allocs: 0,
             elapsed: Duration::ZERO,
         }
     }
@@ -77,6 +89,7 @@ impl LaunchStats {
         self.threads += next.threads;
         self.workers = self.workers.max(next.workers);
         self.launches += next.launches;
+        self.allocs += next.allocs;
         self.elapsed += next.elapsed;
     }
 }
@@ -86,6 +99,28 @@ fn worker_count() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4)
+}
+
+thread_local! {
+    /// Reusable per-thread scratch frames for the inline (single-worker)
+    /// compiled paths. Scratch frames self-retag when they move between
+    /// kernels, so one frame per thread serves every kernel that thread ever
+    /// launches — the steady state allocates no scratch at all. Scoped worker
+    /// threads are born fresh per launch and still build one frame each; that
+    /// frame is O(registers), not plane-sized, and is excluded from
+    /// [`LaunchStats::allocs`].
+    static INLINE_SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::default());
+    static INLINE_BLOCK_SCRATCH: RefCell<BlockScratch> = RefCell::new(BlockScratch::default());
+}
+
+/// Runs `f` with this thread's reusable scratch frame.
+fn with_inline_scratch<R>(f: impl FnOnce(&mut Scratch) -> R) -> R {
+    INLINE_SCRATCH.with(|cell| f(&mut cell.borrow_mut()))
+}
+
+/// Runs `f` with this thread's reusable lane-block frame.
+fn with_inline_block_scratch<R>(f: impl FnOnce(&mut BlockScratch) -> R) -> R {
+    INLINE_BLOCK_SCRATCH.with(|cell| f(&mut cell.borrow_mut()))
 }
 
 /// Runs `kernel_fn(i)` for every `i` in `0..n` across a host thread pool and reports
@@ -129,6 +164,7 @@ where
         threads: n,
         workers,
         launches: 1,
+        allocs: 0,
         elapsed: start.elapsed(),
     }
 }
@@ -195,6 +231,9 @@ where
             threads: n,
             workers,
             launches: 1,
+            // The collected output buffer; map launches that must not allocate
+            // belong on [`launch_chunks`] (in place) instead.
+            allocs: usize::from(n > 0),
             elapsed: start.elapsed(),
         },
     )
@@ -247,38 +286,80 @@ where
         threads: n,
         workers,
         launches: 1,
+        allocs: 0,
         elapsed: start.elapsed(),
     }
 }
 
-/// Executes an already-compiled machine-level kernel once per element.
+/// Executes an already-compiled machine-level kernel once per element,
+/// returning the outputs flat in element order ([`CompiledKernel::output_count`]
+/// words per element).
 ///
-/// `inputs(i)` supplies the parameter words for element `i`; the outputs of every
-/// element are collected in index order. Each worker reuses one scratch frame for
-/// its whole chunk.
+/// `fill(i, params)` writes the parameter words for element `i` into the
+/// provided slice. Each worker reuses one scratch frame and one parameter
+/// buffer for its whole chunk and writes outputs straight into its disjoint
+/// rows of the flat result — there is no per-element `Vec` on either the input
+/// or the output path (the allocations that made the old
+/// `Vec<Vec<u64>>`-collecting form an order of magnitude slower than the
+/// arithmetic it was launching).
 ///
 /// # Panics
 ///
 /// Panics if execution fails on any element (which would indicate an invalid
 /// generated kernel or malformed inputs).
-pub fn launch_compiled<I>(
-    compiled: &CompiledKernel,
-    n: usize,
-    inputs: I,
-) -> (Vec<Vec<u64>>, LaunchStats)
+pub fn launch_compiled<I>(compiled: &CompiledKernel, n: usize, fill: I) -> (Vec<u64>, LaunchStats)
 where
-    I: Fn(usize) -> Vec<u64> + Sync,
+    I: Fn(usize, &mut [u64]) + Sync,
 {
-    launch_map_with(
-        n,
-        || compiled.scratch(),
-        |scratch, i| {
-            let input = inputs(i);
-            let mut out = Vec::with_capacity(compiled.output_count());
+    let p = compiled.param_count();
+    let oc = compiled.output_count();
+    let workers = worker_count().max(1);
+    let start = Instant::now();
+    let mut out = vec![0u64; n * oc];
+    let run_rows = |scratch: &mut Scratch, lo: usize, hi: usize, out_slice: &mut [u64]| {
+        let mut params = vec![0u64; p];
+        for i in lo..hi {
+            fill(i, &mut params);
             compiled
-                .run_with(&input, scratch, &mut out)
+                .run_into(
+                    &params,
+                    scratch,
+                    &mut out_slice[(i - lo) * oc..(i - lo + 1) * oc],
+                )
                 .unwrap_or_else(|e| panic!("generated kernel failed on element {i}: {e}"));
-            out
+        }
+    };
+    if n > 0 && workers == 1 {
+        // One worker: run inline with the thread's reusable frame (see
+        // `launch_indexed` for why inline).
+        with_inline_scratch(|scratch| run_rows(scratch, 0, n, &mut out));
+    } else if n > 0 {
+        let chunk = n.div_ceil(workers);
+        let mut slices: Vec<(usize, usize, &mut [u64])> = Vec::new();
+        let mut rest: &mut [u64] = &mut out;
+        let mut lo = 0;
+        while lo < n {
+            let hi = (lo + chunk).min(n);
+            let (head, tail) = rest.split_at_mut((hi - lo) * oc);
+            slices.push((lo, hi, head));
+            rest = tail;
+            lo = hi;
+        }
+        std::thread::scope(|scope| {
+            for (lo, hi, slice) in slices {
+                let run_rows = &run_rows;
+                scope.spawn(move || run_rows(&mut compiled.scratch(), lo, hi, slice));
+            }
+        });
+    }
+    (
+        out,
+        LaunchStats {
+            threads: n,
+            workers,
+            launches: 1,
+            allocs: usize::from(n > 0),
+            elapsed: start.elapsed(),
         },
     )
 }
@@ -311,28 +392,64 @@ pub fn launch_compiled_batch(compiled: &CompiledKernel, inputs: &[u64]) -> (Vec<
     } else {
         inputs.len() / p
     };
+    let mut out = vec![0u64; n * compiled.output_count()];
+    let mut stats = launch_compiled_batch_into(compiled, inputs, &mut out);
+    stats.allocs += usize::from(n > 0);
+    (out, stats)
+}
+
+/// The caller-owns-the-output form of [`launch_compiled_batch`]: outputs are
+/// written straight into `out` (`output_count` words per element, element
+/// order), and the launch allocates nothing — callers that recycle `out`
+/// through a [`crate::pool::BufferPool`] get an allocation-free steady state.
+///
+/// # Panics
+///
+/// Panics if `inputs.len()` is not a multiple of the kernel's parameter count,
+/// if `out.len()` is not `elements × output_count`, or if execution fails on
+/// any element.
+pub fn launch_compiled_batch_into(
+    compiled: &CompiledKernel,
+    inputs: &[u64],
+    out: &mut [u64],
+) -> LaunchStats {
+    let p = compiled.param_count().max(1);
+    assert!(
+        inputs.len() % p == 0,
+        "flat input length must be a multiple of the parameter count"
+    );
+    let n = if compiled.param_count() == 0 {
+        0
+    } else {
+        inputs.len() / p
+    };
     let oc = compiled.output_count();
+    assert_eq!(
+        out.len(),
+        n * oc,
+        "output length must be elements * output_count()"
+    );
     let workers = worker_count().max(1);
     let start = Instant::now();
-    let mut out = vec![0u64; n * oc];
-    let run_rows = |lo: usize, hi: usize, out_slice: &mut [u64]| {
-        let mut scratch = compiled.scratch();
-        let mut row_out = Vec::with_capacity(oc);
+    let run_rows = |scratch: &mut Scratch, lo: usize, hi: usize, out_slice: &mut [u64]| {
         for i in lo..hi {
-            row_out.clear();
             compiled
-                .run_with(&inputs[i * p..(i + 1) * p], &mut scratch, &mut row_out)
+                .run_into(
+                    &inputs[i * p..(i + 1) * p],
+                    scratch,
+                    &mut out_slice[(i - lo) * oc..(i - lo + 1) * oc],
+                )
                 .unwrap_or_else(|e| panic!("generated kernel failed on element {i}: {e}"));
-            out_slice[(i - lo) * oc..(i - lo + 1) * oc].copy_from_slice(&row_out);
         }
     };
     if n > 0 && workers == 1 {
-        // One worker: run inline (see `launch_indexed`).
-        run_rows(0, n, &mut out);
+        // One worker: run inline with the thread's reusable frame (see
+        // `launch_indexed`).
+        with_inline_scratch(|scratch| run_rows(scratch, 0, n, out));
     } else if n > 0 {
         let chunk = n.div_ceil(workers);
         let mut slices: Vec<(usize, usize, &mut [u64])> = Vec::new();
-        let mut rest: &mut [u64] = &mut out;
+        let mut rest: &mut [u64] = out;
         let mut lo = 0;
         while lo < n {
             let hi = (lo + chunk).min(n);
@@ -344,19 +461,17 @@ pub fn launch_compiled_batch(compiled: &CompiledKernel, inputs: &[u64]) -> (Vec<
         std::thread::scope(|scope| {
             for (lo, hi, slice) in slices {
                 let run_rows = &run_rows;
-                scope.spawn(move || run_rows(lo, hi, slice));
+                scope.spawn(move || run_rows(&mut compiled.scratch(), lo, hi, slice));
             }
         });
     }
-    (
-        out,
-        LaunchStats {
-            threads: n,
-            workers,
-            launches: 1,
-            elapsed: start.elapsed(),
-        },
-    )
+    LaunchStats {
+        threads: n,
+        workers,
+        launches: 1,
+        allocs: 0,
+        elapsed: start.elapsed(),
+    }
 }
 
 /// Executes a multi-output compiled kernel over every element in a single
@@ -399,15 +514,14 @@ where
     );
     let workers = worker_count().max(1);
     let start = Instant::now();
-    let run_cols = |lo: usize, hi: usize, rows: &mut [&mut [u64]]| {
-        let mut scratch = compiled.block_scratch();
+    let run_cols = |scratch: &mut BlockScratch, lo: usize, hi: usize, rows: &mut [&mut [u64]]| {
         let mut base = lo;
         while base < hi {
             let n = (hi - base).min(moma_ir::compiled::LANE_BLOCK);
             compiled
                 .run_lanes(
                     n,
-                    &mut scratch,
+                    scratch,
                     |p, lanes| fill(p, base, lanes),
                     |j, lanes| rows[j][base - lo..base - lo + n].copy_from_slice(lanes),
                 )
@@ -421,9 +535,10 @@ where
         }
     };
     if cols > 0 && oc > 0 && workers == 1 {
-        // One worker: run inline (see `launch_indexed`).
+        // One worker: run inline with the thread's reusable frame (see
+        // `launch_indexed`).
         let mut rows: Vec<&mut [u64]> = out.chunks_mut(cols).collect();
-        run_cols(0, cols, &mut rows);
+        with_inline_block_scratch(|scratch| run_cols(scratch, 0, cols, &mut rows));
     } else if cols > 0 && oc > 0 {
         // Carve every output row into the same per-worker column ranges, so
         // each worker holds a disjoint `&mut` window of all rows at once.
@@ -447,7 +562,7 @@ where
         std::thread::scope(|scope| {
             for (&(lo, hi), mut bundle) in bounds.iter().zip(bundles) {
                 let run_cols = &run_cols;
-                scope.spawn(move || run_cols(lo, hi, &mut bundle));
+                scope.spawn(move || run_cols(&mut compiled.block_scratch(), lo, hi, &mut bundle));
             }
         });
     }
@@ -455,14 +570,17 @@ where
         threads: cols,
         workers,
         launches: 1,
+        allocs: 0,
         elapsed: start.elapsed(),
     }
 }
 
-/// Executes a generated machine-level kernel once per element.
+/// Executes a generated machine-level kernel once per element, returning the
+/// outputs flat in element order (`output_count` words per element).
 ///
 /// The kernel is compiled to register-allocated bytecode once, then the batch runs
-/// through [`launch_compiled`]. Callers that launch the same kernel repeatedly
+/// through [`launch_compiled`]: `fill(i, params)` writes element `i`'s parameter
+/// words into the provided slice. Callers that launch the same kernel repeatedly
 /// should compile once with [`CompiledKernel::compile`] and call
 /// [`launch_compiled`] directly.
 ///
@@ -470,13 +588,13 @@ where
 ///
 /// Panics if the kernel fails to compile or fails on any element (which would
 /// indicate an invalid generated kernel).
-pub fn launch_kernel<I>(kernel: &Kernel, n: usize, inputs: I) -> (Vec<Vec<u64>>, LaunchStats)
+pub fn launch_kernel<I>(kernel: &Kernel, n: usize, fill: I) -> (Vec<u64>, LaunchStats)
 where
-    I: Fn(usize) -> Vec<u64> + Sync,
+    I: Fn(usize, &mut [u64]) + Sync,
 {
     let compiled = CompiledKernel::compile(kernel)
         .unwrap_or_else(|e| panic!("generated kernel failed to compile: {e}"));
-    launch_compiled(&compiled, n, inputs)
+    launch_compiled(&compiled, n, fill)
 }
 
 #[cfg(test)]
@@ -592,10 +710,14 @@ mod tests {
         );
         let kernel = kb.build();
 
-        let (outputs, stats) = launch_kernel(&kernel, 512, |i| vec![i as u64, 2 * i as u64]);
+        let (outputs, stats) = launch_kernel(&kernel, 512, |i, params| {
+            params[0] = i as u64;
+            params[1] = 2 * i as u64;
+        });
         assert_eq!(stats.threads, 512);
+        assert_eq!(outputs.len(), 512);
         for (i, out) in outputs.iter().enumerate() {
-            assert_eq!(out, &vec![3 * i as u64]);
+            assert_eq!(*out, 3 * i as u64);
         }
     }
 
@@ -623,15 +745,53 @@ mod tests {
         let (batch_out, stats) = launch_compiled_batch(&compiled, &flat);
         assert_eq!(stats.threads, n);
         assert_eq!(stats.launches, 1);
+        assert_eq!(
+            stats.allocs, 1,
+            "one flat output buffer, nothing per element"
+        );
         assert_eq!(batch_out.len(), n);
-        let (per_elt, _) =
-            launch_compiled(&compiled, n, |i| vec![i as u64 * 77, i as u64 * 131 + 5]);
-        for (i, out) in per_elt.iter().enumerate() {
-            assert_eq!(batch_out[i], out[0], "element {i}");
-        }
+        let (per_elt, stats) = launch_compiled(&compiled, n, |i, params| {
+            params[0] = i as u64 * 77;
+            params[1] = i as u64 * 131 + 5;
+        });
+        assert_eq!(stats.allocs, 1);
+        assert_eq!(per_elt, batch_out);
         let (empty, stats) = launch_compiled_batch(&compiled, &[]);
         assert!(empty.is_empty());
         assert_eq!(stats.threads, 0);
+        assert_eq!(stats.allocs, 0);
+    }
+
+    #[test]
+    fn batch_into_writes_caller_buffer_without_allocating() {
+        let mut kb = KernelBuilder::new("double");
+        let a = kb.param("a", Ty::UInt(64));
+        let o = kb.output("o", Ty::UInt(64));
+        kb.push(
+            vec![o],
+            Op::MulLow {
+                a: a.into(),
+                b: moma_ir::Operand::Const(2),
+            },
+        );
+        let compiled = CompiledKernel::compile(&kb.build()).unwrap();
+        let inputs: Vec<u64> = (0..257).collect();
+        let mut out = vec![u64::MAX; 257];
+        let stats = launch_compiled_batch_into(&compiled, &inputs, &mut out);
+        assert_eq!(stats.threads, 257);
+        assert_eq!(stats.allocs, 0, "the caller owns the output buffer");
+        assert!(out.iter().enumerate().all(|(i, &v)| v == 2 * i as u64));
+    }
+
+    #[test]
+    #[should_panic(expected = "output length")]
+    fn batch_into_rejects_mismatched_output_length() {
+        let mut kb = KernelBuilder::new("copy");
+        let a = kb.param("a", Ty::UInt(64));
+        let o = kb.output("o", Ty::UInt(64));
+        kb.push(vec![o], Op::Copy { src: a.into() });
+        let compiled = CompiledKernel::compile(&kb.build()).unwrap();
+        launch_compiled_batch_into(&compiled, &[1, 2, 3], &mut [0u64; 2]);
     }
 
     #[test]
@@ -670,10 +830,13 @@ mod tests {
         });
         assert_eq!(stats.threads, cols);
         assert_eq!(stats.launches, 1);
-        let (oracle, _) = launch_compiled(&compiled, cols, |i| inputs[i].to_vec());
-        for (i, o) in oracle.iter().enumerate() {
-            assert_eq!(out[i], o[0], "row 0 element {i}");
-            assert_eq!(out[cols + i], o[1], "row 1 element {i}");
+        assert_eq!(stats.allocs, 0, "rows launches write in place");
+        let (oracle, _) = launch_compiled(&compiled, cols, |i, params| {
+            params.copy_from_slice(&inputs[i]);
+        });
+        for i in 0..cols {
+            assert_eq!(out[i], oracle[2 * i], "row 0 element {i}");
+            assert_eq!(out[cols + i], oracle[2 * i + 1], "row 1 element {i}");
         }
         let mut empty: [u64; 0] = [];
         let stats =
@@ -721,11 +884,14 @@ mod tests {
         );
         let kernel = kb.build();
         let compiled = CompiledKernel::compile(&kernel).unwrap();
-        let feed = |i: usize| vec![i as u64 * 77, i as u64 * 131 + 5, 2_147_483_647];
-        let (outputs, _) = launch_compiled(&compiled, 256, feed);
+        let feed = |i: usize| [i as u64 * 77, i as u64 * 131 + 5, 2_147_483_647];
+        let (outputs, _) = launch_compiled(&compiled, 256, |i, params| {
+            params.copy_from_slice(&feed(i));
+        });
         for (i, out) in outputs.iter().enumerate() {
             let oracle = interp::run(&kernel, &feed(i)).unwrap();
-            assert_eq!(out, &oracle.outputs, "element {i}");
+            assert_eq!(oracle.outputs.len(), 1);
+            assert_eq!(*out, oracle.outputs[0], "element {i}");
         }
     }
 }

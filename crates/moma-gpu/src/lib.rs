@@ -10,6 +10,11 @@
 //!   per element on a host thread pool (used both for functional execution of generated
 //!   kernels through the `moma-ir` interpreter and for wall-clock measurements of the
 //!   runtime-library kernels);
+//! * [`pool`] — a thread-safe buffer pool that hands out reusable plane-sized
+//!   `u64` (and `AtomicU64`) buffers keyed by size class, the host stand-in for a
+//!   device memory pool: steady-state serving acquires every working plane here
+//!   instead of the allocator, and the hit/miss counters make "allocation-free
+//!   after warmup" a tested invariant;
 //! * [`cost`] — an analytical cost model that converts per-thread word-operation counts
 //!   (produced by the rewrite system / interpreter) into estimated kernel runtimes on a
 //!   given device, including the shared-memory capacity cliff the paper observes for
@@ -25,10 +30,12 @@
 pub mod cost;
 pub mod device;
 pub mod launch;
+pub mod pool;
 
 pub use cost::{CostModel, KernelCostEstimate};
 pub use device::DeviceSpec;
 pub use launch::{
-    launch_chunks, launch_compiled, launch_compiled_batch, launch_indexed, launch_kernel,
-    launch_map, launch_map_with, LaunchStats,
+    launch_chunks, launch_compiled, launch_compiled_batch, launch_compiled_batch_into,
+    launch_indexed, launch_kernel, launch_map, launch_map_with, LaunchStats,
 };
+pub use pool::{BufferPool, PoolStats};

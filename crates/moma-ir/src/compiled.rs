@@ -501,6 +501,58 @@ impl CompiledKernel {
         Ok(())
     }
 
+    /// Executes the kernel once, reusing `scratch` and writing the outputs into
+    /// the caller-provided slice — the allocation-free twin of
+    /// [`Self::run_with`] for callers that own a flat row-major output buffer
+    /// (the batch launcher writes each element's outputs straight into its
+    /// row, with no per-element staging `Vec`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len()` is not exactly [`Self::output_count`] — a caller
+    /// bug, like a mis-sliced output row.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::run_with`].
+    pub fn run_into(
+        &self,
+        inputs: &[u64],
+        scratch: &mut Scratch,
+        out: &mut [u64],
+    ) -> Result<(), InterpError> {
+        assert_eq!(
+            out.len(),
+            self.outputs.len(),
+            "output slice length must equal output_count()"
+        );
+        if inputs.len() != self.params.len() {
+            return Err(InterpError::ArgumentCount {
+                expected: self.params.len(),
+                got: inputs.len(),
+            });
+        }
+        if scratch.tag != self.id {
+            scratch.regs.clear();
+            scratch.regs.resize(self.n_regs, 0);
+            scratch.regs[self.const_base..self.n_regs].copy_from_slice(&self.const_values);
+            scratch.tag = self.id;
+        }
+        for (idx, ((slot, bits), &input)) in self.params.iter().zip(inputs).enumerate() {
+            if *bits < 64 && input >> bits != 0 {
+                return Err(InterpError::InputTooWide {
+                    var: self.param_names[idx].clone(),
+                });
+            }
+            scratch.regs[*slot as usize] = input;
+        }
+        self.exec(scratch);
+        for (slot, o) in self.outputs.iter().zip(out) {
+            *o = scratch.regs[*slot as usize];
+        }
+        Ok(())
+    }
+
     /// Executes the kernel once and returns outputs plus operation counts — the
     /// drop-in equivalent of [`interp::run`](crate::interp::run).
     ///

@@ -36,7 +36,8 @@
 
 use crate::plan::{NttPlan, NttPlan64};
 use crate::transform::bit_reverse_permute;
-use moma_gpu::launch::{launch_indexed, launch_map, LaunchStats};
+use moma_gpu::launch::{launch_chunks, launch_indexed, launch_map, LaunchStats};
+use moma_gpu::pool::BufferPool;
 use moma_mp::MpUint;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -95,21 +96,28 @@ impl NttPlan64 {
     ///
     /// Panics if `data.len()` is not a non-zero multiple of `self.n`.
     pub fn forward_batch_on_launcher(&self, data: &mut [u64]) -> LaunchStats {
-        let (cells, mut stats) = self.run_stages_batched(data, true);
-        let q = self.ctx.q;
-        let two_q = self.two_q();
-        let (normalized, pass) = launch_map(data.len(), |i| {
-            let mut v = cells[i].load(Ordering::Relaxed);
-            if v >= two_q {
-                v -= two_q;
-            }
-            if v >= q {
-                v -= q;
-            }
-            v
-        });
-        stats.accumulate(pass);
-        data.copy_from_slice(&normalized);
+        let cells: Vec<AtomicU64> = std::iter::repeat_with(AtomicU64::default)
+            .take(data.len())
+            .collect();
+        let mut stats = self.forward_batch_in(data, &cells);
+        stats.allocs += usize::from(!data.is_empty());
+        stats
+    }
+
+    /// [`NttPlan64::forward_batch_on_launcher`] with the atomic working plane
+    /// acquired from (and returned to) `pool` instead of the allocator. The
+    /// returned statistics count pool *misses* in the window as allocations, so
+    /// a warm pool reports `allocs == 0`.
+    pub fn forward_batch_on_launcher_pooled(
+        &self,
+        data: &mut [u64],
+        pool: &BufferPool,
+    ) -> LaunchStats {
+        let before = pool.misses();
+        let cells = pool.acquire_cells(data.len());
+        let mut stats = self.forward_batch_in(data, &cells);
+        pool.recycle_cells(cells);
+        stats.allocs += (pool.misses() - before) as usize;
         stats
     }
 
@@ -121,41 +129,100 @@ impl NttPlan64 {
     ///
     /// Panics if `data.len()` is not a non-zero multiple of `self.n`.
     pub fn inverse_batch_on_launcher(&self, data: &mut [u64]) -> LaunchStats {
-        let (cells, mut stats) = self.run_stages_batched(data, false);
+        let cells: Vec<AtomicU64> = std::iter::repeat_with(AtomicU64::default)
+            .take(data.len())
+            .collect();
+        let mut stats = self.inverse_batch_in(data, &cells);
+        stats.allocs += usize::from(!data.is_empty());
+        stats
+    }
+
+    /// [`NttPlan64::inverse_batch_on_launcher`] with the atomic working plane
+    /// acquired from (and returned to) `pool`; `allocs` reports the pool-miss
+    /// delta of the window.
+    pub fn inverse_batch_on_launcher_pooled(
+        &self,
+        data: &mut [u64],
+        pool: &BufferPool,
+    ) -> LaunchStats {
+        let before = pool.misses();
+        let cells = pool.acquire_cells(data.len());
+        let mut stats = self.inverse_batch_in(data, &cells);
+        pool.recycle_cells(cells);
+        stats.allocs += (pool.misses() - before) as usize;
+        stats
+    }
+
+    /// Stages plus the normalize pass, on a caller-provided working plane. The
+    /// normalize pass writes `data` in place through [`launch_chunks`] (chunk
+    /// length 1, so the thread count still equals the element count): no output
+    /// plane is allocated.
+    fn forward_batch_in(&self, data: &mut [u64], cells: &[AtomicU64]) -> LaunchStats {
+        let mut stats = self.run_stages_batched(data, true, cells);
+        let q = self.ctx.q;
+        let two_q = self.two_q();
+        let pass = launch_chunks(data, 1, |i, out| {
+            let mut v = cells[i].load(Ordering::Relaxed);
+            if v >= two_q {
+                v -= two_q;
+            }
+            if v >= q {
+                v -= q;
+            }
+            out[0] = v;
+        });
+        stats.accumulate(pass);
+        stats
+    }
+
+    /// Stages plus the scaling pass (which doubles as the normalize pass, as in
+    /// the inline plan), on a caller-provided working plane.
+    fn inverse_batch_in(&self, data: &mut [u64], cells: &[AtomicU64]) -> LaunchStats {
+        let mut stats = self.run_stages_batched(data, false, cells);
         let q = self.ctx.q;
         let (n_inv, n_inv_shoup) = self.n_inv_pair();
-        let (scaled, pass) = launch_map(data.len(), |i| {
-            // The scaling multiplication doubles as the normalize pass, exactly as
-            // in the inline plan: the lazy Shoup product accepts [0, 4q) inputs.
+        let pass = launch_chunks(data, 1, |i, out| {
             let t =
                 self.ctx
                     .mul_mod_shoup_lazy(cells[i].load(Ordering::Relaxed), n_inv, n_inv_shoup);
-            if t >= q {
-                t - q
-            } else {
-                t
-            }
+            out[0] = if t >= q { t - q } else { t };
         });
         stats.accumulate(pass);
-        data.copy_from_slice(&scaled);
         stats
     }
 
     /// Runs the butterfly stages of every transform in the batch on the
-    /// launcher — one launch per stage covering the whole batch — returning the
-    /// working array (values lazily reduced in `[0, 4q)`) and the accumulated
-    /// stage statistics.
-    fn run_stages_batched(&self, data: &mut [u64], forward: bool) -> (Vec<AtomicU64>, LaunchStats) {
+    /// launcher — one launch per stage covering the whole batch — leaving the
+    /// results (values lazily reduced in `[0, 4q)`) in the caller-provided
+    /// working plane and returning the accumulated stage statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cells.len() != data.len()` or `data` is not a non-zero
+    /// multiple of the transform size.
+    fn run_stages_batched(
+        &self,
+        data: &mut [u64],
+        forward: bool,
+        cells: &[AtomicU64],
+    ) -> LaunchStats {
         assert!(
             !data.is_empty() && data.len() % self.n == 0,
             "data length must be a non-zero multiple of the transform size"
+        );
+        assert_eq!(
+            cells.len(),
+            data.len(),
+            "working plane length must equal the data length"
         );
         let batch = data.len() / self.n;
         let half = self.n / 2;
         for transform in data.chunks_exact_mut(self.n) {
             bit_reverse_permute(transform);
         }
-        let cells: Vec<AtomicU64> = data.iter().map(|&x| AtomicU64::new(x)).collect();
+        for (cell, &x) in cells.iter().zip(data.iter()) {
+            cell.store(x, Ordering::Relaxed);
+        }
         let mut stats = LaunchStats::default();
         let q = self.ctx.q;
         let two_q = self.two_q();
@@ -187,7 +254,7 @@ impl NttPlan64 {
             stats.accumulate(round);
             m <<= 1;
         }
-        (cells, stats)
+        stats
     }
 }
 
@@ -364,5 +431,55 @@ mod tests {
         let plan = NttPlan64::new(64);
         let mut data = vec![0u64; 96];
         plan.forward_batch_on_launcher(&mut data);
+    }
+
+    #[test]
+    fn unpooled_batch_reports_one_plane_allocation() {
+        let plan = NttPlan64::new(64);
+        let mut data = vec![1u64; 128];
+        assert_eq!(plan.forward_batch_on_launcher(&mut data).allocs, 1);
+        assert_eq!(plan.inverse_batch_on_launcher(&mut data).allocs, 1);
+    }
+
+    #[test]
+    fn pooled_batch_matches_unpooled_and_is_allocation_free_when_warm() {
+        let plan = NttPlan64::new(128);
+        let pool = moma_gpu::BufferPool::new();
+        let mut rng = StdRng::seed_from_u64(95);
+        let data: Vec<u64> = (0..3 * 128)
+            .map(|_| rng.gen::<u64>() % plan.ctx.q)
+            .collect();
+        let mut plain = data.clone();
+        let mut pooled = data.clone();
+        plan.forward_batch_on_launcher(&mut plain);
+        // Cold pool: the first acquire misses, and the miss is the alloc count.
+        let cold = plan.forward_batch_on_launcher_pooled(&mut pooled, &pool);
+        assert_eq!(pooled, plain, "pooled forward must match the heap path");
+        assert_eq!(cold.allocs, 1, "a cold pool allocates the plane once");
+        plan.inverse_batch_on_launcher(&mut plain);
+        let warm = plan.inverse_batch_on_launcher_pooled(&mut pooled, &pool);
+        assert_eq!(pooled, plain, "pooled inverse must match the heap path");
+        assert_eq!(
+            warm.allocs, 0,
+            "a warm pool serves the plane without allocating"
+        );
+        assert_eq!(
+            pooled, data,
+            "pooled inverse ∘ forward must be the identity"
+        );
+        // Steady state: many more rounds, zero further allocations.
+        for _ in 0..5 {
+            assert_eq!(
+                plan.forward_batch_on_launcher_pooled(&mut pooled, &pool)
+                    .allocs,
+                0
+            );
+            assert_eq!(
+                plan.inverse_batch_on_launcher_pooled(&mut pooled, &pool)
+                    .allocs,
+                0
+            );
+        }
+        assert_eq!(pooled, data);
     }
 }

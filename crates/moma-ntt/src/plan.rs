@@ -206,6 +206,60 @@ pub struct NttPlan64 {
     n_inv_shoup: u64,
 }
 
+/// Why a restored [`NttPlan64`] table set was rejected by
+/// [`NttPlan64::from_tables`]. Every variant is fail-closed: nothing about the
+/// plan is usable once validation stops.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NttRestoreError {
+    /// The modulus is outside the supported range (`q < 2` or above 60 bits).
+    BadModulus {
+        /// The rejected modulus.
+        q: u64,
+    },
+    /// `n` is not a power of two ≥ 2, or a table length does not match it.
+    BadShape {
+        /// The claimed transform size.
+        n: usize,
+        /// Length of the provided forward table.
+        fwd_len: usize,
+        /// Length of the provided inverse table.
+        inv_len: usize,
+    },
+    /// A twiddle entry or `n^{-1}` is not reduced below `q`.
+    Unreduced,
+    /// The tables fail a structural identity (stage recurrence, root-of-unity
+    /// ladder, forward·inverse ≠ 1, or `n·n^{-1} ≠ 1`). The message names the
+    /// first identity that failed.
+    InconsistentTables(&'static str),
+}
+
+impl std::fmt::Display for NttRestoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NttRestoreError::BadModulus { q } => {
+                write!(f, "modulus {q} is outside the supported 60-bit range")
+            }
+            NttRestoreError::BadShape {
+                n,
+                fwd_len,
+                inv_len,
+            } => write!(
+                f,
+                "shape mismatch: n = {n}, forward table length {fwd_len}, \
+                 inverse table length {inv_len}"
+            ),
+            NttRestoreError::Unreduced => {
+                write!(f, "a restored table entry is not reduced below the modulus")
+            }
+            NttRestoreError::InconsistentTables(what) => {
+                write!(f, "restored twiddle tables are inconsistent: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NttRestoreError {}
+
 /// One butterfly stage's twiddle view for [`NttPlan64`]: the twiddle factors and
 /// their Shoup precomputed quotients, in lock-step order (entry `j` is
 /// `ω_{2m}^j` and its quotient).
@@ -275,6 +329,112 @@ impl NttPlan64 {
             n_inv: ntt.n_inv,
             n_inv_shoup: ctx.shoup_precompute(ntt.n_inv),
         }
+    }
+
+    /// The full forward and inverse twiddle tables in the flat Harvey layout
+    /// (entry `m + j` is `ω_{2m}^j`; entry 0 is padding) — the serialization
+    /// view used by session snapshots. The Shoup quotient tables are *not*
+    /// exposed: they are derived data, recomputed on restore so a snapshot
+    /// cannot smuggle in mismatched quotients.
+    pub fn twiddle_tables(&self) -> (&[u64], &[u64]) {
+        (&self.fwd, &self.inv)
+    }
+
+    /// Rebuilds a plan from snapshot data: the modulus, transform size, both
+    /// twiddle tables, and `n^{-1}`. This is the warm-start constructor — it
+    /// skips the primitive-root search entirely — but it does **not** trust its
+    /// input: every structural identity a freshly built table satisfies is
+    /// checked, and any failure rejects the whole plan with a typed error.
+    ///
+    /// Checks, in order: modulus range, power-of-two shape and table lengths,
+    /// reduction of every entry, `n·n^{-1} ≡ 1`, `fwd[i]·inv[i] ≡ 1` for every
+    /// entry, each stage's geometric recurrence `fwd[m+j+1] = fwd[m+j]·fwd[m+1]`
+    /// with `fwd[m] = 1`, the squaring ladder `fwd[2m+1]² = fwd[m+1]` between
+    /// stages, and the primitivity anchor `fwd[3]² = −1` (which, with the
+    /// ladder, forces every stage generator to have exactly its stage's order).
+    /// Shoup quotients and `2q` are recomputed, never deserialized.
+    pub fn from_tables(
+        q: u64,
+        n: usize,
+        fwd: Vec<u64>,
+        inv: Vec<u64>,
+        n_inv: u64,
+    ) -> Result<Self, NttRestoreError> {
+        if q < 2 || (64 - q.leading_zeros()) > 60 {
+            return Err(NttRestoreError::BadModulus { q });
+        }
+        if !n.is_power_of_two() || n < 2 || fwd.len() != n.max(2) || inv.len() != n.max(2) {
+            return Err(NttRestoreError::BadShape {
+                n,
+                fwd_len: fwd.len(),
+                inv_len: inv.len(),
+            });
+        }
+        if n_inv >= q || fwd.iter().chain(&inv).any(|&w| w >= q) {
+            return Err(NttRestoreError::Unreduced);
+        }
+        let ctx = SingleBarrett::new(q);
+        if ctx.mul_mod(n as u64 % q, n_inv) != 1 {
+            return Err(NttRestoreError::InconsistentTables("n · n⁻¹ ≠ 1"));
+        }
+        if fwd
+            .iter()
+            .zip(&inv)
+            .any(|(&w, &wi)| ctx.mul_mod(w, wi) != 1)
+        {
+            return Err(NttRestoreError::InconsistentTables(
+                "forward · inverse twiddle ≠ 1",
+            ));
+        }
+        // Per-stage geometric recurrence: entries m..2m must be the powers of
+        // the stage generator fwd[m + 1], starting from fwd[m] = 1.
+        let mut m = 1;
+        while m < n {
+            if fwd[m] != 1 {
+                return Err(NttRestoreError::InconsistentTables("stage entry j = 0 ≠ 1"));
+            }
+            // Stage m = 1 has the single entry ω⁰ = 1 and no generator slot:
+            // fwd[2] belongs to stage 2 (and is out of bounds when n = 2).
+            let g = if m == 1 { 1 } else { fwd[m + 1] };
+            let mut cur = 1u64;
+            for j in 0..m {
+                if fwd[m + j] != cur {
+                    return Err(NttRestoreError::InconsistentTables(
+                        "stage twiddles break the geometric recurrence",
+                    ));
+                }
+                cur = ctx.mul_mod(cur, g);
+            }
+            m <<= 1;
+        }
+        // Squaring ladder between stages: ω_{4m}² = ω_{2m}, anchored at
+        // ω_4² = −1. Together with the recurrence above this forces every
+        // stage generator to be a primitive root of exactly its stage's order.
+        if n >= 4 && ctx.mul_mod(fwd[3], fwd[3]) != q - 1 {
+            return Err(NttRestoreError::InconsistentTables("ω₄² ≠ −1"));
+        }
+        let mut m = 2;
+        while 2 * m < n {
+            if ctx.mul_mod(fwd[2 * m + 1], fwd[2 * m + 1]) != fwd[m + 1] {
+                return Err(NttRestoreError::InconsistentTables(
+                    "stage generators break the squaring ladder",
+                ));
+            }
+            m <<= 1;
+        }
+        let fwd_shoup = fwd.iter().map(|&w| ctx.shoup_precompute(w)).collect();
+        let inv_shoup = inv.iter().map(|&w| ctx.shoup_precompute(w)).collect();
+        Ok(NttPlan64 {
+            n,
+            ctx,
+            two_q: 2 * q,
+            fwd,
+            fwd_shoup,
+            inv,
+            inv_shoup,
+            n_inv,
+            n_inv_shoup: ctx.shoup_precompute(n_inv),
+        })
     }
 
     /// The twiddle factors and Shoup quotients of one butterfly stage, selected
@@ -561,5 +721,106 @@ mod tests {
         let plan = NttPlan::<2>::for_paper_modulus(16, 128, MulAlgorithm::Schoolbook);
         let mut data = vec![MpUint::ZERO; 8];
         plan.forward(&mut data);
+    }
+
+    /// Serializes and restores `plan` through the snapshot accessors.
+    fn roundtrip_tables(plan: &NttPlan64) -> Result<NttPlan64, NttRestoreError> {
+        let (fwd, inv) = plan.twiddle_tables();
+        NttPlan64::from_tables(
+            plan.ctx.q,
+            plan.n,
+            fwd.to_vec(),
+            inv.to_vec(),
+            plan.n_inv_pair().0,
+        )
+    }
+
+    #[test]
+    fn from_tables_roundtrips_bit_for_bit() {
+        for n in [2usize, 4, 64, 512] {
+            let fresh = NttPlan64::new(n);
+            let restored = roundtrip_tables(&fresh).expect("a fresh plan's tables must validate");
+            assert_eq!(restored.twiddle_tables(), fresh.twiddle_tables());
+            assert_eq!(restored.n_inv_pair(), fresh.n_inv_pair(), "n = {n}");
+            assert_eq!(restored.two_q(), fresh.two_q());
+            let mut rng = StdRng::seed_from_u64(75);
+            let data: Vec<u64> = (0..n).map(|_| rng.gen::<u64>() % fresh.ctx.q).collect();
+            let mut a = data.clone();
+            let mut b = data;
+            fresh.forward(&mut a);
+            restored.forward(&mut b);
+            assert_eq!(a, b, "restored plan must transform identically (n = {n})");
+        }
+    }
+
+    #[test]
+    fn from_tables_rejects_tampering() {
+        let plan = NttPlan64::new(64);
+        let (fwd, inv) = plan.twiddle_tables();
+        let (n_inv, _) = plan.n_inv_pair();
+        let q = plan.ctx.q;
+
+        // Out-of-range modulus.
+        assert!(matches!(
+            NttPlan64::from_tables(1 << 61, 64, fwd.to_vec(), inv.to_vec(), n_inv),
+            Err(NttRestoreError::BadModulus { .. })
+        ));
+        // Truncated table.
+        assert!(matches!(
+            NttPlan64::from_tables(q, 64, fwd[..32].to_vec(), inv.to_vec(), n_inv),
+            Err(NttRestoreError::BadShape { .. })
+        ));
+        // Unreduced entry.
+        let mut big = fwd.to_vec();
+        big[5] = q;
+        assert!(matches!(
+            NttPlan64::from_tables(q, 64, big, inv.to_vec(), n_inv),
+            Err(NttRestoreError::Unreduced)
+        ));
+        // A flipped twiddle breaks an identity (inverse pairing or recurrence).
+        let mut flipped = fwd.to_vec();
+        flipped[37] ^= 1;
+        assert!(matches!(
+            NttPlan64::from_tables(q, 64, flipped, inv.to_vec(), n_inv),
+            Err(NttRestoreError::InconsistentTables(_))
+        ));
+        // A consistently tampered pair (fwd and inv both changed so the product
+        // stays 1) still breaks the stage recurrence.
+        let mut f2 = fwd.to_vec();
+        let mut i2 = inv.to_vec();
+        f2[33] = plan.ctx.mul_mod(f2[33], f2[33]);
+        i2[33] = plan.ctx.mul_mod(i2[33], i2[33]);
+        assert!(matches!(
+            NttPlan64::from_tables(q, 64, f2, i2, n_inv),
+            Err(NttRestoreError::InconsistentTables(_))
+        ));
+        // Wrong scaling factor.
+        assert!(matches!(
+            NttPlan64::from_tables(q, 64, fwd.to_vec(), inv.to_vec(), n_inv ^ 1),
+            Err(NttRestoreError::InconsistentTables(_))
+        ));
+        // Tables from a different (q, n) pair fail against this modulus: the
+        // other plan's 60-bit twiddles are almost surely unreduced mod this q,
+        // and whatever survives reduction cannot satisfy the identities.
+        let other = NttPlan64::with_modulus(momaprime_other(), 64);
+        let (ofwd, oinv) = other.twiddle_tables();
+        assert!(
+            NttPlan64::from_tables(q, 64, ofwd.to_vec(), oinv.to_vec(), n_inv).is_err(),
+            "another modulus' tables must not validate"
+        );
+    }
+
+    /// A second NTT-friendly prime (q ≡ 1 mod 2n for n = 64) distinct from the
+    /// default evaluation modulus.
+    fn momaprime_other() -> u64 {
+        // 12289 = 3 · 2^12 + 1, the classic Falcon/NewHope modulus.
+        12289
+    }
+
+    #[test]
+    fn from_tables_accepts_alternate_modulus() {
+        let fresh = NttPlan64::with_modulus(12289, 128);
+        let restored = roundtrip_tables(&fresh).expect("alternate-modulus tables must validate");
+        assert_eq!(restored.twiddle_tables(), fresh.twiddle_tables());
     }
 }

@@ -54,12 +54,74 @@
 use crate::plan::{mul_mod, RnsMatrix, RnsPlan};
 use crate::RnsContext;
 use moma_gpu::launch::{launch_chunks, launch_compiled_batch, launch_compiled_rows, LaunchStats};
+use moma_gpu::pool::BufferPool;
 use moma_gpu::CostModel;
 use moma_ir::compiled::CompiledKernel;
 use moma_ir::cost::OpCounts;
 use moma_ir::{Kernel, KernelBuilder, Op, Operand, Ty};
 use moma_mp::single::{smac, SingleBarrett};
 use std::sync::{Arc, OnceLock};
+
+/// Why a restored conversion-plan table set was rejected by
+/// [`BaseConvPlan::from_tables`], [`RescalePlan::from_tables`], or
+/// [`RescaleExtendPlan::from_parts`]. Every variant is fail-closed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConvRestoreError {
+    /// Table lengths or basis pairings do not match the plans they claim to
+    /// belong to.
+    ShapeMismatch,
+    /// A pseudo-residue factor disagrees with the source plan's CRT inverse.
+    BadPseudoFactor {
+        /// Index of the offending source modulus.
+        index: usize,
+    },
+    /// A cross-basis table entry disagrees with the recomputed
+    /// `|M/m_r|_{m'_s}`.
+    BadCrossTable {
+        /// Flat row-major index (`s·k + r`) of the offending entry.
+        index: usize,
+    },
+    /// A dropped-modulus inverse fails `inv_last[r] · m_k ≢ 1 (mod m_r)`.
+    BadInverse {
+        /// Index of the offending surviving modulus.
+        index: usize,
+    },
+    /// A folded factor fails `fused[r] ≠ inv_last[r] · inv_punctured[r]`.
+    BadFusedFactor {
+        /// Index of the offending surviving modulus.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for ConvRestoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConvRestoreError::ShapeMismatch => {
+                write!(f, "conversion tables do not match the claimed basis pair")
+            }
+            ConvRestoreError::BadPseudoFactor { index } => {
+                write!(
+                    f,
+                    "pseudo-residue factor {index} fails its inverse identity"
+                )
+            }
+            ConvRestoreError::BadCrossTable { index } => {
+                write!(
+                    f,
+                    "cross-basis table entry {index} disagrees with the source CRT"
+                )
+            }
+            ConvRestoreError::BadInverse { index } => {
+                write!(f, "dropped-modulus inverse {index} fails its identity")
+            }
+            ConvRestoreError::BadFusedFactor { index } => {
+                write!(f, "folded rescale-extend factor {index} fails its identity")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConvRestoreError {}
 
 /// Precomputed tables for fast base extension from one basis into another.
 ///
@@ -145,6 +207,69 @@ impl BaseConvPlan {
     /// The target plan matrices produced by this conversion live over.
     pub fn dst_plan(&self) -> &RnsPlan {
         &self.dst
+    }
+
+    /// The source basis moduli this plan converts from.
+    pub fn source_moduli(&self) -> &[u64] {
+        &self.src_moduli
+    }
+
+    /// The conversion tables — `(M/m_r)^{-1} mod m_r` per source modulus, then
+    /// the row-major cross-basis table `|M/m_r|_{m'_s}` — the serialization
+    /// view used by session snapshots.
+    pub fn conversion_tables(&self) -> (&[u64], &[u64]) {
+        (&self.inv_punctured, &self.cross)
+    }
+
+    /// Rebuilds a conversion plan from snapshot data over already-restored
+    /// source and target plans. Nothing is trusted: each pseudo-residue factor
+    /// must equal the source plan's CRT inverse exactly (they are copies by
+    /// construction), and each cross-basis entry is recomputed as
+    /// `M/m_r mod m'_s` from the source CRT numerators and compared — so a
+    /// tampered table, or tables paired with the wrong basis, fail closed.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the [`BaseConvPlan::new`] accumulator-width conditions.
+    pub fn from_tables(
+        src: &RnsPlan,
+        dst: &RnsPlan,
+        inv_punctured: Vec<u64>,
+        cross: Vec<u64>,
+    ) -> Result<Self, ConvRestoreError> {
+        let k = src.moduli_count();
+        let max_src = src.moduli().max().expect("basis is non-empty");
+        let max_dst = dst.moduli().max().expect("basis is non-empty");
+        let worst_term = (max_src - 1) as u128 * (max_dst - 1) as u128;
+        assert!(
+            worst_term == 0 || k as u128 <= u128::MAX / worst_term,
+            "basis pair too large for the widening accumulator ({k} source moduli)"
+        );
+        if inv_punctured.len() != k || cross.len() != dst.moduli_count() * k {
+            return Err(ConvRestoreError::ShapeMismatch);
+        }
+        for (index, (&ip, (_, yi))) in inv_punctured.iter().zip(src.crt_tables()).enumerate() {
+            if ip != *yi {
+                return Err(ConvRestoreError::BadPseudoFactor { index });
+            }
+        }
+        for (s, dst_ctx) in dst.ctxs.iter().enumerate() {
+            let m_big = moma_bignum::BigUint::from(dst_ctx.q);
+            for (r, (mi, _)) in src.crt_tables().iter().enumerate() {
+                let expect = (mi % &m_big).to_u64().expect("residue fits a word");
+                if cross[s * k + r] != expect {
+                    return Err(ConvRestoreError::BadCrossTable { index: s * k + r });
+                }
+            }
+        }
+        Ok(BaseConvPlan {
+            src_moduli: src.moduli().collect(),
+            inv_punctured,
+            cross,
+            dst: dst.clone(),
+            mac_kernels: OnceLock::new(),
+            fused_kernel: OnceLock::new(),
+        })
     }
 
     pub(crate) fn check_source(&self, src: &RnsPlan) {
@@ -327,12 +452,23 @@ impl RnsPlan {
     /// one launcher thread per source residue row — the shared first stage of
     /// both base-conversion paths.
     fn pseudo_residues(&self, bc: &BaseConvPlan, a: &RnsMatrix) -> (Vec<u64>, LaunchStats) {
+        let mut pseudo = vec![0u64; self.moduli_count() * a.len()];
+        let stats = self.pseudo_residues_into(bc, a, &mut pseudo);
+        (pseudo, stats)
+    }
+
+    /// [`RnsPlan::pseudo_residues`] into a caller-provided plane.
+    fn pseudo_residues_into(
+        &self,
+        bc: &BaseConvPlan,
+        a: &RnsMatrix,
+        pseudo: &mut [u64],
+    ) -> LaunchStats {
         let cols = a.len();
-        let mut pseudo = vec![0u64; self.moduli_count() * cols];
-        let stats = if cols == 0 {
+        if cols == 0 {
             LaunchStats::default()
         } else {
-            launch_chunks(&mut pseudo, cols, |r, out| {
+            launch_chunks(pseudo, cols, |r, out| {
                 let ctx = &self.ctxs[r];
                 let narrow = self.narrow[r];
                 let inv = bc.inv_punctured[r];
@@ -340,8 +476,7 @@ impl RnsPlan {
                     *o = mul_mod(ctx, narrow, x, inv);
                 }
             })
-        };
-        (pseudo, stats)
+        }
     }
 
     /// Fast base extension: re-expresses every element of `a` (over this plan's
@@ -360,14 +495,67 @@ impl RnsPlan {
     /// Panics if `bc` was built for a different source basis or `a` does not
     /// match this plan.
     pub fn base_convert(&self, bc: &BaseConvPlan, a: &RnsMatrix) -> (RnsMatrix, LaunchStats) {
+        let cols = a.len();
+        let mut pseudo = vec![0u64; self.moduli_count() * cols];
+        let mut data = vec![0u64; bc.dst.moduli_count() * cols];
+        let mut stats = self.base_convert_rows(bc, a, &mut pseudo, &mut data);
+        stats.allocs += 2 * usize::from(cols > 0);
+        (
+            RnsMatrix {
+                rows: bc.dst.moduli_count(),
+                cols,
+                data,
+            },
+            stats,
+        )
+    }
+
+    /// [`RnsPlan::base_convert`] with both working planes (the intermediate
+    /// pseudo-residues and the output) acquired from `pool`; the pseudo plane
+    /// is recycled before returning and `allocs` reports the pool-miss delta of
+    /// the window.
+    pub fn base_convert_pooled(
+        &self,
+        bc: &BaseConvPlan,
+        a: &RnsMatrix,
+        pool: &BufferPool,
+    ) -> (RnsMatrix, LaunchStats) {
+        let cols = a.len();
+        let before = pool.misses();
+        let mut pseudo = pool.acquire(self.moduli_count() * cols);
+        let mut data = pool.acquire(bc.dst.moduli_count() * cols);
+        let mut stats = self.base_convert_rows(bc, a, &mut pseudo, &mut data);
+        pool.recycle(pseudo);
+        stats.allocs += (pool.misses() - before) as usize;
+        (
+            RnsMatrix {
+                rows: bc.dst.moduli_count(),
+                cols,
+                data,
+            },
+            stats,
+        )
+    }
+
+    /// The shared body of the two-round conversion: validates shapes and fills
+    /// the caller-provided pseudo-residue and output planes.
+    fn base_convert_rows(
+        &self,
+        bc: &BaseConvPlan,
+        a: &RnsMatrix,
+        pseudo: &mut [u64],
+        data: &mut [u64],
+    ) -> LaunchStats {
         bc.check_source(self);
         self.check_shape(a);
         let cols = a.len();
         let k = self.moduli_count();
-        let (pseudo, mut stats) = self.pseudo_residues(bc, a);
-        let mut data = vec![0u64; bc.dst.moduli_count() * cols];
+        assert_eq!(pseudo.len(), k * cols);
+        assert_eq!(data.len(), bc.dst.moduli_count() * cols);
+        let mut stats = self.pseudo_residues_into(bc, a, pseudo);
         if cols > 0 {
-            stats.accumulate(launch_chunks(&mut data, cols, |s, out| {
+            let pseudo = &*pseudo;
+            stats.accumulate(launch_chunks(data, cols, |s, out| {
                 let ctx = &bc.dst.ctxs[s];
                 let cross_row = &bc.cross[s * k..(s + 1) * k];
                 for (i, o) in out.iter_mut().enumerate() {
@@ -379,14 +567,7 @@ impl RnsPlan {
                 }
             }));
         }
-        (
-            RnsMatrix {
-                rows: bc.dst.moduli_count(),
-                cols,
-                data,
-            },
-            stats,
-        )
+        stats
     }
 
     /// Fast base extension routed through the *generated* fused
@@ -530,6 +711,40 @@ impl RnsPlan {
         a: &RnsMatrix,
         compiled: &CompiledKernel,
     ) -> (RnsMatrix, LaunchStats) {
+        let cols = a.len();
+        let rows = bc.dst.moduli_count();
+        let mut data = vec![0u64; rows * cols];
+        let mut stats = self.base_convert_fused_rows(bc, a, compiled, &mut data);
+        stats.allocs += usize::from(cols > 0);
+        (RnsMatrix { rows, cols, data }, stats)
+    }
+
+    /// [`RnsPlan::base_convert_fused_with`] with the output plane acquired from
+    /// `pool`; `allocs` reports the pool-miss delta of the window.
+    pub fn base_convert_fused_with_pool(
+        &self,
+        bc: &BaseConvPlan,
+        a: &RnsMatrix,
+        compiled: &CompiledKernel,
+        pool: &BufferPool,
+    ) -> (RnsMatrix, LaunchStats) {
+        let cols = a.len();
+        let rows = bc.dst.moduli_count();
+        let before = pool.misses();
+        let mut data = pool.acquire(rows * cols);
+        let mut stats = self.base_convert_fused_rows(bc, a, compiled, &mut data);
+        stats.allocs += (pool.misses() - before) as usize;
+        (RnsMatrix { rows, cols, data }, stats)
+    }
+
+    /// The shared body of the fused-conversion entry points.
+    fn base_convert_fused_rows(
+        &self,
+        bc: &BaseConvPlan,
+        a: &RnsMatrix,
+        compiled: &CompiledKernel,
+        data: &mut [u64],
+    ) -> LaunchStats {
         bc.check_source(self);
         self.check_shape(a);
         let cols = a.len();
@@ -540,15 +755,14 @@ impl RnsPlan {
             (k, rows),
             "fused conversion kernel shape must match the basis pair"
         );
-        let mut data = vec![0u64; rows * cols];
-        let stats = if cols == 0 {
+        assert_eq!(data.len(), rows * cols);
+        if cols == 0 {
             LaunchStats::default()
         } else {
-            launch_compiled_rows(compiled, &mut data, cols, |r, lo, lanes| {
+            launch_compiled_rows(compiled, data, cols, |r, lo, lanes| {
                 lanes.copy_from_slice(&a.data[r * cols + lo..r * cols + lo + lanes.len()]);
             })
-        };
-        (RnsMatrix { rows, cols, data }, stats)
+        }
     }
 
     /// Builds the rescale tables for dropping this basis' last modulus.
@@ -575,6 +789,39 @@ impl RnsPlan {
     /// Panics if `rp` was built for a different basis or `a` does not match
     /// this plan.
     pub fn scale_and_round(&self, rp: &RescalePlan, a: &RnsMatrix) -> (RnsMatrix, LaunchStats) {
+        let cols = a.len();
+        let rows = rp.out.moduli_count();
+        let mut data = vec![0u64; rows * cols];
+        let mut stats = self.scale_and_round_rows(rp, a, &mut data);
+        stats.allocs += usize::from(cols > 0);
+        (RnsMatrix { rows, cols, data }, stats)
+    }
+
+    /// [`RnsPlan::scale_and_round`] with the output plane acquired from `pool`;
+    /// `allocs` reports the pool-miss delta of the window.
+    pub fn scale_and_round_pooled(
+        &self,
+        rp: &RescalePlan,
+        a: &RnsMatrix,
+        pool: &BufferPool,
+    ) -> (RnsMatrix, LaunchStats) {
+        let cols = a.len();
+        let rows = rp.out.moduli_count();
+        let before = pool.misses();
+        let mut data = pool.acquire(rows * cols);
+        let mut stats = self.scale_and_round_rows(rp, a, &mut data);
+        stats.allocs += (pool.misses() - before) as usize;
+        (RnsMatrix { rows, cols, data }, stats)
+    }
+
+    /// The shared body of the rescale entry points: validates shapes and fills
+    /// the caller-provided output plane.
+    fn scale_and_round_rows(
+        &self,
+        rp: &RescalePlan,
+        a: &RnsMatrix,
+        data: &mut [u64],
+    ) -> LaunchStats {
         rp.check_source(self);
         self.check_shape(a);
         let cols = a.len();
@@ -582,11 +829,11 @@ impl RnsPlan {
         let last = self.ctxs[rows].q;
         let half = last / 2;
         let c_row = a.row(rows);
-        let mut data = vec![0u64; rows * cols];
-        let stats = if cols == 0 {
+        assert_eq!(data.len(), rows * cols);
+        if cols == 0 {
             LaunchStats::default()
         } else {
-            launch_chunks(&mut data, cols, |r, out| {
+            launch_chunks(data, cols, |r, out| {
                 let ctx = &rp.out.ctxs[r];
                 let narrow = rp.out.narrow[r];
                 let inv = rp.inv_last[r];
@@ -603,8 +850,7 @@ impl RnsPlan {
                     *o = if c > half { ctx.add_mod(y, 1) } else { y };
                 }
             })
-        };
-        (RnsMatrix { rows, cols, data }, stats)
+        }
     }
 
     /// Builds the fused rescale-and-extend tables for dropping this basis' last
@@ -642,6 +888,44 @@ impl RnsPlan {
         p: &RescaleExtendPlan,
         a: &RnsMatrix,
     ) -> (RnsMatrix, LaunchStats) {
+        let cols = a.len();
+        let rows = p.bc.dst.moduli_count();
+        let mut pseudo = vec![0u64; (self.moduli_count() - 1) * cols];
+        let mut data = vec![0u64; rows * cols];
+        let mut stats = self.rescale_then_extend_rows(p, a, &mut pseudo, &mut data);
+        stats.allocs += 2 * usize::from(cols > 0);
+        (RnsMatrix { rows, cols, data }, stats)
+    }
+
+    /// [`RnsPlan::rescale_then_extend`] with both working planes acquired from
+    /// `pool`; the pseudo plane is recycled before returning and `allocs`
+    /// reports the pool-miss delta of the window.
+    pub fn rescale_then_extend_pooled(
+        &self,
+        p: &RescaleExtendPlan,
+        a: &RnsMatrix,
+        pool: &BufferPool,
+    ) -> (RnsMatrix, LaunchStats) {
+        let cols = a.len();
+        let rows = p.bc.dst.moduli_count();
+        let before = pool.misses();
+        let mut pseudo = pool.acquire((self.moduli_count() - 1) * cols);
+        let mut data = pool.acquire(rows * cols);
+        let mut stats = self.rescale_then_extend_rows(p, a, &mut pseudo, &mut data);
+        pool.recycle(pseudo);
+        stats.allocs += (pool.misses() - before) as usize;
+        (RnsMatrix { rows, cols, data }, stats)
+    }
+
+    /// The shared body of the fused rescale-and-extend entry points: validates
+    /// shapes and fills the caller-provided pseudo-residue and output planes.
+    fn rescale_then_extend_rows(
+        &self,
+        p: &RescaleExtendPlan,
+        a: &RnsMatrix,
+        pseudo: &mut [u64],
+        data: &mut [u64],
+    ) -> LaunchStats {
         p.rescale.check_source(self);
         self.check_shape(a);
         let cols = a.len();
@@ -650,13 +934,13 @@ impl RnsPlan {
         let last = self.ctxs[km1].q;
         let half = last / 2;
         let c_row = a.row(km1);
+        assert_eq!(pseudo.len(), km1 * cols);
+        assert_eq!(data.len(), rows * cols);
         let mut stats = LaunchStats::default();
-        let mut data = vec![0u64; rows * cols];
         if cols > 0 {
             // Round 1 — fused pseudo-residues, one thread per surviving source
             // row, reading the source data directly.
-            let mut pseudo = vec![0u64; km1 * cols];
-            stats.accumulate(launch_chunks(&mut pseudo, cols, |r, out| {
+            stats.accumulate(launch_chunks(pseudo, cols, |r, out| {
                 let ctx = &self.ctxs[r];
                 let narrow = self.narrow[r];
                 let f = p.fused[r];
@@ -671,7 +955,8 @@ impl RnsPlan {
             }));
             // Round 2 — the cross-basis accumulation, one thread per target row,
             // identical to base_convert's second stage.
-            stats.accumulate(launch_chunks(&mut data, cols, |s, out| {
+            let pseudo = &*pseudo;
+            stats.accumulate(launch_chunks(data, cols, |s, out| {
                 let ctx = &p.bc.dst.ctxs[s];
                 let cross_row = &p.bc.cross[s * km1..(s + 1) * km1];
                 for (i, o) in out.iter_mut().enumerate() {
@@ -683,7 +968,7 @@ impl RnsPlan {
                 }
             }));
         }
-        (RnsMatrix { rows, cols, data }, stats)
+        stats
     }
 
     /// The unfused reference chain for [`RnsPlan::rescale_then_extend`]:
@@ -702,6 +987,22 @@ impl RnsPlan {
     ) -> (RnsMatrix, LaunchStats) {
         let (rescaled, mut stats) = self.scale_and_round(&p.rescale, a);
         let (out, round) = p.rescale.out.base_convert(&p.bc, &rescaled);
+        stats.accumulate(round);
+        (out, stats)
+    }
+
+    /// [`RnsPlan::rescale_then_extend_two_pass`] with every working plane —
+    /// including the intermediate rescaled matrix, which is recycled before
+    /// returning — routed through `pool`.
+    pub fn rescale_then_extend_two_pass_pooled(
+        &self,
+        p: &RescaleExtendPlan,
+        a: &RnsMatrix,
+        pool: &BufferPool,
+    ) -> (RnsMatrix, LaunchStats) {
+        let (mut rescaled, mut stats) = self.scale_and_round_pooled(&p.rescale, a, pool);
+        let (out, round) = p.rescale.out.base_convert_pooled(&p.bc, &rescaled, pool);
+        pool.recycle(rescaled.take_storage());
         stats.accumulate(round);
         (out, stats)
     }
@@ -743,6 +1044,43 @@ impl RnsPlan {
         b: &RnsMatrix,
         compiled: &CompiledKernel,
     ) -> (RnsMatrix, LaunchStats) {
+        let rows = p.bc.dst.moduli_count();
+        let cols = a.cols;
+        let mut data = vec![0u64; rows * cols];
+        let mut stats = self.mul_rescale_then_extend_fused_rows(p, a, b, compiled, &mut data);
+        stats.allocs += usize::from(cols > 0);
+        (RnsMatrix { rows, cols, data }, stats)
+    }
+
+    /// [`RnsPlan::mul_rescale_then_extend_fused_with`] with the output plane
+    /// acquired from `pool`; `allocs` reports the pool-miss delta of the
+    /// window.
+    pub fn mul_rescale_then_extend_fused_with_pool(
+        &self,
+        p: &RescaleExtendPlan,
+        a: &RnsMatrix,
+        b: &RnsMatrix,
+        compiled: &CompiledKernel,
+        pool: &BufferPool,
+    ) -> (RnsMatrix, LaunchStats) {
+        let rows = p.bc.dst.moduli_count();
+        let cols = a.cols;
+        let before = pool.misses();
+        let mut data = pool.acquire(rows * cols);
+        let mut stats = self.mul_rescale_then_extend_fused_rows(p, a, b, compiled, &mut data);
+        stats.allocs += (pool.misses() - before) as usize;
+        (RnsMatrix { rows, cols, data }, stats)
+    }
+
+    /// The shared body of the fused `mul→rescale→extend` entry points.
+    fn mul_rescale_then_extend_fused_rows(
+        &self,
+        p: &RescaleExtendPlan,
+        a: &RnsMatrix,
+        b: &RnsMatrix,
+        compiled: &CompiledKernel,
+        data: &mut [u64],
+    ) -> LaunchStats {
         p.rescale.check_source(self);
         self.check_shape(a);
         self.check_shape(b);
@@ -755,16 +1093,15 @@ impl RnsPlan {
             (2 * k, rows),
             "fused chain kernel shape must match the basis pair"
         );
-        let mut data = vec![0u64; rows * cols];
-        let stats = if cols == 0 {
+        assert_eq!(data.len(), rows * cols);
+        if cols == 0 {
             LaunchStats::default()
         } else {
-            launch_compiled_rows(compiled, &mut data, cols, |p, lo, lanes| {
+            launch_compiled_rows(compiled, data, cols, |p, lo, lanes| {
                 let row = &if p % 2 == 0 { &a.data } else { &b.data }[p / 2 * cols..];
                 lanes.copy_from_slice(&row[lo..lo + lanes.len()]);
             })
-        };
-        (RnsMatrix { rows, cols, data }, stats)
+        }
     }
 }
 
@@ -814,6 +1151,41 @@ impl RescalePlan {
     /// The plan the rescaled matrices live over.
     pub fn output_plan(&self) -> &RnsPlan {
         &self.out
+    }
+
+    /// The dropped modulus' inverses, `m_k^{-1} mod m_r` per surviving modulus
+    /// — the serialization view used by session snapshots.
+    pub fn inverse_table(&self) -> &[u64] {
+        &self.inv_last
+    }
+
+    /// Rebuilds a rescale plan from snapshot data over an already-restored
+    /// source plan and output plan. The output plan must be exactly the source
+    /// basis without its last modulus, and every inverse must satisfy
+    /// `inv_last[r] · m_k ≡ 1 (mod m_r)`; anything else fails closed.
+    pub fn from_tables(
+        src: &RnsPlan,
+        out: RnsPlan,
+        inv_last: Vec<u64>,
+    ) -> Result<Self, ConvRestoreError> {
+        let moduli: Vec<u64> = src.moduli().collect();
+        if moduli.len() < 2
+            || !out.moduli().eq(moduli[..moduli.len() - 1].iter().copied())
+            || inv_last.len() != moduli.len() - 1
+        {
+            return Err(ConvRestoreError::ShapeMismatch);
+        }
+        let last = *moduli.last().expect("non-empty basis");
+        for (index, (ctx, &inv)) in out.ctxs.iter().zip(&inv_last).enumerate() {
+            if inv >= ctx.q || ctx.mul_mod(inv, last % ctx.q) != 1 {
+                return Err(ConvRestoreError::BadInverse { index });
+            }
+        }
+        Ok(RescalePlan {
+            src_moduli: moduli,
+            out,
+            inv_last,
+        })
     }
 
     pub(crate) fn check_source(&self, src: &RnsPlan) {
@@ -1039,6 +1411,47 @@ impl RescaleExtendPlan {
                 CompiledKernel::compile(&self.mul_fused_kernel_ir())
                     .expect("generated fused chain kernel compiles"),
             )
+        })
+    }
+
+    /// The folded per-row factors `f_r = m_k^{-1}·(M⁻/m_r)^{-1} mod m_r` — the
+    /// serialization view used by session snapshots.
+    pub fn fused_factors(&self) -> &[u64] {
+        &self.fused
+    }
+
+    /// Rebuilds a fused rescale-and-extend plan from its already-restored
+    /// halves plus the folded factor table. The conversion half must be built
+    /// over the rescale half's output basis, and each folded factor must equal
+    /// `inv_last[r] · inv_punctured[r] mod m_r` exactly; anything else fails
+    /// closed.
+    pub fn from_parts(
+        rescale: RescalePlan,
+        bc: BaseConvPlan,
+        fused: Vec<u64>,
+    ) -> Result<Self, ConvRestoreError> {
+        let km1 = rescale.out.moduli_count();
+        if !bc.src_moduli.iter().copied().eq(rescale.out.moduli()) || fused.len() != km1 {
+            return Err(ConvRestoreError::ShapeMismatch);
+        }
+        for (index, (((ctx, &inv_last), &ip), &f)) in rescale
+            .out
+            .ctxs
+            .iter()
+            .zip(&rescale.inv_last)
+            .zip(&bc.inv_punctured)
+            .zip(&fused)
+            .enumerate()
+        {
+            if f != ctx.mul_mod(inv_last, ip) {
+                return Err(ConvRestoreError::BadFusedFactor { index });
+            }
+        }
+        Ok(RescaleExtendPlan {
+            rescale,
+            bc,
+            fused,
+            mul_kernel: OnceLock::new(),
         })
     }
 
@@ -1556,6 +1969,158 @@ mod tests {
             let converted = src.base_convert(&dst, &src.to_residues(&x));
             let back = dst.from_residues(&converted);
             assert_eq!(&back % src.product(), x);
+        }
+    }
+
+    /// A (source, fused-chain) pair plus a batch of values under the source
+    /// product, shared by the restore and pooling tests.
+    fn chain_fixture() -> (RnsPlan, RescaleExtendPlan, Vec<BigUint>) {
+        let src = RnsPlan::new(&RnsContext::with_moduli(&mixed_basis(0x77)));
+        let dst = RnsPlan::new(&RnsContext::with_moduli(&primes(0xd0, 5, 31)));
+        let p = RescaleExtendPlan::new(&src, &dst);
+        let mut rng = StdRng::seed_from_u64(0xf1f7);
+        let values: Vec<BigUint> = (0..13)
+            .map(|_| moma_bignum::random::random_below(&mut rng, src.product()))
+            .collect();
+        (src, p, values)
+    }
+
+    #[test]
+    fn restore_constructors_roundtrip_bit_for_bit() {
+        let (src, p, values) = chain_fixture();
+        let a = RnsMatrix::from_biguints(&src, &values);
+
+        // BaseConvPlan: tables out, tables back in, identical results.
+        let (ip, cross) = p.bc.conversion_tables();
+        let bc2 = BaseConvPlan::from_tables(&p.rescale.out, &p.bc.dst, ip.to_vec(), cross.to_vec())
+            .expect("fresh conversion tables restore");
+        assert_eq!(bc2.source_moduli(), p.bc.source_moduli());
+        assert_eq!(bc2.conversion_tables(), p.bc.conversion_tables());
+
+        // RescalePlan.
+        let rp2 = RescalePlan::from_tables(&src, p.rescale.out.clone(), p.rescale.inv_last.clone())
+            .expect("fresh rescale tables restore");
+        assert_eq!(rp2.inverse_table(), p.rescale.inverse_table());
+
+        // RescaleExtendPlan from the two restored halves: the rebuilt chain
+        // computes bit-for-bit what the freshly built one does.
+        let p2 = RescaleExtendPlan::from_parts(rp2, bc2, p.fused_factors().to_vec())
+            .expect("fresh fused factors restore");
+        assert_eq!(p2.fused_factors(), p.fused_factors());
+        let (fresh, _) = src.rescale_then_extend(&p, &a);
+        let (restored, _) = src.rescale_then_extend(&p2, &a);
+        assert_eq!(restored, fresh);
+    }
+
+    #[test]
+    fn restore_constructors_fail_closed() {
+        let (src, p, _) = chain_fixture();
+        let out = &p.rescale.out;
+        let dst = &p.bc.dst;
+        let (ip, cross) = p.bc.conversion_tables();
+
+        // BaseConvPlan: truncated tables, flipped pseudo factor, flipped cross word.
+        assert!(matches!(
+            BaseConvPlan::from_tables(out, dst, ip[1..].to_vec(), cross.to_vec()),
+            Err(ConvRestoreError::ShapeMismatch)
+        ));
+        let mut bad_ip = ip.to_vec();
+        bad_ip[2] ^= 1;
+        assert!(matches!(
+            BaseConvPlan::from_tables(out, dst, bad_ip, cross.to_vec()),
+            Err(ConvRestoreError::BadPseudoFactor { index: 2 })
+        ));
+        let mut bad_cross = cross.to_vec();
+        bad_cross[4] ^= 1;
+        assert!(matches!(
+            BaseConvPlan::from_tables(out, dst, ip.to_vec(), bad_cross),
+            Err(ConvRestoreError::BadCrossTable { index: 4 })
+        ));
+
+        // RescalePlan: flipped inverse, wrong output basis, short table.
+        let mut bad_inv = p.rescale.inv_last.clone();
+        bad_inv[0] ^= 1;
+        assert!(matches!(
+            RescalePlan::from_tables(&src, out.clone(), bad_inv),
+            Err(ConvRestoreError::BadInverse { index: 0 })
+        ));
+        assert!(matches!(
+            RescalePlan::from_tables(&src, dst.clone(), p.rescale.inv_last.clone()),
+            Err(ConvRestoreError::ShapeMismatch)
+        ));
+        assert!(matches!(
+            RescalePlan::from_tables(&src, out.clone(), p.rescale.inv_last[1..].to_vec()),
+            Err(ConvRestoreError::ShapeMismatch)
+        ));
+
+        // RescaleExtendPlan: flipped fused factor, conversion half over the
+        // wrong basis.
+        let rp = RescalePlan::new(&src);
+        let bc = BaseConvPlan::new(out, dst);
+        let mut bad_fused = p.fused_factors().to_vec();
+        bad_fused[1] ^= 1;
+        assert!(matches!(
+            RescaleExtendPlan::from_parts(rp, bc, bad_fused),
+            Err(ConvRestoreError::BadFusedFactor { index: 1 })
+        ));
+        let rp = RescalePlan::new(&src);
+        let wrong_bc = BaseConvPlan::new(&src, dst);
+        assert!(matches!(
+            RescaleExtendPlan::from_parts(rp, wrong_bc, p.fused_factors().to_vec()),
+            Err(ConvRestoreError::ShapeMismatch)
+        ));
+    }
+
+    #[test]
+    fn pooled_conversion_chain_matches_heap_and_goes_allocation_free() {
+        let (src, p, values) = chain_fixture();
+        let pool = moma_gpu::BufferPool::new();
+        let a = RnsMatrix::from_biguints(&src, &values);
+
+        // Heap references (and their advertised plane allocations).
+        let (heap_sr, sr_stats) = src.scale_and_round(&p.rescale, &a);
+        assert_eq!(sr_stats.allocs, 1);
+        let (heap_bc, bc_stats) = p.rescale.out.base_convert(&p.bc, &heap_sr);
+        assert_eq!(bc_stats.allocs, 2, "output plane plus pseudo plane");
+        let (heap_fused, fused_stats) = src.rescale_then_extend(&p, &a);
+        assert_eq!(fused_stats.allocs, 2);
+        let (heap_two_pass, _) = src.rescale_then_extend_two_pass(&p, &a);
+        assert_eq!(heap_two_pass, heap_bc);
+
+        // Warm the pool with one cold round shaped exactly like the steady
+        // state — all four results held concurrently — so the shelves end up
+        // with enough resident planes for the peak demand.
+        {
+            let (mut sr, _) = src.scale_and_round_pooled(&p.rescale, &a, &pool);
+            let (mut bc, _) = p.rescale.out.base_convert_pooled(&p.bc, &sr, &pool);
+            let (mut fused, _) = src.rescale_then_extend_pooled(&p, &a, &pool);
+            let (mut two, _) = src.rescale_then_extend_two_pass_pooled(&p, &a, &pool);
+            pool.recycle(sr.take_storage());
+            pool.recycle(bc.take_storage());
+            pool.recycle(fused.take_storage());
+            pool.recycle(two.take_storage());
+        }
+
+        // Steady state: bit-identical to the heap path, zero pool misses.
+        for round in 0..4 {
+            let before = pool.misses();
+            let (mut sr, sr_stats) = src.scale_and_round_pooled(&p.rescale, &a, &pool);
+            let (mut bc, bc_stats) = p.rescale.out.base_convert_pooled(&p.bc, &sr, &pool);
+            let (mut fused, fused_stats) = src.rescale_then_extend_pooled(&p, &a, &pool);
+            let (mut two, two_stats) = src.rescale_then_extend_two_pass_pooled(&p, &a, &pool);
+            assert_eq!(sr, heap_sr, "round {round}");
+            assert_eq!(bc, heap_bc, "round {round}");
+            assert_eq!(fused, heap_fused, "round {round}");
+            assert_eq!(two, heap_two_pass, "round {round}");
+            assert_eq!(sr_stats.allocs, 0, "round {round}");
+            assert_eq!(bc_stats.allocs, 0, "round {round}");
+            assert_eq!(fused_stats.allocs, 0, "round {round}");
+            assert_eq!(two_stats.allocs, 0, "round {round}");
+            assert_eq!(pool.misses(), before, "round {round} never missed");
+            pool.recycle(sr.take_storage());
+            pool.recycle(bc.take_storage());
+            pool.recycle(fused.take_storage());
+            pool.recycle(two.take_storage());
         }
     }
 }

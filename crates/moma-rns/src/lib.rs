@@ -38,8 +38,8 @@ pub mod baseconv;
 pub mod plan;
 pub mod vector;
 
-pub use baseconv::{BaseConvPlan, RescaleExtendPlan, RescalePlan};
-pub use plan::{RnsMatrix, RnsPlan};
+pub use baseconv::{BaseConvPlan, ConvRestoreError, RescaleExtendPlan, RescalePlan};
+pub use plan::{PlanRestoreError, RnsMatrix, RnsPlan};
 
 use moma_bignum::{prime, BigUint};
 use moma_mp::single::SingleBarrett;

@@ -36,10 +36,54 @@ use crate::{RnsContext, RnsInt};
 use moma_bignum::BigUint;
 use moma_blas::BlasOp;
 use moma_gpu::launch::{launch_chunks, launch_compiled, launch_compiled_rows, LaunchStats};
+use moma_gpu::pool::BufferPool;
 use moma_ir::compiled::CompiledKernel;
 use moma_ir::{Kernel, KernelBuilder, Op, Operand, Ty};
 use moma_mp::single::SingleBarrett;
 use std::sync::{Arc, OnceLock};
+
+/// Why a restored [`RnsPlan`] table set was rejected by
+/// [`RnsPlan::from_tables`]. Every variant is fail-closed: nothing about the
+/// plan is usable once validation stops.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanRestoreError {
+    /// A modulus is outside the supported range (`q < 2` or above 60 bits).
+    BadModulus {
+        /// The rejected modulus.
+        q: u64,
+    },
+    /// The basis is empty or the CRT table length does not match it.
+    ShapeMismatch,
+    /// The claimed product is not the product of the moduli.
+    BadProduct,
+    /// A CRT entry fails its identity (`M_i · m_i ≠ product` or
+    /// `y_i · M_i ≢ 1 mod m_i`).
+    BadCrt {
+        /// Index of the offending basis modulus.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for PlanRestoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanRestoreError::BadModulus { q } => {
+                write!(f, "modulus {q} is outside the supported 60-bit range")
+            }
+            PlanRestoreError::ShapeMismatch => {
+                write!(f, "basis and CRT table shapes do not match")
+            }
+            PlanRestoreError::BadProduct => {
+                write!(f, "claimed dynamic range is not the product of the moduli")
+            }
+            PlanRestoreError::BadCrt { index } => {
+                write!(f, "CRT entry {index} fails its reconstruction identity")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanRestoreError {}
 
 /// Precomputed per-basis execution data for the planned residue engine.
 ///
@@ -153,6 +197,79 @@ impl RnsPlan {
         &self.product
     }
 
+    /// The CRT reconstruction tables, `(M_i = product/m_i, y_i = M_i^{-1} mod
+    /// m_i)` per basis modulus — the serialization view used by session
+    /// snapshots (the `M_i` are the expensive-to-rebuild part: one
+    /// arbitrary-precision division each on a cold build).
+    pub fn crt_tables(&self) -> &[(BigUint, u64)] {
+        &self.crt
+    }
+
+    /// Rebuilds a plan from snapshot data: the basis moduli, their product, and
+    /// the CRT tables. This is the warm-start constructor — it skips the prime
+    /// search and every `product / m_i` division — but it does **not** trust
+    /// its input: the product is re-derived by multiplication, and each CRT
+    /// entry must satisfy `M_i · m_i = product` and `y_i · M_i ≡ 1 (mod m_i)`.
+    /// Together those identities force the moduli to be pairwise coprime (an
+    /// inverse of `M_i = ∏_{j≠i} m_j` exists mod `m_i` only then), which is all
+    /// CRT correctness needs; primality is a property of the *generated* bases,
+    /// not a requirement of the arithmetic. Barrett contexts, narrow-path
+    /// verdicts, and limb-radix residues are recomputed, never deserialized.
+    pub fn from_tables(
+        moduli: &[u64],
+        product: BigUint,
+        crt: Vec<(BigUint, u64)>,
+    ) -> Result<Self, PlanRestoreError> {
+        if let Some(&q) = moduli
+            .iter()
+            .find(|&&q| q < 2 || (64 - q.leading_zeros()) > 60)
+        {
+            return Err(PlanRestoreError::BadModulus { q });
+        }
+        if moduli.is_empty() || crt.len() != moduli.len() {
+            return Err(PlanRestoreError::ShapeMismatch);
+        }
+        let mut check = BigUint::from(1u64);
+        for &m in moduli {
+            check = &check * &BigUint::from(m);
+        }
+        if check != product {
+            return Err(PlanRestoreError::BadProduct);
+        }
+        let ctxs: Vec<SingleBarrett> = moduli.iter().map(|&m| SingleBarrett::new(m)).collect();
+        for (index, ((mi, yi), ctx)) in crt.iter().zip(&ctxs).enumerate() {
+            let m_big = BigUint::from(ctx.q);
+            let residue = (mi % &m_big).to_u64().expect("residue fits a word");
+            if *yi >= ctx.q || mi * &m_big != product || ctx.mul_mod(*yi, residue) != 1 {
+                return Err(PlanRestoreError::BadCrt { index });
+            }
+        }
+        let narrow: Vec<bool> = ctxs.iter().map(SingleBarrett::is_narrow).collect();
+        let max_limbs = product.bits().div_ceil(64) as usize;
+        let limb_residues = ctxs
+            .iter()
+            .map(|b| {
+                let radix = b.radix_residue();
+                let mut pows = Vec::with_capacity(max_limbs);
+                let mut cur = 1u64;
+                for _ in 0..max_limbs {
+                    pows.push(cur);
+                    cur = b.mul_mod(cur, radix);
+                }
+                pows
+            })
+            .collect();
+        Ok(RnsPlan {
+            ctxs,
+            narrow,
+            limb_residues,
+            product,
+            crt,
+            mul_kernels: OnceLock::new(),
+            axpy_kernel: OnceLock::new(),
+        })
+    }
+
     /// Converts one positional integer into residues with no `BigUint`
     /// arithmetic: each residue is a Barrett dot product of the value's machine
     /// words against the precomputed limb-radix residues.
@@ -221,9 +338,62 @@ impl RnsPlan {
         a: &RnsMatrix,
         b: &RnsMatrix,
     ) -> (RnsMatrix, LaunchStats) {
+        // One flat allocation; every launcher thread fills its own residue row in
+        // place (no per-row collection or concatenation).
+        let mut data = vec![0u64; self.moduli_count() * a.cols];
+        let mut stats = self.apply_rows(op, scalar, a, b, &mut data);
+        stats.allocs += usize::from(a.cols > 0);
+        (
+            RnsMatrix {
+                rows: self.moduli_count(),
+                cols: a.cols,
+                data,
+            },
+            stats,
+        )
+    }
+
+    /// [`RnsPlan::apply`] with the output plane acquired from `pool` instead of
+    /// the allocator. The returned statistics count pool *misses* in the window
+    /// as allocations, so a warm pool reports `allocs == 0`; the caller owns
+    /// the result and decides when its storage flows back (see
+    /// [`RnsMatrix::take_storage`]).
+    pub fn apply_pooled(
+        &self,
+        op: BlasOp,
+        scalar: Option<&RnsInt>,
+        a: &RnsMatrix,
+        b: &RnsMatrix,
+        pool: &BufferPool,
+    ) -> (RnsMatrix, LaunchStats) {
+        let before = pool.misses();
+        let mut data = pool.acquire(self.moduli_count() * a.cols);
+        let mut stats = self.apply_rows(op, scalar, a, b, &mut data);
+        stats.allocs += (pool.misses() - before) as usize;
+        (
+            RnsMatrix {
+                rows: self.moduli_count(),
+                cols: a.cols,
+                data,
+            },
+            stats,
+        )
+    }
+
+    /// The shared body of [`RnsPlan::apply`] and [`RnsPlan::apply_pooled`]:
+    /// validates shapes and fills the caller-provided output plane.
+    fn apply_rows(
+        &self,
+        op: BlasOp,
+        scalar: Option<&RnsInt>,
+        a: &RnsMatrix,
+        b: &RnsMatrix,
+        data: &mut [u64],
+    ) -> LaunchStats {
         self.check_shape(a);
         self.check_shape(b);
         assert_eq!(a.cols, b.cols, "matrix width mismatch");
+        assert_eq!(data.len(), self.moduli_count() * a.cols);
         let scalar = match op {
             BlasOp::Axpy => {
                 let s = scalar.expect("axpy requires an RNS scalar");
@@ -237,13 +407,10 @@ impl RnsPlan {
             _ => None,
         };
         let cols = a.cols;
-        // One flat allocation; every launcher thread fills its own residue row in
-        // place (no per-row collection or concatenation).
-        let mut data = vec![0u64; self.moduli_count() * cols];
-        let stats = if cols == 0 {
+        if cols == 0 {
             LaunchStats::default()
         } else {
-            launch_chunks(&mut data, cols, |r, out| {
+            launch_chunks(data, cols, |r, out| {
                 let ctx = &self.ctxs[r];
                 // Per-row dispatch recorded at plan build: the narrow
                 // single-widening-multiplication path for validated ≤32-bit
@@ -275,15 +442,7 @@ impl RnsPlan {
                     }
                 }
             })
-        };
-        (
-            RnsMatrix {
-                rows: self.moduli_count(),
-                cols,
-                data,
-            },
-            stats,
-        )
+        }
     }
 
     /// Element-wise `a * b` routed through a *generated* machine-level modular
@@ -314,8 +473,11 @@ impl RnsPlan {
         for (r, compiled) in kernels.iter().enumerate() {
             let ar = a.row(r);
             let br = b.row(r);
-            let (outs, stats) = launch_compiled(compiled, cols, |i| vec![ar[i], br[i]]);
-            data.extend(outs.iter().map(|o| o[0]));
+            let (outs, stats) = launch_compiled(compiled, cols, |i, params| {
+                params[0] = ar[i];
+                params[1] = br[i];
+            });
+            data.extend_from_slice(&outs);
             total.accumulate(stats);
         }
         (
@@ -431,6 +593,45 @@ impl RnsPlan {
         z: &RnsMatrix,
         compiled: &CompiledKernel,
     ) -> (RnsMatrix, LaunchStats) {
+        let rows = self.moduli_count();
+        let cols = a.cols;
+        let mut data = vec![0u64; rows * cols];
+        let mut stats = self.mul_axpy_fused_rows(a, b, s, z, compiled, &mut data);
+        stats.allocs += usize::from(cols > 0);
+        (RnsMatrix { rows, cols, data }, stats)
+    }
+
+    /// [`RnsPlan::mul_axpy_fused_with`] with the output plane acquired from
+    /// `pool`; `allocs` reports the pool-miss delta of the window.
+    pub fn mul_axpy_fused_with_pool(
+        &self,
+        a: &RnsMatrix,
+        b: &RnsMatrix,
+        s: &RnsInt,
+        z: &RnsMatrix,
+        compiled: &CompiledKernel,
+        pool: &BufferPool,
+    ) -> (RnsMatrix, LaunchStats) {
+        let rows = self.moduli_count();
+        let cols = a.cols;
+        let before = pool.misses();
+        let mut data = pool.acquire(rows * cols);
+        let mut stats = self.mul_axpy_fused_rows(a, b, s, z, compiled, &mut data);
+        stats.allocs += (pool.misses() - before) as usize;
+        (RnsMatrix { rows, cols, data }, stats)
+    }
+
+    /// The shared body of the fused-chain entry points: validates shapes and
+    /// fills the caller-provided output plane.
+    fn mul_axpy_fused_rows(
+        &self,
+        a: &RnsMatrix,
+        b: &RnsMatrix,
+        s: &RnsInt,
+        z: &RnsMatrix,
+        compiled: &CompiledKernel,
+        data: &mut [u64],
+    ) -> LaunchStats {
         self.check_shape(a);
         self.check_shape(b);
         self.check_shape(z);
@@ -448,11 +649,11 @@ impl RnsPlan {
             (4 * rows, rows),
             "fused chain kernel shape must match the basis"
         );
-        let mut data = vec![0u64; rows * cols];
-        let stats = if cols == 0 {
+        assert_eq!(data.len(), rows * cols);
+        if cols == 0 {
             LaunchStats::default()
         } else {
-            launch_compiled_rows(compiled, &mut data, cols, |p, lo, lanes| {
+            launch_compiled_rows(compiled, data, cols, |p, lo, lanes| {
                 let r = p / 4;
                 let plane = match p % 4 {
                     0 => &a.data,
@@ -462,8 +663,7 @@ impl RnsPlan {
                 };
                 lanes.copy_from_slice(&plane[r * cols + lo..r * cols + lo + lanes.len()]);
             })
-        };
-        (RnsMatrix { rows, cols, data }, stats)
+        }
     }
 
     /// Reduces every element modulo a user modulus `q` that is not the basis
@@ -566,13 +766,39 @@ impl RnsMatrix {
     ///
     /// Panics if any value is not below the plan's dynamic range.
     pub fn from_biguints(plan: &RnsPlan, values: &[BigUint]) -> Self {
+        let mut data = vec![0u64; plan.moduli_count() * values.len()];
+        Self::fill_from_biguints(plan, values, &mut data);
+        RnsMatrix {
+            rows: plan.moduli_count(),
+            cols: values.len(),
+            data,
+        }
+    }
+
+    /// [`RnsMatrix::from_biguints`] with the residue plane acquired from `pool`
+    /// instead of the allocator. The matrix owns the buffer; recycle it through
+    /// [`RnsMatrix::take_storage`] (or an owner's `Drop`, as `moma`'s `RnsVec`
+    /// does) when the matrix is done.
+    pub fn from_biguints_pooled(plan: &RnsPlan, values: &[BigUint], pool: &BufferPool) -> Self {
+        let mut data = pool.acquire(plan.moduli_count() * values.len());
+        Self::fill_from_biguints(plan, values, &mut data);
+        RnsMatrix {
+            rows: plan.moduli_count(),
+            cols: values.len(),
+            data,
+        }
+    }
+
+    /// The shared forward-conversion body: one launcher thread per residue row,
+    /// writing into the caller-provided plane.
+    fn fill_from_biguints(plan: &RnsPlan, values: &[BigUint], data: &mut [u64]) {
         for v in values {
             assert!(v < &plan.product, "value exceeds the RNS dynamic range");
         }
         let cols = values.len();
-        let mut data = vec![0u64; plan.moduli_count() * cols];
+        assert_eq!(data.len(), plan.moduli_count() * cols);
         if cols > 0 {
-            launch_chunks(&mut data, cols, |r, out| {
+            launch_chunks(data, cols, |r, out| {
                 let ctx = &plan.ctxs[r];
                 let narrow = plan.narrow[r];
                 let pows = &plan.limb_residues[r];
@@ -581,11 +807,29 @@ impl RnsMatrix {
                 }
             });
         }
+    }
+
+    /// A copy of this matrix whose residue plane comes from `pool` instead of
+    /// the allocator — the pooled twin of `Clone`, used by owners that recycle
+    /// their planes on drop.
+    pub fn clone_with_pool(&self, pool: &BufferPool) -> Self {
+        let mut data = pool.acquire(self.data.len());
+        data.copy_from_slice(&self.data);
         RnsMatrix {
-            rows: plan.moduli_count(),
-            cols,
+            rows: self.rows,
+            cols: self.cols,
             data,
         }
+    }
+
+    /// Tears the matrix down to its flat storage, leaving it empty (0 × 0).
+    /// This is the hand-back half of the pooled lifecycle: an owner that
+    /// acquired the plane from a [`BufferPool`] takes the storage here and
+    /// recycles it instead of letting the `Vec` drop to the allocator.
+    pub fn take_storage(&mut self) -> Vec<u64> {
+        self.rows = 0;
+        self.cols = 0;
+        std::mem::take(&mut self.data)
     }
 
     /// Number of residue rows (= basis moduli).
@@ -824,5 +1068,129 @@ mod tests {
         let large = RnsPlan::with_capacity_bits(256);
         let m = RnsMatrix::from_biguints(&large, &[BigUint::one()]);
         small.mul(&m, &m);
+    }
+
+    #[test]
+    fn from_tables_roundtrips_bit_for_bit() {
+        let (_, plan, a, b) = setup(11, 150);
+        let moduli: Vec<u64> = plan.moduli().collect();
+        let restored =
+            RnsPlan::from_tables(&moduli, plan.product.clone(), plan.crt_tables().to_vec())
+                .expect("fresh tables restore");
+        assert_eq!(restored.moduli().collect::<Vec<u64>>(), moduli);
+        assert_eq!(restored.product, plan.product);
+        assert_eq!(restored.crt_tables(), plan.crt_tables());
+        assert_eq!(restored.narrow, plan.narrow);
+        assert_eq!(restored.limb_residues, plan.limb_residues);
+        // The restored plan computes identically to the fresh one.
+        let ma = RnsMatrix::from_biguints(&restored, &a);
+        let mb = RnsMatrix::from_biguints(&restored, &b);
+        assert_eq!(restored.mul(&ma, &mb), plan.mul(&ma, &mb));
+        assert_eq!(plan.to_biguints(&restored.mul(&ma, &mb)).len(), a.len());
+    }
+
+    #[test]
+    fn from_tables_fails_closed() {
+        let plan = RnsPlan::with_capacity_bits(128);
+        let moduli: Vec<u64> = plan.moduli().collect();
+        let product = plan.product.clone();
+        let crt = plan.crt_tables().to_vec();
+
+        // Modulus out of range.
+        let mut bad = moduli.clone();
+        bad[0] = 1;
+        assert!(matches!(
+            RnsPlan::from_tables(&bad, product.clone(), crt.clone()),
+            Err(PlanRestoreError::BadModulus { q: 1 })
+        ));
+        let mut wide = moduli.clone();
+        wide[0] = 1 << 61;
+        assert!(matches!(
+            RnsPlan::from_tables(&wide, product.clone(), crt.clone()),
+            Err(PlanRestoreError::BadModulus { .. })
+        ));
+
+        // Table count disagrees with the basis.
+        assert!(matches!(
+            RnsPlan::from_tables(&moduli, product.clone(), crt[1..].to_vec()),
+            Err(PlanRestoreError::ShapeMismatch)
+        ));
+        assert!(matches!(
+            RnsPlan::from_tables(&[], BigUint::one(), Vec::new()),
+            Err(PlanRestoreError::ShapeMismatch)
+        ));
+
+        // Product that is not the basis product.
+        assert!(matches!(
+            RnsPlan::from_tables(&moduli, &product + &BigUint::one(), crt.clone()),
+            Err(PlanRestoreError::BadProduct)
+        ));
+
+        // A flipped inverse word.
+        let mut tampered = crt.clone();
+        tampered[1].1 ^= 1;
+        assert!(matches!(
+            RnsPlan::from_tables(&moduli, product.clone(), tampered),
+            Err(PlanRestoreError::BadCrt { index: 1 })
+        ));
+
+        // A perturbed punctured product M_i.
+        let mut tampered = crt.clone();
+        tampered[0].0 = &tampered[0].0 + &BigUint::one();
+        assert!(matches!(
+            RnsPlan::from_tables(&moduli, product.clone(), tampered),
+            Err(PlanRestoreError::BadCrt { index: 0 })
+        ));
+
+        // Everything intact still restores.
+        assert!(RnsPlan::from_tables(&moduli, product, crt).is_ok());
+    }
+
+    #[test]
+    fn pooled_ops_match_heap_and_go_allocation_free_when_warm() {
+        let (_, plan, a, b) = setup(14, 120);
+        let pool = BufferPool::new();
+        let ma = RnsMatrix::from_biguints(&plan, &a);
+        let mb = RnsMatrix::from_biguints(&plan, &b);
+        let s = plan.to_residues(&BigUint::from(0x5eedu64));
+        let compiled = CompiledKernel::compile(&plan.mul_axpy_kernel_ir()).unwrap();
+
+        let (heap_mul, heap_stats) = plan.apply(BlasOp::VecMul, None, &ma, &mb);
+        assert_eq!(heap_stats.allocs, 1, "heap path allocates its plane");
+        let (heap_fused, _) = plan.mul_axpy_fused_with(&ma, &mb, &s, &mb, &compiled);
+
+        // Cold pool: the planes miss, so the first round reports allocations.
+        let (mut cold_mul, cold_stats) = plan.apply_pooled(BlasOp::VecMul, None, &ma, &mb, &pool);
+        assert_eq!(cold_mul, heap_mul, "pooled result is bit-identical");
+        assert_eq!(cold_stats.allocs, 1, "cold pool misses once");
+        let (mut cold_fused, _) =
+            plan.mul_axpy_fused_with_pool(&ma, &mb, &s, &mb, &compiled, &pool);
+        assert_eq!(cold_fused, heap_fused);
+        pool.recycle(cold_mul.take_storage());
+        pool.recycle(cold_fused.take_storage());
+
+        // Warm pool: every plane is served from the shelves.
+        for round in 0..5 {
+            let before = pool.misses();
+            let (mut warm_mul, warm_stats) =
+                plan.apply_pooled(BlasOp::VecMul, None, &ma, &mb, &pool);
+            let (mut warm_fused, fused_stats) =
+                plan.mul_axpy_fused_with_pool(&ma, &mb, &s, &mb, &compiled, &pool);
+            assert_eq!(warm_mul, heap_mul, "round {round}");
+            assert_eq!(warm_fused, heap_fused, "round {round}");
+            assert_eq!(warm_stats.allocs, 0, "round {round} mul is allocation-free");
+            assert_eq!(
+                fused_stats.allocs, 0,
+                "round {round} fused is allocation-free"
+            );
+            assert_eq!(pool.misses(), before, "round {round} never missed");
+            pool.recycle(warm_mul.take_storage());
+            pool.recycle(warm_fused.take_storage());
+        }
+
+        // from_biguints_pooled follows the same contract.
+        let mut pooled_in = RnsMatrix::from_biguints_pooled(&plan, &a, &pool);
+        assert_eq!(pooled_in, ma);
+        pool.recycle(pooled_in.take_storage());
     }
 }

@@ -31,6 +31,7 @@
 
 use crate::fault::{Fault, FaultPlan};
 use moma::bignum::BigUint;
+use moma::gpu::pool::PoolStats;
 use moma::Session;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -228,6 +229,13 @@ pub struct ServerStats {
     pub launches: u64,
     /// Size of the largest batch executed so far.
     pub largest_batch: u64,
+    /// Plane-sized heap buffers allocated while executing batches. On a warm
+    /// server every plane comes from the session's buffer pool and this stays
+    /// flat — steady state is allocation-free.
+    pub plane_allocs: u64,
+    /// Snapshot of the session's buffer-pool counters (see
+    /// [`moma::gpu::pool::BufferPool`]).
+    pub pool: PoolStats,
     /// Accepted requests not yet resolved (a gauge, not a counter).
     pub outstanding: u64,
 }
@@ -244,6 +252,7 @@ struct Counters {
     coalesced_requests: AtomicU64,
     launches: AtomicU64,
     largest_batch: AtomicU64,
+    plane_allocs: AtomicU64,
     outstanding: AtomicU64,
 }
 
@@ -475,6 +484,8 @@ impl Server {
             coalesced_requests: c.coalesced_requests.load(Ordering::Relaxed),
             launches: c.launches.load(Ordering::Relaxed),
             largest_batch: c.largest_batch.load(Ordering::Relaxed),
+            plane_allocs: c.plane_allocs.load(Ordering::Relaxed),
+            pool: self.shared.session.pool().stats(),
             outstanding: c.outstanding.load(Ordering::SeqCst),
         }
     }
@@ -888,8 +899,9 @@ fn execute_batch(shared: &Shared, batch: Vec<Envelope>) {
     // caller that saw its ticket resolve never observes the request as still
     // outstanding.
     match executed {
-        Ok((responses, launches)) => {
+        Ok((responses, launches, allocs)) => {
             counters.launches.fetch_add(launches, Ordering::Relaxed);
+            counters.plane_allocs.fetch_add(allocs, Ordering::Relaxed);
             counters
                 .completed
                 .fetch_add(batch_size as u64, Ordering::Relaxed);
@@ -923,9 +935,14 @@ fn execute_batch(shared: &Shared, batch: Vec<Envelope>) {
     }
 }
 
-/// Executes one homogeneous batch, returning per-request responses and the
-/// batch's total launch count.
-fn run_batch(shared: &Shared, seqs: &[u64], items: &[WorkItem]) -> (Vec<Response>, u64) {
+/// Executes one homogeneous batch, returning per-request responses, the
+/// batch's total launch count, and how many plane-sized heap buffers it had
+/// to allocate (zero on a warm pool).
+fn run_batch(shared: &Shared, seqs: &[u64], items: &[WorkItem]) -> (Vec<Response>, u64, u64) {
+    // Every plane the batch touches — the flat NTT buffer, encoded RNS
+    // operands, op outputs — comes from the session pool, so the pool-miss
+    // delta across the batch *is* its heap plane-allocation count.
+    let misses_before = shared.session.pool().misses();
     // Injected panic: thrown here, inside the per-batch unwind guard, so it
     // exercises the same containment path as a real planner/kernel panic.
     if let Some(seq) = seqs
@@ -937,15 +954,17 @@ fn run_batch(shared: &Shared, seqs: &[u64], items: &[WorkItem]) -> (Vec<Response
     match &items[0] {
         WorkItem::NttForward { q, n, .. } | WorkItem::NttInverse { q, n, .. } => {
             let forward = matches!(items[0], WorkItem::NttForward { .. });
-            // One flat buffer, one stage-batched transform for the whole group:
+            // One flat buffer — pooled, so a warm server never heap-allocates
+            // it — and one stage-batched transform for the whole group:
             // log2(n) + 1 launches however many requests ride along.
-            let mut flat = Vec::with_capacity(items.len() * n);
-            for item in items {
+            let pool = shared.session.pool();
+            let mut flat = pool.acquire(items.len() * n);
+            for (slot, item) in flat.chunks_exact_mut(*n).zip(items) {
                 let (WorkItem::NttForward { data, .. } | WorkItem::NttInverse { data, .. }) = item
                 else {
                     unreachable!("dispatcher groups by batch key");
                 };
-                flat.extend_from_slice(data);
+                slot.copy_from_slice(data);
             }
             let space = shared.session.ntt(*q, *n);
             let stats = if forward {
@@ -957,7 +976,9 @@ fn run_batch(shared: &Shared, seqs: &[u64], items: &[WorkItem]) -> (Vec<Response
                 .chunks_exact(*n)
                 .map(|chunk| Response::Ntt(chunk.to_vec()))
                 .collect();
-            (responses, stats.launches as u64)
+            pool.recycle(flat);
+            let allocs = pool.misses() - misses_before;
+            (responses, stats.launches as u64, allocs)
         }
         WorkItem::RnsMulRescaleExtend { tenant, .. } => {
             let (src, dst) = {
@@ -993,6 +1014,7 @@ fn run_batch(shared: &Shared, seqs: &[u64], items: &[WorkItem]) -> (Vec<Response
             (
                 responses,
                 (mul_stats.launches + chain_stats.launches) as u64,
+                shared.session.pool().misses() - misses_before,
             )
         }
     }
@@ -1078,6 +1100,45 @@ mod tests {
         assert_eq!(stats.largest_batch, 4);
         assert_eq!(stats.completed, 4);
         assert_eq!(stats.outstanding, 0);
+    }
+
+    #[test]
+    fn warm_server_serves_without_plane_allocations() {
+        let session = Session::default();
+        let server = Server::new(session.clone(), ServeConfig::default());
+        let client = server.client();
+        let space = session.ntt_default(64);
+        let src_moduli = session.rns_with_capacity(128).moduli();
+        let tenant = server.register_tenant(&src_moduli, &src_moduli[..4]);
+        let mut rng = StdRng::seed_from_u64(42);
+        let product = session.rns(&src_moduli).product().clone();
+        let rns_item = |rng: &mut StdRng| WorkItem::RnsMulRescaleExtend {
+            tenant,
+            a: (0..3).map(|_| random_below(rng, &product)).collect(),
+            b: (0..3).map(|_| random_below(rng, &product)).collect(),
+        };
+
+        // Warm-up: one request of each shape builds the plans and stocks the
+        // pool with every plane size the steady state needs.
+        client.call(ntt_item(&space, 0).0).unwrap();
+        client.call(rns_item(&mut rng)).unwrap();
+        let warm = server.stats();
+
+        for seed in 1..=40u64 {
+            if seed % 2 == 0 {
+                client.call(ntt_item(&space, seed).0).unwrap();
+            } else {
+                client.call(rns_item(&mut rng)).unwrap();
+            }
+        }
+        let after = server.stats();
+        assert_eq!(after.completed, warm.completed + 40);
+        assert_eq!(
+            after.plane_allocs, warm.plane_allocs,
+            "a warm server must serve out of the pool, not the heap"
+        );
+        assert_eq!(after.pool.misses, warm.pool.misses);
+        assert!(after.pool.hits > warm.pool.hits, "the pool was exercised");
     }
 
     #[test]

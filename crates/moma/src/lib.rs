@@ -60,10 +60,12 @@ pub mod compiler;
 pub mod engine;
 pub mod paper_data;
 pub mod session;
+pub mod snapshot;
 
 pub use compiler::{Compiler, GeneratedKernel};
 pub use moma_rewrite::{KernelOp, KernelSpec, LoweringConfig, MulAlgorithm};
 pub use session::{CacheStats, NttSpace, RnsSpace, RnsVec, Session, SessionStats};
+pub use snapshot::{RestoreReport, SnapshotError};
 
 /// Re-export of the arbitrary-precision integer crate (GMP stand-in / oracle).
 pub use moma_bignum as bignum;

@@ -93,6 +93,7 @@ use crate::engine::Series;
 use moma_bignum::BigUint;
 use moma_blas::BlasOp;
 use moma_gpu::launch::LaunchStats;
+use moma_gpu::pool::{BufferPool, PoolStats};
 use moma_gpu::{CostModel, DeviceSpec};
 use moma_ir::cache::{KernelCache, KernelCacheKey};
 use moma_ir::compiled::CompiledKernel;
@@ -147,6 +148,10 @@ pub struct SessionStats {
     /// *shape*: scalars and operands are kernel parameters, so a second
     /// identical chain request is all hits.
     pub fused: CacheStats,
+    /// The session buffer pool's counters: once the pool is warm, a
+    /// steady-state serving loop must report zero further misses — the
+    /// allocation-free property tests assert.
+    pub pool: PoolStats,
 }
 
 /// Locks a mutex, recovering the guard if a previous holder panicked.
@@ -155,7 +160,7 @@ pub struct SessionStats {
 /// update happens outside the lock, so the data behind a poisoned lock is
 /// always valid — a panicked builder thread must not wedge a long-lived
 /// serving session.
-fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+pub(crate) fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
     mutex.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
@@ -190,7 +195,7 @@ impl<V: ?Sized> Slot<V> {
 /// block on the claimant's slot); requests for different keys build fully in
 /// parallel. A panicking builder unclaims its key (the slot is removed and its
 /// waiters woken to retry), so no panic leaves the cache wedged.
-struct PlanCache<K, V: ?Sized> {
+pub(crate) struct PlanCache<K, V: ?Sized> {
     map: Mutex<HashMap<K, Arc<Slot<V>>>>,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -237,7 +242,7 @@ impl<K: std::hash::Hash + Eq + Clone, V: ?Sized> Drop for UnclaimOnPanic<'_, K, 
 }
 
 impl<K: std::hash::Hash + Eq + Clone, V: ?Sized> PlanCache<K, V> {
-    fn get_or_build(&self, key: K, build: impl FnOnce() -> Arc<V>) -> Arc<V> {
+    pub(crate) fn get_or_build(&self, key: K, build: impl FnOnce() -> Arc<V>) -> Arc<V> {
         loop {
             // Hold the map lock only long enough to find or claim the slot.
             let claimed = {
@@ -295,11 +300,41 @@ impl<K: std::hash::Hash + Eq + Clone, V: ?Sized> PlanCache<K, V> {
             contended: self.contended.load(Ordering::Relaxed),
         }
     }
+
+    /// Every published entry, for snapshotting. In-flight builds are skipped —
+    /// a snapshot taken mid-build simply omits that plan.
+    pub(crate) fn entries(&self) -> Vec<(K, Arc<V>)> {
+        let map = lock_unpoisoned(&self.map);
+        map.iter()
+            .filter_map(|(k, slot)| match &*lock_unpoisoned(&slot.state) {
+                SlotState::Ready(value) => Some((k.clone(), Arc::clone(value))),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Publishes a prebuilt value under `key` unless the key is already
+    /// present — the warm-start seeding path of [`Session::restore`]. Seeding
+    /// counts as neither hit nor miss: the counters keep measuring what this
+    /// process built or reused, not what a snapshot shipped in.
+    pub(crate) fn seed(&self, key: K, value: Arc<V>) -> bool {
+        let mut map = lock_unpoisoned(&self.map);
+        match map.entry(key) {
+            Entry::Occupied(_) => false,
+            Entry::Vacant(entry) => {
+                let slot = Arc::new(Slot::new());
+                *lock_unpoisoned(&slot.state) = SlotState::Ready(value);
+                entry.insert(slot);
+                true
+            }
+        }
+    }
 }
 
-/// Everything a session owns, shared by all of its clones. Private: the public
-/// surface is [`Session`], the cheap handle around it.
-struct SessionState {
+/// Everything a session owns, shared by all of its clones. Crate-private: the
+/// public surface is [`Session`], the cheap handle around it (the snapshot
+/// module reaches in to serialize and seed the plan caches).
+pub(crate) struct SessionState {
     device: DeviceSpec,
     compiler: Compiler,
     cost: CostModel,
@@ -308,16 +343,21 @@ struct SessionState {
     /// Compiled all-rows fused chain kernels, separate from the per-modulus
     /// `kernels` cache so chain-fusion reuse is observable on its own counters.
     fused: KernelCache,
-    ntt64: PlanCache<(u64, usize), NttPlan64>,
-    ntt_mw: PlanCache<(u32, u32, usize), dyn Any + Send + Sync>,
-    rns: PlanCache<Vec<u64>, RnsPlan>,
+    pub(crate) ntt64: PlanCache<(u64, usize), NttPlan64>,
+    pub(crate) ntt_mw: PlanCache<(u32, u32, usize), dyn Any + Send + Sync>,
+    pub(crate) rns: PlanCache<Vec<u64>, RnsPlan>,
     /// Capacity-bits → deterministic basis memo, so repeated
     /// [`Session::rns_with_capacity`] calls skip the prime search (a plain memo,
     /// not a hit-counted plan cache: it holds no built plan).
-    capacity_bases: Mutex<HashMap<u32, Vec<u64>>>,
-    baseconv: PlanCache<(Vec<u64>, Vec<u64>), BaseConvPlan>,
-    rescale: PlanCache<Vec<u64>, RescalePlan>,
-    rescale_extend: PlanCache<(Vec<u64>, Vec<u64>), RescaleExtendPlan>,
+    pub(crate) capacity_bases: Mutex<HashMap<u32, Vec<u64>>>,
+    pub(crate) baseconv: PlanCache<(Vec<u64>, Vec<u64>), BaseConvPlan>,
+    pub(crate) rescale: PlanCache<Vec<u64>, RescalePlan>,
+    pub(crate) rescale_extend: PlanCache<(Vec<u64>, Vec<u64>), RescaleExtendPlan>,
+    /// Reusable residue/twiddle planes and launcher scratch, shared by every
+    /// clone and every handle: hot-path operations acquire their working
+    /// buffers here and recycle them on handle drop, so a warm session's
+    /// steady state allocates nothing.
+    pool: BufferPool,
 }
 
 /// The cached, typed entry point to the whole MoMA runtime (see the
@@ -331,7 +371,7 @@ struct SessionState {
 /// and stampede-controlled (see the module docs).
 #[derive(Clone)]
 pub struct Session {
-    state: Arc<SessionState>,
+    pub(crate) state: Arc<SessionState>,
 }
 
 // Compile-time proof of the sharing contract: the session and every handle it
@@ -378,6 +418,7 @@ impl Session {
                 baseconv: PlanCache::default(),
                 rescale: PlanCache::default(),
                 rescale_extend: PlanCache::default(),
+                pool: BufferPool::new(),
             }),
         }
     }
@@ -396,6 +437,15 @@ impl Session {
     /// The cost model path selection runs on.
     pub fn cost_model(&self) -> &CostModel {
         &self.state.cost
+    }
+
+    /// The session's shared buffer pool: residue planes and launcher scratch
+    /// are acquired here by every hot-path operation and recycled when their
+    /// owning handle drops. Servers can route their own transient buffers
+    /// through it too, keeping the whole request path allocation-free once
+    /// warm.
+    pub fn pool(&self) -> &BufferPool {
+        &self.state.pool
     }
 
     /// Snapshot of every cache's hit/miss counters.
@@ -418,6 +468,7 @@ impl Session {
                 misses: self.state.fused.misses(),
                 contended: 0,
             },
+            pool: self.state.pool.stats(),
         }
     }
 
@@ -858,13 +909,16 @@ impl NttSpace {
     /// Forward-transforms `data.len() / n` transforms in place with one
     /// launch per butterfly stage across the whole batch (grid = batch × n/2) —
     /// the launch count of the returned statistics is `log2 n + 1` however
-    /// large the batch is.
+    /// large the batch is. The stage-crossing working plane comes from the
+    /// session pool, so a warm space transforms without heap allocation
+    /// (`allocs == 0` in the returned statistics).
     ///
     /// # Panics
     ///
     /// Panics if `data.len()` is not a non-zero multiple of `self.n()`.
     pub fn forward_batch(&self, data: &mut [u64]) -> LaunchStats {
-        self.plan.forward_batch_on_launcher(data)
+        self.plan
+            .forward_batch_on_launcher_pooled(data, &self.session.state.pool)
     }
 
     /// Inverse counterpart of [`NttSpace::forward_batch`] (with `1/n` scaling).
@@ -873,7 +927,8 @@ impl NttSpace {
     ///
     /// Panics if `data.len()` is not a non-zero multiple of `self.n()`.
     pub fn inverse_batch(&self, data: &mut [u64]) -> LaunchStats {
-        self.plan.inverse_batch_on_launcher(data)
+        self.plan
+            .inverse_batch_on_launcher_pooled(data, &self.session.state.pool)
     }
 }
 
@@ -908,16 +963,18 @@ impl RnsSpace {
         self.plan.product()
     }
 
-    /// Encodes positional integers into a residue vector over this space.
+    /// Encodes positional integers into a residue vector over this space. The
+    /// residue plane comes from the session pool and flows back into it when
+    /// the vector drops.
     ///
     /// # Panics
     ///
     /// Panics if any value is not below the dynamic range.
     pub fn encode(&self, values: &[BigUint]) -> RnsVec {
         RnsVec {
+            matrix: RnsMatrix::from_biguints_pooled(&self.plan, values, &self.session.state.pool),
             session: self.session.clone(),
             plan: Arc::clone(&self.plan),
-            matrix: RnsMatrix::from_biguints(&self.plan, values),
         }
     }
 
@@ -979,11 +1036,33 @@ impl RnsSpace {
 ///
 /// Owned like every session handle: a vector encoded on one thread can be
 /// moved to (or shared with) another and operated on there.
-#[derive(Clone)]
+///
+/// The residue plane lives on the session [`BufferPool`]: it was acquired
+/// there (by `encode` or by the operation that produced this vector) and
+/// [`Drop`] recycles it, so chained operations on a warm session allocate
+/// nothing. `Clone` copies into another pooled plane.
 pub struct RnsVec {
     session: Session,
     plan: Arc<RnsPlan>,
     matrix: RnsMatrix,
+}
+
+impl Clone for RnsVec {
+    fn clone(&self) -> Self {
+        RnsVec {
+            matrix: self.matrix.clone_with_pool(&self.session.state.pool),
+            session: self.session.clone(),
+            plan: Arc::clone(&self.plan),
+        }
+    }
+}
+
+impl Drop for RnsVec {
+    /// Hands the residue plane back to the session pool instead of the
+    /// allocator — the recycle half of the pooled lifecycle.
+    fn drop(&mut self) {
+        self.session.state.pool.recycle(self.matrix.take_storage());
+    }
 }
 
 impl RnsVec {
@@ -1023,13 +1102,25 @@ impl RnsVec {
         }
     }
 
+    /// The session pool this vector's planes cycle through.
+    fn pool(&self) -> &BufferPool {
+        &self.session.state.pool
+    }
+
     /// Element-wise `self + other`.
     ///
     /// # Panics
     ///
     /// Panics on basis or length mismatch.
     pub fn add(&self, other: &RnsVec) -> RnsVec {
-        self.wrap(self.plan.add(&self.matrix, &other.matrix))
+        let (matrix, _) = self.plan.apply_pooled(
+            BlasOp::VecAdd,
+            None,
+            &self.matrix,
+            &other.matrix,
+            self.pool(),
+        );
+        self.wrap(matrix)
     }
 
     /// Element-wise `self - other` (well-defined modulo the basis product).
@@ -1038,7 +1129,14 @@ impl RnsVec {
     ///
     /// Panics on basis or length mismatch.
     pub fn sub(&self, other: &RnsVec) -> RnsVec {
-        self.wrap(self.plan.sub(&self.matrix, &other.matrix))
+        let (matrix, _) = self.plan.apply_pooled(
+            BlasOp::VecSub,
+            None,
+            &self.matrix,
+            &other.matrix,
+            self.pool(),
+        );
+        self.wrap(matrix)
     }
 
     /// Element-wise `self * other`.
@@ -1057,9 +1155,13 @@ impl RnsVec {
     ///
     /// Panics on basis or length mismatch.
     pub fn mul_with_stats(&self, other: &RnsVec) -> (RnsVec, LaunchStats) {
-        let (matrix, stats) = self
-            .plan
-            .apply(BlasOp::VecMul, None, &self.matrix, &other.matrix);
+        let (matrix, stats) = self.plan.apply_pooled(
+            BlasOp::VecMul,
+            None,
+            &self.matrix,
+            &other.matrix,
+            self.pool(),
+        );
         (self.wrap(matrix), stats)
     }
 
@@ -1070,7 +1172,14 @@ impl RnsVec {
     /// Panics on basis or length mismatch, or if `a` exceeds the dynamic range.
     pub fn axpy(&self, a: &BigUint, y: &RnsVec) -> RnsVec {
         let scalar = self.plan.to_residues(a);
-        self.wrap(self.plan.axpy(&scalar, &self.matrix, &y.matrix))
+        let (matrix, _) = self.plan.apply_pooled(
+            BlasOp::Axpy,
+            Some(&scalar),
+            &self.matrix,
+            &y.matrix,
+            self.pool(),
+        );
+        self.wrap(matrix)
     }
 
     /// Fast base extension into `dst`'s basis (the approximate `x + αM`
@@ -1091,14 +1200,15 @@ impl RnsVec {
         let (matrix, _) = if self.session.compiled_convert_is_faster(k, l, self.len()) {
             let kernel = self.session.baseconv_fused_kernel(&bc, &self.plan);
             self.plan
-                .base_convert_fused_with(&bc, &self.matrix, &kernel)
+                .base_convert_fused_with_pool(&bc, &self.matrix, &kernel, self.pool())
         } else {
-            self.plan.base_convert(&bc, &self.matrix)
+            self.plan
+                .base_convert_pooled(&bc, &self.matrix, self.pool())
         };
         RnsVec {
+            matrix,
             session: self.session.clone(),
             plan: Arc::clone(&dst.plan),
-            matrix,
         }
     }
 
@@ -1134,15 +1244,26 @@ impl RnsVec {
         let k = self.plan.moduli_count() as u64;
         let (matrix, stats) = if self.session.fused_mul_axpy_is_faster(k, self.len()) {
             let kernel = self.session.mul_axpy_kernel(&self.plan);
-            self.plan
-                .mul_axpy_fused_with(&self.matrix, &other.matrix, &scalar, &y.matrix, &kernel)
+            self.plan.mul_axpy_fused_with_pool(
+                &self.matrix,
+                &other.matrix,
+                &scalar,
+                &y.matrix,
+                &kernel,
+                self.pool(),
+            )
         } else {
-            let (prod, mut stats) =
+            let (mut prod, mut stats) = self.plan.apply_pooled(
+                BlasOp::VecMul,
+                None,
+                &self.matrix,
+                &other.matrix,
+                self.pool(),
+            );
+            let (out, round) =
                 self.plan
-                    .apply(BlasOp::VecMul, None, &self.matrix, &other.matrix);
-            let (out, round) = self
-                .plan
-                .apply(BlasOp::Axpy, Some(&scalar), &prod, &y.matrix);
+                    .apply_pooled(BlasOp::Axpy, Some(&scalar), &prod, &y.matrix, self.pool());
+            self.pool().recycle(prod.take_storage());
             stats.accumulate(round);
             (out, stats)
         };
@@ -1185,25 +1306,36 @@ impl RnsVec {
             .fused_mul_rescale_extend_is_faster(&p, k, self.len());
         let (matrix, stats) = if fused_chain {
             let kernel = self.session.mul_rescale_extend_kernel(&p, &self.plan);
-            self.plan
-                .mul_rescale_then_extend_fused_with(&p, &self.matrix, &other.matrix, &kernel)
+            self.plan.mul_rescale_then_extend_fused_with_pool(
+                &p,
+                &self.matrix,
+                &other.matrix,
+                &kernel,
+                self.pool(),
+            )
         } else {
-            let (prod, mut stats) =
-                self.plan
-                    .apply(BlasOp::VecMul, None, &self.matrix, &other.matrix);
+            let (mut prod, mut stats) = self.plan.apply_pooled(
+                BlasOp::VecMul,
+                None,
+                &self.matrix,
+                &other.matrix,
+                self.pool(),
+            );
             let (out, round) = if p.fused_is_faster(&self.session.state.cost, self.len()) {
-                self.plan.rescale_then_extend(&p, &prod)
+                self.plan.rescale_then_extend_pooled(&p, &prod, self.pool())
             } else {
-                self.plan.rescale_then_extend_two_pass(&p, &prod)
+                self.plan
+                    .rescale_then_extend_two_pass_pooled(&p, &prod, self.pool())
             };
+            self.pool().recycle(prod.take_storage());
             stats.accumulate(round);
             (out, stats)
         };
         (
             RnsVec {
+                matrix,
                 session: self.session.clone(),
                 plan: Arc::clone(&dst.plan),
-                matrix,
             },
             stats,
         )
@@ -1218,7 +1350,9 @@ impl RnsVec {
     /// Panics if the basis has fewer than two moduli.
     pub fn rescale(&self) -> RnsVec {
         let rp = self.session.rescale_plan_for(&self.plan);
-        let (matrix, _) = self.plan.scale_and_round(&rp, &self.matrix);
+        let (matrix, _) = self
+            .plan
+            .scale_and_round_pooled(&rp, &self.matrix, self.pool());
         let out_moduli: Vec<u64> = rp.output_plan().moduli().collect();
         // The rescale plan already carries a fully built plan for the shortened
         // basis; seed the basis cache with it rather than rebuilding one (the
@@ -1229,9 +1363,9 @@ impl RnsVec {
             .rns
             .get_or_build(out_moduli, || Arc::new(rp.output_plan().clone()));
         RnsVec {
+            matrix,
             session: self.session.clone(),
             plan,
-            matrix,
         }
     }
 
@@ -1260,15 +1394,17 @@ impl RnsVec {
     pub fn rescale_then_extend_with_stats(&self, dst: &RnsSpace) -> (RnsVec, LaunchStats) {
         let p = self.session.rescale_extend_plan_for(&self.plan, &dst.plan);
         let (matrix, stats) = if p.fused_is_faster(&self.session.state.cost, self.len()) {
-            self.plan.rescale_then_extend(&p, &self.matrix)
+            self.plan
+                .rescale_then_extend_pooled(&p, &self.matrix, self.pool())
         } else {
-            self.plan.rescale_then_extend_two_pass(&p, &self.matrix)
+            self.plan
+                .rescale_then_extend_two_pass_pooled(&p, &self.matrix, self.pool())
         };
         (
             RnsVec {
+                matrix,
                 session: self.session.clone(),
                 plan: Arc::clone(&dst.plan),
-                matrix,
             },
             stats,
         )

@@ -1,0 +1,345 @@
+//! Memory-lifecycle properties of the session runtime: allocation-free
+//! steady-state serving off the shared buffer pool, and warm-start
+//! snapshot/restore of every plan cache with fail-closed validation.
+
+use moma::bignum::BigUint;
+use moma::{Session, SnapshotError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_values(rng: &mut StdRng, below: &BigUint, n: usize) -> Vec<BigUint> {
+    (0..n)
+        .map(|_| moma::bignum::random::random_below(rng, below))
+        .collect()
+}
+
+/// The acceptance property of the pooled memory lifecycle: a warm session
+/// drives a long mixed workload — batched NTTs and full RNS chains — without
+/// a single further pool miss, i.e. without one heap plane allocation.
+#[test]
+fn steady_state_serving_is_allocation_free_after_warmup() {
+    let session = Session::default();
+    let ntt = session.ntt_default(64);
+    let src = session.rns_with_capacity(160);
+    let src_moduli = src.moduli();
+    let dst = session.rns(&src_moduli[..4]);
+    let mut rng = StdRng::seed_from_u64(0x57ea_d57a);
+    let q = BigUint::from(ntt.modulus());
+
+    // Warm-up: one round of every request shape the loop below issues, so
+    // every plan is built and the pool holds planes for the peak concurrent
+    // demand of a single request.
+    let warm_values = random_values(&mut rng, src.product(), 16);
+    let scalar = BigUint::from(0x5eed_f00du64);
+    {
+        let a = src.encode(&warm_values);
+        let b = src.encode(&warm_values);
+        let _ = a.mul(&b).rescale_then_extend(&dst);
+        let _ = a.mul_rescale_then_extend(&b, &dst);
+        let _ = a.mul_axpy(&b, &scalar, &b);
+        let _ = a.add(&b).sub(&b);
+        let _ = a.base_convert(&dst);
+        let _ = a.rescale();
+        let mut data: Vec<u64> = (0..4 * 64)
+            .map(|_| {
+                moma::bignum::random::random_below(&mut rng, &q)
+                    .to_u64()
+                    .unwrap()
+            })
+            .collect();
+        let _ = ntt.forward_batch(&mut data);
+        let _ = ntt.inverse_batch(&mut data);
+    }
+
+    // Steady state: >= 100 mixed requests, zero pool misses, zero plan-cache
+    // misses, and `allocs == 0` on every stats-returning path.
+    let warm = session.stats();
+    for round in 0..110 {
+        match round % 5 {
+            0 => {
+                let mut data: Vec<u64> = (0..4 * 64)
+                    .map(|_| {
+                        moma::bignum::random::random_below(&mut rng, &q)
+                            .to_u64()
+                            .unwrap()
+                    })
+                    .collect();
+                let fwd = ntt.forward_batch(&mut data);
+                assert_eq!(fwd.allocs, 0, "round {round}: NTT batch allocated");
+                let inv = ntt.inverse_batch(&mut data);
+                assert_eq!(inv.allocs, 0, "round {round}: NTT inverse allocated");
+            }
+            1 => {
+                let values = random_values(&mut rng, src.product(), 16);
+                let a = src.encode(&values);
+                let b = a.clone();
+                let (out, stats) = a.mul_with_stats(&b);
+                assert_eq!(stats.allocs, 0, "round {round}: mul allocated");
+                let (_, stats) = out.rescale_then_extend_with_stats(&dst);
+                assert_eq!(stats.allocs, 0, "round {round}: rescale chain allocated");
+            }
+            2 => {
+                let values = random_values(&mut rng, src.product(), 16);
+                let a = src.encode(&values);
+                let b = src.encode(&values);
+                let (_, stats) = a.mul_rescale_then_extend_with_stats(&b, &dst);
+                assert_eq!(stats.allocs, 0, "round {round}: fused chain allocated");
+            }
+            3 => {
+                let values = random_values(&mut rng, src.product(), 16);
+                let a = src.encode(&values);
+                let b = src.encode(&values);
+                let (_, stats) = a.mul_axpy_with_stats(&b, &scalar, &b);
+                assert_eq!(stats.allocs, 0, "round {round}: mul_axpy allocated");
+                let _ = a.add(&b).sub(&b);
+                let _ = a.rescale();
+            }
+            _ => {
+                let values = random_values(&mut rng, src.product(), 16);
+                let a = src.encode(&values);
+                let _ = a.base_convert(&dst);
+            }
+        }
+    }
+    let after = session.stats();
+    assert_eq!(
+        after.pool.misses, warm.pool.misses,
+        "steady state must never miss the pool (i.e. never heap-allocate a plane)"
+    );
+    assert_eq!(after.ntt.misses, warm.ntt.misses, "no plan rebuilds");
+    assert_eq!(after.rns.misses, warm.rns.misses);
+    assert_eq!(after.rescale_extend.misses, warm.rescale_extend.misses);
+    assert!(
+        after.pool.hits > warm.pool.hits,
+        "the loop did use the pool"
+    );
+}
+
+/// Builds a session with every plan cache populated, returning it and a
+/// workload to crosscheck restored plans against.
+fn warm_session() -> (Session, Vec<BigUint>) {
+    let session = Session::default();
+    let _ = session.ntt_default(64);
+    let _ = session.ntt(12289, 16);
+    let _ = session.ntt_multiword::<2>(128, 32);
+    let src = session.rns_with_capacity(160);
+    let src_moduli = src.moduli();
+    let dst = session.rns(&src_moduli[..4]);
+    let mut rng = StdRng::seed_from_u64(0x5a47);
+    let values = random_values(&mut rng, src.product(), 9);
+    let v = src.encode(&values);
+    // Touch every chain so conversion, rescale, and fused plans all exist.
+    let _ = v.mul(&v).rescale_then_extend(&dst);
+    let _ = v.base_convert(&dst);
+    let _ = v.rescale();
+    (session, values)
+}
+
+#[test]
+fn snapshot_restores_every_plan_cache_bit_for_bit() {
+    let (warm, values) = warm_session();
+    let bytes = warm.snapshot();
+
+    let fresh = Session::default();
+    let report = fresh.restore(&bytes).expect("snapshot restores");
+    assert_eq!(report.ntt_plans, 2);
+    assert_eq!(report.multiword_plans, 1);
+    assert!(report.rns_plans >= 2, "source and target bases at least");
+    assert!(report.baseconv_plans >= 1);
+    assert!(report.rescale_plans >= 1);
+    assert_eq!(report.rescale_extend_plans, 1);
+    assert!(report.capacity_entries >= 1);
+
+    // Every request the warm session served is now a pure cache hit: no
+    // single-word NTT or RNS-family plan is rebuilt.
+    let src = fresh.rns_with_capacity(160);
+    let src_moduli = src.moduli();
+    let dst = fresh.rns(&src_moduli[..4]);
+    let v = fresh_encode_crosscheck(&warm, &fresh, &values, &src);
+    let _ = v.mul(&v).rescale_then_extend(&dst);
+    let _ = v.base_convert(&dst);
+    let _ = fresh.ntt_default(64);
+    let stats = fresh.stats();
+    assert_eq!(stats.ntt.misses, 0, "restored NTT plans serve all requests");
+    assert_eq!(stats.rns.misses, 0, "restored RNS plans serve all requests");
+    assert_eq!(stats.baseconv.misses, 0);
+    assert_eq!(stats.rescale_extend.misses, 0);
+
+    // Restoring the same snapshot again seeds nothing (keys all present).
+    let again = fresh.restore(&bytes).expect("idempotent restore");
+    assert_eq!(again.ntt_plans, 0);
+    assert_eq!(again.rns_plans, 0);
+    assert_eq!(again.rescale_extend_plans, 0);
+}
+
+/// Encodes the same values on both sessions and asserts the restored plans
+/// compute bit-for-bit what the originals do — the crosscheck that restored
+/// tables are the same tables, not merely compatible ones.
+fn fresh_encode_crosscheck(
+    warm: &Session,
+    fresh: &Session,
+    values: &[BigUint],
+    fresh_src: &moma::RnsSpace,
+) -> moma::RnsVec {
+    let warm_src = warm.rns_with_capacity(160);
+    let warm_moduli = warm_src.moduli();
+    let warm_dst = warm.rns(&warm_moduli[..4]);
+    let fresh_moduli = fresh_src.moduli();
+    assert_eq!(warm_moduli, fresh_moduli, "identical deterministic basis");
+    let fresh_dst = fresh.rns(&fresh_moduli[..4]);
+    let a = warm_src.encode(values);
+    let b = fresh_src.encode(values);
+    assert_eq!(a.matrix(), b.matrix(), "encode crosscheck");
+    let wa = a.mul(&a).rescale_then_extend(&warm_dst);
+    let wb = b.mul(&b).rescale_then_extend(&fresh_dst);
+    assert_eq!(wa.matrix(), wb.matrix(), "full chain crosscheck");
+
+    // And the restored single-word NTT plan transforms identically.
+    let warm_ntt = warm.ntt_default(64);
+    let fresh_ntt = fresh.ntt_default(64);
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut x: Vec<u64> = (0..64)
+        .map(|_| rng.gen_range(0..warm_ntt.modulus()))
+        .collect();
+    let mut y = x.clone();
+    warm_ntt.forward(&mut x);
+    fresh_ntt.forward(&mut y);
+    assert_eq!(x, y, "NTT crosscheck");
+    b
+}
+
+#[test]
+fn snapshot_rejects_truncation_and_tampering() {
+    let (warm, _) = warm_session();
+    let bytes = warm.snapshot();
+
+    // Truncated anywhere: fail closed. (A clean 8-byte-boundary cut can only
+    // ever fail the checksum; mid-field cuts fail earlier.)
+    for cut in [1, 8, 11, bytes.len() / 2, bytes.len() - 1] {
+        let truncated = &bytes[..cut];
+        let fresh = Session::default();
+        assert!(
+            fresh.restore(truncated).is_err(),
+            "cut at {cut} must be rejected"
+        );
+        assert_eq!(fresh.stats().ntt.misses, 0, "nothing was seeded");
+    }
+
+    // Bad magic.
+    let mut bad = bytes.clone();
+    bad[0] ^= 0xff;
+    assert!(matches!(
+        Session::default().restore(&patch_checksum(bad)),
+        Err(SnapshotError::BadMagic)
+    ));
+
+    // Version bump.
+    let mut bad = bytes.clone();
+    bad[8] = 2;
+    assert!(matches!(
+        Session::default().restore(&patch_checksum(bad)),
+        Err(SnapshotError::BadVersion { found: 2 })
+    ));
+
+    // A flipped content byte without a checksum patch.
+    let mut bad = bytes.clone();
+    let mid = bytes.len() / 2;
+    bad[mid] ^= 1;
+    assert!(matches!(
+        Session::default().restore(&bad),
+        Err(SnapshotError::BadChecksum)
+    ));
+
+    // A flipped table word *with* a correct checksum: the arithmetic
+    // validation must catch it. Flip one bit in each 8-byte word of the
+    // content and require every attempt to fail (whichever section the word
+    // lands in, some validator owns it).
+    let mut rejected = 0;
+    for word in (12..bytes.len() - 8).step_by(8) {
+        let mut bad = bytes.clone();
+        bad[word] ^= 1;
+        let fresh = Session::default();
+        if fresh.restore(&patch_checksum(bad)).is_err() {
+            rejected += 1;
+            assert_eq!(
+                fresh.stats().ntt.misses + fresh.stats().rns.misses,
+                0,
+                "a rejected snapshot must seed nothing"
+            );
+        }
+    }
+    // Not every single-bit flip is semantically detectable (e.g. a capacity
+    // memo entry or a section count shrink can parse as a smaller valid
+    // snapshot), but table words dominate the byte stream: the overwhelming
+    // majority of flips must be rejected.
+    let words = (bytes.len() - 20) / 8;
+    assert!(
+        rejected * 10 >= words * 8,
+        "only {rejected}/{words} single-word tampers were rejected"
+    );
+}
+
+#[test]
+fn snapshot_rejects_wrong_key_or_basis() {
+    let warm = Session::default();
+    let _ = warm.ntt_default(64);
+    let bytes = warm.snapshot();
+
+    // The NTT section of this minimal snapshot is: ...tag,len,count,q,n,...
+    // Find q (the paper modulus) in the byte stream and retarget the plan at
+    // a different (valid) modulus: the tables no longer validate.
+    let q = warm.ntt_default(64).modulus();
+    let pos = find_word(&bytes, q).expect("q serialized");
+    let mut bad = bytes.clone();
+    bad[pos..pos + 8].copy_from_slice(&12289u64.to_le_bytes());
+    let fresh = Session::default();
+    assert!(matches!(
+        fresh.restore(&patch_checksum(bad)),
+        Err(SnapshotError::Ntt(_))
+    ));
+    assert_eq!(fresh.stats().ntt.misses, 0, "nothing seeded");
+
+    // Same fail-closed behaviour for a tampered RNS basis modulus. The basis
+    // is requested explicitly (no capacity memo) so the first serialized
+    // occurrence of `m0` is the plan's own basis list.
+    let moduli = Session::default().rns_with_capacity(96).moduli();
+    let warm = Session::default();
+    let src = warm.rns(&moduli);
+    let m0 = src.moduli()[0];
+    let bytes = warm.snapshot();
+    let pos = find_word(&bytes, m0).expect("basis modulus serialized");
+    let mut bad = bytes.clone();
+    // Another valid-looking prime-sized odd word that is not m0.
+    bad[pos..pos + 8].copy_from_slice(&(m0 ^ 2).to_le_bytes());
+    let fresh = Session::default();
+    assert!(fresh.restore(&patch_checksum(bad)).is_err());
+    assert_eq!(fresh.stats().rns.misses, 0, "nothing seeded");
+
+    // An unknown section tag fails closed rather than being skipped.
+    let mut bad = bytes[..bytes.len() - 8].to_vec();
+    bad.extend_from_slice(&99u32.to_le_bytes());
+    bad.extend_from_slice(&0u64.to_le_bytes());
+    bad.extend_from_slice(&[0u8; 8]); // room for the recomputed trailer
+    assert!(matches!(
+        Session::default().restore(&patch_checksum(bad)),
+        Err(SnapshotError::UnknownSection { tag: 99 })
+    ));
+}
+
+/// Recomputes the trailing FNV-1a checksum after tampering with content bytes
+/// (so the arithmetic validators, not the checksum, are what reject it).
+fn patch_checksum(mut bytes: Vec<u8>) -> Vec<u8> {
+    let n = bytes.len() - 8;
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in &bytes[..n] {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    bytes[n..].copy_from_slice(&hash.to_le_bytes());
+    bytes
+}
+
+fn find_word(bytes: &[u8], word: u64) -> Option<usize> {
+    let needle = word.to_le_bytes();
+    (0..bytes.len().saturating_sub(8)).find(|&i| bytes[i..i + 8] == needle)
+}

@@ -25,19 +25,18 @@ fn generated_vecaddmod_on_simulated_gpu_matches_runtime_library() {
 
     let msb = |x: &MpUint<2>| {
         let l = x.limbs();
-        vec![l[1], l[0]]
+        [l[1], l[0]]
     };
-    let (outputs, stats) = launch_kernel(&generated.kernel, n, |i| {
-        let mut v = Vec::with_capacity(6);
-        v.extend(msb(&a[i]));
-        v.extend(msb(&b[i]));
-        v.extend(msb(&q));
-        v
+    let (outputs, stats) = launch_kernel(&generated.kernel, n, |i, params| {
+        params[0..2].copy_from_slice(&msb(&a[i]));
+        params[2..4].copy_from_slice(&msb(&b[i]));
+        params[4..6].copy_from_slice(&msb(&q));
     });
     assert_eq!(stats.threads, n);
+    // Outputs come back flat, `output_count` (here 2) words per element.
     for i in 0..n {
         let expected = ring.add(a[i], b[i]);
-        let got = MpUint::<2>::from_limbs_le(&[outputs[i][1], outputs[i][0]]);
+        let got = MpUint::<2>::from_limbs_le(&[outputs[2 * i + 1], outputs[2 * i]]);
         assert_eq!(got, expected, "element {i}");
     }
 }
@@ -102,11 +101,10 @@ fn launcher_handles_large_batches_deterministically() {
     let data: Vec<u64> = (0..10_000).map(|_| rng.gen()).collect();
     let generated = Compiler::default().compile(&KernelSpec::new(KernelOp::ModAdd, 64));
     let q = paper_modulus(64).to_u64().unwrap();
-    let (out1, _) = launch_kernel(&generated.kernel, data.len(), |i| {
-        vec![data[i] % q, data[(i + 1) % data.len()] % q, q]
-    });
-    let (out2, _) = launch_kernel(&generated.kernel, data.len(), |i| {
-        vec![data[i] % q, data[(i + 1) % data.len()] % q, q]
-    });
+    let fill = |i: usize, params: &mut [u64]| {
+        params.copy_from_slice(&[data[i] % q, data[(i + 1) % data.len()] % q, q]);
+    };
+    let (out1, _) = launch_kernel(&generated.kernel, data.len(), fill);
+    let (out2, _) = launch_kernel(&generated.kernel, data.len(), fill);
     assert_eq!(out1, out2);
 }
