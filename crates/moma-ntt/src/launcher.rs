@@ -180,13 +180,30 @@ impl NttPlan64 {
     fn inverse_batch_in(&self, data: &mut [u64], cells: &[AtomicU64]) -> LaunchStats {
         let mut stats = self.run_stages_batched(data, false, cells);
         let q = self.ctx.q;
-        let (n_inv, n_inv_shoup) = self.n_inv_pair();
-        let pass = launch_chunks(data, 1, |i, out| {
-            let t =
-                self.ctx
-                    .mul_mod_shoup_lazy(cells[i].load(Ordering::Relaxed), n_inv, n_inv_shoup);
-            out[0] = if t >= q { t - q } else { t };
-        });
+        let pass = if let Some(tw) = self.twist() {
+            // Negacyclic: the per-index ψ^{-i}·n^{-1} factor unfolds the twist
+            // inside the same scaling multiply — still one pass, one launch.
+            let n = self.n;
+            launch_chunks(data, 1, |i, out| {
+                let j = i % n;
+                let t = self.ctx.mul_mod_shoup_lazy(
+                    cells[i].load(Ordering::Relaxed),
+                    tw.inverse_scale.twiddles[j],
+                    tw.inverse_scale.shoup[j],
+                );
+                out[0] = if t >= q { t - q } else { t };
+            })
+        } else {
+            let (n_inv, n_inv_shoup) = self.n_inv_pair();
+            launch_chunks(data, 1, |i, out| {
+                let t = self.ctx.mul_mod_shoup_lazy(
+                    cells[i].load(Ordering::Relaxed),
+                    n_inv,
+                    n_inv_shoup,
+                );
+                out[0] = if t >= q { t - q } else { t };
+            })
+        };
         stats.accumulate(pass);
         stats
     }
@@ -227,6 +244,35 @@ impl NttPlan64 {
         let q = self.ctx.q;
         let two_q = self.two_q();
         let mut m = 1;
+        // A negacyclic forward runs its folded first stage here: each butterfly
+        // input is multiplied by its slot's ψ^{rev(i)} twist factor (lazy Shoup
+        // product, [0, 2q)) before the add/sub — the same launch the plain
+        // stage-1 butterflies would have used, with the twist riding along.
+        if forward {
+            if let Some(tw) = self.twist() {
+                let round = launch_indexed(batch * half, |t| {
+                    let base = (t / half) * self.n;
+                    let bf = t % half;
+                    let i = base + 2 * bf;
+                    let k = i + 1;
+                    let (j0, j1) = (2 * bf, 2 * bf + 1);
+                    let x = cells[i].load(Ordering::Relaxed);
+                    let y = cells[k].load(Ordering::Relaxed);
+                    let hi0 = ((tw.forward.shoup[j0] as u128 * x as u128) >> 64) as u64;
+                    let t0 = tw.forward.twiddles[j0]
+                        .wrapping_mul(x)
+                        .wrapping_sub(hi0.wrapping_mul(q));
+                    let hi1 = ((tw.forward.shoup[j1] as u128 * y as u128) >> 64) as u64;
+                    let t1 = tw.forward.twiddles[j1]
+                        .wrapping_mul(y)
+                        .wrapping_sub(hi1.wrapping_mul(q));
+                    cells[i].store(t0 + t1, Ordering::Relaxed);
+                    cells[k].store(t0 + two_q - t1, Ordering::Relaxed);
+                });
+                stats.accumulate(round);
+                m = 2;
+            }
+        }
         while m < self.n {
             let stage = self.stage(forward, m);
             let round = launch_indexed(batch * half, |t| {
@@ -415,6 +461,33 @@ mod tests {
         plan.inverse_on_launcher(&mut launched);
         assert_eq!(launched, inline, "inverse must match the inline plan");
         assert_eq!(launched, data);
+    }
+
+    #[test]
+    fn negacyclic_launcher_matches_inline_plan() {
+        let n = 128;
+        let batch = 3;
+        let plan = NttPlan64::negacyclic(12289, n);
+        let mut rng = StdRng::seed_from_u64(96);
+        let data: Vec<u64> = (0..batch * n)
+            .map(|_| rng.gen::<u64>() % plan.ctx.q)
+            .collect();
+        let mut launched = data.clone();
+        let stats = plan.forward_batch_on_launcher(&mut launched);
+        // The folded twist stage replaces the plain stage 1: still one launch
+        // per stage plus the normalize pass.
+        assert_eq!(stats.launches, n.trailing_zeros() as usize + 1);
+        let mut inline = data.clone();
+        for transform in inline.chunks_exact_mut(n) {
+            plan.forward(transform);
+        }
+        assert_eq!(launched, inline, "negacyclic forward must match inline");
+        let inv_stats = plan.inverse_batch_on_launcher(&mut launched);
+        assert_eq!(inv_stats.launches, n.trailing_zeros() as usize + 1);
+        assert_eq!(
+            launched, data,
+            "negacyclic batched inverse ∘ forward must be the identity"
+        );
     }
 
     #[test]

@@ -23,6 +23,7 @@ use crate::params::NttParams;
 use crate::transform::{bit_reverse_permute, stage_roots, stage_roots_u64, Ntt64};
 use moma_mp::single::SingleBarrett;
 use moma_mp::{ModRing, MpUint, MulAlgorithm};
+use rand::SeedableRng;
 
 /// A reusable execution plan for `n`-point transforms over `L`-limb elements.
 ///
@@ -204,6 +205,40 @@ pub struct NttPlan64 {
     inv_shoup: Vec<u64>,
     n_inv: u64,
     n_inv_shoup: u64,
+    twist: Option<Twist64>,
+}
+
+/// Precomputed negacyclic twist tables: the diagonal `ψ^i` multiply of the
+/// forward transform folded into the (otherwise multiplication-free) first
+/// butterfly stage, and the `ψ^{-i}` untwist folded into the inverse
+/// transform's scaling pass — a negacyclic ring multiply is therefore
+/// transform → pointwise → inverse with **no separate twist pass**.
+#[derive(Debug, Clone)]
+struct Twist64 {
+    /// The primitive `2n`-th root of unity (`ψ² = ω`, `ψ^n = −1`).
+    psi: u64,
+    /// `ψ^{rev(i)}` for `i ∈ [0, n)`: the twist factor of slot `i` *after* the
+    /// bit-reverse permutation, consumed by the folded first stage.
+    fwd_rev: Vec<u64>,
+    fwd_rev_shoup: Vec<u64>,
+    /// `ψ^{-i}·n^{-1}` in natural order: the untwist and the `1/n` scaling in
+    /// one Shoup multiply per element, consumed by the inverse's final pass.
+    inv_scale: Vec<u64>,
+    inv_scale_shoup: Vec<u64>,
+}
+
+/// Borrowed view of a plan's negacyclic twist tables, the interface stage-level
+/// executors (the launcher, session batching) consume the fold through.
+#[derive(Debug, Clone, Copy)]
+pub struct Twist64View<'a> {
+    /// The primitive `2n`-th root `ψ`.
+    pub psi: u64,
+    /// Per-slot twist factors `ψ^{rev(i)}` for the folded forward first stage
+    /// (indexed by position in the bit-reverse-permuted array).
+    pub forward: Stage64<'a>,
+    /// Per-slot untwist-and-scale factors `ψ^{-i}·n^{-1}` for the inverse's
+    /// final pass (natural output order).
+    pub inverse_scale: Stage64<'a>,
 }
 
 /// Why a restored [`NttPlan64`] table set was rejected by
@@ -328,7 +363,107 @@ impl NttPlan64 {
             inv_shoup,
             n_inv: ntt.n_inv,
             n_inv_shoup: ctx.shoup_precompute(ntt.n_inv),
+            twist: None,
         }
+    }
+
+    /// Builds a **negacyclic** plan over `Z_q[X]/(X^n + 1)`: the transform pair
+    /// that turns negacyclic (anti-circular) convolution into a pointwise
+    /// product. Requires `q ≡ 1 (mod 2n)` so a primitive `2n`-th root of unity
+    /// `ψ` exists; the cyclic stages then run over `ω = ψ²` while the `ψ^i`
+    /// twist is folded into the first forward stage and the `ψ^{-i}` untwist
+    /// into the inverse's scaling pass (see [`Twist64View`]) — the marginal
+    /// cost over the cyclic transform is one Shoup multiply per element on each
+    /// direction, with no separate pass.
+    ///
+    /// The search for `ψ` is deterministic (smallest generator base, as in
+    /// [`Ntt64::with_modulus`]), so equal `(q, n)` always yield bit-identical
+    /// plans — the property the session's negacyclic plan cache and snapshot
+    /// restore rely on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power of two in `[2, 2^31]`, if `q` is not an odd
+    /// prime below `2^60`, or if `2n` does not divide `q − 1`.
+    pub fn negacyclic(q: u64, n: usize) -> Self {
+        assert!(
+            n.is_power_of_two() && (2..=1 << 31).contains(&n),
+            "transform size must be a power of two in [2, 2^31]"
+        );
+        let two_n = 2 * n as u64;
+        assert!(
+            (q - 1) % two_n == 0,
+            "negacyclic transform requires q ≡ 1 (mod 2n): no primitive 2n-th root otherwise"
+        );
+        let mut rng = rand::rngs::StdRng::seed_from_u64(q);
+        assert!(
+            moma_bignum::prime::is_prime(&mut rng, &moma_bignum::BigUint::from(q)),
+            "NTT modulus must be prime"
+        );
+        let ctx = SingleBarrett::new(q);
+        // Deterministic ψ search: ψ = g^((q−1)/2n) is a 2n-th root; it is
+        // primitive exactly when ψ^n = −1 (its order divides 2n = 2^{k+1} but
+        // not 2^k, hence equals 2n).
+        let cofactor = (q - 1) / two_n;
+        let mut psi = 0;
+        for g in 3u64..2000 {
+            let candidate = ctx.pow_mod(g, cofactor);
+            if ctx.pow_mod(candidate, n as u64) == q - 1 {
+                psi = candidate;
+                break;
+            }
+        }
+        assert!(psi != 0, "no primitive 2n-th root found");
+        let omega = ctx.mul_mod(psi, psi);
+        let omega_inv = ctx.inv_mod(omega);
+        let n_inv = ctx.inv_mod(n as u64 % q);
+        let fwd = build_table_u64(&ctx, omega, n);
+        let inv = build_table_u64(&ctx, omega_inv, n);
+        let fwd_shoup = fwd.iter().map(|&w| ctx.shoup_precompute(w)).collect();
+        let inv_shoup = inv.iter().map(|&w| ctx.shoup_precompute(w)).collect();
+        NttPlan64 {
+            n,
+            ctx,
+            two_q: 2 * q,
+            fwd,
+            fwd_shoup,
+            inv,
+            inv_shoup,
+            n_inv,
+            n_inv_shoup: ctx.shoup_precompute(n_inv),
+            twist: Some(build_twist_u64(&ctx, psi, n_inv, n)),
+        }
+    }
+
+    /// `true` if this plan computes the negacyclic transform pair over
+    /// `Z_q[X]/(X^n + 1)` rather than the cyclic one.
+    pub fn is_negacyclic(&self) -> bool {
+        self.twist.is_some()
+    }
+
+    /// The primitive `2n`-th root `ψ` of a negacyclic plan (`None` for cyclic
+    /// plans) — together with [`NttPlan64::twiddle_tables`] this is the full
+    /// serialization view: the twist tables are derived data, rebuilt and
+    /// validated on restore.
+    pub fn psi(&self) -> Option<u64> {
+        self.twist.as_ref().map(|t| t.psi)
+    }
+
+    /// Borrowed view of the negacyclic twist tables (`None` for cyclic plans):
+    /// the folded forward first-stage factors and the inverse's combined
+    /// untwist-and-scale factors, with their Shoup quotients.
+    pub fn twist(&self) -> Option<Twist64View<'_>> {
+        self.twist.as_ref().map(|t| Twist64View {
+            psi: t.psi,
+            forward: Stage64 {
+                twiddles: &t.fwd_rev,
+                shoup: &t.fwd_rev_shoup,
+            },
+            inverse_scale: Stage64 {
+                twiddles: &t.inv_scale,
+                shoup: &t.inv_scale_shoup,
+            },
+        })
     }
 
     /// The full forward and inverse twiddle tables in the flat Harvey layout
@@ -434,7 +569,38 @@ impl NttPlan64 {
             inv_shoup,
             n_inv,
             n_inv_shoup: ctx.shoup_precompute(n_inv),
+            twist: None,
         })
+    }
+
+    /// [`NttPlan64::from_tables`] for **negacyclic** plans: validates the cyclic
+    /// table set identically, then checks that `ψ` is reduced and squares to the
+    /// tables' own stage root `ω` (for `n = 2`, to `−1`). Together with the
+    /// cyclic identities — which force `ω` to be a primitive `n`-th root — this
+    /// makes `ψ` a primitive `2n`-th root, so a tampered `ψ` cannot validate.
+    /// The twist tables themselves are derived data: rebuilt from `ψ` here,
+    /// never deserialized.
+    pub fn from_tables_negacyclic(
+        q: u64,
+        n: usize,
+        fwd: Vec<u64>,
+        inv: Vec<u64>,
+        n_inv: u64,
+        psi: u64,
+    ) -> Result<Self, NttRestoreError> {
+        let mut plan = Self::from_tables(q, n, fwd, inv, n_inv)?;
+        if psi >= q {
+            return Err(NttRestoreError::Unreduced);
+        }
+        let ctx = plan.ctx;
+        // The last stage's generator entry fwd[n/2 + 1] is ω itself; n = 2 has
+        // no generator slot (its only twiddle is ω⁰ = 1) and ω₂ = −1.
+        let omega = if n >= 4 { plan.fwd[n / 2 + 1] } else { q - 1 };
+        if ctx.mul_mod(psi, psi) != omega {
+            return Err(NttRestoreError::InconsistentTables("ψ² ≠ ω"));
+        }
+        plan.twist = Some(build_twist_u64(&ctx, psi, plan.n_inv, n));
+        Ok(plan)
     }
 
     /// The twiddle factors and Shoup quotients of one butterfly stage, selected
@@ -482,7 +648,7 @@ impl NttPlan64 {
     ///
     /// Panics if `data.len() != self.n`.
     pub fn forward(&self, data: &mut [u64]) {
-        self.run_lazy(data, &self.fwd, &self.fwd_shoup);
+        self.run_lazy(data, true);
         let q = self.ctx.q;
         for x in data.iter_mut() {
             let mut v = *x;
@@ -503,15 +669,27 @@ impl NttPlan64 {
     ///
     /// Panics if `data.len() != self.n`.
     pub fn inverse(&self, data: &mut [u64]) {
-        self.run_lazy(data, &self.inv, &self.inv_shoup);
+        self.run_lazy(data, false);
         // The scaling multiplication doubles as the normalize pass: the lazy Shoup
-        // product accepts the stages' [0, 4q) values and lands in [0, 2q).
+        // product accepts the stages' [0, 4q) values and lands in [0, 2q). On a
+        // negacyclic plan the per-index factor ψ^{-i}·n^{-1} replaces the uniform
+        // n^{-1}: the untwist rides the same single multiply.
         let q = self.ctx.q;
-        for x in data.iter_mut() {
-            let t = self
-                .ctx
-                .mul_mod_shoup_lazy(*x, self.n_inv, self.n_inv_shoup);
-            *x = if t >= q { t - q } else { t };
+        if let Some(tw) = &self.twist {
+            for (x, (&s, &ss)) in data
+                .iter_mut()
+                .zip(tw.inv_scale.iter().zip(&tw.inv_scale_shoup))
+            {
+                let t = self.ctx.mul_mod_shoup_lazy(*x, s, ss);
+                *x = if t >= q { t - q } else { t };
+            }
+        } else {
+            for x in data.iter_mut() {
+                let t = self
+                    .ctx
+                    .mul_mod_shoup_lazy(*x, self.n_inv, self.n_inv_shoup);
+                *x = if t >= q { t - q } else { t };
+            }
         }
     }
 
@@ -523,12 +701,17 @@ impl NttPlan64 {
     /// 60-bit modulus. The Shoup product is inlined (one high `u128` product, two
     /// wrapping word products) and the loops are structured as exact chunks so the
     /// compiler drops every bounds check from the inner loop.
-    fn run_lazy(&self, data: &mut [u64], table: &[u64], shoup: &[u64]) {
+    fn run_lazy(&self, data: &mut [u64], forward: bool) {
         assert_eq!(
             data.len(),
             self.n,
             "data length must equal the transform size"
         );
+        let (table, shoup) = if forward {
+            (&self.fwd, &self.fwd_shoup)
+        } else {
+            (&self.inv, &self.inv_shoup)
+        };
         bit_reverse_permute(data);
         let q = self.ctx.q;
         let two_q = self.two_q;
@@ -536,11 +719,36 @@ impl NttPlan64 {
         // Stage m = 1 is special-cased: its only twiddle is ω^0 = 1, so the
         // butterfly needs no multiplication at all. Inputs are reduced (< q), so
         // `x + y < 2q` and `x + 2q − y < 4q` keep the lazy invariant.
-        for pair in data.chunks_exact_mut(2) {
-            let x = pair[0];
-            let y = pair[1];
-            pair[0] = x + y;
-            pair[1] = x + two_q - y;
+        //
+        // A negacyclic forward folds the ψ twist here instead: each input is
+        // multiplied by its slot's ψ^{rev(i)} (lazy Shoup product in [0, 2q)),
+        // then butterflied — `t₀ + t₁ < 4q` and `t₀ + 2q − t₁ < 4q` keep the
+        // same invariant at the cost of the one multiply the twist needs anyway.
+        match (&self.twist, forward) {
+            (Some(tw), true) => {
+                for (p, pair) in data.chunks_exact_mut(2).enumerate() {
+                    let t0 = self.ctx.mul_mod_shoup_lazy(
+                        pair[0],
+                        tw.fwd_rev[2 * p],
+                        tw.fwd_rev_shoup[2 * p],
+                    );
+                    let t1 = self.ctx.mul_mod_shoup_lazy(
+                        pair[1],
+                        tw.fwd_rev[2 * p + 1],
+                        tw.fwd_rev_shoup[2 * p + 1],
+                    );
+                    pair[0] = t0 + t1;
+                    pair[1] = t0 + two_q - t1;
+                }
+            }
+            _ => {
+                for pair in data.chunks_exact_mut(2) {
+                    let x = pair[0];
+                    let y = pair[1];
+                    pair[0] = x + y;
+                    pair[1] = x + two_q - y;
+                }
+            }
         }
 
         let mut m = 2;
@@ -568,6 +776,36 @@ impl NttPlan64 {
             }
             m <<= 1;
         }
+    }
+}
+
+/// Builds the negacyclic twist tables from a (validated) primitive `2n`-th root
+/// `ψ`: the forward factors `ψ^{rev(i)}` (bit-reverse-permuted so the folded
+/// first stage indexes them positionally) and the inverse's combined
+/// `ψ^{-i}·n^{-1}` factors in natural order, each with Shoup quotients.
+fn build_twist_u64(ctx: &SingleBarrett, psi: u64, n_inv: u64, n: usize) -> Twist64 {
+    let psi_inv = ctx.inv_mod(psi);
+    let mut fwd_rev = Vec::with_capacity(n);
+    let mut p = 1u64;
+    for _ in 0..n {
+        fwd_rev.push(p);
+        p = ctx.mul_mod(p, psi);
+    }
+    bit_reverse_permute(&mut fwd_rev);
+    let mut inv_scale = Vec::with_capacity(n);
+    let mut p = n_inv;
+    for _ in 0..n {
+        inv_scale.push(p);
+        p = ctx.mul_mod(p, psi_inv);
+    }
+    let fwd_rev_shoup = fwd_rev.iter().map(|&w| ctx.shoup_precompute(w)).collect();
+    let inv_scale_shoup = inv_scale.iter().map(|&w| ctx.shoup_precompute(w)).collect();
+    Twist64 {
+        psi,
+        fwd_rev,
+        fwd_rev_shoup,
+        inv_scale,
+        inv_scale_shoup,
     }
 }
 
@@ -822,5 +1060,151 @@ mod tests {
         let fresh = NttPlan64::with_modulus(12289, 128);
         let restored = roundtrip_tables(&fresh).expect("alternate-modulus tables must validate");
         assert_eq!(restored.twiddle_tables(), fresh.twiddle_tables());
+    }
+
+    /// Schoolbook negacyclic convolution in `Z_q[X]/(X^n + 1)`: products that
+    /// wrap past degree `n` come back negated.
+    fn naive_negacyclic_mul(ctx: &SingleBarrett, a: &[u64], b: &[u64]) -> Vec<u64> {
+        let n = a.len();
+        let mut c = vec![0u64; n];
+        for (i, &ai) in a.iter().enumerate() {
+            for (j, &bj) in b.iter().enumerate() {
+                let p = ctx.mul_mod(ai, bj);
+                let k = (i + j) % n;
+                c[k] = if i + j < n {
+                    ctx.add_mod(c[k], p)
+                } else {
+                    ctx.sub_mod(c[k], p)
+                };
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn negacyclic_roundtrip_and_reduction() {
+        for (q, n) in [(12289u64, 2usize), (12289, 8), (12289, 256)] {
+            let plan = NttPlan64::negacyclic(q, n);
+            assert!(plan.is_negacyclic());
+            assert!(!NttPlan64::with_modulus(q, n).is_negacyclic());
+            let psi = plan.psi().expect("negacyclic plan exposes ψ");
+            assert_eq!(
+                plan.ctx.pow_mod(psi, n as u64),
+                q - 1,
+                "ψ^n = −1 (q = {q}, n = {n})"
+            );
+            let mut rng = StdRng::seed_from_u64(q ^ n as u64);
+            let data: Vec<u64> = (0..n).map(|_| rng.gen::<u64>() % q).collect();
+            let mut work = data.clone();
+            plan.forward(&mut work);
+            assert!(work.iter().all(|&x| x < q), "forward outputs reduced");
+            assert_ne!(work, data);
+            plan.inverse(&mut work);
+            assert!(work.iter().all(|&x| x < q), "inverse outputs reduced");
+            assert_eq!(work, data, "inverse ∘ forward must be the identity");
+        }
+    }
+
+    #[test]
+    fn negacyclic_pointwise_product_matches_schoolbook_oracle() {
+        for n in [4usize, 32, 128] {
+            let plan = NttPlan64::negacyclic(12289, n);
+            let ctx = plan.ctx;
+            let mut rng = StdRng::seed_from_u64(1000 + n as u64);
+            let a: Vec<u64> = (0..n).map(|_| rng.gen::<u64>() % ctx.q).collect();
+            let b: Vec<u64> = (0..n).map(|_| rng.gen::<u64>() % ctx.q).collect();
+            let expected = naive_negacyclic_mul(&ctx, &a, &b);
+            let mut fa = a.clone();
+            let mut fb = b.clone();
+            plan.forward(&mut fa);
+            plan.forward(&mut fb);
+            let mut fc: Vec<u64> = fa
+                .iter()
+                .zip(&fb)
+                .map(|(&x, &y)| ctx.mul_mod(x, y))
+                .collect();
+            plan.inverse(&mut fc);
+            assert_eq!(
+                fc, expected,
+                "transform → pointwise → inverse must equal the X^n+1 schoolbook (n = {n})"
+            );
+        }
+    }
+
+    #[test]
+    fn negacyclic_on_default_evaluation_modulus() {
+        // The 60-bit paper modulus has the form c·2^32 + 1, so every power-of-two
+        // 2n up to 2^32 divides q − 1 and the negacyclic plan exists at scale.
+        let cyclic = NttPlan64::new(64);
+        let q = cyclic.ctx.q;
+        let plan = NttPlan64::negacyclic(q, 64);
+        let ctx = plan.ctx;
+        let mut rng = StdRng::seed_from_u64(77);
+        let a: Vec<u64> = (0..64).map(|_| rng.gen::<u64>() % q).collect();
+        let b: Vec<u64> = (0..64).map(|_| rng.gen::<u64>() % q).collect();
+        let expected = naive_negacyclic_mul(&ctx, &a, &b);
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        plan.forward(&mut fa);
+        plan.forward(&mut fb);
+        let mut fc: Vec<u64> = fa
+            .iter()
+            .zip(&fb)
+            .map(|(&x, &y)| ctx.mul_mod(x, y))
+            .collect();
+        plan.inverse(&mut fc);
+        assert_eq!(fc, expected);
+    }
+
+    #[test]
+    fn negacyclic_from_tables_roundtrips_and_rejects_tampering() {
+        let fresh = NttPlan64::negacyclic(12289, 64);
+        let (fwd, inv) = fresh.twiddle_tables();
+        let (n_inv, _) = fresh.n_inv_pair();
+        let psi = fresh.psi().unwrap();
+        let q = fresh.ctx.q;
+
+        let restored =
+            NttPlan64::from_tables_negacyclic(q, 64, fwd.to_vec(), inv.to_vec(), n_inv, psi)
+                .expect("a fresh negacyclic plan's tables must validate");
+        assert!(restored.is_negacyclic());
+        assert_eq!(restored.psi(), Some(psi));
+        let mut rng = StdRng::seed_from_u64(78);
+        let data: Vec<u64> = (0..64).map(|_| rng.gen::<u64>() % q).collect();
+        let mut a = data.clone();
+        let mut b = data;
+        fresh.forward(&mut a);
+        restored.forward(&mut b);
+        assert_eq!(a, b, "restored negacyclic plan must transform identically");
+        fresh.inverse(&mut a);
+        restored.inverse(&mut b);
+        assert_eq!(a, b);
+
+        // An unreduced ψ is rejected before any arithmetic.
+        assert!(matches!(
+            NttPlan64::from_tables_negacyclic(q, 64, fwd.to_vec(), inv.to_vec(), n_inv, q),
+            Err(NttRestoreError::Unreduced)
+        ));
+        // A tampered ψ no longer squares to the tables' stage root.
+        assert!(matches!(
+            NttPlan64::from_tables_negacyclic(q, 64, fwd.to_vec(), inv.to_vec(), n_inv, psi ^ 1),
+            Err(NttRestoreError::InconsistentTables(_))
+        ));
+        // −ψ is the other valid square root of ω: it must validate and produce
+        // a plan that is its own consistent transform pair.
+        let neg_psi = q - psi;
+        let other =
+            NttPlan64::from_tables_negacyclic(q, 64, fwd.to_vec(), inv.to_vec(), n_inv, neg_psi)
+                .expect("−ψ is also a primitive 2n-th root");
+        let mut rng = StdRng::seed_from_u64(79);
+        let data: Vec<u64> = (0..64).map(|_| rng.gen::<u64>() % q).collect();
+        let mut w = data.clone();
+        other.forward(&mut w);
+        other.inverse(&mut w);
+        assert_eq!(w, data);
+        // Tampered cyclic tables still fail closed through the base validation.
+        let mut bad = fwd.to_vec();
+        bad[33] ^= 1;
+        assert!(NttPlan64::from_tables_negacyclic(q, 64, bad, inv.to_vec(), n_inv, psi).is_err());
     }
 }

@@ -1,0 +1,31 @@
+//! Negacyclic polynomial ring layer: `R_q = Z_q[X]/(X^n + 1)` over RNS moduli
+//! ladders.
+//!
+//! This crate composes the engine's primitives — planned negacyclic NTTs
+//! ([`moma_ntt::NttPlan64::negacyclic`]), BEHZ base extension, and the fused
+//! rescale-then-extend chain ([`moma_rns::RnsPlan::rescale_then_extend_pooled`])
+//! — into the workload they exist for: a CKKS/BGV-shaped **level ladder** where
+//! each multiply is transform → pointwise → inverse (the `ψ`-twist folded into
+//! the transforms, no separate twist pass) followed by an exact rescale that
+//! drops one modulus from the basis.
+//!
+//! * [`RingContext`] — a moduli ladder `Q = q₀·…·q_L` with one negacyclic NTT
+//!   plan per modulus and one RNS plan + fused rescale step per level.
+//! * [`RingElt`] — an element of `R_Q` at some level, RNS- and NTT-domain
+//!   aware, with its residue plane pooled so steady-state ladder traffic is
+//!   allocation-free on a warm [`moma_gpu::BufferPool`].
+//! * [`RingPlanSource`] — the provider hook a caching session implements so
+//!   ring contexts ride its stampede-controlled plan caches; [`ColdSource`]
+//!   builds everything from scratch.
+//! * [`ladder`] — deterministic ladder-prime search (`q ≡ 1 mod 2n`, mixed
+//!   narrow/wide widths).
+//! * [`oracle`] — the readable `BigUint` reference: schoolbook `X^n + 1`
+//!   multiply and a per-coefficient `scale_and_round` replay, used by the
+//!   property tests and the bench crosscheck to pin the engine bit for bit.
+
+pub mod ladder;
+pub mod oracle;
+pub mod ring;
+
+pub use ladder::{default_ladder, ladder_primes};
+pub use ring::{ColdSource, Domain, RingContext, RingElt, RingPlanSource};

@@ -26,7 +26,10 @@
 //!
 //! Tenants ([`Server::register_tenant`]) pin an RNS source/destination basis
 //! pair once; every chain request for that tenant reuses the same cached
-//! spaces and plans.
+//! spaces and plans. Ring tenants ([`Server::register_ring_tenant`]) do the
+//! same for a negacyclic ring ladder, and [`WorkItem::LadderStep`] traffic
+//! for one `(tenant, level)` coalesces into a single batch over the shared
+//! ring context.
 //!
 //! # Degraded-mode contract
 //!
@@ -94,6 +97,6 @@ mod server;
 pub use fault::{Fault, FaultPlan};
 pub use retry::{RetryError, RetryPolicy};
 pub use server::{
-    Client, Completion, Response, ServeConfig, ServeError, Server, ServerStats, TenantId, Ticket,
-    WorkItem,
+    Client, Completion, Response, RingTenantId, ServeConfig, ServeError, Server, ServerStats,
+    TenantId, Ticket, WorkItem,
 };

@@ -45,6 +45,12 @@ use std::time::{Duration, Instant};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TenantId(usize);
 
+/// Handle to a registered negacyclic ring ladder (see
+/// [`Server::register_ring_tenant`]). Distinct from [`TenantId`] so a ladder
+/// request can never name an RNS basis pair, or vice versa.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RingTenantId(usize);
+
 /// Server sizing, batching, robustness, and fault-injection knobs.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
@@ -114,6 +120,21 @@ pub enum WorkItem {
         /// Right operand, same length as `a`.
         b: Vec<BigUint>,
     },
+    /// One FHE-style ladder level over a ring tenant's negacyclic ring:
+    /// raise both operands, pointwise multiply, lower, and rescale onto the
+    /// next level's basis. Traffic for the same `(tenant, level)` coalesces
+    /// into one batch, sharing every plan lookup and pool round-trip.
+    LadderStep {
+        /// The ring ladder, from [`Server::register_ring_tenant`].
+        tenant: RingTenantId,
+        /// The ladder level both operands live at (`< steps`).
+        level: usize,
+        /// Left operand: exactly `n` coefficients, each below the level's
+        /// basis product.
+        a: Vec<BigUint>,
+        /// Right operand, same shape as `a`.
+        b: Vec<BigUint>,
+    },
 }
 
 impl WorkItem {
@@ -124,6 +145,7 @@ impl WorkItem {
             WorkItem::NttForward { .. } => "ntt_forward",
             WorkItem::NttInverse { .. } => "ntt_inverse",
             WorkItem::RnsMulRescaleExtend { .. } => "rns_mul_rescale_extend",
+            WorkItem::LadderStep { .. } => "ladder_step",
         }
     }
 }
@@ -135,6 +157,9 @@ pub enum Response {
     Ntt(Vec<u64>),
     /// Chain results in positional form (RNS work).
     Rns(Vec<BigUint>),
+    /// The rescaled polynomial's `n` coefficients at the next ladder level
+    /// (ladder work).
+    Ladder(Vec<BigUint>),
 }
 
 /// A finished request: the payload plus the batch it was executed in.
@@ -270,6 +295,7 @@ struct Shared {
     draining: AtomicBool,
     seq: AtomicU64,
     tenants: RwLock<Vec<Tenant>>,
+    ring_tenants: RwLock<Vec<moma::RingSpace>>,
     counters: Counters,
 }
 
@@ -329,6 +355,7 @@ enum BatchKey {
     NttForward { q: u64, n: usize },
     NttInverse { q: u64, n: usize },
     Rns { tenant: usize },
+    Ladder { tenant: usize, level: usize },
 }
 
 impl BatchKey {
@@ -337,6 +364,10 @@ impl BatchKey {
             WorkItem::NttForward { q, n, .. } => BatchKey::NttForward { q: *q, n: *n },
             WorkItem::NttInverse { q, n, .. } => BatchKey::NttInverse { q: *q, n: *n },
             WorkItem::RnsMulRescaleExtend { tenant, .. } => BatchKey::Rns { tenant: tenant.0 },
+            WorkItem::LadderStep { tenant, level, .. } => BatchKey::Ladder {
+                tenant: tenant.0,
+                level: *level,
+            },
         }
     }
 }
@@ -377,6 +408,7 @@ impl Server {
             draining: AtomicBool::new(false),
             seq: AtomicU64::new(0),
             tenants: RwLock::new(Vec::new()),
+            ring_tenants: RwLock::new(Vec::new()),
             counters: Counters::default(),
         });
         // Both channels are bounded: a full submission queue sheds at
@@ -435,6 +467,32 @@ impl Server {
             .unwrap_or_else(PoisonError::into_inner);
         tenants.push(tenant);
         TenantId(tenants.len() - 1)
+    }
+
+    /// Registers a negacyclic ring ladder — `R_q = Z_q[X]/(X^n + 1)` over the
+    /// RNS ladder `moduli` — and returns its id. The ring context and every
+    /// plan a [`WorkItem::LadderStep`] needs (negacyclic NTT plans per
+    /// modulus, level bases, fused rescale chains) are session-cached, built
+    /// at most once, and shared by every request for this tenant.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the [`Session::ring`] conditions (`n` not a power of two,
+    /// a modulus not an NTT-friendly prime for `2n`, …), or if `moduli` has
+    /// fewer than two entries (a ladder with no step to serve).
+    pub fn register_ring_tenant(&self, n: usize, moduli: &[u64]) -> RingTenantId {
+        assert!(
+            moduli.len() >= 2,
+            "a ladder needs at least two moduli (one rescale step)"
+        );
+        let space = self.shared.session.ring(n, moduli);
+        let mut tenants = self
+            .shared
+            .ring_tenants
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
+        tenants.push(space);
+        RingTenantId(tenants.len() - 1)
     }
 
     /// A new submission handle. Clients are cheap to clone, `Send`, and may
@@ -647,6 +705,42 @@ impl Client {
                 if a.iter().chain(b.iter()).any(|v| v >= product) {
                     return Err(ServeError::BadRequest(
                         "operand not below the source-basis product".to_string(),
+                    ));
+                }
+                Ok(())
+            }
+            WorkItem::LadderStep {
+                tenant,
+                level,
+                a,
+                b,
+            } => {
+                let tenants = self
+                    .shared
+                    .ring_tenants
+                    .read()
+                    .unwrap_or_else(PoisonError::into_inner);
+                let space = tenants
+                    .get(tenant.0)
+                    .ok_or(ServeError::UnknownTenant(tenant.0))?;
+                if *level >= space.steps() {
+                    return Err(ServeError::BadRequest(format!(
+                        "level {level} has no next level on a {}-step ladder",
+                        space.steps()
+                    )));
+                }
+                let n = space.n();
+                if a.len() != n || b.len() != n {
+                    return Err(ServeError::BadRequest(format!(
+                        "operand lengths {} and {} for a degree-{n} ring",
+                        a.len(),
+                        b.len()
+                    )));
+                }
+                let product = space.product(*level);
+                if a.iter().chain(b.iter()).any(|v| v >= product) {
+                    return Err(ServeError::BadRequest(
+                        "coefficient not below the level's basis product".to_string(),
                     ));
                 }
                 Ok(())
@@ -1017,6 +1111,38 @@ fn run_batch(shared: &Shared, seqs: &[u64], items: &[WorkItem]) -> (Vec<Response
                 shared.session.pool().misses() - misses_before,
             )
         }
+        WorkItem::LadderStep { tenant, level, .. } => {
+            let space = {
+                let tenants = shared
+                    .ring_tenants
+                    .read()
+                    .unwrap_or_else(PoisonError::into_inner);
+                tenants[tenant.0].clone()
+            };
+            // Every request in the group shares the tenant's ring context, so
+            // the whole batch pays the plan lookups once and cycles the same
+            // pooled planes; each step is the fused raise → multiply → lower →
+            // rescale chain at the group's level.
+            let mut launches = 0u64;
+            let responses = items
+                .iter()
+                .map(|item| {
+                    let WorkItem::LadderStep { a, b, .. } = item else {
+                        unreachable!("dispatcher groups by batch key");
+                    };
+                    let va = space.encode(*level, a);
+                    let vb = space.encode(*level, b);
+                    let (out, stats) = space.ladder_step(&va, &vb);
+                    launches += stats.launches as u64;
+                    Response::Ladder(space.decode(&out))
+                })
+                .collect();
+            (
+                responses,
+                launches,
+                shared.session.pool().misses() - misses_before,
+            )
+        }
     }
 }
 
@@ -1178,6 +1304,117 @@ mod tests {
             );
             assert_eq!(values[c], oracle, "element {c}");
         }
+    }
+
+    #[test]
+    fn ladder_step_matches_the_inline_ring_path_and_coalesces_per_tenant() {
+        let session = Session::default();
+        let server = Server::new(
+            session.clone(),
+            ServeConfig {
+                workers: 1,
+                max_batch: 8,
+                min_batch: 3,
+                batch_window: Duration::from_secs(5),
+                ..ServeConfig::default()
+            },
+        );
+        let client = server.client();
+        let ladder = moma::ring::default_ladder(16, 3);
+        let tenant = server.register_ring_tenant(16, &ladder);
+        let space = session.ring(16, &ladder);
+
+        let mut rng = StdRng::seed_from_u64(0x1adde2);
+        let operands: Vec<(Vec<BigUint>, Vec<BigUint>)> = (0..3)
+            .map(|_| {
+                let coeffs = |rng: &mut StdRng| {
+                    (0..16)
+                        .map(|_| random_below(rng, space.product(0)))
+                        .collect::<Vec<BigUint>>()
+                };
+                (coeffs(&mut rng), coeffs(&mut rng))
+            })
+            .collect();
+        let tickets: Vec<Ticket> = operands
+            .iter()
+            .map(|(a, b)| {
+                client
+                    .submit(WorkItem::LadderStep {
+                        tenant,
+                        level: 0,
+                        a: a.clone(),
+                        b: b.clone(),
+                    })
+                    .unwrap()
+            })
+            .collect();
+        for (ticket, (a, b)) in tickets.into_iter().zip(&operands) {
+            let done = ticket.wait().unwrap();
+            // All three same-(tenant, level) requests rode one batch.
+            assert_eq!(done.batch_size, 3);
+            let Response::Ladder(coeffs) = done.response else {
+                panic!("ladder work yields ladder responses")
+            };
+            let va = space.encode(0, a);
+            let vb = space.encode(0, b);
+            let (expected, _) = space.ladder_step(&va, &vb);
+            assert_eq!(coeffs, space.decode(&expected), "inline crosscheck");
+        }
+        let stats = server.stats();
+        assert_eq!(stats.batches, 1);
+        assert_eq!(stats.coalesced_requests, 3);
+    }
+
+    #[test]
+    fn ladder_validation_fails_closed() {
+        let server = Server::new(Session::default(), ServeConfig::default());
+        let client = server.client();
+        let ladder = moma::ring::default_ladder(8, 2);
+        let tenant = server.register_ring_tenant(8, &ladder);
+        let product = server.session().ring(8, &ladder).product(0).clone();
+        let good = vec![BigUint::from(1u64); 8];
+
+        // Unknown tenant.
+        assert!(matches!(
+            client.submit(WorkItem::LadderStep {
+                tenant: RingTenantId(5),
+                level: 0,
+                a: good.clone(),
+                b: good.clone(),
+            }),
+            Err(ServeError::UnknownTenant(5))
+        ));
+        // Level past the ladder floor.
+        assert!(matches!(
+            client.submit(WorkItem::LadderStep {
+                tenant,
+                level: 2,
+                a: good.clone(),
+                b: good.clone(),
+            }),
+            Err(ServeError::BadRequest(_))
+        ));
+        // Wrong operand length.
+        assert!(matches!(
+            client.submit(WorkItem::LadderStep {
+                tenant,
+                level: 0,
+                a: vec![BigUint::from(1u64); 4],
+                b: good.clone(),
+            }),
+            Err(ServeError::BadRequest(_))
+        ));
+        // Coefficient not reduced below the level product.
+        assert!(matches!(
+            client.submit(WorkItem::LadderStep {
+                tenant,
+                level: 0,
+                a: vec![product; 8],
+                b: good,
+            }),
+            Err(ServeError::BadRequest(_))
+        ));
+        assert_eq!(server.stats().submitted, 0);
     }
 
     #[test]

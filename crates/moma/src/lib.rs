@@ -64,7 +64,9 @@ pub mod snapshot;
 
 pub use compiler::{Compiler, GeneratedKernel};
 pub use moma_rewrite::{KernelOp, KernelSpec, LoweringConfig, MulAlgorithm};
-pub use session::{CacheStats, NttSpace, RnsSpace, RnsVec, Session, SessionStats};
+pub use session::{
+    CacheStats, NttSpace, RingSpace, RingVec, RnsSpace, RnsVec, Session, SessionStats,
+};
 pub use snapshot::{RestoreReport, SnapshotError};
 
 /// Re-export of the arbitrary-precision integer crate (GMP stand-in / oracle).
@@ -81,6 +83,9 @@ pub use moma_mp as mp;
 pub use moma_ntt as ntt;
 /// Re-export of the MoMA rewrite system.
 pub use moma_rewrite as rewrite;
+
+/// Negacyclic polynomial ring layer (ladders, ring contexts, oracles).
+pub use moma_ring as ring;
 /// Re-export of the RNS (GRNS stand-in) crate.
 pub use moma_rns as rns;
 

@@ -100,6 +100,7 @@ use moma_ir::compiled::CompiledKernel;
 use moma_ir::cost::OpCounts;
 use moma_ntt::plan::{NttPlan, NttPlan64};
 use moma_rewrite::{KernelOp, KernelSpec, LoweringConfig, MulAlgorithm};
+use moma_ring::{Domain, RingContext, RingElt, RingPlanSource};
 use moma_rns::{BaseConvPlan, RescaleExtendPlan, RescalePlan, RnsContext, RnsMatrix, RnsPlan};
 use std::any::Any;
 use std::collections::hash_map::Entry;
@@ -133,6 +134,10 @@ pub struct SessionStats {
     pub kernels: CacheStats,
     /// Single-word NTT plans, keyed by `(q, n)`.
     pub ntt: CacheStats,
+    /// Negacyclic single-word NTT plans (`ψ`-twisted), keyed by `(q, n)` —
+    /// separate from `ntt` so a ladder's reuse is observable on its own
+    /// counters (and the two plan shapes can never collide on a key).
+    pub ntt_negacyclic: CacheStats,
     /// Multi-word NTT plans, keyed by `(limbs, bits, n)`.
     pub ntt_multiword: CacheStats,
     /// RNS plans, keyed by basis.
@@ -143,6 +148,10 @@ pub struct SessionStats {
     pub rescale: CacheStats,
     /// Fused rescale-and-extend plans, keyed by basis pair.
     pub rescale_extend: CacheStats,
+    /// Negacyclic ring contexts, keyed by `(n, moduli ladder)`. A context is
+    /// assembled from the other caches, so a ring miss still reuses every
+    /// shared plan underneath it.
+    pub ring: CacheStats,
     /// Compiled all-rows fused chain kernels — base conversion, `mul→axpy`,
     /// `mul→rescale→extend` — keyed by basis (pair). One entry per chain
     /// *shape*: scalars and operands are kernel parameters, so a second
@@ -344,6 +353,10 @@ pub(crate) struct SessionState {
     /// `kernels` cache so chain-fusion reuse is observable on its own counters.
     fused: KernelCache,
     pub(crate) ntt64: PlanCache<(u64, usize), NttPlan64>,
+    /// Negacyclic (`ψ`-twisted) single-word plans — a separate cache from
+    /// `ntt64` because the same `(q, n)` key legitimately names both a cyclic
+    /// and a negacyclic plan.
+    pub(crate) ntt64_neg: PlanCache<(u64, usize), NttPlan64>,
     pub(crate) ntt_mw: PlanCache<(u32, u32, usize), dyn Any + Send + Sync>,
     pub(crate) rns: PlanCache<Vec<u64>, RnsPlan>,
     /// Capacity-bits → deterministic basis memo, so repeated
@@ -353,6 +366,9 @@ pub(crate) struct SessionState {
     pub(crate) baseconv: PlanCache<(Vec<u64>, Vec<u64>), BaseConvPlan>,
     pub(crate) rescale: PlanCache<Vec<u64>, RescalePlan>,
     pub(crate) rescale_extend: PlanCache<(Vec<u64>, Vec<u64>), RescaleExtendPlan>,
+    /// Negacyclic ring contexts, keyed by `(n, moduli ladder)`; the context
+    /// plans are drawn from the caches above via [`RingPlanSource`].
+    pub(crate) ring: PlanCache<(usize, Vec<u64>), RingContext>,
     /// Reusable residue/twiddle planes and launcher scratch, shared by every
     /// clone and every handle: hot-path operations acquire their working
     /// buffers here and recycle them on handle drop, so a warm session's
@@ -383,6 +399,8 @@ const _: () = {
     shareable::<NttSpace>();
     shareable::<RnsSpace>();
     shareable::<RnsVec>();
+    shareable::<RingSpace>();
+    shareable::<RingVec>();
 };
 
 impl Default for Session {
@@ -412,12 +430,14 @@ impl Session {
                 kernels: KernelCache::new(),
                 fused: KernelCache::new(),
                 ntt64: PlanCache::default(),
+                ntt64_neg: PlanCache::default(),
                 ntt_mw: PlanCache::default(),
                 rns: PlanCache::default(),
                 capacity_bases: Mutex::new(HashMap::new()),
                 baseconv: PlanCache::default(),
                 rescale: PlanCache::default(),
                 rescale_extend: PlanCache::default(),
+                ring: PlanCache::default(),
                 pool: BufferPool::new(),
             }),
         }
@@ -458,11 +478,13 @@ impl Session {
                 contended: 0,
             },
             ntt: self.state.ntt64.stats(),
+            ntt_negacyclic: self.state.ntt64_neg.stats(),
             ntt_multiword: self.state.ntt_mw.stats(),
             rns: self.state.rns.stats(),
             baseconv: self.state.baseconv.stats(),
             rescale: self.state.rescale.stats(),
             rescale_extend: self.state.rescale_extend.stats(),
+            ring: self.state.ring.stats(),
             fused: CacheStats {
                 hits: self.state.fused.hits(),
                 misses: self.state.fused.misses(),
@@ -592,6 +614,28 @@ impl Session {
         }
     }
 
+    /// The `n`-point *negacyclic* NTT space over `q` (the `X^n + 1` transform:
+    /// `ψ`-twist folded into both directions), building (or reusing) the
+    /// `(q, n)`-keyed plan in its own cache. The handle's batched entry points
+    /// work unchanged — the twist lives entirely inside the plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the [`NttPlan64::negacyclic`] conditions (n not a power of
+    /// two, q not a prime `≡ 1 (mod 2n)` below `2^60`).
+    pub fn ntt_negacyclic(&self, q: u64, n: usize) -> NttSpace {
+        NttSpace {
+            session: self.clone(),
+            plan: self.negacyclic_plan_for(q, n),
+        }
+    }
+
+    fn negacyclic_plan_for(&self, q: u64, n: usize) -> Arc<NttPlan64> {
+        self.state
+            .ntt64_neg
+            .get_or_build((q, n), || Arc::new(NttPlan64::negacyclic(q, n)))
+    }
+
     /// The `n`-point NTT space over the paper's 60-bit evaluation modulus.
     pub fn ntt_default(&self, n: usize) -> NttSpace {
         let q = moma_ntt::params::paper_modulus(64)
@@ -667,6 +711,34 @@ impl Session {
     fn rns_plan(&self, moduli: &[u64]) -> Arc<RnsPlan> {
         self.state.rns.get_or_build(moduli.to_vec(), || {
             Arc::new(RnsPlan::new(&RnsContext::with_moduli(moduli)))
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Negacyclic rings
+    // ------------------------------------------------------------------
+
+    /// The negacyclic ring `R_Q = Z_Q[X]/(X^n + 1)` over the moduli ladder
+    /// `Q = q₀·…·q_L`, building (or reusing) the `(n, ladder)`-keyed
+    /// [`RingContext`]. The context is assembled through the session's plan
+    /// caches ([`RingPlanSource`]), so its negacyclic NTT plans, per-level RNS
+    /// plans, and fused rescale steps are all shared with any other ring — or
+    /// direct space — over the same parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the [`RingContext::with_source`] conditions (n not a power
+    /// of two, a modulus not prime or not `≡ 1 (mod 2n)`).
+    pub fn ring(&self, n: usize, moduli: &[u64]) -> RingSpace {
+        RingSpace {
+            ring: self.ring_context(n, moduli),
+            session: self.clone(),
+        }
+    }
+
+    pub(crate) fn ring_context(&self, n: usize, moduli: &[u64]) -> Arc<RingContext> {
+        self.state.ring.get_or_build((n, moduli.to_vec()), || {
+            Arc::new(RingContext::with_source(n, moduli, self))
         })
     }
 
@@ -1411,6 +1483,219 @@ impl RnsVec {
     }
 }
 
+// ----------------------------------------------------------------------
+// Negacyclic ring handles
+// ----------------------------------------------------------------------
+
+/// The session is the plan provider for every ring context it hands out:
+/// contexts assemble themselves from the stampede-controlled caches, so two
+/// rings over overlapping ladders share their negacyclic plans, per-level RNS
+/// plans, and fused rescale steps.
+impl RingPlanSource for Session {
+    fn negacyclic_plan(&self, q: u64, n: usize) -> Arc<NttPlan64> {
+        self.negacyclic_plan_for(q, n)
+    }
+
+    fn rns_plan(&self, moduli: &[u64]) -> Arc<RnsPlan> {
+        Session::rns_plan(self, moduli)
+    }
+
+    fn rescale_extend_plan(
+        &self,
+        src: &Arc<RnsPlan>,
+        dst: &Arc<RnsPlan>,
+    ) -> Arc<RescaleExtendPlan> {
+        self.rescale_extend_plan_for(src, dst)
+    }
+}
+
+/// A negacyclic ring over a moduli ladder, handed out by [`Session::ring`] —
+/// a cached [`RingContext`] plus the session pool, so every operation is
+/// allocation-free once warm.
+///
+/// Owned like every session handle: `Send + Sync + 'static`, cheap to clone.
+#[derive(Clone)]
+pub struct RingSpace {
+    session: Session,
+    ring: Arc<RingContext>,
+}
+
+impl RingSpace {
+    /// The session this space was handed out by (shares its caches).
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
+    /// The underlying cached ring context.
+    pub fn context(&self) -> &RingContext {
+        &self.ring
+    }
+
+    /// The ring degree `n`.
+    pub fn n(&self) -> usize {
+        self.ring.n()
+    }
+
+    /// The full moduli ladder, widest basis first.
+    pub fn moduli(&self) -> &[u64] {
+        self.ring.moduli()
+    }
+
+    /// Number of rescale steps the ladder supports.
+    pub fn steps(&self) -> usize {
+        self.ring.steps()
+    }
+
+    /// The dynamic range `Q` at `level`.
+    pub fn product(&self, level: usize) -> &BigUint {
+        self.ring.product(level)
+    }
+
+    /// Encodes `n` coefficients into a coefficient-domain ring element at
+    /// `level`, its residue plane drawn from the session pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the [`RingContext::encode`] conditions.
+    pub fn encode(&self, level: usize, values: &[BigUint]) -> RingVec {
+        self.wrap(self.ring.encode(level, values, self.session.pool()))
+    }
+
+    /// Decodes a coefficient-domain element back to `BigUint` coefficients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is in the evaluation domain.
+    pub fn decode(&self, v: &RingVec) -> Vec<BigUint> {
+        self.ring.decode(v.elt())
+    }
+
+    /// Raises `v` into the evaluation domain in place (batched negacyclic
+    /// forward transforms, one per residue row).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is already raised.
+    pub fn forward_ntt(&self, v: &mut RingVec) -> LaunchStats {
+        self.ring
+            .forward_ntt(v.elt.as_mut().expect("live element"), self.session.pool())
+    }
+
+    /// Lowers `v` back to the coefficient domain in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is already lowered.
+    pub fn inverse_ntt(&self, v: &mut RingVec) -> LaunchStats {
+        self.ring
+            .inverse_ntt(v.elt.as_mut().expect("live element"), self.session.pool())
+    }
+
+    /// Pointwise ring multiply (both operands raised, same level).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the [`RingContext::mul`] conditions.
+    pub fn mul(&self, a: &RingVec, b: &RingVec) -> (RingVec, LaunchStats) {
+        let (elt, stats) = self.ring.mul(a.elt(), b.elt(), self.session.pool());
+        (self.wrap(elt), stats)
+    }
+
+    /// Coefficient-wise addition (matching levels and domains).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the [`RingContext::add`] conditions.
+    pub fn add(&self, a: &RingVec, b: &RingVec) -> (RingVec, LaunchStats) {
+        let (elt, stats) = self.ring.add(a.elt(), b.elt(), self.session.pool());
+        (self.wrap(elt), stats)
+    }
+
+    /// Drops the level's last modulus through the session-cached fused
+    /// rescale-then-extend chain.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the [`RingContext::rescale_to_next_level`] conditions.
+    pub fn rescale_to_next_level(&self, v: &RingVec) -> (RingVec, LaunchStats) {
+        let (elt, stats) = self
+            .ring
+            .rescale_to_next_level(v.elt(), self.session.pool());
+        (self.wrap(elt), stats)
+    }
+
+    /// One full ladder level: raise → pointwise multiply → inverse → rescale
+    /// onto the next level's basis. Passing the same vector for `a` and `b`
+    /// squares it with a single raise.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the [`RingContext::ladder_step`] conditions.
+    pub fn ladder_step(&self, a: &RingVec, b: &RingVec) -> (RingVec, LaunchStats) {
+        // Preserve `ladder_step`'s pointer-based squaring detection across the
+        // handle indirection.
+        let (elt, stats) = if std::ptr::eq(a, b) || std::ptr::eq(a.elt(), b.elt()) {
+            let e = a.elt();
+            self.ring.ladder_step(e, e, self.session.pool())
+        } else {
+            self.ring.ladder_step(a.elt(), b.elt(), self.session.pool())
+        };
+        (self.wrap(elt), stats)
+    }
+
+    fn wrap(&self, elt: RingElt) -> RingVec {
+        RingVec {
+            session: self.session.clone(),
+            elt: Some(elt),
+        }
+    }
+}
+
+/// One ring element handed out by a [`RingSpace`]: level- and domain-aware,
+/// with its residue plane recycled into the session pool on drop (the same
+/// pooled lifecycle as [`RnsVec`]).
+pub struct RingVec {
+    session: Session,
+    /// `Some` for the whole life of the handle; `Option` only so `Drop` can
+    /// move the element out to recycle its plane.
+    elt: Option<RingElt>,
+}
+
+impl Clone for RingVec {
+    fn clone(&self) -> Self {
+        RingVec {
+            session: self.session.clone(),
+            elt: Some(self.elt().clone_with_pool(self.session.pool())),
+        }
+    }
+}
+
+impl Drop for RingVec {
+    /// Hands the residue plane back to the session pool.
+    fn drop(&mut self) {
+        if let Some(elt) = self.elt.take() {
+            elt.recycle(self.session.pool());
+        }
+    }
+}
+
+impl RingVec {
+    /// The element's ladder level.
+    pub fn level(&self) -> usize {
+        self.elt().level()
+    }
+
+    /// The element's current domain.
+    pub fn domain(&self) -> Domain {
+        self.elt().domain()
+    }
+
+    /// The underlying ring element.
+    pub fn elt(&self) -> &RingElt {
+        self.elt.as_ref().expect("live element")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1729,5 +2014,90 @@ mod tests {
         let inv = space.inverse_batch(&mut batched);
         assert_eq!(inv.launches, 6 + 1);
         assert_eq!(batched, data);
+    }
+
+    #[test]
+    fn ring_contexts_are_cached_and_share_component_plans() {
+        let session = Session::default();
+        let n = 16;
+        let moduli = moma_ring::ladder_primes(n, &[50, 30, 45]);
+        let ring = session.ring(n, &moduli);
+        let after_build = session.stats();
+        assert_eq!(after_build.ring.misses, 1);
+        assert_eq!(after_build.ntt_negacyclic.misses, moduli.len() as u64);
+        // Same key: pure cache hit, nothing rebuilt underneath.
+        let again = session.ring(n, &moduli);
+        assert!(ring.context().moduli() == again.context().moduli());
+        let stats = session.stats();
+        assert_eq!(
+            stats.ring,
+            CacheStats {
+                hits: 1,
+                ..after_build.ring
+            }
+        );
+        assert_eq!(
+            stats.ntt_negacyclic.misses,
+            after_build.ntt_negacyclic.misses
+        );
+        // A direct negacyclic space over a ladder modulus reuses the ring's plan.
+        let _ = session.ntt_negacyclic(moduli[0], n);
+        assert_eq!(session.stats().ntt_negacyclic.hits, 1);
+        // The cyclic cache is untouched: the two plan shapes never collide.
+        assert_eq!(session.stats().ntt.misses, 0);
+    }
+
+    #[test]
+    fn ring_handles_run_the_ladder_against_the_oracle() {
+        let session = Session::default();
+        let n = 8;
+        let moduli = moma_ring::ladder_primes(n, &[50, 30, 40]);
+        let ring = session.ring(n, &moduli);
+        let mut rng = StdRng::seed_from_u64(7);
+        let a: Vec<BigUint> = (0..n)
+            .map(|_| random_below(&mut rng, ring.product(0)))
+            .collect();
+        let b: Vec<BigUint> = (0..n)
+            .map(|_| random_below(&mut rng, ring.product(0)))
+            .collect();
+        let ea = ring.encode(0, &a);
+        let eb = ring.encode(0, &b);
+        let (mut cur, _) = ring.ladder_step(&ea, &eb);
+        for _ in 1..ring.steps() {
+            let (next, _) = ring.ladder_step(&cur, &cur);
+            cur = next;
+        }
+        assert_eq!(cur.level(), ring.steps());
+        assert_eq!(
+            ring.decode(&cur),
+            moma_ring::oracle::ladder_replay(&moduli, &a, &b, ring.steps())
+        );
+    }
+
+    #[test]
+    fn warm_session_ladder_is_allocation_free() {
+        let session = Session::default();
+        let n = 32;
+        let moduli = moma_ring::ladder_primes(n, &[50, 30, 45, 30]);
+        let ring = session.ring(n, &moduli);
+        let mut rng = StdRng::seed_from_u64(8);
+        let a: Vec<BigUint> = (0..n)
+            .map(|_| random_below(&mut rng, ring.product(0)))
+            .collect();
+        let run = || {
+            let ea = ring.encode(0, &a);
+            let mut allocs = 0;
+            let (mut cur, s) = ring.ladder_step(&ea, &ea);
+            allocs += s.allocs;
+            for _ in 1..ring.steps() {
+                let (next, s) = ring.ladder_step(&cur, &cur);
+                allocs += s.allocs;
+                cur = next;
+            }
+            allocs
+        };
+        let cold = run();
+        assert!(cold > 0, "cold run must miss the empty pool");
+        assert_eq!(run(), 0, "warm ladder must be allocation-free");
     }
 }

@@ -10,10 +10,18 @@
 //!
 //! ```text
 //! "MOMASNAP"            8-byte magic
-//! version: u32 LE       currently 1
+//! version: u32 LE       currently 2
+//! toolchain: u32 LE length + UTF-8 bytes    writer toolchain id
+//! build: u32 LE length + UTF-8 bytes        writer build id
 //! sections              tag: u32 LE, payload_len: u64 LE, payload bytes
 //! checksum: u64 LE      FNV-1a 64 over everything before it
 //! ```
+//!
+//! The toolchain/build identity pair is the transport-hardening gate: a
+//! snapshot written by a different toolchain or crate build is rejected with
+//! [`SnapshotError::IncompatibleBuild`] **before any section is read** —
+//! table layout subtleties between builds can then never reach the table
+//! validators, let alone the caches.
 //!
 //! All integers are little-endian; `BigUint`s are a limb count followed by
 //! little-endian 64-bit limbs; a basis is a modulus count followed by the
@@ -29,6 +37,8 @@
 //! | 5   | base-conversion plans: basis pair + pseudo-factor and cross tables |
 //! | 6   | rescale plans: basis + dropped-modulus inverses |
 //! | 7   | fused rescale-and-extend plans: basis pair + all component tables |
+//! | 8   | negacyclic NTT plans: `(q, n)` + twiddle tables + `n⁻¹` + `ψ` (twist tables are rebuilt) |
+//! | 9   | negacyclic ring context **keys** (`n`, moduli ladder) — contexts reassemble from the seeded caches |
 //!
 //! # Trust model
 //!
@@ -63,6 +73,7 @@ use moma_ntt::plan::{NttPlan64, NttRestoreError};
 use moma_rns::{
     BaseConvPlan, ConvRestoreError, PlanRestoreError, RescaleExtendPlan, RescalePlan, RnsPlan,
 };
+use rand::{rngs::StdRng, SeedableRng};
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::sync::Arc;
@@ -70,7 +81,14 @@ use std::sync::Arc;
 /// 8-byte file magic.
 const MAGIC: &[u8; 8] = b"MOMASNAP";
 /// Current format version.
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
+/// Writer toolchain identity, embedded in (and checked against) every
+/// snapshot. Derived from the workspace's pinned minimum toolchain: a snapshot
+/// from a binary built under a different pin is rejected up front.
+const TOOLCHAIN_ID: &str = concat!("rust-", env!("CARGO_PKG_RUST_VERSION"));
+/// Writer build identity (crate version), the second half of the
+/// compatibility gate.
+const BUILD_ID: &str = concat!("moma-", env!("CARGO_PKG_VERSION"));
 
 const TAG_CAPACITY: u32 = 1;
 const TAG_NTT64: u32 = 2;
@@ -79,6 +97,8 @@ const TAG_RNS: u32 = 4;
 const TAG_BASECONV: u32 = 5;
 const TAG_RESCALE: u32 = 6;
 const TAG_RESCALE_EXTEND: u32 = 7;
+const TAG_NTT64_NEG: u32 = 8;
+const TAG_RING: u32 = 9;
 
 /// Why a snapshot was rejected. Every variant is fail-closed: no cache is
 /// seeded from a snapshot that produces one.
@@ -92,6 +112,17 @@ pub enum SnapshotError {
     BadVersion {
         /// The version the snapshot declared.
         found: u32,
+    },
+    /// The snapshot was written by a different toolchain or build. Checked
+    /// immediately after the version — *before* any section or table is read —
+    /// so cross-build layout subtleties can never reach the validators.
+    IncompatibleBuild {
+        /// Which identity mismatched: `"toolchain"` or `"build"`.
+        what: &'static str,
+        /// The identity this binary requires.
+        expected: String,
+        /// The identity the snapshot declared.
+        found: String,
     },
     /// The trailing FNV-1a checksum does not match the content.
     BadChecksum,
@@ -127,6 +158,16 @@ impl fmt::Display for SnapshotError {
                 write!(
                     f,
                     "unsupported snapshot version {found} (expected {VERSION})"
+                )
+            }
+            SnapshotError::IncompatibleBuild {
+                what,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "incompatible snapshot {what}: written by \"{found}\", this binary is \"{expected}\""
                 )
             }
             SnapshotError::BadChecksum => write!(f, "snapshot checksum mismatch"),
@@ -181,6 +222,12 @@ pub struct RestoreReport {
     pub rescale_plans: usize,
     /// Fused rescale-and-extend plans seeded from their component tables.
     pub rescale_extend_plans: usize,
+    /// Negacyclic single-word NTT plans seeded from their tables (the `ψ`
+    /// twist tables are rebuilt from the validated `ψ`, never deserialized).
+    pub negacyclic_plans: usize,
+    /// Negacyclic ring contexts reassembled from their `(n, ladder)` keys over
+    /// the freshly seeded plan caches.
+    pub ring_contexts: usize,
 }
 
 // ---------------------------------------------------------------------------
@@ -204,6 +251,11 @@ fn put_words(out: &mut Vec<u8>, words: &[u64]) {
 
 fn put_biguint(out: &mut Vec<u8>, v: &BigUint) {
     put_words(out, v.limbs());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
 }
 
 /// FNV-1a 64 over a byte slice — the integrity trailer. Not cryptographic;
@@ -308,6 +360,8 @@ struct RescaleExtendTables {
 
 /// One parsed 64-bit NTT plan section entry: `(q, n, fwd, inv, n_inv)`.
 type Ntt64Tables = (u64, usize, Vec<u64>, Vec<u64>, u64);
+/// One parsed negacyclic plan entry: the cyclic tables plus `ψ`.
+type Ntt64NegTables = (u64, usize, Vec<u64>, Vec<u64>, u64, u64);
 /// One parsed RNS plan section entry: `(moduli, product, crt)`.
 type RnsTables = (Vec<u64>, BigUint, Vec<(BigUint, u64)>);
 /// A validated conversion plan keyed by its `(src, dst)` basis pair.
@@ -322,6 +376,8 @@ struct Parsed {
     baseconv: Vec<BaseConvTables>,
     rescale: Vec<RescaleTables>,
     rescale_extend: Vec<RescaleExtendTables>,
+    ntt64_neg: Vec<Ntt64NegTables>,
+    ring: Vec<(usize, Vec<u64>)>,
 }
 
 fn serialize_basis(out: &mut Vec<u8>, plan: &RnsPlan) {
@@ -350,6 +406,8 @@ impl Session {
         let mut out = Vec::new();
         out.extend_from_slice(MAGIC);
         put_u32(&mut out, VERSION);
+        put_str(&mut out, TOOLCHAIN_ID);
+        put_str(&mut out, BUILD_ID);
 
         // Section 1: capacity memo.
         let capacity: BTreeMap<u32, Vec<u64>> =
@@ -469,6 +527,45 @@ impl Session {
             }
         });
 
+        // Section 8: negacyclic NTT plans — the cyclic tables plus ψ; the
+        // twist tables are a pure function of ψ and are rebuilt on restore
+        // after ψ itself is validated against the tables (ψ² = ω).
+        let mut neg = state.ntt64_neg.entries();
+        neg.sort_by_key(|(key, _)| *key);
+        write_section(&mut out, TAG_NTT64_NEG, |p| {
+            put_u64(p, neg.len() as u64);
+            for ((q, n), plan) in &neg {
+                put_u64(p, *q);
+                put_u64(p, *n as u64);
+                let (fwd, inv) = plan.twiddle_tables();
+                put_words(p, fwd);
+                put_words(p, inv);
+                put_u64(p, plan.n_inv_pair().0);
+                put_u64(
+                    p,
+                    plan.psi().expect("negacyclic cache holds negacyclic plans"),
+                );
+            }
+        });
+
+        // Section 9: ring context keys only — a context holds no tables of its
+        // own (everything lives in the component caches above), so restore
+        // reassembles it over the freshly seeded plans.
+        let mut ring: Vec<(usize, Vec<u64>)> = state
+            .ring
+            .entries()
+            .into_iter()
+            .map(|(key, _)| key)
+            .collect();
+        ring.sort();
+        write_section(&mut out, TAG_RING, |p| {
+            put_u64(p, ring.len() as u64);
+            for (n, moduli) in &ring {
+                put_u64(p, *n as u64);
+                put_words(p, moduli);
+            }
+        });
+
         let checksum = fnv1a(&out);
         put_u64(&mut out, checksum);
         out
@@ -489,6 +586,34 @@ impl Session {
         for (q, n, fwd, inv, n_inv) in parsed.ntt64 {
             let plan = NttPlan64::from_tables(q, n, fwd, inv, n_inv)?;
             ntt_plans.push(((q, n), Arc::new(plan)));
+        }
+
+        let mut neg_plans: Vec<((u64, usize), Arc<NttPlan64>)> = Vec::new();
+        for (q, n, fwd, inv, n_inv, psi) in parsed.ntt64_neg {
+            let plan = NttPlan64::from_tables_negacyclic(q, n, fwd, inv, n_inv, psi)?;
+            neg_plans.push(((q, n), Arc::new(plan)));
+        }
+
+        // Ring keys: validate fully here (shape, congruence, primality) so a
+        // hostile key fails closed with an error instead of panicking the
+        // reassembly below.
+        for (n, moduli) in &parsed.ring {
+            if !n.is_power_of_two() || *n < 2 || moduli.is_empty() {
+                return Err(SnapshotError::Malformed("invalid ring key"));
+            }
+            for (i, &q) in moduli.iter().enumerate() {
+                if moduli[..i].contains(&q) {
+                    return Err(SnapshotError::Malformed("duplicate ring modulus"));
+                }
+                if !(3..1 << 60).contains(&q) || (q - 1) % (2 * *n as u64) != 0 {
+                    return Err(SnapshotError::Malformed(
+                        "ring modulus not ≡ 1 mod 2n in range",
+                    ));
+                }
+                if !moma_bignum::prime::is_prime(&mut StdRng::seed_from_u64(q), &BigUint::from(q)) {
+                    return Err(SnapshotError::Malformed("ring modulus not prime"));
+                }
+            }
         }
 
         let mut rns_plans: HashMap<Vec<u64>, Arc<RnsPlan>> = HashMap::new();
@@ -575,8 +700,17 @@ impl Session {
         for (key, plan) in rescale_extend_plans {
             report.rescale_extend_plans += usize::from(state.rescale_extend.seed(key, plan));
         }
+        for (key, plan) in neg_plans {
+            report.negacyclic_plans += usize::from(state.ntt64_neg.seed(key, plan));
+        }
         for (limbs, bits, n) in parsed.ntt_mw {
             report.multiword_plans += usize::from(self.rebuild_multiword(limbs, bits, n));
+        }
+        // Rings last: reassembly draws on every cache seeded above, so a
+        // snapshot's ring contexts come back without rebuilding a single
+        // component plan.
+        for (n, moduli) in parsed.ring {
+            report.ring_contexts += usize::from(self.rebuild_ring(n, &moduli));
         }
         Ok(report)
     }
@@ -599,6 +733,15 @@ impl Session {
             _ => unreachable!("limb widths validated before seeding"),
         }
         self.stats().ntt_multiword.misses > before.misses
+    }
+
+    /// Reassembles one ring context from its key through the normal cache
+    /// path (its component plans were just seeded). Returns `false` when the
+    /// key was already cached.
+    fn rebuild_ring(&self, n: usize, moduli: &[u64]) -> bool {
+        let before = self.stats().ring;
+        drop(self.ring_context(n, moduli));
+        self.stats().ring.misses > before.misses
     }
 }
 
@@ -631,6 +774,23 @@ fn parse(bytes: &[u8]) -> Result<Parsed, SnapshotError> {
     let version = reader.u32()?;
     if version != VERSION {
         return Err(SnapshotError::BadVersion { found: version });
+    }
+    // Compatibility gate: toolchain and build identity, checked before any
+    // section is parsed — a cross-build snapshot never reaches the table
+    // validators.
+    for (what, expected) in [("toolchain", TOOLCHAIN_ID), ("build", BUILD_ID)] {
+        let len = reader.u32()? as usize;
+        if len > 256 {
+            return Err(SnapshotError::Malformed("oversized identity string"));
+        }
+        let found = reader.take(len)?;
+        if found != expected.as_bytes() {
+            return Err(SnapshotError::IncompatibleBuild {
+                what,
+                expected: expected.to_string(),
+                found: String::from_utf8_lossy(found).into_owned(),
+            });
+        }
     }
 
     let mut parsed = Parsed::default();
@@ -716,6 +876,26 @@ fn parse(bytes: &[u8]) -> Result<Parsed, SnapshotError> {
                         cross: r.words()?,
                         fused: r.words()?,
                     });
+                }
+            }
+            TAG_NTT64_NEG => {
+                let n = r.count(8 * 6)?;
+                for _ in 0..n {
+                    let q = r.u64()?;
+                    let size = r.u64()? as usize;
+                    let fwd = r.words()?;
+                    let inv = r.words()?;
+                    let n_inv = r.u64()?;
+                    let psi = r.u64()?;
+                    parsed.ntt64_neg.push((q, size, fwd, inv, n_inv, psi));
+                }
+            }
+            TAG_RING => {
+                let n = r.count(8 * 2)?;
+                for _ in 0..n {
+                    let size = r.u64()? as usize;
+                    let moduli = r.words()?;
+                    parsed.ring.push((size, moduli));
                 }
             }
             other => return Err(SnapshotError::UnknownSection { tag: other }),

@@ -132,7 +132,15 @@ fn warm_session() -> (Session, Vec<BigUint>) {
     let _ = v.mul(&v).rescale_then_extend(&dst);
     let _ = v.base_convert(&dst);
     let _ = v.rescale();
+    // And a negacyclic ring ladder, so the negacyclic-plan and ring-context
+    // caches (snapshot sections 8 and 9) are populated too.
+    let _ = session.ring(16, &ring_ladder());
     (session, values)
+}
+
+/// The ladder the lifecycle tests put through the ring caches.
+fn ring_ladder() -> Vec<u64> {
+    moma::ring::default_ladder(16, 3)
 }
 
 #[test]
@@ -147,7 +155,10 @@ fn snapshot_restores_every_plan_cache_bit_for_bit() {
     assert!(report.rns_plans >= 2, "source and target bases at least");
     assert!(report.baseconv_plans >= 1);
     assert!(report.rescale_plans >= 1);
-    assert_eq!(report.rescale_extend_plans, 1);
+    // The explicit fused chain plus one per ladder step of the ring context.
+    assert_eq!(report.rescale_extend_plans, 1 + (ring_ladder().len() - 1));
+    assert_eq!(report.negacyclic_plans, ring_ladder().len());
+    assert_eq!(report.ring_contexts, 1);
     assert!(report.capacity_entries >= 1);
 
     // Every request the warm session served is now a pure cache hit: no
@@ -165,11 +176,37 @@ fn snapshot_restores_every_plan_cache_bit_for_bit() {
     assert_eq!(stats.baseconv.misses, 0);
     assert_eq!(stats.rescale_extend.misses, 0);
 
+    // The ring caches round-trip too: re-requesting the warm ladder is a pure
+    // hit (the one recorded miss is restore's own reassembly), and the
+    // restored context computes bit-for-bit what the original does.
+    let misses_after_restore = (stats.ring.misses, stats.ntt_negacyclic.misses);
+    let ladder = ring_ladder();
+    let warm_ring = warm.ring(16, &ladder);
+    let fresh_ring = fresh.ring(16, &ladder);
+    let after = fresh.stats();
+    assert_eq!(
+        (after.ring.misses, after.ntt_negacyclic.misses),
+        misses_after_restore,
+        "restored ring caches serve requests without rebuilding"
+    );
+    let coeffs: Vec<BigUint> = (0..16u64).map(|i| BigUint::from(i * i + 3)).collect();
+    let wa = warm_ring.encode(0, &coeffs);
+    let fa = fresh_ring.encode(0, &coeffs);
+    let (wp, _) = warm_ring.ladder_step(&wa, &wa);
+    let (fp, _) = fresh_ring.ladder_step(&fa, &fa);
+    assert_eq!(
+        warm_ring.decode(&wp),
+        fresh_ring.decode(&fp),
+        "ring ladder crosscheck"
+    );
+
     // Restoring the same snapshot again seeds nothing (keys all present).
     let again = fresh.restore(&bytes).expect("idempotent restore");
     assert_eq!(again.ntt_plans, 0);
     assert_eq!(again.rns_plans, 0);
     assert_eq!(again.rescale_extend_plans, 0);
+    assert_eq!(again.negacyclic_plans, 0);
+    assert_eq!(again.ring_contexts, 0);
 }
 
 /// Encodes the same values on both sessions and asserts the restored plans
@@ -235,11 +272,48 @@ fn snapshot_rejects_truncation_and_tampering() {
 
     // Version bump.
     let mut bad = bytes.clone();
-    bad[8] = 2;
+    bad[8] = 0x7f;
     assert!(matches!(
         Session::default().restore(&patch_checksum(bad)),
-        Err(SnapshotError::BadVersion { found: 2 })
+        Err(SnapshotError::BadVersion { found: 0x7f })
     ));
+
+    // Foreign toolchain identity: rejected up front. The header is
+    // magic(8) + version(4) + toolchain(len:4 + bytes) + build(len:4 + bytes).
+    let tlen = u32::from_le_bytes(bytes[12..16].try_into().unwrap()) as usize;
+    let mut bad = bytes.clone();
+    bad[16] ^= 0x20; // flip the case of the first toolchain byte
+    assert!(matches!(
+        Session::default().restore(&patch_checksum(bad)),
+        Err(SnapshotError::IncompatibleBuild {
+            what: "toolchain",
+            ..
+        })
+    ));
+
+    // Foreign build identity likewise.
+    let mut bad = bytes.clone();
+    bad[16 + tlen + 4] ^= 0x20;
+    assert!(matches!(
+        Session::default().restore(&patch_checksum(bad)),
+        Err(SnapshotError::IncompatibleBuild { what: "build", .. })
+    ));
+
+    // Ordering: when a table is corrupted *and* the identity mismatches, the
+    // identity gate fires — cross-build bytes never reach a table validator.
+    let mut bad = bytes.clone();
+    bad[16] ^= 0x20;
+    let mid = bytes.len() / 2;
+    bad[mid] ^= 0xff;
+    let fresh = Session::default();
+    assert!(matches!(
+        fresh.restore(&patch_checksum(bad)),
+        Err(SnapshotError::IncompatibleBuild {
+            what: "toolchain",
+            ..
+        })
+    ));
+    assert_eq!(fresh.stats().ntt.misses, 0, "nothing was seeded");
 
     // A flipped content byte without a checksum patch.
     let mut bad = bytes.clone();

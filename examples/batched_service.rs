@@ -81,6 +81,7 @@ fn main() {
                         let kind = match done.response {
                             Response::Ntt(_) => "ntt",
                             Response::Rns(_) => "rns chain",
+                            Response::Ladder(_) => "ladder step",
                         };
                         println!(
                             "client {c}: last request ({kind}) rode a batch of {} \
